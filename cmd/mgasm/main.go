@@ -1,0 +1,45 @@
+// Command mgasm assembles a source file, prints its disassembly, and can
+// execute it on the architectural emulator.
+//
+// Usage:
+//
+//	mgasm [-run] [-limit N] file.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"minigraph"
+)
+
+func main() {
+	run := flag.Bool("run", false, "execute the program after assembling")
+	limit := flag.Int64("limit", 10_000_000, "dynamic instruction limit for -run")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mgasm [-run] [-limit N] file.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	prog, err := minigraph.Assemble(flag.Arg(0), string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d instructions, %d data symbols\n\n", prog.Name, prog.Len(), len(prog.DataSymbols))
+	fmt.Print(minigraph.Disassemble(prog))
+	if *run {
+		sum, n, err := minigraph.Run(prog, nil, *limit)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "run:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nexecuted %d instructions, memory checksum %#x\n", n, sum)
+	}
+}

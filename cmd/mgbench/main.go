@@ -1,0 +1,92 @@
+// Command mgbench regenerates the paper's evaluation artifacts. Each -exp
+// value corresponds to one figure or in-text result set of §6 (see
+// DESIGN.md's per-experiment index).
+//
+// Usage:
+//
+//	mgbench -exp config|fig5|fig5dom|robust|fig6|fig7|policy|icache|fig8reg|fig8bw|ablate|all
+//	        [-benchmarks a,b,c] [-parallel N] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"minigraph/internal/experiments"
+	"minigraph/internal/stats"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (config fig5 fig5dom robust fig6 fig7 policy icache fig8reg fig8bw ablate all)")
+	benches := flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
+	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = NumCPU)")
+	verbose := flag.Bool("v", false, "progress output")
+	flag.Parse()
+
+	o := experiments.DefaultOptions()
+	o.Parallel = *parallel
+	if *benches != "" {
+		o.Benchmarks = strings.Split(*benches, ",")
+	}
+	if *verbose {
+		o.Log = os.Stderr
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = []string{"config", "fig5", "fig5dom", "robust", "fig6", "fig7", "policy", "icache", "fig8reg", "fig8bw", "ablate"}
+	}
+	for _, id := range ids {
+		t0 := time.Now()
+		tables, err := run(id, o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t.String())
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(t0).Round(time.Millisecond))
+	}
+}
+
+func run(id string, o experiments.Options) ([]*stats.Table, error) {
+	switch id {
+	case "config":
+		return []*stats.Table{experiments.ConfigTable()}, nil
+	case "fig5":
+		tables, _, err := experiments.Fig5(o)
+		return tables, err
+	case "fig5dom":
+		t, err := experiments.Fig5Domain(o)
+		return []*stats.Table{t}, err
+	case "robust":
+		t, err := experiments.Robustness(o)
+		return []*stats.Table{t}, err
+	case "fig6":
+		t, _, err := experiments.Fig6(o)
+		return []*stats.Table{t}, err
+	case "fig7":
+		t, _, err := experiments.Fig7(o)
+		return []*stats.Table{t}, err
+	case "policy":
+		t, err := experiments.PolicyBest(o)
+		return []*stats.Table{t}, err
+	case "icache":
+		t, err := experiments.ICache(o)
+		return []*stats.Table{t}, err
+	case "fig8reg":
+		t, err := experiments.Fig8Regs(o)
+		return []*stats.Table{t}, err
+	case "fig8bw":
+		t, err := experiments.Fig8Bandwidth(o)
+		return []*stats.Table{t}, err
+	case "ablate":
+		t, err := experiments.Ablations(o)
+		return []*stats.Table{t}, err
+	}
+	return nil, fmt.Errorf("unknown experiment %q", id)
+}

@@ -1,0 +1,93 @@
+// Command mgextract runs mini-graph extraction over a built-in benchmark or
+// an assembly file and reports coverage, the selected templates, and the
+// physical MGT contents.
+//
+// Usage:
+//
+//	mgextract [-bench name | -file kernel.s] [-entries 512] [-maxsize 4]
+//	          [-int] [-noextserial] [-nointparallel] [-nointeriorload]
+//	          [-dump] [-dise]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"minigraph"
+	"minigraph/internal/dise"
+	"minigraph/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "", "built-in benchmark name (see mgsim -list)")
+	file := flag.String("file", "", "assembly source file")
+	entries := flag.Int("entries", 512, "MGT entries")
+	maxSize := flag.Int("maxsize", 4, "maximum mini-graph size")
+	intOnly := flag.Bool("int", false, "integer mini-graphs only (no loads/stores)")
+	noExt := flag.Bool("noextserial", false, "disallow externally serial mini-graphs")
+	noPar := flag.Bool("nointparallel", false, "disallow internally parallel mini-graphs")
+	noIL := flag.Bool("nointeriorload", false, "disallow interior (replay-vulnerable) loads")
+	dump := flag.Bool("dump", false, "dump the physical MGT (MGHT + MGST)")
+	diseOut := flag.Bool("dise", false, "emit the .dise section for the selection")
+	flag.Parse()
+
+	prog, err := loadProgram(*bench, *file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	prof, err := minigraph.ProfileOf(prog, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	pol := minigraph.DefaultPolicy()
+	pol.MaxSize = *maxSize
+	pol.AllowMem = !*intOnly
+	pol.AllowExtSerial = !*noExt
+	pol.AllowIntParallel = !*noPar
+	pol.AllowInteriorLoad = !*noIL
+
+	rw, err := minigraph.Extract(prog, prof, pol, *entries, minigraph.DefaultExecParams())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sel := rw.Selection
+	fmt.Printf("%s: %d candidates, %d templates selected, %d static instances\n",
+		prog.Name, sel.CandidateCount, len(sel.Templates), len(sel.Instances))
+	fmt.Printf("dynamic coverage: %.2f%% (%d of %d instructions removed from the pipeline)\n",
+		100*sel.Coverage(), sel.CoveredInsts, sel.TotalInsts)
+	if *dump {
+		fmt.Println()
+		fmt.Print(rw.MGT.Dump())
+	}
+	if *diseOut {
+		prs, err := dise.FromSelection(sel.Templates)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dise:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Print(dise.FormatSection(prs))
+	}
+}
+
+func loadProgram(bench, file string) (*minigraph.Program, error) {
+	switch {
+	case bench != "":
+		b, ok := workload.ByName(bench)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q", bench)
+		}
+		return b.Build(workload.InputTrain), nil
+	case file != "":
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		return minigraph.Assemble(file, string(src))
+	}
+	return nil, fmt.Errorf("one of -bench or -file is required")
+}

@@ -1,0 +1,119 @@
+// Command mgsim runs the cycle-level timing simulator on a built-in
+// benchmark or an assembly file, optionally through the mini-graph
+// toolchain first.
+//
+// Usage:
+//
+//	mgsim -list
+//	mgsim [-bench name | -file kernel.s] [-minigraphs] [-int] [-collapse]
+//	      [-entries 512] [-maxsize 4] [-regs 164] [-width 6] [-sched 1] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"minigraph"
+	"minigraph/internal/workload"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list built-in benchmarks")
+	bench := flag.String("bench", "", "built-in benchmark name")
+	file := flag.String("file", "", "assembly source file")
+	useMG := flag.Bool("minigraphs", false, "extract and execute mini-graphs")
+	intOnly := flag.Bool("int", false, "integer mini-graphs only")
+	collapse := flag.Bool("collapse", false, "pair-wise collapsing ALU pipelines")
+	entries := flag.Int("entries", 512, "MGT entries")
+	maxSize := flag.Int("maxsize", 4, "maximum mini-graph size")
+	regs := flag.Int("regs", 164, "physical registers")
+	width := flag.Int("width", 6, "pipeline width (fetch/rename/commit)")
+	sched := flag.Int("sched", 1, "scheduling loop cycles (1 or 2)")
+	verbose := flag.Bool("v", false, "print detailed statistics")
+	flag.Parse()
+
+	if *list {
+		for _, b := range workload.All() {
+			fmt.Printf("%-12s %s\n", b.Name, b.Suite)
+		}
+		return
+	}
+	prog, err := loadProgram(*bench, *file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var cfg minigraph.SimConfig
+	var mgt *minigraph.MGT
+	runProg := prog
+	if *useMG {
+		cfg = minigraph.MiniGraphConfig(!*intOnly)
+		cfg.Collapse = *collapse
+		prof, err := minigraph.ProfileOf(prog, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		pol := minigraph.DefaultPolicy()
+		pol.MaxSize = *maxSize
+		pol.AllowMem = !*intOnly
+		params := minigraph.DefaultExecParams()
+		params.Collapse = *collapse
+		rw, err := minigraph.Extract(prog, prof, pol, *entries, params)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("extraction: %d templates, coverage %.2f%%\n", len(rw.Selection.Templates), 100*rw.Selection.Coverage())
+		runProg, mgt = rw.Prog, rw.MGT
+	} else {
+		cfg = minigraph.BaselineConfig()
+	}
+	cfg.PhysRegs = *regs
+	cfg.FetchWidth, cfg.RenameWidth, cfg.CommitWidth = *width, *width, *width
+	cfg.SchedCycles = *sched
+
+	res, err := minigraph.Simulate(cfg, runProg, mgt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("cycles:        %d\n", res.Cycles)
+	fmt.Printf("retired:       %d records (%d units of work)\n", res.Retired, res.RetiredWork)
+	fmt.Printf("IPC:           %.3f (work IPC %.3f)\n", res.IPC(), res.WorkIPC())
+	if res.RetiredHandles > 0 {
+		fmt.Printf("handles:       %d retired, %d constituents (avg %.2f)\n",
+			res.RetiredHandles, res.HandleConstituents,
+			float64(res.HandleConstituents)/float64(res.RetiredHandles))
+	}
+	if *verbose {
+		fmt.Printf("branches:      %d (%d mispredicted, %.2f%%)\n", res.Branches, res.Mispredicts, 100*res.MispredictRate())
+		fmt.Printf("L1I misses:    %d\n", res.L1IMisses)
+		fmt.Printf("L1D misses:    %d (loads %d, stores %d, forwards %d)\n", res.L1DMisses, res.Loads, res.Stores, res.Forwards)
+		fmt.Printf("L2 misses:     %d\n", res.L2Misses)
+		fmt.Printf("violations:    %d\n", res.Violations)
+		fmt.Printf("replays:       %d load-shadow, %d mini-graph\n", res.LoadMissReplays, res.MGReplays)
+		fmt.Printf("stalls:        ROB %d, IQ %d, LSQ %d, regs %d\n", res.StallROB, res.StallIQ, res.StallLSQ, res.StallRegs)
+		fmt.Printf("preg traffic:  %d allocs, %d frees\n", res.PregAllocs, res.PregFrees)
+	}
+}
+
+func loadProgram(bench, file string) (*minigraph.Program, error) {
+	switch {
+	case bench != "":
+		b, ok := workload.ByName(bench)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q (try -list)", bench)
+		}
+		return b.Build(workload.InputTrain), nil
+	case file != "":
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		return minigraph.Assemble(file, string(src))
+	}
+	return nil, fmt.Errorf("one of -bench or -file is required")
+}

@@ -1,0 +1,98 @@
+// Quickstart: the complete mini-graph flow on a small kernel — assemble,
+// profile, extract, rewrite, and compare baseline vs mini-graph timing.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"minigraph"
+)
+
+const src = `
+        .data
+out:    .space 8
+        .text
+main:   li   r9, 5000
+        clr  r3
+loop:   addl r3, 7, r4       ; the shaded idiom: a serial chain of
+        srl  r4, 3, r4       ; single-cycle integer operations that
+        xor  r4, r3, r5      ; collapses into mini-graph handles
+        and  r5, 255, r5
+        addl r5, 1, r6
+        sll  r6, 2, r6
+        addq r3, r6, r3
+        subl r9, 1, r9
+        bne  r9, loop
+        stq  r3, out(zero)
+        halt
+`
+
+func main() {
+	prog, err := minigraph.Assemble("quickstart", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Profile: mini-graph selection is driven by basic-block frequency.
+	prof, err := minigraph.ProfileOf(prog, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Extract + rewrite: dataflow graphs with a singleton interface
+	// (2 inputs, 1 output, <=1 memory op, <=1 terminal branch) become
+	// handles; the MGT holds their definitions.
+	rw, err := minigraph.Extract(prog, prof, minigraph.DefaultPolicy(), 512, minigraph.DefaultExecParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("selected %d templates covering %.1f%% of the dynamic stream\n",
+		len(rw.Selection.Templates), 100*rw.Selection.Coverage())
+	fmt.Printf("planted %d handles, removed %d static instructions\n\n",
+		rw.HandleCount, rw.RemovedInsts)
+	fmt.Println("mini-graph table (MGHT + MGST):")
+	fmt.Println(rw.MGT.Dump())
+
+	// 3. Correctness: the rewritten binary computes the same results.
+	sum0, _, _ := minigraph.Run(prog, nil, 0)
+	sum1, _, err := minigraph.Run(rw.Prog, rw.MGT, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("architectural equivalence: %v\n\n", sum0 == sum1)
+
+	// 4. Timing: baseline 6-wide machine vs the mini-graph machine (two
+	// ALUs replaced by two 4-stage ALU pipelines + sliding-window
+	// scheduler).
+	base, err := minigraph.Simulate(minigraph.BaselineConfig(), prog, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mg, err := minigraph.Simulate(minigraph.MiniGraphConfig(true), rw.Prog, rw.MGT)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline:   %8d cycles  IPC %.3f\n", base.Cycles, base.IPC())
+	fmt.Printf("mini-graph: %8d cycles  work-IPC %.3f  (%d handles retired)  speedup %.3f\n",
+		mg.Cycles, mg.WorkIPC(), mg.RetiredHandles, minigraph.Speedup(base, mg))
+
+	// 5. Add pair-wise collapsing ALU pipelines (§6.2): two dependent
+	// single-cycle operations per cycle — latency reduction on top of
+	// bandwidth amplification. This kernel is one long dependence chain,
+	// so collapsing is where its gain comes from.
+	params := minigraph.DefaultExecParams()
+	params.Collapse = true
+	rwc, err := minigraph.Extract(prog, prof, minigraph.DefaultPolicy(), 512, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ccfg := minigraph.MiniGraphConfig(true)
+	ccfg.Collapse = true
+	mgc, err := minigraph.Simulate(ccfg, rwc.Prog, rwc.MGT)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("+collapse:  %8d cycles  work-IPC %.3f  speedup %.3f\n",
+		mgc.Cycles, mgc.WorkIPC(), minigraph.Speedup(base, mgc))
+}

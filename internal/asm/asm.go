@@ -1,0 +1,283 @@
+// Package asm implements a two-pass assembler for the ISA in internal/isa.
+//
+// Syntax (Alpha-style, one instruction per line, ';' or '#' comments):
+//
+//	        .data
+//	table:  .word 1, 2, 3          ; 64-bit words
+//	buf:    .space 4096            ; zero-filled bytes
+//	        .text
+//	main:   lda   r1, table(zero)  ; data labels usable as immediates
+//	loop:   ldq   r2, 0(r1)
+//	        addl  r2, 2, r2
+//	        cmplt r2, r3, r4
+//	        bne   r4, loop
+//	        halt
+//
+// Registers: r0..r31 (zero, sp, ra, gp aliases), f0..f31. Pseudo-ops:
+// li rd,imm ; mov ra,rc ; clr rc ; ret ; br label.
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"minigraph/internal/isa"
+)
+
+// DataBase is the default byte address where the .data section begins.
+const DataBase isa.Addr = 0x100000
+
+// Error describes an assembly failure with source position.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type section int
+
+const (
+	secText section = iota
+	secData
+)
+
+type assembler struct {
+	name     string
+	lines    []string
+	insts    []protoInst
+	labels   map[string]isa.PC
+	dataLbls map[string]isa.Addr
+	data     []byte
+	dataBase isa.Addr
+}
+
+// protoInst is an instruction with possibly unresolved symbolic operands.
+type protoInst struct {
+	line int
+	inst isa.Inst
+	tgt  string // unresolved branch target label
+	dsym string // unresolved data symbol used as immediate (+inst.Imm offset)
+}
+
+// Assemble parses src and produces a resolved program named name.
+func Assemble(name, src string) (*isa.Program, error) {
+	a := &assembler{
+		name:     name,
+		lines:    strings.Split(src, "\n"),
+		labels:   make(map[string]isa.PC),
+		dataLbls: make(map[string]isa.Addr),
+		dataBase: DataBase,
+	}
+	if err := a.pass1(); err != nil {
+		return nil, err
+	}
+	return a.pass2()
+}
+
+// MustAssemble is Assemble for known-good sources (workload kernels, tests);
+// it panics on error.
+func MustAssemble(name, src string) *isa.Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func stripComment(s string) string {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inStr = !inStr
+		case ';', '#':
+			if !inStr {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+func (a *assembler) pass1() error {
+	sec := secText
+	for ln, raw := range a.lines {
+		line := strings.TrimSpace(stripComment(raw))
+		if line == "" {
+			continue
+		}
+		// Peel off leading labels ("name:").
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 || strings.ContainsAny(line[:i], " \t,(") {
+				break
+			}
+			label := line[:i]
+			if sec == secText {
+				if _, dup := a.labels[label]; dup {
+					return &Error{ln + 1, "duplicate label " + label}
+				}
+				a.labels[label] = isa.PC(len(a.insts))
+			} else {
+				if _, dup := a.dataLbls[label]; dup {
+					return &Error{ln + 1, "duplicate data label " + label}
+				}
+				a.dataLbls[label] = a.dataBase + isa.Addr(len(a.data))
+			}
+			line = strings.TrimSpace(line[i+1:])
+			if line == "" {
+				break
+			}
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ".") {
+			s, err := a.directive(ln+1, line, sec)
+			if err != nil {
+				return err
+			}
+			sec = s
+			continue
+		}
+		if sec == secData {
+			return &Error{ln + 1, "instruction in .data section"}
+		}
+		pi, err := a.parseInst(ln+1, line)
+		if err != nil {
+			return err
+		}
+		a.insts = append(a.insts, pi...)
+	}
+	return nil
+}
+
+func (a *assembler) directive(ln int, line string, sec section) (section, error) {
+	fields := strings.SplitN(line, " ", 2)
+	dir := strings.TrimSpace(fields[0])
+	rest := ""
+	if len(fields) > 1 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	switch dir {
+	case ".text":
+		return secText, nil
+	case ".data":
+		return secData, nil
+	case ".align":
+		n, err := strconv.Atoi(rest)
+		if err != nil || n <= 0 || n&(n-1) != 0 {
+			return sec, &Error{ln, "bad .align"}
+		}
+		for len(a.data)%n != 0 {
+			a.data = append(a.data, 0)
+		}
+		return sec, nil
+	case ".word", ".long", ".byte":
+		if sec != secData {
+			return sec, &Error{ln, dir + " outside .data"}
+		}
+		width := map[string]int{".word": 8, ".long": 4, ".byte": 1}[dir]
+		for _, tok := range splitOperands(rest) {
+			v, err := parseInt(tok)
+			if err != nil {
+				return sec, &Error{ln, "bad value " + tok}
+			}
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], uint64(v))
+			a.data = append(a.data, buf[:width]...)
+		}
+		return sec, nil
+	case ".space":
+		if sec != secData {
+			return sec, &Error{ln, ".space outside .data"}
+		}
+		n, err := strconv.Atoi(rest)
+		if err != nil || n < 0 {
+			return sec, &Error{ln, "bad .space size"}
+		}
+		a.data = append(a.data, make([]byte, n)...)
+		return sec, nil
+	case ".asciiz":
+		if sec != secData {
+			return sec, &Error{ln, ".asciiz outside .data"}
+		}
+		s, err := strconv.Unquote(rest)
+		if err != nil {
+			return sec, &Error{ln, "bad string"}
+		}
+		a.data = append(a.data, []byte(s)...)
+		a.data = append(a.data, 0)
+		return sec, nil
+	}
+	return sec, &Error{ln, "unknown directive " + dir}
+}
+
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseReg(tok string) (isa.Reg, bool) {
+	switch tok {
+	case "zero":
+		return isa.RZero, true
+	case "sp":
+		return isa.RSP, true
+	case "ra":
+		return isa.RRA, true
+	case "gp":
+		return isa.RGP, true
+	}
+	if len(tok) >= 2 && (tok[0] == 'r' || tok[0] == 'f') {
+		n, err := strconv.Atoi(tok[1:])
+		if err == nil && n >= 0 && n < 32 {
+			if tok[0] == 'f' {
+				return isa.FPReg(n), true
+			}
+			return isa.IntReg(n), true
+		}
+	}
+	return 0, false
+}
+
+func parseInt(tok string) (int64, error) {
+	if len(tok) >= 3 && tok[0] == '\'' && tok[len(tok)-1] == '\'' {
+		s, err := strconv.Unquote(tok)
+		if err != nil || len(s) != 1 {
+			return 0, fmt.Errorf("bad char literal")
+		}
+		return int64(s[0]), nil
+	}
+	return strconv.ParseInt(tok, 0, 64)
+}
+
+// parseImmOrSym parses an integer, a symbol, or symbol+offset / symbol-offset.
+func (a *assembler) parseImmOrSym(tok string) (imm int64, sym string, err error) {
+	if v, e := parseInt(tok); e == nil {
+		return v, "", nil
+	}
+	base, off := tok, ""
+	for i := 1; i < len(tok); i++ {
+		if tok[i] == '+' || tok[i] == '-' {
+			base, off = tok[:i], tok[i:]
+			break
+		}
+	}
+	var o int64
+	if off != "" {
+		if o, err = parseInt(off); err != nil {
+			return 0, "", fmt.Errorf("bad offset %q", off)
+		}
+	}
+	return o, base, nil
+}

@@ -1,0 +1,178 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"minigraph/internal/isa"
+)
+
+const loopSrc = `
+        .data
+table:  .word 10, 20, 30
+buf:    .space 64
+        .text
+main:   li    r1, 3
+        lda   r2, table(zero)
+        clr   r3
+loop:   ldq   r4, 0(r2)
+        addq  r3, r4, r3
+        lda   r2, 8(r2)
+        subl  r1, 1, r1
+        bne   r1, loop
+        stq   r3, buf(zero)
+        halt
+`
+
+func TestAssembleLoop(t *testing.T) {
+	p, err := Assemble("loop", loopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 10 {
+		t.Fatalf("got %d insts, want 10", p.Len())
+	}
+	if p.Entry != p.Symbols["main"] {
+		t.Errorf("entry %d != main %d", p.Entry, p.Symbols["main"])
+	}
+	// bne targets the loop label.
+	bne := p.At(p.Symbols["loop"] + 4)
+	if bne.Op != isa.OpBne || isa.PC(bne.Imm) != p.Symbols["loop"] {
+		t.Errorf("bne = %v", bne)
+	}
+	// Data layout: table at DataBase, buf right after 3 words.
+	if p.DataSymbols["table"] != DataBase {
+		t.Errorf("table at %#x", p.DataSymbols["table"])
+	}
+	if p.DataSymbols["buf"] != DataBase+24 {
+		t.Errorf("buf at %#x", p.DataSymbols["buf"])
+	}
+	// li expands to lda rd, imm(zero).
+	li := p.At(p.Symbols["main"])
+	if li.Op != isa.OpLda || li.Ra != isa.IntReg(1) || li.Rb != isa.RZero || li.Imm != 3 {
+		t.Errorf("li expansion = %v", li)
+	}
+	// Data label used as displacement resolves to its address.
+	st := p.At(8)
+	if st.Op != isa.OpStq || isa.Addr(st.Imm) != p.DataSymbols["buf"] {
+		t.Errorf("stq buf = %v", st)
+	}
+}
+
+func TestAssembleFormats(t *testing.T) {
+	src := `
+main:   addl  r1, r2, r3
+        addl  r1, 42, r3
+        addl  r1, -1, r3
+        addl  r1, 0x10, r3
+        srl   r2, 14, r17
+        and   r17, 1, r17
+        mov   r4, r5
+        negl  r6, r7
+        bsr   ra, fn
+        br    done
+fn:     ret
+done:   jmp   (r9)
+        jsr   ra, (r9)
+        mg    r18, r5, r18, 12
+        mg    r4, -, r17, 34
+        halt
+`
+	p, err := Assemble("fmt", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in := p.At(1); !in.UseImm || in.Imm != 42 {
+		t.Errorf("imm operate: %v", in)
+	}
+	if in := p.At(2); in.Imm != -1 {
+		t.Errorf("neg imm: %v", in)
+	}
+	if in := p.At(3); in.Imm != 16 {
+		t.Errorf("hex imm: %v", in)
+	}
+	if in := p.At(6); in.Op != isa.OpBis || in.Ra != isa.IntReg(4) || in.Rb != isa.IntReg(4) || in.Rc != isa.IntReg(5) {
+		t.Errorf("mov: %v", in)
+	}
+	if in := p.At(7); in.Op != isa.OpSubl || in.Ra != isa.RZero || in.Rb != isa.IntReg(6) {
+		t.Errorf("negl: %v", in)
+	}
+	if in := p.At(8); in.Op != isa.OpBsr || in.Ra != isa.RRA || isa.PC(in.Imm) != p.Symbols["fn"] {
+		t.Errorf("bsr: %v", in)
+	}
+	if in := p.At(10); in.Op != isa.OpRet || in.Rb != isa.RRA {
+		t.Errorf("ret: %v", in)
+	}
+	if in := p.At(13); in.Op != isa.OpMG || in.MGID != 12 || in.Ra != isa.IntReg(18) || in.Rc != isa.IntReg(18) {
+		t.Errorf("mg: %v", in)
+	}
+	if in := p.At(14); in.Rb != isa.RZero || in.MGID != 34 {
+		t.Errorf("mg with '-': %v", in)
+	}
+}
+
+func TestAssembleFP(t *testing.T) {
+	src := `
+main:  ldt  f1, 0(r2)
+       addt f1, f2, f3
+       mult f3, f3, f4
+       stt  f4, 8(r2)
+       halt
+`
+	p, err := Assemble("fp", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in := p.At(0); in.Ra != isa.FPReg(1) || !in.Ra.IsFP() {
+		t.Errorf("ldt: %v", in)
+	}
+	if in := p.At(1); in.Ra != isa.FPReg(1) || in.Rb != isa.FPReg(2) || in.Rc != isa.FPReg(3) {
+		t.Errorf("addt: %v", in)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"bogus r1, r2, r3", "unknown mnemonic"},
+		{"addl r1, r2", "3 operands"},
+		{"addl r1, r2, r99", "bad register"},
+		{"bne r1, nowhere", "undefined label"},
+		{"l: addl r1,r2,r3\nl: halt", "duplicate label"},
+		{".data\naddl r1, r2, r3", "instruction in .data"},
+		{".word 5", "outside .data"},
+		{"ldq r1, r2", "bad memory operand"},
+		{".frobnicate 7", "unknown directive"},
+	}
+	for _, c := range cases {
+		_, err := Assemble("e", c.src)
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("src %q: err=%v, want fragment %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestLabelOnOwnLine(t *testing.T) {
+	p, err := Assemble("lbl", "main:\nl1:\nl2: halt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Symbols["main"] != 0 || p.Symbols["l1"] != 0 || p.Symbols["l2"] != 0 {
+		t.Errorf("labels: %v", p.Symbols)
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	p, err := Assemble("rt", loopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := isa.Disassemble(p)
+	for _, frag := range []string{"addq r3,r4,r3", "subl r1,1,r1", "bne r1,@3", "halt"} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("disassembly missing %q:\n%s", frag, text)
+		}
+	}
+}

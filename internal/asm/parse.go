@@ -1,0 +1,286 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"minigraph/internal/isa"
+)
+
+// parseInst parses one instruction line into one or more proto-instructions
+// (pseudo-ops may expand).
+func (a *assembler) parseInst(ln int, line string) ([]protoInst, error) {
+	var mn, rest string
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mn, rest = line[:i], strings.TrimSpace(line[i+1:])
+	} else {
+		mn = line
+	}
+	ops := splitOperands(rest)
+
+	// Pseudo-instructions.
+	switch mn {
+	case "li": // li rd, imm|sym
+		if len(ops) != 2 {
+			return nil, &Error{ln, "li needs 2 operands"}
+		}
+		rd, ok := parseReg(ops[0])
+		if !ok {
+			return nil, &Error{ln, "bad register " + ops[0]}
+		}
+		imm, sym, err := a.parseImmOrSym(ops[1])
+		if err != nil {
+			return nil, &Error{ln, err.Error()}
+		}
+		return []protoInst{{line: ln, inst: isa.Inst{Op: isa.OpLda, Ra: rd, Rb: isa.RZero, Imm: imm}, dsym: sym}}, nil
+	case "mov": // mov ra, rc
+		if len(ops) != 2 {
+			return nil, &Error{ln, "mov needs 2 operands"}
+		}
+		ra, ok1 := parseReg(ops[0])
+		rc, ok2 := parseReg(ops[1])
+		if !ok1 || !ok2 {
+			return nil, &Error{ln, "bad register"}
+		}
+		if ra.IsFP() != rc.IsFP() {
+			return nil, &Error{ln, "mov across register files"}
+		}
+		if ra.IsFP() {
+			return []protoInst{{line: ln, inst: isa.Inst{Op: isa.OpCpys, Ra: ra, Rb: ra, Rc: rc}}}, nil
+		}
+		return []protoInst{{line: ln, inst: isa.Inst{Op: isa.OpBis, Ra: ra, Rb: ra, Rc: rc}}}, nil
+	case "clr": // clr rc
+		if len(ops) != 1 {
+			return nil, &Error{ln, "clr needs 1 operand"}
+		}
+		rc, ok := parseReg(ops[0])
+		if !ok {
+			return nil, &Error{ln, "bad register " + ops[0]}
+		}
+		return []protoInst{{line: ln, inst: isa.Inst{Op: isa.OpBis, Ra: isa.RZero, Rb: isa.RZero, Rc: rc}}}, nil
+	case "negl": // negl rb, rc
+		if len(ops) != 2 {
+			return nil, &Error{ln, "negl needs 2 operands"}
+		}
+		rb, ok1 := parseReg(ops[0])
+		rc, ok2 := parseReg(ops[1])
+		if !ok1 || !ok2 {
+			return nil, &Error{ln, "bad register"}
+		}
+		return []protoInst{{line: ln, inst: isa.Inst{Op: isa.OpSubl, Ra: isa.RZero, Rb: rb, Rc: rc}}}, nil
+	}
+
+	op, ok := isa.OpcodeByName(mn)
+	if !ok {
+		return nil, &Error{ln, "unknown mnemonic " + mn}
+	}
+	info := op.Info()
+	in := isa.Inst{Op: op}
+	pi := protoInst{line: ln}
+
+	switch info.Fmt {
+	case isa.FmtNone:
+		if len(ops) != 0 {
+			return nil, &Error{ln, mn + " takes no operands"}
+		}
+	case isa.FmtOperate:
+		if len(ops) != 3 {
+			return nil, &Error{ln, mn + " needs 3 operands"}
+		}
+		ra, ok := parseReg(ops[0])
+		if !ok {
+			return nil, &Error{ln, "bad register " + ops[0]}
+		}
+		in.Ra = ra
+		if rb, ok := parseReg(ops[1]); ok {
+			in.Rb = rb
+		} else {
+			imm, sym, err := a.parseImmOrSym(ops[1])
+			if err != nil {
+				return nil, &Error{ln, "bad operand " + ops[1]}
+			}
+			in.UseImm, in.Imm, pi.dsym = true, imm, sym
+		}
+		rc, ok := parseReg(ops[2])
+		if !ok {
+			return nil, &Error{ln, "bad register " + ops[2]}
+		}
+		in.Rc = rc
+	case isa.FmtMem, isa.FmtLda:
+		if len(ops) != 2 {
+			return nil, &Error{ln, mn + " needs 2 operands"}
+		}
+		ra, ok := parseReg(ops[0])
+		if !ok {
+			return nil, &Error{ln, "bad register " + ops[0]}
+		}
+		in.Ra = ra
+		disp, base, err := parseMemOperand(ops[1])
+		if err != nil {
+			return nil, &Error{ln, err.Error()}
+		}
+		rb, ok := parseReg(base)
+		if !ok {
+			return nil, &Error{ln, "bad base register " + base}
+		}
+		in.Rb = rb
+		imm, sym, err := a.parseImmOrSym(disp)
+		if err != nil {
+			return nil, &Error{ln, "bad displacement " + disp}
+		}
+		in.Imm, pi.dsym = imm, sym
+	case isa.FmtBranch:
+		switch {
+		case info.Conditional:
+			if len(ops) != 2 {
+				return nil, &Error{ln, mn + " needs 2 operands"}
+			}
+			ra, ok := parseReg(ops[0])
+			if !ok {
+				return nil, &Error{ln, "bad register " + ops[0]}
+			}
+			in.Ra = ra
+			pi.tgt = ops[1]
+		case op == isa.OpBsr:
+			// bsr ra, label  (or bsr label => link in RRA)
+			if len(ops) == 2 {
+				ra, ok := parseReg(ops[0])
+				if !ok {
+					return nil, &Error{ln, "bad register " + ops[0]}
+				}
+				in.Ra = ra
+				pi.tgt = ops[1]
+			} else if len(ops) == 1 {
+				in.Ra = isa.RRA
+				pi.tgt = ops[0]
+			} else {
+				return nil, &Error{ln, "bsr needs 1 or 2 operands"}
+			}
+		default: // br
+			if len(ops) != 1 {
+				return nil, &Error{ln, "br needs 1 operand"}
+			}
+			in.Ra = isa.RZero
+			pi.tgt = ops[0]
+		}
+	case isa.FmtJump:
+		switch op {
+		case isa.OpRet:
+			in.Ra = isa.RZero
+			if len(ops) == 0 {
+				in.Rb = isa.RRA
+			} else if len(ops) == 1 {
+				rb, ok := parseReg(strings.Trim(ops[0], "()"))
+				if !ok {
+					return nil, &Error{ln, "bad register " + ops[0]}
+				}
+				in.Rb = rb
+			} else {
+				return nil, &Error{ln, "ret takes 0 or 1 operands"}
+			}
+		case isa.OpJmp:
+			if len(ops) != 1 {
+				return nil, &Error{ln, "jmp needs 1 operand"}
+			}
+			rb, ok := parseReg(strings.Trim(ops[0], "()"))
+			if !ok {
+				return nil, &Error{ln, "bad register " + ops[0]}
+			}
+			in.Ra, in.Rb = isa.RZero, rb
+		case isa.OpJsr:
+			if len(ops) != 2 {
+				return nil, &Error{ln, "jsr needs 2 operands"}
+			}
+			ra, ok := parseReg(ops[0])
+			if !ok {
+				return nil, &Error{ln, "bad register " + ops[0]}
+			}
+			rb, ok := parseReg(strings.Trim(ops[1], "()"))
+			if !ok {
+				return nil, &Error{ln, "bad register " + ops[1]}
+			}
+			in.Ra, in.Rb = ra, rb
+		}
+	case isa.FmtMG:
+		if len(ops) != 4 {
+			return nil, &Error{ln, "mg needs 4 operands"}
+		}
+		regs := make([]isa.Reg, 3)
+		for i := 0; i < 3; i++ {
+			if ops[i] == "-" {
+				regs[i] = isa.RZero
+				continue
+			}
+			r, ok := parseReg(ops[i])
+			if !ok {
+				return nil, &Error{ln, "bad register " + ops[i]}
+			}
+			regs[i] = r
+		}
+		id, err := strconv.Atoi(ops[3])
+		if err != nil {
+			return nil, &Error{ln, "bad MGID " + ops[3]}
+		}
+		in.Ra, in.Rb, in.Rc, in.MGID = regs[0], regs[1], regs[2], id
+	}
+	pi.inst = in
+	return []protoInst{pi}, nil
+}
+
+// parseMemOperand splits "disp(base)"; a missing disp means 0.
+func parseMemOperand(s string) (disp, base string, err error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return "", "", fmt.Errorf("bad memory operand %q", s)
+	}
+	disp = strings.TrimSpace(s[:open])
+	if disp == "" {
+		disp = "0"
+	}
+	base = strings.TrimSpace(s[open+1 : len(s)-1])
+	return disp, base, nil
+}
+
+func (a *assembler) pass2() (*isa.Program, error) {
+	p := &isa.Program{
+		Name:        a.name,
+		Insts:       make([]isa.Inst, 0, len(a.insts)),
+		Data:        map[isa.Addr][]byte{},
+		Symbols:     a.labels,
+		DataSymbols: a.dataLbls,
+	}
+	if len(a.data) > 0 {
+		p.Data[a.dataBase] = a.data
+	}
+	for _, pi := range a.insts {
+		in := pi.inst
+		if pi.tgt != "" {
+			pc, ok := a.labels[pi.tgt]
+			if !ok {
+				return nil, &Error{pi.line, "undefined label " + pi.tgt}
+			}
+			in.Imm = int64(pc)
+		}
+		if pi.dsym != "" {
+			addr, ok := a.dataLbls[pi.dsym]
+			if !ok {
+				if pc, ok2 := a.labels[pi.dsym]; ok2 {
+					// Text labels may be used as immediates (for jump
+					// tables); mark them so rewriters can relocate.
+					in.Imm += int64(pc)
+					in.TextRef = true
+				} else {
+					return nil, &Error{pi.line, "undefined symbol " + pi.dsym}
+				}
+			} else {
+				in.Imm += int64(addr)
+			}
+		}
+		p.Insts = append(p.Insts, in)
+	}
+	if main, ok := a.labels["main"]; ok {
+		p.Entry = main
+	}
+	return p, nil
+}

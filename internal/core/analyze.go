@@ -1,0 +1,122 @@
+package core
+
+import (
+	"minigraph/internal/isa"
+	"minigraph/internal/program"
+)
+
+// blockInfo caches the per-basic-block dataflow facts that candidate
+// legality checking needs: intra-block reaching definitions, def-use chains,
+// last definitions, and the block's live-out set.
+type blockInfo struct {
+	g     *program.CFG
+	b     *program.Block
+	insts []*isa.Inst // block-relative index -> instruction
+
+	// srcs[i] are the source registers of instruction i; defOf[i][k] is the
+	// block-relative index of the instruction whose definition reaches
+	// source k of instruction i, or -1 when the value is live-in.
+	srcs  [][]isa.Reg
+	defOf [][]int
+
+	// uses[i] lists the block-relative indices of instructions whose source
+	// values are produced by instruction i.
+	uses [][]int
+
+	// lastDef[r] is the block-relative index of the last write to r, or -1.
+	lastDef [isa.NumRegs]int
+
+	liveOut program.RegSet
+
+	// memOps lists block-relative indices of loads and stores.
+	memOps []int
+
+	// eligible[i] reports whether instruction i may join a mini-graph at
+	// all (opcode class and branch terminality).
+	eligible []bool
+
+	// adj is the undirected dataflow adjacency (over eligible instructions)
+	// used by the connected-subgraph enumerator.
+	adj [][]int
+}
+
+func analyzeBlock(g *program.CFG, lv *program.Liveness, b *program.Block) *blockInfo {
+	n := b.Len()
+	bi := &blockInfo{
+		g:        g,
+		b:        b,
+		insts:    make([]*isa.Inst, n),
+		srcs:     make([][]isa.Reg, n),
+		defOf:    make([][]int, n),
+		uses:     make([][]int, n),
+		eligible: make([]bool, n),
+		adj:      make([][]int, n),
+		liveOut:  lv.LiveOut[b.Index],
+	}
+	for r := range bi.lastDef {
+		bi.lastDef[r] = -1
+	}
+	var cur [isa.NumRegs]int
+	for r := range cur {
+		cur[r] = -1
+	}
+	for i := 0; i < n; i++ {
+		in := g.Prog.At(b.Start + isa.PC(i))
+		bi.insts[i] = in
+		srcs := in.Srcs()
+		bi.srcs[i] = srcs
+		defs := make([]int, len(srcs))
+		for k, r := range srcs {
+			if r.IsZero() {
+				defs[k] = -1
+				continue
+			}
+			d := cur[r]
+			defs[k] = d
+			if d >= 0 {
+				bi.uses[d] = append(bi.uses[d], i)
+			}
+		}
+		bi.defOf[i] = defs
+		if d := in.Dest(); d != isa.RNone {
+			cur[d] = i
+			bi.lastDef[d] = i
+		}
+		if in.IsMem() {
+			bi.memOps = append(bi.memOps, i)
+		}
+		// Text-reference immediates (code addresses materialised into
+		// registers) may not enter templates: MGST immediates are shared
+		// across instances and cannot be relocated when a layout-changing
+		// rewrite (compression, DISE expansion) moves the text.
+		bi.eligible[i] = in.Op.MiniGraphEligible() && !in.TextRef
+		// A control transfer is only eligible when terminal; it always sits
+		// at the block end by construction, but linking branches (bsr) were
+		// already excluded by MiniGraphEligible.
+	}
+	// Undirected dataflow adjacency between eligible instructions.
+	for i := 0; i < n; i++ {
+		if !bi.eligible[i] {
+			continue
+		}
+		for k := range bi.defOf[i] {
+			d := bi.defOf[i][k]
+			if d >= 0 && bi.eligible[d] {
+				bi.adj[i] = append(bi.adj[i], d)
+				bi.adj[d] = append(bi.adj[d], i)
+			}
+		}
+	}
+	return bi
+}
+
+// defIsLiveOutside reports whether instruction i's definition escapes the
+// block (it is the final write to its register and the register is live at
+// block exit).
+func (bi *blockInfo) defIsLiveOutside(i int) bool {
+	d := bi.insts[i].Dest()
+	if d == isa.RNone {
+		return false
+	}
+	return bi.lastDef[d] == i && bi.liveOut.Has(d)
+}

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"minigraph/internal/isa"
+)
+
+// Instance is one static occurrence of a mini-graph: a set of instructions
+// inside one basic block, plus the handle interface that replaces them.
+type Instance struct {
+	Block   int      // CFG block index
+	Members []isa.PC // absolute PCs of constituent instructions, program order
+	Anchor  isa.PC   // PC around which the graph collapses (handle position)
+
+	Tmpl *Template
+
+	// Handle interface: up to two source registers and one destination.
+	Srcs  [2]isa.Reg
+	NumIn int
+	Dest  isa.Reg // isa.RNone when the graph has no register output
+}
+
+// Size returns the constituent count.
+func (c *Instance) Size() int { return len(c.Members) }
+
+// buildInstance performs the full legality analysis of §3.1/§3.2 for the
+// member set (block-relative, sorted ascending) and constructs the template
+// and handle interface. It returns nil if the set is not a legal mini-graph.
+func buildInstance(bi *blockInfo, members []int) *Instance {
+	n := len(members)
+	if n < 2 {
+		return nil
+	}
+	isMember := make(map[int]int, n) // block index -> template position
+	for pos, m := range members {
+		if !bi.eligible[m] {
+			return nil
+		}
+		isMember[m] = pos
+	}
+
+	// Composition: at most one memory op; at most one control transfer, and
+	// it must be the final member (terminality; it is also necessarily the
+	// block terminator since blocks end at control transfers).
+	memIdx, brIdx := -1, -1
+	for pos, m := range members {
+		switch bi.insts[m].Op.Info().Class {
+		case isa.ClassLoad, isa.ClassStore:
+			if memIdx >= 0 {
+				return nil
+			}
+			memIdx = pos
+		case isa.ClassBranch:
+			if brIdx >= 0 || pos != n-1 || m != bi.b.Len()-1 {
+				return nil
+			}
+			brIdx = pos
+		}
+	}
+
+	// Connectivity over intra-member dataflow edges (union-find).
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for pos, m := range members {
+		for k := range bi.defOf[m] {
+			if d := bi.defOf[m][k]; d >= 0 {
+				if dp, ok := isMember[d]; ok {
+					parent[find(pos)] = find(dp)
+				}
+			}
+		}
+	}
+	root := find(0)
+	for i := 1; i < n; i++ {
+		if find(i) != root {
+			return nil
+		}
+	}
+
+	// Interface inputs: registers read by members whose reaching definition
+	// is outside the member set, in first-appearance order.
+	var srcs [2]isa.Reg
+	srcs[0], srcs[1] = isa.RNone, isa.RNone
+	numIn := 0
+	extIdx := func(r isa.Reg) int {
+		for i := 0; i < numIn; i++ {
+			if srcs[i] == r {
+				return i
+			}
+		}
+		if numIn >= MaxInputs {
+			return -1
+		}
+		srcs[numIn] = r
+		numIn++
+		return numIn - 1
+	}
+
+	// Interface output: at most one member definition may be externally
+	// visible (used by a non-member, or live at block exit as last def).
+	outPos := -1
+	for pos, m := range members {
+		visible := bi.defIsLiveOutside(m)
+		for _, u := range bi.uses[m] {
+			if _, ok := isMember[u]; !ok {
+				visible = true
+			}
+		}
+		if visible {
+			if outPos >= 0 {
+				return nil
+			}
+			outPos = pos
+		}
+	}
+	if outPos >= 0 {
+		switch bi.insts[members[outPos]].Op.Info().Class {
+		case isa.ClassStore, isa.ClassBranch:
+			return nil // no register result to expose
+		}
+	}
+
+	// Anchor: branch, else memory op, else last member (§3.2).
+	anchorPos := n - 1
+	if brIdx >= 0 {
+		anchorPos = brIdx
+	} else if memIdx >= 0 {
+		anchorPos = memIdx
+	}
+	anchor := members[anchorPos]
+
+	// Register interference between the members (which all move to the
+	// anchor) and the non-members they move across.
+	nonMemberWrites := func(r isa.Reg, lo, hi int) bool { // in (lo,hi)
+		for p := lo + 1; p < hi; p++ {
+			if _, ok := isMember[p]; ok {
+				continue
+			}
+			if bi.insts[p].Dest() == r {
+				return true
+			}
+		}
+		return false
+	}
+	for _, m := range members {
+		for k, r := range bi.srcs[m] {
+			if r.IsZero() {
+				continue
+			}
+			d := bi.defOf[m][k]
+			if d >= 0 {
+				if _, ok := isMember[d]; ok {
+					continue // interior edge
+				}
+			}
+			// External input read by m, reaching def d (or live-in).
+			if m < anchor && nonMemberWrites(r, m, anchor) {
+				return nil // read moves past a later write
+			}
+			if m > anchor && d > anchor {
+				return nil // read moves before its own def
+			}
+		}
+	}
+	if outPos >= 0 {
+		mOut := members[outPos]
+		dReg := bi.insts[mOut].Dest()
+		lo, hi := mOut, anchor
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if nonMemberWrites(dReg, lo, hi) {
+			return nil // WAW inversion with a non-member write
+		}
+		for _, u := range bi.uses[mOut] {
+			if _, ok := isMember[u]; ok {
+				continue
+			}
+			if u < anchor {
+				return nil // non-member reads the output before the handle writes it
+			}
+		}
+		// WAR inversion: the output write moves up to the anchor, so a
+		// non-member between the anchor and the original definition that
+		// reads the output register would now observe the new value.
+		// (Any such read necessarily reaches a definition at or before the
+		// anchor: writes inside the interval were rejected above.)
+		for p := anchor + 1; p < mOut; p++ {
+			if _, ok := isMember[p]; ok {
+				continue
+			}
+			for _, r := range bi.srcs[p] {
+				if r == dReg {
+					return nil
+				}
+			}
+		}
+	}
+
+	// Memory ordering: the member memory op moves to the anchor; it must
+	// not cross a conflicting non-member memory op (§3.2: anchors preserve
+	// load/store order; when a branch outranks the memory op for the anchor
+	// this check rejects reordering cases).
+	if memIdx >= 0 {
+		mm := members[memIdx]
+		lo, hi := mm, anchor
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		mIsStore := bi.insts[mm].Op.Info().Class == isa.ClassStore
+		for _, x := range bi.memOps {
+			if x <= lo || x >= hi {
+				continue
+			}
+			if _, ok := isMember[x]; ok {
+				continue
+			}
+			xIsStore := bi.insts[x].Op.Info().Class == isa.ClassStore
+			if mIsStore || xIsStore {
+				return nil
+			}
+		}
+	}
+
+	// Build the template.
+	tmpl := &Template{
+		OutIdx:    outPos,
+		MemIdx:    memIdx,
+		BranchIdx: brIdx,
+		Insns:     make([]TemplateInsn, n),
+	}
+	operandFor := func(m int, k int, r isa.Reg) Operand {
+		if r.IsZero() {
+			return Operand{Kind: OpndNone}
+		}
+		if d := bi.defOf[m][k]; d >= 0 {
+			if dp, ok := isMember[d]; ok {
+				return Operand{Kind: OpndInt, Idx: dp}
+			}
+		}
+		ei := extIdx(r)
+		if ei < 0 {
+			return Operand{Kind: OpndNone, Idx: -1} // too many inputs; flagged below
+		}
+		return Operand{Kind: OpndExt, Idx: ei}
+	}
+	tooManyInputs := false
+	for pos, m := range members {
+		in := bi.insts[m]
+		info := in.Op.Info()
+		ti := TemplateInsn{Op: in.Op, Imm: in.Imm}
+		k := 0
+		take := func(r isa.Reg) Operand {
+			o := operandFor(m, k, r)
+			if o.Idx == -1 && o.Kind == OpndNone && !r.IsZero() {
+				tooManyInputs = true
+			}
+			k++
+			return o
+		}
+		switch info.Fmt {
+		case isa.FmtOperate:
+			ti.A = take(in.Ra)
+			if in.UseImm {
+				ti.B = Operand{Kind: OpndImm}
+			} else {
+				ti.B = take(in.Rb)
+			}
+		case isa.FmtLda:
+			ti.A = Operand{Kind: OpndNone}
+			ti.B = take(in.Rb)
+		case isa.FmtMem:
+			if info.Class == isa.ClassStore {
+				ti.A = take(in.Ra)
+			} else {
+				ti.A = Operand{Kind: OpndNone}
+			}
+			ti.B = take(in.Rb)
+		case isa.FmtBranch:
+			ti.A = take(in.Ra)
+			ti.B = Operand{Kind: OpndNone}
+			// Branch displacement is relative to the handle PC (anchor) so
+			// that instances at different addresses coalesce.
+			ti.Imm = in.Imm - int64(bi.b.Start) - int64(anchor)
+		default:
+			return nil
+		}
+		tmpl.Insns[pos] = ti
+	}
+	if tooManyInputs {
+		return nil
+	}
+	tmpl.NumIn = numIn
+
+	c := &Instance{
+		Block:  bi.b.Index,
+		Anchor: bi.b.Start + isa.PC(anchor),
+		Tmpl:   tmpl,
+		Srcs:   srcs,
+		NumIn:  numIn,
+		Dest:   isa.RNone,
+	}
+	if outPos >= 0 {
+		c.Dest = bi.insts[members[outPos]].Dest()
+	}
+	for _, m := range members {
+		c.Members = append(c.Members, bi.b.Start+isa.PC(m))
+	}
+	return c
+}

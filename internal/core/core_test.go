@@ -1,0 +1,358 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"minigraph/internal/asm"
+	"minigraph/internal/core"
+	"minigraph/internal/emu"
+	"minigraph/internal/isa"
+	"minigraph/internal/program"
+)
+
+// figure1Left reproduces the left-hand gcc snippet of Figure 1: the shaded
+// instructions {addl, cmplt, bne} form a mini-graph with handle
+// mg r18,r5,r18 and the MGT row "addl E0,2 ; cmplt M0,E1 ; bne M1,<disp>",
+// OUT=0.
+const figure1Left = `
+        .data
+out:    .space 8
+        .text
+main:   li   r16, 20
+        li   r5, 6
+        li   r0, 3
+outer:  li   r18, 0
+        li   r7, 1
+        li   r6, 0
+body:   addl r18, 2, r18
+        lda  r6, 2(r6)
+        s8addl r7, r0, r7
+        cmplt r18, r5, r7
+        bne  r7, skip
+        addq r6, r6, r9
+skip:   stq  r18, out(zero)
+        clr  r7
+        clr  r6
+        clr  r9
+        subl r16, 1, r16
+        bne  r16, outer
+        halt
+`
+
+func analyze(t *testing.T, src string, limit int64) (*isa.Program, *program.CFG, *program.Liveness, *program.Profile) {
+	t.Helper()
+	p := asm.MustAssemble("t", src)
+	g := program.BuildCFG(p, nil)
+	lv := program.ComputeLiveness(g)
+	prof, err := emu.ProfileProgram(p, nil, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, g, lv, prof
+}
+
+func TestFigure1LeftExtraction(t *testing.T) {
+	p, g, lv, prof := analyze(t, figure1Left, 100000)
+	sel := core.Extract(g, lv, prof, core.DefaultPolicy(), 512)
+	if len(sel.Instances) == 0 {
+		t.Fatal("no mini-graphs selected")
+	}
+	// Find the instance anchored at the body's bne.
+	body := p.Symbols["body"]
+	var inst *core.Instance
+	for _, s := range sel.Instances {
+		if s.Instance.Anchor == body+4 {
+			inst = s.Instance
+		}
+	}
+	if inst == nil {
+		t.Fatalf("no instance anchored at the branch; got %+v", sel.Instances)
+	}
+	if inst.Size() != 3 {
+		t.Fatalf("size %d want 3 (addl,cmplt,bne)", inst.Size())
+	}
+	wantMembers := []isa.PC{body, body + 3, body + 4}
+	for i, pc := range inst.Members {
+		if pc != wantMembers[i] {
+			t.Errorf("member %d = %d want %d", i, pc, wantMembers[i])
+		}
+	}
+	// Handle interface: mg r18, r5, r18.
+	if inst.NumIn != 2 || inst.Srcs[0] != isa.IntReg(18) || inst.Srcs[1] != isa.IntReg(5) {
+		t.Errorf("inputs %v (n=%d), want r18,r5", inst.Srcs, inst.NumIn)
+	}
+	if inst.Dest != isa.IntReg(18) {
+		t.Errorf("dest %v want r18", inst.Dest)
+	}
+	// Template shape: addl E0,2 ; cmplt M0,E1 ; bne M1 — OUT=0.
+	tm := inst.Tmpl
+	if tm.OutIdx != 0 || tm.BranchIdx != 2 || tm.MemIdx != -1 {
+		t.Errorf("template meta: out=%d br=%d mem=%d", tm.OutIdx, tm.BranchIdx, tm.MemIdx)
+	}
+	if tm.Insns[0].Op != isa.OpAddl || tm.Insns[0].A.Kind != core.OpndExt || tm.Insns[0].A.Idx != 0 ||
+		tm.Insns[0].B.Kind != core.OpndImm || tm.Insns[0].Imm != 2 {
+		t.Errorf("insn0: %v", tm.Insns[0])
+	}
+	if tm.Insns[1].Op != isa.OpCmplt || tm.Insns[1].A.Kind != core.OpndInt || tm.Insns[1].A.Idx != 0 ||
+		tm.Insns[1].B.Kind != core.OpndExt || tm.Insns[1].B.Idx != 1 {
+		t.Errorf("insn1: %v", tm.Insns[1])
+	}
+	if tm.Insns[2].Op != isa.OpBne || tm.Insns[2].A.Kind != core.OpndInt || tm.Insns[2].A.Idx != 1 {
+		t.Errorf("insn2: %v", tm.Insns[2])
+	}
+	// Branch displacement: from the anchor to 'skip' (2 instructions ahead).
+	if tm.Insns[2].Imm != 2 {
+		t.Errorf("branch disp %d want 2", tm.Insns[2].Imm)
+	}
+	if err := tm.Validate(); err != nil {
+		t.Error(err)
+	}
+	// MGHT metadata (Figure 2, row 12): LAT=1, FU0=AP, integer graph.
+	ei := tm.Schedule(core.DefaultExecParams())
+	if ei.Lat != 1 || ei.FU0 != core.FUAP || !ei.Integer || ei.TotalLat != 3 {
+		t.Errorf("MGHT: lat=%d fu0=%v int=%v total=%d", ei.Lat, ei.FU0, ei.Integer, ei.TotalLat)
+	}
+	if tm.ExtSerial() != true {
+		t.Error("mini-graph 12 is externally serial (E1 feeds insn 1)")
+	}
+	if !tm.SerialChain() {
+		t.Error("mini-graph 12 is a serial chain")
+	}
+}
+
+// figure1Right reproduces the right-hand snippet: {ldq, srl, and} collapse
+// around the load with the bis in between left alone; the MGT row is
+// "ldq 16(E0) ; srl M0,14 ; and M1,1", OUT=2 (Figure 2, row 34).
+const figure1Right = `
+        .data
+src:    .word 81920
+buf:    .space 32
+        .text
+main:   li   r19, 10
+        lda  r4, src-16(zero)
+loop:   li   r18, 7
+        ldq  r2, 16(r4)
+        srl  r2, 14, r17
+        bis  zero, r18, r16
+        and  r17, 1, r17
+        subl r19, 1, r19
+        bne  r19, use
+        br   use
+use:    stq  r17, buf(zero)
+        stq  r16, buf+8(zero)
+        bne  r19, loop
+        halt
+`
+
+func TestFigure1RightExtraction(t *testing.T) {
+	p, g, lv, prof := analyze(t, figure1Right, 100000)
+	sel := core.Extract(g, lv, prof, core.DefaultPolicy(), 512)
+	loop := p.Symbols["loop"]
+	ldqPC := loop + 1
+	var inst *core.Instance
+	for _, s := range sel.Instances {
+		if s.Instance.Anchor == ldqPC {
+			inst = s.Instance
+		}
+	}
+	if inst == nil {
+		t.Fatalf("no instance anchored at the load (pc=%d): %v", ldqPC, sel.Instances)
+	}
+	if inst.Size() != 3 {
+		t.Fatalf("size %d want 3 {ldq,srl,and}", inst.Size())
+	}
+	want := []isa.PC{ldqPC, ldqPC + 1, ldqPC + 3}
+	for i, pc := range inst.Members {
+		if pc != want[i] {
+			t.Errorf("member %d = %d want %d", i, pc, want[i])
+		}
+	}
+	if inst.NumIn != 1 || inst.Srcs[0] != isa.IntReg(4) {
+		t.Errorf("inputs: %v n=%d want r4", inst.Srcs, inst.NumIn)
+	}
+	if inst.Dest != isa.IntReg(17) {
+		t.Errorf("dest %v want r17", inst.Dest)
+	}
+	tm := inst.Tmpl
+	if tm.OutIdx != 2 || tm.MemIdx != 0 || tm.BranchIdx != -1 {
+		t.Errorf("meta out=%d mem=%d br=%d; want 2,0,-1", tm.OutIdx, tm.MemIdx, tm.BranchIdx)
+	}
+	// MGHT row 34: LAT=4 with a 2-cycle load (offsets 0,2,3; out at 3+1).
+	ei := tm.Schedule(core.DefaultExecParams())
+	if ei.Lat != 4 || ei.FU0 != core.FULoad || ei.Integer {
+		t.Errorf("MGHT: lat=%d fu0=%v int=%v", ei.Lat, ei.FU0, ei.Integer)
+	}
+	if ei.Offset[0] != 0 || ei.Offset[1] != 2 || ei.Offset[2] != 3 {
+		t.Errorf("MGST banks: %v want [0 2 3]", ei.Offset)
+	}
+	// AP-mode FUBMP: single AP entry at cycle 2 (the paper's alternative
+	// template "LD ... FUBMP -:AP:-").
+	if ei.FUBmp[2] != core.FUAP {
+		t.Errorf("FUBmp[2]=%v want AP (%v)", ei.FUBmp[2], ei.FUBmp)
+	}
+	if ei.FUBmp[3] != core.FUNone {
+		t.Errorf("FUBmp[3]=%v want none (AP carries the contiguous run)", ei.FUBmp[3])
+	}
+	// ALU-mode FUBMP: ALUs at cycles 2 and 3 (the paper's first template).
+	ei2 := tm.Schedule(core.ExecParams{LoadLat: 2, UseAP: false})
+	if ei2.FUBmp[2] != core.FUALU || ei2.FUBmp[3] != core.FUALU {
+		t.Errorf("ALU FUBmp: %v", ei2.FUBmp)
+	}
+	if !tm.InteriorLoad() {
+		t.Error("load at position 0 of 3 is interior (replay-vulnerable)")
+	}
+	if tm.ExtSerial() {
+		t.Error("graph 34 is not externally serial (single input feeds insn 0)")
+	}
+}
+
+func TestCollapsingSchedule(t *testing.T) {
+	// Integer chain of 4: plain offsets 0..3, collapsed pairs -> 2 cycles.
+	tm := &core.Template{
+		Insns: []core.TemplateInsn{
+			{Op: isa.OpAddl, A: core.Operand{Kind: core.OpndExt}, B: core.Operand{Kind: core.OpndImm}, Imm: 1},
+			{Op: isa.OpAddl, A: core.Operand{Kind: core.OpndInt, Idx: 0}, B: core.Operand{Kind: core.OpndImm}, Imm: 1},
+			{Op: isa.OpAddl, A: core.Operand{Kind: core.OpndInt, Idx: 1}, B: core.Operand{Kind: core.OpndImm}, Imm: 1},
+			{Op: isa.OpAddl, A: core.Operand{Kind: core.OpndInt, Idx: 2}, B: core.Operand{Kind: core.OpndImm}, Imm: 1},
+		},
+		NumIn: 1, OutIdx: 3, MemIdx: -1, BranchIdx: -1,
+	}
+	plain := tm.Schedule(core.ExecParams{LoadLat: 2, UseAP: true})
+	if plain.TotalLat != 4 || plain.Lat != 4 {
+		t.Errorf("plain: total=%d lat=%d", plain.TotalLat, plain.Lat)
+	}
+	col := tm.Schedule(core.ExecParams{LoadLat: 2, UseAP: true, Collapse: true})
+	if col.TotalLat != 2 || col.Lat != 2 {
+		t.Errorf("collapsed: total=%d lat=%d (want 2,2)", col.TotalLat, col.Lat)
+	}
+	// Two-instruction graphs execute in one cycle when collapsing (§6.2).
+	tm2 := &core.Template{
+		Insns: tm.Insns[:2],
+		NumIn: 1, OutIdx: 1, MemIdx: -1, BranchIdx: -1,
+	}
+	col2 := tm2.Schedule(core.ExecParams{LoadLat: 2, UseAP: true, Collapse: true})
+	if col2.TotalLat != 1 {
+		t.Errorf("2-insn collapsed total=%d want 1", col2.TotalLat)
+	}
+}
+
+func TestSelectionRespectsMGTLimit(t *testing.T) {
+	_, g, lv, prof := analyze(t, figure1Left, 100000)
+	sel := core.Extract(g, lv, prof, core.DefaultPolicy(), 1)
+	if len(sel.Templates) > 1 {
+		t.Errorf("MGT limit violated: %d templates", len(sel.Templates))
+	}
+}
+
+func TestSelectionNoOverlap(t *testing.T) {
+	_, g, lv, prof := analyze(t, figure1Left+figure1RightTail, 100000)
+	sel := core.Extract(g, lv, prof, core.DefaultPolicy(), 512)
+	seen := map[isa.PC]bool{}
+	for _, s := range sel.Instances {
+		for _, pc := range s.Instance.Members {
+			if seen[pc] {
+				t.Fatalf("instruction %d in two mini-graphs", pc)
+			}
+			seen[pc] = true
+		}
+	}
+}
+
+// figure1RightTail is appendable extra code to grow the candidate space.
+const figure1RightTail = `
+extra:  addl r20, 1, r20
+        cmplt r20, r21, r22
+        bne  r22, extra
+        halt
+`
+
+func TestPolicyFilters(t *testing.T) {
+	_, g, lv, prof := analyze(t, figure1Left, 100000)
+	noExt := core.DefaultPolicy()
+	noExt.AllowExtSerial = false
+	sel := core.Extract(g, lv, prof, noExt, 512)
+	for _, s := range sel.Instances {
+		if s.Instance.Tmpl.ExtSerial() {
+			t.Errorf("externally serial graph selected under NoExtSerial: %v", s.Instance.Tmpl)
+		}
+	}
+
+	intOnly := core.IntegerPolicy()
+	_, g2, lv2, prof2 := analyze(t, figure1Right, 100000)
+	sel2 := core.Extract(g2, lv2, prof2, intOnly, 512)
+	for _, s := range sel2.Instances {
+		if !s.Instance.Tmpl.IsInteger() {
+			t.Errorf("memory graph selected under integer policy: %v", s.Instance.Tmpl)
+		}
+	}
+
+	noIL := core.DefaultPolicy()
+	noIL.AllowInteriorLoad = false
+	sel3 := core.Extract(g2, lv2, prof2, noIL, 512)
+	for _, s := range sel3.Instances {
+		if s.Instance.Tmpl.InteriorLoad() {
+			t.Errorf("interior-load graph selected under NoInteriorLoad: %v", s.Instance.Tmpl)
+		}
+	}
+
+	small := core.DefaultPolicy()
+	small.MaxSize = 2
+	sel4 := core.Extract(g, lv, prof, small, 512)
+	for _, s := range sel4.Instances {
+		if s.Instance.Size() > 2 {
+			t.Errorf("size-%d graph under MaxSize=2", s.Instance.Size())
+		}
+	}
+}
+
+func TestCoverageMonotoneInMGTSize(t *testing.T) {
+	_, g, lv, prof := analyze(t, figure1Left+figure1RightTail, 100000)
+	prev := -1.0
+	for _, entries := range []int{1, 2, 4, 512} {
+		sel := core.Extract(g, lv, prof, core.DefaultPolicy(), entries)
+		cov := sel.Coverage()
+		if cov < prev-1e-12 {
+			t.Errorf("coverage decreased at %d entries: %f < %f", entries, cov, prev)
+		}
+		prev = cov
+	}
+}
+
+func TestTemplateValidateRejectsBadShapes(t *testing.T) {
+	ext0 := core.Operand{Kind: core.OpndExt, Idx: 0}
+	imm := core.Operand{Kind: core.OpndImm}
+	add := core.TemplateInsn{Op: isa.OpAddl, A: ext0, B: imm, Imm: 1}
+	ld := core.TemplateInsn{Op: isa.OpLdq, B: ext0, Imm: 0}
+	br := core.TemplateInsn{Op: isa.OpBne, A: core.Operand{Kind: core.OpndInt, Idx: 0}}
+	cases := []struct {
+		name string
+		t    core.Template
+	}{
+		{"too small", core.Template{Insns: []core.TemplateInsn{add}, NumIn: 1, OutIdx: 0, MemIdx: -1, BranchIdx: -1}},
+		{"two loads", core.Template{Insns: []core.TemplateInsn{ld, ld}, NumIn: 1, OutIdx: 1, MemIdx: 0, BranchIdx: -1}},
+		{"nonterminal branch", core.Template{Insns: []core.TemplateInsn{br, add}, NumIn: 1, OutIdx: 1, MemIdx: -1, BranchIdx: 0}},
+		{"forward M ref", core.Template{Insns: []core.TemplateInsn{{Op: isa.OpAddl, A: core.Operand{Kind: core.OpndInt, Idx: 1}, B: imm}, add}, NumIn: 1, OutIdx: 1, MemIdx: -1, BranchIdx: -1}},
+		{"E out of range", core.Template{Insns: []core.TemplateInsn{{Op: isa.OpAddl, A: core.Operand{Kind: core.OpndExt, Idx: 1}, B: imm}, add}, NumIn: 1, OutIdx: 1, MemIdx: -1, BranchIdx: -1}},
+		{"fp op", core.Template{Insns: []core.TemplateInsn{{Op: isa.OpAddt, A: ext0, B: ext0}, add}, NumIn: 1, OutIdx: 1, MemIdx: -1, BranchIdx: -1}},
+		{"out names store", core.Template{Insns: []core.TemplateInsn{add, {Op: isa.OpStq, A: core.Operand{Kind: core.OpndInt, Idx: 0}, B: ext0}}, NumIn: 1, OutIdx: 1, MemIdx: 1, BranchIdx: -1}},
+	}
+	for _, c := range cases {
+		if err := c.t.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestMGTDump(t *testing.T) {
+	_, g, lv, prof := analyze(t, figure1Left, 100000)
+	sel := core.Extract(g, lv, prof, core.DefaultPolicy(), 512)
+	mgt := core.NewMGT(sel.Templates, core.DefaultExecParams())
+	dump := mgt.Dump()
+	if !strings.Contains(dump, "LAT=") || !strings.Contains(dump, "addl") {
+		t.Errorf("dump missing content:\n%s", dump)
+	}
+	if mgt.Template(-1) != nil || mgt.Template(mgt.Len()) != nil {
+		t.Error("out-of-range MGID should miss")
+	}
+}

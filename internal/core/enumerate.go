@@ -1,0 +1,197 @@
+package core
+
+import (
+	"minigraph/internal/isa"
+	"minigraph/internal/program"
+)
+
+// Policy configures which candidate mini-graphs are admissible. The zero
+// value is useless; start from DefaultPolicy.
+type Policy struct {
+	// MaxSize bounds constituents per mini-graph (paper default: 4;
+	// Figure 5 sweeps 2,3,4,8).
+	MaxSize int
+	// AllowMem admits loads and stores (integer-memory mini-graphs). When
+	// false only integer mini-graphs are enumerated.
+	AllowMem bool
+	// AllowExtSerial admits graphs whose interface inputs feed instructions
+	// other than the first (vulnerable to external serialization, §6.2).
+	AllowExtSerial bool
+	// AllowIntParallel admits graphs that are not pure serial dependence
+	// chains (vulnerable to internal serialization, §6.2).
+	AllowIntParallel bool
+	// AllowInteriorLoad admits graphs whose load is not the final
+	// instruction (vulnerable to full-graph cache-miss replay, §6.2).
+	AllowInteriorLoad bool
+	// MaxCandidatesPerBlock caps the enumerator per basic block as a
+	// safety valve for pathologically large blocks.
+	MaxCandidatesPerBlock int
+}
+
+// DefaultPolicy matches the paper's main configuration: integer-memory
+// mini-graphs of up to 4 instructions, with no serialization restrictions.
+func DefaultPolicy() Policy {
+	return Policy{
+		MaxSize:               4,
+		AllowMem:              true,
+		AllowExtSerial:        true,
+		AllowIntParallel:      true,
+		AllowInteriorLoad:     true,
+		MaxCandidatesPerBlock: 4096,
+	}
+}
+
+// IntegerPolicy is DefaultPolicy restricted to integer mini-graphs.
+func IntegerPolicy() Policy {
+	p := DefaultPolicy()
+	p.AllowMem = false
+	return p
+}
+
+// admits applies the policy's per-candidate filters.
+func (p Policy) admits(c *Instance) bool {
+	t := c.Tmpl
+	if t.Size() > p.MaxSize {
+		return false
+	}
+	if !p.AllowMem && t.MemIdx >= 0 {
+		return false
+	}
+	if !p.AllowExtSerial && t.ExtSerial() {
+		return false
+	}
+	if !p.AllowIntParallel && !t.SerialChain() {
+		return false
+	}
+	if !p.AllowInteriorLoad && t.InteriorLoad() {
+		return false
+	}
+	return true
+}
+
+// EnumerateBlock lists every legal mini-graph instance within the block,
+// subject to the policy. Enumeration uses the ESU connected-subgraph
+// algorithm over the block's dataflow graph: each connected vertex set of
+// size 2..MaxSize is visited exactly once, then checked for full legality.
+func EnumerateBlock(bi *blockInfo, pol Policy) []*Instance {
+	var out []*Instance
+	n := bi.b.Len()
+	inSet := make([]bool, n)
+	var set []int
+	budget := pol.MaxCandidatesPerBlock
+
+	memCount := func(s []int) int {
+		c := 0
+		for _, m := range s {
+			if bi.insts[m].IsMem() {
+				c++
+			}
+		}
+		return c
+	}
+
+	var extend func(v int, ext []int)
+	extend = func(v int, ext []int) {
+		if budget <= 0 {
+			return
+		}
+		if len(set) >= 2 {
+			// Emit the current set (a connected subgraph).
+			members := append([]int(nil), set...)
+			sortInts(members)
+			if c := buildInstance(bi, members); c != nil && pol.admits(c) {
+				out = append(out, c)
+				budget--
+			}
+		}
+		if len(set) >= pol.MaxSize {
+			return
+		}
+		for i := 0; i < len(ext); i++ {
+			u := ext[i]
+			if !pol.AllowMem && bi.insts[u].IsMem() {
+				continue
+			}
+			// Monotone prune: adding a second memory op can never become
+			// legal again.
+			if bi.insts[u].IsMem() && memCount(set) >= 1 {
+				continue
+			}
+			set = append(set, u)
+			inSet[u] = true
+			// New extension: remaining ext beyond u plus u's unseen
+			// neighbours greater than the root v.
+			next := append([]int(nil), ext[i+1:]...)
+			for _, w := range bi.adj[u] {
+				if w > v && !inSet[w] && !contains(next, w) && !contains(ext[:i+1], w) {
+					next = append(next, w)
+				}
+			}
+			extend(v, next)
+			inSet[u] = false
+			set = set[:len(set)-1]
+		}
+	}
+
+	for v := 0; v < n; v++ {
+		if !bi.eligible[v] || budget <= 0 {
+			continue
+		}
+		if !pol.AllowMem && bi.insts[v].IsMem() {
+			continue
+		}
+		var ext []int
+		for _, w := range bi.adj[v] {
+			if w > v && !contains(ext, w) {
+				ext = append(ext, w)
+			}
+		}
+		set = append(set[:0], v)
+		inSet[v] = true
+		extend(v, ext)
+		inSet[v] = false
+	}
+	return out
+}
+
+func contains(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Enumerate lists every legal candidate instance in the whole program.
+func Enumerate(g *program.CFG, lv *program.Liveness, pol Policy) []*Instance {
+	var out []*Instance
+	for _, b := range g.Blocks {
+		if b.Len() < 2 {
+			continue
+		}
+		if hasHandle(g.Prog, b) {
+			continue // never re-extract over an already rewritten region
+		}
+		bi := analyzeBlock(g, lv, b)
+		out = append(out, EnumerateBlock(bi, pol)...)
+	}
+	return out
+}
+
+func hasHandle(p *isa.Program, b *program.Block) bool {
+	for pc := b.Start; pc < b.End; pc++ {
+		if p.At(pc).Op == isa.OpMG {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+
+	"minigraph/internal/isa"
+)
+
+// MemAccess is the memory interface a template needs to execute. Both the
+// functional emulator's memory and test doubles satisfy it.
+type MemAccess interface {
+	Read(a isa.Addr, size int) uint64
+	Write(a isa.Addr, size int, v uint64)
+}
+
+// ExecResult reports the architectural effects of executing one mini-graph.
+type ExecResult struct {
+	Out    uint64 // interface output value (valid if template has OutIdx>=0)
+	HasOut bool
+
+	EA       isa.Addr // effective address of the single memory op
+	MemSize  int
+	IsLoad   bool
+	IsStore  bool
+	StoreVal uint64
+
+	HasBranch  bool
+	Taken      bool
+	BranchDisp int64 // taken-target displacement relative to the handle PC
+}
+
+// Exec interprets the template on interface inputs e0, e1 with memory mem,
+// returning all architectural effects. It is the reference semantics of the
+// MGST sequencer: one constituent at a time, interior values flowing through
+// the template's M<j> operands (the bypass network).
+func (t *Template) Exec(e0, e1 uint64, mem MemAccess) ExecResult {
+	var res ExecResult
+	vals := make([]uint64, len(t.Insns))
+	ext := [2]uint64{e0, e1}
+	read := func(ti *TemplateInsn, o Operand) uint64 {
+		switch o.Kind {
+		case OpndExt:
+			return ext[o.Idx]
+		case OpndInt:
+			return vals[o.Idx]
+		case OpndImm:
+			return uint64(ti.Imm)
+		}
+		return 0
+	}
+	for i := range t.Insns {
+		ti := &t.Insns[i]
+		info := ti.Op.Info()
+		switch info.Class {
+		case isa.ClassIntALU:
+			if info.Fmt == isa.FmtLda {
+				vals[i] = isa.EvalLda(ti.Op, read(ti, ti.B), ti.Imm)
+			} else {
+				vals[i] = isa.EvalOp(ti.Op, read(ti, ti.A), read(ti, ti.B))
+			}
+		case isa.ClassLoad:
+			res.EA = isa.Addr(read(ti, ti.B) + uint64(ti.Imm))
+			res.MemSize = isa.MemWidth(ti.Op)
+			res.IsLoad = true
+			vals[i] = isa.LoadExtend(ti.Op, mem.Read(res.EA, res.MemSize))
+		case isa.ClassStore:
+			res.EA = isa.Addr(read(ti, ti.B) + uint64(ti.Imm))
+			res.MemSize = isa.MemWidth(ti.Op)
+			res.IsStore = true
+			res.StoreVal = read(ti, ti.A)
+			mem.Write(res.EA, res.MemSize, res.StoreVal)
+		case isa.ClassBranch:
+			res.HasBranch = true
+			res.Taken = isa.EvalBranch(ti.Op, read(ti, ti.A))
+			res.BranchDisp = ti.Imm
+		default:
+			panic(fmt.Sprintf("core: inexecutable template insn %v", ti))
+		}
+	}
+	if t.OutIdx >= 0 {
+		res.Out = vals[t.OutIdx]
+		res.HasOut = true
+	}
+	return res
+}
+
+// FU identifies a functional-unit class for MGHT scheduling metadata.
+type FU uint8
+
+// Functional-unit classes visible to the scheduler.
+const (
+	FUNone FU = iota
+	FUALU     // conventional integer ALU
+	FUAP      // ALU pipeline (single-entry single-exit ALU chain, §4.2)
+	FULoad
+	FUStore
+)
+
+func (f FU) String() string {
+	switch f {
+	case FUALU:
+		return "ALU"
+	case FUAP:
+		return "AP"
+	case FULoad:
+		return "LD"
+	case FUStore:
+		return "ST"
+	}
+	return "-"
+}
+
+// ExecParams are the machine parameters that shape a mini-graph's execution
+// schedule.
+type ExecParams struct {
+	// LoadLat is the load hit latency in cycles (MGST banks occupied by a
+	// load before the next constituent can consume its value).
+	LoadLat int
+	// Collapse enables pair-wise collapsing ALU pipelines: two dependent
+	// single-cycle integer constituents execute per cycle (§6.2,
+	// "Latency reduction and resource amplification").
+	Collapse bool
+	// UseAP schedules contiguous integer runs on ALU pipelines; when false
+	// every integer constituent reserves a conventional ALU slot.
+	UseAP bool
+}
+
+// DefaultExecParams match the paper's simulated machine.
+func DefaultExecParams() ExecParams {
+	return ExecParams{LoadLat: 2, Collapse: false, UseAP: true}
+}
+
+// ExecInfo is the MGHT row plus derived per-constituent schedule: everything
+// the scheduler and the MGST sequencers need.
+type ExecInfo struct {
+	// Lat is the interface-output latency (MGHT.LAT): cycles after issue at
+	// which the output register value is available. Zero if no output.
+	Lat int
+	// TotalLat is the cycle count from issue to completion of the final
+	// constituent (the handle's occupancy of its MGST sequencer).
+	TotalLat int
+	// FU0 is the functional unit required at issue (MGHT.FU0).
+	FU0 FU
+	// FUBmp[c] lists the functional unit reserved at cycle offset c after
+	// issue for c >= 1 (MGHT.FUBMP); FUNone means no reservation that cycle.
+	FUBmp []FU
+	// Offset[i] is the cycle offset (from issue) at which constituent i
+	// executes; this is the MGST bank assignment.
+	Offset []int
+	// MemOffset / BranchOffset are the offsets of the memory op and the
+	// terminal branch (-1 if absent).
+	MemOffset    int
+	BranchOffset int
+	// Integer reports whether the whole graph runs on a single AP.
+	Integer bool
+}
+
+// Schedule computes the MGST bank assignment and MGHT metadata for the
+// template under the given machine parameters.
+//
+// Integer mini-graphs execute entirely on an ALU pipeline: FU0=AP and no
+// further reservations (the AP is single-entry, so downstream stages are
+// structurally conflict-free). Integer-memory mini-graphs execute on a
+// combination of ports and ALUs/APs reserved via FUBMP by the
+// sliding-window scheduler (§4.3).
+func (t *Template) Schedule(p ExecParams) *ExecInfo {
+	n := len(t.Insns)
+	info := &ExecInfo{
+		Offset:       make([]int, n),
+		MemOffset:    -1,
+		BranchOffset: -1,
+		Integer:      t.IsInteger(),
+	}
+	// Assign cycle offsets bank by bank. With pair-wise collapsing, up to
+	// two consecutive single-cycle integer constituents share a bank.
+	cycle := 0
+	intInBank := 0
+	for i := range t.Insns {
+		class := t.Insns[i].Op.Info().Class
+		isInt := class == isa.ClassIntALU || class == isa.ClassBranch || class == isa.ClassStore
+		if i > 0 {
+			prevClass := t.Insns[i-1].Op.Info().Class
+			switch {
+			case prevClass == isa.ClassLoad:
+				cycle += p.LoadLat
+				intInBank = 0
+			case p.Collapse && isInt && intInBank == 1:
+				// Second integer op collapses into the current bank.
+				intInBank = 2
+			default:
+				cycle++
+				intInBank = 0
+			}
+		}
+		if p.Collapse && isInt && intInBank == 0 {
+			intInBank = 1
+		} else if !isInt {
+			intInBank = 0
+		}
+		info.Offset[i] = cycle
+		switch class {
+		case isa.ClassLoad, isa.ClassStore:
+			info.MemOffset = cycle
+		case isa.ClassBranch:
+			info.BranchOffset = cycle
+		}
+	}
+	last := n - 1
+	lastLat := 1
+	if t.Insns[last].Op.Info().Class == isa.ClassLoad {
+		lastLat = p.LoadLat
+	}
+	info.TotalLat = info.Offset[last] + lastLat
+	if t.OutIdx >= 0 {
+		outLat := 1
+		if t.Insns[t.OutIdx].Op.Info().Class == isa.ClassLoad {
+			outLat = p.LoadLat
+		}
+		info.Lat = info.Offset[t.OutIdx] + outLat
+	}
+
+	// Functional-unit reservations.
+	fuFor := func(i int) FU {
+		switch t.Insns[i].Op.Info().Class {
+		case isa.ClassLoad:
+			return FULoad
+		case isa.ClassStore:
+			return FUStore
+		default:
+			if p.UseAP {
+				return FUAP
+			}
+			return FUALU
+		}
+	}
+	if info.Integer && p.UseAP {
+		// Whole graph flows down one ALU pipeline: only the entry cycle is
+		// reserved.
+		info.FU0 = FUAP
+		info.FUBmp = make([]FU, info.TotalLat)
+		return info
+	}
+	info.FU0 = fuFor(0)
+	info.FUBmp = make([]FU, info.TotalLat)
+	for i := 1; i < n; i++ {
+		fu := fuFor(i)
+		if p.UseAP && fu == FUAP && info.Offset[i] == info.Offset[i-1]+1 && fuFor(i-1) == FUAP {
+			// Contiguous integer run already inside an AP: the pipeline
+			// carries it without a fresh entry reservation.
+			continue
+		}
+		if p.Collapse && info.Offset[i] == info.Offset[i-1] {
+			// Collapsed pair shares the bank (and the unit reservation).
+			continue
+		}
+		off := info.Offset[i]
+		if off < len(info.FUBmp) {
+			info.FUBmp[off] = fu
+		}
+	}
+	return info
+}

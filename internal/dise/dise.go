@@ -1,0 +1,258 @@
+// Package dise implements DISE (Dynamic Instruction Stream Editor, Corliss
+// et al., ISCA-30), the programmable decode-stage rewriting engine the paper
+// uses to supply application-specific mini-graphs (§5).
+//
+// A DISE production is a <pattern : replacement sequence> pair. Patterns
+// match fetched instructions (by opcode, and for codewords by MGID);
+// replacement sequences are parameterised instruction lists whose holes
+// (T.RS1, T.RS2, T.RD) fill from the matched instruction and whose interior
+// dataflow uses DISE dedicated registers ($d0, $d1).
+//
+// Mini-graph processing is an *aware* DISE utility: handles are DISE
+// codewords (the reserved mg opcode), and the mini-graph preprocessor
+// (MGPP) compiles replacement sequences into MGT templates. The mini-graph
+// tag table (MGTT) tracks which MGIDs are pre-processed and approved; an
+// approved handle stays un-expanded and executes via the MGT, while any
+// other matching instruction is expanded in-line — "a processor can always
+// expand a mini-graph it doesn't understand".
+package dise
+
+import (
+	"fmt"
+
+	"minigraph/internal/core"
+	"minigraph/internal/isa"
+)
+
+// ParamKind identifies a replacement-sequence operand hole.
+type ParamKind uint8
+
+// Parameter kinds. Reg is a concrete register; TRS1/TRS2/TRD fill from the
+// matched instruction's fields; DiseReg names a dedicated register.
+const (
+	PNone ParamKind = iota
+	PReg
+	PTRS1
+	PTRS2
+	PTRD
+	PDise
+)
+
+// Param is one operand slot of a replacement instruction.
+type Param struct {
+	Kind ParamKind
+	Reg  isa.Reg // for PReg
+	Idx  int     // for PDise: dedicated register index (0 or 1)
+}
+
+func (p Param) String() string {
+	switch p.Kind {
+	case PReg:
+		return p.Reg.String()
+	case PTRS1:
+		return "T.RS1"
+	case PTRS2:
+		return "T.RS2"
+	case PTRD:
+		return "T.RD"
+	case PDise:
+		return fmt.Sprintf("$d%d", p.Idx)
+	}
+	return "-"
+}
+
+// RInsn is one parameterised replacement instruction. Operand roles follow
+// isa.Inst (A first source / store data / branch test; B second source /
+// base; C destination). UseImm selects the literal form for operate ops.
+// For branches, Imm is a displacement relative to the matched instruction.
+type RInsn struct {
+	Op      isa.Opcode
+	A, B, C Param
+	Imm     int64
+	UseImm  bool
+}
+
+// Production is a rewriting rule.
+type Production struct {
+	// Pattern: the opcode to match; for OpMG codewords MGID selects the
+	// specific handle (an aware production). Non-MG opcodes define
+	// transparent utilities that redefine naturally occurring instructions.
+	Op   isa.Opcode
+	MGID int // only meaningful when Op == isa.OpMG
+
+	Replacement []RInsn
+}
+
+func (pr *Production) isAware() bool { return pr.Op == isa.OpMG }
+
+// resolve turns a Param into a concrete register given the matched
+// instruction.
+func (p Param) resolve(matched *isa.Inst) isa.Reg {
+	switch p.Kind {
+	case PReg:
+		return p.Reg
+	case PTRS1:
+		return matched.Ra
+	case PTRS2:
+		return matched.Rb
+	case PTRD:
+		return matched.Rc
+	case PDise:
+		return isa.DiseReg(p.Idx)
+	}
+	return isa.RNone
+}
+
+// Expand instantiates the replacement sequence for a matched instruction at
+// pc. Branch displacements resolve against pc.
+func (pr *Production) Expand(matched *isa.Inst, pc isa.PC) []isa.Inst {
+	out := make([]isa.Inst, 0, len(pr.Replacement))
+	for _, ri := range pr.Replacement {
+		in := isa.Inst{Op: ri.Op, Imm: ri.Imm, UseImm: ri.UseImm, MGID: -1}
+		info := ri.Op.Info()
+		switch info.Fmt {
+		case isa.FmtOperate:
+			in.Ra = ri.A.resolve(matched)
+			if !ri.UseImm {
+				in.Rb = ri.B.resolve(matched)
+			}
+			in.Rc = ri.C.resolve(matched)
+		case isa.FmtMem, isa.FmtLda:
+			in.Ra = ri.A.resolve(matched)
+			if info.Fmt == isa.FmtMem && info.Class == isa.ClassLoad {
+				in.Ra = ri.C.resolve(matched) // load destination
+			}
+			if info.Fmt == isa.FmtLda {
+				in.Ra = ri.C.resolve(matched)
+			}
+			in.Rb = ri.B.resolve(matched)
+		case isa.FmtBranch:
+			in.Ra = ri.A.resolve(matched)
+			in.Imm = int64(pc) + ri.Imm // relative -> absolute
+		default:
+			in.Ra = ri.A.resolve(matched)
+			in.Rb = ri.B.resolve(matched)
+			in.Rc = ri.C.resolve(matched)
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+// Compile is the MGPP: it translates a production's replacement sequence
+// into internal MGT format (a core.Template) and validates it against the
+// mini-graph structural constraints. Productions that do not satisfy
+// mini-graph criteria return an error; such productions remain usable for
+// expansion, they just never earn an MGTT "approved" bit.
+func (pr *Production) Compile() (*core.Template, error) {
+	n := len(pr.Replacement)
+	if n == 0 {
+		return nil, fmt.Errorf("dise: empty replacement sequence")
+	}
+	t := &core.Template{OutIdx: -1, MemIdx: -1, BranchIdx: -1, Insns: make([]core.TemplateInsn, n)}
+	// Interface-slot binding is positional and must match Expand exactly:
+	// T.RS1 always reads the codeword's first register field (E0) and
+	// T.RS2 the second (E1). First-appearance renumbering would make MGT
+	// execution and in-line expansion read different handle fields.
+	numIn := 0
+	ext := func(k ParamKind) (core.Operand, error) {
+		idx := 0
+		if k == PTRS2 {
+			idx = 1
+		}
+		if idx+1 > numIn {
+			numIn = idx + 1
+		}
+		return core.Operand{Kind: core.OpndExt, Idx: idx}, nil
+	}
+	// lastDef maps a written slot (T.RD or $dN) to the producing insn index.
+	lastDef := map[Param]int{}
+	defKey := func(p Param) Param { return Param{Kind: p.Kind, Idx: p.Idx} }
+
+	operand := func(p Param, i int) (core.Operand, error) {
+		switch p.Kind {
+		case PNone:
+			return core.Operand{Kind: core.OpndNone}, nil
+		case PReg:
+			if p.Reg.IsZero() {
+				return core.Operand{Kind: core.OpndNone}, nil
+			}
+			return core.Operand{}, fmt.Errorf("dise: concrete register %s cannot appear in a mini-graph production", p.Reg)
+		case PTRS1, PTRS2:
+			return ext(p.Kind)
+		case PTRD, PDise:
+			d, ok := lastDef[defKey(p)]
+			if !ok {
+				if p.Kind == PTRD {
+					return core.Operand{}, fmt.Errorf("dise: T.RD read before written")
+				}
+				return core.Operand{}, fmt.Errorf("dise: $d%d read before written", p.Idx)
+			}
+			_ = i
+			return core.Operand{Kind: core.OpndInt, Idx: d}, nil
+		}
+		return core.Operand{}, fmt.Errorf("dise: bad param")
+	}
+
+	for i, ri := range pr.Replacement {
+		info := ri.Op.Info()
+		ti := core.TemplateInsn{Op: ri.Op, Imm: ri.Imm}
+		var err error
+		switch info.Fmt {
+		case isa.FmtOperate:
+			if ti.A, err = operand(ri.A, i); err != nil {
+				return nil, err
+			}
+			if ri.UseImm {
+				ti.B = core.Operand{Kind: core.OpndImm}
+			} else if ti.B, err = operand(ri.B, i); err != nil {
+				return nil, err
+			}
+		case isa.FmtLda:
+			ti.A = core.Operand{Kind: core.OpndNone}
+			if ti.B, err = operand(ri.B, i); err != nil {
+				return nil, err
+			}
+		case isa.FmtMem:
+			if info.Class == isa.ClassStore {
+				if ti.A, err = operand(ri.A, i); err != nil {
+					return nil, err
+				}
+			} else {
+				ti.A = core.Operand{Kind: core.OpndNone}
+			}
+			if ti.B, err = operand(ri.B, i); err != nil {
+				return nil, err
+			}
+			t.MemIdx = i
+		case isa.FmtBranch:
+			if ti.A, err = operand(ri.A, i); err != nil {
+				return nil, err
+			}
+			ti.B = core.Operand{Kind: core.OpndNone}
+			t.BranchIdx = i
+		default:
+			return nil, fmt.Errorf("dise: %s not permitted in a mini-graph production", ri.Op)
+		}
+		t.Insns[i] = ti
+		// Track definitions.
+		switch info.Fmt {
+		case isa.FmtOperate, isa.FmtLda:
+			if ri.C.Kind == PTRD || ri.C.Kind == PDise {
+				lastDef[defKey(ri.C)] = i
+			}
+		case isa.FmtMem:
+			if info.Class == isa.ClassLoad && (ri.C.Kind == PTRD || ri.C.Kind == PDise) {
+				lastDef[defKey(ri.C)] = i
+			}
+		}
+	}
+	t.NumIn = numIn
+	if d, ok := lastDef[Param{Kind: PTRD}]; ok {
+		t.OutIdx = d
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,339 @@
+package dise_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"minigraph/internal/asm"
+	"minigraph/internal/core"
+	"minigraph/internal/dise"
+	"minigraph/internal/emu"
+	"minigraph/internal/isa"
+	"minigraph/internal/program"
+	"minigraph/internal/rewrite"
+)
+
+// paperSection is §5's two example productions, verbatim:
+// <addl T.RS1,2,T.RD; cmplt T.RD,T.RS2,$d0; bne $d0,0xa> and
+// <ldq $d0,16(T.RS2); srl $d0,14,$d0; and $d0,1,T.RD>.
+const paperSection = `
+.dise 12
+  addl  T.RS1, 2, T.RD
+  cmplt T.RD, T.RS2, $d0
+  bne   $d0, +10
+.end
+.dise 34
+  ldq   $d0, 16(T.RS1)
+  srl   $d0, 14, $d0
+  and   $d0, 1, T.RD
+.end
+`
+
+func TestParsePaperProductions(t *testing.T) {
+	prs, err := dise.ParseSection(paperSection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prs) != 2 {
+		t.Fatalf("got %d productions", len(prs))
+	}
+	e := dise.NewEngine()
+	for _, pr := range prs {
+		e.Register(pr)
+	}
+	for _, id := range []int{12, 34} {
+		ent := e.MGTT(id)
+		if !ent.Valid || !ent.Approved {
+			t.Errorf("MGID %d not approved: %+v", id, ent)
+		}
+	}
+	mgt := e.BuildMGT(core.DefaultExecParams())
+	// MGID 12: integer graph, OUT=0, LAT=1 (Figure 2).
+	t12 := mgt.Template(12)
+	if t12 == nil {
+		t.Fatal("MGID 12 missing from MGT")
+	}
+	if t12.OutIdx != 0 || t12.BranchIdx != 2 || !t12.IsInteger() {
+		t.Errorf("MGID 12 shape: out=%d br=%d int=%v", t12.OutIdx, t12.BranchIdx, t12.IsInteger())
+	}
+	if ei := mgt.Info(12); ei.Lat != 1 || ei.FU0 != core.FUAP {
+		t.Errorf("MGID 12 MGHT: lat=%d fu0=%v", ei.Lat, ei.FU0)
+	}
+	// MGID 34: load-headed graph, OUT=2, LAT=4 (Figure 2).
+	t34 := mgt.Template(34)
+	if t34.OutIdx != 2 || t34.MemIdx != 0 || t34.NumIn != 1 {
+		t.Errorf("MGID 34 shape: out=%d mem=%d in=%d", t34.OutIdx, t34.MemIdx, t34.NumIn)
+	}
+	if ei := mgt.Info(34); ei.Lat != 4 || ei.FU0 != core.FULoad {
+		t.Errorf("MGID 34 MGHT: lat=%d fu0=%v", ei.Lat, ei.FU0)
+	}
+}
+
+func TestSectionRoundTrip(t *testing.T) {
+	prs, err := dise.ParseSection(paperSection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := dise.FormatSection(prs)
+	prs2, err := dise.ParseSection(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if dise.FormatSection(prs2) != text {
+		t.Errorf("format/parse not stable:\n%s\nvs\n%s", text, dise.FormatSection(prs2))
+	}
+}
+
+func TestDecodeKeepsApprovedExpandsOthers(t *testing.T) {
+	prs, _ := dise.ParseSection(paperSection)
+	e := dise.NewEngine()
+	for _, pr := range prs {
+		e.Register(pr)
+	}
+	h := isa.Inst{Op: isa.OpMG, Ra: isa.IntReg(18), Rb: isa.IntReg(5), Rc: isa.IntReg(18), MGID: 12}
+	exp, keep, err := e.Decode(&h, 100)
+	if err != nil || !keep || exp != nil {
+		t.Errorf("approved codeword should be kept: %v %v %v", exp, keep, err)
+	}
+	e.Disapprove(12)
+	exp, keep, err = e.Decode(&h, 100)
+	if err != nil || keep {
+		t.Fatalf("disapproved codeword should expand: %v %v", keep, err)
+	}
+	if len(exp) != 3 {
+		t.Fatalf("expansion length %d", len(exp))
+	}
+	// addl r18,2,r18 ; cmplt r18,r5,$d0 ; bne $d0,110
+	if exp[0].Op != isa.OpAddl || exp[0].Ra != isa.IntReg(18) || exp[0].Rc != isa.IntReg(18) || !exp[0].UseImm {
+		t.Errorf("exp[0] = %v", exp[0])
+	}
+	if exp[1].Op != isa.OpCmplt || exp[1].Ra != isa.IntReg(18) || exp[1].Rb != isa.IntReg(5) || exp[1].Rc != isa.D0 {
+		t.Errorf("exp[1] = %v", exp[1])
+	}
+	if exp[2].Op != isa.OpBne || exp[2].Ra != isa.D0 || exp[2].Imm != 110 {
+		t.Errorf("exp[2] = %v", exp[2])
+	}
+	// Unknown codeword: error.
+	bad := isa.Inst{Op: isa.OpMG, MGID: 999}
+	if _, _, err := e.Decode(&bad, 0); err == nil {
+		t.Error("unknown codeword should error")
+	}
+}
+
+func TestMGPPRejectsIllegalProductions(t *testing.T) {
+	cases := []string{
+		// Two memory operations.
+		".dise 1\n ldq $d0, 0(T.RS1)\n ldq $d1, 8(T.RS2)\n addq $d0, $d1, T.RD\n.end",
+		// Non-terminal branch.
+		".dise 2\n bne T.RS1, +4\n addl T.RS1, 1, T.RD\n.end",
+		// $d read before written.
+		".dise 3\n addl $d0, 1, T.RD\n addl T.RD, 1, T.RD\n.end",
+		// Single instruction (not a graph).
+		".dise 4\n addl T.RS1, 1, T.RD\n.end",
+	}
+	for _, src := range cases {
+		prs, err := dise.ParseSection(src)
+		if err != nil {
+			t.Fatalf("%q: parse: %v", src, err)
+		}
+		e := dise.NewEngine()
+		e.Register(prs[0])
+		ent := e.MGTT(prs[0].MGID)
+		if !ent.Valid || ent.Approved {
+			t.Errorf("production %d should be valid but not approved: %+v", prs[0].MGID, ent)
+		}
+		if ent.Err == "" {
+			t.Errorf("production %d: missing rejection reason", prs[0].MGID)
+		}
+	}
+}
+
+func TestTransparentUtility(t *testing.T) {
+	// The paper's toy transparent production: after every addq, clear all
+	// but the least significant byte (a stand-in for bounds checking).
+	section := `
+.dise-op addq
+  addq T.RS1, T.RS2, T.RD
+  and  T.RD, 255, T.RD
+.end
+`
+	prs, err := dise.ParseSection(section)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := dise.NewEngine()
+	e.Register(prs[0])
+	src := `
+main:   li   r1, 1000
+        li   r2, 500
+        addq r1, r2, r3
+        halt
+`
+	p := asm.MustAssemble("t", src)
+	expanded, _, err := dise.ExpandProgram(p, e, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expanded.Len() != p.Len()+1 {
+		t.Errorf("expansion length %d want %d", expanded.Len(), p.Len()+1)
+	}
+	st, err := emu.RunToCompletion(expanded, nil, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Regs[3] != 1500&255 {
+		t.Errorf("r3 = %d want %d", st.Regs[3], 1500&255)
+	}
+}
+
+// genProgram mirrors the rewriter's random program generator (kept local to
+// avoid exporting test helpers across packages).
+func genProgram(rng *rand.Rand) string {
+	ops := []string{"addl", "subl", "addq", "xor", "and", "bis", "srl", "cmplt", "s8addl"}
+	var b strings.Builder
+	b.WriteString("        .data\nscratch: .space 512\n        .text\n")
+	b.WriteString("main:   li r16, 30\n        lda r28, scratch(zero)\n")
+	for r := 2; r <= 9; r++ {
+		b.WriteString("        li r" + itoa(r) + ", " + itoa(rng.Intn(900)) + "\n")
+	}
+	b.WriteString("outer:\n")
+	n := 8 + rng.Intn(14)
+	for i := 0; i < n; i++ {
+		reg := func() string { return "r" + itoa(2+rng.Intn(8)) }
+		switch k := rng.Intn(10); {
+		case k < 6:
+			op := ops[rng.Intn(len(ops))]
+			if rng.Intn(2) == 0 {
+				b.WriteString("        " + op + " " + reg() + ", " + itoa(rng.Intn(32)) + ", " + reg() + "\n")
+			} else {
+				b.WriteString("        " + op + " " + reg() + ", " + reg() + ", " + reg() + "\n")
+			}
+		case k < 8:
+			b.WriteString("        ldq " + reg() + ", " + itoa(8*rng.Intn(32)) + "(r28)\n")
+		default:
+			b.WriteString("        stq " + reg() + ", " + itoa(8*rng.Intn(32)) + "(r28)\n")
+		}
+	}
+	b.WriteString("        subl r16, 1, r16\n        bne r16, outer\n")
+	for r := 2; r <= 9; r++ {
+		b.WriteString("        stq r" + itoa(r) + ", " + itoa(256+8*r) + "(r28)\n")
+	}
+	b.WriteString("        halt\n")
+	return b.String()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var d []byte
+	for n > 0 {
+		d = append([]byte{byte('0' + n%10)}, d...)
+		n /= 10
+	}
+	if neg {
+		return "-" + string(d)
+	}
+	return string(d)
+}
+
+// TestExpansionEquivalence is the §5 portability property: a rewritten
+// binary whose productions are loaded into a DISE engine, then *expanded*
+// instead of executed via the MGT, computes the same result as the original.
+func TestExpansionEquivalence(t *testing.T) {
+	for seed := 0; seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		src := genProgram(rng)
+		p := asm.MustAssemble("r", src)
+		ref, err := emu.RunToCompletion(p, nil, 2_000_000)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		g := program.BuildCFG(p, nil)
+		lv := program.ComputeLiveness(g)
+		prof, err := emu.ProfileProgram(p, nil, 2_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel := core.Extract(g, lv, prof, core.DefaultPolicy(), 512)
+		if len(sel.Instances) == 0 {
+			continue
+		}
+		rw, err := rewrite.Rewrite(p, sel, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		prs, err := dise.FromSelection(rw.Templates)
+		if err != nil {
+			t.Fatalf("seed %d: FromSelection: %v", seed, err)
+		}
+		// Round-trip through the .dise section text.
+		prs2, err := dise.ParseSection(dise.FormatSection(prs))
+		if err != nil {
+			t.Fatalf("seed %d: section round trip: %v", seed, err)
+		}
+		e := dise.NewEngine()
+		for _, pr := range prs2 {
+			e.Register(pr)
+			if ent := e.MGTT(pr.MGID); !ent.Approved {
+				t.Fatalf("seed %d: extraction-derived production %d rejected: %s", seed, pr.MGID, ent.Err)
+			}
+		}
+
+		// Path A: execute handles through the engine-built MGT.
+		mgt := e.BuildMGT(core.DefaultExecParams())
+		gotMGT, err := emu.RunToCompletion(rw.Prog, mgt, 2_000_000)
+		if err != nil {
+			t.Fatalf("seed %d: MGT run: %v", seed, err)
+		}
+		if gotMGT.MemSum != ref.MemSum {
+			t.Fatalf("seed %d: MGT execution diverged", seed)
+		}
+
+		// Path B: disapprove everything and expand statically.
+		for _, pr := range prs2 {
+			e.Disapprove(pr.MGID)
+		}
+		expanded, _, err := dise.ExpandProgram(rw.Prog, e, rw.HandleTargets)
+		if err != nil {
+			t.Fatalf("seed %d: expand: %v", seed, err)
+		}
+		gotExp, err := emu.RunToCompletion(expanded, nil, 2_000_000)
+		if err != nil {
+			t.Fatalf("seed %d: expanded run faulted: %v", seed, err)
+		}
+		if gotExp.MemSum != ref.MemSum {
+			t.Fatalf("seed %d: expanded execution diverged\n%s", seed, isa.Disassemble(expanded))
+		}
+	}
+}
+
+func TestProductionFromTemplateRoundTrip(t *testing.T) {
+	prs, _ := dise.ParseSection(paperSection)
+	e := dise.NewEngine()
+	for _, pr := range prs {
+		e.Register(pr)
+	}
+	mgt := e.BuildMGT(core.DefaultExecParams())
+	for _, id := range []int{12, 34} {
+		tm := mgt.Template(id)
+		pr, err := dise.ProductionFromTemplate(id, tm)
+		if err != nil {
+			t.Fatalf("MGID %d: %v", id, err)
+		}
+		tm2, err := pr.Compile()
+		if err != nil {
+			t.Fatalf("MGID %d recompile: %v", id, err)
+		}
+		if tm.Key() != tm2.Key() {
+			t.Errorf("MGID %d: template changed across round trip:\n%s\n%s", id, tm, tm2)
+		}
+	}
+}

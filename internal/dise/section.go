@@ -1,0 +1,311 @@
+package dise
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"minigraph/internal/isa"
+)
+
+// The .dise section format is line-oriented:
+//
+//	.dise 12                      ; aware production for MGID 12
+//	  addl  T.RS1, 2, T.RD
+//	  cmplt T.RD, T.RS2, $d0
+//	  bne   $d0, +2               ; branch displacements are relative
+//	.end
+//	.dise-op addq                 ; transparent production for an opcode
+//	  addq T.RS1, T.RS2, T.RD
+//	  and  T.RD, 255, T.RD
+//	.end
+//
+// FormatSection and ParseSection round-trip this representation; the OS (or
+// a test harness) loads it into an Engine at program start, exactly as the
+// DISE design loads a ".dise" ELF section into the on-chip tables.
+
+// FormatSection renders productions as a .dise section.
+func FormatSection(prs []*Production) string {
+	var b strings.Builder
+	for _, pr := range prs {
+		if pr.isAware() {
+			fmt.Fprintf(&b, ".dise %d\n", pr.MGID)
+		} else {
+			fmt.Fprintf(&b, ".dise-op %s\n", pr.Op)
+		}
+		for _, ri := range pr.Replacement {
+			b.WriteString("  ")
+			b.WriteString(formatRInsn(&ri))
+			b.WriteString("\n")
+		}
+		b.WriteString(".end\n")
+	}
+	return b.String()
+}
+
+func formatRInsn(ri *RInsn) string {
+	info := ri.Op.Info()
+	switch info.Fmt {
+	case isa.FmtOperate:
+		second := ri.B.String()
+		if ri.UseImm {
+			second = strconv.FormatInt(ri.Imm, 10)
+		}
+		return fmt.Sprintf("%s %s, %s, %s", ri.Op, ri.A, second, ri.C)
+	case isa.FmtLda:
+		return fmt.Sprintf("%s %s, %d(%s)", ri.Op, ri.C, ri.Imm, ri.B)
+	case isa.FmtMem:
+		if info.Class == isa.ClassStore {
+			return fmt.Sprintf("%s %s, %d(%s)", ri.Op, ri.A, ri.Imm, ri.B)
+		}
+		return fmt.Sprintf("%s %s, %d(%s)", ri.Op, ri.C, ri.Imm, ri.B)
+	case isa.FmtBranch:
+		return fmt.Sprintf("%s %s, %+d", ri.Op, ri.A, ri.Imm)
+	}
+	return ri.Op.String()
+}
+
+// ParseSection parses a .dise section.
+func ParseSection(src string) ([]*Production, error) {
+	var out []*Production
+	var cur *Production
+	for ln, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, ".dise-op"):
+			name := strings.TrimSpace(strings.TrimPrefix(line, ".dise-op"))
+			op, ok := isa.OpcodeByName(name)
+			if !ok {
+				return nil, fmt.Errorf("dise: line %d: unknown opcode %q", ln+1, name)
+			}
+			cur = &Production{Op: op, MGID: -1}
+		case strings.HasPrefix(line, ".dise"):
+			idStr := strings.TrimSpace(strings.TrimPrefix(line, ".dise"))
+			id, err := strconv.Atoi(idStr)
+			if err != nil {
+				return nil, fmt.Errorf("dise: line %d: bad MGID %q", ln+1, idStr)
+			}
+			cur = &Production{Op: isa.OpMG, MGID: id}
+		case line == ".end":
+			if cur == nil {
+				return nil, fmt.Errorf("dise: line %d: .end without .dise", ln+1)
+			}
+			out = append(out, cur)
+			cur = nil
+		default:
+			if cur == nil {
+				return nil, fmt.Errorf("dise: line %d: instruction outside production", ln+1)
+			}
+			ri, err := parseRInsn(line)
+			if err != nil {
+				return nil, fmt.Errorf("dise: line %d: %w", ln+1, err)
+			}
+			cur.Replacement = append(cur.Replacement, *ri)
+		}
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("dise: unterminated production")
+	}
+	return out, nil
+}
+
+func parseParam(tok string) (Param, error) {
+	switch tok {
+	case "T.RS1":
+		return Param{Kind: PTRS1}, nil
+	case "T.RS2":
+		return Param{Kind: PTRS2}, nil
+	case "T.RD":
+		return Param{Kind: PTRD}, nil
+	case "zero":
+		return Param{Kind: PReg, Reg: isa.RZero}, nil
+	}
+	if strings.HasPrefix(tok, "$d") {
+		if n, err := strconv.Atoi(tok[2:]); err == nil && n >= 0 && n < isa.NumDiseRegs {
+			return Param{Kind: PDise, Idx: n}, nil
+		}
+	}
+	if strings.HasPrefix(tok, "r") {
+		if n, err := strconv.Atoi(tok[1:]); err == nil && n >= 0 && n < 32 {
+			return Param{Kind: PReg, Reg: isa.IntReg(n)}, nil
+		}
+	}
+	return Param{}, fmt.Errorf("bad parameter %q", tok)
+}
+
+func parseRInsn(line string) (*RInsn, error) {
+	var mn, rest string
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mn, rest = line[:i], strings.TrimSpace(line[i+1:])
+	} else {
+		mn = line
+	}
+	op, ok := isa.OpcodeByName(mn)
+	if !ok {
+		return nil, fmt.Errorf("unknown mnemonic %q", mn)
+	}
+	ops := strings.Split(rest, ",")
+	for i := range ops {
+		ops[i] = strings.TrimSpace(ops[i])
+	}
+	ri := &RInsn{Op: op}
+	info := op.Info()
+	switch info.Fmt {
+	case isa.FmtOperate:
+		if len(ops) != 3 {
+			return nil, fmt.Errorf("%s needs 3 operands", mn)
+		}
+		a, err := parseParam(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		ri.A = a
+		if v, err := strconv.ParseInt(ops[1], 0, 64); err == nil {
+			ri.UseImm, ri.Imm = true, v
+		} else {
+			b, err := parseParam(ops[1])
+			if err != nil {
+				return nil, err
+			}
+			ri.B = b
+		}
+		c, err := parseParam(ops[2])
+		if err != nil {
+			return nil, err
+		}
+		ri.C = c
+	case isa.FmtMem, isa.FmtLda:
+		if len(ops) != 2 {
+			return nil, fmt.Errorf("%s needs 2 operands", mn)
+		}
+		first, err := parseParam(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		open := strings.Index(ops[1], "(")
+		if open < 0 || !strings.HasSuffix(ops[1], ")") {
+			return nil, fmt.Errorf("bad memory operand %q", ops[1])
+		}
+		dispStr := strings.TrimSpace(ops[1][:open])
+		if dispStr == "" {
+			dispStr = "0"
+		}
+		disp, err := strconv.ParseInt(dispStr, 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad displacement %q", dispStr)
+		}
+		base, err := parseParam(strings.TrimSpace(ops[1][open+1 : len(ops[1])-1]))
+		if err != nil {
+			return nil, err
+		}
+		ri.Imm, ri.B = disp, base
+		if info.Fmt == isa.FmtLda || info.Class == isa.ClassLoad {
+			ri.C = first
+		} else {
+			ri.A = first
+		}
+	case isa.FmtBranch:
+		if len(ops) != 2 {
+			return nil, fmt.Errorf("%s needs 2 operands", mn)
+		}
+		a, err := parseParam(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		ri.A = a
+		d, err := strconv.ParseInt(ops[1], 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad displacement %q", ops[1])
+		}
+		ri.Imm = d
+	default:
+		return nil, fmt.Errorf("%s not allowed in production", mn)
+	}
+	return ri, nil
+}
+
+// ExpandProgram statically expands every handle that the engine does not
+// approve, splicing replacement sequences in-line with full PC remapping —
+// the portability path: a binary with mini-graphs runs on any DISE
+// processor even when its MGT cannot hold (or does not accept) some
+// templates. Approved handles are left in place; their branch displacements
+// are template-relative and survive the remap only if retargeted, so the
+// returned handleTargets map is rebuilt.
+func ExpandProgram(p *isa.Program, e *Engine, handleTargets map[isa.PC]isa.PC) (*isa.Program, map[isa.PC]isa.PC, error) {
+	// First pass: compute expansion sizes.
+	sizes := make([]int, p.Len())
+	for i := range p.Insts {
+		sizes[i] = 1
+		in := p.At(isa.PC(i))
+		exp, keep, err := e.Decode(in, isa.PC(i))
+		if err != nil {
+			return nil, nil, err
+		}
+		if !keep {
+			sizes[i] = len(exp)
+		}
+	}
+	newIdx := make([]isa.PC, p.Len()+1)
+	n := isa.PC(0)
+	for i := 0; i < p.Len(); i++ {
+		newIdx[i] = n
+		n += isa.PC(sizes[i])
+	}
+	newIdx[p.Len()] = n
+
+	out := &isa.Program{
+		Name:        p.Name + "+dise",
+		Data:        p.Data,
+		Entry:       newIdx[p.Entry],
+		Symbols:     make(map[string]isa.PC, len(p.Symbols)),
+		DataSymbols: p.DataSymbols,
+	}
+	for s, pc := range p.Symbols {
+		out.Symbols[s] = newIdx[pc]
+	}
+	newTargets := make(map[isa.PC]isa.PC)
+	for i := 0; i < p.Len(); i++ {
+		in := *p.At(isa.PC(i))
+		exp, keep, _ := e.Decode(&in, isa.PC(i))
+		if keep {
+			if in.Op.Info().Fmt == isa.FmtBranch {
+				in.Imm = int64(newIdx[in.Imm])
+			}
+			if in.TextRef && in.Imm >= 0 && in.Imm <= int64(p.Len()) {
+				in.Imm = int64(newIdx[in.Imm])
+			}
+			if in.Op == isa.OpMG {
+				if t, ok := handleTargets[isa.PC(i)]; ok {
+					// The stored displacement is handle-relative; keep the
+					// displacement consistent under the new layout by
+					// retargeting impossible — approved templates are
+					// shared, so expansion-induced layout changes between a
+					// handle and its target would corrupt them. Reject.
+					oldDisp := int64(t) - int64(i)
+					newDisp := int64(newIdx[t]) - int64(newIdx[i])
+					if oldDisp != newDisp {
+						return nil, nil, fmt.Errorf("dise: expansion between handle %d and its target changes displacement", i)
+					}
+					newTargets[newIdx[i]] = newIdx[t]
+				}
+			}
+			out.Insts = append(out.Insts, in)
+			continue
+		}
+		for _, x := range exp {
+			if x.Op.Info().Fmt == isa.FmtBranch {
+				// Expansion resolved the displacement against the original
+				// pc; remap the absolute target.
+				x.Imm = int64(newIdx[x.Imm])
+			}
+			out.Insts = append(out.Insts, x)
+		}
+	}
+	return out, newTargets, nil
+}

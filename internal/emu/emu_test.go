@@ -1,0 +1,297 @@
+package emu_test
+
+import (
+	"testing"
+
+	"minigraph/internal/asm"
+	"minigraph/internal/core"
+	"minigraph/internal/emu"
+	"minigraph/internal/isa"
+)
+
+const sumSrc = `
+        .data
+table:  .word 1, 2, 3, 4, 5, 6, 7, 8
+out:    .space 8
+        .text
+main:   li    r1, 8
+        lda   r2, table(zero)
+        clr   r3
+loop:   ldq   r4, 0(r2)
+        addq  r3, r4, r3
+        lda   r2, 8(r2)
+        subl  r1, 1, r1
+        bne   r1, loop
+        stq   r3, out(zero)
+        halt
+`
+
+func TestRunSumLoop(t *testing.T) {
+	p := asm.MustAssemble("sum", sumSrc)
+	m := emu.NewMachine(p, nil)
+	halted, err := m.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !halted {
+		t.Fatal("did not halt")
+	}
+	if got := m.Regs[3]; got != 36 {
+		t.Errorf("r3 = %d want 36", got)
+	}
+	if got := m.Mem.Read(p.DataSymbols["out"], 8); got != 36 {
+		t.Errorf("out = %d want 36", got)
+	}
+	// 3 setup + 8 halted... 8 iterations x 5 + store + halt = 3+40+2 = 45
+	if m.InstCount != 45 {
+		t.Errorf("inst count = %d want 45", m.InstCount)
+	}
+}
+
+func TestProfileCounts(t *testing.T) {
+	p := asm.MustAssemble("sum", sumSrc)
+	prof, err := emu.ProfileProgram(p, nil, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := p.Symbols["loop"]
+	if prof.PCCount[loop] != 8 {
+		t.Errorf("loop body executed %d times, want 8", prof.PCCount[loop])
+	}
+	if prof.PCCount[p.Entry] != 1 {
+		t.Errorf("entry executed %d times, want 1", prof.PCCount[p.Entry])
+	}
+	if prof.DynInsts != 45 {
+		t.Errorf("dyn insts = %d want 45", prof.DynInsts)
+	}
+}
+
+func TestMemoryReadWrite(t *testing.T) {
+	m := emu.NewMemory()
+	m.Write(100, 8, 0x1122334455667788)
+	if got := m.Read(100, 8); got != 0x1122334455667788 {
+		t.Errorf("read8 = %#x", got)
+	}
+	if got := m.Read(100, 4); got != 0x55667788 {
+		t.Errorf("read4 = %#x", got)
+	}
+	if got := m.Read(104, 4); got != 0x11223344 {
+		t.Errorf("read4 high = %#x", got)
+	}
+	if got := m.Read(100, 1); got != 0x88 {
+		t.Errorf("read1 = %#x", got)
+	}
+	// Page-crossing access.
+	base := isa.Addr(4096 - 3)
+	m.Write(base, 8, 0xaabbccddeeff0011)
+	if got := m.Read(base, 8); got != 0xaabbccddeeff0011 {
+		t.Errorf("cross-page read = %#x", got)
+	}
+	// Untouched memory reads zero.
+	if got := m.Read(999999, 8); got != 0 {
+		t.Errorf("untouched = %#x", got)
+	}
+}
+
+func TestMemoryChecksumDeterministic(t *testing.T) {
+	m1, m2 := emu.NewMemory(), emu.NewMemory()
+	for i := 0; i < 100; i++ {
+		m1.Write(isa.Addr(i*4096), 8, uint64(i))
+		m2.Write(isa.Addr((99-i)*4096), 8, uint64(99-i))
+	}
+	if m1.Checksum() != m2.Checksum() {
+		t.Error("checksum depends on write order")
+	}
+	m2.Write(0, 1, 77)
+	if m1.Checksum() == m2.Checksum() {
+		t.Error("checksum did not change after write")
+	}
+}
+
+func TestStreamDeliversInOrder(t *testing.T) {
+	p := asm.MustAssemble("sum", sumSrc)
+	s := emu.NewStream(emu.NewMachine(p, nil), 64, 0)
+	var seqs []int64
+	for {
+		r, ok := s.Next()
+		if !ok {
+			break
+		}
+		seqs = append(seqs, r.Seq)
+	}
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+	if len(seqs) != 45 {
+		t.Fatalf("stream length %d want 45", len(seqs))
+	}
+	for i, q := range seqs {
+		if int64(i) != q {
+			t.Fatalf("out of order at %d: %d", i, q)
+		}
+	}
+	if !s.Exhausted() {
+		t.Error("not exhausted")
+	}
+}
+
+func TestStreamRewind(t *testing.T) {
+	p := asm.MustAssemble("sum", sumSrc)
+	s := emu.NewStream(emu.NewMachine(p, nil), 64, 0)
+	var first [10]emu.Record
+	for i := 0; i < 10; i++ {
+		r, ok := s.Next()
+		if !ok {
+			t.Fatal("short stream")
+		}
+		first[i] = *r
+	}
+	s.Rewind(4)
+	for i := 4; i < 10; i++ {
+		r, ok := s.Next()
+		if !ok {
+			t.Fatal("short stream after rewind")
+		}
+		if r.Seq != first[i].Seq || r.PC != first[i].PC {
+			t.Fatalf("replayed record %d differs: %+v vs %+v", i, r, first[i])
+		}
+	}
+}
+
+func TestStreamRewindBeyondWindowPanics(t *testing.T) {
+	p := asm.MustAssemble("sum", sumSrc)
+	s := emu.NewStream(emu.NewMachine(p, nil), 16, 0)
+	for i := 0; i < 40; i++ {
+		s.Next()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	s.Rewind(0)
+}
+
+func TestStreamLimit(t *testing.T) {
+	p := asm.MustAssemble("sum", sumSrc)
+	s := emu.NewStream(emu.NewMachine(p, nil), 64, 10)
+	n := 0
+	for {
+		_, ok := s.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 10 {
+		t.Errorf("limit: served %d want 10", n)
+	}
+}
+
+func TestHandleExecution(t *testing.T) {
+	// Handle for: addl r1,2,r1 ; cmplt r1,r2,X ; bne X,<+3>
+	tmpl := &core.Template{
+		Insns: []core.TemplateInsn{
+			{Op: isa.OpAddl, A: core.Operand{Kind: core.OpndExt, Idx: 0}, B: core.Operand{Kind: core.OpndImm}, Imm: 2},
+			{Op: isa.OpCmplt, A: core.Operand{Kind: core.OpndInt, Idx: 0}, B: core.Operand{Kind: core.OpndExt, Idx: 1}},
+			{Op: isa.OpBne, A: core.Operand{Kind: core.OpndInt, Idx: 1}, Imm: -1}, // back to handle-1
+		},
+		NumIn: 2, OutIdx: 0, MemIdx: -1, BranchIdx: 2,
+	}
+	if err := tmpl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mgt := core.NewMGT([]*core.Template{tmpl}, core.DefaultExecParams())
+	src := `
+main:   li   r1, 0
+        li   r2, 5
+back:   mg   r1, r2, r1, 0
+        halt
+`
+	p := asm.MustAssemble("h", src)
+	// Patch: handle at index 2, branch disp -1 targets "li r2,5"? We want a
+	// loop: r1 += 2 while r1 < r2, so branch back to the handle itself.
+	h := p.Symbols["back"]
+	tmpl.Insns[2].Imm = 0 // branch to self
+	m := emu.NewMachine(p, mgt)
+	halted, err := m.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !halted {
+		t.Fatal("did not halt")
+	}
+	// r1: 0 ->2->4->6 (6 !< 5 so fall through at r1=6)
+	if m.Regs[1] != 6 {
+		t.Errorf("r1 = %d want 6", m.Regs[1])
+	}
+	// Handle executed 3 times = 3 records; plus 2 li plus halt.
+	if m.InstCount != 6 {
+		t.Errorf("inst count %d want 6", m.InstCount)
+	}
+	_ = h
+}
+
+func TestHandleMemAndStore(t *testing.T) {
+	// ldq M0,16(E0); srl M0,14 -> out  (Figure 1 right-hand graph, shortened)
+	tload := &core.Template{
+		Insns: []core.TemplateInsn{
+			{Op: isa.OpLdq, B: core.Operand{Kind: core.OpndExt, Idx: 0}, Imm: 16},
+			{Op: isa.OpSrl, A: core.Operand{Kind: core.OpndInt, Idx: 0}, B: core.Operand{Kind: core.OpndImm}, Imm: 14},
+		},
+		NumIn: 1, OutIdx: 1, MemIdx: 0, BranchIdx: -1,
+	}
+	// addq E0,E1 -> M0 ; stq M0, 8(E1)
+	tstore := &core.Template{
+		Insns: []core.TemplateInsn{
+			{Op: isa.OpAddq, A: core.Operand{Kind: core.OpndExt, Idx: 0}, B: core.Operand{Kind: core.OpndExt, Idx: 1}},
+			{Op: isa.OpStq, A: core.Operand{Kind: core.OpndInt, Idx: 0}, B: core.Operand{Kind: core.OpndExt, Idx: 1}, Imm: 8},
+		},
+		NumIn: 2, OutIdx: -1, MemIdx: 1, BranchIdx: -1,
+	}
+	for _, tm := range []*core.Template{tload, tstore} {
+		if err := tm.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mgt := core.NewMGT([]*core.Template{tload, tstore}, core.DefaultExecParams())
+	src := `
+        .data
+v:      .word 0
+        .text
+main:   lda  r4, v(zero)
+        li   r5, 81920     ; 5 << 14
+        stq  r5, 16(r4)
+        mg   r4, -, r17, 0 ; r17 = mem[r4+16] >> 14 = 5
+        mg   r17, r4, -, 1 ; mem[r4+8] = r17 + r4
+        halt
+`
+	p := asm.MustAssemble("hm", src)
+	m := emu.NewMachine(p, mgt)
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[17] != 5 {
+		t.Errorf("r17 = %d want 5", m.Regs[17])
+	}
+	v := p.DataSymbols["v"]
+	if got := m.Mem.Read(v+8, 8); got != 5+uint64(v) {
+		t.Errorf("stored %d want %d", got, 5+uint64(v))
+	}
+}
+
+func TestMissingMGTEntry(t *testing.T) {
+	p := asm.MustAssemble("bad", "main: mg r1, r2, r3, 99\n halt\n")
+	m := emu.NewMachine(p, core.NewMGT(nil, core.DefaultExecParams()))
+	if _, err := m.Run(10); err == nil {
+		t.Error("expected error for missing MGT entry")
+	}
+}
+
+func TestFaultOnWildJump(t *testing.T) {
+	p := asm.MustAssemble("wild", "main: li r1, 4096\n jmp (r1)\n halt\n")
+	m := emu.NewMachine(p, nil)
+	if _, err := m.Run(10); err == nil {
+		t.Error("expected fault")
+	}
+}

@@ -1,0 +1,249 @@
+package emu
+
+import (
+	"fmt"
+
+	"minigraph/internal/core"
+	"minigraph/internal/isa"
+	"minigraph/internal/program"
+)
+
+// StackBase is the initial stack pointer value.
+const StackBase isa.Addr = 0x7ff000
+
+// Record describes one dynamic instruction: everything the timing model
+// needs (operands, resolved effective address, branch outcome) plus the
+// architectural results for equivalence checking. Handles produce a single
+// record carrying their interior memory/branch effects.
+type Record struct {
+	Seq  int64
+	PC   isa.PC
+	Op   isa.Opcode
+	Inst *isa.Inst
+
+	Srcs  [2]isa.Reg
+	NSrcs int
+	Dest  isa.Reg // isa.RNone if no register output
+
+	// Memory effects (at most one per record).
+	EA      isa.Addr
+	MemSize int
+	IsLoad  bool
+	IsStore bool
+
+	// Control effects.
+	IsCtrl     bool
+	CondBranch bool // direction is data-dependent (predictable)
+	IsCall     bool // pushes a return address (bsr/jsr)
+	IsRet      bool // returns through the RAS
+	Indirect   bool // target comes from a register (jmp/jsr/ret)
+	Taken      bool
+	NextPC     isa.PC // architecturally correct next PC
+	FallPC     isa.PC // PC+1 (fall-through / return point)
+
+	// MGID is the mini-graph table index for handles, else -1.
+	MGID int
+}
+
+// Machine is the architectural state of one running program.
+type Machine struct {
+	Prog *isa.Program
+	MGT  *core.MGT // may be nil when the program contains no handles
+
+	Regs   [isa.TotalRegs]uint64
+	PC     isa.PC
+	Mem    *Memory
+	Halted bool
+
+	InstCount int64 // dynamic records executed (handles count once)
+
+	// Profile, when non-nil, accumulates per-PC execution counts.
+	Profile *program.Profile
+}
+
+// NewMachine prepares a machine with the program's data image loaded and
+// the stack pointer initialised.
+func NewMachine(p *isa.Program, mgt *core.MGT) *Machine {
+	m := &Machine{Prog: p, MGT: mgt, Mem: NewMemory(), PC: p.Entry}
+	m.Mem.LoadImage(p.Data)
+	m.Regs[isa.RSP] = uint64(StackBase)
+	return m
+}
+
+func (m *Machine) read(r isa.Reg) uint64 {
+	if r.IsZero() || int(r) >= isa.TotalRegs {
+		return 0
+	}
+	return m.Regs[r]
+}
+
+func (m *Machine) write(r isa.Reg, v uint64) {
+	if r.IsZero() || int(r) >= isa.TotalRegs {
+		return
+	}
+	m.Regs[r] = v
+}
+
+// Step executes the instruction at PC and fills rec. It returns an error on
+// architectural faults (bad PC, missing MGT entry).
+func (m *Machine) Step(rec *Record) error {
+	if m.Halted {
+		return fmt.Errorf("emu: step after halt")
+	}
+	if int(m.PC) < 0 || int(m.PC) >= m.Prog.Len() {
+		return &FaultError{PC: m.PC, What: "instruction fetch"}
+	}
+	in := m.Prog.At(m.PC)
+	info := in.Op.Info()
+
+	*rec = Record{
+		Seq:    m.InstCount,
+		PC:     m.PC,
+		Op:     in.Op,
+		Inst:   in,
+		Dest:   in.Dest(),
+		FallPC: m.PC + 1,
+		NextPC: m.PC + 1,
+		MGID:   -1,
+	}
+	for _, r := range in.Srcs() {
+		rec.Srcs[rec.NSrcs] = r
+		rec.NSrcs++
+	}
+
+	switch info.Fmt {
+	case isa.FmtNone:
+		if in.Op == isa.OpHalt {
+			m.Halted = true
+		}
+	case isa.FmtOperate:
+		b := m.read(in.Rb)
+		if in.UseImm {
+			b = uint64(in.Imm)
+		}
+		m.write(in.Rc, isa.EvalOp(in.Op, m.read(in.Ra), b))
+	case isa.FmtLda:
+		m.write(in.Ra, isa.EvalLda(in.Op, m.read(in.Rb), in.Imm))
+	case isa.FmtMem:
+		ea := isa.Addr(m.read(in.Rb) + uint64(in.Imm))
+		size := isa.MemWidth(in.Op)
+		rec.EA, rec.MemSize = ea, size
+		if info.Class == isa.ClassLoad {
+			rec.IsLoad = true
+			m.write(in.Ra, isa.LoadExtend(in.Op, m.Mem.Read(ea, size)))
+		} else {
+			rec.IsStore = true
+			m.Mem.Write(ea, size, m.read(in.Ra))
+		}
+	case isa.FmtBranch:
+		rec.IsCtrl = true
+		rec.CondBranch = info.Conditional
+		rec.IsCall = in.Op == isa.OpBsr
+		taken := isa.EvalBranch(in.Op, m.read(in.Ra))
+		rec.Taken = taken
+		if info.WritesLink {
+			m.write(in.Ra, uint64(m.PC+1))
+		}
+		if taken {
+			rec.NextPC = isa.PC(in.Imm)
+		}
+	case isa.FmtJump:
+		rec.IsCtrl = true
+		rec.Indirect = true
+		rec.IsCall = in.Op == isa.OpJsr
+		rec.IsRet = in.Op == isa.OpRet
+		rec.Taken = true
+		target := isa.PC(m.read(in.Rb))
+		if info.WritesLink {
+			m.write(in.Ra, uint64(m.PC+1))
+		}
+		rec.NextPC = target
+	case isa.FmtMG:
+		if err := m.stepHandle(in, rec); err != nil {
+			return err
+		}
+	}
+
+	if m.Profile != nil {
+		m.Profile.PCCount[m.PC]++
+		m.Profile.DynInsts++
+	}
+	m.InstCount++
+	m.PC = rec.NextPC
+	if int(m.PC) > m.Prog.Len() {
+		return &FaultError{PC: rec.PC, What: "control transfer"}
+	}
+	return nil
+}
+
+// stepHandle executes a mini-graph handle atomically via its MGT template.
+func (m *Machine) stepHandle(in *isa.Inst, rec *Record) error {
+	if m.MGT == nil {
+		return fmt.Errorf("emu: handle at pc=%d but no MGT", m.PC)
+	}
+	t := m.MGT.Template(in.MGID)
+	if t == nil {
+		return fmt.Errorf("emu: handle at pc=%d names missing MGT entry %d", m.PC, in.MGID)
+	}
+	rec.MGID = in.MGID
+	res := t.Exec(m.read(in.Ra), m.read(in.Rb), m.Mem)
+	if res.HasOut {
+		m.write(in.Rc, res.Out)
+	} else {
+		rec.Dest = isa.RNone
+	}
+	rec.EA, rec.MemSize = res.EA, res.MemSize
+	rec.IsLoad, rec.IsStore = res.IsLoad, res.IsStore
+	if res.HasBranch {
+		rec.IsCtrl = true
+		rec.CondBranch = true // mini-graph terminal branches are conditional
+		rec.Taken = res.Taken
+		if res.Taken {
+			rec.NextPC = m.PC + isa.PC(res.BranchDisp)
+		}
+	}
+	return nil
+}
+
+// Run executes until halt or until limit dynamic records, whichever comes
+// first. It reports whether the program halted.
+func (m *Machine) Run(limit int64) (halted bool, err error) {
+	var rec Record
+	for !m.Halted && m.InstCount < limit {
+		if err := m.Step(&rec); err != nil {
+			return false, err
+		}
+	}
+	return m.Halted, nil
+}
+
+// ProfileProgram runs p to completion (bounded by limit) collecting a
+// basic-block frequency profile.
+func ProfileProgram(p *isa.Program, mgt *core.MGT, limit int64) (*program.Profile, error) {
+	m := NewMachine(p, mgt)
+	m.Profile = program.NewProfile(p.Len())
+	if _, err := m.Run(limit); err != nil {
+		return nil, err
+	}
+	return m.Profile, nil
+}
+
+// FinalState summarises architectural state for equivalence tests: integer
+// registers (minus the stack pointer, which rewriting never touches but is
+// included anyway) and the memory checksum.
+type FinalState struct {
+	Regs      [isa.TotalRegs]uint64
+	MemSum    uint64
+	InstCount int64
+	Halted    bool
+}
+
+// RunToCompletion executes and captures the final architectural state.
+func RunToCompletion(p *isa.Program, mgt *core.MGT, limit int64) (*FinalState, error) {
+	m := NewMachine(p, mgt)
+	halted, err := m.Run(limit)
+	if err != nil {
+		return nil, err
+	}
+	return &FinalState{Regs: m.Regs, MemSum: m.Mem.Checksum(), InstCount: m.InstCount, Halted: halted}, nil
+}

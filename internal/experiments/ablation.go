@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"minigraph/internal/stats"
+	"minigraph/internal/uarch"
+	"minigraph/internal/workload"
+)
+
+// Ablations quantifies the design choices the paper fixes by fiat, each as
+// one knob around the default mini-graph machine:
+//
+//   - intmem×2: issue two heterogeneous handles per cycle instead of one
+//     (§4.3 argues one is sufficient; this measures what the FUBMP
+//     cross-check complexity would buy);
+//   - 4 APs: replace all four baseline ALUs with ALU pipelines;
+//   - AP depth 8: deeper pipelines admit longer integer graphs (with
+//     MaxSize 8 selection);
+//   - MGT 128: a quarter-size table (coverage-limited selection);
+//   - no window: sliding-window scheduler disabled (integer-only
+//     selection, the configuration forced on machines without FUBMP
+//     support).
+func Ablations(o Options) (*stats.Table, error) {
+	type arm struct {
+		name    string
+		intMem  bool
+		maxSize int
+		entries int
+		mutate  func(*uarch.Config)
+	}
+	arms := []arm{
+		{"default", true, 0, 0, nil},
+		{"intmem x2", true, 0, 0, func(c *uarch.Config) { c.IntMemIssuePerCycle = 2 }},
+		{"4 APs", true, 0, 0, func(c *uarch.Config) { c.IntALUs, c.APs = 0, 4 }},
+		{"AP depth 8", true, 8, 0, func(c *uarch.Config) { c.APDepth = 8 }},
+		{"MGT 128", true, 0, 128, nil},
+		{"no window (int only)", false, 0, 0, func(c *uarch.Config) { c.IntMemIssuePerCycle = 0 }},
+	}
+	benches := o.benchSet()
+	rows := make([][]float64, len(benches))
+	err := parallelFor(len(benches), o.workers(), func(i int) error {
+		b := benches[i]
+		pr, err := prepare(b, workload.InputTrain)
+		if err != nil {
+			return err
+		}
+		base, err := simulate(uarch.Baseline(), pr.prog, nil)
+		if err != nil {
+			return err
+		}
+		vals := make([]float64, len(arms))
+		for k, a := range arms {
+			cfg := machineFor(a.intMem, false)
+			if a.mutate != nil {
+				a.mutate(&cfg)
+			}
+			cfg.Name = "ablate-" + a.name
+			maxSize := o.MaxSize
+			if a.maxSize > 0 {
+				maxSize = a.maxSize
+			}
+			entries := o.MGTEntries
+			if a.entries > 0 {
+				entries = a.entries
+			}
+			prog, mgt, _, err := pr.rewritten(policyFor(a.intMem, maxSize), entries, execParams(cfg), false)
+			if err != nil {
+				return err
+			}
+			res, err := simulate(cfg, prog, mgt)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", b.Name, a.name, err)
+			}
+			vals[k] = uarch.Speedup(base, res)
+		}
+		rows[i] = vals
+		o.logf("ablate: %s done", b.Name)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	header := []string{"bench"}
+	for _, a := range arms {
+		header = append(header, a.name)
+	}
+	t := stats.NewTable("Ablations: design-choice sensitivity (speedup vs baseline)", header...)
+	for i, b := range benches {
+		cells := []string{b.Name}
+		for _, v := range rows[i] {
+			cells = append(cells, stats.SpeedupStr(v))
+		}
+		t.AddRow(cells...)
+	}
+	for _, suite := range workload.Suites() {
+		cells := []string{"gmean:" + suite}
+		for k := range arms {
+			var xs []float64
+			for i, b := range benches {
+				if b.Suite == suite {
+					xs = append(xs, rows[i][k])
+				}
+			}
+			cells = append(cells, stats.SpeedupStr(stats.GeoMean(xs)))
+		}
+		t.AddRow(cells...)
+	}
+	return t, nil
+}

@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"fmt"
+
+	"minigraph/internal/core"
+	"minigraph/internal/stats"
+	"minigraph/internal/workload"
+)
+
+// Fig5 sizes are the paper's sweep axes.
+var (
+	fig5Entries = []int{32, 128, 512, 2048}
+	fig5Sizes   = []int{2, 3, 4, 8}
+)
+
+// CoverageCell is one Figure 5 measurement.
+type CoverageCell struct {
+	Bench    string
+	Suite    string
+	IntMem   bool
+	Entries  int
+	MaxSize  int
+	Coverage float64
+}
+
+// Fig5 reproduces Figure 5 (top and middle): application-specific integer
+// and integer-memory mini-graph coverage as a function of MGT entries and
+// maximum mini-graph size.
+func Fig5(o Options) ([]*stats.Table, []CoverageCell, error) {
+	benches := o.benchSet()
+	var mu []CoverageCell
+	type arm struct {
+		pr     *prepared
+		intMem bool
+	}
+	arms := make([]arm, 0, 2*len(benches))
+	for _, b := range benches {
+		pr, err := prepare(b, workload.InputTrain)
+		if err != nil {
+			return nil, nil, err
+		}
+		arms = append(arms, arm{pr, false}, arm{pr, true})
+	}
+	results := make([][]CoverageCell, len(arms))
+	err := parallelFor(len(arms), o.workers(), func(i int) error {
+		a := arms[i]
+		var cells []CoverageCell
+		for _, size := range fig5Sizes {
+			pol := policyFor(a.intMem, size)
+			cands := core.Enumerate(a.pr.cfg, a.pr.live, pol)
+			for _, entries := range fig5Entries {
+				sel := core.Select(a.pr.cfg, a.pr.prof, cands, entries)
+				cells = append(cells, CoverageCell{
+					Bench: a.pr.bench.Name, Suite: a.pr.bench.Suite,
+					IntMem: a.intMem, Entries: entries, MaxSize: size,
+					Coverage: sel.Coverage(),
+				})
+			}
+		}
+		results[i] = cells
+		o.logf("fig5: %s intmem=%v done", a.pr.bench.Name, a.intMem)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, cells := range results {
+		mu = append(mu, cells...)
+	}
+
+	tables := make([]*stats.Table, 0, 2)
+	for _, intMem := range []bool{false, true} {
+		kind := "integer"
+		if intMem {
+			kind = "integer-memory"
+		}
+		t := stats.NewTable(
+			fmt.Sprintf("Figure 5 (%s): coverage by MGT entries x max size", kind),
+			append([]string{"bench", "suite"}, headerCols()...)...)
+		for _, b := range benches {
+			row := []string{b.Name, b.Suite}
+			for _, size := range fig5Sizes {
+				for _, entries := range fig5Entries {
+					row = append(row, stats.Pct(findCell(mu, b.Name, intMem, entries, size)))
+				}
+			}
+			t.AddRow(row...)
+		}
+		// Suite means at the paper's headline point (512 entries, size<=4)
+		// and over the full sweep.
+		for _, suite := range workload.Suites() {
+			row := []string{"mean:" + suite, ""}
+			for _, size := range fig5Sizes {
+				for _, entries := range fig5Entries {
+					var xs []float64
+					for _, c := range mu {
+						if c.Suite == suite && c.IntMem == intMem && c.Entries == entries && c.MaxSize == size {
+							xs = append(xs, c.Coverage)
+						}
+					}
+					row = append(row, stats.Pct(stats.Mean(xs)))
+				}
+			}
+			t.AddRow(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables, mu, nil
+}
+
+func headerCols() []string {
+	var cols []string
+	for _, size := range fig5Sizes {
+		for _, entries := range fig5Entries {
+			cols = append(cols, fmt.Sprintf("s%d/e%d", size, entries))
+		}
+	}
+	return cols
+}
+
+func findCell(cells []CoverageCell, bench string, intMem bool, entries, size int) float64 {
+	for _, c := range cells {
+		if c.Bench == bench && c.IntMem == intMem && c.Entries == entries && c.MaxSize == size {
+			return c.Coverage
+		}
+	}
+	return 0
+}
+
+// Fig5Domain reproduces Figure 5 (bottom): domain-specific integer-memory
+// mini-graphs — one MGT shared by an entire suite.
+func Fig5Domain(o Options) (*stats.Table, error) {
+	t := stats.NewTable("Figure 5 (bottom): domain-specific integer-memory coverage",
+		"suite", "bench", "app-specific e512", "domain e512", "domain e2048")
+	for _, suite := range workload.Suites() {
+		benches := workload.BySuite(suite)
+		var doms []core.DomainProgram
+		var prs []*prepared
+		for _, b := range benches {
+			pr, err := prepare(b, workload.InputTrain)
+			if err != nil {
+				return nil, err
+			}
+			prs = append(prs, pr)
+			doms = append(doms, core.DomainProgram{CFG: pr.cfg, Live: pr.live, Profile: pr.prof})
+		}
+		pol := policyFor(true, o.MaxSize)
+		dom512 := core.SelectDomain(doms, pol, 512)
+		dom2048 := core.SelectDomain(doms, pol, 2048)
+		for i, pr := range prs {
+			app := core.Extract(pr.cfg, pr.live, pr.prof, pol, 512)
+			t.AddRow(suite, pr.bench.Name,
+				stats.Pct(app.Coverage()),
+				stats.Pct(dom512[i].Coverage()),
+				stats.Pct(dom2048[i].Coverage()))
+		}
+		o.logf("fig5dom: %s done", suite)
+	}
+	return t, nil
+}
+
+// Robustness reproduces the §6.1 in-text experiment: select mini-graphs
+// using the train profile, then measure the coverage those selections
+// achieve on the test input's profile.
+func Robustness(o Options) (*stats.Table, error) {
+	t := stats.NewTable("Profile robustness (select on train, measure on test)",
+		"bench", "suite", "train cov", "test cov", "relative drop")
+	var drops []float64
+	for _, b := range o.benchSet() {
+		prTrain, err := prepare(b, workload.InputTrain)
+		if err != nil {
+			return nil, err
+		}
+		prTest, err := prepare(b, workload.InputTest)
+		if err != nil {
+			return nil, err
+		}
+		pol := policyFor(true, o.MaxSize)
+		sel := core.Extract(prTrain.cfg, prTrain.live, prTrain.prof, pol, o.MGTEntries)
+		trainCov := sel.Coverage()
+		// Instances are static; re-weigh them with the test profile. The
+		// programs differ only in data, so static PCs line up.
+		var covered int64
+		for _, s := range sel.Instances {
+			blk := prTest.cfg.Blocks[s.Instance.Block]
+			covered += int64(s.Instance.Size()-1) * prTest.prof.BlockFreq(blk)
+		}
+		testCov := 0.0
+		if prTest.prof.DynInsts > 0 {
+			testCov = float64(covered) / float64(prTest.prof.DynInsts)
+		}
+		drop := 0.0
+		if trainCov > 0 {
+			drop = 1 - testCov/trainCov
+		}
+		drops = append(drops, drop)
+		t.AddRow(b.Name, b.Suite, stats.Pct(trainCov), stats.Pct(testCov), stats.Pct(drop))
+		o.logf("robust: %s done", b.Name)
+	}
+	t.AddRow("mean", "", "", "", stats.Pct(stats.Mean(drops)))
+	return t, nil
+}

@@ -1,0 +1,175 @@
+// Package experiments reproduces every figure and in-text result set from
+// the paper's evaluation (§6). Each experiment is a function that runs the
+// required simulations and returns the regenerated artifact as text tables,
+// with benchmarks and means organised as in the corresponding figure.
+//
+// Experiment index (see DESIGN.md §3):
+//
+//	config  — the machine-configuration description of §6
+//	fig5    — coverage vs MGT entries × mini-graph size (integer and
+//	          integer-memory, application-specific)
+//	fig5dom — domain-specific coverage (shared per-suite MGT)
+//	robust  — cross-input profile robustness (§6.1 in-text)
+//	fig6    — performance of int / int-mem mini-graphs, with and without
+//	          pair-wise collapsing ALU pipelines
+//	fig7    — serialization isolation (§6.2)
+//	policy  — best per-benchmark selection policy (§6.2 in-text)
+//	icache  — static compression / instruction-cache effect (§6.2 in-text)
+//	fig8reg — register-file reduction (Figure 8 top)
+//	fig8bw  — pipeline-bandwidth reduction and 2-cycle scheduler (Figure 8
+//	          bottom)
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"minigraph/internal/core"
+	"minigraph/internal/emu"
+	"minigraph/internal/isa"
+	"minigraph/internal/program"
+	"minigraph/internal/rewrite"
+	"minigraph/internal/uarch"
+	"minigraph/internal/workload"
+)
+
+// Options configure an experiment run.
+type Options struct {
+	// Benchmarks restricts the run (nil = every registered benchmark).
+	Benchmarks []string
+	// MGTEntries is the table size for performance experiments (paper: 512).
+	MGTEntries int
+	// MaxSize is the mini-graph size cap for performance experiments
+	// (paper: 4).
+	MaxSize int
+	// Parallel bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallel int
+	// Log, when non-nil, receives progress output.
+	Log io.Writer
+}
+
+// DefaultOptions match the paper's main configuration.
+func DefaultOptions() Options {
+	return Options{MGTEntries: 512, MaxSize: 4}
+}
+
+func (o *Options) workers() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o *Options) logf(format string, args ...interface{}) {
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, format+"\n", args...)
+	}
+}
+
+// benchSet resolves the benchmark selection.
+func (o *Options) benchSet() []*workload.Benchmark {
+	if len(o.Benchmarks) == 0 {
+		return workload.All()
+	}
+	var out []*workload.Benchmark
+	for _, n := range o.Benchmarks {
+		if b, ok := workload.ByName(n); ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// prepared caches one benchmark's static analysis and profile.
+type prepared struct {
+	bench *workload.Benchmark
+	prog  *isa.Program
+	cfg   *program.CFG
+	live  *program.Liveness
+	prof  *program.Profile
+}
+
+const runLimit = 4_000_000
+
+func prepare(b *workload.Benchmark, in workload.Input) (*prepared, error) {
+	p := b.Build(in)
+	g := program.BuildCFG(p, nil)
+	lv := program.ComputeLiveness(g)
+	prof, err := emu.ProfileProgram(p, nil, runLimit)
+	if err != nil {
+		return nil, fmt.Errorf("%s: profile: %w", b.Name, err)
+	}
+	return &prepared{bench: b, prog: p, cfg: g, live: lv, prof: prof}, nil
+}
+
+// rewritten extracts under pol and rewrites, returning the program and MGT.
+func (pr *prepared) rewritten(pol core.Policy, entries int, params core.ExecParams, compress bool) (*isa.Program, *core.MGT, *core.Selection, error) {
+	sel := core.Extract(pr.cfg, pr.live, pr.prof, pol, entries)
+	res, err := rewrite.Rewrite(pr.prog, sel, compress)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return res.Prog, core.NewMGT(res.Templates, params), sel, nil
+}
+
+// simulate runs one timing simulation.
+func simulate(cfg uarch.Config, prog *isa.Program, mgt *core.MGT) (*uarch.Result, error) {
+	pipe := uarch.New(cfg, prog, mgt)
+	return pipe.Run()
+}
+
+// parallelFor runs jobs with bounded concurrency, preserving error order.
+func parallelFor(n int, workers int, job func(i int) error) error {
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = job(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// suiteOrder returns a benchmark's suite rank for grouped output.
+var suiteOrder = map[string]int{
+	workload.SPECint: 0, workload.MediaBench: 1, workload.CommBench: 2, workload.MiBench: 3,
+}
+
+// policyFor builds the extraction policy for an experiment arm.
+func policyFor(intMem bool, maxSize int) core.Policy {
+	pol := core.DefaultPolicy()
+	pol.MaxSize = maxSize
+	pol.AllowMem = intMem
+	return pol
+}
+
+// machineFor builds the timing configuration for an experiment arm.
+func machineFor(intMem, collapse bool) uarch.Config {
+	cfg := uarch.MiniGraph(intMem)
+	cfg.Collapse = collapse
+	if collapse {
+		cfg.Name += "+collapse"
+	}
+	return cfg
+}
+
+// execParams derives MGT scheduling parameters matching a machine config.
+func execParams(cfg uarch.Config) core.ExecParams {
+	return core.ExecParams{LoadLat: cfg.LoadLat, Collapse: cfg.Collapse, UseAP: cfg.APs > 0}
+}

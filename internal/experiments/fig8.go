@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+
+	"minigraph/internal/stats"
+	"minigraph/internal/uarch"
+	"minigraph/internal/workload"
+)
+
+// Fig8Regs reproduces Figure 8 (top): performance with 164, 144, 124 and
+// 104 physical registers, for the plain baseline and for integer and
+// integer-memory mini-graph machines, all relative to the 164-register
+// baseline. Mini-graphs allocate no registers for interior values, so they
+// compensate for the reduction.
+func Fig8Regs(o Options) (*stats.Table, error) {
+	regSweep := []int{164, 144, 124, 104}
+	benches := o.benchSet()
+	type row struct {
+		vals map[string]float64
+	}
+	rows := make([]row, len(benches))
+	err := parallelFor(len(benches), o.workers(), func(i int) error {
+		b := benches[i]
+		pr, err := prepare(b, workload.InputTrain)
+		if err != nil {
+			return err
+		}
+		refCfg := uarch.Baseline()
+		ref, err := simulate(refCfg, pr.prog, nil)
+		if err != nil {
+			return err
+		}
+		vals := map[string]float64{}
+		for _, regs := range regSweep {
+			// Plain baseline at reduced registers.
+			cfg := uarch.Baseline()
+			cfg.PhysRegs = regs
+			cfg.Name = fmt.Sprintf("base-r%d", regs)
+			res, err := simulate(cfg, pr.prog, nil)
+			if err != nil {
+				return err
+			}
+			vals[fmt.Sprintf("base/%d", regs)] = uarch.Speedup(ref, res)
+			// Mini-graph machines at reduced registers.
+			for _, intMem := range []bool{false, true} {
+				mcfg := machineFor(intMem, false)
+				mcfg.PhysRegs = regs
+				prog, mgt, _, err := pr.rewritten(policyFor(intMem, o.MaxSize), o.MGTEntries, execParams(mcfg), false)
+				if err != nil {
+					return err
+				}
+				mres, err := simulate(mcfg, prog, mgt)
+				if err != nil {
+					return err
+				}
+				key := "int"
+				if intMem {
+					key = "intmem"
+				}
+				vals[fmt.Sprintf("%s/%d", key, regs)] = uarch.Speedup(ref, mres)
+			}
+		}
+		rows[i] = row{vals: vals}
+		o.logf("fig8reg: %s done", b.Name)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	header := []string{"bench"}
+	for _, regs := range regSweep {
+		header = append(header,
+			fmt.Sprintf("base/%d", regs), fmt.Sprintf("int/%d", regs), fmt.Sprintf("intmem/%d", regs))
+	}
+	t := stats.NewTable("Figure 8 (top): register-file reduction (relative to 164-reg baseline)", header...)
+	for i, b := range benches {
+		cells := []string{b.Name}
+		for _, regs := range regSweep {
+			for _, k := range []string{"base", "int", "intmem"} {
+				cells = append(cells, stats.SpeedupStr(rows[i].vals[fmt.Sprintf("%s/%d", k, regs)]))
+			}
+		}
+		t.AddRow(cells...)
+	}
+	for _, suite := range workload.Suites() {
+		cells := []string{"gmean:" + suite}
+		for _, regs := range regSweep {
+			for _, k := range []string{"base", "int", "intmem"} {
+				var xs []float64
+				for i, b := range benches {
+					if b.Suite == suite {
+						xs = append(xs, rows[i].vals[fmt.Sprintf("%s/%d", k, regs)])
+					}
+				}
+				cells = append(cells, stats.SpeedupStr(stats.GeoMean(xs)))
+			}
+		}
+		t.AddRow(cells...)
+	}
+	return t, nil
+}
+
+// fig8bwConfigs builds the Figure 8 (bottom) machine variants.
+func fig8bwBase(kind string) uarch.Config {
+	cfg := uarch.Baseline()
+	switch kind {
+	case "6wide":
+	case "4wide":
+		cfg.FetchWidth, cfg.RenameWidth, cfg.CommitWidth = 4, 4, 4
+		cfg.IssueWidth = 4
+		cfg.IntALUs, cfg.LoadPorts = 4, 1
+	case "4wide+6exec":
+		cfg.FetchWidth, cfg.RenameWidth, cfg.CommitWidth = 4, 4, 4
+		cfg.IssueWidth = 6
+		cfg.IntALUs, cfg.LoadPorts = 4, 2
+	case "2cycle-sched":
+		cfg.SchedCycles = 2
+	}
+	cfg.Name = "base-" + kind
+	return cfg
+}
+
+func fig8bwMG(kind string, intMem bool) uarch.Config {
+	cfg := fig8bwBase(kind)
+	cfg.IntALUs = cfg.IntALUs - 2
+	cfg.APs = 2
+	if intMem {
+		cfg.IntMemIssuePerCycle = 1
+		cfg.Name = "mg-intmem-" + kind
+	} else {
+		cfg.Name = "mg-int-" + kind
+	}
+	return cfg
+}
+
+// Fig8Bandwidth reproduces Figure 8 (bottom): 6-wide, 4-wide,
+// 4-wide-with-6-execution-units, and 2-cycle-scheduler machines, with and
+// without mini-graphs, relative to the 6-wide 1-cycle-scheduler baseline.
+func Fig8Bandwidth(o Options) (*stats.Table, error) {
+	kinds := []string{"6wide", "4wide", "4wide+6exec", "2cycle-sched"}
+	benches := o.benchSet()
+	rows := make([]map[string]float64, len(benches))
+	err := parallelFor(len(benches), o.workers(), func(i int) error {
+		b := benches[i]
+		pr, err := prepare(b, workload.InputTrain)
+		if err != nil {
+			return err
+		}
+		ref, err := simulate(uarch.Baseline(), pr.prog, nil)
+		if err != nil {
+			return err
+		}
+		vals := map[string]float64{}
+		for _, kind := range kinds {
+			base, err := simulate(fig8bwBase(kind), pr.prog, nil)
+			if err != nil {
+				return err
+			}
+			vals["base/"+kind] = uarch.Speedup(ref, base)
+			mcfg := fig8bwMG(kind, true)
+			prog, mgt, _, err := pr.rewritten(policyFor(true, o.MaxSize), o.MGTEntries, execParams(mcfg), false)
+			if err != nil {
+				return err
+			}
+			res, err := simulate(mcfg, prog, mgt)
+			if err != nil {
+				return err
+			}
+			vals["mg/"+kind] = uarch.Speedup(ref, res)
+		}
+		rows[i] = vals
+		o.logf("fig8bw: %s done", b.Name)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	header := []string{"bench"}
+	for _, kind := range kinds {
+		header = append(header, "base/"+kind, "mg/"+kind)
+	}
+	t := stats.NewTable("Figure 8 (bottom): bandwidth/scheduler reduction (relative to 6-wide baseline)", header...)
+	for i, b := range benches {
+		cells := []string{b.Name}
+		for _, kind := range kinds {
+			cells = append(cells, stats.SpeedupStr(rows[i]["base/"+kind]), stats.SpeedupStr(rows[i]["mg/"+kind]))
+		}
+		t.AddRow(cells...)
+	}
+	for _, suite := range workload.Suites() {
+		cells := []string{"gmean:" + suite}
+		for _, kind := range kinds {
+			var bs, ms []float64
+			for i, b := range benches {
+				if b.Suite == suite {
+					bs = append(bs, rows[i]["base/"+kind])
+					ms = append(ms, rows[i]["mg/"+kind])
+				}
+			}
+			cells = append(cells, stats.SpeedupStr(stats.GeoMean(bs)), stats.SpeedupStr(stats.GeoMean(ms)))
+		}
+		t.AddRow(cells...)
+	}
+	return t, nil
+}
+
+// ConfigTable renders the simulated machine description (§6).
+func ConfigTable() *stats.Table {
+	c := uarch.Baseline()
+	t := stats.NewTable("Machine configuration (paper §6)", "parameter", "value")
+	t.AddRowf("pipeline", fmt.Sprintf("%d-wide, %d-stage front end + sched/regread/exec", c.FetchWidth, c.FrontendDepth))
+	t.AddRowf("reorder buffer", c.ROBSize)
+	t.AddRowf("load/store queue", c.LSQSize)
+	t.AddRowf("issue queue", c.IQSize)
+	t.AddRowf("physical registers", fmt.Sprintf("%d (%d read / %d write ports, %d-cycle read)", c.PhysRegs, c.RFReadPorts, c.RFWritePorts, c.RegReadCycles))
+	t.AddRowf("issue composition", fmt.Sprintf("%d int, %d FP, %d load, %d store", c.IntALUs, c.FPUnits, c.LoadPorts, c.StorePorts))
+	t.AddRowf("branch predictor", "12Kb hybrid (2K bimodal + 2K gshare + 2K chooser), 2K-entry 4-way BTB, 32-entry RAS")
+	t.AddRowf("L1 I-cache", "32KB 2-way 32B 1-cycle")
+	t.AddRowf("L1 D-cache", "32KB 2-way 32B 2-cycle")
+	t.AddRowf("L2", "2MB 4-way 128B 10-cycle")
+	t.AddRowf("memory", "100 cycles + 16B bus at 1/4 frequency")
+	t.AddRowf("load scheduling", "store sets (4K SSIT / 512 LFST)")
+	t.AddRowf("mini-graph machine", "2 ALUs replaced by 2 4-stage ALU pipelines; sliding-window scheduler, 1 int-mem handle/cycle")
+	return t
+}

@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"fmt"
+
+	"minigraph/internal/core"
+	"minigraph/internal/stats"
+	"minigraph/internal/uarch"
+	"minigraph/internal/workload"
+)
+
+// PerfRow is one benchmark's Figure 6 measurements.
+type PerfRow struct {
+	Bench       string
+	Suite       string
+	BaseIPC     float64
+	Int         float64 // speedup of integer mini-graphs + ALU pipelines
+	IntCollapse float64
+	IntMem      float64 // + sliding-window scheduler
+	IntMemColl  float64
+	Coverage    float64 // int-mem coverage at the experiment point
+}
+
+// Fig6 reproduces Figure 6: mini-graph processor performance relative to
+// the 6-wide baseline, for integer and integer-memory mini-graphs, with
+// plain and pair-wise-collapsing ALU pipelines.
+func Fig6(o Options) (*stats.Table, []PerfRow, error) {
+	benches := o.benchSet()
+	rows := make([]PerfRow, len(benches))
+	err := parallelFor(len(benches), o.workers(), func(i int) error {
+		b := benches[i]
+		pr, err := prepare(b, workload.InputTrain)
+		if err != nil {
+			return err
+		}
+		base, err := simulate(uarch.Baseline(), pr.prog, nil)
+		if err != nil {
+			return fmt.Errorf("%s baseline: %w", b.Name, err)
+		}
+		row := PerfRow{Bench: b.Name, Suite: b.Suite, BaseIPC: base.IPC()}
+
+		type arm struct {
+			intMem   bool
+			collapse bool
+			out      *float64
+		}
+		arms := []arm{
+			{false, false, &row.Int},
+			{false, true, &row.IntCollapse},
+			{true, false, &row.IntMem},
+			{true, true, &row.IntMemColl},
+		}
+		for _, a := range arms {
+			cfg := machineFor(a.intMem, a.collapse)
+			prog, mgt, sel, err := pr.rewritten(policyFor(a.intMem, o.MaxSize), o.MGTEntries, execParams(cfg), false)
+			if err != nil {
+				return fmt.Errorf("%s rewrite: %w", b.Name, err)
+			}
+			res, err := simulate(cfg, prog, mgt)
+			if err != nil {
+				return fmt.Errorf("%s %s: %w", b.Name, cfg.Name, err)
+			}
+			*a.out = uarch.Speedup(base, res)
+			if a.intMem && !a.collapse {
+				row.Coverage = sel.Coverage()
+			}
+		}
+		rows[i] = row
+		o.logf("fig6: %-10s baseIPC=%.3f int=%.3f int+c=%.3f intmem=%.3f intmem+c=%.3f",
+			b.Name, row.BaseIPC, row.Int, row.IntCollapse, row.IntMem, row.IntMemColl)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	t := stats.NewTable("Figure 6: speedup over 6-wide baseline",
+		"bench", "suite", "base IPC", "int", "int+collapse", "int-mem", "int-mem+collapse", "coverage")
+	for _, r := range rows {
+		t.AddRowf(r.Bench, r.Suite, r.BaseIPC, r.Int, r.IntCollapse, r.IntMem, r.IntMemColl, stats.Pct(r.Coverage))
+	}
+	for _, suite := range workload.Suites() {
+		var a, b, c, d []float64
+		for _, r := range rows {
+			if r.Suite == suite {
+				a = append(a, r.Int)
+				b = append(b, r.IntCollapse)
+				c = append(c, r.IntMem)
+				d = append(d, r.IntMemColl)
+			}
+		}
+		t.AddRowf("gmean:"+suite, "", "", stats.GeoMean(a), stats.GeoMean(b), stats.GeoMean(c), stats.GeoMean(d), "")
+	}
+	return t, rows, nil
+}
+
+// fig7Policies are the serialization-isolation arms of Figure 7.
+type fig7Arm struct {
+	name   string
+	intMem bool
+	mut    func(*core.Policy)
+}
+
+var fig7Arms = []fig7Arm{
+	{"int", false, nil},
+	{"int -extserial", false, func(p *core.Policy) { p.AllowExtSerial = false }},
+	{"int -intserial", false, func(p *core.Policy) { p.AllowIntParallel = false }},
+	{"int -serial", false, func(p *core.Policy) { p.AllowExtSerial = false; p.AllowIntParallel = false }},
+	{"intmem", true, nil},
+	{"intmem -serial", true, func(p *core.Policy) { p.AllowExtSerial = false; p.AllowIntParallel = false }},
+	{"intmem -serial -replay", true, func(p *core.Policy) {
+		p.AllowExtSerial = false
+		p.AllowIntParallel = false
+		p.AllowInteriorLoad = false
+	}},
+}
+
+// Fig7 reproduces Figure 7: the cost of external serialization, internal
+// serialization, and load-miss replays, isolated by selection policy.
+func Fig7(o Options) (*stats.Table, map[string][]float64, error) {
+	benches := o.benchSet()
+	speedups := make(map[string][]float64)
+	t := stats.NewTable("Figure 7: serialization and replay isolation (speedup vs baseline)",
+		append([]string{"bench"}, armNames()...)...)
+	type cell struct{ bench, arm string }
+	rows := make([][]float64, len(benches))
+	err := parallelFor(len(benches), o.workers(), func(i int) error {
+		b := benches[i]
+		pr, err := prepare(b, workload.InputTrain)
+		if err != nil {
+			return err
+		}
+		base, err := simulate(uarch.Baseline(), pr.prog, nil)
+		if err != nil {
+			return err
+		}
+		vals := make([]float64, len(fig7Arms))
+		for k, arm := range fig7Arms {
+			pol := policyFor(arm.intMem, o.MaxSize)
+			if arm.mut != nil {
+				arm.mut(&pol)
+			}
+			cfg := machineFor(arm.intMem, false)
+			prog, mgt, _, err := pr.rewritten(pol, o.MGTEntries, execParams(cfg), false)
+			if err != nil {
+				return err
+			}
+			res, err := simulate(cfg, prog, mgt)
+			if err != nil {
+				return err
+			}
+			vals[k] = uarch.Speedup(base, res)
+		}
+		rows[i] = vals
+		o.logf("fig7: %s done", b.Name)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, b := range benches {
+		cells := []string{b.Name}
+		for k, v := range rows[i] {
+			cells = append(cells, stats.SpeedupStr(v))
+			speedups[fig7Arms[k].name] = append(speedups[fig7Arms[k].name], v)
+		}
+		t.AddRow(cells...)
+	}
+	return t, speedups, nil
+}
+
+func armNames() []string {
+	out := make([]string, len(fig7Arms))
+	for i, a := range fig7Arms {
+		out[i] = a.name
+	}
+	return out
+}
+
+// PolicyBest reproduces the §6.2 in-text result: applying the best
+// serialization/replay policy per benchmark raises the suite means.
+func PolicyBest(o Options) (*stats.Table, error) {
+	_, speedByArm, err := Fig7(o)
+	if err != nil {
+		return nil, err
+	}
+	benches := o.benchSet()
+	t := stats.NewTable("Best per-benchmark policy (suite gmeans)",
+		"suite", "unrestricted int-mem", "best-policy")
+	for _, suite := range workload.Suites() {
+		var unres, best []float64
+		for i, b := range benches {
+			if b.Suite != suite {
+				continue
+			}
+			u := speedByArm["intmem"][i]
+			m := u
+			for _, arm := range fig7Arms {
+				if v := speedByArm[arm.name][i]; v > m {
+					m = v
+				}
+			}
+			unres = append(unres, u)
+			best = append(best, m)
+		}
+		t.AddRowf(suite, stats.GeoMean(unres), stats.GeoMean(best))
+	}
+	return t, nil
+}
+
+// ICache reproduces the §6.2 instruction-cache experiment: compressed
+// rewriting (constituents removed, text compacted) versus nop-fill.
+func ICache(o Options) (*stats.Table, error) {
+	benches := o.benchSet()
+	t := stats.NewTable("Instruction-cache compression effect (speedup vs baseline)",
+		"bench", "suite", "nop-fill", "compressed", "delta")
+	rows := make([][2]float64, len(benches))
+	err := parallelFor(len(benches), o.workers(), func(i int) error {
+		b := benches[i]
+		pr, err := prepare(b, workload.InputTrain)
+		if err != nil {
+			return err
+		}
+		base, err := simulate(uarch.Baseline(), pr.prog, nil)
+		if err != nil {
+			return err
+		}
+		cfg := machineFor(true, false)
+		for k, compress := range []bool{false, true} {
+			prog, mgt, _, err := pr.rewritten(policyFor(true, o.MaxSize), o.MGTEntries, execParams(cfg), compress)
+			if err != nil {
+				return err
+			}
+			res, err := simulate(cfg, prog, mgt)
+			if err != nil {
+				return err
+			}
+			rows[i][k] = uarch.Speedup(base, res)
+		}
+		o.logf("icache: %s done", b.Name)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		t.AddRowf(b.Name, b.Suite, rows[i][0], rows[i][1], rows[i][1]-rows[i][0])
+	}
+	for _, suite := range workload.Suites() {
+		var nf, cp []float64
+		for i, b := range benches {
+			if b.Suite == suite {
+				nf = append(nf, rows[i][0])
+				cp = append(cp, rows[i][1])
+			}
+		}
+		t.AddRowf("gmean:"+suite, "", stats.GeoMean(nf), stats.GeoMean(cp), stats.GeoMean(cp)-stats.GeoMean(nf))
+	}
+	return t, nil
+}

@@ -1,0 +1,268 @@
+// Package isa defines the Alpha-flavoured RISC instruction set used
+// throughout the mini-graph toolchain and simulator.
+//
+// The ISA mirrors the structural properties the mini-graph work depends on:
+// every instruction has at most two register inputs and one register output,
+// at most one memory reference, and at most one control transfer. Integer
+// register 31 and floating-point register 63 read as zero and ignore writes
+// (the Alpha r31/f31 convention). A reserved opcode, OpMG, encodes a
+// mini-graph handle: a quasi-instruction whose immediate field (MGID) names a
+// template in the mini-graph table.
+package isa
+
+import "fmt"
+
+// Reg names an architectural register. Integer registers are R0..R30 plus
+// the hardwired zero register R31; floating-point registers are F0..F30 plus
+// the hardwired zero F31.
+type Reg uint8
+
+// Register-space constants.
+const (
+	// NumIntRegs is the number of architectural integer registers.
+	NumIntRegs = 32
+	// NumFPRegs is the number of architectural floating-point registers.
+	NumFPRegs = 32
+	// NumRegs is the total architectural register count (int + FP).
+	NumRegs = NumIntRegs + NumFPRegs
+
+	// RZero is the integer zero register (Alpha r31).
+	RZero Reg = 31
+	// FZero is the floating-point zero register (Alpha f31), in the unified
+	// register-name space.
+	FZero Reg = 63
+
+	// RSP is the conventional stack-pointer register (Alpha r30).
+	RSP Reg = 30
+	// RRA is the conventional return-address register (Alpha r26).
+	RRA Reg = 26
+	// RGP is the conventional global/data-pointer register (Alpha r29).
+	RGP Reg = 29
+	// RNone marks "no register" in slots that may be empty.
+	RNone Reg = 255
+
+	// DISE dedicated registers (§5): a small register set visible only to
+	// DISE replacement sequences, used for mini-graph interior dataflow in
+	// expanded (fallback) execution. They are not architectural: programs
+	// cannot name them, and liveness/profiling never see them. Eight
+	// dedicated registers cover the worst case (a size-8 mini-graph has at
+	// most 7 live interior values).
+	D0 Reg = 64
+	D1 Reg = 65
+
+	// NumDiseRegs is the dedicated register count.
+	NumDiseRegs = 8
+
+	// TotalRegs is the register-file size including DISE dedicated
+	// registers (the renamer and emulator size their tables with this).
+	TotalRegs = NumRegs + NumDiseRegs
+)
+
+// DiseReg returns the i-th DISE dedicated register.
+func DiseReg(i int) Reg { return Reg(NumRegs + i) }
+
+// IntReg returns the unified register name for integer register i.
+func IntReg(i int) Reg { return Reg(i) }
+
+// FPReg returns the unified register name for floating-point register i.
+func FPReg(i int) Reg { return Reg(NumIntRegs + i) }
+
+// IsFP reports whether r names a floating-point register.
+func (r Reg) IsFP() bool { return r >= NumIntRegs && r < NumRegs }
+
+// IsZero reports whether r is a hardwired zero register (or RNone).
+func (r Reg) IsZero() bool { return r == RZero || r == FZero || r == RNone }
+
+// Valid reports whether r names an actual architectural register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// IsDISE reports whether r is a DISE dedicated register.
+func (r Reg) IsDISE() bool { return r >= NumRegs && r < TotalRegs }
+
+// String renders the register in Alpha-style assembly syntax.
+func (r Reg) String() string {
+	switch {
+	case r == RNone:
+		return "-"
+	case r == RZero:
+		return "zero"
+	case r.IsDISE():
+		return fmt.Sprintf("$d%d", int(r)-NumRegs)
+	case r.IsFP():
+		return fmt.Sprintf("f%d", int(r)-NumIntRegs)
+	case r.Valid():
+		return fmt.Sprintf("r%d", int(r))
+	default:
+		return fmt.Sprintf("?reg%d", int(r))
+	}
+}
+
+// Addr is a byte address in the simulated flat address space.
+type Addr uint64
+
+// PC identifies a static instruction by its index in the program text.
+// The corresponding byte address (for instruction-cache purposes) is 4*PC.
+type PC int
+
+// ByteAddr returns the instruction-memory byte address of pc.
+func (p PC) ByteAddr() Addr { return Addr(p) * 4 }
+
+// Inst is one machine instruction.
+//
+// Operand conventions follow the Alpha formats:
+//
+//   - Operate format (ALU): Rc ← Ra op (Rb | Imm); UseImm selects the
+//     literal form.
+//   - Memory format: loads Ra ← Mem[Rb+Imm]; stores Mem[Rb+Imm] ← Ra.
+//     Lda is memory-format address arithmetic (Ra ← Rb+Imm).
+//   - Branch format: conditional branches test Ra against zero and jump to
+//     Imm (an absolute instruction index, resolved by the assembler);
+//     Br/Bsr write the return PC into Ra.
+//   - Jump format: Jmp/Jsr/Ret jump through Rb, writing the return PC to Ra.
+//   - MG format: a mini-graph handle `mg Ra,Rb,Rc,MGID`: up to two interface
+//     inputs (Ra, Rb), one interface output (Rc) and the mini-graph table
+//     index in MGID.
+type Inst struct {
+	Op     Opcode
+	Ra     Reg   // first source (or load dest / store data / branch test)
+	Rb     Reg   // second source (or memory base / jump target register)
+	Rc     Reg   // destination for operate-format and MG instructions
+	Imm    int64 // immediate, displacement, or resolved branch target index
+	UseImm bool  // operate format: second operand is Imm rather than Rb
+	MGID   int   // mini-graph table index for OpMG handles
+	// TextRef marks an immediate that resolved from a text label (a code
+	// address materialised into a register, e.g. for a jump table). Layout-
+	// changing rewriters must relocate such immediates.
+	TextRef bool
+}
+
+// Srcs returns the architectural source registers of the instruction.
+// Hardwired zero registers are included (they are real operands that read
+// zero); RNone slots are omitted.
+func (in *Inst) Srcs() []Reg {
+	var s [2]Reg
+	n := 0
+	add := func(r Reg) {
+		if r != RNone {
+			s[n] = r
+			n++
+		}
+	}
+	info := in.Op.Info()
+	switch info.Fmt {
+	case FmtOperate:
+		add(in.Ra)
+		if !in.UseImm {
+			add(in.Rb)
+		}
+	case FmtMem:
+		if info.Class == ClassStore {
+			add(in.Ra) // store data
+		}
+		add(in.Rb) // base
+	case FmtLda:
+		add(in.Rb)
+	case FmtBranch:
+		if info.Conditional {
+			add(in.Ra)
+		}
+	case FmtJump:
+		add(in.Rb)
+	case FmtMG:
+		add(in.Ra)
+		add(in.Rb)
+	}
+	return s[:n]
+}
+
+// Dest returns the architectural destination register, or RNone if the
+// instruction writes no register (stores, conditional branches, nop, halt).
+// Writes to hardwired zero registers are reported as RNone: they have no
+// architectural effect and the pipeline allocates no storage for them.
+func (in *Inst) Dest() Reg {
+	var d Reg
+	info := in.Op.Info()
+	switch info.Fmt {
+	case FmtOperate:
+		d = in.Rc
+	case FmtMem:
+		if info.Class == ClassLoad {
+			d = in.Ra
+		} else {
+			d = RNone
+		}
+	case FmtLda:
+		d = in.Ra
+	case FmtBranch, FmtJump:
+		if info.WritesLink {
+			d = in.Ra
+		} else {
+			d = RNone
+		}
+	case FmtMG:
+		d = in.Rc
+	default:
+		d = RNone
+	}
+	if d.IsZero() {
+		return RNone
+	}
+	return d
+}
+
+// IsMem reports whether the instruction is a load or a store.
+func (in *Inst) IsMem() bool {
+	c := in.Op.Info().Class
+	return c == ClassLoad || c == ClassStore
+}
+
+// IsCtrl reports whether the instruction is any control transfer.
+func (in *Inst) IsCtrl() bool { return in.Op.Info().Fmt == FmtBranch || in.Op.Info().Fmt == FmtJump }
+
+// Program is a fully resolved unit of execution: straight-line instruction
+// text plus an initial data image and the entry point.
+type Program struct {
+	Name  string
+	Insts []Inst
+	// Data maps byte addresses to initial memory contents.
+	Data map[Addr][]byte
+	// Entry is the instruction index where execution starts.
+	Entry PC
+	// Symbols maps label names to instruction indices (text labels) for
+	// diagnostics and tests.
+	Symbols map[string]PC
+	// DataSymbols maps label names to data addresses.
+	DataSymbols map[string]Addr
+}
+
+// Clone returns a deep copy of the program; rewriters mutate clones so the
+// original remains usable as a baseline.
+func (p *Program) Clone() *Program {
+	q := &Program{
+		Name:        p.Name,
+		Insts:       append([]Inst(nil), p.Insts...),
+		Data:        make(map[Addr][]byte, len(p.Data)),
+		Entry:       p.Entry,
+		Symbols:     make(map[string]PC, len(p.Symbols)),
+		DataSymbols: make(map[string]Addr, len(p.DataSymbols)),
+	}
+	for a, b := range p.Data {
+		q.Data[a] = append([]byte(nil), b...)
+	}
+	for s, pc := range p.Symbols {
+		q.Symbols[s] = pc
+	}
+	for s, a := range p.DataSymbols {
+		q.DataSymbols[s] = a
+	}
+	return q
+}
+
+// At returns the instruction at pc. It panics if pc is out of range, which
+// always indicates a toolchain bug rather than a user error.
+func (p *Program) At(pc PC) *Inst {
+	return &p.Insts[pc]
+}
+
+// Len returns the number of static instructions.
+func (p *Program) Len() int { return len(p.Insts) }

@@ -1,0 +1,222 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpTableComplete(t *testing.T) {
+	for i := 0; i < NumOpcodes; i++ {
+		op := Opcode(i)
+		info := op.Info()
+		if info.Name == "" {
+			t.Errorf("opcode %d has no table entry", i)
+		}
+		if info.Latency <= 0 {
+			t.Errorf("opcode %s has non-positive latency %d", info.Name, info.Latency)
+		}
+	}
+}
+
+func TestOpcodeByName(t *testing.T) {
+	for i := 0; i < NumOpcodes; i++ {
+		op := Opcode(i)
+		got, ok := OpcodeByName(op.Info().Name)
+		if !ok || got != op {
+			t.Errorf("OpcodeByName(%q) = %v,%v want %v", op.Info().Name, got, ok, op)
+		}
+	}
+	if op, ok := OpcodeByName("or"); !ok || op != OpBis {
+		t.Errorf("alias or: got %v,%v", op, ok)
+	}
+	if _, ok := OpcodeByName("bogus"); ok {
+		t.Error("bogus resolved")
+	}
+}
+
+func TestRegString(t *testing.T) {
+	cases := map[Reg]string{
+		IntReg(0):  "r0",
+		IntReg(30): "r30",
+		RZero:      "zero",
+		FPReg(0):   "f0",
+		FPReg(30):  "f30",
+		RNone:      "-",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("Reg(%d).String() = %q want %q", r, got, want)
+		}
+	}
+}
+
+func TestEvalOpBasics(t *testing.T) {
+	cases := []struct {
+		op   Opcode
+		a, b uint64
+		want uint64
+	}{
+		{OpAddl, 1, 2, 3},
+		{OpAddl, 0x7fffffff, 1, 0xffffffff80000000}, // 32-bit overflow sign-extends
+		{OpAddq, 1 << 40, 1, 1<<40 + 1},
+		{OpSubl, 1, 2, 0xffffffffffffffff},
+		{OpS8Addl, 3, 10, 34},
+		{OpS4Addq, 3, 10, 22},
+		{OpAnd, 0xff, 0x0f, 0x0f},
+		{OpBis, 0xf0, 0x0f, 0xff},
+		{OpXor, 0xff, 0x0f, 0xf0},
+		{OpBic, 0xff, 0x0f, 0xf0},
+		{OpSll, 1, 8, 256},
+		{OpSrl, 256, 8, 1},
+		{OpSra, 0x8000000000000000, 63, 0xffffffffffffffff},
+		{OpCmpeq, 5, 5, 1},
+		{OpCmpeq, 5, 6, 0},
+		{OpCmplt, ^uint64(0), 1, 1}, // -1 < 1 signed
+		{OpCmpult, ^uint64(0), 1, 0},
+		{OpCmple, 4, 4, 1},
+		{OpSextb, 0, 0x80, 0xffffffffffffff80},
+		{OpSextw, 0, 0x8000, 0xffffffffffff8000},
+		{OpZapnot, 0x1122334455667788, 0x0f, 0x55667788},
+		{OpExtbl, 0x1122334455667788, 2, 0x66},
+		{OpCtpop, 0, 0xff, 8},
+		{OpCtlz, 0, 1, 63},
+		{OpMull, 6, 7, 42},
+	}
+	for _, c := range cases {
+		if got := EvalOp(c.op, c.a, c.b); got != c.want {
+			t.Errorf("EvalOp(%s, %#x, %#x) = %#x want %#x", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEvalOpAddlMatchesInt32(t *testing.T) {
+	f := func(a, b int32) bool {
+		got := EvalOp(OpAddl, uint64(uint32(a)), uint64(uint32(b)))
+		want := uint64(int64(a + b))
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalOpCompareBool(t *testing.T) {
+	f := func(a, b int64) bool {
+		lt := EvalOp(OpCmplt, uint64(a), uint64(b))
+		le := EvalOp(OpCmple, uint64(a), uint64(b))
+		eq := EvalOp(OpCmpeq, uint64(a), uint64(b))
+		return lt == b2i(a < b) && le == b2i(a <= b) && eq == b2i(a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalBranch(t *testing.T) {
+	cases := []struct {
+		op    Opcode
+		a     uint64
+		taken bool
+	}{
+		{OpBeq, 0, true}, {OpBeq, 1, false},
+		{OpBne, 0, false}, {OpBne, 1, true},
+		{OpBlt, ^uint64(0), true}, {OpBlt, 0, false},
+		{OpBle, 0, true}, {OpBle, 1, false},
+		{OpBgt, 1, true}, {OpBgt, 0, false},
+		{OpBge, 0, true}, {OpBge, ^uint64(0), false},
+		{OpBlbc, 2, true}, {OpBlbc, 3, false},
+		{OpBlbs, 3, true}, {OpBlbs, 2, false},
+		{OpBr, 0, true}, {OpBsr, 0, true},
+	}
+	for _, c := range cases {
+		if got := EvalBranch(c.op, c.a); got != c.taken {
+			t.Errorf("EvalBranch(%s, %d) = %v want %v", c.op, c.a, got, c.taken)
+		}
+	}
+}
+
+func TestSrcsDest(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		srcs []Reg
+		dest Reg
+	}{
+		{Inst{Op: OpAddl, Ra: 1, Rb: 2, Rc: 3}, []Reg{1, 2}, 3},
+		{Inst{Op: OpAddl, Ra: 1, Imm: 5, UseImm: true, Rc: 3}, []Reg{1}, 3},
+		{Inst{Op: OpAddl, Ra: 1, Rb: 2, Rc: RZero}, []Reg{1, 2}, RNone},
+		{Inst{Op: OpLdq, Ra: 4, Rb: 5, Imm: 16}, []Reg{5}, 4},
+		{Inst{Op: OpStq, Ra: 4, Rb: 5, Imm: 16}, []Reg{4, 5}, RNone},
+		{Inst{Op: OpLda, Ra: 4, Rb: 5, Imm: 16}, []Reg{5}, 4},
+		{Inst{Op: OpBne, Ra: 7, Imm: 10}, []Reg{7}, RNone},
+		{Inst{Op: OpBr, Ra: RZero, Imm: 10}, nil, RNone},
+		{Inst{Op: OpBsr, Ra: RRA, Imm: 10}, nil, RRA},
+		{Inst{Op: OpRet, Ra: RZero, Rb: RRA}, []Reg{RRA}, RNone},
+		{Inst{Op: OpJsr, Ra: RRA, Rb: 9}, []Reg{9}, RRA},
+		{Inst{Op: OpMG, Ra: 1, Rb: 2, Rc: 3, MGID: 7}, []Reg{1, 2}, 3},
+		{Inst{Op: OpNop}, nil, RNone},
+	}
+	for _, c := range cases {
+		in := c.in
+		got := in.Srcs()
+		if len(got) != len(c.srcs) {
+			t.Errorf("%s: srcs %v want %v", in.String(), got, c.srcs)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.srcs[i] {
+				t.Errorf("%s: srcs %v want %v", in.String(), got, c.srcs)
+			}
+		}
+		if d := in.Dest(); d != c.dest {
+			t.Errorf("%s: dest %v want %v", in.String(), d, c.dest)
+		}
+	}
+}
+
+func TestMiniGraphEligible(t *testing.T) {
+	eligible := []Opcode{OpAddl, OpCmplt, OpBne, OpLdq, OpStl, OpSrl, OpLda}
+	ineligible := []Opcode{OpMull, OpAddt, OpLdt, OpStt, OpJmp, OpJsr, OpRet, OpBr, OpBsr, OpNop, OpHalt, OpMG}
+	for _, op := range eligible {
+		if !op.MiniGraphEligible() {
+			t.Errorf("%s should be eligible", op)
+		}
+	}
+	for _, op := range ineligible {
+		if op.MiniGraphEligible() {
+			t.Errorf("%s should not be eligible", op)
+		}
+	}
+}
+
+func TestLoadExtend(t *testing.T) {
+	if got := LoadExtend(OpLdl, 0xffffffff80000000); got != 0xffffffff80000000 {
+		// ldl sign-extends from bit 31 of the raw 32-bit value
+		t.Errorf("ldl extend: %#x", got)
+	}
+	if got := LoadExtend(OpLdl, 0x80000000); got != 0xffffffff80000000 {
+		t.Errorf("ldl extend: %#x", got)
+	}
+	if got := LoadExtend(OpLdbu, 0x1ff); got != 0xff {
+		t.Errorf("ldbu extend: %#x", got)
+	}
+	if got := LoadExtend(OpLdwu, 0x1ffff); got != 0xffff {
+		t.Errorf("ldwu extend: %#x", got)
+	}
+}
+
+func TestProgramClone(t *testing.T) {
+	p := &Program{
+		Name:        "x",
+		Insts:       []Inst{{Op: OpAddl, Ra: 1, Rb: 2, Rc: 3}},
+		Data:        map[Addr][]byte{0x1000: {1, 2, 3}},
+		Symbols:     map[string]PC{"main": 0},
+		DataSymbols: map[string]Addr{"d": 0x1000},
+	}
+	q := p.Clone()
+	q.Insts[0].Ra = 9
+	q.Data[0x1000][0] = 9
+	q.Symbols["other"] = 1
+	if p.Insts[0].Ra != 1 || p.Data[0x1000][0] != 1 || len(p.Symbols) != 1 {
+		t.Error("Clone is not deep")
+	}
+}

@@ -1,0 +1,59 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String disassembles the instruction in the assembly syntax accepted by
+// internal/asm. Branch targets print as absolute instruction indices.
+func (in *Inst) String() string {
+	info := in.Op.Info()
+	switch info.Fmt {
+	case FmtNone:
+		return info.Name
+	case FmtOperate:
+		if in.UseImm {
+			return fmt.Sprintf("%s %s,%d,%s", info.Name, in.Ra, in.Imm, in.Rc)
+		}
+		return fmt.Sprintf("%s %s,%s,%s", info.Name, in.Ra, in.Rb, in.Rc)
+	case FmtMem:
+		return fmt.Sprintf("%s %s,%d(%s)", info.Name, in.Ra, in.Imm, in.Rb)
+	case FmtLda:
+		return fmt.Sprintf("%s %s,%d(%s)", info.Name, in.Ra, in.Imm, in.Rb)
+	case FmtBranch:
+		if info.Conditional {
+			return fmt.Sprintf("%s %s,@%d", info.Name, in.Ra, in.Imm)
+		}
+		if in.Ra != RZero && in.Ra != RNone {
+			return fmt.Sprintf("%s %s,@%d", info.Name, in.Ra, in.Imm)
+		}
+		return fmt.Sprintf("%s @%d", info.Name, in.Imm)
+	case FmtJump:
+		if info.WritesLink {
+			return fmt.Sprintf("%s %s,(%s)", info.Name, in.Ra, in.Rb)
+		}
+		return fmt.Sprintf("%s (%s)", info.Name, in.Rb)
+	case FmtMG:
+		return fmt.Sprintf("mg %s,%s,%s,%d", in.Ra, in.Rb, in.Rc, in.MGID)
+	}
+	return info.Name
+}
+
+// Disassemble renders the whole program, one instruction per line, with
+// instruction indices and label annotations. Intended for debugging output
+// and golden tests.
+func Disassemble(p *Program) string {
+	labels := make(map[PC][]string)
+	for name, pc := range p.Symbols {
+		labels[pc] = append(labels[pc], name)
+	}
+	var b strings.Builder
+	for i := range p.Insts {
+		for _, l := range labels[PC(i)] {
+			fmt.Fprintf(&b, "%s:\n", l)
+		}
+		fmt.Fprintf(&b, "%5d:  %s\n", i, p.Insts[i].String())
+	}
+	return b.String()
+}

@@ -1,0 +1,91 @@
+package program
+
+import "minigraph/internal/isa"
+
+// Liveness holds per-block global register liveness. Blocks with unknown
+// successors (indirect control) conservatively treat every register as live
+// out, so any interior-value transience proof remains sound.
+type Liveness struct {
+	LiveIn  []RegSet
+	LiveOut []RegSet
+}
+
+// instUseDef returns the use and def sets of a single instruction. Handles
+// use their interface inputs and define their interface output; interior
+// registers do not exist architecturally.
+func instUseDef(in *isa.Inst) (use, def RegSet) {
+	for _, r := range in.Srcs() {
+		use = use.Add(r)
+	}
+	def = def.Add(in.Dest())
+	return use, def
+}
+
+// BlockUseDef computes the upward-exposed use set and the def set of b.
+func BlockUseDef(p *isa.Program, b *Block) (use, def RegSet) {
+	for pc := b.Start; pc < b.End; pc++ {
+		u, d := instUseDef(p.At(pc))
+		use = use.Union(u.Minus(def))
+		def = def.Union(d)
+	}
+	return use, def
+}
+
+// ComputeLiveness solves backward global liveness over the CFG with the
+// standard iterative worklist algorithm.
+func ComputeLiveness(g *CFG) *Liveness {
+	n := len(g.Blocks)
+	lv := &Liveness{LiveIn: make([]RegSet, n), LiveOut: make([]RegSet, n)}
+	use := make([]RegSet, n)
+	def := make([]RegSet, n)
+	preds := make([][]int, n)
+	for _, b := range g.Blocks {
+		use[b.Index], def[b.Index] = BlockUseDef(g.Prog, b)
+		for _, s := range b.Succs {
+			si := g.BlockIndexOf(s)
+			preds[si] = append(preds[si], b.Index)
+		}
+	}
+	work := make([]int, 0, n)
+	inWork := make([]bool, n)
+	for i := n - 1; i >= 0; i-- {
+		work = append(work, i)
+		inWork[i] = true
+	}
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[i] = false
+		b := g.Blocks[i]
+		var out RegSet
+		if b.Unknown {
+			out = AllRegs
+		}
+		for _, s := range b.Succs {
+			out = out.Union(lv.LiveIn[g.BlockIndexOf(s)])
+		}
+		in := use[i].Union(out.Minus(def[i]))
+		if out != lv.LiveOut[i] || in != lv.LiveIn[i] {
+			lv.LiveOut[i], lv.LiveIn[i] = out, in
+			for _, pi := range preds[i] {
+				if !inWork[pi] {
+					work = append(work, pi)
+					inWork[pi] = true
+				}
+			}
+		}
+	}
+	return lv
+}
+
+// LiveAfter computes the set of registers live immediately after the
+// instruction at pc within its block, by walking backward from block end.
+func LiveAfter(g *CFG, lv *Liveness, pc isa.PC) RegSet {
+	b := g.BlockOf(pc)
+	live := lv.LiveOut[b.Index]
+	for i := b.End - 1; i > pc; i-- {
+		u, d := instUseDef(g.Prog.At(i))
+		live = live.Minus(d).Union(u)
+	}
+	return live
+}

@@ -1,0 +1,37 @@
+package program
+
+// Profile records execution frequencies from a profiling run. Frequencies
+// are attributed to static instructions; block frequency is the frequency of
+// the block's first instruction (all instructions in a basic block execute
+// the same number of times).
+type Profile struct {
+	// PCCount[pc] is the number of times the static instruction at pc
+	// executed (handles count once per handle, not per constituent).
+	PCCount []int64
+	// DynInsts is the total dynamic instruction count of the run.
+	DynInsts int64
+}
+
+// NewProfile returns an empty profile sized for a program of n instructions.
+func NewProfile(n int) *Profile {
+	return &Profile{PCCount: make([]int64, n)}
+}
+
+// BlockFreq returns the execution frequency of block b.
+func (p *Profile) BlockFreq(b *Block) int64 {
+	if b.Len() == 0 || int(b.Start) >= len(p.PCCount) {
+		return 0
+	}
+	return p.PCCount[b.Start]
+}
+
+// Merge accumulates other into p (for multi-run profiles, used by the
+// robustness experiment's multi-input selection mode).
+func (p *Profile) Merge(other *Profile) {
+	for i, c := range other.PCCount {
+		if i < len(p.PCCount) {
+			p.PCCount[i] += c
+		}
+	}
+	p.DynInsts += other.DynInsts
+}

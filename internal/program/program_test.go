@@ -1,0 +1,174 @@
+package program_test
+
+import (
+	"testing"
+
+	"minigraph/internal/asm"
+	"minigraph/internal/isa"
+	"minigraph/internal/program"
+)
+
+const cfgSrc = `
+main:   li   r1, 10
+        clr  r2
+loop:   addl r2, 1, r2
+        subl r1, 1, r1
+        bne  r1, loop
+        beq  r2, done
+        addl r2, 2, r2
+done:   stq  r2, 0(sp)
+        halt
+`
+
+func TestBuildCFG(t *testing.T) {
+	p := asm.MustAssemble("cfg", cfgSrc)
+	g := program.BuildCFG(p, nil)
+	// Blocks: [main..loop), [loop..bne], [beq], [addl], [done..halt]
+	if len(g.Blocks) != 5 {
+		t.Fatalf("got %d blocks: %s", len(g.Blocks), g)
+	}
+	loop := g.BlockOf(p.Symbols["loop"])
+	if loop.Start != p.Symbols["loop"] || loop.Len() != 3 {
+		t.Errorf("loop block [%d,%d)", loop.Start, loop.End)
+	}
+	// Loop block has two successors: itself and fall-through.
+	if len(loop.Succs) != 2 {
+		t.Errorf("loop succs %v", loop.Succs)
+	}
+	hasSelf := false
+	for _, s := range loop.Succs {
+		if s == loop.Start {
+			hasSelf = true
+		}
+	}
+	if !hasSelf {
+		t.Errorf("loop should succeed itself: %v", loop.Succs)
+	}
+	done := g.BlockOf(p.Symbols["done"])
+	if len(done.Succs) != 0 {
+		t.Errorf("halt block should have no successors: %v", done.Succs)
+	}
+	// Every instruction maps to a block containing it.
+	for i := 0; i < p.Len(); i++ {
+		b := g.BlockOf(isa.PC(i))
+		if isa.PC(i) < b.Start || isa.PC(i) >= b.End {
+			t.Errorf("inst %d mapped to block [%d,%d)", i, b.Start, b.End)
+		}
+	}
+}
+
+func TestCFGIndirectUnknown(t *testing.T) {
+	p := asm.MustAssemble("ind", "main: li r1, 3\n jmp (r1)\n tgt: halt\n")
+	g := program.BuildCFG(p, nil)
+	b := g.BlockOf(1)
+	if !b.Unknown {
+		t.Error("indirect jump block should be Unknown")
+	}
+}
+
+func TestLiveness(t *testing.T) {
+	p := asm.MustAssemble("lv", cfgSrc)
+	g := program.BuildCFG(p, nil)
+	lv := program.ComputeLiveness(g)
+	loop := g.BlockOf(p.Symbols["loop"])
+	// r1 and r2 are live into the loop (both read before written).
+	if !lv.LiveIn[loop.Index].Has(isa.IntReg(1)) || !lv.LiveIn[loop.Index].Has(isa.IntReg(2)) {
+		t.Errorf("loop live-in missing r1/r2")
+	}
+	// r2 is live out of the loop (read by beq and done blocks); r1 is not
+	// (only the loop itself reads it).
+	if !lv.LiveOut[loop.Index].Has(isa.IntReg(2)) {
+		t.Error("r2 should be live out of loop")
+	}
+	if !lv.LiveOut[loop.Index].Has(isa.IntReg(1)) {
+		// r1 is read by the loop itself on the back edge.
+		t.Error("r1 should be live out of loop via back edge")
+	}
+	done := g.BlockOf(p.Symbols["done"])
+	if lv.LiveOut[done.Index] != 0 {
+		t.Errorf("halt block live-out should be empty: %b", lv.LiveOut[done.Index])
+	}
+}
+
+func TestLivenessConservativeOnIndirect(t *testing.T) {
+	p := asm.MustAssemble("ind", "main: addl r1, r2, r3\n jmp (r4)\n")
+	g := program.BuildCFG(p, nil)
+	lv := program.ComputeLiveness(g)
+	b := g.BlockOf(0)
+	if lv.LiveOut[b.Index] != program.AllRegs {
+		t.Error("unknown-successor block should have all registers live out")
+	}
+}
+
+func TestLiveAfter(t *testing.T) {
+	p := asm.MustAssemble("la", `
+main:   addl r1, r2, r3
+        addl r3, r3, r4
+        stq  r4, 0(sp)
+        halt
+`)
+	g := program.BuildCFG(p, nil)
+	lv := program.ComputeLiveness(g)
+	// After inst 0, r3 is live (read by inst 1); after inst 1, r3 is dead
+	// and r4 live.
+	if l := program.LiveAfter(g, lv, 0); !l.Has(isa.IntReg(3)) {
+		t.Error("r3 should be live after inst 0")
+	}
+	if l := program.LiveAfter(g, lv, 1); l.Has(isa.IntReg(3)) || !l.Has(isa.IntReg(4)) {
+		t.Error("after inst 1: want r4 live, r3 dead")
+	}
+}
+
+func TestRegSet(t *testing.T) {
+	var s program.RegSet
+	s = s.Add(isa.IntReg(5)).Add(isa.FPReg(3))
+	if !s.Has(isa.IntReg(5)) || !s.Has(isa.FPReg(3)) || s.Has(isa.IntReg(6)) {
+		t.Error("RegSet membership")
+	}
+	// Zero registers are never tracked.
+	if s.Add(isa.RZero).Has(isa.RZero) || s.Add(isa.FZero).Has(isa.FZero) {
+		t.Error("zero registers must not be tracked")
+	}
+	if s.Add(isa.RNone) != s {
+		t.Error("RNone changed the set")
+	}
+	u := s.Union(program.RegSet(0).Add(isa.IntReg(6)))
+	if !u.Has(isa.IntReg(6)) || !u.Has(isa.IntReg(5)) {
+		t.Error("union")
+	}
+	if u.Minus(s).Has(isa.IntReg(5)) {
+		t.Error("minus")
+	}
+}
+
+func TestProfileBlockFreq(t *testing.T) {
+	prof := program.NewProfile(10)
+	prof.PCCount[2] = 7
+	b := &program.Block{Start: 2, End: 5}
+	if prof.BlockFreq(b) != 7 {
+		t.Error("block freq")
+	}
+	other := program.NewProfile(10)
+	other.PCCount[2] = 3
+	other.DynInsts = 30
+	prof.Merge(other)
+	if prof.PCCount[2] != 10 || prof.DynInsts != 30 {
+		t.Error("merge")
+	}
+}
+
+func TestHandleTargetsInCFG(t *testing.T) {
+	p := asm.MustAssemble("h", `
+main:   mg r1, r2, r3, 0
+        addl r3, 1, r3
+tgt:    halt
+`)
+	g := program.BuildCFG(p, map[isa.PC]isa.PC{0: 2})
+	b := g.BlockOf(0)
+	if b.Len() != 1 {
+		t.Fatalf("handle with branch should terminate its block; got len %d", b.Len())
+	}
+	if len(b.Succs) != 2 {
+		t.Errorf("handle block succs %v (want taken+fallthrough)", b.Succs)
+	}
+}

@@ -1,0 +1,182 @@
+// Package rewrite implements the binary rewriting tool of §1/§3: it
+// statically replaces selected mini-graphs with handles, emitting the
+// mini-graph table image alongside the modified executable.
+//
+// Two layouts are supported:
+//
+//   - Nop-fill (the paper's default measurement mode): the anchor
+//     instruction becomes the handle and every other constituent becomes a
+//     nop, so code addresses are unchanged and the instruction-cache
+//     compression effect is isolated away.
+//   - Compress: constituents are removed and the text is compacted,
+//     exposing the instruction-cache capacity amplification (§6.2,
+//     "Instruction cache effects"). Branch targets, symbols and template
+//     branch displacements are all re-resolved; templates re-coalesce after
+//     displacement patching.
+package rewrite
+
+import (
+	"fmt"
+
+	"minigraph/internal/core"
+	"minigraph/internal/isa"
+)
+
+// Result is a rewritten executable plus its mini-graph table contents.
+type Result struct {
+	Prog *isa.Program
+	// Templates is the final MGT image; the slice index is the MGID
+	// encoded in each handle.
+	Templates []*core.Template
+	// HandleTargets maps handle PCs to taken-branch targets, for CFG
+	// construction over the rewritten binary.
+	HandleTargets map[isa.PC]isa.PC
+	// HandleCount is the number of handles planted.
+	HandleCount int
+	// RemovedInsts is the number of static instructions eliminated
+	// (replaced by nops, or dropped entirely in compress mode).
+	RemovedInsts int
+}
+
+// Rewrite applies the selection to a copy of p.
+func Rewrite(p *isa.Program, sel *core.Selection, compress bool) (*Result, error) {
+	for mgid, t := range sel.Templates {
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("rewrite: template %d: %w", mgid, err)
+		}
+	}
+	if compress {
+		return rewriteCompress(p, sel)
+	}
+	return rewriteNopFill(p, sel)
+}
+
+func handleInst(inst *core.Instance, mgid int) isa.Inst {
+	h := isa.Inst{Op: isa.OpMG, Ra: isa.RZero, Rb: isa.RZero, Rc: isa.RZero, MGID: mgid}
+	if inst.NumIn > 0 {
+		h.Ra = inst.Srcs[0]
+	}
+	if inst.NumIn > 1 {
+		h.Rb = inst.Srcs[1]
+	}
+	if inst.Dest != isa.RNone {
+		h.Rc = inst.Dest
+	}
+	return h
+}
+
+func rewriteNopFill(p *isa.Program, sel *core.Selection) (*Result, error) {
+	out := p.Clone()
+	res := &Result{
+		Prog:          out,
+		Templates:     sel.Templates,
+		HandleTargets: make(map[isa.PC]isa.PC),
+	}
+	for _, s := range sel.Instances {
+		inst := s.Instance
+		for _, pc := range inst.Members {
+			if out.At(pc).Op == isa.OpMG || out.At(pc).Op == isa.OpNop {
+				return nil, fmt.Errorf("rewrite: overlapping instances at pc=%d", pc)
+			}
+		}
+		for _, pc := range inst.Members {
+			if pc == inst.Anchor {
+				continue
+			}
+			*out.At(pc) = isa.Inst{Op: isa.OpNop}
+			res.RemovedInsts++
+		}
+		*out.At(inst.Anchor) = handleInst(inst, s.MGID)
+		res.HandleCount++
+		if bi := inst.Tmpl.BranchIdx; bi >= 0 {
+			disp := inst.Tmpl.Insns[bi].Imm
+			res.HandleTargets[inst.Anchor] = inst.Anchor + isa.PC(disp)
+		}
+	}
+	return res, nil
+}
+
+func rewriteCompress(p *isa.Program, sel *core.Selection) (*Result, error) {
+	// First plant handles as in nop-fill, then compact nops introduced by
+	// rewriting (pre-existing nops are preserved: they may be alignment).
+	nf, err := rewriteNopFill(p, sel)
+	if err != nil {
+		return nil, err
+	}
+	dropped := make([]bool, p.Len())
+	for _, s := range sel.Instances {
+		for _, pc := range s.Instance.Members {
+			if pc != s.Instance.Anchor {
+				dropped[pc] = true
+			}
+		}
+	}
+	// Old index -> new index mapping. Dropped slots map to the next kept
+	// instruction (branch targets into dropped slots — impossible for
+	// members of legal graphs, but safe anyway).
+	newIdx := make([]isa.PC, p.Len()+1)
+	n := isa.PC(0)
+	for i := 0; i < p.Len(); i++ {
+		newIdx[i] = n
+		if !dropped[i] {
+			n++
+		}
+	}
+	newIdx[p.Len()] = n
+
+	out := &isa.Program{
+		Name:        p.Name,
+		Data:        nf.Prog.Data,
+		Entry:       newIdx[p.Entry],
+		Symbols:     make(map[string]isa.PC, len(p.Symbols)),
+		DataSymbols: nf.Prog.DataSymbols,
+	}
+	for s, pc := range p.Symbols {
+		out.Symbols[s] = newIdx[pc]
+	}
+	for i := 0; i < p.Len(); i++ {
+		if dropped[i] {
+			continue
+		}
+		in := *nf.Prog.At(isa.PC(i))
+		if in.Op.Info().Fmt == isa.FmtBranch {
+			in.Imm = int64(newIdx[in.Imm])
+		}
+		if in.TextRef && in.Imm >= 0 && in.Imm <= int64(p.Len()) {
+			in.Imm = int64(newIdx[in.Imm])
+		}
+		out.Insts = append(out.Insts, in)
+	}
+
+	// Patch handle branch displacements to the compacted layout and
+	// re-coalesce templates.
+	res := &Result{
+		Prog:          out,
+		HandleTargets: make(map[isa.PC]isa.PC),
+		RemovedInsts:  nf.RemovedInsts,
+	}
+	keyToID := make(map[string]int)
+	for _, s := range sel.Instances {
+		inst := s.Instance
+		t := inst.Tmpl
+		anchorNew := newIdx[inst.Anchor]
+		if bi := t.BranchIdx; bi >= 0 {
+			oldTarget := inst.Anchor + isa.PC(t.Insns[bi].Imm)
+			clone := *t
+			clone.Insns = append([]core.TemplateInsn(nil), t.Insns...)
+			clone.Insns[bi].Imm = int64(newIdx[oldTarget]) - int64(anchorNew)
+			t = &clone
+			res.HandleTargets[anchorNew] = newIdx[oldTarget]
+		}
+		key := t.Key()
+		mgid, ok := keyToID[key]
+		if !ok {
+			mgid = len(res.Templates)
+			keyToID[key] = mgid
+			res.Templates = append(res.Templates, t)
+		}
+		out.At(anchorNew).MGID = mgid
+		res.HandleCount++
+	}
+	return res, nil
+}

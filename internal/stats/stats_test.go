@@ -1,0 +1,80 @@
+package stats_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"minigraph/internal/stats"
+)
+
+func TestMean(t *testing.T) {
+	if stats.Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if got := stats.Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := stats.GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("gmean = %v", got)
+	}
+	if got := stats.GeoMean([]float64{2, 2, 2}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("gmean = %v", got)
+	}
+	if stats.GeoMean(nil) != 0 {
+		t.Error("empty gmean")
+	}
+	// Non-positive inputs stay defined.
+	if g := stats.GeoMean([]float64{0, 1}); math.IsNaN(g) || math.IsInf(g, 0) {
+		t.Errorf("gmean with zero = %v", g)
+	}
+}
+
+func TestGeoMeanBetweenMinMax(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if x > 0 && !math.IsInf(x, 0) && x < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		mn, mx := xs[0], xs[0]
+		for _, x := range xs {
+			mn = math.Min(mn, x)
+			mx = math.Max(mx, x)
+		}
+		g := stats.GeoMean(xs)
+		return g >= mn-1e-9*mn && g <= mx+1e-9*mx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := stats.NewTable("demo", "name", "value")
+	tab.AddRowf("alpha", 1.5)
+	tab.AddRowf("beta", 42)
+	s := tab.String()
+	if !strings.Contains(s, "== demo ==") || !strings.Contains(s, "alpha") || !strings.Contains(s, "1.500") || !strings.Contains(s, "42") {
+		t.Errorf("table:\n%s", s)
+	}
+	// Columns align: every line has the same prefix width for column 2.
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("too few lines: %d", len(lines))
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := stats.Pct(0.123); got != " 12.3%" {
+		t.Errorf("pct = %q", got)
+	}
+}

@@ -1,0 +1,86 @@
+package alupipe_test
+
+import (
+	"testing"
+
+	"minigraph/internal/uarch/alupipe"
+)
+
+func TestAcceptAndOutputConflict(t *testing.T) {
+	p := alupipe.New(4)
+	if !p.CanAccept(10, 3) {
+		t.Fatal("fresh pipe rejects")
+	}
+	p.Accept(10, 3) // output at cycle 13
+	// A 2-cycle graph entering at 11 would also exit at 13: conflict on the
+	// single output port.
+	if p.CanAccept(11, 2) {
+		t.Error("writeback conflict not detected")
+	}
+	// A 1-cycle op at 11 exits at 12: fine.
+	if !p.CanAccept(11, 1) {
+		t.Error("non-conflicting op rejected")
+	}
+}
+
+func TestDepthBounds(t *testing.T) {
+	p := alupipe.New(4)
+	if p.CanAccept(0, 0) || p.CanAccept(0, 5) {
+		t.Error("out-of-range output latency accepted")
+	}
+	if !p.CanAccept(0, 4) {
+		t.Error("full-depth graph rejected")
+	}
+}
+
+func TestReleaseAndTick(t *testing.T) {
+	p := alupipe.New(4)
+	p.Accept(10, 2) // output at 12
+	if !p.CanAccept(11, 2) {
+		t.Fatal("independent slot (exit 13) blocked")
+	}
+	p.Release(12) // mini-graph replayed before writeback
+	if !p.CanAccept(10, 2) {
+		t.Error("release did not clear the reservation")
+	}
+	// Slots recycle as cycles advance.
+	p.Accept(20, 1)
+	for c := int64(21); c < 21+int64(4*(4+2)); c++ {
+		p.Tick(c)
+	}
+	if !p.CanAccept(21+int64(4*(4+2)), 1) {
+		t.Error("ring slot not recycled after a full rotation")
+	}
+}
+
+func TestSingletonsPipelinedBackToBack(t *testing.T) {
+	p := alupipe.New(4)
+	// One singleton per cycle, all latency 1: outputs at distinct cycles,
+	// never a conflict — "substitute ALU pipelines for ALUs without ...
+	// degrading the performance of programs that do not exploit
+	// mini-graphs" (§4.2).
+	for c := int64(0); c < 100; c++ {
+		if !p.CanAccept(c, 1) {
+			t.Fatalf("singleton rejected at cycle %d", c)
+		}
+		p.Accept(c, 1)
+		p.Tick(c + 1)
+	}
+	if p.Accepted != 100 {
+		t.Errorf("accepted %d", p.Accepted)
+	}
+}
+
+func TestMixedGraphLatencies(t *testing.T) {
+	p := alupipe.New(4)
+	// Graphs with staggered output latencies share the pipe without
+	// conflicts when their exits differ.
+	p.Accept(0, 4)
+	if !p.CanAccept(1, 2) { // exit 3 != 4
+		t.Error("staggered graph rejected")
+	}
+	p.Accept(1, 2)
+	if p.CanAccept(2, 2) { // exit 4: conflicts with the first graph
+		t.Error("exit-4 conflict missed")
+	}
+}

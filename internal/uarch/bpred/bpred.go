@@ -1,0 +1,222 @@
+// Package bpred implements the branch predictors of the simulated machine:
+// a hybrid (bimodal + gshare + selector) direction predictor with a 12Kb
+// total budget, a 2K-entry 4-way set-associative branch target buffer, and a
+// return-address stack — the configuration described in §6 of the paper.
+package bpred
+
+import "minigraph/internal/isa"
+
+// Config sizes the predictor structures. Counts must be powers of two.
+type Config struct {
+	BimodalEntries int // 2-bit counters
+	GshareEntries  int // 2-bit counters
+	ChooserEntries int // 2-bit counters
+	HistoryBits    int
+	BTBEntries     int
+	BTBAssoc       int
+	RASEntries     int
+}
+
+// DefaultConfig is the paper's 12Kb hybrid predictor (3 × 2K × 2-bit =
+// 12Kbit) with a 2K-entry 4-way BTB.
+func DefaultConfig() Config {
+	return Config{
+		BimodalEntries: 2048,
+		GshareEntries:  2048,
+		ChooserEntries: 2048,
+		HistoryBits:    11,
+		BTBEntries:     2048,
+		BTBAssoc:       4,
+		RASEntries:     32,
+	}
+}
+
+// Predictor is the combined direction + target predictor.
+type Predictor struct {
+	cfg     Config
+	bimodal []uint8
+	gshare  []uint8
+	chooser []uint8 // high = use gshare
+	history uint64
+
+	btbTags [][]uint64
+	btbTgts [][]isa.PC
+	btbLRU  [][]uint8
+
+	ras    []isa.PC
+	rasTop int
+
+	// Stats.
+	CondSeen, CondHits     int64
+	TargetSeen, TargetHits int64
+}
+
+// New builds a predictor.
+func New(cfg Config) *Predictor {
+	p := &Predictor{cfg: cfg}
+	p.bimodal = make([]uint8, cfg.BimodalEntries)
+	p.gshare = make([]uint8, cfg.GshareEntries)
+	p.chooser = make([]uint8, cfg.ChooserEntries)
+	for i := range p.bimodal {
+		p.bimodal[i] = 1 // weakly not-taken
+	}
+	for i := range p.gshare {
+		p.gshare[i] = 1
+	}
+	for i := range p.chooser {
+		p.chooser[i] = 1
+	}
+	sets := cfg.BTBEntries / cfg.BTBAssoc
+	p.btbTags = make([][]uint64, sets)
+	p.btbTgts = make([][]isa.PC, sets)
+	p.btbLRU = make([][]uint8, sets)
+	for i := range p.btbTags {
+		p.btbTags[i] = make([]uint64, cfg.BTBAssoc)
+		p.btbTgts[i] = make([]isa.PC, cfg.BTBAssoc)
+		p.btbLRU[i] = make([]uint8, cfg.BTBAssoc)
+		for j := range p.btbTags[i] {
+			p.btbTags[i][j] = ^uint64(0)
+		}
+	}
+	p.ras = make([]isa.PC, cfg.RASEntries)
+	return p
+}
+
+func (p *Predictor) bimodalIdx(pc isa.PC) int {
+	return int(uint64(pc) & uint64(p.cfg.BimodalEntries-1))
+}
+
+func (p *Predictor) gshareIdx(pc isa.PC) int {
+	h := p.history & ((1 << p.cfg.HistoryBits) - 1)
+	return int((uint64(pc) ^ h) & uint64(p.cfg.GshareEntries-1))
+}
+
+func (p *Predictor) chooserIdx(pc isa.PC) int {
+	return int(uint64(pc) & uint64(p.cfg.ChooserEntries-1))
+}
+
+// PredictDirection predicts a conditional branch at pc. The returned
+// snapshot must be passed back to UpdateDirection so history-indexed state
+// trains against the history in effect at prediction time.
+func (p *Predictor) PredictDirection(pc isa.PC) (taken bool, snapshot uint64) {
+	snapshot = p.history
+	useGshare := p.chooser[p.chooserIdx(pc)] >= 2
+	if useGshare {
+		taken = p.gshare[p.gshareIdx(pc)] >= 2
+	} else {
+		taken = p.bimodal[p.bimodalIdx(pc)] >= 2
+	}
+	// Speculative history update. Because the pipeline stalls fetch on a
+	// mispredict and restores via RecoverHistory, the history is repaired
+	// before any post-branch prediction is made.
+	p.history = p.history<<1 | b2u(taken)
+	return taken, snapshot
+}
+
+// RecoverHistory restores the global history after a misprediction: the
+// snapshot taken at prediction plus the actual outcome.
+func (p *Predictor) RecoverHistory(snapshot uint64, actualTaken bool) {
+	p.history = snapshot<<1 | b2u(actualTaken)
+}
+
+// UpdateDirection trains the direction tables (called at retire).
+func (p *Predictor) UpdateDirection(pc isa.PC, snapshot uint64, taken, predicted bool) {
+	p.CondSeen++
+	if taken == predicted {
+		p.CondHits++
+	}
+	bi := p.bimodalIdx(pc)
+	// Recompute the gshare index under the snapshot history.
+	h := snapshot & ((1 << p.cfg.HistoryBits) - 1)
+	gi := int((uint64(pc) ^ h) & uint64(p.cfg.GshareEntries-1))
+	bCorrect := (p.bimodal[bi] >= 2) == taken
+	gCorrect := (p.gshare[gi] >= 2) == taken
+	ci := p.chooserIdx(pc)
+	if gCorrect && !bCorrect {
+		p.chooser[ci] = sat(p.chooser[ci], true)
+	} else if bCorrect && !gCorrect {
+		p.chooser[ci] = sat(p.chooser[ci], false)
+	}
+	p.bimodal[bi] = sat(p.bimodal[bi], taken)
+	p.gshare[gi] = sat(p.gshare[gi], taken)
+}
+
+// PredictTarget looks up the BTB.
+func (p *Predictor) PredictTarget(pc isa.PC) (isa.PC, bool) {
+	set, tag := p.btbSetTag(pc)
+	for w := 0; w < p.cfg.BTBAssoc; w++ {
+		if p.btbTags[set][w] == tag {
+			p.touchLRU(set, w)
+			return p.btbTgts[set][w], true
+		}
+	}
+	return 0, false
+}
+
+// UpdateTarget installs/refreshes the target of a taken control transfer.
+func (p *Predictor) UpdateTarget(pc, target isa.PC) {
+	set, tag := p.btbSetTag(pc)
+	victim, oldest := 0, uint8(255)
+	for w := 0; w < p.cfg.BTBAssoc; w++ {
+		if p.btbTags[set][w] == tag {
+			p.btbTgts[set][w] = target
+			p.touchLRU(set, w)
+			return
+		}
+		if p.btbLRU[set][w] < oldest {
+			oldest, victim = p.btbLRU[set][w], w
+		}
+	}
+	p.btbTags[set][victim] = tag
+	p.btbTgts[set][victim] = target
+	p.touchLRU(set, victim)
+}
+
+func (p *Predictor) btbSetTag(pc isa.PC) (int, uint64) {
+	sets := uint64(len(p.btbTags))
+	return int(uint64(pc) & (sets - 1)), uint64(pc) / sets
+}
+
+func (p *Predictor) touchLRU(set, way int) {
+	for w := range p.btbLRU[set] {
+		if p.btbLRU[set][w] > 0 {
+			p.btbLRU[set][w]--
+		}
+	}
+	p.btbLRU[set][way] = 255
+}
+
+// PushRAS records a call's return address.
+func (p *Predictor) PushRAS(ret isa.PC) {
+	p.ras[p.rasTop%len(p.ras)] = ret
+	p.rasTop++
+}
+
+// PopRAS predicts a return target.
+func (p *Predictor) PopRAS() (isa.PC, bool) {
+	if p.rasTop == 0 {
+		return 0, false
+	}
+	p.rasTop--
+	return p.ras[p.rasTop%len(p.ras)], true
+}
+
+func sat(c uint8, up bool) uint8 {
+	if up {
+		if c < 3 {
+			return c + 1
+		}
+		return 3
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return 0
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

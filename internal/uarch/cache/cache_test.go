@@ -1,0 +1,112 @@
+package cache_test
+
+import (
+	"testing"
+
+	"minigraph/internal/isa"
+	"minigraph/internal/uarch/cache"
+)
+
+func TestHitAfterMiss(t *testing.T) {
+	c := cache.New(cache.L1DConfig(), nil, cache.NewBus())
+	ready, hit := c.Access(0, 0x1000, false)
+	if hit {
+		t.Error("cold access hit")
+	}
+	if ready <= 2 {
+		t.Errorf("miss served too fast: %d", ready)
+	}
+	ready2, hit2 := c.Access(ready, 0x1010, false) // same 32B line
+	if !hit2 {
+		t.Error("same-line access missed")
+	}
+	if ready2 != ready+int64(c.Config().Latency) {
+		t.Errorf("hit latency %d", ready2-ready)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// Tiny cache: 2 ways x 2 sets x 32B lines = 128B.
+	cfg := cache.Config{Size: 128, Assoc: 2, LineSize: 32, Latency: 1}
+	c := cache.New(cfg, nil, cache.NewBus())
+	a := isa.Addr(0)      // set 0
+	b := isa.Addr(64)     // set 0 (stride = sets*linesize = 64)
+	d := isa.Addr(128)    // set 0
+	c.Access(0, a, false) // miss, install
+	c.Access(10, b, false)
+	c.Access(20, a, false) // hit: a is MRU
+	c.Access(30, d, false) // evicts b (LRU)
+	if _, hit := c.Access(40, a, false); !hit {
+		t.Error("a should have survived")
+	}
+	if _, hit := c.Access(50, b, false); hit {
+		t.Error("b should have been evicted")
+	}
+}
+
+func TestWritebackDirty(t *testing.T) {
+	cfg := cache.Config{Size: 64, Assoc: 1, LineSize: 32, Latency: 1}
+	bus := cache.NewBus()
+	c := cache.New(cfg, nil, bus)
+	c.Access(0, 0, true)     // dirty line in set 0
+	c.Access(100, 64, false) // evicts the dirty line -> writeback
+	if c.Writebacks != 1 {
+		t.Errorf("writebacks = %d", c.Writebacks)
+	}
+	if bus.Requests < 2 { // fill + writeback
+		t.Errorf("bus requests = %d", bus.Requests)
+	}
+}
+
+func TestHierarchyL2Fill(t *testing.T) {
+	bus := cache.NewBus()
+	l2 := cache.New(cache.L2Config(), nil, bus)
+	l1 := cache.New(cache.L1DConfig(), l2, nil)
+	ready, hit := l1.Access(0, 0x4000, false)
+	if hit || l2.Misses != 1 {
+		t.Errorf("cold: hit=%v l2miss=%d", hit, l2.Misses)
+	}
+	// Memory + bus latency must dominate the cold miss.
+	if ready < 100 {
+		t.Errorf("cold miss latency %d < memory latency", ready)
+	}
+	// A second L1 miss to a different L1 line in the same L2 line hits L2.
+	// (L1 lines are 32B, L2 lines 128B.)
+	ready2, hit2 := l1.Access(ready, 0x4020, false)
+	if hit2 {
+		t.Error("different L1 line should miss L1")
+	}
+	if l2.Misses != 1 {
+		t.Errorf("L2 should have hit: misses=%d", l2.Misses)
+	}
+	if ready2-ready > 20 {
+		t.Errorf("L2 hit took %d cycles", ready2-ready)
+	}
+}
+
+func TestBusContention(t *testing.T) {
+	bus := cache.NewBus()
+	// Two simultaneous line fills: the second queues behind the first.
+	r1 := bus.Access(0, 128)
+	r2 := bus.Access(0, 128)
+	if r2 <= r1 {
+		t.Errorf("no contention: %d vs %d", r1, r2)
+	}
+	transfers := int64(128 / 16 * 4)
+	if r1 != 100+transfers {
+		t.Errorf("first fill at %d", r1)
+	}
+	if bus.Stalls == 0 {
+		t.Error("no bus stalls recorded")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c := cache.New(cache.L1DConfig(), nil, cache.NewBus())
+	for i := 0; i < 100; i++ {
+		c.Access(int64(i*200), isa.Addr(i)*32, false) // all distinct lines
+	}
+	if c.MissRate() != 1.0 {
+		t.Errorf("streaming miss rate %.2f", c.MissRate())
+	}
+}

@@ -1,0 +1,160 @@
+// Package uarch is the cycle-level timing model of the paper's machine: a
+// 6-way superscalar, dynamically scheduled, 15-stage out-of-order pipeline
+// (§6) extended with mini-graph support (§4): MGHT-driven scheduling, MGST
+// sequencers, ALU pipelines and a sliding-window scheduler.
+//
+// The model is execution-driven: internal/emu generates the architecturally
+// correct dynamic instruction stream (with resolved addresses and branch
+// outcomes), and this package times it. Branch predictors are modelled and
+// trained; a misprediction stalls fetch until the branch resolves and then
+// refills the front end (the standard stall-on-mispredict approximation).
+// Memory-ordering violations and mini-graph replays rewind the stream
+// cursor and flush younger state.
+package uarch
+
+import (
+	"minigraph/internal/uarch/bpred"
+	"minigraph/internal/uarch/cache"
+	"minigraph/internal/uarch/storesets"
+)
+
+// Config is the complete machine description.
+type Config struct {
+	Name string
+
+	// Pipeline widths.
+	FetchWidth  int
+	RenameWidth int
+	IssueWidth  int
+	CommitWidth int
+
+	// Window capacities.
+	ROBSize  int
+	IQSize   int
+	LSQSize  int
+	PhysRegs int // total physical registers (architectural + in-flight)
+
+	// Execution resources. IntALUs counts conventional ALUs; APs counts
+	// ALU pipelines (each APDepth stages). Mini-graph configurations
+	// replace two of the four baseline ALUs with two 4-stage APs.
+	IntALUs    int
+	APs        int
+	APDepth    int
+	FPUnits    int
+	LoadPorts  int
+	StorePorts int
+
+	// Register file.
+	RFReadPorts   int
+	RFWritePorts  int
+	RegReadCycles int
+
+	// SchedCycles is the scheduling-loop length: 1 permits back-to-back
+	// dependent issue; 2 models a pipelined wake-up/select loop, which
+	// effectively raises every single-cycle operation's latency to 2 (§6.3).
+	SchedCycles int
+
+	// FrontendDepth is the fetch-to-dispatch latency in cycles; together
+	// with schedule + register read + execute it forms the 15-stage pipe.
+	FrontendDepth int
+
+	// LoadLat is the load-to-use hit latency.
+	LoadLat int
+
+	// Collapse enables pair-wise collapsing ALU pipelines (§6.2).
+	Collapse bool
+
+	// IntMemIssuePerCycle bounds integer-memory handle issue per cycle
+	// (§4.3: "supporting the issue of a single heterogeneous handle per
+	// cycle is sufficient"). Zero disables the sliding-window scheduler:
+	// integer-memory handles cannot issue (binaries for such configs must
+	// be rewritten with integer-only policies).
+	IntMemIssuePerCycle int
+
+	// WindowHorizon is the sliding-window depth in cycles; it must exceed
+	// the maximum mini-graph execution latency.
+	WindowHorizon int
+
+	BPred     bpred.Config
+	StoreSets storesets.Config
+	ICache    cache.Config
+	DCache    cache.Config
+	L2        cache.Config
+
+	// MaxRecords bounds the run (0 = run to halt).
+	MaxRecords int64
+	// StreamWindow is the rewind-buffer depth; it must exceed
+	// ROBSize + FrontendDepth×FetchWidth.
+	StreamWindow int
+}
+
+// Baseline returns the paper's baseline machine (§6): 6-way superscalar,
+// 15-stage, 128 ROB / 64 LSQ / 50 IQ, 164 physical registers with a
+// 5-read/4-write-port 2-cycle register file, per-cycle issue of up to
+// 4 integer + 2 FP + 2 load + 1 store operations, hybrid 12Kb predictor,
+// 2K-entry 4-way BTB, 32KB L1s, 2MB L2, 100-cycle memory.
+func Baseline() Config {
+	return Config{
+		Name:          "baseline-6wide",
+		FetchWidth:    6,
+		RenameWidth:   6,
+		IssueWidth:    6,
+		CommitWidth:   6,
+		ROBSize:       128,
+		IQSize:        50,
+		LSQSize:       64,
+		PhysRegs:      164,
+		IntALUs:       4,
+		APs:           0,
+		APDepth:       4,
+		FPUnits:       2,
+		LoadPorts:     2,
+		StorePorts:    1,
+		RFReadPorts:   5,
+		RFWritePorts:  4,
+		RegReadCycles: 2,
+		SchedCycles:   1,
+		FrontendDepth: 9,
+		LoadLat:       2,
+		BPred:         bpred.DefaultConfig(),
+		StoreSets:     storesets.DefaultConfig(),
+		ICache:        cache.L1IConfig(),
+		DCache:        cache.L1DConfig(),
+		L2:            cache.L2Config(),
+		WindowHorizon: 32,
+		StreamWindow:  4096,
+	}
+}
+
+// MiniGraph returns the mini-graph machine of §6.2: the baseline with two
+// integer ALUs replaced by two 4-stage ALU pipelines and, when intMem is
+// true, a sliding-window scheduler issuing one integer-memory handle per
+// cycle.
+func MiniGraph(intMem bool) Config {
+	c := Baseline()
+	c.Name = "minigraph"
+	c.IntALUs = 2
+	c.APs = 2
+	if intMem {
+		c.Name = "minigraph-intmem"
+		c.IntMemIssuePerCycle = 1
+	}
+	return c
+}
+
+// Validate panics on impossible configurations; configs are produced by
+// code, so an invalid one is a programming error.
+func (c *Config) Validate() {
+	switch {
+	case c.FetchWidth <= 0 || c.RenameWidth <= 0 || c.IssueWidth <= 0 || c.CommitWidth <= 0:
+		panic("uarch: non-positive width")
+	case c.ROBSize <= 0 || c.IQSize <= 0 || c.LSQSize <= 0:
+		panic("uarch: non-positive window capacity")
+	case c.PhysRegs < 65:
+		panic("uarch: too few physical registers")
+	case c.IntALUs+c.APs == 0:
+		panic("uarch: no integer units")
+	case c.StreamWindow < c.ROBSize+c.FrontendDepth*c.FetchWidth+c.FetchWidth:
+		panic("uarch: stream window smaller than maximum squash depth")
+	}
+}

@@ -1,0 +1,191 @@
+package uarch
+
+import (
+	"minigraph/internal/emu"
+	"minigraph/internal/isa"
+	"minigraph/internal/uarch/rename"
+)
+
+// fetch models the front end: instruction-cache access, branch/target
+// prediction, and delivery into the fetch-to-rename pipe. Fetch stalls on
+// instruction-cache misses and on (full) branch mispredictions — the
+// stall-until-resolve approximation of wrong-path execution. Nops (the
+// residue of nop-fill rewriting) consume fetch slots and I-cache bandwidth
+// but are dropped before rename, which is exactly the paper's
+// no-compression measurement mode: fetch bandwidth is not amplified, all
+// later stages are.
+func (p *Pipeline) fetch() {
+	if p.pendingBr != nil || p.cycle < p.fetchStall || p.cycle < p.icacheFill {
+		return
+	}
+	capacity := p.cfg.FrontendDepth*p.cfg.FetchWidth + p.cfg.FetchWidth
+	slots := p.cfg.FetchWidth
+	for slots > 0 && len(p.frontend) < capacity {
+		var rec *emu.Record
+		if p.pendingRec != nil {
+			rec, p.pendingRec = p.pendingRec, nil
+		} else {
+			r, ok := p.stream.Next()
+			if !ok {
+				return
+			}
+			rec = r
+		}
+		// Instruction cache: one probe per line transition.
+		line := isa.Addr(rec.PC.ByteAddr()) &^ isa.Addr(p.cfg.ICache.LineSize-1)
+		if !p.haveFetchLine || line != p.lastFetchLine {
+			ready, hit := p.icache.Access(p.cycle, rec.PC.ByteAddr(), false)
+			p.lastFetchLine, p.haveFetchLine = line, true
+			if !hit {
+				p.icacheFill = ready
+				p.pendingRec = rec
+				return
+			}
+		}
+		slots--
+		p.stats.FetchedRecords++
+		if rec.Op == isa.OpNop {
+			p.stats.FetchedNops++
+			continue
+		}
+
+		u := &uop{rec: *rec, dest: rename.NoReg, prev: rename.NoReg,
+			fwdFrom: -1, waitSt: -1, resWrPortAt: -1, resAP: -1}
+		if rec.MGID >= 0 {
+			u.tmpl = p.mgt.Template(rec.MGID)
+			u.mg = p.mgt.Info(rec.MGID)
+		}
+
+		stop := false
+		if rec.IsCtrl {
+			stop = p.predictControl(u)
+		}
+		p.frontend = append(p.frontend, feEntry{u: u, readyAt: p.cycle + int64(p.cfg.FrontendDepth)})
+		if stop {
+			return
+		}
+	}
+}
+
+// predictControl runs the fetch-stage predictors for a control transfer and
+// returns true if fetch must stop this cycle (taken branch, misprediction,
+// or BTB-miss bubble).
+func (p *Pipeline) predictControl(u *uop) (stopFetch bool) {
+	rec := &u.rec
+	// RAS maintenance happens at fetch; because fetch stalls on
+	// mispredictions, the stack never needs repair.
+	if rec.IsCall {
+		p.pred.PushRAS(rec.FallPC)
+	}
+
+	if rec.CondBranch {
+		u.predTaken, u.histSnap = p.pred.PredictDirection(rec.PC)
+	} else {
+		u.predTaken = true
+	}
+
+	targetKnown := false
+	if u.predTaken {
+		if rec.IsRet {
+			if t, ok := p.pred.PopRAS(); ok {
+				u.predTarget, targetKnown = t, true
+			}
+		} else if t, ok := p.pred.PredictTarget(rec.PC); ok {
+			u.predTarget, targetKnown = t, true
+		}
+	}
+
+	dirWrong := u.predTaken != rec.Taken
+	switch {
+	case dirWrong:
+		u.mispredict = true
+	case !rec.Taken:
+		// Correctly predicted not-taken: fetch continues.
+		return false
+	case targetKnown && u.predTarget == rec.NextPC:
+		// Correctly predicted taken: stop at the taken branch.
+		return true
+	case !targetKnown && !rec.Indirect:
+		// Direct branch, right direction, no BTB entry: the target is
+		// computed at decode — a short fetch bubble, not a full flush.
+		u.btbMissOnly = true
+		p.stats.BTBMissBubbles++
+		p.fetchStall = p.cycle + 2
+		return true
+	default:
+		// Wrong target (or indirect miss): full misprediction.
+		u.mispredict = true
+	}
+	if u.mispredict {
+		p.stats.Mispredicts++
+		p.pendingBr = u
+	}
+	return true
+}
+
+// dispatch renames up to RenameWidth front-end uops in order and inserts
+// them into the ROB, scheduler, and load/store queue. A handle dispatches
+// exactly like a singleton: one ROB entry, one scheduler entry, at most one
+// LSQ entry, at most one physical register — this is where rename
+// bandwidth and register-file capacity amplification come from.
+func (p *Pipeline) dispatch() {
+	for n := 0; n < p.cfg.RenameWidth && len(p.frontend) > 0; n++ {
+		fe := p.frontend[0]
+		if fe.readyAt > p.cycle {
+			return
+		}
+		u := fe.u
+		if p.rob.full() {
+			p.stats.StallROB++
+			return
+		}
+		needIQ := u.rec.Op != isa.OpHalt
+		if needIQ && len(p.iq) >= p.cfg.IQSize {
+			p.stats.StallIQ++
+			return
+		}
+		if u.isMem() && p.lsq.full() {
+			p.stats.StallLSQ++
+			return
+		}
+		if u.rec.Dest != isa.RNone && p.ren.FreeCount() == 0 {
+			p.stats.StallRegs++
+			return
+		}
+		p.frontend = p.frontend[1:]
+
+		// Rename sources then destination (same-register reuse within one
+		// instruction reads the old mapping, as in hardware).
+		for i := 0; i < u.rec.NSrcs; i++ {
+			u.srcs[u.nsrcs] = p.ren.Lookup(u.rec.Srcs[i])
+			u.nsrcs++
+		}
+		if u.rec.Dest != isa.RNone {
+			phys, undo, ok := p.ren.Allocate(u.rec.Dest)
+			if !ok {
+				panic("uarch: free list raced") // guarded above
+			}
+			u.dest, u.prev = phys, undo.Prev
+			p.readyAt[phys] = notReady
+		}
+
+		p.rob.push(u)
+		if needIQ {
+			u.inIQ = true
+			p.iq = append(p.iq, u)
+		} else {
+			u.completed = true // halt: no execution
+		}
+		if u.isMem() {
+			u.inLSQ = true
+			p.lsq.push(u)
+			if u.isStore() {
+				u.waitSt = p.ssets.DispatchStore(u.rec.PC, u.rec.Seq)
+				p.stats.Stores++
+			} else {
+				u.waitSt = p.ssets.DispatchLoad(u.rec.PC)
+				p.stats.Loads++
+			}
+		}
+	}
+}

@@ -1,0 +1,307 @@
+package uarch
+
+import (
+	"minigraph/internal/isa"
+	"minigraph/internal/uarch/rename"
+	"minigraph/internal/uarch/sched"
+)
+
+// issue is the select stage: oldest-first over the scheduler entries,
+// subject to issue width, register-file read ports, functional units (via
+// the sliding-window bitmap), ALU-pipeline entry/output conflicts, write
+// ports, and — for integer-memory handles — the FUBMP mass reservation and
+// the one-heterogeneous-handle-per-cycle rule (§4.3).
+func (p *Pipeline) issue() {
+	// Compact the scheduler. Singleton entries free at issue (held two extra
+	// cycles so the speculative-wake-up replay shadow can still reach them);
+	// loads hold their entries until the data is confirmed, and handles free
+	// theirs when the MGST sequencer reaches the terminal instruction
+	// (completion) — §4.1.
+	iq := p.iq[:0]
+	for _, u := range p.iq {
+		switch {
+		case !u.inIQ || u.squashed:
+		case u.issued && u.iqFreeAt > 0 && p.cycle >= u.iqFreeAt:
+			u.inIQ = false
+		default:
+			iq = append(iq, u)
+		}
+	}
+	p.iq = iq
+
+	slots := p.cfg.IssueWidth
+	readPorts := p.cfg.RFReadPorts
+	intMemBudget := p.cfg.IntMemIssuePerCycle
+	for i := range p.apBusy {
+		p.apBusy[i] = false
+	}
+
+	for _, u := range p.iq {
+		if slots == 0 {
+			break
+		}
+		if u.issued || u.cycleBlocked(p) {
+			continue
+		}
+		nports := 0
+		for s := 0; s < u.nsrcs; s++ {
+			if u.srcs[s] != rename.NoReg {
+				if p.readyAt[u.srcs[s]] > p.cycle {
+					nports = -1
+					break
+				}
+				nports++
+			}
+		}
+		if nports < 0 {
+			continue // a source is not ready
+		}
+		if nports > readPorts {
+			continue // out of register read ports this cycle
+		}
+		if u.isMem() && !p.memIssueAllowed(u) {
+			continue
+		}
+
+		outLat := u.outLat(&p.cfg)
+		needWr := u.dest != rename.NoReg
+		if needWr && !p.window.Available(sched.ResWrPort, p.cycle+int64(outLat)) {
+			continue
+		}
+
+		// Functional-unit acquisition.
+		if !p.acquireFU(u, intMemBudget) {
+			continue
+		}
+		if u.isMG() && !u.mg.Integer {
+			intMemBudget--
+			p.stats.IntMemIssued++
+		}
+
+		// Commit the issue.
+		slots--
+		readPorts -= nports
+		u.issued = true
+		u.issueAt = p.cycle
+		if !u.isMG() && !u.isLoad() {
+			u.iqFreeAt = p.cycle + 2
+		}
+		p.stats.Issued++
+		if needWr {
+			p.window.Reserve(sched.ResWrPort, p.cycle+int64(outLat))
+			u.resWrPortAt = p.cycle + int64(outLat)
+			// Wake-up: dependants observe the value after the output
+			// latency; a pipelined (2-cycle) scheduler raises every
+			// single-cycle producer to an effective latency of 2, which
+			// mini-graphs escape internally (pre-scheduled) and externally
+			// (LAT >= 2) — §6.3.
+			eff := outLat
+			if eff < p.cfg.SchedCycles {
+				eff = p.cfg.SchedCycles
+			}
+			p.readyAt[u.dest] = p.cycle + int64(eff)
+		}
+		if u.isMem() {
+			p.execMem(u)
+		}
+		if u.rec.IsCtrl {
+			brOff := int64(0)
+			if u.mg != nil && u.mg.BranchOffset > 0 {
+				brOff = int64(u.mg.BranchOffset)
+			}
+			u.resolveAt = p.cycle + int64(p.cfg.RegReadCycles) + brOff + 1
+			if u.mispredict {
+				p.schedule(u.resolveAt, evResolve, u)
+			}
+		}
+		total := u.totalLat(&p.cfg)
+		if total < 1 {
+			total = 1
+		}
+		p.schedule(p.cycle+int64(total), evComplete, u)
+	}
+}
+
+// cycleBlocked reports scheduling holds that are not operand readiness.
+func (u *uop) cycleBlocked(p *Pipeline) bool {
+	return p.cycle < u.minIssue
+}
+
+// memIssueAllowed enforces load/store scheduling policy: store-set
+// synchronisation and in-order store data requirements.
+func (p *Pipeline) memIssueAllowed(u *uop) bool {
+	if u.waitSt < 0 {
+		return true
+	}
+	// Find the predecessor store in the LSQ; it must have executed
+	// (resolved its address). If it already left the window, the wait is
+	// satisfied.
+	for i := 0; i < p.lsq.len(); i++ {
+		e := p.lsq.at(i)
+		if e.rec.Seq == u.waitSt {
+			if e.isStore() && !e.execMem {
+				return false
+			}
+			break
+		}
+		if e.rec.Seq > u.waitSt {
+			break
+		}
+	}
+	u.waitSt = -1
+	return true
+}
+
+// acquireFU reserves the functional units for u at the current cycle,
+// returning false when unavailable. The reservation details are recorded on
+// the uop so a replay can cancel them.
+func (p *Pipeline) acquireFU(u *uop, intMemBudget int) bool {
+	now := p.cycle
+	if u.isMG() {
+		if u.mg.Integer {
+			// Integer mini-graph: enters an ALU pipeline; conflicts are the
+			// entry slot (one per AP per cycle) and the shared output port
+			// at now+LAT.
+			if !p.window.Available(sched.ResAP, now) {
+				return false
+			}
+			outLat := u.mg.Lat
+			if outLat == 0 {
+				outLat = 1 // graphs without register output still exit once
+			}
+			for i, ap := range p.aps {
+				if p.apBusy[i] || !ap.CanAccept(now, outLat) {
+					continue
+				}
+				p.apBusy[i] = true
+				ap.Accept(now, outLat)
+				p.window.Reserve(sched.ResAP, now)
+				u.resAP, u.resAPOutAt = i, now+int64(outLat)
+				u.resFU, u.resFUAt, u.hasResFU = sched.ResAP, now, true
+				p.stats.IssuedOnAP++
+				return true
+			}
+			return false
+		}
+		// Integer-memory mini-graph: sliding-window mass reservation.
+		if intMemBudget <= 0 {
+			return false
+		}
+		if !p.window.CheckFUBmp(now, u.mg) {
+			return false
+		}
+		p.window.ReserveFUBmp(now, u.mg)
+		u.resFUBmp = true
+		u.resFUAt = now
+		return true
+	}
+
+	// Singletons.
+	var res sched.Resource
+	switch u.rec.Op.Info().Class {
+	case isa.ClassLoad:
+		res = sched.ResLoad
+	case isa.ClassStore:
+		res = sched.ResStore
+	case isa.ClassFPALU, isa.ClassFPMul, isa.ClassFPDiv:
+		res = sched.ResFP
+	case isa.ClassIntMul:
+		res = sched.ResALU // multiplies use a conventional ALU slot
+	default:
+		// Single-cycle integer ops and branches: prefer a conventional
+		// ALU; fall back to an ALU pipeline, which executes singletons in
+		// its first stage with no penalty (§4.2).
+		if p.window.Available(sched.ResALU, now) {
+			res = sched.ResALU
+		} else if p.cfg.APs > 0 && p.window.Available(sched.ResAP, now) {
+			for i, ap := range p.aps {
+				if p.apBusy[i] || !ap.CanAccept(now, 1) {
+					continue
+				}
+				p.apBusy[i] = true
+				ap.Accept(now, 1)
+				p.window.Reserve(sched.ResAP, now)
+				u.resAP, u.resAPOutAt = i, now+1
+				u.resFU, u.resFUAt, u.hasResFU = sched.ResAP, now, true
+				p.stats.IssuedOnAP++
+				return true
+			}
+			return false
+		} else {
+			return false
+		}
+	}
+	if !p.window.Available(res, now) {
+		return false
+	}
+	p.window.Reserve(res, now)
+	u.resFU, u.resFUAt, u.hasResFU = res, now, true
+	return true
+}
+
+// execMem performs the memory-stage work the moment the operation issues:
+// address resolution, store-to-load forwarding, data-cache access, and
+// memory-ordering violation detection. Timing offsets (the MGST bank of a
+// handle's memory op) shift the access time.
+func (p *Pipeline) execMem(u *uop) {
+	t := p.cycle + u.memOffset()
+	u.execMem = true
+	if u.isStore() {
+		// Violation scan: younger loads that already executed and overlap
+		// this store read stale data (unless they forwarded from a store
+		// between us and them).
+		for i := 0; i < p.lsq.len(); i++ {
+			l := p.lsq.at(i)
+			if l.rec.Seq <= u.rec.Seq || !l.isLoad() || !l.execMem {
+				continue
+			}
+			if overlaps(l.rec.EA, l.rec.MemSize, u.rec.EA, u.rec.MemSize) && l.fwdFrom < u.rec.Seq {
+				p.ssets.Violation(l.rec.PC, u.rec.PC)
+				if !p.violPending || l.rec.Seq < p.violSeq {
+					p.violPending = true
+					p.violSeq = l.rec.Seq
+				}
+				break
+			}
+		}
+		return
+	}
+
+	// Load: try store-to-load forwarding from the youngest older store.
+	var src *uop
+	for i := 0; i < p.lsq.len(); i++ {
+		e := p.lsq.at(i)
+		if e.rec.Seq >= u.rec.Seq {
+			break
+		}
+		if e.isStore() && e.execMem && overlaps(e.rec.EA, e.rec.MemSize, u.rec.EA, u.rec.MemSize) {
+			src = e
+		}
+	}
+	if src != nil {
+		u.fwdFrom = src.rec.Seq
+		if covers(src.rec.EA, src.rec.MemSize, u.rec.EA, u.rec.MemSize) {
+			u.dataAt = t + int64(p.cfg.LoadLat)
+		} else {
+			// Partial overlap: the value must merge store and cache data;
+			// charge a conservative penalty.
+			u.dataAt = t + int64(p.cfg.LoadLat) + 2
+			if u.dest != rename.NoReg && p.readyAt[u.dest] < u.dataAt {
+				p.readyAt[u.dest] = u.dataAt
+			}
+		}
+		p.stats.Forwards++
+		return
+	}
+
+	ready, hit := p.dcache.Access(t, u.rec.EA, false)
+	if hit {
+		u.dataAt = t + int64(p.cfg.LoadLat)
+		return
+	}
+	// Miss: the speculative wake-up at hit latency was wrong; dependants
+	// that issue in the shadow replay when the miss is discovered.
+	u.dataAt = ready
+	u.missAt = t + int64(p.cfg.LoadLat) + 1
+	p.schedule(u.missAt, evMissDiscover, u)
+}

@@ -1,0 +1,242 @@
+package uarch
+
+import (
+	"fmt"
+	"math"
+
+	"minigraph/internal/core"
+	"minigraph/internal/emu"
+	"minigraph/internal/isa"
+	"minigraph/internal/uarch/alupipe"
+	"minigraph/internal/uarch/bpred"
+	"minigraph/internal/uarch/cache"
+	"minigraph/internal/uarch/rename"
+	"minigraph/internal/uarch/sched"
+	"minigraph/internal/uarch/storesets"
+)
+
+const notReady = math.MaxInt64 / 4
+
+// feEntry is a front-end pipe slot: a fetched uop travelling towards rename.
+type feEntry struct {
+	u       *uop
+	readyAt int64
+}
+
+// Pipeline is one simulated machine instance bound to one program run.
+type Pipeline struct {
+	cfg    Config
+	stream *emu.Stream
+	mgt    *core.MGT
+
+	pred   *bpred.Predictor
+	ssets  *storesets.Predictor
+	icache *cache.Cache
+	dcache *cache.Cache
+	l2     *cache.Cache
+	bus    *cache.Bus
+
+	window *sched.Window
+	aps    []*alupipe.Pipe
+	apBusy []bool
+	ren    *rename.Table
+
+	readyAt []int64 // per physical register
+
+	rob      *rob
+	iq       []*uop
+	lsq      *rob // reuse ring structure for the load/store queue
+	frontend []feEntry
+
+	events     [][]event
+	cycle      int64
+	fetchStall int64 // no fetch before this cycle
+	icacheFill int64
+	pendingRec *emu.Record // fetched but stalled on an icache miss
+	pendingBr  *uop        // unresolved (full) mispredicted branch
+
+	violPending bool
+	violSeq     int64
+
+	lastFetchLine isa.Addr
+	haveFetchLine bool
+
+	stats Result
+}
+
+type evKind uint8
+
+const (
+	evComplete evKind = iota
+	evMissDiscover
+	evResolve
+)
+
+type event struct {
+	kind  evKind
+	u     *uop
+	epoch int
+}
+
+const eventHorizon = 1024
+
+// New builds a pipeline for prog. mgt may be nil for plain binaries.
+func New(cfg Config, prog *isa.Program, mgt *core.MGT) *Pipeline {
+	cfg.Validate()
+	m := emu.NewMachine(prog, mgt)
+	p := &Pipeline{
+		cfg:    cfg,
+		stream: emu.NewStream(m, cfg.StreamWindow, cfg.MaxRecords),
+		mgt:    mgt,
+		pred:   bpred.New(cfg.BPred),
+		ssets:  storesets.New(cfg.StoreSets),
+		bus:    cache.NewBus(),
+		ren:    rename.New(cfg.PhysRegs),
+		rob:    newROB(cfg.ROBSize),
+		lsq:    newROB(cfg.LSQSize),
+		events: make([][]event, eventHorizon),
+	}
+	p.l2 = cache.New(cfg.L2, nil, p.bus)
+	p.icache = cache.New(cfg.ICache, p.l2, nil)
+	p.dcache = cache.New(cfg.DCache, p.l2, nil)
+	p.window = sched.NewWindow(cfg.WindowHorizon, map[sched.Resource]int{
+		sched.ResALU:    cfg.IntALUs,
+		sched.ResAP:     cfg.APs,
+		sched.ResLoad:   cfg.LoadPorts,
+		sched.ResStore:  cfg.StorePorts,
+		sched.ResFP:     cfg.FPUnits,
+		sched.ResWrPort: cfg.RFWritePorts,
+	})
+	for i := 0; i < cfg.APs; i++ {
+		p.aps = append(p.aps, alupipe.New(cfg.APDepth))
+	}
+	p.apBusy = make([]bool, cfg.APs)
+	p.readyAt = make([]int64, p.ren.NumPhys())
+	p.stats.Config = cfg.Name
+	return p
+}
+
+// Run simulates to completion (program halt or MaxRecords) and returns the
+// statistics.
+func (p *Pipeline) Run() (*Result, error) {
+	hardLimit := int64(10_000_000_000)
+	for {
+		if p.done() {
+			break
+		}
+		p.cycle++
+		if p.cycle > hardLimit {
+			return nil, fmt.Errorf("uarch: exceeded %d cycles (livelock?)", hardLimit)
+		}
+		p.window.Tick(p.cycle)
+		for _, ap := range p.aps {
+			ap.Tick(p.cycle)
+		}
+		p.processEvents()
+		p.retire()
+		p.issue()
+		p.dispatch()
+		p.fetch()
+		if p.violPending {
+			p.squash(p.violSeq)
+			p.violPending = false
+		}
+	}
+	if err := p.stream.Err(); err != nil {
+		return nil, err
+	}
+	p.stats.Cycles = p.cycle
+	p.stats.PregAllocs = p.ren.Allocs
+	p.stats.PregFrees = p.ren.Frees
+	p.stats.L1IMisses = p.icache.Misses
+	p.stats.L1DMisses = p.dcache.Misses
+	p.stats.L2Misses = p.l2.Misses
+	p.stats.Violations = p.ssets.Violations
+	p.stats.CondBranches = p.pred.CondSeen
+	p.stats.CondMispredicts = p.pred.CondSeen - p.pred.CondHits
+	return &p.stats, nil
+}
+
+func (p *Pipeline) done() bool {
+	return p.rob.empty() && len(p.frontend) == 0 && p.pendingRec == nil &&
+		p.pendingBr == nil && p.stream.Exhausted()
+}
+
+// ---------- events ----------
+
+func (p *Pipeline) schedule(at int64, kind evKind, u *uop) {
+	if at <= p.cycle {
+		at = p.cycle + 1
+	}
+	if at-p.cycle >= eventHorizon {
+		at = p.cycle + eventHorizon - 1
+	}
+	slot := at % eventHorizon
+	p.events[slot] = append(p.events[slot], event{kind: kind, u: u, epoch: u.epoch})
+}
+
+func (p *Pipeline) processEvents() {
+	slot := p.cycle % eventHorizon
+	evs := p.events[slot]
+	p.events[slot] = nil
+	// Miss discoveries first: they may replay uops whose completion events
+	// fire this very cycle.
+	for _, e := range evs {
+		if e.kind == evMissDiscover && e.epoch == e.u.epoch && !e.u.squashed {
+			p.onMissDiscover(e.u)
+		}
+	}
+	for _, e := range evs {
+		if e.epoch != e.u.epoch || e.u.squashed {
+			continue
+		}
+		switch e.kind {
+		case evComplete:
+			p.onComplete(e.u)
+		case evResolve:
+			p.onResolve(e.u)
+		}
+	}
+}
+
+func (p *Pipeline) onComplete(u *uop) {
+	if u.dataAt > p.cycle {
+		// A cache miss stretched this operation; completion follows data.
+		p.schedule(u.dataAt, evComplete, u)
+		return
+	}
+	u.completed = true
+	u.inIQ = false
+}
+
+func (p *Pipeline) onResolve(u *uop) {
+	if p.pendingBr == u {
+		p.pendingBr = nil
+		p.fetchStall = p.cycle + 1
+		if u.rec.CondBranch {
+			p.pred.RecoverHistory(u.histSnap, u.rec.Taken)
+		}
+	}
+}
+
+func (p *Pipeline) onMissDiscover(u *uop) {
+	if u.isMG() && u.tmpl.InteriorLoad() {
+		// §4.3: "it is not possible to reschedule only the mini-graph
+		// subset that depends on the load, [so] the entire mini-graph must
+		// be replayed".
+		p.stats.MGReplays++
+		resume := u.dataAt - u.memOffset()
+		p.replay(u)
+		if resume > u.minIssue {
+			u.minIssue = resume
+		}
+		return
+	}
+	// Singleton load (or terminal mini-graph load): dependents that issued
+	// in the speculative-wake-up shadow replay; the load itself stands.
+	p.stats.LoadMissReplays++
+	if u.dest != rename.NoReg {
+		p.readyAt[u.dest] = u.dataAt
+		p.replayConsumers(u.dest)
+	}
+}

@@ -1,0 +1,102 @@
+// Package rename models register renaming: the architectural-to-physical
+// map table, the physical register free list, and squash recovery via an
+// undo log. This is the structure whose bandwidth and capacity mini-graphs
+// amplify most directly: a whole mini-graph renames as one instruction and
+// allocates at most one physical register, because interior values live
+// only in the bypass network (§3.1).
+package rename
+
+import (
+	"fmt"
+
+	"minigraph/internal/isa"
+)
+
+// NoReg marks "no physical register".
+const NoReg = -1
+
+// Table is the rename state.
+type Table struct {
+	mapTable [isa.TotalRegs]int
+	freeList []int
+	numPhys  int
+
+	// Allocs / Frees count physical register traffic for the bandwidth
+	// amplification statistics.
+	Allocs int64
+	Frees  int64
+}
+
+// Undo captures what a single rename did, for squash recovery.
+type Undo struct {
+	Arch isa.Reg
+	Prev int // previous physical mapping
+	Phys int // newly allocated physical register
+}
+
+// New builds a table with numPhys physical registers in the paper's
+// accounting: numPhys = 64 architectural + in-flight (164 = 64 + 100 for
+// the baseline). The DISE dedicated register set has its own physical
+// copies on top (as in the DISE design), so the in-flight pool is exactly
+// numPhys - isa.NumRegs.
+func New(numPhys int) *Table {
+	if numPhys < isa.NumRegs+1 {
+		panic(fmt.Sprintf("rename: need more than %d physical registers, got %d", isa.NumRegs, numPhys))
+	}
+	total := numPhys + isa.NumDiseRegs
+	t := &Table{numPhys: total}
+	for i := 0; i < isa.TotalRegs; i++ {
+		t.mapTable[i] = i
+	}
+	for p := total - 1; p >= isa.TotalRegs; p-- {
+		t.freeList = append(t.freeList, p)
+	}
+	return t
+}
+
+// NumPhys returns the physical register count.
+func (t *Table) NumPhys() int { return t.numPhys }
+
+// FreeCount returns how many physical registers are available.
+func (t *Table) FreeCount() int { return len(t.freeList) }
+
+// Lookup returns the physical register currently holding arch. Hardwired
+// zero registers return NoReg (they are not renamed; their value is the
+// constant zero).
+func (t *Table) Lookup(arch isa.Reg) int {
+	if arch.IsZero() || int(arch) >= isa.TotalRegs {
+		return NoReg
+	}
+	return t.mapTable[arch]
+}
+
+// Allocate renames a definition of arch, returning the new physical
+// register and the undo record. ok=false means the free list is empty
+// (rename must stall).
+func (t *Table) Allocate(arch isa.Reg) (phys int, undo Undo, ok bool) {
+	if len(t.freeList) == 0 {
+		return NoReg, Undo{}, false
+	}
+	phys = t.freeList[len(t.freeList)-1]
+	t.freeList = t.freeList[:len(t.freeList)-1]
+	undo = Undo{Arch: arch, Prev: t.mapTable[arch], Phys: phys}
+	t.mapTable[arch] = phys
+	t.Allocs++
+	return phys, undo, true
+}
+
+// Rollback reverses one rename (newest first!) during a squash.
+func (t *Table) Rollback(u Undo) {
+	t.mapTable[u.Arch] = u.Prev
+	t.freeList = append(t.freeList, u.Phys)
+}
+
+// Release frees the physical register displaced by a retiring instruction
+// (the "overwritten output register ... freed when the handle retires").
+func (t *Table) Release(prevPhys int) {
+	if prevPhys == NoReg {
+		return
+	}
+	t.freeList = append(t.freeList, prevPhys)
+	t.Frees++
+}

@@ -1,0 +1,131 @@
+package rename_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"minigraph/internal/isa"
+	"minigraph/internal/uarch/rename"
+)
+
+func TestInitialMappingIdentity(t *testing.T) {
+	tab := rename.New(164)
+	for i := 0; i < isa.TotalRegs; i++ {
+		r := isa.Reg(i)
+		if r.IsZero() {
+			continue
+		}
+		if got := tab.Lookup(r); got != i {
+			t.Errorf("initial map of %v = %d", r, got)
+		}
+	}
+	// Paper accounting: 164 = 64 architectural + 100 in-flight; DISE
+	// dedicated state rides on top.
+	if tab.FreeCount() != 100 {
+		t.Errorf("free count = %d want 100", tab.FreeCount())
+	}
+	if tab.NumPhys() != 164+isa.NumDiseRegs {
+		t.Errorf("total physical = %d", tab.NumPhys())
+	}
+}
+
+func TestZeroRegistersNotRenamed(t *testing.T) {
+	tab := rename.New(164)
+	if tab.Lookup(isa.RZero) != rename.NoReg || tab.Lookup(isa.FZero) != rename.NoReg {
+		t.Error("zero registers must not map to physical registers")
+	}
+}
+
+func TestAllocateLookupRelease(t *testing.T) {
+	tab := rename.New(164)
+	r5 := isa.IntReg(5)
+	old := tab.Lookup(r5)
+	phys, undo, ok := tab.Allocate(r5)
+	if !ok || phys == old {
+		t.Fatalf("allocate: %d %v", phys, ok)
+	}
+	if tab.Lookup(r5) != phys {
+		t.Error("map not updated")
+	}
+	if undo.Prev != old || undo.Phys != phys || undo.Arch != r5 {
+		t.Errorf("undo record %+v", undo)
+	}
+	free := tab.FreeCount()
+	tab.Release(old) // retire: previous mapping freed
+	if tab.FreeCount() != free+1 {
+		t.Error("release did not return the register")
+	}
+}
+
+func TestExhaustionAndStall(t *testing.T) {
+	tab := rename.New(164)
+	n := 0
+	for {
+		_, _, ok := tab.Allocate(isa.IntReg(1))
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 100 {
+		t.Errorf("allocated %d before exhaustion, want 100", n)
+	}
+}
+
+func TestRollbackRestoresState(t *testing.T) {
+	tab := rename.New(164)
+	r := isa.IntReg(7)
+	before := tab.Lookup(r)
+	freeBefore := tab.FreeCount()
+	var undos []rename.Undo
+	for i := 0; i < 10; i++ {
+		_, u, ok := tab.Allocate(r)
+		if !ok {
+			t.Fatal("exhausted")
+		}
+		undos = append(undos, u)
+	}
+	// Squash walks youngest-first.
+	for i := len(undos) - 1; i >= 0; i-- {
+		tab.Rollback(undos[i])
+	}
+	if tab.Lookup(r) != before || tab.FreeCount() != freeBefore {
+		t.Error("rollback did not restore the map and free list")
+	}
+}
+
+func TestAllocateRollbackProperty(t *testing.T) {
+	// Property: any interleaved sequence of allocations followed by a full
+	// youngest-first rollback restores the initial state.
+	f := func(regs []uint8) bool {
+		tab := rename.New(164)
+		want := map[isa.Reg]int{}
+		for i := 0; i < isa.NumRegs; i++ {
+			want[isa.Reg(i)] = tab.Lookup(isa.Reg(i))
+		}
+		var undos []rename.Undo
+		for _, raw := range regs {
+			r := isa.Reg(raw % isa.NumRegs)
+			if r.IsZero() {
+				continue
+			}
+			_, u, ok := tab.Allocate(r)
+			if !ok {
+				break
+			}
+			undos = append(undos, u)
+		}
+		for i := len(undos) - 1; i >= 0; i-- {
+			tab.Rollback(undos[i])
+		}
+		for r, p := range want {
+			if tab.Lookup(r) != p {
+				return false
+			}
+		}
+		return tab.FreeCount() == 100
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

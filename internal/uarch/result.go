@@ -1,0 +1,91 @@
+package uarch
+
+import "fmt"
+
+// Result aggregates the statistics of one simulation run.
+type Result struct {
+	Config string
+
+	Cycles int64
+	// Retired counts retired records (handles count once, nops never enter
+	// the back end).
+	Retired int64
+	// RetiredWork counts architectural work: handles contribute their
+	// constituent count, so RetiredWork/Cycles is comparable across
+	// rewritten and original binaries.
+	RetiredWork int64
+	// RetiredHandles counts retired mini-graph handles.
+	RetiredHandles int64
+	// HandleConstituents sums the sizes of retired handles.
+	HandleConstituents int64
+
+	FetchedRecords int64
+	FetchedNops    int64
+
+	// Branch prediction.
+	Branches        int64
+	Mispredicts     int64
+	BTBMissBubbles  int64
+	CondBranches    int64
+	CondMispredicts int64
+
+	// Memory system.
+	Loads, Stores        int64
+	L1IMisses, L1DMisses int64
+	L2Misses             int64
+	Forwards             int64
+	Violations           int64
+	LoadMissReplays      int64
+	MGReplays            int64
+
+	// Resource stalls (dispatch could not proceed because ...).
+	StallROB, StallIQ, StallLSQ, StallRegs int64
+
+	// Physical register traffic.
+	PregAllocs, PregFrees int64
+
+	// Issue accounting.
+	Issued       int64
+	IssuedOnAP   int64
+	IntMemIssued int64
+}
+
+// IPC returns retired records per cycle.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Retired) / float64(r.Cycles)
+}
+
+// WorkIPC returns architectural work per cycle (handles weighted by size).
+func (r *Result) WorkIPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.RetiredWork) / float64(r.Cycles)
+}
+
+// MispredictRate returns mispredicts per branch.
+func (r *Result) MispredictRate() float64 {
+	if r.Branches == 0 {
+		return 0
+	}
+	return float64(r.Mispredicts) / float64(r.Branches)
+}
+
+// String summarises the run.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: cycles=%d retired=%d work=%d IPC=%.3f workIPC=%.3f handles=%d mispred=%d viol=%d replays=%d+%d",
+		r.Config, r.Cycles, r.Retired, r.RetiredWork, r.IPC(), r.WorkIPC(),
+		r.RetiredHandles, r.Mispredicts, r.Violations, r.LoadMissReplays, r.MGReplays)
+}
+
+// Speedup returns base cycles / r cycles: >1 means r is faster at the same
+// work (both runs must execute the same program to completion).
+func Speedup(base, mg *Result) float64 {
+	if mg.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(mg.Cycles)
+}

@@ -1,0 +1,165 @@
+package uarch
+
+import (
+	"minigraph/internal/uarch/rename"
+	"minigraph/internal/uarch/sched"
+)
+
+// retire commits completed uops in order, up to CommitWidth per cycle. A
+// handle retires like a singleton: it writes at most one store-queue entry
+// to the data cache and frees at most one physical register (§4.1).
+func (p *Pipeline) retire() {
+	for n := 0; n < p.cfg.CommitWidth && !p.rob.empty(); n++ {
+		u := p.rob.front()
+		if !u.completed {
+			return
+		}
+		p.rob.popFront()
+
+		if u.isMem() {
+			// The LSQ head must be this very uop (memory ops commit in
+			// order); a mismatch is a simulator bug.
+			if p.lsq.empty() || p.lsq.front() != u {
+				panic("uarch: LSQ/ROB retire order diverged")
+			}
+			p.lsq.popFront()
+			u.inLSQ = false
+			if u.isStore() {
+				p.dcache.Access(p.cycle, u.rec.EA, true)
+				p.ssets.CompleteStore(u.rec.PC, u.rec.Seq)
+			}
+		}
+
+		p.ren.Release(u.prev)
+
+		if u.rec.IsCtrl {
+			p.stats.Branches++
+			if u.rec.CondBranch {
+				p.pred.UpdateDirection(u.rec.PC, u.histSnap, u.rec.Taken, u.predTaken)
+			}
+			if u.rec.Taken {
+				p.pred.UpdateTarget(u.rec.PC, u.rec.NextPC)
+			}
+		}
+
+		p.stats.Retired++
+		if u.isMG() {
+			p.stats.RetiredHandles++
+			p.stats.HandleConstituents += int64(u.tmpl.Size())
+			p.stats.RetiredWork += int64(u.tmpl.Size())
+		} else {
+			p.stats.RetiredWork++
+		}
+	}
+}
+
+// replay returns an issued uop to the not-issued state (mini-graph
+// interior-load miss, §4.3) and transitively replays issued consumers of
+// its output.
+func (p *Pipeline) replay(u *uop) {
+	if !u.issued {
+		return
+	}
+	u.issued = false
+	u.epoch++ // cancel in-flight completion / miss / resolve events
+	u.replayed++
+	p.cancelReservations(u)
+	u.execMem = false
+	u.fwdFrom = -1
+	u.dataAt = 0
+	u.missAt = 0
+	if u.dest != rename.NoReg {
+		p.readyAt[u.dest] = notReady
+		p.replayConsumers(u.dest)
+	}
+}
+
+// replayConsumers replays every issued, not-completed scheduler entry that
+// consumes physical register preg. Consumers can only have issued inside a
+// speculative-wake-up shadow, so the set is small; entries remain in the
+// scheduler until completion precisely so they stay replayable.
+func (p *Pipeline) replayConsumers(preg int) {
+	for _, c := range p.iq {
+		if !c.issued || c.completed || c.squashed {
+			continue
+		}
+		for s := 0; s < c.nsrcs; s++ {
+			if c.srcs[s] == preg {
+				p.replay(c)
+				break
+			}
+		}
+	}
+}
+
+// cancelReservations returns every resource u reserved at issue.
+func (p *Pipeline) cancelReservations(u *uop) {
+	if u.resWrPortAt >= 0 {
+		if u.resWrPortAt >= p.cycle {
+			p.window.Cancel(sched.ResWrPort, u.resWrPortAt)
+		}
+		u.resWrPortAt = -1
+	}
+	if u.resAP >= 0 {
+		if u.resAPOutAt >= p.cycle {
+			p.aps[u.resAP].Release(u.resAPOutAt)
+		}
+		u.resAP = -1
+	}
+	if u.hasResFU {
+		if u.resFUAt >= p.cycle {
+			p.window.Cancel(u.resFU, u.resFUAt)
+		}
+		u.hasResFU = false
+	}
+	if u.resFUBmp {
+		p.window.CancelFUBmp(u.resFUAt, u.mg)
+		u.resFUBmp = false
+	}
+}
+
+// squash flushes every uop with sequence number >= seq (memory-ordering
+// violation recovery): the rename map rolls back youngest-first via the
+// undo log, physical registers return to the free list, predictor state is
+// scrubbed, and the stream cursor rewinds so the same instructions are
+// re-fetched.
+func (p *Pipeline) squash(seq int64) {
+	for !p.rob.empty() && p.rob.back().rec.Seq >= seq {
+		u := p.rob.popBack()
+		u.squashed = true
+		u.epoch++
+		u.inIQ = false
+		if u.issued {
+			p.cancelReservations(u)
+		}
+		if u.inLSQ {
+			if p.lsq.empty() || p.lsq.back() != u {
+				panic("uarch: LSQ/ROB squash order diverged")
+			}
+			p.lsq.popBack()
+			u.inLSQ = false
+			if u.isStore() {
+				p.ssets.SquashStore(u.rec.PC, u.rec.Seq)
+			}
+		}
+		if u.dest != rename.NoReg {
+			p.ren.Rollback(rename.Undo{Arch: u.rec.Dest, Prev: u.prev, Phys: u.dest})
+		}
+		if p.pendingBr == u {
+			p.pendingBr = nil
+		}
+	}
+	// The front end is younger than anything in the ROB: drop it entirely.
+	for _, fe := range p.frontend {
+		fe.u.squashed = true
+		fe.u.epoch++
+		if p.pendingBr == fe.u {
+			p.pendingBr = nil
+		}
+	}
+	p.frontend = p.frontend[:0]
+	p.pendingRec = nil
+	p.haveFetchLine = false
+	p.stream.Rewind(seq)
+	p.fetchStall = p.cycle + 1
+}

@@ -1,0 +1,169 @@
+// Package sched provides the scheduler building blocks: the sliding-window
+// resource reservation bitmap of §4.3 and per-cycle issue-port accounting.
+//
+// A sliding-window scheduler extends a conventional scheduler's forward
+// reservation bitmap (used to reserve register write ports for multi-cycle
+// operations) in two dimensions: resources now include functional units,
+// and the time horizon extends to the maximum mini-graph execution latency.
+// Issuing an integer-memory handle ANDs its FUBMP against the window; a
+// clear result reserves all units at once, a conflict cancels issue for
+// that cycle (§4.3, "Basic operation").
+package sched
+
+import (
+	"fmt"
+
+	"minigraph/internal/core"
+)
+
+// Resource identifies one reservable unit class in the window.
+type Resource int
+
+// Window resources. WrPort is the register-file write-port pool; the rest
+// mirror core.FU classes.
+const (
+	ResALU Resource = iota
+	ResAP
+	ResLoad
+	ResStore
+	ResFP
+	ResWrPort
+	numResources
+)
+
+// String names the resource.
+func (r Resource) String() string {
+	switch r {
+	case ResALU:
+		return "ALU"
+	case ResAP:
+		return "AP"
+	case ResLoad:
+		return "LD"
+	case ResStore:
+		return "ST"
+	case ResFP:
+		return "FP"
+	case ResWrPort:
+		return "WR"
+	}
+	return "?"
+}
+
+// FromFU maps MGHT functional-unit classes to window resources.
+func FromFU(fu core.FU) Resource {
+	switch fu {
+	case core.FUALU:
+		return ResALU
+	case core.FUAP:
+		return ResAP
+	case core.FULoad:
+		return ResLoad
+	case core.FUStore:
+		return ResStore
+	}
+	return ResALU
+}
+
+// Window is the two-dimensional reservation bitmap: counts[resource][cycle]
+// versus per-resource capacity. Cycles are a ring over the window horizon.
+type Window struct {
+	horizon int
+	cap     [numResources]int
+	counts  [numResources][]int
+}
+
+// NewWindow builds a window covering horizon future cycles.
+func NewWindow(horizon int, capacity map[Resource]int) *Window {
+	w := &Window{horizon: horizon}
+	for r := Resource(0); r < numResources; r++ {
+		w.cap[r] = capacity[r]
+		w.counts[r] = make([]int, horizon)
+	}
+	return w
+}
+
+// Horizon returns the number of future cycles covered.
+func (w *Window) Horizon() int { return w.horizon }
+
+// Capacity returns the capacity of r.
+func (w *Window) Capacity(r Resource) int { return w.cap[r] }
+
+func (w *Window) slot(cycle int64) int { return int(cycle % int64(w.horizon)) }
+
+// Available reports whether one unit of r is free at cycle.
+func (w *Window) Available(r Resource, cycle int64) bool {
+	return w.counts[r][w.slot(cycle)] < w.cap[r]
+}
+
+// Reserve takes one unit of r at cycle.
+func (w *Window) Reserve(r Resource, cycle int64) {
+	w.counts[r][w.slot(cycle)]++
+}
+
+// Cancel returns one unit of r at cycle (replay/squash recovery).
+func (w *Window) Cancel(r Resource, cycle int64) {
+	s := w.slot(cycle)
+	if w.counts[r][s] > 0 {
+		w.counts[r][s]--
+	}
+}
+
+// Tick clears the slot belonging to the cycle that just completed; the ring
+// slot is reused for cycle now+horizon-1.
+func (w *Window) Tick(now int64) {
+	s := w.slot(now + int64(w.horizon) - 1)
+	for r := Resource(0); r < numResources; r++ {
+		w.counts[r][s] = 0
+	}
+}
+
+// CheckFUBmp performs the sliding-window AND: it reports whether FU0 at
+// cycle now and every FUBMP entry at its offset are available.
+func (w *Window) CheckFUBmp(now int64, ei *core.ExecInfo) bool {
+	if ei.TotalLat >= w.horizon {
+		return false // graph longer than the window: never schedulable
+	}
+	if !w.Available(FromFU(ei.FU0), now) {
+		return false
+	}
+	for c := 1; c < len(ei.FUBmp); c++ {
+		if ei.FUBmp[c] == core.FUNone {
+			continue
+		}
+		if !w.Available(FromFU(ei.FUBmp[c]), now+int64(c)) {
+			return false
+		}
+	}
+	return true
+}
+
+// ReserveFUBmp performs the sliding-window OR: it reserves FU0 and every
+// FUBMP unit. Call only after CheckFUBmp succeeded this cycle.
+func (w *Window) ReserveFUBmp(now int64, ei *core.ExecInfo) {
+	w.Reserve(FromFU(ei.FU0), now)
+	for c := 1; c < len(ei.FUBmp); c++ {
+		if ei.FUBmp[c] != core.FUNone {
+			w.Reserve(FromFU(ei.FUBmp[c]), now+int64(c))
+		}
+	}
+}
+
+// CancelFUBmp undoes ReserveFUBmp (mini-graph replay).
+func (w *Window) CancelFUBmp(issuedAt int64, ei *core.ExecInfo) {
+	w.Cancel(FromFU(ei.FU0), issuedAt)
+	for c := 1; c < len(ei.FUBmp); c++ {
+		if ei.FUBmp[c] != core.FUNone {
+			w.Cancel(FromFU(ei.FUBmp[c]), issuedAt+int64(c))
+		}
+	}
+}
+
+// String renders current occupancy for debugging.
+func (w *Window) String() string {
+	s := ""
+	for r := Resource(0); r < numResources; r++ {
+		s += fmt.Sprintf("%s(cap %d): %v\n", r, w.cap[r], w.counts[r])
+	}
+	return s
+}

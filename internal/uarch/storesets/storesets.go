@@ -1,0 +1,114 @@
+// Package storesets implements the store-set memory dependence predictor of
+// Chrysos & Emer (ISCA-25), the load-scheduling policy the paper's machine
+// uses (§6): loads and stores that have conflicted in the past are assigned
+// to a common store set and execute in order pair-wise; unrelated loads
+// bypass stores freely. Mini-graph handles participate via their handle PC
+// (§4.3, "a handle and its PC assume responsibility for memory
+// disambiguation and load scheduling").
+package storesets
+
+import "minigraph/internal/isa"
+
+const invalid = -1
+
+// Config sizes the predictor tables.
+type Config struct {
+	SSITEntries int // store-set id table (PC indexed), power of two
+	LFSTEntries int // last-fetched-store table (one per store set)
+}
+
+// DefaultConfig matches a typical store-sets deployment.
+func DefaultConfig() Config { return Config{SSITEntries: 4096, LFSTEntries: 512} }
+
+// Predictor tracks store sets. Sequence numbers identify dynamic stores.
+type Predictor struct {
+	cfg  Config
+	ssit []int   // PC -> SSID (or invalid)
+	lfst []int64 // SSID -> seq of last fetched store (or invalid)
+
+	nextSSID int
+
+	Violations int64
+	Merges     int64
+}
+
+// New builds an empty predictor.
+func New(cfg Config) *Predictor {
+	p := &Predictor{cfg: cfg}
+	p.ssit = make([]int, cfg.SSITEntries)
+	p.lfst = make([]int64, cfg.LFSTEntries)
+	for i := range p.ssit {
+		p.ssit[i] = invalid
+	}
+	for i := range p.lfst {
+		p.lfst[i] = invalid
+	}
+	return p
+}
+
+func (p *Predictor) idx(pc isa.PC) int { return int(uint64(pc) & uint64(p.cfg.SSITEntries-1)) }
+
+// DispatchStore processes a store (or store-bearing handle) at dispatch:
+// if the store belongs to a set, it becomes the set's last fetched store and
+// must wait for the previous one (two stores in one set execute in order).
+// It returns the seq of the store to wait for, or -1.
+func (p *Predictor) DispatchStore(pc isa.PC, seq int64) int64 {
+	ss := p.ssit[p.idx(pc)]
+	if ss == invalid {
+		return invalid
+	}
+	prev := p.lfst[ss]
+	p.lfst[ss] = seq
+	return prev
+}
+
+// DispatchLoad processes a load at dispatch: if the load belongs to a set
+// with an outstanding store, it must wait for that store. It returns the
+// store seq to wait for, or -1.
+func (p *Predictor) DispatchLoad(pc isa.PC) int64 {
+	ss := p.ssit[p.idx(pc)]
+	if ss == invalid {
+		return invalid
+	}
+	return p.lfst[ss]
+}
+
+// CompleteStore clears the LFST entry when a store leaves the window
+// (retires), so later loads stop synchronising on it.
+func (p *Predictor) CompleteStore(pc isa.PC, seq int64) {
+	ss := p.ssit[p.idx(pc)]
+	if ss != invalid && p.lfst[ss] == seq {
+		p.lfst[ss] = invalid
+	}
+}
+
+// SquashStore removes a squashed store from the LFST.
+func (p *Predictor) SquashStore(pc isa.PC, seq int64) {
+	p.CompleteStore(pc, seq)
+}
+
+// Violation trains the predictor after a memory-ordering violation between
+// a load and an older store, merging the two PCs into one store set
+// (Chrysos & Emer's merge rule: both take the smaller SSID).
+func (p *Predictor) Violation(loadPC, storePC isa.PC) {
+	p.Violations++
+	li, si := p.idx(loadPC), p.idx(storePC)
+	ls, ss := p.ssit[li], p.ssit[si]
+	switch {
+	case ls == invalid && ss == invalid:
+		id := p.nextSSID % p.cfg.LFSTEntries
+		p.nextSSID++
+		p.ssit[li], p.ssit[si] = id, id
+	case ls == invalid:
+		p.ssit[li] = ss
+	case ss == invalid:
+		p.ssit[si] = ls
+	case ls != ss:
+		p.Merges++
+		if ls < ss {
+			p.ssit[si] = ls
+		} else {
+			p.ssit[li] = ss
+		}
+	}
+}

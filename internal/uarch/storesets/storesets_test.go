@@ -1,0 +1,73 @@
+package storesets_test
+
+import (
+	"testing"
+
+	"minigraph/internal/isa"
+	"minigraph/internal/uarch/storesets"
+)
+
+func TestColdPredictorImposesNoOrder(t *testing.T) {
+	p := storesets.New(storesets.DefaultConfig())
+	if w := p.DispatchStore(10, 1); w != -1 {
+		t.Errorf("cold store wait = %d", w)
+	}
+	if w := p.DispatchLoad(20); w != -1 {
+		t.Errorf("cold load wait = %d", w)
+	}
+}
+
+func TestViolationCreatesSet(t *testing.T) {
+	p := storesets.New(storesets.DefaultConfig())
+	loadPC, storePC := isa.PC(20), isa.PC(10)
+	p.Violation(loadPC, storePC)
+	// Next occurrence: store joins the set, load must wait for it.
+	if w := p.DispatchStore(storePC, 5); w != -1 {
+		t.Errorf("first store in set waits on %d", w)
+	}
+	if w := p.DispatchLoad(loadPC); w != 5 {
+		t.Errorf("load should wait for store 5, got %d", w)
+	}
+	// After the store completes, the load runs free again.
+	p.CompleteStore(storePC, 5)
+	if w := p.DispatchLoad(loadPC); w != -1 {
+		t.Errorf("load still waits on %d after completion", w)
+	}
+}
+
+func TestStoreStoreOrderWithinSet(t *testing.T) {
+	p := storesets.New(storesets.DefaultConfig())
+	p.Violation(20, 10)
+	p.Violation(20, 12) // second store joins the same set (merge)
+	w1 := p.DispatchStore(10, 100)
+	w2 := p.DispatchStore(12, 101)
+	if w1 != -1 {
+		t.Errorf("first store waits on %d", w1)
+	}
+	if w2 != 100 {
+		t.Errorf("second store in set should wait for the first, got %d", w2)
+	}
+	if p.Merges == 0 && w2 != 100 {
+		t.Error("sets did not merge")
+	}
+}
+
+func TestSquashStoreClearsLFST(t *testing.T) {
+	p := storesets.New(storesets.DefaultConfig())
+	p.Violation(20, 10)
+	p.DispatchStore(10, 7)
+	p.SquashStore(10, 7)
+	if w := p.DispatchLoad(20); w != -1 {
+		t.Errorf("load waits on squashed store %d", w)
+	}
+}
+
+func TestViolationCountsAndLearning(t *testing.T) {
+	p := storesets.New(storesets.DefaultConfig())
+	for i := 0; i < 5; i++ {
+		p.Violation(20, 10)
+	}
+	if p.Violations != 5 {
+		t.Errorf("violations = %d", p.Violations)
+	}
+}

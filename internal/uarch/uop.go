@@ -1,0 +1,157 @@
+package uarch
+
+import (
+	"minigraph/internal/core"
+	"minigraph/internal/emu"
+	"minigraph/internal/isa"
+	"minigraph/internal/uarch/sched"
+)
+
+// uop is one in-flight operation: a singleton instruction or a mini-graph
+// handle. The handle occupies exactly one uop — one ROB entry, one scheduler
+// entry, at most one LSQ entry and at most one physical register — which is
+// precisely the capacity amplification the paper measures.
+type uop struct {
+	rec emu.Record // copied from the stream (the ring slot may be reused)
+
+	// Renamed operands.
+	srcs  [2]int // physical registers (rename.NoReg = always-ready/zero)
+	nsrcs int
+	dest  int // physical register or rename.NoReg
+	prev  int // previously mapped physical register (freed at retire)
+
+	// Mini-graph metadata (nil for singletons).
+	mg   *core.ExecInfo
+	tmpl *core.Template
+
+	// Scheduling state.
+	inIQ      bool
+	issued    bool
+	iqFreeAt  int64 // scheduler-entry release for issue-freed singletons
+	completed bool
+	squashed  bool
+	issueAt   int64
+	minIssue  int64 // earliest re-issue after a mini-graph replay
+	epoch     int   // invalidates in-flight events on replay/squash
+
+	// Reservations taken at issue (for cancellation on replay).
+	resWrPortAt int64 // -1 if none
+	resAP       int   // AP index, -1 if none
+	resAPOutAt  int64
+	resFU       sched.Resource
+	resFUAt     int64
+	hasResFU    bool
+	resFUBmp    bool // reserved via the sliding-window FUBMP
+
+	// Memory state.
+	inLSQ    bool
+	execMem  bool  // memory op has executed (address resolved)
+	fwdFrom  int64 // seq of forwarding store, -1 = from cache
+	waitSt   int64 // store seq this op must wait for (store sets), -1 none
+	dataAt   int64 // cycle the loaded value is available
+	missAt   int64 // pending miss resolution (loads), 0 if hit
+	replayed int   // replay count (stats)
+
+	// Branch state.
+	predTaken   bool
+	predTarget  isa.PC
+	mispredict  bool // full mispredict: fetch stalled until resolution
+	histSnap    uint64
+	resolveAt   int64
+	btbMissOnly bool // direct taken branch missing in BTB (small bubble)
+}
+
+func (u *uop) isLoad() bool  { return u.rec.IsLoad }
+func (u *uop) isStore() bool { return u.rec.IsStore }
+func (u *uop) isMem() bool   { return u.rec.IsLoad || u.rec.IsStore }
+func (u *uop) isMG() bool    { return u.mg != nil }
+
+// memOffset is the cycle offset from issue at which the memory operation
+// executes (0 for singletons, the MGST bank for handles).
+func (u *uop) memOffset() int64 {
+	if u.mg != nil && u.mg.MemOffset > 0 {
+		return int64(u.mg.MemOffset)
+	}
+	return 0
+}
+
+// outLat is the latency from issue to output availability.
+func (u *uop) outLat(cfg *Config) int {
+	if u.mg != nil {
+		return u.mg.Lat
+	}
+	if u.isLoad() {
+		return cfg.LoadLat
+	}
+	return u.rec.Op.Info().Latency
+}
+
+// totalLat is the latency from issue to completion of all effects.
+func (u *uop) totalLat(cfg *Config) int {
+	if u.mg != nil {
+		return u.mg.TotalLat
+	}
+	if u.isLoad() {
+		return cfg.LoadLat
+	}
+	return u.rec.Op.Info().Latency
+}
+
+// overlaps reports whether two memory accesses intersect.
+func overlaps(a isa.Addr, an int, b isa.Addr, bn int) bool {
+	return a < b+isa.Addr(bn) && b < a+isa.Addr(an)
+}
+
+// covers reports whether access (a,an) fully covers (b,bn).
+func covers(a isa.Addr, an int, b isa.Addr, bn int) bool {
+	return a <= b && b+isa.Addr(bn) <= a+isa.Addr(an)
+}
+
+// rob is a ring buffer of in-flight uops in program order.
+type rob struct {
+	buf  []*uop
+	head int
+	n    int
+}
+
+func newROB(size int) *rob { return &rob{buf: make([]*uop, size)} }
+
+func (r *rob) full() bool  { return r.n == len(r.buf) }
+func (r *rob) empty() bool { return r.n == 0 }
+func (r *rob) len() int    { return r.n }
+
+func (r *rob) push(u *uop) {
+	r.buf[(r.head+r.n)%len(r.buf)] = u
+	r.n++
+}
+
+func (r *rob) front() *uop {
+	return r.buf[r.head]
+}
+
+func (r *rob) popFront() *uop {
+	u := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return u
+}
+
+// popBack removes the youngest entry (squash walk).
+func (r *rob) popBack() *uop {
+	i := (r.head + r.n - 1) % len(r.buf)
+	u := r.buf[i]
+	r.buf[i] = nil
+	r.n--
+	return u
+}
+
+func (r *rob) back() *uop {
+	if r.n == 0 {
+		return nil
+	}
+	return r.buf[(r.head+r.n-1)%len(r.buf)]
+}
+
+// at returns the i-th oldest entry.
+func (r *rob) at(i int) *uop { return r.buf[(r.head+i)%len(r.buf)] }

@@ -1,0 +1,389 @@
+package workload
+
+import (
+	"fmt"
+
+	"minigraph/internal/isa"
+)
+
+func init() {
+	register("reed.dec", CommBench, buildReedDec)
+	register("reed.enc", CommBench, buildReedEnc)
+	register("frag", CommBench, buildFrag)
+	register("rtr", CommBench, buildRTR)
+	register("drr", CommBench, buildDRR)
+	register("tcpdump", CommBench, buildTCPDump)
+}
+
+// gf256Tables builds GF(256) log/antilog tables over the 0x11d polynomial.
+func gf256Tables() (logT, alogT []byte) {
+	logT = make([]byte, 256)
+	alogT = make([]byte, 512)
+	x := 1
+	for i := 0; i < 255; i++ {
+		alogT[i] = byte(x)
+		logT[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= 0x11d
+		}
+	}
+	for i := 255; i < 512; i++ {
+		alogT[i] = alogT[i-255]
+	}
+	return logT, alogT
+}
+
+// buildReedDec models CommBench's Reed-Solomon decoder: syndrome
+// computation over GF(256) with table-driven multiplies — byte loads, adds,
+// modular folds and xors (dense integer-memory idioms).
+func buildReedDec(in Input) *isa.Program {
+	r := rng("reed.dec", in)
+	logT, alogT := gf256Tables()
+	nblk := 40
+	blk := 255
+	data := make([]byte, nblk*blk)
+	for i := range data {
+		data[i] = byte(r.Intn(256))
+	}
+	var d dataBuilder
+	d.bytesArr("logt", logT)
+	d.bytesArr("alogt", alogT)
+	d.bytesArr("data", data)
+	d.space("result", 8)
+	text := fmt.Sprintf(`
+main:   li   r1, %d          ; blocks
+        lda  r2, data(zero)
+        lda  r3, logt(zero)
+        lda  r4, alogt(zero)
+        clr  r20
+blk:    li   r5, %d          ; bytes per block
+        clr  r6              ; syndrome 1 (root^1)
+        clr  r7              ; syndrome 2 (root^2)
+        clr  r8              ; position
+byte:   addq r2, r8, r9
+        ldbu r10, 0(r9)
+        beq  r10, skip
+        addq r3, r10, r11
+        ldbu r12, 0(r11)     ; log(b)
+        addq r12, r8, r13    ; log(b) + pos
+        cmplt r13, 255, r14  ; mod 255 fold
+        bne  r14, m1
+        lda  r13, -255(r13)
+m1:     addq r4, r13, r14
+        ldbu r15, 0(r14)     ; alog
+        xor  r6, r15, r6
+        addq r12, r8, r13
+        addq r13, r8, r13    ; log(b) + 2*pos
+        addq r4, r13, r14    ; alog table is doubled, no fold needed
+        ldbu r15, 0(r14)
+        xor  r7, r15, r7
+skip:   addq r8, 1, r8
+        subl r5, 1, r5
+        bne  r5, byte
+        sll  r6, 8, r6
+        xor  r6, r7, r6
+        addq r20, r6, r20
+        lda  r2, %d(r2)
+        subl r1, 1, r1
+        bne  r1, blk
+        stq  r20, result(zero)
+        halt
+`, nblk, blk, blk)
+	return build("reed.dec", d.String(), text)
+}
+
+// buildReedEnc models the RS encoder: an LFSR over the parity registers
+// with generator-coefficient multiplies via the log/alog tables.
+func buildReedEnc(in Input) *isa.Program {
+	r := rng("reed.enc", in)
+	logT, alogT := gf256Tables()
+	n := 20 * 1024
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(1 + r.Intn(255))
+	}
+	var d dataBuilder
+	d.bytesArr("logt", logT)
+	d.bytesArr("alogt", alogT)
+	d.bytesArr("data", data)
+	d.space("result", 8)
+	// Two parity bytes with generator coefficients g0, g1 (log form).
+	text := fmt.Sprintf(`
+main:   li   r1, %d
+        lda  r2, data(zero)
+        lda  r3, logt(zero)
+        lda  r4, alogt(zero)
+        clr  r6              ; parity0
+        clr  r7              ; parity1
+        clr  r20
+loop:   ldbu r8, 0(r2)
+        lda  r2, 1(r2)
+        xor  r8, r6, r9      ; feedback
+        beq  r9, zfb
+        addq r3, r9, r10
+        ldbu r11, 0(r10)     ; log(feedback)
+        addq r11, 25, r12    ; * g0 (log 25)
+        addq r4, r12, r13
+        ldbu r14, 0(r13)
+        xor  r7, r14, r6     ; parity0 = parity1 ^ fb*g0
+        addq r11, 120, r12   ; * g1 (log 120)
+        addq r4, r12, r13
+        ldbu r14, 0(r13)
+        mov  r14, r7         ; parity1 = fb*g1
+        br   acc
+zfb:    mov  r7, r6
+        clr  r7
+acc:    addq r20, r6, r20
+        subl r1, 1, r1
+        bne  r1, loop
+        sll  r6, 8, r6
+        bis  r6, r7, r6
+        xor  r20, r6, r20
+        stq  r20, result(zero)
+        halt
+`, n)
+	return build("reed.enc", d.String(), text)
+}
+
+// buildFrag models CommBench's frag: IP fragmentation with header checksum
+// recomputation — 16-bit ones-complement sums and header field updates.
+func buildFrag(in Input) *isa.Program {
+	r := rng("frag", in)
+	npkt := 600
+	pktLen := 256 // bytes, 16-bit words
+	pkts := make([]byte, npkt*pktLen)
+	for i := range pkts {
+		pkts[i] = byte(r.Intn(256))
+	}
+	var d dataBuilder
+	d.bytesArr("pkts", pkts)
+	d.space("result", 8)
+	text := fmt.Sprintf(`
+main:   li   r1, %d          ; packets
+        lda  r2, pkts(zero)
+        clr  r20
+pkt:    li   r3, %d          ; 16-bit words per packet
+        clr  r4              ; checksum accumulator
+        mov  r2, r5
+w:      ldwu r6, 0(r5)
+        addq r4, r6, r4
+        lda  r5, 2(r5)
+        subl r3, 1, r3
+        bne  r3, w
+        ; fold carries twice: csum = (csum & ffff) + (csum >> 16)
+        and  r4, 65535, r6
+        srl  r4, 16, r7
+        addq r6, r7, r4
+        and  r4, 65535, r6
+        srl  r4, 16, r7
+        addq r6, r7, r4
+        ornot zero, r4, r4
+        and  r4, 65535, r4   ; final ones-complement checksum
+        ; fragment: rewrite offset field (bytes 6..7) and store checksum
+        ldwu r8, 6(r2)
+        addq r8, 185, r8     ; new fragment offset
+        and  r8, 65535, r8
+        stw  r8, 6(r2)
+        stw  r4, 10(r2)
+        addq r20, r4, r20
+        lda  r2, %d(r2)
+        subl r1, 1, r1
+        bne  r1, pkt
+        stq  r20, result(zero)
+        halt
+`, npkt, pktLen/2, pktLen)
+	return build("frag", d.String(), text)
+}
+
+// buildRTR models CommBench's rtr: radix-trie route lookups — bit tests and
+// short pointer walks over a node table (small dependent-load chains).
+func buildRTR(in Input) *isa.Program {
+	r := rng("rtr", in)
+	// Binary trie of depth <= 16 over 4096 nodes: {left, right, nexthop}.
+	nnode := 4096
+	nodes := make([]int64, 3*nnode)
+	for i := 1; i < nnode; i++ {
+		// Random children further down the array (0 = leaf/miss).
+		if l := i*2 + r.Intn(3) - 1; l > i && l < nnode {
+			nodes[3*i] = int64(l)
+		}
+		if rr := i*2 + 1 + r.Intn(3) - 1; rr > i && rr < nnode {
+			nodes[3*i+1] = int64(rr)
+		}
+		nodes[3*i+2] = int64(r.Intn(16))
+	}
+	nodes[3] = 2 // root has children
+	nodes[4] = 3
+	naddr := 5000
+	addrs := make([]int64, naddr)
+	for i := range addrs {
+		addrs[i] = int64(r.Uint32())
+	}
+	var d dataBuilder
+	d.words("nodes", nodes)
+	d.words("addrs", addrs)
+	d.space("result", 8)
+	text := fmt.Sprintf(`
+main:   li   r1, %d
+        lda  r2, addrs(zero)
+        lda  r3, nodes(zero)
+        clr  r20
+addr:   ldq  r4, 0(r2)       ; address
+        lda  r2, 8(r2)
+        li   r5, 1           ; node = root
+        li   r6, 31          ; bit position
+        clr  r7              ; best next hop
+walk:   sll  r5, 4, r8       ; node*24
+        s8addq r5, r8, r8
+        addq r3, r8, r8
+        ldq  r9, 16(r8)      ; nexthop
+        beq  r9, nohop
+        mov  r9, r7
+nohop:  srl  r4, r6, r10
+        and  r10, 1, r10
+        beq  r10, left
+        ldq  r5, 8(r8)       ; right child
+        br   step
+left:   ldq  r5, 0(r8)       ; left child
+step:   subl r6, 1, r6
+        beq  r5, done        ; fell off the trie
+        bge  r6, walk
+done:   addq r20, r7, r20
+        subl r1, 1, r1
+        bne  r1, addr
+        stq  r20, result(zero)
+        halt
+`, naddr)
+	return build("rtr", d.String(), text)
+}
+
+// buildDRR models deficit-round-robin scheduling: per-queue quantum/deficit
+// arithmetic, head-of-line packet sizes from a table, and service counters.
+func buildDRR(in Input) *isa.Program {
+	r := rng("drr", in)
+	nq := 64
+	queues := make([]int64, 3*nq) // {deficit, backlog, served}
+	for i := 0; i < nq; i++ {
+		queues[3*i+1] = int64(200 + r.Intn(4000))
+	}
+	sizes := make([]int64, 1024)
+	for i := range sizes {
+		sizes[i] = int64(64 + r.Intn(1400))
+	}
+	var d dataBuilder
+	d.words("queues", queues)
+	d.words("sizes", sizes)
+	d.space("result", 8)
+	rounds := 800
+	text := fmt.Sprintf(`
+main:   li   r1, %d          ; rounds
+        lda  r2, queues(zero)
+        lda  r3, sizes(zero)
+        clr  r20             ; total served
+        clr  r25             ; size cursor
+round:  li   r4, %d          ; queues per round
+        mov  r2, r5
+q:      ldq  r6, 8(r5)       ; backlog
+        beq  r6, nextq
+        ldq  r7, 0(r5)       ; deficit
+        lda  r7, 500(r7)     ; add quantum
+serve:  and  r25, 1023, r8
+        s8addq r8, r3, r9
+        ldq  r10, 0(r9)      ; head packet size
+        cmple r10, r7, r11
+        beq  r11, stop
+        cmple r10, r6, r11
+        beq  r11, stop
+        subq r7, r10, r7
+        subq r6, r10, r6
+        addq r25, 1, r25
+        ldq  r12, 16(r5)
+        addq r12, 1, r12
+        stq  r12, 16(r5)
+        addq r20, r10, r20
+        bne  r6, serve
+stop:   stq  r7, 0(r5)
+        stq  r6, 8(r5)
+nextq:  lda  r5, 24(r5)
+        subl r4, 1, r4
+        bne  r4, q
+        ; refill a queue chosen by the round counter
+        and  r1, %d, r13
+        sll  r13, 4, r14
+        s8addq r13, r14, r14
+        addq r2, r14, r14
+        ldq  r15, 8(r14)
+        lda  r15, 900(r15)
+        stq  r15, 8(r14)
+        subl r1, 1, r1
+        bne  r1, round
+        stq  r20, result(zero)
+        halt
+`, rounds, nq, nq-1)
+	return build("drr", d.String(), text)
+}
+
+// buildTCPDump models packet filtering: parse synthetic IP/TCP headers and
+// count matches of a small filter expression — field loads and compare
+// chains (branchy, small blocks).
+func buildTCPDump(in Input) *isa.Program {
+	r := rng("tcpdump", in)
+	npkt := 4000
+	hdrLen := 40
+	pkts := make([]byte, npkt*hdrLen)
+	for i := 0; i < npkt; i++ {
+		h := pkts[i*hdrLen:]
+		h[0] = 0x45
+		h[9] = []byte{6, 6, 17, 1, 6, 17}[r.Intn(6)] // proto
+		port := []int{80, 443, 22, 53, 8080, 1024 + r.Intn(60000)}[r.Intn(6)]
+		h[22] = byte(port >> 8) // dst port hi
+		h[23] = byte(port)      // dst port lo
+		h[12] = byte(r.Intn(256))
+	}
+	var d dataBuilder
+	d.bytesArr("pkts", pkts)
+	d.space("result", 8)
+	text := fmt.Sprintf(`
+main:   li   r1, %d
+        lda  r2, pkts(zero)
+        clr  r4              ; tcp80
+        clr  r5              ; tcp443
+        clr  r6              ; udp
+        clr  r7              ; other
+pkt:    ldbu r8, 9(r2)       ; protocol
+        cmpeq r8, 6, r9
+        beq  r9, notTCP
+        ldbu r10, 22(r2)
+        ldbu r11, 23(r2)
+        sll  r10, 8, r10
+        bis  r10, r11, r10   ; dst port
+        cmpeq r10, 80, r12
+        beq  r12, not80
+        addq r4, 1, r4
+        br   nxt
+not80:  cmpeq r10, 443, r12
+        beq  r12, not443
+        addq r5, 1, r5
+        br   nxt
+not443: addq r7, 1, r7
+        br   nxt
+notTCP: cmpeq r8, 17, r9
+        beq  r9, notUDP
+        addq r6, 1, r6
+        br   nxt
+notUDP: addq r7, 1, r7
+nxt:    lda  r2, %d(r2)
+        subl r1, 1, r1
+        bne  r1, pkt
+        sll  r4, 48, r4
+        sll  r5, 32, r5
+        sll  r6, 16, r6
+        bis  r4, r5, r4
+        bis  r4, r6, r4
+        bis  r4, r7, r4
+        stq  r4, result(zero)
+        halt
+`, npkt, hdrLen)
+	return build("tcpdump", d.String(), text)
+}

@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"fmt"
+
+	"minigraph/internal/isa"
+)
+
+func init() {
+	register("vpr", SPECint, buildVPR)
+	register("epic", MediaBench, buildEpic)
+	register("qsort", MiBench, buildQsort)
+}
+
+// buildVPR models vpr's routing cost estimator: bounding-box wirelength
+// over net pins (abs-difference and min/max chains) with a table-driven
+// congestion factor — compare/branch-laced integer code.
+func buildVPR(in Input) *isa.Program {
+	r := rng("vpr", in)
+	nets := 3000
+	pins := make([]int64, 4*nets) // x1,y1,x2,y2 per net
+	for i := range pins {
+		pins[i] = int64(r.Intn(256))
+	}
+	cong := make([]int64, 256)
+	for i := range cong {
+		cong[i] = int64(100 + r.Intn(60))
+	}
+	var d dataBuilder
+	d.words("pins", pins)
+	d.words("cong", cong)
+	d.space("result", 8)
+	text := fmt.Sprintf(`
+main:   li   r1, %d
+        lda  r2, pins(zero)
+        lda  r3, cong(zero)
+        clr  r20
+net:    ldq  r4, 0(r2)       ; x1
+        ldq  r5, 8(r2)       ; y1
+        ldq  r6, 16(r2)      ; x2
+        ldq  r7, 24(r2)      ; y2
+        subq r4, r6, r8      ; dx
+        sra  r8, 63, r9
+        xor  r8, r9, r8
+        subq r8, r9, r8      ; |dx|
+        subq r5, r7, r10     ; dy
+        sra  r10, 63, r11
+        xor  r10, r11, r10
+        subq r10, r11, r10   ; |dy|
+        addq r8, r10, r12    ; half-perimeter wirelength
+        ; congestion factor keyed on the bounding-box centre column
+        addq r4, r6, r13
+        srl  r13, 1, r13
+        and  r13, 255, r13
+        s8addq r13, r3, r14
+        ldq  r15, 0(r14)
+        mull r12, r15, r16
+        srl  r16, 7, r16
+        addq r20, r16, r20
+        ; penalise tall skinny boxes (branchy path selection)
+        cmplt r8, r10, r17
+        beq  r17, wide
+        addq r20, r10, r20
+        br   next
+wide:   addq r20, r8, r20
+next:   lda  r2, 32(r2)
+        subl r1, 1, r1
+        bne  r1, net
+        stq  r20, result(zero)
+        halt
+`, nets)
+	return build("vpr", d.String(), text)
+}
+
+// buildEpic models epic's pyramid construction: a separable 1-D wavelet
+// (lifting) filter pass over image rows — shift-add filters with stride-2
+// loads and stores, the dense streaming idiom of image codecs.
+func buildEpic(in Input) *isa.Program {
+	r := rng("epic", in)
+	w, h := 256, 64
+	img := make([]int64, w*h)
+	for i := range img {
+		img[i] = int64(r.Intn(4096))
+	}
+	var d dataBuilder
+	d.words("img", img)
+	d.space("low", 8*w*h/2)
+	d.space("high", 8*w*h/2)
+	d.space("result", 8)
+	text := fmt.Sprintf(`
+main:   li   r1, %d           ; rows
+        lda  r2, img(zero)
+        lda  r3, low(zero)
+        lda  r4, high(zero)
+        clr  r20
+row:    li   r5, %d           ; pairs per row
+pair:   ldq  r6, 0(r2)        ; even sample
+        ldq  r7, 8(r2)        ; odd sample
+        ldq  r8, 16(r2)       ; next even (prediction neighbour)
+        ; predict: detail = odd - (even + nextEven)/2
+        addq r6, r8, r9
+        sra  r9, 1, r9
+        subq r7, r9, r10
+        ; update: smooth = even + detail/4
+        sra  r10, 2, r11
+        addq r6, r11, r12
+        stq  r12, 0(r3)
+        stq  r10, 0(r4)
+        addq r20, r12, r20
+        xor  r20, r10, r20
+        lda  r2, 16(r2)
+        lda  r3, 8(r3)
+        lda  r4, 8(r4)
+        subl r5, 1, r5
+        bne  r5, pair
+        lda  r2, 16(r2)       ; skip the row's trailing pair
+        subl r1, 1, r1
+        bne  r1, row
+        stq  r20, result(zero)
+        halt
+`, h, w/2-1)
+	return build("epic", d.String(), text)
+}
+
+// buildQsort models MiBench's qsort: an iterative quicksort with an
+// explicit stack — data-dependent branches, swaps, and pointer arithmetic.
+func buildQsort(in Input) *isa.Program {
+	r := rng("qsort", in)
+	n := 2048
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(r.Intn(1 << 20))
+	}
+	var d dataBuilder
+	d.words("vals", vals)
+	d.space("stack", 8*128)
+	d.space("result", 8)
+	text := fmt.Sprintf(`
+main:   lda  r1, vals(zero)
+        lda  r2, stack(zero)
+        ; push (0, n-1)
+        stq  zero, 0(r2)
+        li   r3, %d
+        stq  r3, 8(r2)
+        lda  r2, 16(r2)
+pop:    lda  r4, stack(zero)
+        cmple r2, r4, r5      ; stack empty?
+        bne  r5, done
+        lda  r2, -16(r2)
+        ldq  r6, 0(r2)        ; lo
+        ldq  r7, 8(r2)        ; hi
+        cmplt r6, r7, r8
+        beq  r8, pop
+        ; partition around vals[hi]
+        s8addq r7, r1, r9
+        ldq  r10, 0(r9)       ; pivot
+        mov  r6, r11          ; i
+        mov  r6, r12          ; j
+part:   cmplt r12, r7, r13
+        beq  r13, partdone
+        s8addq r12, r1, r14
+        ldq  r15, 0(r14)
+        cmple r15, r10, r16
+        beq  r16, noswap
+        s8addq r11, r1, r17
+        ldq  r18, 0(r17)
+        stq  r15, 0(r17)      ; swap vals[i], vals[j]
+        stq  r18, 0(r14)
+        addq r11, 1, r11
+noswap: addq r12, 1, r12
+        br   part
+partdone: s8addq r11, r1, r14
+        ldq  r15, 0(r14)
+        stq  r10, 0(r14)      ; place pivot
+        stq  r15, 0(r9)
+        ; push (lo, i-1) and (i+1, hi)
+        subq r11, 1, r16
+        stq  r6, 0(r2)
+        stq  r16, 8(r2)
+        lda  r2, 16(r2)
+        addq r11, 1, r16
+        stq  r16, 0(r2)
+        stq  r7, 8(r2)
+        lda  r2, 16(r2)
+        br   pop
+done:   ; checksum: fold the sorted array
+        li   r3, %d
+        lda  r4, vals(zero)
+        clr  r20
+fold:   ldq  r5, 0(r4)
+        sll  r20, 1, r6
+        srl  r20, 63, r7
+        bis  r6, r7, r20
+        xor  r20, r5, r20
+        lda  r4, 8(r4)
+        subl r3, 1, r3
+        bne  r3, fold
+        stq  r20, result(zero)
+        halt
+`, n-1, n)
+	return build("qsort", d.String(), text)
+}

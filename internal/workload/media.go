@@ -1,0 +1,538 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"minigraph/internal/isa"
+)
+
+func init() {
+	register("adpcm.enc", MediaBench, buildADPCMEnc)
+	register("adpcm.dec", MediaBench, buildADPCMDec)
+	register("g721.enc", MediaBench, buildG721)
+	register("gsm.toast", MediaBench, buildGSM)
+	register("jpeg.comp", MediaBench, buildJPEG)
+	register("mpeg2.dec", MediaBench, buildMPEG2)
+	register("mesa.geom", MediaBench, buildMesa)
+}
+
+var imaStepTable = []int64{
+	7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+	50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230,
+	253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658, 724, 796, 876, 963,
+	1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066, 2272, 2499, 2749, 3024, 3327,
+	3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630, 9493, 10442,
+	11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794,
+	32767,
+}
+
+var imaIndexTable = []int64{-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8}
+
+// sin is a crude approximation adequate for synthesising plausible audio
+// input (accuracy is irrelevant; determinism is what matters).
+func sin(x float64) float64 {
+	const pi = 3.141592653589793
+	for x > 2*pi {
+		x -= 2 * pi
+	}
+	for x < 0 {
+		x += 2 * pi
+	}
+	neg := false
+	if x > pi {
+		x -= pi
+		neg = true
+	}
+	y := 16 * x * (pi - x) / (5*pi*pi - 4*x*(pi-x))
+	if neg {
+		return -y
+	}
+	return y
+}
+
+func sineSamples(name string, in Input, n int) []int32 {
+	r := rng(name, in)
+	out := make([]int32, n)
+	phase, freq := 0.0, 0.03+0.02*r.Float64()
+	for i := range out {
+		v := 8000.0*sin(phase) + float64(r.Intn(800)-400)
+		phase += freq
+		if r.Intn(256) == 0 {
+			freq = 0.01 + 0.05*r.Float64()
+		}
+		out[i] = int32(v)
+	}
+	return out
+}
+
+// buildADPCMEnc is the IMA ADPCM coder (MediaBench's adpcm rawcaudio):
+// per-sample sign/magnitude quantisation against an adaptive step size —
+// long serial chains of single-cycle integer operations, the paper's ideal
+// mini-graph material.
+func buildADPCMEnc(in Input) *isa.Program {
+	n := 6000
+	samples := sineSamples("adpcm.enc", in, n)
+	var d dataBuilder
+	d.longs("samples", samples)
+	d.words("steptab", imaStepTable)
+	d.words("idxtab", imaIndexTable)
+	d.space("result", 8)
+	text := fmt.Sprintf(`
+main:   lda  r1, samples(zero)
+        li   r2, %d
+        clr  r3              ; valpred
+        clr  r4              ; index
+        clr  r20             ; checksum
+        lda  r21, steptab(zero)
+        lda  r22, idxtab(zero)
+loop:   ldl  r6, 0(r1)
+        lda  r1, 4(r1)
+        s8addq r4, r21, r13
+        ldq  r13, 0(r13)     ; step
+        subq r6, r3, r8      ; diff
+        sra  r8, 63, r9
+        xor  r8, r9, r8
+        subq r8, r9, r8      ; abs(diff)
+        and  r9, 8, r10      ; sign nibble bit
+        clr  r11             ; delta
+        mov  r13, r12        ; working step
+        cmple r12, r8, r14
+        beq  r14, s1
+        bis  r11, 4, r11
+        subq r8, r12, r8
+s1:     srl  r12, 1, r12
+        cmple r12, r8, r14
+        beq  r14, s2
+        bis  r11, 2, r11
+        subq r8, r12, r8
+s2:     srl  r12, 1, r12
+        cmple r12, r8, r14
+        beq  r14, s3
+        bis  r11, 1, r11
+s3:     srl  r13, 3, r15     ; vpdiff = step>>3
+        and  r11, 4, r16
+        beq  r16, v1
+        addq r15, r13, r15
+v1:     and  r11, 2, r16
+        beq  r16, v2
+        srl  r13, 1, r16
+        addq r15, r16, r15
+v2:     and  r11, 1, r16
+        beq  r16, v3
+        srl  r13, 2, r16
+        addq r15, r16, r15
+v3:     beq  r10, vpos
+        subq r3, r15, r3
+        br   vclamp
+vpos:   addq r3, r15, r3
+vclamp: li   r16, 32767
+        cmple r3, r16, r17
+        bne  r17, c1
+        mov  r16, r3
+c1:     li   r16, -32768
+        cmple r16, r3, r17
+        bne  r17, c2
+        mov  r16, r3
+c2:     bis  r11, r10, r11   ; delta with sign
+        s8addq r11, r22, r18
+        ldq  r19, 0(r18)
+        addq r4, r19, r4
+        bge  r4, i1
+        clr  r4
+i1:     li   r16, 88
+        cmple r4, r16, r17
+        bne  r17, i2
+        mov  r16, r4
+i2:     sll  r20, 4, r23
+        srl  r20, 60, r24
+        bis  r23, r24, r20
+        xor  r20, r11, r20   ; checksum rotate-xor
+        subl r2, 1, r2
+        bne  r2, loop
+        stq  r20, result(zero)
+        halt
+`, n)
+	return build("adpcm.enc", d.String(), text)
+}
+
+// buildADPCMDec is the matching IMA decoder over a synthetic delta stream.
+func buildADPCMDec(in Input) *isa.Program {
+	r := rng("adpcm.dec", in)
+	n := 9000
+	deltas := make([]byte, n)
+	for i := range deltas {
+		deltas[i] = byte(r.Intn(16))
+	}
+	var d dataBuilder
+	d.bytesArr("deltas", deltas)
+	d.words("steptab", imaStepTable)
+	d.words("idxtab", imaIndexTable)
+	d.space("result", 8)
+	text := fmt.Sprintf(`
+main:   lda  r1, deltas(zero)
+        li   r2, %d
+        clr  r3              ; valpred
+        clr  r4              ; index
+        clr  r20             ; checksum
+        lda  r21, steptab(zero)
+        lda  r22, idxtab(zero)
+loop:   ldbu r11, 0(r1)
+        lda  r1, 1(r1)
+        s8addq r4, r21, r13
+        ldq  r13, 0(r13)     ; step
+        s8addq r11, r22, r18
+        ldq  r19, 0(r18)
+        addq r4, r19, r4     ; index += idxtab[delta]
+        bge  r4, i1
+        clr  r4
+i1:     li   r16, 88
+        cmple r4, r16, r17
+        bne  r17, i2
+        mov  r16, r4
+i2:     srl  r13, 3, r15     ; vpdiff
+        and  r11, 4, r16
+        beq  r16, v1
+        addq r15, r13, r15
+v1:     and  r11, 2, r16
+        beq  r16, v2
+        srl  r13, 1, r16
+        addq r15, r16, r15
+v2:     and  r11, 1, r16
+        beq  r16, v3
+        srl  r13, 2, r16
+        addq r15, r16, r15
+v3:     and  r11, 8, r16
+        beq  r16, vpos
+        subq r3, r15, r3
+        br   vclamp
+vpos:   addq r3, r15, r3
+vclamp: li   r16, 32767
+        cmple r3, r16, r17
+        bne  r17, c1
+        mov  r16, r3
+c1:     li   r16, -32768
+        cmple r16, r3, r17
+        bne  r17, c2
+        mov  r16, r3
+c2:     addq r20, r3, r20
+        xor  r20, r4, r20
+        subl r2, 1, r2
+        bne  r2, loop
+        stq  r20, result(zero)
+        halt
+`, n)
+	return build("adpcm.dec", d.String(), text)
+}
+
+// buildG721 models G.721 ADPCM's adaptive predictor: a six-tap FIR realised
+// with shift-add arithmetic (the standard uses floating-short multiplies;
+// shift-add preserves the dataflow shape) plus a quantisation ladder.
+func buildG721(in Input) *isa.Program {
+	n := 5000
+	samples := sineSamples("g721.enc", in, n+8)
+	var d dataBuilder
+	d.longs("samples", samples)
+	d.space("result", 8)
+	text := fmt.Sprintf(`
+main:   lda  r1, samples+24(zero)
+        li   r2, %d
+        clr  r20             ; checksum
+loop:   ldl  r4, 0(r1)       ; x[i]
+        ldl  r5, -4(r1)      ; x[i-1]
+        ldl  r6, -8(r1)
+        ldl  r7, -12(r1)
+        ldl  r8, -16(r1)
+        ldl  r9, -20(r1)
+        ; y = x1 + x1>>1 + x2>>1 - x3>>2 + x4>>3 - x5>>4 (shift-add FIR)
+        sra  r5, 1, r10
+        addq r5, r10, r10
+        sra  r6, 1, r11
+        addq r10, r11, r10
+        sra  r7, 2, r11
+        subq r10, r11, r10
+        sra  r8, 3, r11
+        addq r10, r11, r10
+        sra  r9, 4, r11
+        subq r10, r11, r10
+        subq r4, r10, r12    ; prediction error
+        sra  r12, 63, r13    ; abs
+        xor  r12, r13, r12
+        subq r12, r13, r12
+        ; quantisation ladder (4 levels)
+        clr  r14
+        cmplt r12, 128, r15
+        xor  r15, 1, r15
+        addq r14, r15, r14
+        cmplt r12, 512, r15
+        xor  r15, 1, r15
+        addq r14, r15, r14
+        cmplt r12, 2048, r15
+        xor  r15, 1, r15
+        addq r14, r15, r14
+        cmplt r12, 8192, r15
+        xor  r15, 1, r15
+        addq r14, r15, r14
+        sll  r20, 3, r16
+        srl  r20, 61, r17
+        bis  r16, r17, r20
+        xor  r20, r14, r20
+        addq r20, r12, r20
+        lda  r1, 4(r1)
+        subl r2, 1, r2
+        bne  r2, loop
+        stq  r20, result(zero)
+        halt
+`, n)
+	return build("g721.enc", d.String(), text)
+}
+
+// buildGSM models GSM full-rate's short-term analysis: offset compensation,
+// preemphasis, and an unrolled lag-0..4 autocorrelation using real
+// multiplies (exercising the pipelined integer multiplier).
+func buildGSM(in Input) *isa.Program {
+	n := 4000
+	samples := sineSamples("gsm.toast", in, n+8)
+	var d dataBuilder
+	d.longs("samples", samples)
+	d.space("result", 8)
+	text := fmt.Sprintf(`
+main:   lda  r1, samples+16(zero)
+        li   r2, %d
+        clr  r10             ; acf0
+        clr  r11             ; acf1
+        clr  r12             ; acf2
+        clr  r13             ; acf3
+        clr  r25             ; prev (preemphasis)
+loop:   ldl  r4, 0(r1)
+        ; preemphasis: s = x - (prev*7)/8
+        sra  r25, 3, r5
+        subq r25, r5, r5     ; prev*7/8 = prev - prev>>3
+        subq r4, r5, r5
+        mov  r4, r25
+        ldl  r6, -4(r1)
+        ldl  r7, -8(r1)
+        ldl  r8, -12(r1)
+        mull r5, r5, r9
+        addq r10, r9, r10
+        mull r5, r6, r9
+        addq r11, r9, r11
+        mull r5, r7, r9
+        addq r12, r9, r12
+        mull r5, r8, r9
+        addq r13, r9, r13
+        lda  r1, 4(r1)
+        subl r2, 1, r2
+        bne  r2, loop
+        srl  r10, 8, r10
+        xor  r10, r11, r10
+        xor  r10, r12, r10
+        addq r10, r13, r10
+        stq  r10, result(zero)
+        halt
+`, n)
+	return build("gsm.toast", d.String(), text)
+}
+
+// emit1DTransform generates the unrolled 8-point butterfly used by the JPEG
+// kernel (a Walsh-Hadamard-style transform with the dataflow shape of the
+// LLM DCT: adds, subtracts and shifts in wide, ILP-rich basic blocks).
+// in/out live in regs[0..7].
+func emit1DTransform(b *strings.Builder, regs [8]string, tmp [2]string) {
+	p := func(s string, a ...interface{}) { fmt.Fprintf(b, s+"\n", a...) }
+	// Stage 1: butterflies (x0,x7),(x1,x6),(x2,x5),(x3,x4).
+	for i := 0; i < 4; i++ {
+		a, z := regs[i], regs[7-i]
+		p("        addq %s, %s, %s", a, z, tmp[0])
+		p("        subq %s, %s, %s", a, z, tmp[1])
+		p("        mov  %s, %s", tmp[0], a)
+		p("        mov  %s, %s", tmp[1], z)
+	}
+	// Stage 2 on the low half; shifted combine on the high half.
+	for i := 0; i < 2; i++ {
+		a, z := regs[i], regs[3-i]
+		p("        addq %s, %s, %s", a, z, tmp[0])
+		p("        subq %s, %s, %s", a, z, tmp[1])
+		p("        mov  %s, %s", tmp[0], a)
+		p("        mov  %s, %s", tmp[1], z)
+	}
+	p("        sra  %s, 1, %s", regs[5], tmp[0])
+	p("        addq %s, %s, %s", regs[4], tmp[0], regs[4])
+	p("        sra  %s, 1, %s", regs[6], tmp[0])
+	p("        subq %s, %s, %s", regs[7], tmp[0], regs[7])
+	// Stage 3: final pair.
+	p("        addq %s, %s, %s", regs[0], regs[1], tmp[0])
+	p("        subq %s, %s, %s", regs[0], regs[1], tmp[1])
+	p("        mov  %s, %s", tmp[0], regs[0])
+	p("        mov  %s, %s", tmp[1], regs[1])
+	p("        sra  %s, 1, %s", regs[3], tmp[0])
+	p("        addq %s, %s, %s", regs[2], tmp[0], regs[2])
+}
+
+// buildJPEG models cjpeg's forward DCT + quantisation over 8x8 blocks:
+// fully unrolled row and column transforms (very large basic blocks, high
+// ILP) followed by table-driven shift quantisation.
+func buildJPEG(in Input) *isa.Program {
+	r := rng("jpeg.comp", in)
+	blocks := 240
+	pix := make([]int32, blocks*64)
+	for i := range pix {
+		pix[i] = int32(r.Intn(256) - 128)
+	}
+	qshift := make([]int64, 64)
+	for i := range qshift {
+		qshift[i] = int64(1 + (i/8+i%8)/3)
+	}
+	var d dataBuilder
+	d.longs("pix", pix)
+	d.words("qshift", qshift)
+	d.space("result", 8)
+
+	var t strings.Builder
+	p := func(s string, a ...interface{}) { fmt.Fprintf(&t, s+"\n", a...) }
+	regs := [8]string{"r4", "r5", "r6", "r7", "r8", "r9", "r10", "r11"}
+	tmp := [2]string{"r12", "r13"}
+	p("main:   lda  r1, pix(zero)")
+	p("        li   r2, %d", blocks)
+	p("        clr  r20")
+	p("        lda  r21, qshift(zero)")
+	p("blk:")
+	// Row pass: 8 rows, each loads 8 longs, transforms, stores back.
+	for row := 0; row < 8; row++ {
+		for c := 0; c < 8; c++ {
+			p("        ldl  %s, %d(r1)", regs[c], 4*(row*8+c))
+		}
+		emit1DTransform(&t, regs, tmp)
+		for c := 0; c < 8; c++ {
+			p("        stl  %s, %d(r1)", regs[c], 4*(row*8+c))
+		}
+	}
+	// Column pass + quantise + accumulate.
+	for col := 0; col < 8; col++ {
+		for rr := 0; rr < 8; rr++ {
+			p("        ldl  %s, %d(r1)", regs[rr], 4*(rr*8+col))
+		}
+		emit1DTransform(&t, regs, tmp)
+		for rr := 0; rr < 8; rr++ {
+			p("        ldq  r14, %d(r21)", 8*(rr*8+col))
+			p("        sra  %s, r14, %s", regs[rr], regs[rr])
+			p("        addq r20, %s, r20", regs[rr])
+		}
+	}
+	p("        lda  r1, 256(r1)")
+	p("        subl r2, 1, r2")
+	p("        bne  r2, blk")
+	p("        stq  r20, result(zero)")
+	p("        halt")
+	return build("jpeg.comp", d.String(), t.String())
+}
+
+// buildMPEG2 models mpeg2decode's motion compensation: half-pel averaging
+// of byte pixels with saturation and store-back — byte loads, adds, shifts,
+// clips (classic integer-memory mini-graphs).
+func buildMPEG2(in Input) *isa.Program {
+	r := rng("mpeg2.dec", in)
+	n := 48 * 1024
+	ref := make([]byte, n+64)
+	for i := range ref {
+		ref[i] = byte(r.Intn(256))
+	}
+	var d dataBuilder
+	d.bytesArr("ref", ref)
+	d.space("dst", n)
+	d.space("result", 8)
+	text := fmt.Sprintf(`
+main:   lda  r1, ref(zero)
+        lda  r2, dst(zero)
+        li   r3, %d
+        clr  r20
+loop:   ldbu r4, 0(r1)
+        ldbu r5, 1(r1)
+        addq r4, r5, r6
+        addq r6, 1, r6
+        srl  r6, 1, r6       ; half-pel average
+        ldbu r7, 32(r1)
+        addq r6, r7, r8
+        srl  r8, 1, r8       ; temporal average
+        li   r9, 255
+        cmple r8, r9, r10    ; clip high
+        bne  r10, ok
+        mov  r9, r8
+ok:     stb  r8, 0(r2)
+        addq r20, r8, r20
+        lda  r1, 1(r1)
+        lda  r2, 1(r2)
+        subl r3, 1, r3
+        bne  r3, loop
+        stq  r20, result(zero)
+        halt
+`, n)
+	return build("mpeg2.dec", d.String(), text)
+}
+
+// buildMesa models mesa's vertex pipeline: 4x4 matrix transform of a vertex
+// stream in floating point (exercising the FP units, which mini-graphs do
+// not touch — mesa shows modest mini-graph coverage, as in the paper).
+func buildMesa(in Input) *isa.Program {
+	r := rng("mesa.geom", in)
+	n := 3000
+	verts := make([]int64, 3*n)
+	for i := range verts {
+		verts[i] = int64(math.Float64bits(float64(r.Intn(2000)-1000) / 16.0))
+	}
+	mat := make([]int64, 12)
+	for i := range mat {
+		mat[i] = int64(math.Float64bits(float64(r.Intn(200)-100) / 64.0))
+	}
+	var d dataBuilder
+	d.words("verts", verts)
+	d.words("mat", mat)
+	d.space("outv", 8)
+	d.space("result", 8)
+	text := fmt.Sprintf(`
+main:   lda  r1, verts(zero)
+        li   r2, %d
+        lda  r3, mat(zero)
+        clr  r20
+        ldt  f10, 0(r3)
+        ldt  f11, 8(r3)
+        ldt  f12, 16(r3)
+        ldt  f13, 24(r3)
+        ldt  f14, 32(r3)
+        ldt  f15, 40(r3)
+        ldt  f16, 48(r3)
+        ldt  f17, 56(r3)
+        ldt  f18, 64(r3)
+loop:   ldt  f1, 0(r1)
+        ldt  f2, 8(r1)
+        ldt  f3, 16(r1)
+        mult f1, f10, f4
+        mult f2, f11, f5
+        mult f3, f12, f6
+        addt f4, f5, f4
+        addt f4, f6, f4      ; x'
+        mult f1, f13, f5
+        mult f2, f14, f6
+        mult f3, f15, f7
+        addt f5, f6, f5
+        addt f5, f7, f5      ; y'
+        mult f1, f16, f6
+        mult f2, f17, f7
+        mult f3, f18, f8
+        addt f6, f7, f6
+        addt f6, f8, f6      ; z'
+        addt f4, f5, f4
+        addt f4, f6, f4
+        cvttq f4, f4, f9
+        stt  f9, outv(zero)
+        ldq  r4, outv(zero)
+        addq r20, r4, r20
+        lda  r1, 24(r1)
+        subl r2, 1, r2
+        bne  r2, loop
+        stq  r20, result(zero)
+        halt
+`, n)
+	return build("mesa.geom", d.String(), text)
+}

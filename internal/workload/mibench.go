@@ -1,0 +1,549 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"minigraph/internal/isa"
+)
+
+func init() {
+	register("bitcount", MiBench, buildBitcount)
+	register("sha", MiBench, buildSHA)
+	register("crc32", MiBench, buildCRC32)
+	register("dijkstra", MiBench, buildDijkstra)
+	register("strsearch", MiBench, buildStrSearch)
+	register("blowfish", MiBench, buildBlowfish)
+	register("susan", MiBench, buildSusan)
+	register("rgba", MiBench, buildRGBA)
+}
+
+// buildBitcount is MiBench's bitcount: several counting methods (nibble
+// table, Kernighan clears, shift-mask tree) over a word stream — pure
+// serial chains of single-cycle integer operations.
+func buildBitcount(in Input) *isa.Program {
+	r := rng("bitcount", in)
+	n := 6000
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(r.Uint64())
+	}
+	nib := make([]byte, 16)
+	for i := range nib {
+		nib[i] = byte(i&1 + i>>1&1 + i>>2&1 + i>>3&1)
+	}
+	var d dataBuilder
+	d.words("vals", vals)
+	d.bytesArr("nib", nib)
+	d.space("result", 8)
+	text := fmt.Sprintf(`
+main:   li   r1, %d
+        lda  r2, vals(zero)
+        lda  r3, nib(zero)
+        clr  r20
+loop:   ldq  r4, 0(r2)
+        lda  r2, 8(r2)
+        ; method 1: shift-mask tree on the low 32 bits
+        and  r4, 4294967295, r5
+        srl  r5, 1, r6
+        lda  r7, 0x55555555(zero)
+        and  r6, r7, r6
+        subq r5, r6, r5
+        lda  r7, 0x33333333(zero)
+        and  r5, r7, r6
+        srl  r5, 2, r5
+        and  r5, r7, r5
+        addq r5, r6, r5
+        srl  r5, 4, r6
+        addq r5, r6, r5
+        lda  r7, 0x0f0f0f0f(zero)
+        and  r5, r7, r5
+        srl  r5, 8, r6
+        addq r5, r6, r5
+        srl  r5, 16, r6
+        addq r5, r6, r5
+        and  r5, 63, r5
+        addq r20, r5, r20
+        ; method 2: nibble table on the high byte
+        srl  r4, 56, r8
+        and  r8, 15, r9
+        addq r3, r9, r10
+        ldbu r11, 0(r10)
+        srl  r8, 4, r9
+        addq r3, r9, r10
+        ldbu r12, 0(r10)
+        addq r11, r12, r11
+        addq r20, r11, r20
+        ; method 3: Kernighan clears on bits 32..39
+        srl  r4, 32, r13
+        and  r13, 255, r13
+k:      beq  r13, kdone
+        subq r13, 1, r14
+        and  r13, r14, r13
+        addq r20, 1, r20
+        br   k
+kdone:  subl r1, 1, r1
+        bne  r1, loop
+        stq  r20, result(zero)
+        halt
+`, n)
+	return build("bitcount", d.String(), text)
+}
+
+// buildSHA is a SHA-1-style compression: 20 unrolled rounds of
+// rotate/xor/add mixing per block over a 16-word schedule.
+func buildSHA(in Input) *isa.Program {
+	r := rng("sha", in)
+	blocks := 450
+	msgs := make([]int64, blocks*16)
+	for i := range msgs {
+		msgs[i] = int64(r.Uint32())
+	}
+	var d dataBuilder
+	d.words("msg", msgs)
+	d.space("result", 8)
+
+	var t strings.Builder
+	p := func(s string, a ...interface{}) { fmt.Fprintf(&t, s+"\n", a...) }
+	p("main:   lda  r1, msg(zero)")
+	p("        li   r2, %d", blocks)
+	p("        li   r4, 0x67452301") // a
+	p("        li   r5, 0xefcdab89") // b
+	p("        li   r6, 0x98badcfe") // c
+	p("        li   r7, 0x10325476") // d
+	p("        li   r8, 0xc3d2e1f0") // e
+	p("blk:")
+	for round := 0; round < 20; round++ {
+		p("        ldq  r9, %d(r1)", 8*(round%16))
+		// f = (b & c) | (~b & d)
+		p("        and  r5, r6, r10")
+		p("        bic  r7, r5, r11")
+		p("        bis  r10, r11, r10")
+		// rot5(a)
+		p("        sll  r4, 5, r12")
+		p("        srl  r4, 27, r13")
+		p("        bis  r12, r13, r12")
+		p("        and  r12, 4294967295, r12")
+		// e + f + rot5(a) + w + k
+		p("        addq r8, r10, r14")
+		p("        addq r14, r12, r14")
+		p("        addq r14, r9, r14")
+		p("        lda  r14, 0x7999(r14)")
+		p("        and  r14, 4294967295, r14")
+		// rotate registers: e=d d=c c=rot30(b) b=a a=t
+		p("        mov  r7, r8")
+		p("        mov  r6, r7")
+		p("        sll  r5, 30, r15")
+		p("        srl  r5, 2, r16")
+		p("        bis  r15, r16, r6")
+		p("        and  r6, 4294967295, r6")
+		p("        mov  r4, r5")
+		p("        mov  r14, r4")
+	}
+	p("        lda  r1, 128(r1)")
+	p("        subl r2, 1, r2")
+	p("        bne  r2, blk")
+	p("        addq r4, r5, r4")
+	p("        xor  r4, r6, r4")
+	p("        addq r4, r7, r4")
+	p("        xor  r4, r8, r4")
+	p("        stq  r4, result(zero)")
+	p("        halt")
+	return build("sha", d.String(), t.String())
+}
+
+// buildCRC32 is MiBench's crc32: the classic table-driven byte loop.
+func buildCRC32(in Input) *isa.Program {
+	r := rng("crc32", in)
+	n := 24 * 1024
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(r.Intn(256))
+	}
+	table := make([]int64, 256)
+	for i := 0; i < 256; i++ {
+		c := uint32(i)
+		for k := 0; k < 8; k++ {
+			if c&1 != 0 {
+				c = 0xedb88320 ^ (c >> 1)
+			} else {
+				c >>= 1
+			}
+		}
+		table[i] = int64(c)
+	}
+	var d dataBuilder
+	d.bytesArr("data", data)
+	d.words("crctab", table)
+	d.space("result", 8)
+	text := fmt.Sprintf(`
+main:   li   r1, %d
+        lda  r2, data(zero)
+        lda  r3, crctab(zero)
+        lda  r4, -1(zero)
+        and  r4, 4294967295, r4   ; crc = 0xffffffff
+loop:   ldbu r5, 0(r2)
+        lda  r2, 1(r2)
+        xor  r4, r5, r6
+        and  r6, 255, r6
+        s8addq r6, r3, r7
+        ldq  r8, 0(r7)
+        srl  r4, 8, r4
+        xor  r4, r8, r4
+        subl r1, 1, r1
+        bne  r1, loop
+        ornot zero, r4, r4
+        and  r4, 4294967295, r4
+        stq  r4, result(zero)
+        halt
+`, n)
+	return build("crc32", d.String(), text)
+}
+
+// buildDijkstra is MiBench's dijkstra: single-source shortest paths over an
+// adjacency matrix with linear min-scan (compare/branch heavy).
+func buildDijkstra(in Input) *isa.Program {
+	r := rng("dijkstra", in)
+	n := 48
+	adj := make([]int64, n*n)
+	for i := range adj {
+		adj[i] = int64(1 + r.Intn(30))
+		if r.Intn(4) == 0 {
+			adj[i] = 1 << 20 // no edge
+		}
+	}
+	var d dataBuilder
+	d.words("adj", adj)
+	d.space("dist", 8*n)
+	d.space("visited", n)
+	d.space("result", 8)
+	sources := 8
+	text := fmt.Sprintf(`
+main:   li   r25, %d          ; sources
+        clr  r24              ; source index
+        clr  r20
+src:    ; init dist = INF, visited = 0
+        li   r1, %d
+        lda  r2, dist(zero)
+        lda  r3, visited(zero)
+        li   r4, 1048576
+init:   stq  r4, 0(r2)
+        stb  zero, 0(r3)
+        lda  r2, 8(r2)
+        lda  r3, 1(r3)
+        subl r1, 1, r1
+        bne  r1, init
+        lda  r2, dist(zero)
+        s8addq r24, r2, r5
+        stq  zero, 0(r5)      ; dist[src] = 0
+        li   r6, %d           ; n iterations
+iter:   ; find unvisited min
+        li   r7, 1048577
+        li   r8, -1           ; argmin
+        clr  r9               ; scan index
+        lda  r2, dist(zero)
+        lda  r3, visited(zero)
+scan:   addq r3, r9, r10
+        ldbu r11, 0(r10)
+        bne  r11, skip
+        s8addq r9, r2, r12
+        ldq  r13, 0(r12)
+        cmplt r13, r7, r14
+        beq  r14, skip
+        mov  r13, r7
+        mov  r9, r8
+skip:   addq r9, 1, r9
+        cmplt r9, %d, r14
+        bne  r14, scan
+        blt  r8, srcdone      ; no reachable nodes left
+        ; mark visited, relax row
+        lda  r3, visited(zero)
+        addq r3, r8, r10
+        li   r11, 1
+        stb  r11, 0(r10)
+        lda  r15, adj(zero)
+        sll  r8, 7, r16       ; row offset: r8 * n * 8 with n=48 -> r8*384
+        sll  r8, 8, r17
+        addq r16, r17, r16
+        addq r15, r16, r15    ; &adj[r8*48]
+        clr  r9
+relax:  s8addq r9, r15, r10
+        ldq  r11, 0(r10)      ; w(u,v)
+        addq r7, r11, r11     ; dist[u] + w
+        lda  r2, dist(zero)
+        s8addq r9, r2, r12
+        ldq  r13, 0(r12)
+        cmplt r11, r13, r14
+        beq  r14, norelax
+        stq  r11, 0(r12)
+norelax: addq r9, 1, r9
+        cmplt r9, %d, r14
+        bne  r14, relax
+        subl r6, 1, r6
+        bne  r6, iter
+srcdone: ; checksum the dist array
+        li   r1, %d
+        lda  r2, dist(zero)
+sum:    ldq  r4, 0(r2)
+        addq r20, r4, r20
+        lda  r2, 8(r2)
+        subl r1, 1, r1
+        bne  r1, sum
+        addq r24, 7, r24      ; next source (stride 7 mod n)
+        cmplt r24, %d, r14
+        bne  r14, nofix
+        lda  r24, -%d(r24)
+nofix:  subl r25, 1, r25
+        bne  r25, src
+        stq  r20, result(zero)
+        halt
+`, sources, n, n, n, n, n, n, n)
+	return build("dijkstra", d.String(), text)
+}
+
+// buildStrSearch is MiBench's stringsearch: Boyer-Moore-Horspool with a
+// 256-entry skip table over a text corpus.
+func buildStrSearch(in Input) *isa.Program {
+	r := rng("strsearch", in)
+	n := 24 * 1024
+	text := make([]byte, n)
+	for i := range text {
+		text[i] = byte('a' + r.Intn(20))
+	}
+	pat := []byte("searchpattern")
+	// Plant a few occurrences.
+	for k := 0; k < 20; k++ {
+		copy(text[r.Intn(n-len(pat)):], pat)
+	}
+	m := len(pat)
+	skip := make([]byte, 256)
+	for i := range skip {
+		skip[i] = byte(m)
+	}
+	for i := 0; i < m-1; i++ {
+		skip[pat[i]] = byte(m - 1 - i)
+	}
+	var d dataBuilder
+	d.bytesArr("text", text)
+	d.bytesArr("pat", pat)
+	d.bytesArr("skip", skip)
+	d.space("result", 8)
+	src := fmt.Sprintf(`
+main:   li   r1, %d          ; pos = m-1
+        li   r2, %d          ; limit
+        lda  r3, text(zero)
+        lda  r4, pat(zero)
+        lda  r5, skip(zero)
+        clr  r20             ; matches
+outer:  addq r3, r1, r6
+        ldbu r7, 0(r6)       ; text[pos]
+        li   r8, %d          ; j = m-1
+        mov  r6, r9
+cmp:    ldbu r10, 0(r9)
+        addq r4, r8, r11
+        ldbu r12, 0(r11)
+        xor  r10, r12, r13
+        bne  r13, mismatch
+        beq  r8, found
+        subl r8, 1, r8
+        lda  r9, -1(r9)
+        br   cmp
+found:  addq r20, 1, r20
+        lda  r1, %d(r1)
+        br   cont
+mismatch: addq r5, r7, r14
+        ldbu r15, 0(r14)
+        addq r1, r15, r1
+cont:   cmplt r1, r2, r16
+        bne  r16, outer
+        stq  r20, result(zero)
+        halt
+`, m-1, n, m-1, m)
+	return build("strsearch", d.String(), src)
+}
+
+// buildBlowfish models Blowfish's Feistel network: four S-box lookups and
+// add/xor mixing per round, 16 rounds per block — the canonical
+// integer-memory mini-graph workload.
+func buildBlowfish(in Input) *isa.Program {
+	r := rng("blowfish", in)
+	sbox := make([]int64, 4*256)
+	for i := range sbox {
+		sbox[i] = int64(r.Uint32())
+	}
+	pbox := make([]int64, 18)
+	for i := range pbox {
+		pbox[i] = int64(r.Uint32())
+	}
+	nblocks := 1200
+	var d dataBuilder
+	d.words("sbox", sbox)
+	d.words("pbox", pbox)
+	d.space("result", 8)
+
+	var t strings.Builder
+	p := func(s string, a ...interface{}) { fmt.Fprintf(&t, s+"\n", a...) }
+	p("main:   li   r1, %d", nblocks)
+	p("        lda  r2, sbox(zero)")
+	p("        lda  r3, pbox(zero)")
+	p("        li   r4, 0x12345678") // L
+	p("        li   r5, 0x9abcdef0") // R
+	p("        clr  r20")
+	p("blk:")
+	for round := 0; round < 16; round++ {
+		p("        ldq  r6, %d(r3)", 8*(round%18))
+		p("        xor  r4, r6, r4")
+		// F(L): S0[a] + S1[b] ^ S2[c] + S3[d]
+		p("        srl  r4, 24, r7")
+		p("        and  r7, 255, r7")
+		p("        s8addq r7, r2, r8")
+		p("        ldq  r9, 0(r8)") // S0[a]
+		p("        srl  r4, 16, r7")
+		p("        and  r7, 255, r7")
+		p("        s8addq r7, r2, r8")
+		p("        ldq  r10, 2048(r8)") // S1[b]
+		p("        addq r9, r10, r9")
+		p("        srl  r4, 8, r7")
+		p("        and  r7, 255, r7")
+		p("        s8addq r7, r2, r8")
+		p("        ldq  r10, 4096(r8)") // S2[c]
+		p("        xor  r9, r10, r9")
+		p("        and  r4, 255, r7")
+		p("        s8addq r7, r2, r8")
+		p("        ldq  r10, 6144(r8)") // S3[d]
+		p("        addq r9, r10, r9")
+		p("        and  r9, 4294967295, r9")
+		p("        xor  r5, r9, r5")
+		// swap L/R
+		p("        mov  r4, r11")
+		p("        mov  r5, r4")
+		p("        mov  r11, r5")
+	}
+	p("        addq r20, r4, r20")
+	p("        xor  r20, r5, r20")
+	p("        addq r4, 1, r4") // chain blocks
+	p("        subl r1, 1, r1")
+	p("        bne  r1, blk")
+	p("        stq  r20, result(zero)")
+	p("        halt")
+	return build("blowfish", d.String(), t.String())
+}
+
+// buildSusan models SUSAN's corner/edge response: a brightness-difference
+// LUT over a 3x3 neighbourhood with threshold accumulation.
+func buildSusan(in Input) *isa.Program {
+	r := rng("susan", in)
+	w, h := 128, 96
+	img := make([]byte, w*h)
+	for i := range img {
+		img[i] = byte(r.Intn(256))
+	}
+	lut := make([]byte, 512)
+	for i := range lut {
+		diff := i - 256
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff < 27 {
+			lut[i] = 1
+		}
+	}
+	var d dataBuilder
+	d.bytesArr("img", img)
+	d.bytesArr("lut", lut)
+	d.space("result", 8)
+	text := fmt.Sprintf(`
+main:   li   r1, %d          ; rows 1..h-2
+        li   r25, %d         ; row stride
+        lda  r2, img+%d(zero) ; start at row 1
+        lda  r3, lut+256(zero)
+        clr  r20
+row:    li   r4, %d          ; cols 1..w-2
+        mov  r2, r5
+col:    ldbu r6, 0(r5)       ; centre
+        clr  r7              ; usan
+        ldbu r8, -1(r5)
+        subq r8, r6, r9
+        addq r3, r9, r10
+        ldbu r11, 0(r10)
+        addq r7, r11, r7
+        ldbu r8, 1(r5)
+        subq r8, r6, r9
+        addq r3, r9, r10
+        ldbu r11, 0(r10)
+        addq r7, r11, r7
+        ldbu r8, -%d(r5)
+        subq r8, r6, r9
+        addq r3, r9, r10
+        ldbu r11, 0(r10)
+        addq r7, r11, r7
+        ldbu r8, %d(r5)
+        subq r8, r6, r9
+        addq r3, r9, r10
+        ldbu r11, 0(r10)
+        addq r7, r11, r7
+        cmplt r7, 3, r12     ; corner response
+        addq r20, r12, r20
+        lda  r5, 1(r5)
+        subl r4, 1, r4
+        bne  r4, col
+        addq r2, r25, r2
+        subl r1, 1, r1
+        bne  r1, row
+        stq  r20, result(zero)
+        halt
+`, h-2, w, w+1, w-2, w, w)
+	return build("susan", d.String(), text)
+}
+
+// buildRGBA models pixel-format conversion (the suite's *2rgba kernels):
+// unpack RGB555 words, expand to 8-bit channels, repack as RGBA — extract/
+// insert/shift idioms plus streaming loads and stores.
+func buildRGBA(in Input) *isa.Program {
+	r := rng("rgba", in)
+	n := 20000
+	pix := make([]int64, (n+3)/4)
+	for i := range pix {
+		pix[i] = int64(r.Uint64())
+	}
+	var d dataBuilder
+	d.words("src", pix)
+	d.space("dst", 4*n+16)
+	d.space("result", 8)
+	text := fmt.Sprintf(`
+main:   li   r1, %d
+        lda  r2, src(zero)
+        lda  r3, dst(zero)
+        clr  r20
+loop:   ldwu r4, 0(r2)       ; rgb555 pixel
+        lda  r2, 2(r2)
+        and  r4, 31, r5      ; b5
+        srl  r4, 5, r6
+        and  r6, 31, r6      ; g5
+        srl  r4, 10, r7
+        and  r7, 31, r7      ; r5
+        sll  r5, 3, r5       ; expand to 8 bits
+        srl  r5, 2, r8
+        bis  r5, r8, r5
+        sll  r6, 3, r6
+        srl  r6, 2, r8
+        bis  r6, r8, r6
+        sll  r7, 3, r7
+        srl  r7, 2, r8
+        bis  r7, r8, r7
+        sll  r6, 8, r6
+        sll  r5, 16, r5
+        bis  r7, r6, r7
+        bis  r7, r5, r7
+        lda  r9, 0xff000000(zero)
+        bis  r7, r9, r7      ; alpha
+        stl  r7, 0(r3)
+        lda  r3, 4(r3)
+        addq r20, r7, r20
+        subl r1, 1, r1
+        bne  r1, loop
+        stq  r20, result(zero)
+        halt
+`, n)
+	return build("rgba", d.String(), text)
+}

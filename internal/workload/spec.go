@@ -1,0 +1,377 @@
+package workload
+
+import (
+	"fmt"
+
+	"minigraph/internal/isa"
+)
+
+func init() {
+	register("mcf", SPECint, buildMCF)
+	register("gcc", SPECint, buildGCC)
+	register("crafty", SPECint, buildCrafty)
+	register("gzip", SPECint, buildGzip)
+	register("twolf", SPECint, buildTwolf)
+	register("parser", SPECint, buildParser)
+}
+
+// buildMCF models mcf's network-simplex pointer chasing: a random cycle over
+// a node array far larger than the L2 cache, touched via data-dependent
+// loads. Memory-bound, baseline IPC well under 1.
+func buildMCF(in Input) *isa.Program {
+	r := rng("mcf", in)
+	n := 96 * 1024 // 96K nodes x 24B = 2.25MB > 2MB L2
+	if in == InputTest {
+		n = 80 * 1024
+	}
+	perm := r.Perm(n)
+	// nodes[i] = {next, cost, potential}
+	nodes := make([]int64, 3*n)
+	for i := 0; i < n; i++ {
+		nodes[3*i] = int64(perm[i])
+		nodes[3*i+1] = int64(r.Intn(1000))
+		nodes[3*i+2] = int64(r.Intn(500))
+	}
+	var d dataBuilder
+	d.words("nodes", nodes)
+	d.space("result", 8)
+	steps := 26000
+	text := fmt.Sprintf(`
+main:   li   r1, 0            ; node index
+        lda  r2, nodes(zero)
+        clr  r3
+        li   r4, %d
+loop:   sll  r1, 4, r5
+        s8addq r1, r5, r5     ; r5 = 24*node
+        addq r2, r5, r5
+        ldq  r1, 0(r5)        ; next (dependent load: the chase)
+        ldq  r6, 8(r5)        ; cost
+        addq r3, r6, r3
+        ldq  r7, 16(r5)       ; potential
+        subq r3, r7, r8
+        stq  r8, 16(r5)       ; update potential
+        subl r4, 1, r4
+        bne  r4, loop
+        stq  r3, result(zero)
+        halt
+`, steps)
+	return build("mcf", d.String(), text)
+}
+
+// buildGCC models gcc's front-end character: a token-dispatch interpreter
+// with an indirect jump table, symbol hashing, and counter updates — many
+// small basic blocks and hard-to-predict indirect control.
+func buildGCC(in Input) *isa.Program {
+	r := rng("gcc", in)
+	ntok := 16 * 1024
+	toks := make([]byte, ntok)
+	for i := range toks {
+		toks[i] = byte(r.Intn(8))
+	}
+	var d dataBuilder
+	d.bytesArr("tokens", toks)
+	d.space("jmptab", 8*8)
+	d.space("counts", 8*8)
+	d.space("result", 8)
+	text := fmt.Sprintf(`
+main:   lda  r1, jmptab(zero)
+        li   r2, h0
+        stq  r2, 0(r1)
+        li   r2, h1
+        stq  r2, 8(r1)
+        li   r2, h2
+        stq  r2, 16(r1)
+        li   r2, h3
+        stq  r2, 24(r1)
+        li   r2, h4
+        stq  r2, 32(r1)
+        li   r2, h5
+        stq  r2, 40(r1)
+        li   r2, h6
+        stq  r2, 48(r1)
+        li   r2, h7
+        stq  r2, 56(r1)
+        li   r3, %d          ; token count
+        lda  r4, tokens(zero)
+        clr  r5              ; hash
+        clr  r6              ; checksum
+loop:   ldbu r7, 0(r4)
+        lda  r4, 1(r4)
+        s8addq r7, r1, r8
+        ldq  r9, 0(r8)
+        jmp  (r9)
+h0:     sll  r5, 5, r10      ; hash step
+        subq r10, r5, r5
+        addq r5, 1, r5
+        br   next
+h1:     addq r6, 3, r6
+        br   next
+h2:     xor  r6, r5, r6
+        br   next
+h3:     sll  r6, 1, r6
+        addq r6, 7, r6
+        br   next
+h4:     srl  r5, 3, r10
+        xor  r5, r10, r5
+        br   next
+h5:     addq r5, r6, r6
+        br   next
+h6:     and  r6, 65535, r11
+        lda  r12, counts(zero)
+        and  r7, 7, r13
+        s8addq r13, r12, r13
+        ldq  r14, 0(r13)
+        addq r14, 1, r14
+        stq  r14, 0(r13)
+        addq r6, r11, r6
+        br   next
+h7:     subq r6, 1, r6
+next:   subl r3, 1, r3
+        bne  r3, loop
+        addq r5, r6, r5
+        stq  r5, result(zero)
+        halt
+`, ntok)
+	return build("gcc", d.String(), text)
+}
+
+// buildCrafty models crafty's bitboard manipulation: 64-bit logic, shifted
+// attack masks, population counts and bit scans over a board table.
+func buildCrafty(in Input) *isa.Program {
+	r := rng("crafty", in)
+	n := 2048
+	boards := make([]int64, n)
+	for i := range boards {
+		boards[i] = int64(r.Uint64())
+	}
+	var d dataBuilder
+	d.words("boards", boards)
+	d.space("result", 8)
+	iters := 9000
+	text := fmt.Sprintf(`
+main:   li   r1, %d
+        clr  r2              ; score
+        clr  r3              ; index
+        lda  r4, boards(zero)
+loop:   and  r3, %d, r5
+        s8addq r5, r4, r5
+        ldq  r6, 0(r5)       ; board
+        bsr  ra, attacks     ; r7 = attack set of r6
+        bsr  ra, popcnt      ; r11 = popcount contribution
+        addq r2, r11, r2
+        cttz r6, r6, r13     ; first set bit
+        addq r2, r13, r2
+        and  r2, 1, r14
+        beq  r14, even
+        xor  r2, r7, r2
+even:   addq r3, 1, r3
+        subl r1, 1, r1
+        bne  r1, loop
+        stq  r2, result(zero)
+        halt
+attacks: sll r6, 8, r7       ; north attacks
+        srl  r6, 8, r8       ; south attacks
+        bis  r7, r8, r7
+        sll  r6, 1, r9
+        srl  r6, 1, r10
+        bis  r9, r10, r9
+        and  r7, r9, r7      ; combined
+        ret
+popcnt: ctpop r6, r6, r11
+        ctpop r7, r7, r12
+        addq r11, r12, r11
+        ret
+`, iters, n-1)
+	return build("crafty", d.String(), text)
+}
+
+// buildGzip models deflate's match finder: rolling hash over a buffer with
+// planted repeats, hash-head chains, and byte-by-byte match extension.
+func buildGzip(in Input) *isa.Program {
+	r := rng("gzip", in)
+	n := 17 * 1024
+	buf := make([]byte, n)
+	// Text with repeats: random phrases copied around.
+	for i := 0; i < n; {
+		if r.Intn(4) == 0 && i > 256 {
+			src := r.Intn(i - 64)
+			l := 8 + r.Intn(56)
+			for j := 0; j < l && i < n; j++ {
+				buf[i] = buf[src+j]
+				i++
+			}
+		} else {
+			buf[i] = byte('a' + r.Intn(26))
+			i++
+		}
+	}
+	var d dataBuilder
+	d.bytesArr("buf", buf)
+	d.space("head", 8*4096)
+	d.space("result", 8)
+	text := fmt.Sprintf(`
+main:   li   r1, 2           ; pos
+        li   r2, %d          ; limit
+        lda  r3, buf(zero)
+        lda  r4, head(zero)
+        clr  r5              ; matched bytes
+        clr  r6              ; hash
+loop:   addq r3, r1, r7
+        ldbu r8, 0(r7)
+        sll  r6, 5, r6
+        xor  r6, r8, r6
+        and  r6, 4095, r6
+        s8addq r6, r4, r9
+        ldq  r10, 0(r9)      ; candidate pos
+        stq  r1, 0(r9)       ; head[h] = pos
+        beq  r10, nomatch
+        subq r1, r10, r11
+        cmplt r11, 16384, r12
+        beq  r12, nomatch
+        addq r3, r10, r13
+        bsr  ra, extend      ; r14 = match length
+        addq r5, r14, r5
+nomatch: addq r1, 1, r1
+        cmplt r1, r2, r18
+        bne  r18, loop
+        stq  r5, result(zero)
+        halt
+extend: clr  r14             ; extend match up to 8 bytes
+ext:    ldbu r15, 0(r7)
+        ldbu r16, 0(r13)
+        xor  r15, r16, r17
+        bne  r17, extdone
+        addq r14, 1, r14
+        lda  r7, 1(r7)
+        lda  r13, 1(r13)
+        cmplt r14, 8, r17
+        bne  r17, ext
+extdone: ret
+`, n-16)
+	return build("gzip", d.String(), text)
+}
+
+// buildTwolf models timberwolf's annealing inner loop: random cell pairs,
+// absolute-difference wirelength deltas, conditional swaps.
+func buildTwolf(in Input) *isa.Program {
+	r := rng("twolf", in)
+	n := 4096
+	cells := make([]int64, 2*n)
+	for i := range cells {
+		cells[i] = int64(r.Intn(1024))
+	}
+	var d dataBuilder
+	d.words("cells", cells)
+	d.space("result", 8)
+	iters := 12000
+	text := fmt.Sprintf(`
+main:   li   r1, %d
+        li   r2, 12345       ; lcg state
+        lda  r3, cells(zero)
+        clr  r4              ; accepted
+        clr  r5              ; cost
+loop:   mull r2, 69069, r2
+        addl r2, 12345, r2
+        srl  r2, 8, r6
+        and  r6, %d, r6      ; cell a
+        srl  r2, 20, r7
+        and  r7, %d, r7      ; cell b
+        sll  r6, 4, r8
+        addq r3, r8, r8
+        sll  r7, 4, r9
+        addq r3, r9, r9
+        bsr  ra, cost        ; r12 = |ax-bx| + |ay-by|
+        and  r2, 127, r18
+        cmplt r12, r18, r19
+        beq  r19, reject
+        stq  r11, 0(r8)      ; swap x
+        stq  r10, 0(r9)
+        addq r4, 1, r4
+reject: addq r5, r12, r5
+        subl r1, 1, r1
+        bne  r1, loop
+        addq r5, r4, r5
+        stq  r5, result(zero)
+        halt
+cost:   ldq  r10, 0(r8)      ; ax
+        ldq  r11, 0(r9)      ; bx
+        subq r10, r11, r12
+        sra  r12, 63, r13    ; abs idiom
+        xor  r12, r13, r12
+        subq r12, r13, r12
+        ldq  r14, 8(r8)      ; ay
+        ldq  r15, 8(r9)      ; by
+        subq r14, r15, r16
+        sra  r16, 63, r17
+        xor  r16, r17, r16
+        subq r16, r17, r16
+        addq r12, r16, r12   ; delta
+        ret
+`, iters, n-1, n-1)
+	return build("twolf", d.String(), text)
+}
+
+// buildParser models the link-grammar front end: byte scanning with a
+// character-class table and per-class token accounting.
+func buildParser(in Input) *isa.Program {
+	r := rng("parser", in)
+	n := 24 * 1024
+	txt := make([]byte, n)
+	words := []string{"the", "quick", "brown", "fox", "jumps", "over", "lazy", "dogs", "12", "405", "linking", "grammar"}
+	for i := 0; i < n; {
+		w := words[r.Intn(len(words))]
+		for j := 0; j < len(w) && i < n; j++ {
+			txt[i] = w[j]
+			i++
+		}
+		if i < n {
+			seps := " .,;\n"
+			txt[i] = seps[r.Intn(len(seps))]
+			i++
+		}
+	}
+	class := make([]byte, 256)
+	for c := 'a'; c <= 'z'; c++ {
+		class[c] = 1
+	}
+	for c := '0'; c <= '9'; c++ {
+		class[c] = 2
+	}
+	class[' '], class['\n'] = 3, 3
+	var d dataBuilder
+	d.bytesArr("text", txt)
+	d.bytesArr("class", class)
+	d.space("result", 8)
+	text := fmt.Sprintf(`
+main:   li   r1, %d
+        lda  r2, text(zero)
+        lda  r3, class(zero)
+        clr  r4              ; words
+        clr  r5              ; numbers
+        clr  r6              ; inword
+        clr  r10             ; checksum
+loop:   ldbu r7, 0(r2)
+        lda  r2, 1(r2)
+        addq r3, r7, r8
+        ldbu r9, 0(r8)       ; class
+        addq r10, r7, r10
+        cmpeq r9, 1, r11
+        beq  r11, notalpha
+        bne  r6, cont        ; already in word
+        addq r4, 1, r4       ; word start
+        li   r6, 1
+        br   cont
+notalpha: cmpeq r9, 2, r12
+        beq  r12, notdigit
+        addq r5, 1, r5
+notdigit: clr r6
+cont:   subl r1, 1, r1
+        bne  r1, loop
+        sll  r4, 16, r4
+        addq r4, r5, r4
+        xor  r4, r10, r4
+        stq  r4, result(zero)
+        halt
+`, n)
+	return build("parser", d.String(), text)
+}

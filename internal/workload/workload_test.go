@@ -1,0 +1,172 @@
+package workload_test
+
+import (
+	"testing"
+
+	"minigraph/internal/core"
+	"minigraph/internal/emu"
+	"minigraph/internal/isa"
+	"minigraph/internal/program"
+	"minigraph/internal/rewrite"
+	"minigraph/internal/workload"
+)
+
+const runLimit = 3_000_000
+
+func TestEveryBenchmarkRunsToCompletion(t *testing.T) {
+	for _, b := range workload.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			p := b.Build(workload.InputTrain)
+			st, err := emu.RunToCompletion(p, nil, runLimit)
+			if err != nil {
+				t.Fatalf("%s: %v", b.Name, err)
+			}
+			if !st.Halted {
+				t.Fatalf("%s: did not halt within %d records", b.Name, runLimit)
+			}
+			if st.InstCount < 20_000 {
+				t.Errorf("%s: only %d dynamic instructions (too short to measure)", b.Name, st.InstCount)
+			}
+			if st.InstCount > 1_200_000 {
+				t.Errorf("%s: %d dynamic instructions (too long for the experiment sweep)", b.Name, st.InstCount)
+			}
+			// The result slot must be written (checksum != 0 is not
+			// guaranteed for every kernel, but the memory image must be).
+			if st.MemSum == 0 {
+				t.Errorf("%s: empty memory image", b.Name)
+			}
+		})
+	}
+}
+
+func TestBenchmarksDeterministic(t *testing.T) {
+	for _, b := range workload.All() {
+		p1 := b.Build(workload.InputTrain)
+		p2 := b.Build(workload.InputTrain)
+		s1, err1 := emu.RunToCompletion(p1, nil, runLimit)
+		s2, err2 := emu.RunToCompletion(p2, nil, runLimit)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: %v %v", b.Name, err1, err2)
+		}
+		if s1.MemSum != s2.MemSum || s1.InstCount != s2.InstCount {
+			t.Errorf("%s: nondeterministic across rebuilds", b.Name)
+		}
+	}
+}
+
+func TestTrainAndTestInputsDiffer(t *testing.T) {
+	for _, b := range workload.All() {
+		pTrain := b.Build(workload.InputTrain)
+		pTest := b.Build(workload.InputTest)
+		sTrain, err := emu.RunToCompletion(pTrain, nil, runLimit)
+		if err != nil {
+			t.Fatalf("%s train: %v", b.Name, err)
+		}
+		sTest, err := emu.RunToCompletion(pTest, nil, runLimit)
+		if err != nil {
+			t.Fatalf("%s test: %v", b.Name, err)
+		}
+		if sTrain.MemSum == sTest.MemSum {
+			t.Errorf("%s: train and test inputs produce identical memory images", b.Name)
+		}
+	}
+}
+
+func TestSuitesPopulated(t *testing.T) {
+	for _, s := range workload.Suites() {
+		if n := len(workload.BySuite(s)); n < 5 {
+			t.Errorf("suite %s has only %d benchmarks", s, n)
+		}
+	}
+	if _, ok := workload.ByName("mcf"); !ok {
+		t.Error("mcf missing")
+	}
+	if _, ok := workload.ByName("nonexistent"); ok {
+		t.Error("phantom benchmark")
+	}
+}
+
+// TestRewriteEquivalenceAcrossWorkloads is the end-to-end soundness check:
+// extraction + rewriting must preserve every kernel's architectural results.
+func TestRewriteEquivalenceAcrossWorkloads(t *testing.T) {
+	for _, b := range workload.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			p := b.Build(workload.InputTrain)
+			ref, err := emu.RunToCompletion(p, nil, runLimit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := program.BuildCFG(p, nil)
+			lv := program.ComputeLiveness(g)
+			prof, err := emu.ProfileProgram(p, nil, runLimit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sel := core.Extract(g, lv, prof, core.DefaultPolicy(), 512)
+			res, err := rewrite.Rewrite(p, sel, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mgt := core.NewMGT(res.Templates, core.DefaultExecParams())
+			got, err := emu.RunToCompletion(res.Prog, mgt, runLimit)
+			if err != nil {
+				t.Fatalf("rewritten run: %v", err)
+			}
+			if got.MemSum != ref.MemSum {
+				t.Fatalf("rewriting changed %s's results", b.Name)
+			}
+			if sel.Coverage() <= 0 {
+				t.Errorf("%s: zero coverage", b.Name)
+			}
+			t.Logf("%s: coverage %.1f%%, %d templates, %d instances",
+				b.Name, 100*sel.Coverage(), len(sel.Templates), len(sel.Instances))
+		})
+	}
+}
+
+// TestCompressedRewriteGCC covers layout-changing rewrites of code that
+// stores text addresses to memory (gcc's jump table): the binary must still
+// run correctly with all text references relocated. The full memory image
+// legitimately differs (the table holds relocated addresses), so the check
+// compares the computed result instead.
+func TestCompressedRewriteGCC(t *testing.T) {
+	b, _ := workload.ByName("gcc")
+	p := b.Build(workload.InputTrain)
+	prof, err := emu.ProfileProgram(p, nil, runLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := program.BuildCFG(p, nil)
+	lv := program.ComputeLiveness(g)
+	sel := core.Extract(g, lv, prof, core.DefaultPolicy(), 512)
+	res, err := rewrite.Rewrite(p, sel, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgt := core.NewMGT(res.Templates, core.DefaultExecParams())
+
+	mRef := emu.NewMachine(p, nil)
+	if _, err := mRef.Run(runLimit); err != nil {
+		t.Fatal(err)
+	}
+	mGot := emu.NewMachine(res.Prog, mgt)
+	if _, err := mGot.Run(runLimit); err != nil {
+		t.Fatal(err)
+	}
+	want := mRef.Mem.Read(p.DataSymbols["result"], 8)
+	got := mGot.Mem.Read(res.Prog.DataSymbols["result"], 8)
+	if want != got {
+		t.Fatalf("compressed gcc result %#x want %#x", got, want)
+	}
+	// Per-class token counts must also survive.
+	for i := 0; i < 8; i++ {
+		a := mRef.Mem.Read(p.DataSymbols["counts"]+isa.Addr(8*i), 8)
+		b := mGot.Mem.Read(res.Prog.DataSymbols["counts"]+isa.Addr(8*i), 8)
+		if a != b {
+			t.Fatalf("count[%d] = %d want %d", i, b, a)
+		}
+	}
+}

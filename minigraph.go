@@ -1,0 +1,179 @@
+// Package minigraph is a from-scratch reproduction of "Dataflow Mini-Graphs:
+// Amplifying Superscalar Capacity and Bandwidth" (Bracy, Prahlad & Roth,
+// MICRO-37, 2004).
+//
+// A mini-graph is a connected dataflow graph with the interface of a single
+// instruction: two register inputs, one register output, at most one memory
+// operation, and at most one terminal control transfer. The toolchain in
+// this module extracts mini-graphs from basic-block frequency profiles,
+// rewrites binaries to use handle quasi-instructions, and simulates a
+// 6-wide out-of-order processor that executes handles through a mini-graph
+// table (MGT), amplifying the bandwidth of every pipeline stage and the
+// capacity of the scheduler and register file.
+//
+// The typical flow:
+//
+//	prog, _ := minigraph.Assemble("kernel", src)
+//	prof, _ := minigraph.ProfileOf(prog, 0)
+//	rw, _ := minigraph.Extract(prog, prof, minigraph.DefaultPolicy(), 512, minigraph.DefaultExecParams())
+//	base, _ := minigraph.Simulate(minigraph.BaselineConfig(), prog, nil)
+//	mg, _ := minigraph.Simulate(minigraph.MiniGraphConfig(true), rw.Prog, rw.MGT)
+//	fmt.Printf("speedup: %.3f\n", minigraph.Speedup(base, mg))
+//
+// Sub-systems live in internal packages: internal/core (extraction,
+// selection, MGT), internal/uarch (the cycle-level processor model),
+// internal/dise (the DISE decode-stage rewriting engine), internal/emu
+// (the architectural emulator), internal/workload (the benchmark suites)
+// and internal/experiments (the harness that regenerates the paper's
+// figures).
+package minigraph
+
+import (
+	"minigraph/internal/asm"
+	"minigraph/internal/core"
+	"minigraph/internal/emu"
+	"minigraph/internal/isa"
+	"minigraph/internal/program"
+	"minigraph/internal/rewrite"
+	"minigraph/internal/uarch"
+	"minigraph/internal/workload"
+)
+
+// Re-exported core types. The implementations live in internal packages;
+// these aliases form the supported public surface.
+type (
+	// Program is an assembled executable.
+	Program = isa.Program
+	// Profile is a basic-block frequency profile.
+	Profile = program.Profile
+	// Policy configures which mini-graphs are admissible.
+	Policy = core.Policy
+	// Selection is the outcome of mini-graph selection.
+	Selection = core.Selection
+	// Template is one mini-graph definition (a logical MGT row).
+	Template = core.Template
+	// MGT is the mini-graph table.
+	MGT = core.MGT
+	// ExecParams shape MGST schedules (load latency, collapsing, APs).
+	ExecParams = core.ExecParams
+	// SimConfig is a complete machine description.
+	SimConfig = uarch.Config
+	// SimResult holds one simulation's statistics.
+	SimResult = uarch.Result
+	// Benchmark is one workload kernel.
+	Benchmark = workload.Benchmark
+)
+
+// Assemble builds a program from assembly source.
+func Assemble(name, src string) (*Program, error) { return asm.Assemble(name, src) }
+
+// MustAssemble is Assemble that panics on error (for known-good sources).
+func MustAssemble(name, src string) *Program { return asm.MustAssemble(name, src) }
+
+// Disassemble renders a program as assembly text.
+func Disassemble(p *Program) string { return isa.Disassemble(p) }
+
+// ProfileOf runs the program functionally and collects its basic-block
+// frequency profile. limit bounds dynamic instructions (0 = 10M).
+func ProfileOf(p *Program, limit int64) (*Profile, error) {
+	if limit <= 0 {
+		limit = 10_000_000
+	}
+	return emu.ProfileProgram(p, nil, limit)
+}
+
+// DefaultPolicy matches the paper's main configuration: integer-memory
+// mini-graphs of up to four instructions.
+func DefaultPolicy() Policy { return core.DefaultPolicy() }
+
+// IntegerPolicy restricts extraction to integer mini-graphs.
+func IntegerPolicy() Policy { return core.IntegerPolicy() }
+
+// DefaultExecParams match the paper's machine (2-cycle loads, ALU
+// pipelines, no collapsing).
+func DefaultExecParams() ExecParams { return core.DefaultExecParams() }
+
+// Rewritten bundles a rewritten binary with its mini-graph table.
+type Rewritten struct {
+	Prog      *Program
+	MGT       *MGT
+	Selection *Selection
+	// HandleCount is the number of handles planted; RemovedInsts the
+	// number of constituent instructions they absorbed.
+	HandleCount  int
+	RemovedInsts int
+}
+
+// Extract profiles-drives mini-graph selection over p and rewrites it with
+// handles (nop-fill layout). mgtEntries bounds the table (paper: 512).
+func Extract(p *Program, prof *Profile, pol Policy, mgtEntries int, params ExecParams) (*Rewritten, error) {
+	g := program.BuildCFG(p, nil)
+	lv := program.ComputeLiveness(g)
+	sel := core.Extract(g, lv, prof, pol, mgtEntries)
+	res, err := rewrite.Rewrite(p, sel, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Rewritten{
+		Prog:         res.Prog,
+		MGT:          core.NewMGT(res.Templates, params),
+		Selection:    sel,
+		HandleCount:  res.HandleCount,
+		RemovedInsts: res.RemovedInsts,
+	}, nil
+}
+
+// ExtractCompressed is Extract with compacted text (the instruction-cache
+// compression mode of §6.2).
+func ExtractCompressed(p *Program, prof *Profile, pol Policy, mgtEntries int, params ExecParams) (*Rewritten, error) {
+	g := program.BuildCFG(p, nil)
+	lv := program.ComputeLiveness(g)
+	sel := core.Extract(g, lv, prof, pol, mgtEntries)
+	res, err := rewrite.Rewrite(p, sel, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Rewritten{
+		Prog:         res.Prog,
+		MGT:          core.NewMGT(res.Templates, params),
+		Selection:    sel,
+		HandleCount:  res.HandleCount,
+		RemovedInsts: res.RemovedInsts,
+	}, nil
+}
+
+// BaselineConfig returns the paper's 6-wide baseline machine.
+func BaselineConfig() SimConfig { return uarch.Baseline() }
+
+// MiniGraphConfig returns the mini-graph machine: two ALUs replaced by two
+// 4-stage ALU pipelines, plus (when intMem) a sliding-window scheduler.
+func MiniGraphConfig(intMem bool) SimConfig { return uarch.MiniGraph(intMem) }
+
+// Simulate runs the cycle-level timing model. mgt may be nil for plain
+// binaries.
+func Simulate(cfg SimConfig, p *Program, mgt *MGT) (*SimResult, error) {
+	return uarch.New(cfg, p, mgt).Run()
+}
+
+// Speedup returns base.Cycles / other.Cycles.
+func Speedup(base, other *SimResult) float64 { return uarch.Speedup(base, other) }
+
+// Run executes the program architecturally (no timing) and returns its
+// final state checksum and dynamic instruction count.
+func Run(p *Program, mgt *MGT, limit int64) (memChecksum uint64, dynInsts int64, err error) {
+	if limit <= 0 {
+		limit = 10_000_000
+	}
+	st, err := emu.RunToCompletion(p, mgt, limit)
+	if err != nil {
+		return 0, 0, err
+	}
+	return st.MemSum, st.InstCount, nil
+}
+
+// Benchmarks lists the built-in workload kernels (SPECint-, MediaBench-,
+// CommBench- and MiBench-like suites).
+func Benchmarks() []*Benchmark { return workload.All() }
+
+// BenchmarkByName finds a built-in kernel.
+func BenchmarkByName(name string) (*Benchmark, bool) { return workload.ByName(name) }

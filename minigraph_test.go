@@ -1,0 +1,117 @@
+package minigraph_test
+
+import (
+	"strings"
+	"testing"
+
+	"minigraph"
+)
+
+const kernelSrc = `
+        .data
+out:    .space 8
+        .text
+main:   li   r9, 2000
+        clr  r3
+loop:   addl r3, 7, r4
+        srl  r4, 3, r4
+        xor  r4, r3, r5
+        and  r5, 255, r5
+        addq r3, r5, r3
+        subl r9, 1, r9
+        bne  r9, loop
+        stq  r3, out(zero)
+        halt
+`
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	prog, err := minigraph.Assemble("kernel", kernelSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := minigraph.ProfileOf(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := minigraph.Extract(prog, prof, minigraph.DefaultPolicy(), 512, minigraph.DefaultExecParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.HandleCount == 0 {
+		t.Fatal("no handles planted")
+	}
+	if rw.Selection.Coverage() <= 0 {
+		t.Error("zero coverage")
+	}
+
+	// Architectural equivalence through the public API.
+	sumOrig, nOrig, err := minigraph.Run(prog, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumRW, nRW, err := minigraph.Run(rw.Prog, rw.MGT, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sumOrig != sumRW {
+		t.Error("rewriting changed results")
+	}
+	if nRW != nOrig {
+		t.Errorf("nop-fill should preserve record count: %d vs %d", nRW, nOrig)
+	}
+
+	base, err := minigraph.Simulate(minigraph.BaselineConfig(), prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := minigraph.Simulate(minigraph.MiniGraphConfig(true), rw.Prog, rw.MGT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mg.RetiredHandles == 0 {
+		t.Error("no handles retired")
+	}
+	sp := minigraph.Speedup(base, mg)
+	if sp < 0.7 || sp > 3 {
+		t.Errorf("implausible speedup %.3f", sp)
+	}
+	t.Logf("coverage=%.1f%% speedup=%.3f", 100*rw.Selection.Coverage(), sp)
+}
+
+func TestPublicAPICompressed(t *testing.T) {
+	prog := minigraph.MustAssemble("kernel", kernelSrc)
+	prof, _ := minigraph.ProfileOf(prog, 0)
+	rw, err := minigraph.ExtractCompressed(prog, prof, minigraph.DefaultPolicy(), 512, minigraph.DefaultExecParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.Prog.Len() >= prog.Len() {
+		t.Error("compression did not shrink the binary")
+	}
+	sumOrig, _, _ := minigraph.Run(prog, nil, 0)
+	sumRW, _, err := minigraph.Run(rw.Prog, rw.MGT, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sumOrig != sumRW {
+		t.Error("compression changed results")
+	}
+}
+
+func TestBenchmarksExposed(t *testing.T) {
+	all := minigraph.Benchmarks()
+	if len(all) < 20 {
+		t.Errorf("only %d benchmarks", len(all))
+	}
+	if _, ok := minigraph.BenchmarkByName("mcf"); !ok {
+		t.Error("mcf missing")
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	prog := minigraph.MustAssemble("kernel", kernelSrc)
+	text := minigraph.Disassemble(prog)
+	if !strings.Contains(text, "addl r3,7,r4") {
+		t.Errorf("disassembly missing body:\n%s", text)
+	}
+}
