@@ -1,33 +1,46 @@
 // Command mgbench regenerates the paper's evaluation artifacts. Each -exp
 // value corresponds to one figure or in-text result set of §6 (see
-// DESIGN.md's per-experiment index).
+// DESIGN.md's per-experiment index). Every experiment runs through one
+// shared memoizing job engine, so benchmark preparations and the common
+// baseline simulations execute exactly once across the whole run.
 //
 // Usage:
 //
 //	mgbench -exp config|fig5|fig5dom|robust|fig6|fig7|policy|icache|fig8reg|fig8bw|ablate|all
-//	        [-benchmarks a,b,c] [-parallel N] [-v]
+//	        [-benchmarks a,b,c] [-parallel N] [-json] [-v]
+//
+// With -json the artifacts are emitted as a JSON array of structured
+// reports (machine-readable rows) instead of text tables.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	"minigraph/internal/experiments"
-	"minigraph/internal/stats"
+	"minigraph/internal/sim"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (config fig5 fig5dom robust fig6 fig7 policy icache fig8reg fig8bw ablate all)")
+	exp := flag.String("exp", "all", "experiment id ("+strings.Join(experiments.IDs(), " ")+" all)")
 	benches := flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
 	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = NumCPU)")
+	jsonOut := flag.Bool("json", false, "emit structured JSON reports instead of text tables")
 	verbose := flag.Bool("v", false, "progress output")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	o := experiments.DefaultOptions()
-	o.Parallel = *parallel
+	o.Context = ctx
+	o.Engine = sim.New(*parallel)
 	if *benches != "" {
 		o.Benchmarks = strings.Split(*benches, ",")
 	}
@@ -37,56 +50,34 @@ func main() {
 
 	ids := []string{*exp}
 	if *exp == "all" {
-		ids = []string{"config", "fig5", "fig5dom", "robust", "fig6", "fig7", "policy", "icache", "fig8reg", "fig8bw", "ablate"}
+		ids = experiments.IDs()
 	}
+	var reports []*sim.Report
 	for _, id := range ids {
 		t0 := time.Now()
-		tables, err := run(id, o)
+		a, err := experiments.Run(id, o)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			os.Exit(1)
 		}
-		for _, t := range tables {
-			fmt.Println(t.String())
+		if *jsonOut {
+			reports = append(reports, a.Report)
+		} else {
+			fmt.Println(a.String())
 		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(t0).Round(time.Millisecond))
 	}
-}
-
-func run(id string, o experiments.Options) ([]*stats.Table, error) {
-	switch id {
-	case "config":
-		return []*stats.Table{experiments.ConfigTable()}, nil
-	case "fig5":
-		tables, _, err := experiments.Fig5(o)
-		return tables, err
-	case "fig5dom":
-		t, err := experiments.Fig5Domain(o)
-		return []*stats.Table{t}, err
-	case "robust":
-		t, err := experiments.Robustness(o)
-		return []*stats.Table{t}, err
-	case "fig6":
-		t, _, err := experiments.Fig6(o)
-		return []*stats.Table{t}, err
-	case "fig7":
-		t, _, err := experiments.Fig7(o)
-		return []*stats.Table{t}, err
-	case "policy":
-		t, err := experiments.PolicyBest(o)
-		return []*stats.Table{t}, err
-	case "icache":
-		t, err := experiments.ICache(o)
-		return []*stats.Table{t}, err
-	case "fig8reg":
-		t, err := experiments.Fig8Regs(o)
-		return []*stats.Table{t}, err
-	case "fig8bw":
-		t, err := experiments.Fig8Bandwidth(o)
-		return []*stats.Table{t}, err
-	case "ablate":
-		t, err := experiments.Ablations(o)
-		return []*stats.Table{t}, err
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
-	return nil, fmt.Errorf("unknown experiment %q", id)
+	if *verbose {
+		st := o.Engine.Stats()
+		fmt.Fprintf(os.Stderr, "[engine: %d prepares (%d cache hits), %d simulations (%d cache hits)]\n",
+			st.PrepareRuns, st.PrepareHits, st.SimRuns, st.SimHits)
+	}
 }

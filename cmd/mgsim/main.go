@@ -1,6 +1,13 @@
 // Command mgsim runs the cycle-level timing simulator on a built-in
 // benchmark or an assembly file, optionally through the mini-graph
-// toolchain first.
+// toolchain first. Built-in benchmarks run as jobs on the shared
+// memoizing simulation engine (so repeated invocations inside one process
+// — and Ctrl-C cancellation — behave like the experiment harness);
+// assembly files go through the public facade directly. Both paths
+// profile under the engine's 4M-dynamic-instruction cap so -bench and
+// -file select identical mini-graphs for identical programs (earlier
+// releases profiled -file inputs to 10M; programs longer than 4M
+// instructions may select differently than before).
 //
 // Usage:
 //
@@ -10,9 +17,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"minigraph"
 	"minigraph/internal/workload"
@@ -39,43 +48,20 @@ func main() {
 		}
 		return
 	}
-	prog, err := loadProgram(*bench, *file)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
 
-	var cfg minigraph.SimConfig
-	var mgt *minigraph.MGT
-	runProg := prog
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	cfg := minigraph.BaselineConfig()
 	if *useMG {
 		cfg = minigraph.MiniGraphConfig(!*intOnly)
 		cfg.Collapse = *collapse
-		prof, err := minigraph.ProfileOf(prog, 0)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		pol := minigraph.DefaultPolicy()
-		pol.MaxSize = *maxSize
-		pol.AllowMem = !*intOnly
-		params := minigraph.DefaultExecParams()
-		params.Collapse = *collapse
-		rw, err := minigraph.Extract(prog, prof, pol, *entries, params)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("extraction: %d templates, coverage %.2f%%\n", len(rw.Selection.Templates), 100*rw.Selection.Coverage())
-		runProg, mgt = rw.Prog, rw.MGT
-	} else {
-		cfg = minigraph.BaselineConfig()
 	}
 	cfg.PhysRegs = *regs
 	cfg.FetchWidth, cfg.RenameWidth, cfg.CommitWidth = *width, *width, *width
 	cfg.SchedCycles = *sched
 
-	res, err := minigraph.Simulate(cfg, runProg, mgt)
+	res, err := simulate(ctx, *bench, *file, *useMG, *intOnly, *entries, *maxSize, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -100,20 +86,65 @@ func main() {
 	}
 }
 
-func loadProgram(bench, file string) (*minigraph.Program, error) {
+// simulate routes built-in benchmarks through the shared job engine and
+// assembly files through the facade.
+func simulate(ctx context.Context, bench, file string, useMG, intOnly bool, entries, maxSize int, cfg minigraph.SimConfig) (*minigraph.SimResult, error) {
 	switch {
 	case bench != "":
-		b, ok := workload.ByName(bench)
-		if !ok {
+		if _, ok := workload.ByName(bench); !ok {
 			return nil, fmt.Errorf("unknown benchmark %q (try -list)", bench)
 		}
-		return b.Build(workload.InputTrain), nil
+		eng := minigraph.NewEngine(0)
+		job := minigraph.SimJob{
+			Prepare:  minigraph.PrepareKey{Bench: bench, Input: workload.InputTrain},
+			Baseline: !useMG,
+			Config:   cfg,
+		}
+		if useMG {
+			pol := minigraph.DefaultPolicy()
+			pol.MaxSize = maxSize
+			pol.AllowMem = !intOnly
+			job.Policy = pol
+			job.Entries = entries
+		}
+		out, err := eng.Simulate(ctx, job)
+		if err != nil {
+			return nil, err
+		}
+		if out.Selection != nil {
+			fmt.Printf("extraction: %d templates, coverage %.2f%%\n",
+				len(out.Selection.Templates), 100*out.Selection.Coverage())
+		}
+		return out.Result, nil
 	case file != "":
 		src, err := os.ReadFile(file)
 		if err != nil {
 			return nil, err
 		}
-		return minigraph.Assemble(file, string(src))
+		prog, err := minigraph.Assemble(file, string(src))
+		if err != nil {
+			return nil, err
+		}
+		runProg := prog
+		var mgt *minigraph.MGT
+		if useMG {
+			prof, err := minigraph.ProfileOf(prog, minigraph.ProfileLimit)
+			if err != nil {
+				return nil, err
+			}
+			pol := minigraph.DefaultPolicy()
+			pol.MaxSize = maxSize
+			pol.AllowMem = !intOnly
+			params := minigraph.DefaultExecParams()
+			params.Collapse = cfg.Collapse
+			rw, err := minigraph.Extract(prog, prof, pol, entries, params)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Printf("extraction: %d templates, coverage %.2f%%\n", len(rw.Selection.Templates), 100*rw.Selection.Coverage())
+			runProg, mgt = rw.Prog, rw.MGT
+		}
+		return minigraph.SimulateContext(ctx, cfg, runProg, mgt)
 	}
 	return nil, fmt.Errorf("one of -bench or -file is required")
 }

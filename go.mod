@@ -1,0 +1,3 @@
+module minigraph
+
+go 1.24

@@ -1,15 +1,14 @@
 package experiments
 
 import (
-	"fmt"
-
+	"minigraph/internal/sim"
 	"minigraph/internal/stats"
 	"minigraph/internal/uarch"
 	"minigraph/internal/workload"
 )
 
-// Ablations quantifies the design choices the paper fixes by fiat, each as
-// one knob around the default mini-graph machine:
+// ablationArms are the design-choice knobs around the default mini-graph
+// machine:
 //
 //   - intmem×2: issue two heterogeneous handles per cycle instead of one
 //     (§4.3 argues one is sufficient; this measures what the FUBMP
@@ -21,36 +20,37 @@ import (
 //   - no window: sliding-window scheduler disabled (integer-only
 //     selection, the configuration forced on machines without FUBMP
 //     support).
-func Ablations(o Options) (*stats.Table, error) {
-	type arm struct {
-		name    string
-		intMem  bool
-		maxSize int
-		entries int
-		mutate  func(*uarch.Config)
+var ablationArms = []struct {
+	name    string
+	intMem  bool
+	maxSize int
+	entries int
+	mutate  func(*uarch.Config)
+}{
+	{"default", true, 0, 0, nil},
+	{"intmem x2", true, 0, 0, func(c *uarch.Config) { c.IntMemIssuePerCycle = 2 }},
+	{"4 APs", true, 0, 0, func(c *uarch.Config) { c.IntALUs, c.APs = 0, 4 }},
+	{"AP depth 8", true, 8, 0, func(c *uarch.Config) { c.APDepth = 8 }},
+	{"MGT 128", true, 0, 128, nil},
+	{"no window (int only)", false, 0, 0, func(c *uarch.Config) { c.IntMemIssuePerCycle = 0 }},
+}
+
+// Ablations quantifies the design choices the paper fixes by fiat, each as
+// one knob around the default mini-graph machine.
+func Ablations(o Options) (*Artifact, error) {
+	benches, err := o.benchSet()
+	if err != nil {
+		return nil, err
 	}
-	arms := []arm{
-		{"default", true, 0, 0, nil},
-		{"intmem x2", true, 0, 0, func(c *uarch.Config) { c.IntMemIssuePerCycle = 2 }},
-		{"4 APs", true, 0, 0, func(c *uarch.Config) { c.IntALUs, c.APs = 0, 4 }},
-		{"AP depth 8", true, 8, 0, func(c *uarch.Config) { c.APDepth = 8 }},
-		{"MGT 128", true, 0, 128, nil},
-		{"no window (int only)", false, 0, 0, func(c *uarch.Config) { c.IntMemIssuePerCycle = 0 }},
-	}
-	benches := o.benchSet()
-	rows := make([][]float64, len(benches))
-	err := parallelFor(len(benches), o.workers(), func(i int) error {
-		b := benches[i]
-		pr, err := prepare(b, workload.InputTrain)
-		if err != nil {
-			return err
-		}
-		base, err := simulate(uarch.Baseline(), pr.prog, nil)
-		if err != nil {
-			return err
-		}
-		vals := make([]float64, len(arms))
-		for k, a := range arms {
+	eng := o.engine()
+
+	stride := 1 + len(ablationArms)
+	jobs := make([]sim.SimJob, 0, stride*len(benches))
+	labels := make([]string, 0, cap(jobs))
+	for _, b := range benches {
+		jobs = append(jobs, baselineJob(b))
+		labels = append(labels, "ablate: "+b.Name+" baseline")
+		for _, a := range ablationArms {
 			cfg := machineFor(a.intMem, false)
 			if a.mutate != nil {
 				a.mutate(&cfg)
@@ -64,39 +64,42 @@ func Ablations(o Options) (*stats.Table, error) {
 			if a.entries > 0 {
 				entries = a.entries
 			}
-			prog, mgt, _, err := pr.rewritten(policyFor(a.intMem, maxSize), entries, execParams(cfg), false)
-			if err != nil {
-				return err
-			}
-			res, err := simulate(cfg, prog, mgt)
-			if err != nil {
-				return fmt.Errorf("%s/%s: %w", b.Name, a.name, err)
-			}
-			vals[k] = uarch.Speedup(base, res)
+			jobs = append(jobs, mgJob(b, policyFor(a.intMem, maxSize), entries, cfg, false))
+			labels = append(labels, "ablate: "+b.Name+" "+a.name)
 		}
-		rows[i] = vals
-		o.logf("ablate: %s done", b.Name)
-		return nil
-	})
+	}
+	outs, err := o.runJobs(eng, jobs, labels)
 	if err != nil {
 		return nil, err
 	}
 
+	rows := make([][]float64, len(benches))
+	for i := range benches {
+		base := outs[i*stride].Result
+		vals := make([]float64, len(ablationArms))
+		for k := range ablationArms {
+			vals[k] = uarch.Speedup(base, outs[i*stride+1+k].Result)
+		}
+		rows[i] = vals
+	}
+
 	header := []string{"bench"}
-	for _, a := range arms {
+	for _, a := range ablationArms {
 		header = append(header, a.name)
 	}
 	t := stats.NewTable("Ablations: design-choice sensitivity (speedup vs baseline)", header...)
+	rep := sim.NewReport("ablate", t.Title)
 	for i, b := range benches {
 		cells := []string{b.Name}
-		for _, v := range rows[i] {
+		for k, v := range rows[i] {
 			cells = append(cells, stats.SpeedupStr(v))
+			rep.Add(sim.Row{Bench: b.Name, Suite: b.Suite, Arm: ablationArms[k].name, Metric: "speedup", Value: v})
 		}
 		t.AddRow(cells...)
 	}
 	for _, suite := range workload.Suites() {
 		cells := []string{"gmean:" + suite}
-		for k := range arms {
+		for k := range ablationArms {
 			var xs []float64
 			for i, b := range benches {
 				if b.Suite == suite {
@@ -104,8 +107,9 @@ func Ablations(o Options) (*stats.Table, error) {
 				}
 			}
 			cells = append(cells, stats.SpeedupStr(stats.GeoMean(xs)))
+			rep.Add(sim.Row{Suite: suite, Arm: ablationArms[k].name, Agg: "gmean", Metric: "speedup", Value: stats.GeoMean(xs)})
 		}
 		t.AddRow(cells...)
 	}
-	return t, nil
+	return &Artifact{ID: "ablate", Tables: []*stats.Table{t}, Report: rep}, nil
 }

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"minigraph/internal/core"
+	"minigraph/internal/sim"
 	"minigraph/internal/stats"
 	"minigraph/internal/workload"
 )
@@ -26,47 +28,67 @@ type CoverageCell struct {
 
 // Fig5 reproduces Figure 5 (top and middle): application-specific integer
 // and integer-memory mini-graph coverage as a function of MGT entries and
-// maximum mini-graph size.
-func Fig5(o Options) ([]*stats.Table, []CoverageCell, error) {
-	benches := o.benchSet()
-	var mu []CoverageCell
+// maximum mini-graph size. Coverage needs no timing simulation, so each
+// arm is a preparation job plus in-process enumeration/selection on the
+// engine's pool.
+func Fig5(o Options) (*Artifact, []CoverageCell, error) {
+	benches, err := o.benchSet()
+	if err != nil {
+		return nil, nil, err
+	}
+	eng := o.engine()
+
 	type arm struct {
-		pr     *prepared
+		bench  *workload.Benchmark
 		intMem bool
 	}
 	arms := make([]arm, 0, 2*len(benches))
 	for _, b := range benches {
-		pr, err := prepare(b, workload.InputTrain)
-		if err != nil {
-			return nil, nil, err
-		}
-		arms = append(arms, arm{pr, false}, arm{pr, true})
+		arms = append(arms, arm{b, false}, arm{b, true})
 	}
 	results := make([][]CoverageCell, len(arms))
-	err := parallelFor(len(arms), o.workers(), func(i int) error {
+	err = eng.Each(o.ctx(), len(arms), func(ctx context.Context, i int) error {
 		a := arms[i]
+		pr, err := eng.Prepare(ctx, prepKey(a.bench, workload.InputTrain))
+		if err != nil {
+			return err
+		}
 		var cells []CoverageCell
 		for _, size := range fig5Sizes {
 			pol := policyFor(a.intMem, size)
-			cands := core.Enumerate(a.pr.cfg, a.pr.live, pol)
+			cands := core.Enumerate(pr.CFG, pr.Live, pol)
 			for _, entries := range fig5Entries {
-				sel := core.Select(a.pr.cfg, a.pr.prof, cands, entries)
+				sel := core.Select(pr.CFG, pr.Prof, cands, entries)
 				cells = append(cells, CoverageCell{
-					Bench: a.pr.bench.Name, Suite: a.pr.bench.Suite,
+					Bench: a.bench.Name, Suite: a.bench.Suite,
 					IntMem: a.intMem, Entries: entries, MaxSize: size,
 					Coverage: sel.Coverage(),
 				})
 			}
 		}
 		results[i] = cells
-		o.logf("fig5: %s intmem=%v done", a.pr.bench.Name, a.intMem)
+		o.logf("fig5: %s intmem=%v done", a.bench.Name, a.intMem)
 		return nil
 	})
 	if err != nil {
 		return nil, nil, err
 	}
+	var mu []CoverageCell
 	for _, cells := range results {
 		mu = append(mu, cells...)
+	}
+
+	rep := sim.NewReport("fig5", "Figure 5: coverage by MGT entries x max size")
+	for _, c := range mu {
+		kind := "int"
+		if c.IntMem {
+			kind = "intmem"
+		}
+		rep.Add(sim.Row{
+			Bench: c.Bench, Suite: c.Suite,
+			Arm:    fmt.Sprintf("%s/s%d/e%d", kind, c.MaxSize, c.Entries),
+			Metric: "coverage", Value: c.Coverage,
+		})
 	}
 
 	tables := make([]*stats.Table, 0, 2)
@@ -106,7 +128,7 @@ func Fig5(o Options) ([]*stats.Table, []CoverageCell, error) {
 		}
 		tables = append(tables, t)
 	}
-	return tables, mu, nil
+	return &Artifact{ID: "fig5", Tables: tables, Report: rep}, mu, nil
 }
 
 func headerCols() []string {
@@ -130,74 +152,123 @@ func findCell(cells []CoverageCell, bench string, intMem bool, entries, size int
 
 // Fig5Domain reproduces Figure 5 (bottom): domain-specific integer-memory
 // mini-graphs — one MGT shared by an entire suite.
-func Fig5Domain(o Options) (*stats.Table, error) {
+func Fig5Domain(o Options) (*Artifact, error) {
+	eng := o.engine()
 	t := stats.NewTable("Figure 5 (bottom): domain-specific integer-memory coverage",
 		"suite", "bench", "app-specific e512", "domain e512", "domain e2048")
-	for _, suite := range workload.Suites() {
+	rep := sim.NewReport("fig5dom", t.Title)
+	suites := workload.Suites()
+	type suiteRows struct {
+		rows    [][]string
+		reports []sim.Row
+	}
+	results := make([]suiteRows, len(suites))
+	err := eng.Each(o.ctx(), len(suites), func(ctx context.Context, si int) error {
+		suite := suites[si]
 		benches := workload.BySuite(suite)
 		var doms []core.DomainProgram
-		var prs []*prepared
+		var prs []*sim.Prepared
 		for _, b := range benches {
-			pr, err := prepare(b, workload.InputTrain)
+			pr, err := eng.Prepare(ctx, prepKey(b, workload.InputTrain))
 			if err != nil {
-				return nil, err
+				return err
 			}
 			prs = append(prs, pr)
-			doms = append(doms, core.DomainProgram{CFG: pr.cfg, Live: pr.live, Profile: pr.prof})
+			doms = append(doms, core.DomainProgram{CFG: pr.CFG, Live: pr.Live, Profile: pr.Prof})
 		}
 		pol := policyFor(true, o.MaxSize)
 		dom512 := core.SelectDomain(doms, pol, 512)
 		dom2048 := core.SelectDomain(doms, pol, 2048)
 		for i, pr := range prs {
-			app := core.Extract(pr.cfg, pr.live, pr.prof, pol, 512)
-			t.AddRow(suite, pr.bench.Name,
+			app := core.Extract(pr.CFG, pr.Live, pr.Prof, pol, 512)
+			results[si].rows = append(results[si].rows, []string{
+				suite, pr.Bench.Name,
 				stats.Pct(app.Coverage()),
 				stats.Pct(dom512[i].Coverage()),
-				stats.Pct(dom2048[i].Coverage()))
+				stats.Pct(dom2048[i].Coverage()),
+			})
+			results[si].reports = append(results[si].reports,
+				sim.Row{Bench: pr.Bench.Name, Suite: suite, Arm: "app-specific/e512", Metric: "coverage", Value: app.Coverage()},
+				sim.Row{Bench: pr.Bench.Name, Suite: suite, Arm: "domain/e512", Metric: "coverage", Value: dom512[i].Coverage()},
+				sim.Row{Bench: pr.Bench.Name, Suite: suite, Arm: "domain/e2048", Metric: "coverage", Value: dom2048[i].Coverage()},
+			)
 		}
 		o.logf("fig5dom: %s done", suite)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return t, nil
+	for _, sr := range results {
+		for _, row := range sr.rows {
+			t.AddRow(row...)
+		}
+		rep.Add(sr.reports...)
+	}
+	return &Artifact{ID: "fig5dom", Tables: []*stats.Table{t}, Report: rep}, nil
 }
 
 // Robustness reproduces the §6.1 in-text experiment: select mini-graphs
 // using the train profile, then measure the coverage those selections
 // achieve on the test input's profile.
-func Robustness(o Options) (*stats.Table, error) {
+func Robustness(o Options) (*Artifact, error) {
+	benches, err := o.benchSet()
+	if err != nil {
+		return nil, err
+	}
+	eng := o.engine()
 	t := stats.NewTable("Profile robustness (select on train, measure on test)",
 		"bench", "suite", "train cov", "test cov", "relative drop")
-	var drops []float64
-	for _, b := range o.benchSet() {
-		prTrain, err := prepare(b, workload.InputTrain)
+	rep := sim.NewReport("robust", t.Title)
+	type result struct{ trainCov, testCov, drop float64 }
+	results := make([]result, len(benches))
+	err = eng.Each(o.ctx(), len(benches), func(ctx context.Context, i int) error {
+		b := benches[i]
+		prTrain, err := eng.Prepare(ctx, prepKey(b, workload.InputTrain))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		prTest, err := prepare(b, workload.InputTest)
+		prTest, err := eng.Prepare(ctx, prepKey(b, workload.InputTest))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pol := policyFor(true, o.MaxSize)
-		sel := core.Extract(prTrain.cfg, prTrain.live, prTrain.prof, pol, o.MGTEntries)
+		sel := core.Extract(prTrain.CFG, prTrain.Live, prTrain.Prof, pol, o.MGTEntries)
 		trainCov := sel.Coverage()
 		// Instances are static; re-weigh them with the test profile. The
 		// programs differ only in data, so static PCs line up.
 		var covered int64
 		for _, s := range sel.Instances {
-			blk := prTest.cfg.Blocks[s.Instance.Block]
-			covered += int64(s.Instance.Size()-1) * prTest.prof.BlockFreq(blk)
+			blk := prTest.CFG.Blocks[s.Instance.Block]
+			covered += int64(s.Instance.Size()-1) * prTest.Prof.BlockFreq(blk)
 		}
 		testCov := 0.0
-		if prTest.prof.DynInsts > 0 {
-			testCov = float64(covered) / float64(prTest.prof.DynInsts)
+		if prTest.Prof.DynInsts > 0 {
+			testCov = float64(covered) / float64(prTest.Prof.DynInsts)
 		}
 		drop := 0.0
 		if trainCov > 0 {
 			drop = 1 - testCov/trainCov
 		}
-		drops = append(drops, drop)
-		t.AddRow(b.Name, b.Suite, stats.Pct(trainCov), stats.Pct(testCov), stats.Pct(drop))
+		results[i] = result{trainCov, testCov, drop}
 		o.logf("robust: %s done", b.Name)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var drops []float64
+	for i, b := range benches {
+		r := results[i]
+		drops = append(drops, r.drop)
+		t.AddRow(b.Name, b.Suite, stats.Pct(r.trainCov), stats.Pct(r.testCov), stats.Pct(r.drop))
+		rep.Add(
+			sim.Row{Bench: b.Name, Suite: b.Suite, Arm: "train", Metric: "coverage", Value: r.trainCov},
+			sim.Row{Bench: b.Name, Suite: b.Suite, Arm: "test", Metric: "coverage", Value: r.testCov},
+			sim.Row{Bench: b.Name, Suite: b.Suite, Metric: "coverage-drop", Value: r.drop},
+		)
 	}
 	t.AddRow("mean", "", "", "", stats.Pct(stats.Mean(drops)))
-	return t, nil
+	rep.Add(sim.Row{Agg: "mean", Metric: "coverage-drop", Value: stats.Mean(drops)})
+	return &Artifact{ID: "robust", Tables: []*stats.Table{t}, Report: rep}, nil
 }

@@ -1,7 +1,9 @@
 // Package experiments reproduces every figure and in-text result set from
-// the paper's evaluation (§6). Each experiment is a function that runs the
-// required simulations and returns the regenerated artifact as text tables,
-// with benchmarks and means organised as in the corresponding figure.
+// the paper's evaluation (§6). Each experiment declares its arms as data
+// (simulation jobs) submitted to the shared memoizing engine in
+// internal/sim and assembles the returned outcomes into the regenerated
+// artifact: the figure's text table plus a structured, JSON-serializable
+// report.
 //
 // Experiment index (see DESIGN.md §3):
 //
@@ -18,19 +20,20 @@
 //	fig8reg — register-file reduction (Figure 8 top)
 //	fig8bw  — pipeline-bandwidth reduction and 2-cycle scheduler (Figure 8
 //	          bottom)
+//	ablate  — design-choice sensitivity knobs
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
-	"sync"
+	"strings"
+	"sync/atomic"
 
 	"minigraph/internal/core"
-	"minigraph/internal/emu"
-	"minigraph/internal/isa"
-	"minigraph/internal/program"
-	"minigraph/internal/rewrite"
+	"minigraph/internal/sim"
+	"minigraph/internal/stats"
 	"minigraph/internal/uarch"
 	"minigraph/internal/workload"
 )
@@ -44,10 +47,18 @@ type Options struct {
 	// MaxSize is the mini-graph size cap for performance experiments
 	// (paper: 4).
 	MaxSize int
-	// Parallel bounds concurrent simulations (0 = GOMAXPROCS).
+	// Parallel bounds concurrent simulations (0 = GOMAXPROCS). Ignored when
+	// Engine is set (the engine's pool bounds the run).
 	Parallel int
 	// Log, when non-nil, receives progress output.
 	Log io.Writer
+	// Context cancels in-flight simulations (nil = context.Background()).
+	Context context.Context
+	// Engine, when non-nil, is a shared memoizing job engine: benchmark
+	// preparations and the common baseline simulations are then computed
+	// once across every experiment that shares it. When nil each experiment
+	// call builds a private engine.
+	Engine *sim.Engine
 }
 
 // DefaultOptions match the paper's main configuration.
@@ -62,93 +73,134 @@ func (o *Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+func (o *Options) engine() *sim.Engine {
+	if o.Engine != nil {
+		return o.Engine
+	}
+	return sim.New(o.workers())
+}
+
+func (o *Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
+}
+
 func (o *Options) logf(format string, args ...interface{}) {
 	if o.Log != nil {
 		fmt.Fprintf(o.Log, format+"\n", args...)
 	}
 }
 
-// benchSet resolves the benchmark selection.
-func (o *Options) benchSet() []*workload.Benchmark {
+// benchSet resolves the benchmark selection. Unknown names are an error —
+// a typo must not silently shrink the run to the empty set.
+func (o *Options) benchSet() ([]*workload.Benchmark, error) {
 	if len(o.Benchmarks) == 0 {
-		return workload.All()
+		return workload.All(), nil
 	}
-	var out []*workload.Benchmark
+	out := make([]*workload.Benchmark, 0, len(o.Benchmarks))
 	for _, n := range o.Benchmarks {
-		if b, ok := workload.ByName(n); ok {
-			out = append(out, b)
+		b, ok := workload.ByName(n)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown benchmark %q", n)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// Artifact is one experiment's regenerated output: the figure-style text
+// tables and the structured report.
+type Artifact struct {
+	ID     string
+	Tables []*stats.Table
+	Report *sim.Report
+}
+
+// String renders every table.
+func (a *Artifact) String() string {
+	parts := make([]string, len(a.Tables))
+	for i, t := range a.Tables {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, "\n")
+}
+
+// IDs lists the experiment identifiers in canonical (paper) order.
+func IDs() []string {
+	return []string{"config", "fig5", "fig5dom", "robust", "fig6", "fig7", "policy", "icache", "fig8reg", "fig8bw", "ablate"}
+}
+
+// Run regenerates one experiment by id.
+func Run(id string, o Options) (*Artifact, error) {
+	switch id {
+	case "config":
+		t := ConfigTable()
+		rep := sim.NewReport(id, t.Title)
+		for _, row := range t.Rows {
+			rep.Add(sim.Row{Arm: row[0], Metric: "config", Text: row[1]})
+		}
+		return &Artifact{ID: id, Tables: []*stats.Table{t}, Report: rep}, nil
+	case "fig5":
+		a, _, err := Fig5(o)
+		return a, err
+	case "fig5dom":
+		return Fig5Domain(o)
+	case "robust":
+		return Robustness(o)
+	case "fig6":
+		a, _, err := Fig6(o)
+		return a, err
+	case "fig7":
+		a, _, err := Fig7(o)
+		return a, err
+	case "policy":
+		return PolicyBest(o)
+	case "icache":
+		return ICache(o)
+	case "fig8reg":
+		return Fig8Regs(o)
+	case "fig8bw":
+		return Fig8Bandwidth(o)
+	case "ablate":
+		return Ablations(o)
+	}
+	return nil, fmt.Errorf("unknown experiment %q", id)
+}
+
+// runJobs submits a job batch and, when logging is enabled, streams one
+// progress line per completed job (labels is index-aligned with jobs).
+func (o *Options) runJobs(eng *sim.Engine, jobs []sim.SimJob, labels []string) ([]*sim.Outcome, error) {
+	var onDone func(int, *sim.Outcome)
+	if o.Log != nil {
+		var done atomic.Int64
+		onDone = func(i int, _ *sim.Outcome) {
+			o.logf("%s done (%d/%d)", labels[i], done.Add(1), len(jobs))
 		}
 	}
-	return out
+	return eng.RunEach(o.ctx(), jobs, onDone)
 }
 
-// prepared caches one benchmark's static analysis and profile.
-type prepared struct {
-	bench *workload.Benchmark
-	prog  *isa.Program
-	cfg   *program.CFG
-	live  *program.Liveness
-	prof  *program.Profile
+// prepKey is the canonical preparation key for a benchmark.
+func prepKey(b *workload.Benchmark, in workload.Input) sim.PrepareKey {
+	return sim.PrepareKey{Bench: b.Name, Input: in}
 }
 
-const runLimit = 4_000_000
-
-func prepare(b *workload.Benchmark, in workload.Input) (*prepared, error) {
-	p := b.Build(in)
-	g := program.BuildCFG(p, nil)
-	lv := program.ComputeLiveness(g)
-	prof, err := emu.ProfileProgram(p, nil, runLimit)
-	if err != nil {
-		return nil, fmt.Errorf("%s: profile: %w", b.Name, err)
+// mgJob builds a mini-graph simulation job for one experiment arm.
+func mgJob(b *workload.Benchmark, pol core.Policy, entries int, cfg uarch.Config, compress bool) sim.SimJob {
+	return sim.SimJob{
+		Prepare:  prepKey(b, workload.InputTrain),
+		Policy:   pol,
+		Entries:  entries,
+		Compress: compress,
+		Config:   cfg,
 	}
-	return &prepared{bench: b, prog: p, cfg: g, live: lv, prof: prof}, nil
 }
 
-// rewritten extracts under pol and rewrites, returning the program and MGT.
-func (pr *prepared) rewritten(pol core.Policy, entries int, params core.ExecParams, compress bool) (*isa.Program, *core.MGT, *core.Selection, error) {
-	sel := core.Extract(pr.cfg, pr.live, pr.prof, pol, entries)
-	res, err := rewrite.Rewrite(pr.prog, sel, compress)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	return res.Prog, core.NewMGT(res.Templates, params), sel, nil
-}
-
-// simulate runs one timing simulation.
-func simulate(cfg uarch.Config, prog *isa.Program, mgt *core.MGT) (*uarch.Result, error) {
-	pipe := uarch.New(cfg, prog, mgt)
-	return pipe.Run()
-}
-
-// parallelFor runs jobs with bounded concurrency, preserving error order.
-func parallelFor(n int, workers int, job func(i int) error) error {
-	if workers < 1 {
-		workers = 1
-	}
-	sem := make(chan struct{}, workers)
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			errs[i] = job(i)
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// suiteOrder returns a benchmark's suite rank for grouped output.
-var suiteOrder = map[string]int{
-	workload.SPECint: 0, workload.MediaBench: 1, workload.CommBench: 2, workload.MiBench: 3,
+// baselineJob is the shared 6-wide baseline simulation for b.
+func baselineJob(b *workload.Benchmark) sim.SimJob {
+	return sim.Baseline(prepKey(b, workload.InputTrain), uarch.Baseline())
 }
 
 // policyFor builds the extraction policy for an experiment arm.
@@ -167,9 +219,4 @@ func machineFor(intMem, collapse bool) uarch.Config {
 		cfg.Name += "+collapse"
 	}
 	return cfg
-}
-
-// execParams derives MGT scheduling parameters matching a machine config.
-func execParams(cfg uarch.Config) core.ExecParams {
-	return core.ExecParams{LoadLat: cfg.LoadLat, Collapse: cfg.Collapse, UseAP: cfg.APs > 0}
 }

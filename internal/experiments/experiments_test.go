@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"minigraph/internal/experiments"
+	"minigraph/internal/sim"
 	"minigraph/internal/workload"
 )
 
@@ -14,6 +15,80 @@ func smallOpts() experiments.Options {
 	// cmd/mgbench's job.
 	o.Benchmarks = []string{"gzip", "adpcm.enc", "reed.dec", "sha"}
 	return o
+}
+
+// TestUnknownBenchmarkError checks a typo in the benchmark selection fails
+// loudly instead of silently running the empty set.
+func TestUnknownBenchmarkError(t *testing.T) {
+	o := smallOpts()
+	o.Benchmarks = append(o.Benchmarks, "gzipp")
+	if _, _, err := experiments.Fig5(o); err == nil || !strings.Contains(err.Error(), "gzipp") {
+		t.Errorf("want unknown-benchmark error naming the typo, got %v", err)
+	}
+	if _, err := experiments.Run("fig6", o); err == nil {
+		t.Error("Run accepted an unknown benchmark name")
+	}
+}
+
+// TestSharedEngineDedup runs Figure 6 then Figure 7 on one shared engine
+// and checks the single-flight cache: each benchmark is prepared exactly
+// once and its baseline (plus the two arms the figures share) simulates
+// exactly once across both figures.
+func TestSharedEngineDedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing simulations in -short mode")
+	}
+	o := smallOpts()
+	o.Engine = sim.New(0)
+	n := int64(len(o.Benchmarks))
+
+	if _, _, err := experiments.Fig6(o); err != nil {
+		t.Fatal(err)
+	}
+	st := o.Engine.Stats()
+	if st.PrepareRuns != n {
+		t.Errorf("after fig6: %d prepares, want %d", st.PrepareRuns, n)
+	}
+	if st.SimRuns != 5*n { // baseline + 4 arms per benchmark
+		t.Errorf("after fig6: %d sim runs, want %d", st.SimRuns, 5*n)
+	}
+
+	if _, _, err := experiments.Fig7(o); err != nil {
+		t.Fatal(err)
+	}
+	st2 := o.Engine.Stats()
+	if st2.PrepareRuns != n {
+		t.Errorf("fig7 re-prepared benchmarks: %d prepares, want %d", st2.PrepareRuns, n)
+	}
+	// Fig7 shares the baseline and its plain int/intmem arms with Fig6:
+	// of its 8 jobs per benchmark, 3 are cache hits and 5 are new.
+	if st2.SimRuns != 10*n {
+		t.Errorf("after fig7: %d sim runs, want %d", st2.SimRuns, 10*n)
+	}
+	if hits := st2.SimHits - st.SimHits; hits != 3*n {
+		t.Errorf("fig7 took %d cache hits, want %d (baseline, int, intmem per benchmark)", hits, 3*n)
+	}
+}
+
+// TestReportJSON checks the structured report round-trips as valid JSON.
+func TestReportJSON(t *testing.T) {
+	o := smallOpts()
+	a, err := experiments.Run("robust", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Report.Rows) == 0 {
+		t.Fatal("empty report")
+	}
+	data, err := a.Report.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{`"name": "robust"`, `"metric"`, `"value"`} {
+		if !strings.Contains(string(data), frag) {
+			t.Errorf("report JSON missing %q", frag)
+		}
+	}
 }
 
 func TestConfigTable(t *testing.T) {

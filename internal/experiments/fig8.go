@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"minigraph/internal/sim"
 	"minigraph/internal/stats"
 	"minigraph/internal/uarch"
 	"minigraph/internal/workload"
@@ -13,60 +14,59 @@ import (
 // integer-memory mini-graph machines, all relative to the 164-register
 // baseline. Mini-graphs allocate no registers for interior values, so they
 // compensate for the reduction.
-func Fig8Regs(o Options) (*stats.Table, error) {
+func Fig8Regs(o Options) (*Artifact, error) {
 	regSweep := []int{164, 144, 124, 104}
-	benches := o.benchSet()
-	type row struct {
-		vals map[string]float64
+	benches, err := o.benchSet()
+	if err != nil {
+		return nil, err
 	}
-	rows := make([]row, len(benches))
-	err := parallelFor(len(benches), o.workers(), func(i int) error {
-		b := benches[i]
-		pr, err := prepare(b, workload.InputTrain)
-		if err != nil {
-			return err
-		}
-		refCfg := uarch.Baseline()
-		ref, err := simulate(refCfg, pr.prog, nil)
-		if err != nil {
-			return err
-		}
-		vals := map[string]float64{}
+	eng := o.engine()
+
+	// Jobs per benchmark: the 164-reg reference plus (base, int, intmem) at
+	// each register count. The 164-reg base arm canonicalizes to the same
+	// key as the reference, so the engine simulates it once.
+	kinds := []string{"base", "int", "intmem"}
+	stride := 1 + len(regSweep)*len(kinds)
+	jobs := make([]sim.SimJob, 0, stride*len(benches))
+	labels := make([]string, 0, cap(jobs))
+	for _, b := range benches {
+		jobs = append(jobs, baselineJob(b))
+		labels = append(labels, "fig8reg: "+b.Name+" reference")
 		for _, regs := range regSweep {
-			// Plain baseline at reduced registers.
 			cfg := uarch.Baseline()
 			cfg.PhysRegs = regs
 			cfg.Name = fmt.Sprintf("base-r%d", regs)
-			res, err := simulate(cfg, pr.prog, nil)
-			if err != nil {
-				return err
-			}
-			vals[fmt.Sprintf("base/%d", regs)] = uarch.Speedup(ref, res)
-			// Mini-graph machines at reduced registers.
+			jobs = append(jobs, sim.Baseline(prepKey(b, workload.InputTrain), cfg))
+			labels = append(labels, fmt.Sprintf("fig8reg: %s base/%d", b.Name, regs))
 			for _, intMem := range []bool{false, true} {
 				mcfg := machineFor(intMem, false)
 				mcfg.PhysRegs = regs
-				prog, mgt, _, err := pr.rewritten(policyFor(intMem, o.MaxSize), o.MGTEntries, execParams(mcfg), false)
-				if err != nil {
-					return err
-				}
-				mres, err := simulate(mcfg, prog, mgt)
-				if err != nil {
-					return err
-				}
-				key := "int"
+				jobs = append(jobs, mgJob(b, policyFor(intMem, o.MaxSize), o.MGTEntries, mcfg, false))
+				kind := "int"
 				if intMem {
-					key = "intmem"
+					kind = "intmem"
 				}
-				vals[fmt.Sprintf("%s/%d", key, regs)] = uarch.Speedup(ref, mres)
+				labels = append(labels, fmt.Sprintf("fig8reg: %s %s/%d", b.Name, kind, regs))
 			}
 		}
-		rows[i] = row{vals: vals}
-		o.logf("fig8reg: %s done", b.Name)
-		return nil
-	})
+	}
+	outs, err := o.runJobs(eng, jobs, labels)
 	if err != nil {
 		return nil, err
+	}
+
+	rows := make([]map[string]float64, len(benches))
+	for i := range benches {
+		ref := outs[i*stride].Result
+		vals := map[string]float64{}
+		j := i*stride + 1
+		for _, regs := range regSweep {
+			for _, k := range kinds {
+				vals[fmt.Sprintf("%s/%d", k, regs)] = uarch.Speedup(ref, outs[j].Result)
+				j++
+			}
+		}
+		rows[i] = vals
 	}
 
 	header := []string{"bench"}
@@ -75,11 +75,14 @@ func Fig8Regs(o Options) (*stats.Table, error) {
 			fmt.Sprintf("base/%d", regs), fmt.Sprintf("int/%d", regs), fmt.Sprintf("intmem/%d", regs))
 	}
 	t := stats.NewTable("Figure 8 (top): register-file reduction (relative to 164-reg baseline)", header...)
+	rep := sim.NewReport("fig8reg", t.Title)
 	for i, b := range benches {
 		cells := []string{b.Name}
 		for _, regs := range regSweep {
-			for _, k := range []string{"base", "int", "intmem"} {
-				cells = append(cells, stats.SpeedupStr(rows[i].vals[fmt.Sprintf("%s/%d", k, regs)]))
+			for _, k := range kinds {
+				arm := fmt.Sprintf("%s/%d", k, regs)
+				cells = append(cells, stats.SpeedupStr(rows[i][arm]))
+				rep.Add(sim.Row{Bench: b.Name, Suite: b.Suite, Arm: arm, Metric: "speedup", Value: rows[i][arm]})
 			}
 		}
 		t.AddRow(cells...)
@@ -87,22 +90,24 @@ func Fig8Regs(o Options) (*stats.Table, error) {
 	for _, suite := range workload.Suites() {
 		cells := []string{"gmean:" + suite}
 		for _, regs := range regSweep {
-			for _, k := range []string{"base", "int", "intmem"} {
+			for _, k := range kinds {
+				arm := fmt.Sprintf("%s/%d", k, regs)
 				var xs []float64
 				for i, b := range benches {
 					if b.Suite == suite {
-						xs = append(xs, rows[i].vals[fmt.Sprintf("%s/%d", k, regs)])
+						xs = append(xs, rows[i][arm])
 					}
 				}
 				cells = append(cells, stats.SpeedupStr(stats.GeoMean(xs)))
+				rep.Add(sim.Row{Suite: suite, Arm: arm, Agg: "gmean", Metric: "speedup", Value: stats.GeoMean(xs)})
 			}
 		}
 		t.AddRow(cells...)
 	}
-	return t, nil
+	return &Artifact{ID: "fig8reg", Tables: []*stats.Table{t}, Report: rep}, nil
 }
 
-// fig8bwConfigs builds the Figure 8 (bottom) machine variants.
+// fig8bwBase builds the Figure 8 (bottom) baseline machine variants.
 func fig8bwBase(kind string) uarch.Config {
 	cfg := uarch.Baseline()
 	switch kind {
@@ -138,44 +143,42 @@ func fig8bwMG(kind string, intMem bool) uarch.Config {
 // Fig8Bandwidth reproduces Figure 8 (bottom): 6-wide, 4-wide,
 // 4-wide-with-6-execution-units, and 2-cycle-scheduler machines, with and
 // without mini-graphs, relative to the 6-wide 1-cycle-scheduler baseline.
-func Fig8Bandwidth(o Options) (*stats.Table, error) {
+// The 6-wide base arm shares the reference's cache key.
+func Fig8Bandwidth(o Options) (*Artifact, error) {
 	kinds := []string{"6wide", "4wide", "4wide+6exec", "2cycle-sched"}
-	benches := o.benchSet()
-	rows := make([]map[string]float64, len(benches))
-	err := parallelFor(len(benches), o.workers(), func(i int) error {
-		b := benches[i]
-		pr, err := prepare(b, workload.InputTrain)
-		if err != nil {
-			return err
-		}
-		ref, err := simulate(uarch.Baseline(), pr.prog, nil)
-		if err != nil {
-			return err
-		}
-		vals := map[string]float64{}
-		for _, kind := range kinds {
-			base, err := simulate(fig8bwBase(kind), pr.prog, nil)
-			if err != nil {
-				return err
-			}
-			vals["base/"+kind] = uarch.Speedup(ref, base)
-			mcfg := fig8bwMG(kind, true)
-			prog, mgt, _, err := pr.rewritten(policyFor(true, o.MaxSize), o.MGTEntries, execParams(mcfg), false)
-			if err != nil {
-				return err
-			}
-			res, err := simulate(mcfg, prog, mgt)
-			if err != nil {
-				return err
-			}
-			vals["mg/"+kind] = uarch.Speedup(ref, res)
-		}
-		rows[i] = vals
-		o.logf("fig8bw: %s done", b.Name)
-		return nil
-	})
+	benches, err := o.benchSet()
 	if err != nil {
 		return nil, err
+	}
+	eng := o.engine()
+
+	stride := 1 + 2*len(kinds)
+	jobs := make([]sim.SimJob, 0, stride*len(benches))
+	labels := make([]string, 0, cap(jobs))
+	for _, b := range benches {
+		jobs = append(jobs, baselineJob(b))
+		labels = append(labels, "fig8bw: "+b.Name+" reference")
+		for _, kind := range kinds {
+			jobs = append(jobs, sim.Baseline(prepKey(b, workload.InputTrain), fig8bwBase(kind)))
+			labels = append(labels, "fig8bw: "+b.Name+" base/"+kind)
+			jobs = append(jobs, mgJob(b, policyFor(true, o.MaxSize), o.MGTEntries, fig8bwMG(kind, true), false))
+			labels = append(labels, "fig8bw: "+b.Name+" mg/"+kind)
+		}
+	}
+	outs, err := o.runJobs(eng, jobs, labels)
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]map[string]float64, len(benches))
+	for i := range benches {
+		ref := outs[i*stride].Result
+		vals := map[string]float64{}
+		for k, kind := range kinds {
+			vals["base/"+kind] = uarch.Speedup(ref, outs[i*stride+1+2*k].Result)
+			vals["mg/"+kind] = uarch.Speedup(ref, outs[i*stride+2+2*k].Result)
+		}
+		rows[i] = vals
 	}
 
 	header := []string{"bench"}
@@ -183,28 +186,34 @@ func Fig8Bandwidth(o Options) (*stats.Table, error) {
 		header = append(header, "base/"+kind, "mg/"+kind)
 	}
 	t := stats.NewTable("Figure 8 (bottom): bandwidth/scheduler reduction (relative to 6-wide baseline)", header...)
+	rep := sim.NewReport("fig8bw", t.Title)
 	for i, b := range benches {
 		cells := []string{b.Name}
 		for _, kind := range kinds {
-			cells = append(cells, stats.SpeedupStr(rows[i]["base/"+kind]), stats.SpeedupStr(rows[i]["mg/"+kind]))
+			for _, arm := range []string{"base/" + kind, "mg/" + kind} {
+				cells = append(cells, stats.SpeedupStr(rows[i][arm]))
+				rep.Add(sim.Row{Bench: b.Name, Suite: b.Suite, Arm: arm, Metric: "speedup", Value: rows[i][arm]})
+			}
 		}
 		t.AddRow(cells...)
 	}
 	for _, suite := range workload.Suites() {
 		cells := []string{"gmean:" + suite}
 		for _, kind := range kinds {
-			var bs, ms []float64
-			for i, b := range benches {
-				if b.Suite == suite {
-					bs = append(bs, rows[i]["base/"+kind])
-					ms = append(ms, rows[i]["mg/"+kind])
+			for _, arm := range []string{"base/" + kind, "mg/" + kind} {
+				var xs []float64
+				for i, b := range benches {
+					if b.Suite == suite {
+						xs = append(xs, rows[i][arm])
+					}
 				}
+				cells = append(cells, stats.SpeedupStr(stats.GeoMean(xs)))
+				rep.Add(sim.Row{Suite: suite, Arm: arm, Agg: "gmean", Metric: "speedup", Value: stats.GeoMean(xs)})
 			}
-			cells = append(cells, stats.SpeedupStr(stats.GeoMean(bs)), stats.SpeedupStr(stats.GeoMean(ms)))
 		}
 		t.AddRow(cells...)
 	}
-	return t, nil
+	return &Artifact{ID: "fig8bw", Tables: []*stats.Table{t}, Report: rep}, nil
 }
 
 // ConfigTable renders the simulated machine description (§6).

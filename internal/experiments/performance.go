@@ -1,9 +1,8 @@
 package experiments
 
 import (
-	"fmt"
-
 	"minigraph/internal/core"
+	"minigraph/internal/sim"
 	"minigraph/internal/stats"
 	"minigraph/internal/uarch"
 	"minigraph/internal/workload"
@@ -21,63 +20,76 @@ type PerfRow struct {
 	Coverage    float64 // int-mem coverage at the experiment point
 }
 
+// fig6Arms are Figure 6's machine/policy arms, in column order.
+var fig6Arms = []struct {
+	name     string
+	intMem   bool
+	collapse bool
+}{
+	{"int", false, false},
+	{"int+collapse", false, true},
+	{"intmem", true, false},
+	{"intmem+collapse", true, true},
+}
+
 // Fig6 reproduces Figure 6: mini-graph processor performance relative to
 // the 6-wide baseline, for integer and integer-memory mini-graphs, with
 // plain and pair-wise-collapsing ALU pipelines.
-func Fig6(o Options) (*stats.Table, []PerfRow, error) {
-	benches := o.benchSet()
-	rows := make([]PerfRow, len(benches))
-	err := parallelFor(len(benches), o.workers(), func(i int) error {
-		b := benches[i]
-		pr, err := prepare(b, workload.InputTrain)
-		if err != nil {
-			return err
-		}
-		base, err := simulate(uarch.Baseline(), pr.prog, nil)
-		if err != nil {
-			return fmt.Errorf("%s baseline: %w", b.Name, err)
-		}
-		row := PerfRow{Bench: b.Name, Suite: b.Suite, BaseIPC: base.IPC()}
+func Fig6(o Options) (*Artifact, []PerfRow, error) {
+	benches, err := o.benchSet()
+	if err != nil {
+		return nil, nil, err
+	}
+	eng := o.engine()
 
-		type arm struct {
-			intMem   bool
-			collapse bool
-			out      *float64
-		}
-		arms := []arm{
-			{false, false, &row.Int},
-			{false, true, &row.IntCollapse},
-			{true, false, &row.IntMem},
-			{true, true, &row.IntMemColl},
-		}
-		for _, a := range arms {
+	// One baseline job plus one job per arm per benchmark, flattened into a
+	// single engine submission.
+	stride := 1 + len(fig6Arms)
+	jobs := make([]sim.SimJob, 0, stride*len(benches))
+	labels := make([]string, 0, cap(jobs))
+	for _, b := range benches {
+		jobs = append(jobs, baselineJob(b))
+		labels = append(labels, "fig6: "+b.Name+" baseline")
+		for _, a := range fig6Arms {
 			cfg := machineFor(a.intMem, a.collapse)
-			prog, mgt, sel, err := pr.rewritten(policyFor(a.intMem, o.MaxSize), o.MGTEntries, execParams(cfg), false)
-			if err != nil {
-				return fmt.Errorf("%s rewrite: %w", b.Name, err)
-			}
-			res, err := simulate(cfg, prog, mgt)
-			if err != nil {
-				return fmt.Errorf("%s %s: %w", b.Name, cfg.Name, err)
-			}
-			*a.out = uarch.Speedup(base, res)
-			if a.intMem && !a.collapse {
-				row.Coverage = sel.Coverage()
-			}
+			jobs = append(jobs, mgJob(b, policyFor(a.intMem, o.MaxSize), o.MGTEntries, cfg, false))
+			labels = append(labels, "fig6: "+b.Name+" "+a.name)
 		}
-		rows[i] = row
-		o.logf("fig6: %-10s baseIPC=%.3f int=%.3f int+c=%.3f intmem=%.3f intmem+c=%.3f",
-			b.Name, row.BaseIPC, row.Int, row.IntCollapse, row.IntMem, row.IntMemColl)
-		return nil
-	})
+	}
+	outs, err := o.runJobs(eng, jobs, labels)
 	if err != nil {
 		return nil, nil, err
 	}
 
+	rows := make([]PerfRow, len(benches))
+	for i, b := range benches {
+		base := outs[i*stride].Result
+		row := PerfRow{Bench: b.Name, Suite: b.Suite, BaseIPC: base.IPC()}
+		arms := make([]float64, len(fig6Arms))
+		for k := range fig6Arms {
+			out := outs[i*stride+1+k]
+			arms[k] = uarch.Speedup(base, out.Result)
+			if fig6Arms[k].name == "intmem" {
+				row.Coverage = out.Selection.Coverage()
+			}
+		}
+		row.Int, row.IntCollapse, row.IntMem, row.IntMemColl = arms[0], arms[1], arms[2], arms[3]
+		rows[i] = row
+	}
+
 	t := stats.NewTable("Figure 6: speedup over 6-wide baseline",
 		"bench", "suite", "base IPC", "int", "int+collapse", "int-mem", "int-mem+collapse", "coverage")
+	rep := sim.NewReport("fig6", t.Title)
 	for _, r := range rows {
 		t.AddRowf(r.Bench, r.Suite, r.BaseIPC, r.Int, r.IntCollapse, r.IntMem, r.IntMemColl, stats.Pct(r.Coverage))
+		rep.Add(
+			sim.Row{Bench: r.Bench, Suite: r.Suite, Metric: "base-ipc", Value: r.BaseIPC},
+			sim.Row{Bench: r.Bench, Suite: r.Suite, Arm: "int", Metric: "speedup", Value: r.Int},
+			sim.Row{Bench: r.Bench, Suite: r.Suite, Arm: "int+collapse", Metric: "speedup", Value: r.IntCollapse},
+			sim.Row{Bench: r.Bench, Suite: r.Suite, Arm: "intmem", Metric: "speedup", Value: r.IntMem},
+			sim.Row{Bench: r.Bench, Suite: r.Suite, Arm: "intmem+collapse", Metric: "speedup", Value: r.IntMemColl},
+			sim.Row{Bench: r.Bench, Suite: r.Suite, Arm: "intmem", Metric: "coverage", Value: r.Coverage},
+		)
 	}
 	for _, suite := range workload.Suites() {
 		var a, b, c, d []float64
@@ -90,11 +102,14 @@ func Fig6(o Options) (*stats.Table, []PerfRow, error) {
 			}
 		}
 		t.AddRowf("gmean:"+suite, "", "", stats.GeoMean(a), stats.GeoMean(b), stats.GeoMean(c), stats.GeoMean(d), "")
+		for k, xs := range [][]float64{a, b, c, d} {
+			rep.Add(sim.Row{Suite: suite, Arm: fig6Arms[k].name, Agg: "gmean", Metric: "speedup", Value: stats.GeoMean(xs)})
+		}
 	}
-	return t, rows, nil
+	return &Artifact{ID: "fig6", Tables: []*stats.Table{t}, Report: rep}, rows, nil
 }
 
-// fig7Policies are the serialization-isolation arms of Figure 7.
+// fig7Arm is one serialization-isolation arm of Figure 7.
 type fig7Arm struct {
 	name   string
 	intMem bool
@@ -117,56 +132,49 @@ var fig7Arms = []fig7Arm{
 
 // Fig7 reproduces Figure 7: the cost of external serialization, internal
 // serialization, and load-miss replays, isolated by selection policy.
-func Fig7(o Options) (*stats.Table, map[string][]float64, error) {
-	benches := o.benchSet()
-	speedups := make(map[string][]float64)
-	t := stats.NewTable("Figure 7: serialization and replay isolation (speedup vs baseline)",
-		append([]string{"bench"}, armNames()...)...)
-	type cell struct{ bench, arm string }
-	rows := make([][]float64, len(benches))
-	err := parallelFor(len(benches), o.workers(), func(i int) error {
-		b := benches[i]
-		pr, err := prepare(b, workload.InputTrain)
-		if err != nil {
-			return err
-		}
-		base, err := simulate(uarch.Baseline(), pr.prog, nil)
-		if err != nil {
-			return err
-		}
-		vals := make([]float64, len(fig7Arms))
-		for k, arm := range fig7Arms {
+func Fig7(o Options) (*Artifact, map[string][]float64, error) {
+	benches, err := o.benchSet()
+	if err != nil {
+		return nil, nil, err
+	}
+	eng := o.engine()
+
+	stride := 1 + len(fig7Arms)
+	jobs := make([]sim.SimJob, 0, stride*len(benches))
+	labels := make([]string, 0, cap(jobs))
+	for _, b := range benches {
+		jobs = append(jobs, baselineJob(b))
+		labels = append(labels, "fig7: "+b.Name+" baseline")
+		for _, arm := range fig7Arms {
 			pol := policyFor(arm.intMem, o.MaxSize)
 			if arm.mut != nil {
 				arm.mut(&pol)
 			}
-			cfg := machineFor(arm.intMem, false)
-			prog, mgt, _, err := pr.rewritten(pol, o.MGTEntries, execParams(cfg), false)
-			if err != nil {
-				return err
-			}
-			res, err := simulate(cfg, prog, mgt)
-			if err != nil {
-				return err
-			}
-			vals[k] = uarch.Speedup(base, res)
+			jobs = append(jobs, mgJob(b, pol, o.MGTEntries, machineFor(arm.intMem, false), false))
+			labels = append(labels, "fig7: "+b.Name+" "+arm.name)
 		}
-		rows[i] = vals
-		o.logf("fig7: %s done", b.Name)
-		return nil
-	})
+	}
+	outs, err := o.runJobs(eng, jobs, labels)
 	if err != nil {
 		return nil, nil, err
 	}
+
+	speedups := make(map[string][]float64)
+	t := stats.NewTable("Figure 7: serialization and replay isolation (speedup vs baseline)",
+		append([]string{"bench"}, armNames()...)...)
+	rep := sim.NewReport("fig7", t.Title)
 	for i, b := range benches {
+		base := outs[i*stride].Result
 		cells := []string{b.Name}
-		for k, v := range rows[i] {
+		for k, arm := range fig7Arms {
+			v := uarch.Speedup(base, outs[i*stride+1+k].Result)
 			cells = append(cells, stats.SpeedupStr(v))
-			speedups[fig7Arms[k].name] = append(speedups[fig7Arms[k].name], v)
+			speedups[arm.name] = append(speedups[arm.name], v)
+			rep.Add(sim.Row{Bench: b.Name, Suite: b.Suite, Arm: arm.name, Metric: "speedup", Value: v})
 		}
 		t.AddRow(cells...)
 	}
-	return t, speedups, nil
+	return &Artifact{ID: "fig7", Tables: []*stats.Table{t}, Report: rep}, speedups, nil
 }
 
 func armNames() []string {
@@ -178,15 +186,25 @@ func armNames() []string {
 }
 
 // PolicyBest reproduces the §6.2 in-text result: applying the best
-// serialization/replay policy per benchmark raises the suite means.
-func PolicyBest(o Options) (*stats.Table, error) {
+// serialization/replay policy per benchmark raises the suite means. With a
+// shared engine every Figure 7 simulation is a cache hit here.
+func PolicyBest(o Options) (*Artifact, error) {
+	if o.Engine == nil {
+		// Share one engine between the Fig7 sweep and any retries so the
+		// sub-experiment is not recomputed.
+		o.Engine = o.engine()
+	}
 	_, speedByArm, err := Fig7(o)
 	if err != nil {
 		return nil, err
 	}
-	benches := o.benchSet()
+	benches, err := o.benchSet()
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Best per-benchmark policy (suite gmeans)",
 		"suite", "unrestricted int-mem", "best-policy")
+	rep := sim.NewReport("policy", t.Title)
 	for _, suite := range workload.Suites() {
 		var unres, best []float64
 		for i, b := range benches {
@@ -204,47 +222,58 @@ func PolicyBest(o Options) (*stats.Table, error) {
 			best = append(best, m)
 		}
 		t.AddRowf(suite, stats.GeoMean(unres), stats.GeoMean(best))
+		rep.Add(
+			sim.Row{Suite: suite, Arm: "intmem", Agg: "gmean", Metric: "speedup", Value: stats.GeoMean(unres)},
+			sim.Row{Suite: suite, Arm: "best-policy", Agg: "gmean", Metric: "speedup", Value: stats.GeoMean(best)},
+		)
 	}
-	return t, nil
+	return &Artifact{ID: "policy", Tables: []*stats.Table{t}, Report: rep}, nil
 }
 
 // ICache reproduces the §6.2 instruction-cache experiment: compressed
 // rewriting (constituents removed, text compacted) versus nop-fill.
-func ICache(o Options) (*stats.Table, error) {
-	benches := o.benchSet()
-	t := stats.NewTable("Instruction-cache compression effect (speedup vs baseline)",
-		"bench", "suite", "nop-fill", "compressed", "delta")
-	rows := make([][2]float64, len(benches))
-	err := parallelFor(len(benches), o.workers(), func(i int) error {
-		b := benches[i]
-		pr, err := prepare(b, workload.InputTrain)
-		if err != nil {
-			return err
-		}
-		base, err := simulate(uarch.Baseline(), pr.prog, nil)
-		if err != nil {
-			return err
-		}
-		cfg := machineFor(true, false)
-		for k, compress := range []bool{false, true} {
-			prog, mgt, _, err := pr.rewritten(policyFor(true, o.MaxSize), o.MGTEntries, execParams(cfg), compress)
-			if err != nil {
-				return err
-			}
-			res, err := simulate(cfg, prog, mgt)
-			if err != nil {
-				return err
-			}
-			rows[i][k] = uarch.Speedup(base, res)
-		}
-		o.logf("icache: %s done", b.Name)
-		return nil
-	})
+func ICache(o Options) (*Artifact, error) {
+	benches, err := o.benchSet()
 	if err != nil {
 		return nil, err
 	}
+	eng := o.engine()
+
+	const stride = 3 // baseline, nop-fill, compressed
+	jobs := make([]sim.SimJob, 0, stride*len(benches))
+	labels := make([]string, 0, cap(jobs))
+	for _, b := range benches {
+		jobs = append(jobs, baselineJob(b))
+		labels = append(labels, "icache: "+b.Name+" baseline")
+		cfg := machineFor(true, false)
+		for _, compress := range []bool{false, true} {
+			jobs = append(jobs, mgJob(b, policyFor(true, o.MaxSize), o.MGTEntries, cfg, compress))
+			if compress {
+				labels = append(labels, "icache: "+b.Name+" compressed")
+			} else {
+				labels = append(labels, "icache: "+b.Name+" nop-fill")
+			}
+		}
+	}
+	outs, err := o.runJobs(eng, jobs, labels)
+	if err != nil {
+		return nil, err
+	}
+
+	t := stats.NewTable("Instruction-cache compression effect (speedup vs baseline)",
+		"bench", "suite", "nop-fill", "compressed", "delta")
+	rep := sim.NewReport("icache", t.Title)
+	rows := make([][2]float64, len(benches))
 	for i, b := range benches {
+		base := outs[i*stride].Result
+		for k := 0; k < 2; k++ {
+			rows[i][k] = uarch.Speedup(base, outs[i*stride+1+k].Result)
+		}
 		t.AddRowf(b.Name, b.Suite, rows[i][0], rows[i][1], rows[i][1]-rows[i][0])
+		rep.Add(
+			sim.Row{Bench: b.Name, Suite: b.Suite, Arm: "nop-fill", Metric: "speedup", Value: rows[i][0]},
+			sim.Row{Bench: b.Name, Suite: b.Suite, Arm: "compressed", Metric: "speedup", Value: rows[i][1]},
+		)
 	}
 	for _, suite := range workload.Suites() {
 		var nf, cp []float64
@@ -255,6 +284,10 @@ func ICache(o Options) (*stats.Table, error) {
 			}
 		}
 		t.AddRowf("gmean:"+suite, "", stats.GeoMean(nf), stats.GeoMean(cp), stats.GeoMean(cp)-stats.GeoMean(nf))
+		rep.Add(
+			sim.Row{Suite: suite, Arm: "nop-fill", Agg: "gmean", Metric: "speedup", Value: stats.GeoMean(nf)},
+			sim.Row{Suite: suite, Arm: "compressed", Agg: "gmean", Metric: "speedup", Value: stats.GeoMean(cp)},
+		)
 	}
-	return t, nil
+	return &Artifact{ID: "icache", Tables: []*stats.Table{t}, Report: rep}, nil
 }

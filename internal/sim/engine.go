@@ -1,0 +1,296 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"minigraph/internal/core"
+	"minigraph/internal/emu"
+	"minigraph/internal/program"
+	"minigraph/internal/rewrite"
+	"minigraph/internal/uarch"
+	"minigraph/internal/workload"
+)
+
+// ProfileLimit bounds the dynamic instructions profiled per preparation
+// (the experiment harness's historical limit). Profiling outside the
+// engine should use the same cap so identical programs select identical
+// mini-graphs regardless of which path prepared them.
+const ProfileLimit = 4_000_000
+
+// Engine is a concurrent, memoizing simulation job engine. Submissions
+// with equal canonical keys are deduplicated single-flight: the first
+// submitter runs the job, every concurrent or later submitter receives the
+// cached result. Actual compute runs on a worker pool of bounded size;
+// waiting on a duplicate never occupies a worker slot.
+//
+// An Engine is safe for concurrent use and is meant to be shared across
+// experiments so cross-figure common work (benchmark preparations, the
+// shared baseline simulation) runs exactly once per process.
+type Engine struct {
+	workers int
+	sem     chan struct{}
+
+	mu    sync.Mutex
+	preps map[PrepareKey]*call[*Prepared]
+	sims  map[SimKey]*call[*Outcome]
+
+	prepRuns atomic.Int64
+	prepHits atomic.Int64
+	simRuns  atomic.Int64
+	simHits  atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of the engine's cache counters. Runs
+// count jobs actually executed; Hits count submissions served from the
+// cache (including waits on an in-flight duplicate).
+type Stats struct {
+	PrepareRuns int64 `json:"prepare_runs"`
+	PrepareHits int64 `json:"prepare_hits"`
+	SimRuns     int64 `json:"sim_runs"`
+	SimHits     int64 `json:"sim_hits"`
+}
+
+// New builds an engine with the given worker-pool size (0 = GOMAXPROCS).
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		workers: workers,
+		sem:     make(chan struct{}, workers),
+		preps:   make(map[PrepareKey]*call[*Prepared]),
+		sims:    make(map[SimKey]*call[*Outcome]),
+	}
+}
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Stats snapshots the cache counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		PrepareRuns: e.prepRuns.Load(),
+		PrepareHits: e.prepHits.Load(),
+		SimRuns:     e.simRuns.Load(),
+		SimHits:     e.simHits.Load(),
+	}
+}
+
+// call is one single-flight computation.
+type call[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+// acquire takes a worker slot, or fails if ctx is done first.
+func (e *Engine) acquire(ctx context.Context) error {
+	select {
+	case e.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (e *Engine) release() { <-e.sem }
+
+// singleflight runs compute under key in m exactly once. Duplicate callers
+// wait for the leader (or their own ctx). A result carrying a context
+// error is evicted from the cache, and waiters whose own context is still
+// live retry it: one caller's cancellation must not fail an unrelated
+// caller that happened to share the key.
+func singleflight[K comparable, T any](
+	e *Engine, ctx context.Context, m map[K]*call[T], key K,
+	runs, hits *atomic.Int64, compute func(context.Context) (T, error),
+) (T, error) {
+	for {
+		e.mu.Lock()
+		c, ok := m[key]
+		if !ok {
+			c = &call[T]{done: make(chan struct{})}
+			m[key] = c
+			e.mu.Unlock()
+
+			runs.Add(1)
+			c.val, c.err = compute(ctx)
+			if isCtxErr(c.err) {
+				e.mu.Lock()
+				delete(m, key)
+				e.mu.Unlock()
+			}
+			close(c.done)
+			return c.val, c.err
+		}
+		e.mu.Unlock()
+		hits.Add(1)
+		select {
+		case <-c.done:
+			if isCtxErr(c.err) && ctx.Err() == nil {
+				// The leader was canceled by its own context and the entry
+				// evicted; this caller is still live, so take over.
+				continue
+			}
+			return c.val, c.err
+		case <-ctx.Done():
+			var zero T
+			return zero, ctx.Err()
+		}
+	}
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Prepare builds (or returns the cached) preparation for key: the
+// benchmark's program, CFG, liveness, and basic-block frequency profile.
+func (e *Engine) Prepare(ctx context.Context, key PrepareKey) (*Prepared, error) {
+	return singleflight(e, ctx, e.preps, key, &e.prepRuns, &e.prepHits,
+		func(ctx context.Context) (*Prepared, error) {
+			if err := e.acquire(ctx); err != nil {
+				return nil, err
+			}
+			defer e.release()
+			b, ok := workload.ByName(key.Bench)
+			if !ok {
+				return nil, fmt.Errorf("sim: unknown benchmark %q", key.Bench)
+			}
+			p := b.Build(key.Input)
+			g := program.BuildCFG(p, nil)
+			lv := program.ComputeLiveness(g)
+			prof, err := emu.ProfileProgram(p, nil, ProfileLimit)
+			if err != nil {
+				return nil, fmt.Errorf("%s: profile: %w", b.Name, err)
+			}
+			return &Prepared{Bench: b, Prog: p, CFG: g, Live: lv, Prof: prof}, nil
+		})
+}
+
+// Simulate runs (or returns the cached result of) one timing simulation.
+// The run uses the job's canonical configuration (display name cleared),
+// so a cached Outcome is identical no matter which of several
+// cosmetically-renamed submissions executed it.
+func (e *Engine) Simulate(ctx context.Context, job SimJob) (*Outcome, error) {
+	key := job.Key()
+	return singleflight(e, ctx, e.sims, key, &e.simRuns, &e.simHits,
+		func(ctx context.Context) (*Outcome, error) {
+			pr, err := e.Prepare(ctx, job.Prepare)
+			if err != nil {
+				return nil, err
+			}
+			if err := e.acquire(ctx); err != nil {
+				return nil, err
+			}
+			defer e.release()
+			prog, mgt := pr.Prog, (*core.MGT)(nil)
+			var sel *core.Selection
+			if !job.Baseline {
+				sel = core.Extract(pr.CFG, pr.Live, pr.Prof, job.Policy, job.Entries)
+				res, err := rewrite.Rewrite(pr.Prog, sel, job.Compress)
+				if err != nil {
+					return nil, fmt.Errorf("%s: rewrite: %w", pr.Bench.Name, err)
+				}
+				prog, mgt = res.Prog, core.NewMGT(res.Templates, ExecParams(key.Config))
+			}
+			res, err := uarch.New(key.Config, prog, mgt).Run(ctx)
+			if err != nil {
+				return nil, fmt.Errorf("%s @ %s: %w", pr.Bench.Name, job.Config.Name, err)
+			}
+			return &Outcome{Result: res, Selection: sel}, nil
+		})
+}
+
+// Run submits every job, waits for all of them, and returns the outcomes
+// index-aligned with jobs. The first hard failure cancels the remaining
+// jobs errgroup-style; the returned error joins every distinct failure
+// (cancellations triggered by another job's failure are filtered out so
+// the root causes are what surfaces).
+func (e *Engine) Run(ctx context.Context, jobs []SimJob) ([]*Outcome, error) {
+	return e.RunEach(ctx, jobs, nil)
+}
+
+// RunEach is Run with a completion hook: onDone(i, out) fires as each job
+// finishes successfully, from that job's goroutine (it must be safe for
+// concurrent use). Use it to stream progress during long sweeps.
+func (e *Engine) RunEach(ctx context.Context, jobs []SimJob, onDone func(i int, out *Outcome)) ([]*Outcome, error) {
+	outs := make([]*Outcome, len(jobs))
+	errs := make([]error, len(jobs))
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i, job := range jobs {
+		wg.Add(1)
+		go func(i int, job SimJob) {
+			defer wg.Done()
+			outs[i], errs[i] = e.Simulate(gctx, job)
+			if errs[i] != nil {
+				cancel()
+			} else if onDone != nil {
+				onDone(i, outs[i])
+			}
+		}(i, job)
+	}
+	wg.Wait()
+	return outs, joinErrors(ctx, errs)
+}
+
+// Each runs fn(0..n-1) with the engine's concurrency bound and the same
+// error semantics as Run. It bounds parallelism with its own limiter (not
+// the worker pool) so fn may itself submit engine jobs without risking a
+// pool deadlock.
+func (e *Engine) Each(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	errs := make([]error, n)
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	limit := make(chan struct{}, e.workers)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			select {
+			case limit <- struct{}{}:
+				defer func() { <-limit }()
+			case <-gctx.Done():
+				errs[i] = gctx.Err()
+				return
+			}
+			if err := fn(gctx, i); err != nil {
+				errs[i] = err
+				cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	return joinErrors(ctx, errs)
+}
+
+// joinErrors joins every failure, dropping cancellations that were induced
+// by a sibling's failure. If the parent ctx itself was canceled (or every
+// error is a cancellation), the cancellation is reported as-is.
+func joinErrors(ctx context.Context, errs []error) error {
+	var hard []error
+	var canceled error
+	for _, err := range errs {
+		switch {
+		case err == nil:
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			canceled = err
+		default:
+			hard = append(hard, err)
+		}
+	}
+	if len(hard) > 0 {
+		return errors.Join(hard...)
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return canceled
+}

@@ -1,0 +1,38 @@
+package sim
+
+import (
+	"encoding/json"
+)
+
+// Row is one structured measurement: a (bench, arm, metric) coordinate and
+// its value. Aggregate rows (suite means) set Agg and leave Bench empty;
+// descriptive rows (machine parameters) carry Text instead of Value.
+type Row struct {
+	Bench  string  `json:"bench,omitempty"`
+	Suite  string  `json:"suite,omitempty"`
+	Arm    string  `json:"arm,omitempty"`
+	Agg    string  `json:"agg,omitempty"` // "gmean", "mean" for aggregate rows
+	Metric string  `json:"metric"`        // "speedup", "coverage", "ipc", ...
+	Value  float64 `json:"value"`
+	Text   string  `json:"text,omitempty"`
+}
+
+// Report is one experiment's machine-readable result set: the JSON
+// counterpart of the figure's text table, suitable for perf trajectories
+// and regression tracking.
+type Report struct {
+	Name  string `json:"name"`
+	Title string `json:"title"`
+	Rows  []Row  `json:"rows"`
+}
+
+// NewReport starts a report.
+func NewReport(name, title string) *Report {
+	return &Report{Name: name, Title: title}
+}
+
+// Add appends rows.
+func (r *Report) Add(rows ...Row) { r.Rows = append(r.Rows, rows...) }
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }

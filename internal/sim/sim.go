@@ -1,0 +1,105 @@
+// Package sim is the shared simulation job engine behind the experiment
+// harness, the CLIs, and the public facade. Every evaluation in the paper
+// is a cross-product of (benchmark × input × extraction policy × machine
+// configuration); the engine turns each point of that product into a typed,
+// canonical job key and guarantees that each distinct key is computed
+// exactly once, no matter how many figures ask for it concurrently.
+//
+// Two job kinds exist:
+//
+//   - PrepareKey identifies a benchmark preparation: build the program,
+//     construct its CFG and liveness, and collect its basic-block frequency
+//     profile. Preparation is input-dependent but policy- and
+//     machine-independent, so every figure shares it.
+//   - SimKey identifies a timing simulation: a preparation plus an
+//     extraction policy, MGT size, compression mode and machine
+//     configuration. Baseline simulations (no extraction) canonicalize the
+//     policy axes to their zero values so the shared baseline is one key
+//     across all figures; machine configurations canonicalize away their
+//     display Name so cosmetically renamed configs share a cache line.
+//
+// The engine executes jobs on a bounded worker pool with single-flight
+// deduplication and context cancellation threaded down into
+// uarch.Pipeline.Run. Results are pure functions of their keys, so the
+// output of a sweep is deterministic and independent of worker count.
+package sim
+
+import (
+	"minigraph/internal/core"
+	"minigraph/internal/isa"
+	"minigraph/internal/program"
+	"minigraph/internal/uarch"
+	"minigraph/internal/workload"
+)
+
+// PrepareKey identifies one benchmark preparation (static analysis +
+// profile). It is a valid map key.
+type PrepareKey struct {
+	Bench string
+	Input workload.Input
+}
+
+// Prepared is the result of a preparation job: everything downstream
+// extraction and simulation need, computed once per (benchmark, input).
+type Prepared struct {
+	Bench *workload.Benchmark
+	Prog  *isa.Program
+	CFG   *program.CFG
+	Live  *program.Liveness
+	Prof  *program.Profile
+}
+
+// SimJob describes one timing simulation to run. Baseline jobs simulate
+// the original binary (no extraction); otherwise the prepared program is
+// extracted under Policy/Entries, rewritten (compressed or nop-fill), and
+// simulated with a mini-graph table derived from Config.
+type SimJob struct {
+	Prepare  PrepareKey
+	Baseline bool
+	Policy   core.Policy
+	Entries  int
+	Compress bool
+	Config   uarch.Config
+}
+
+// SimKey is a SimJob's canonical cache identity. Two jobs that must
+// produce identical results map to the same key:
+//
+//   - Config.Name is presentation-only and is cleared;
+//   - baseline jobs zero the extraction axes (Policy, Entries, Compress),
+//     which do not affect an unrewritten binary.
+type SimKey struct {
+	Prepare  PrepareKey
+	Baseline bool
+	Policy   core.Policy
+	Entries  int
+	Compress bool
+	Config   uarch.Config
+}
+
+// Key canonicalizes the job.
+func (j SimJob) Key() SimKey {
+	k := SimKey{Prepare: j.Prepare, Baseline: j.Baseline, Config: j.Config}
+	k.Config.Name = ""
+	if !j.Baseline {
+		k.Policy, k.Entries, k.Compress = j.Policy, j.Entries, j.Compress
+	}
+	return k
+}
+
+// Baseline returns the job that simulates b's unrewritten binary on cfg.
+func Baseline(b PrepareKey, cfg uarch.Config) SimJob {
+	return SimJob{Prepare: b, Baseline: true, Config: cfg}
+}
+
+// Outcome is one simulation's result. Selection is nil for baseline jobs.
+type Outcome struct {
+	Result    *uarch.Result
+	Selection *core.Selection
+}
+
+// ExecParams derives the MGT scheduling parameters implied by a machine
+// configuration (load latency, collapsing, ALU pipelines).
+func ExecParams(cfg uarch.Config) core.ExecParams {
+	return core.ExecParams{LoadLat: cfg.LoadLat, Collapse: cfg.Collapse, UseAP: cfg.APs > 0}
+}

@@ -1,6 +1,7 @@
 package uarch
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -116,9 +117,11 @@ func New(cfg Config, prog *isa.Program, mgt *core.MGT) *Pipeline {
 	return p
 }
 
-// Run simulates to completion (program halt or MaxRecords) and returns the
-// statistics.
-func (p *Pipeline) Run() (*Result, error) {
+// Run simulates to completion (program halt, MaxRecords, or ctx
+// cancellation) and returns the statistics. Cancellation is checked every
+// few thousand cycles so a long simulation aborts promptly without taxing
+// the per-cycle hot loop.
+func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 	hardLimit := int64(10_000_000_000)
 	for {
 		if p.done() {
@@ -127,6 +130,11 @@ func (p *Pipeline) Run() (*Result, error) {
 		p.cycle++
 		if p.cycle > hardLimit {
 			return nil, fmt.Errorf("uarch: exceeded %d cycles (livelock?)", hardLimit)
+		}
+		if p.cycle&0xfff == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 		}
 		p.window.Tick(p.cycle)
 		for _, ap := range p.aps {

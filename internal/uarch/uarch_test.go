@@ -1,6 +1,7 @@
 package uarch_test
 
 import (
+	"context"
 	"testing"
 
 	"minigraph/internal/asm"
@@ -35,7 +36,7 @@ loop:   ldq   r4, 0(r2)
 func run(t testing.TB, cfg uarch.Config, p *isa.Program, mgt *core.MGT) *uarch.Result {
 	t.Helper()
 	pipe := uarch.New(cfg, p, mgt)
-	res, err := pipe.Run()
+	res, err := pipe.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -29,12 +29,15 @@
 package minigraph
 
 import (
+	"context"
+
 	"minigraph/internal/asm"
 	"minigraph/internal/core"
 	"minigraph/internal/emu"
 	"minigraph/internal/isa"
 	"minigraph/internal/program"
 	"minigraph/internal/rewrite"
+	"minigraph/internal/sim"
 	"minigraph/internal/uarch"
 	"minigraph/internal/workload"
 )
@@ -62,7 +65,34 @@ type (
 	SimResult = uarch.Result
 	// Benchmark is one workload kernel.
 	Benchmark = workload.Benchmark
+	// Input selects a benchmark's input data set.
+	Input = workload.Input
+
+	// Engine is the shared memoizing simulation job engine: submissions
+	// with equal canonical keys run exactly once, on a bounded worker pool
+	// with context cancellation.
+	Engine = sim.Engine
+	// EngineStats are an Engine's cache counters.
+	EngineStats = sim.Stats
+	// PrepareKey identifies one benchmark preparation job.
+	PrepareKey = sim.PrepareKey
+	// SimJob describes one timing simulation for an Engine.
+	SimJob = sim.SimJob
+	// SimOutcome is an Engine simulation's result.
+	SimOutcome = sim.Outcome
+	// Report is a structured, JSON-serializable experiment result set.
+	Report = sim.Report
 )
+
+// Input sets for PrepareKey and Benchmark.Build.
+const (
+	InputTrain = workload.InputTrain
+	InputTest  = workload.InputTest
+)
+
+// ProfileLimit is the dynamic-instruction cap the engine profiles under;
+// profile with the same cap outside the engine for identical selections.
+const ProfileLimit = sim.ProfileLimit
 
 // Assemble builds a program from assembly source.
 func Assemble(name, src string) (*Program, error) { return asm.Assemble(name, src) }
@@ -152,8 +182,19 @@ func MiniGraphConfig(intMem bool) SimConfig { return uarch.MiniGraph(intMem) }
 // Simulate runs the cycle-level timing model. mgt may be nil for plain
 // binaries.
 func Simulate(cfg SimConfig, p *Program, mgt *MGT) (*SimResult, error) {
-	return uarch.New(cfg, p, mgt).Run()
+	return SimulateContext(context.Background(), cfg, p, mgt)
 }
+
+// SimulateContext is Simulate with cancellation: the simulation aborts
+// promptly with ctx's error once ctx is done.
+func SimulateContext(ctx context.Context, cfg SimConfig, p *Program, mgt *MGT) (*SimResult, error) {
+	return uarch.New(cfg, p, mgt).Run(ctx)
+}
+
+// NewEngine builds a memoizing simulation job engine with the given
+// worker-pool size (0 = GOMAXPROCS). Share one engine across related
+// sweeps so common preparations and baseline simulations run exactly once.
+func NewEngine(workers int) *Engine { return sim.New(workers) }
 
 // Speedup returns base.Cycles / other.Cycles.
 func Speedup(base, other *SimResult) float64 { return uarch.Speedup(base, other) }
