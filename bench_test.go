@@ -1,14 +1,15 @@
 // Benchmarks that regenerate the paper's evaluation artifacts, one per
-// figure/table (see DESIGN.md §3 for the experiment index). Each benchmark
-// runs the corresponding experiment on a per-suite representative subset so
-// `go test -bench .` stays tractable; cmd/mgbench regenerates the full
-// figures over all benchmarks.
+// figure/table (the experiment index is in the internal/experiments
+// package documentation). Each benchmark runs the corresponding experiment
+// on a per-suite representative subset so `go test -bench .` stays
+// tractable; cmd/mgbench regenerates the full figures over all benchmarks.
 //
 // Reported custom metrics carry the figure's headline numbers:
 // speedup-gmean, coverage-pct, etc.
 package minigraph_test
 
 import (
+	"strings"
 	"testing"
 
 	"minigraph"
@@ -18,13 +19,26 @@ import (
 )
 
 // benchSubset holds one representative per suite (kept small so a full
-// -bench=. run completes in minutes).
+// -bench=. run completes in minutes). TestBenchSubsetValid fails fast —
+// listing the registered benchmark names — if an entry goes stale.
 var benchSubset = []string{"gzip", "adpcm.enc", "reed.dec", "sha"}
 
 func subsetOpts() experiments.Options {
 	o := experiments.DefaultOptions()
 	o.Benchmarks = benchSubset
 	return o
+}
+
+// TestBenchSubsetValid pins benchSubset to the workload registry so a
+// renamed benchmark breaks this test (with the valid names in the error)
+// instead of every benchmark and golden fixture after it.
+func TestBenchSubsetValid(t *testing.T) {
+	for _, name := range benchSubset {
+		if _, ok := workload.ByName(name); !ok {
+			t.Errorf("benchSubset entry %q is not a registered benchmark; known benchmarks: %s",
+				name, strings.Join(workload.Names(), " "))
+		}
+	}
 }
 
 // BenchmarkTableMachineConfig regenerates the §6 machine-configuration

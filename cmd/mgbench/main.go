@@ -1,13 +1,16 @@
 // Command mgbench regenerates the paper's evaluation artifacts. Each -exp
-// value corresponds to one figure or in-text result set of §6 (see
-// DESIGN.md's per-experiment index). Every experiment runs through one
-// shared memoizing job engine, so benchmark preparations and the common
-// baseline simulations execute exactly once across the whole run.
+// value corresponds to one figure or in-text result set of §6 (the
+// experiment index is in the internal/experiments package documentation).
+// Every experiment runs through one shared memoizing job engine, so
+// benchmark preparations and the common baseline simulations execute
+// exactly once across the whole run; with -cache-dir the simulation
+// results additionally persist on disk, so a repeated run answers every
+// previously computed arm without executing a single pipeline simulation.
 //
 // Usage:
 //
 //	mgbench -exp config|fig5|fig5dom|robust|fig6|fig7|policy|icache|fig8reg|fig8bw|ablate|all
-//	        [-benchmarks a,b,c] [-parallel N] [-json] [-v]
+//	        [-benchmarks a,b,c] [-parallel N] [-cache-dir DIR] [-json] [-v]
 //
 // With -json the artifacts are emitted as a JSON array of structured
 // reports (machine-readable rows) instead of text tables.
@@ -25,12 +28,15 @@ import (
 
 	"minigraph/internal/experiments"
 	"minigraph/internal/sim"
+	"minigraph/internal/store"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id ("+strings.Join(experiments.IDs(), " ")+" all)")
 	benches := flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
 	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = NumCPU)")
+	cacheDir := flag.String("cache-dir", "", "persistent result store directory (empty = none)")
+	cacheMax := flag.Int64("cache-max-bytes", 0, "store size bound in bytes (0 = 1GiB default, negative = unbounded)")
 	jsonOut := flag.Bool("json", false, "emit structured JSON reports instead of text tables")
 	verbose := flag.Bool("v", false, "progress output")
 	flag.Parse()
@@ -41,6 +47,14 @@ func main() {
 	o := experiments.DefaultOptions()
 	o.Context = ctx
 	o.Engine = sim.New(*parallel)
+	if *cacheDir != "" {
+		st, err := store.Open(*cacheDir, store.Options{MaxBytes: *cacheMax})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		o.Engine.WithStore(st)
+	}
 	if *benches != "" {
 		o.Benchmarks = strings.Split(*benches, ",")
 	}
@@ -79,5 +93,10 @@ func main() {
 		st := o.Engine.Stats()
 		fmt.Fprintf(os.Stderr, "[engine: %d prepares (%d cache hits), %d simulations (%d cache hits)]\n",
 			st.PrepareRuns, st.PrepareHits, st.SimRuns, st.SimHits)
+		if s := o.Engine.Store(); s != nil {
+			ss := s.Stats()
+			fmt.Fprintf(os.Stderr, "[store: %d hits, %d misses, %d writes; %d pipeline simulations executed; %d entries, %d bytes]\n",
+				ss.Hits, ss.Misses, ss.Puts, st.PipelineSims(), ss.Entries, ss.Bytes)
+		}
 	}
 }

@@ -1,0 +1,86 @@
+// Command mgserve exposes the simulation engine as an HTTP service. Every
+// request funnels through one shared memoizing engine, so identical jobs
+// coalesce across concurrent callers, and with -cache-dir the results
+// persist: a restarted server answers previously computed jobs without
+// running a single pipeline simulation.
+//
+// Usage:
+//
+//	mgserve [-addr :8347] [-cache-dir DIR] [-cache-max-bytes N]
+//	        [-parallel N] [-max-sweep-jobs N]
+//
+// Endpoints (see internal/serve and the README for request shapes):
+//
+//	POST /v1/simulate            one job
+//	POST /v1/sweep               a batch of arms, coalesced
+//	GET  /v1/experiments/{name}  full figure reproduction (Report JSON)
+//	GET  /healthz                liveness
+//	GET  /statsz                 engine + store counters
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"minigraph/internal/serve"
+	"minigraph/internal/sim"
+	"minigraph/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":8347", "listen address")
+	cacheDir := flag.String("cache-dir", "", "persistent result store directory (empty = in-memory only)")
+	cacheMax := flag.Int64("cache-max-bytes", 0, "store size bound in bytes (0 = 1GiB default, negative = unbounded)")
+	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = NumCPU)")
+	maxSweep := flag.Int("max-sweep-jobs", serve.DefaultMaxSweepJobs, "max arms per sweep request")
+	flag.Parse()
+
+	eng := sim.New(*parallel)
+	var st *store.Store
+	if *cacheDir != "" {
+		var err error
+		st, err = store.Open(*cacheDir, store.Options{MaxBytes: *cacheMax})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		eng.WithStore(st)
+		fmt.Fprintf(os.Stderr, "mgserve: store %s (%d entries)\n", st.Dir(), st.Len())
+	}
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: serve.New(serve.Options{Engine: eng, MaxSweepJobs: *maxSweep}),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(os.Stderr, "mgserve: listening on %s (%d workers)\n", *addr, eng.Workers())
+	listenErr := make(chan error, 1)
+	go func() { listenErr <- srv.ListenAndServe() }()
+	select {
+	case err := <-listenErr:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	case <-ctx.Done():
+		// Drain in-flight requests before exiting (Shutdown blocks until
+		// handlers finish or the grace period lapses).
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+		if err := <-listenErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
+	stats := eng.Stats()
+	fmt.Fprintf(os.Stderr, "mgserve: served %d simulations (%d memory hits, %d store hits)\n",
+		stats.SimRuns+stats.SimHits, stats.SimHits, stats.StoreHits)
+}

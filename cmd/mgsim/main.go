@@ -13,7 +13,12 @@
 //
 //	mgsim -list
 //	mgsim [-bench name | -file kernel.s] [-minigraphs] [-int] [-collapse]
-//	      [-entries 512] [-maxsize 4] [-regs 164] [-width 6] [-sched 1] [-v]
+//	      [-entries 512] [-maxsize 4] [-regs 164] [-width 6] [-sched 1]
+//	      [-cache-dir DIR] [-v]
+//
+// With -cache-dir, built-in benchmark runs read and write a persistent
+// result store shared with mgbench and mgserve: a simulation any of them
+// has already computed is answered from disk.
 package main
 
 import (
@@ -39,6 +44,7 @@ func main() {
 	regs := flag.Int("regs", 164, "physical registers")
 	width := flag.Int("width", 6, "pipeline width (fetch/rename/commit)")
 	sched := flag.Int("sched", 1, "scheduling loop cycles (1 or 2)")
+	cacheDir := flag.String("cache-dir", "", "persistent result store directory (built-in benchmarks only)")
 	verbose := flag.Bool("v", false, "print detailed statistics")
 	flag.Parse()
 
@@ -61,7 +67,7 @@ func main() {
 	cfg.FetchWidth, cfg.RenameWidth, cfg.CommitWidth = *width, *width, *width
 	cfg.SchedCycles = *sched
 
-	res, err := simulate(ctx, *bench, *file, *useMG, *intOnly, *entries, *maxSize, cfg)
+	res, err := simulate(ctx, *bench, *file, *useMG, *intOnly, *entries, *maxSize, *cacheDir, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -88,13 +94,20 @@ func main() {
 
 // simulate routes built-in benchmarks through the shared job engine and
 // assembly files through the facade.
-func simulate(ctx context.Context, bench, file string, useMG, intOnly bool, entries, maxSize int, cfg minigraph.SimConfig) (*minigraph.SimResult, error) {
+func simulate(ctx context.Context, bench, file string, useMG, intOnly bool, entries, maxSize int, cacheDir string, cfg minigraph.SimConfig) (*minigraph.SimResult, error) {
 	switch {
 	case bench != "":
 		if _, ok := workload.ByName(bench); !ok {
 			return nil, fmt.Errorf("unknown benchmark %q (try -list)", bench)
 		}
 		eng := minigraph.NewEngine(0)
+		if cacheDir != "" {
+			st, err := minigraph.OpenStore(cacheDir, 0)
+			if err != nil {
+				return nil, err
+			}
+			eng.WithStore(st)
+		}
 		job := minigraph.SimJob{
 			Prepare:  minigraph.PrepareKey{Bench: bench, Input: workload.InputTrain},
 			Baseline: !useMG,

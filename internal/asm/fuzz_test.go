@@ -1,0 +1,133 @@
+package asm
+
+import (
+	"testing"
+
+	"minigraph/internal/isa"
+)
+
+// fuzzSeeds exercise every instruction format, both sections, pseudo-ops,
+// labels-as-immediates and the failure paths.
+var fuzzSeeds = []string{
+	// The package-documentation example: data + text, loads, branches.
+	`        .data
+table:  .word 1, 2, 3          ; 64-bit words
+buf:    .space 16              ; zero-filled bytes
+        .text
+main:   lda   r1, table(zero)  ; data labels usable as immediates
+loop:   ldq   r2, 0(r1)
+        addl  r2, 2, r2
+        cmplt r2, r3, r4
+        bne   r4, loop
+        halt
+`,
+	// Every format: operate (reg and imm forms), mem, lda, branches,
+	// jumps, mg handles, FmtNone, pseudo-ops.
+	`start:  li    r1, 100
+        mov   r1, r2
+        clr   r3
+        negl  r1, r4
+        subq  r2, r4, r5
+        sll   r5, 2, r6
+        stq   r6, 8(sp)
+        ldbu  r7, 0(sp)
+        mult  f1, f2, f3
+        cpys  f3, f3, f4
+        bsr   ra, sub
+        br    end
+sub:    mg    r1, r2, r3, 7
+        mg    -, -, -, 0
+        ret
+end:    halt
+`,
+	// Branch to a label at end-of-program, jsr/jmp register forms.
+	`        beq   r1, done
+        jsr   ra, (r2)
+        jmp   (r3)
+done:
+`,
+	// Character literals, .byte/.long/.asciiz, alignment, offsets.
+	`        .data
+s:      .asciiz "hi"
+        .align 8
+v:      .byte 'a', 0x7f
+        .long -1
+        .text
+        lda   r1, s+1(zero)
+        ldl   r2, v-2(r1)
+        halt
+`,
+	// Failure shapes: bad register, unknown mnemonic, bad directive.
+	"addl rx, 1, r2\n",
+	"frobnicate r1\n",
+	".data\n.word zzz\n",
+	"dup: halt\ndup: halt\n",
+	"bne r1, nowhere\n",
+}
+
+// FuzzParse drives the assembler with arbitrary source text. Properties:
+// the parser never panics, and any program it accepts survives a
+// print→parse→print round-trip — the canonical printed form reassembles,
+// and reprinting the reassembled program reproduces it byte for byte (so
+// printing is a fixed point and no instruction is lost or altered).
+func FuzzParse(f *testing.F) {
+	for _, seed := range fuzzSeeds {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble("fuzz", src)
+		if err != nil {
+			return // rejected inputs need only be rejected cleanly
+		}
+		s1 := Print(p)
+		p2, err := Assemble("fuzz-reparse", s1)
+		if err != nil {
+			t.Fatalf("printed form does not reassemble: %v\nsource:\n%s\nprinted:\n%s", err, src, s1)
+		}
+		if len(p2.Insts) != len(p.Insts) {
+			t.Fatalf("round-trip changed instruction count: %d -> %d", len(p.Insts), len(p2.Insts))
+		}
+		if p2.Entry != p.Entry {
+			t.Fatalf("round-trip moved entry: %d -> %d", p.Entry, p2.Entry)
+		}
+		if s2 := Print(p2); s2 != s1 {
+			t.Fatalf("print is not a fixed point\nfirst:\n%s\nsecond:\n%s", s1, s2)
+		}
+	})
+}
+
+// TestPrintRoundTrip pins the round-trip property on the seed corpus even
+// when no fuzzing engine runs (plain `go test`).
+func TestPrintRoundTrip(t *testing.T) {
+	for i, src := range fuzzSeeds {
+		p, err := Assemble("seed", src)
+		if err != nil {
+			continue // failure-shape seeds
+		}
+		s1 := Print(p)
+		p2, err := Assemble("seed-reparse", s1)
+		if err != nil {
+			t.Fatalf("seed %d: printed form does not reassemble: %v\n%s", i, err, s1)
+		}
+		if s2 := Print(p2); s2 != s1 {
+			t.Fatalf("seed %d: print not a fixed point\n%s\nvs\n%s", i, s1, s2)
+		}
+		for j := range p.Insts {
+			a, b := p.Insts[j], p2.Insts[j]
+			a.TextRef, b.TextRef = false, false // dropped by design: symbols are pre-resolved
+			if a != b {
+				t.Errorf("seed %d inst %d: %+v != %+v", i, j, p.Insts[j], p2.Insts[j])
+			}
+		}
+	}
+}
+
+// TestPrintEmptyProgram covers the zero-instruction edge: only labels are
+// emitted and the result still parses.
+func TestPrintEmptyProgram(t *testing.T) {
+	p := &isa.Program{Name: "empty"}
+	s := Print(p)
+	if _, err := Assemble("empty", s); err != nil {
+		t.Fatalf("empty program print does not parse: %v\n%s", err, s)
+	}
+}

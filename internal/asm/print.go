@@ -1,0 +1,56 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"minigraph/internal/isa"
+)
+
+// Print renders a parsed program as canonical assembly source that
+// Assemble accepts. Every instruction index i gets a synthetic label "Li"
+// (plus "main:" at the entry point), and branch targets — which the ISA
+// stores as resolved instruction indices — print as references to those
+// labels, so the output reassembles to a program with identical
+// instructions. Print is the inverse direction of the parser and is the
+// round-trip anchor for FuzzParse: for any program p produced by Assemble,
+// Print(p) must reassemble, and printing the reassembled program must
+// reproduce the same text.
+//
+// Print covers programs produced by Assemble. Data sections are not
+// reconstructed (symbols are already resolved into immediates), so the
+// printed text round-trips the instruction stream, not the .data image.
+func Print(p *isa.Program) string {
+	var b strings.Builder
+	for i := 0; i <= len(p.Insts); i++ {
+		if p.Entry == isa.PC(i) {
+			b.WriteString("main:\n")
+		}
+		fmt.Fprintf(&b, "L%d:\n", i)
+		if i < len(p.Insts) {
+			b.WriteByte('\t')
+			b.WriteString(printInst(&p.Insts[i]))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// printInst renders one instruction in parseable syntax. Everything except
+// branches uses the ISA's own disassembly (which the parser accepts);
+// branch targets are rewritten from "@index" to the synthetic "Lindex"
+// labels Print emits.
+func printInst(in *isa.Inst) string {
+	info := in.Op.Info()
+	if info.Fmt != isa.FmtBranch {
+		return in.String()
+	}
+	switch {
+	case info.Conditional:
+		return fmt.Sprintf("%s %s,L%d", info.Name, in.Ra, in.Imm)
+	case in.Op == isa.OpBsr:
+		return fmt.Sprintf("%s %s,L%d", info.Name, in.Ra, in.Imm)
+	default: // br
+		return fmt.Sprintf("%s L%d", info.Name, in.Imm)
+	}
+}

@@ -5,7 +5,7 @@
 // artifact: the figure's text table plus a structured, JSON-serializable
 // report.
 //
-// Experiment index (see DESIGN.md §3):
+// Experiment index:
 //
 //	config  — the machine-configuration description of §6
 //	fig5    — coverage vs MGT entries × mini-graph size (integer and
@@ -25,6 +25,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -93,8 +94,14 @@ func (o *Options) logf(format string, args ...interface{}) {
 	}
 }
 
-// benchSet resolves the benchmark selection. Unknown names are an error —
-// a typo must not silently shrink the run to the empty set.
+// ErrUnknownBenchmark tags benchmark-selection failures so callers (e.g.
+// the HTTP layer, for a 400 vs 500 split) can classify them with
+// errors.Is instead of string matching.
+var ErrUnknownBenchmark = errors.New("unknown benchmark")
+
+// benchSet resolves the benchmark selection. Unknown names fail fast with
+// the registered names listed — a typo must not silently shrink the run to
+// the empty set.
 func (o *Options) benchSet() ([]*workload.Benchmark, error) {
 	if len(o.Benchmarks) == 0 {
 		return workload.All(), nil
@@ -103,7 +110,7 @@ func (o *Options) benchSet() ([]*workload.Benchmark, error) {
 	for _, n := range o.Benchmarks {
 		b, ok := workload.ByName(n)
 		if !ok {
-			return nil, fmt.Errorf("experiments: unknown benchmark %q", n)
+			return nil, fmt.Errorf("experiments: %w %q (known: %s)", ErrUnknownBenchmark, n, strings.Join(workload.Names(), " "))
 		}
 		out = append(out, b)
 	}

@@ -1,0 +1,426 @@
+// Package serve implements the mgserve HTTP API: a thin, stateless
+// serving layer over the shared memoizing simulation engine and the
+// persistent result store.
+//
+// Endpoints:
+//
+//	POST /v1/simulate            one simulation job, JSON JobSpec in,
+//	                             JobResult out
+//	POST /v1/sweep               a batch of named arms; duplicate and
+//	                             concurrent arms coalesce through the
+//	                             engine's single-flight cache; the
+//	                             response is the structured sim.Report
+//	GET  /v1/experiments/{name}  full figure reproduction as Report JSON
+//	GET  /healthz                liveness
+//	GET  /statsz                 engine + store hit counters
+//
+// All simulation work funnels through one sim.Engine, so identical jobs —
+// across requests, across endpoints, and across concurrent callers — run
+// at most once per process, and at most once ever when a store is
+// attached.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"minigraph/internal/core"
+	"minigraph/internal/experiments"
+	"minigraph/internal/sim"
+	"minigraph/internal/store"
+	"minigraph/internal/uarch"
+	"minigraph/internal/workload"
+)
+
+// DefaultMaxSweepJobs bounds the arms accepted by one sweep request.
+const DefaultMaxSweepJobs = 1024
+
+// Options configure a server.
+type Options struct {
+	// Engine is the shared simulation engine (required). Attach a
+	// persistent store to it with WithStore before serving; /statsz
+	// reports whatever store the engine carries.
+	Engine *sim.Engine
+	// MaxSweepJobs bounds the arms in one sweep request (0 = default).
+	MaxSweepJobs int
+}
+
+// Server is the mgserve HTTP handler.
+type Server struct {
+	eng      *sim.Engine
+	maxSweep int
+	started  time.Time
+	mux      *http.ServeMux
+}
+
+// New builds the handler.
+func New(o Options) *Server {
+	if o.Engine == nil {
+		panic("serve: Options.Engine is required")
+	}
+	maxSweep := o.MaxSweepJobs
+	if maxSweep <= 0 {
+		maxSweep = DefaultMaxSweepJobs
+	}
+	s := &Server{
+		eng:      o.Engine,
+		maxSweep: maxSweep,
+		started:  time.Now(),
+		mux:      http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /statsz", s.handleStats)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// JobSpec is the wire form of one simulation job. Machine configurations
+// are requested by preset name plus a few overrides rather than by the
+// full uarch.Config, so clients stay decoupled from simulator internals.
+type JobSpec struct {
+	// Arm is the display label echoed into result rows (optional).
+	Arm string `json:"arm,omitempty"`
+	// Bench is a built-in benchmark name (required).
+	Bench string `json:"bench"`
+	// Input selects the data set: "train" (default) or "test".
+	Input string `json:"input,omitempty"`
+	// Baseline simulates the unrewritten binary (no extraction).
+	Baseline bool `json:"baseline,omitempty"`
+	// Machine is a preset: "baseline" (default for baseline jobs),
+	// "minigraph" (integer-memory, default otherwise) or "minigraph-int"
+	// (integer-only extraction and machine).
+	Machine string `json:"machine,omitempty"`
+	// Collapse enables pair-wise collapsing ALU pipelines.
+	Collapse bool `json:"collapse,omitempty"`
+	// Entries is the MGT size (default 512); MaxSize caps mini-graph size
+	// (default 4). Both apply to non-baseline jobs only.
+	Entries int `json:"entries,omitempty"`
+	MaxSize int `json:"max_size,omitempty"`
+	// Compress selects the compressed text layout (§6.2).
+	Compress bool `json:"compress,omitempty"`
+
+	// Optional machine overrides (0 = preset value).
+	Width       int   `json:"width,omitempty"`
+	PhysRegs    int   `json:"phys_regs,omitempty"`
+	SchedCycles int   `json:"sched_cycles,omitempty"`
+	MaxRecords  int64 `json:"max_records,omitempty"`
+}
+
+// Resolve validates the spec and builds the engine job.
+func (js JobSpec) Resolve() (sim.SimJob, error) {
+	var job sim.SimJob
+	if js.Bench == "" {
+		return job, fmt.Errorf("bench is required")
+	}
+	if _, ok := workload.ByName(js.Bench); !ok {
+		return job, fmt.Errorf("unknown benchmark %q (known: %s)", js.Bench, strings.Join(workload.Names(), " "))
+	}
+	input := workload.InputTrain
+	switch js.Input {
+	case "", "train":
+	case "test":
+		input = workload.InputTest
+	default:
+		return job, fmt.Errorf("input must be \"train\" or \"test\", got %q", js.Input)
+	}
+
+	machine := js.machine()
+	var cfg uarch.Config
+	intMem := false
+	switch machine {
+	case "baseline":
+		if !js.Baseline {
+			return job, fmt.Errorf("machine \"baseline\" has no mini-graph support; set baseline=true or pick \"minigraph\"")
+		}
+		cfg = uarch.Baseline()
+	case "minigraph":
+		cfg = uarch.MiniGraph(true)
+		intMem = true
+	case "minigraph-int":
+		cfg = uarch.MiniGraph(false)
+	default:
+		return job, fmt.Errorf("unknown machine %q (want baseline, minigraph or minigraph-int)", machine)
+	}
+	cfg.Collapse = js.Collapse
+	if js.Width != 0 {
+		if js.Width <= 0 {
+			return job, fmt.Errorf("width must be positive")
+		}
+		cfg.FetchWidth, cfg.RenameWidth, cfg.CommitWidth = js.Width, js.Width, js.Width
+	}
+	if js.PhysRegs != 0 {
+		if js.PhysRegs < 65 {
+			return job, fmt.Errorf("phys_regs must be at least 65")
+		}
+		cfg.PhysRegs = js.PhysRegs
+	}
+	if js.SchedCycles != 0 {
+		if js.SchedCycles < 1 || js.SchedCycles > 2 {
+			return job, fmt.Errorf("sched_cycles must be 1 or 2")
+		}
+		cfg.SchedCycles = js.SchedCycles
+	}
+	if js.MaxRecords < 0 {
+		return job, fmt.Errorf("max_records must be non-negative")
+	}
+	cfg.MaxRecords = js.MaxRecords
+
+	job = sim.SimJob{
+		Prepare:  sim.PrepareKey{Bench: js.Bench, Input: input},
+		Baseline: js.Baseline,
+		Config:   cfg,
+	}
+	if !js.Baseline {
+		pol := core.DefaultPolicy()
+		pol.AllowMem = intMem
+		if js.MaxSize != 0 {
+			if js.MaxSize < 2 {
+				return job, fmt.Errorf("max_size must be at least 2")
+			}
+			pol.MaxSize = js.MaxSize
+		}
+		job.Policy = pol
+		job.Entries = js.Entries
+		if js.Entries == 0 {
+			job.Entries = 512
+		} else if js.Entries < 0 {
+			return job, fmt.Errorf("entries must be positive")
+		}
+		job.Compress = js.Compress
+	}
+	return job, nil
+}
+
+// machine resolves the preset name, defaulting by job kind. Resolve and
+// label share this so row labels always name the machine that ran.
+func (js JobSpec) machine() string {
+	if js.Machine != "" {
+		return js.Machine
+	}
+	if js.Baseline {
+		return "baseline"
+	}
+	return "minigraph"
+}
+
+// label is the row label for a spec: the explicit arm name or a synthetic
+// bench@machine one.
+func (js JobSpec) label() string {
+	if js.Arm != "" {
+		return js.Arm
+	}
+	return js.Bench + "@" + js.machine()
+}
+
+// JobResult is the /v1/simulate response.
+type JobResult struct {
+	Arm string `json:"arm,omitempty"`
+	// Result is the full simulator statistics block.
+	Result *uarch.Result `json:"result"`
+	IPC    float64       `json:"ipc"`
+	// Coverage and Templates describe the extraction (absent for baseline
+	// jobs).
+	Coverage  float64 `json:"coverage,omitempty"`
+	Templates int     `json:"templates,omitempty"`
+}
+
+func jobResult(js JobSpec, out *sim.Outcome) JobResult {
+	jr := JobResult{Arm: js.Arm, Result: out.Result, IPC: out.Result.IPC()}
+	if out.Selection != nil {
+		jr.Coverage = out.Selection.Coverage()
+		jr.Templates = len(out.Selection.Templates)
+	}
+	return jr
+}
+
+// SweepRequest is the /v1/sweep body: a named batch of arms.
+type SweepRequest struct {
+	Name  string    `json:"name,omitempty"`
+	Title string    `json:"title,omitempty"`
+	Jobs  []JobSpec `json:"jobs"`
+}
+
+// SweepReport assembles the canonical sweep Report: per arm, the cycles
+// and IPC of the simulation plus extraction coverage when the job
+// extracted. This is the exact structure /v1/sweep responds with, exported
+// so in-process callers can produce byte-identical output.
+func SweepReport(req SweepRequest, outs []*sim.Outcome) *sim.Report {
+	name := req.Name
+	if name == "" {
+		name = "sweep"
+	}
+	title := req.Title
+	if title == "" {
+		title = fmt.Sprintf("sweep: %d arms", len(req.Jobs))
+	}
+	rep := sim.NewReport(name, title)
+	for i, js := range req.Jobs {
+		out := outs[i]
+		rep.Add(
+			sim.Row{Bench: js.Bench, Arm: js.label(), Metric: "cycles", Value: float64(out.Result.Cycles)},
+			sim.Row{Bench: js.Bench, Arm: js.label(), Metric: "ipc", Value: out.Result.IPC()},
+		)
+		if out.Selection != nil {
+			rep.Add(sim.Row{Bench: js.Bench, Arm: js.label(), Metric: "coverage", Value: out.Selection.Coverage()})
+		}
+	}
+	return rep
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var js JobSpec
+	if err := decodeBody(r, &js); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := js.Resolve()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	out, err := s.eng.Simulate(r.Context(), job)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, jobResult(js, out))
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decodeBody(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("sweep needs at least one job"))
+		return
+	}
+	if len(req.Jobs) > s.maxSweep {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("sweep of %d jobs exceeds the %d-job limit", len(req.Jobs), s.maxSweep))
+		return
+	}
+	jobs := make([]sim.SimJob, len(req.Jobs))
+	for i, js := range req.Jobs {
+		job, err := js.Resolve()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("jobs[%d]: %w", i, err))
+			return
+		}
+		jobs[i] = job
+	}
+	outs, err := s.eng.Run(r.Context(), jobs)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeReport(w, SweepReport(req, outs))
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	known := false
+	for _, id := range experiments.IDs() {
+		if id == name {
+			known = true
+			break
+		}
+	}
+	if !known {
+		httpError(w, http.StatusNotFound,
+			fmt.Errorf("unknown experiment %q (known: %s)", name, strings.Join(experiments.IDs(), " ")))
+		return
+	}
+	o := experiments.DefaultOptions()
+	o.Engine = s.eng
+	o.Context = r.Context()
+	if bl := r.URL.Query().Get("benchmarks"); bl != "" {
+		o.Benchmarks = strings.Split(bl, ",")
+	}
+	a, err := experiments.Run(name, o)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, experiments.ErrUnknownBenchmark) {
+			status = http.StatusBadRequest
+		}
+		httpError(w, status, err)
+		return
+	}
+	writeReport(w, a.Report)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{"status": "ok"})
+}
+
+// statsResponse is the /statsz body.
+type statsResponse struct {
+	Engine        sim.Stats    `json:"engine"`
+	PipelineSims  int64        `json:"pipeline_sims"`
+	Store         *store.Stats `json:"store,omitempty"`
+	Workers       int          `json:"workers"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Experiments   []string     `json:"experiments"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.eng.Stats()
+	resp := statsResponse{
+		Engine:        st,
+		PipelineSims:  st.PipelineSims(),
+		Workers:       s.eng.Workers(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Experiments:   experiments.IDs(),
+	}
+	if st := s.eng.Store(); st != nil {
+		ss := st.Stats()
+		resp.Store = &ss
+	}
+	writeJSON(w, resp)
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after request body")
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeReport writes exactly Report.JSON() (plus a trailing newline), so a
+// served report is byte-identical to one produced in-process.
+func writeReport(w http.ResponseWriter, rep *sim.Report) {
+	data, err := rep.JSON()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(data)
+	_, _ = w.Write([]byte("\n"))
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,306 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"minigraph/internal/sim"
+	"minigraph/internal/store"
+)
+
+func newTestServer(t *testing.T, st *store.Store) (*httptest.Server, *sim.Engine) {
+	t.Helper()
+	eng := sim.New(2)
+	if st != nil {
+		eng.WithStore(st)
+	}
+	ts := httptest.NewServer(New(Options{Engine: eng, MaxSweepJobs: 16}))
+	t.Cleanup(ts.Close)
+	return ts, eng
+}
+
+// fastSpec is a bounded job so handler tests stay quick.
+func fastSpec(arm string, baseline bool) JobSpec {
+	js := JobSpec{Arm: arm, Bench: "sha", Baseline: baseline, MaxRecords: 3000}
+	if baseline {
+		js.Machine = "baseline"
+	}
+	return js
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body["status"] != "ok" {
+		t.Fatalf("body %v (%v)", body, err)
+	}
+}
+
+func TestSimulateEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	resp, out := postJSON(t, ts.URL+"/v1/simulate", fastSpec("base", true))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, out)
+	}
+	var jr JobResult
+	if err := json.Unmarshal(out, &jr); err != nil {
+		t.Fatal(err)
+	}
+	if jr.Result == nil || jr.Result.Cycles == 0 || jr.IPC <= 0 {
+		t.Fatalf("implausible result: %+v", jr)
+	}
+	if jr.Templates != 0 {
+		t.Errorf("baseline job reported %d templates", jr.Templates)
+	}
+
+	// An extracted job reports its extraction.
+	resp, out = postJSON(t, ts.URL+"/v1/simulate", fastSpec("mg", false))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, out)
+	}
+	if err := json.Unmarshal(out, &jr); err != nil {
+		t.Fatal(err)
+	}
+	if jr.Templates == 0 || jr.Coverage <= 0 {
+		t.Errorf("extracted job lost its selection: %+v", jr)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	cases := []JobSpec{
+		{},                                        // no bench
+		{Bench: "no-such-bench"},                  // unknown bench
+		{Bench: "sha", Input: "validation"},       // bad input
+		{Bench: "sha", Machine: "cray"},           // bad machine
+		{Bench: "sha", Machine: "baseline"},       // baseline machine, extracted job
+		{Bench: "sha", MaxSize: 1},                // undersized mini-graphs
+		{Bench: "sha", Entries: -4},               // negative MGT
+		{Bench: "sha", SchedCycles: 3},            // bad scheduler
+		{Bench: "sha", Baseline: true, Width: -1}, // bad width
+	}
+	for i, js := range cases {
+		resp, out := postJSON(t, ts.URL+"/v1/simulate", js)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("case %d: status %d, body %s", i, resp.StatusCode, out)
+		}
+		var e map[string]string
+		if err := json.Unmarshal(out, &e); err != nil || e["error"] == "" {
+			t.Errorf("case %d: error body %s", i, out)
+		}
+	}
+	// Unknown fields are rejected too (protects clients from typos).
+	resp, _ := http.Post(ts.URL+"/v1/simulate", "application/json",
+		strings.NewReader(`{"bench":"sha","baselin":true}`))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("typoed field accepted: %d", resp.StatusCode)
+	}
+}
+
+// TestSweepByteIdenticalToInProcess is the serving-layer acceptance test:
+// the /v1/sweep response must be byte-identical to the Report produced by
+// running the same jobs on an in-process engine.
+func TestSweepByteIdenticalToInProcess(t *testing.T) {
+	req := SweepRequest{
+		Name:  "accept",
+		Title: "acceptance sweep",
+		Jobs: []JobSpec{
+			fastSpec("sha/base", true),
+			fastSpec("sha/mg", false),
+			{Arm: "adpcm/base", Bench: "adpcm.enc", Baseline: true, Machine: "baseline", MaxRecords: 3000},
+			{Arm: "adpcm/mg-int", Bench: "adpcm.enc", Machine: "minigraph-int", MaxRecords: 3000},
+		},
+	}
+
+	// In-process reference.
+	jobs := make([]sim.SimJob, len(req.Jobs))
+	for i, js := range req.Jobs {
+		job, err := js.Resolve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = job
+	}
+	ref := sim.New(2)
+	outs, err := ref.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := SweepReport(req, outs).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ts, _ := newTestServer(t, nil)
+	resp, got := postJSON(t, ts.URL+"/v1/sweep", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, got)
+	}
+	got = bytes.TrimSuffix(got, []byte("\n"))
+	if !bytes.Equal(got, want) {
+		t.Fatalf("served sweep differs from in-process report\nserved:\n%s\nin-process:\n%s", got, want)
+	}
+}
+
+// TestSweepCoalescing posts the same sweep from many goroutines at once;
+// the shared engine must execute each distinct job exactly once.
+func TestSweepCoalescing(t *testing.T) {
+	ts, eng := newTestServer(t, nil)
+	req := SweepRequest{
+		Name: "dup",
+		Jobs: []JobSpec{
+			fastSpec("base", true),
+			fastSpec("mg", false),
+			fastSpec("base-again", true), // duplicate arm inside one sweep
+		},
+	}
+	const callers = 6
+	var wg sync.WaitGroup
+	bodies := make([][]byte, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			data, _ := json.Marshal(req)
+			resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(data))
+			if err != nil {
+				t.Errorf("caller %d: %v", c, err)
+				return
+			}
+			defer resp.Body.Close()
+			bodies[c], _ = io.ReadAll(resp.Body)
+		}(c)
+	}
+	wg.Wait()
+	for c := 1; c < callers; c++ {
+		if !bytes.Equal(bodies[c], bodies[0]) {
+			t.Fatalf("caller %d saw a different report", c)
+		}
+	}
+	st := eng.Stats()
+	if st.SimRuns != 2 { // base (deduped with base-again) + mg
+		t.Errorf("%d sim runs for 2 distinct jobs across %d callers: %+v", st.SimRuns, callers, st)
+	}
+	if st.SimHits != int64(callers*3-2) {
+		t.Errorf("coalescing hits: %+v", st)
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	resp, _ := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty sweep: %d", resp.StatusCode)
+	}
+	big := SweepRequest{}
+	for i := 0; i < 17; i++ { // MaxSweepJobs: 16
+		big.Jobs = append(big.Jobs, fastSpec(fmt.Sprintf("a%d", i), true))
+	}
+	resp, out := postJSON(t, ts.URL+"/v1/sweep", big)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized sweep: %d %s", resp.StatusCode, out)
+	}
+	bad := SweepRequest{Jobs: []JobSpec{fastSpec("ok", true), {Bench: "nope"}}}
+	resp, out = postJSON(t, ts.URL+"/v1/sweep", bad)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(out), "jobs[1]") {
+		t.Errorf("bad arm not located: %d %s", resp.StatusCode, out)
+	}
+}
+
+func TestExperimentEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	resp, err := http.Get(ts.URL + "/v1/experiments/robust?benchmarks=sha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var rep sim.Report
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Name != "robust" || len(rep.Rows) == 0 {
+		t.Fatalf("report %+v", rep)
+	}
+
+	for path, want := range map[string]int{
+		"/v1/experiments/no-such-figure":         http.StatusNotFound,
+		"/v1/experiments/robust?benchmarks=typo": http.StatusBadRequest,
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("%s: status %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}
+
+func TestStatszReportsStore(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, _ := newTestServer(t, st)
+	if _, out := postJSON(t, ts.URL+"/v1/simulate", fastSpec("warm", true)); len(out) == 0 {
+		t.Fatal("empty simulate response")
+	}
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Engine.SimRuns != 1 || stats.PipelineSims != 1 {
+		t.Errorf("engine stats %+v", stats)
+	}
+	if stats.Store == nil || stats.Store.Puts != 1 {
+		t.Errorf("store stats %+v", stats.Store)
+	}
+	if stats.Workers != 2 || len(stats.Experiments) == 0 {
+		t.Errorf("stats %+v", stats)
+	}
+}

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"minigraph/internal/core"
+	"minigraph/internal/uarch"
+)
+
+// CodecVersion is the on-the-wire version of the canonical key and outcome
+// encodings. Any change to the shape of PrepareKey, SimKey, uarch.Result,
+// core.Selection or the envelope below must bump it: persisted entries
+// written under an older version then read back as misses instead of
+// decoding into garbage.
+const CodecVersion = 1
+
+// envelope is the versioned wrapper around every encoded value. Payload
+// stays raw so encode→decode→encode is byte-stable for any payload the
+// current version accepts.
+type envelope struct {
+	V       int             `json:"v"`
+	Payload json.RawMessage `json:"p"`
+}
+
+func seal(payload any) ([]byte, error) {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(envelope{V: CodecVersion, Payload: raw})
+}
+
+func open(data []byte, payload any) error {
+	var env envelope
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&env); err != nil {
+		return fmt.Errorf("sim: envelope: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("sim: trailing data after envelope")
+	}
+	if env.V != CodecVersion {
+		return fmt.Errorf("sim: codec version %d, want %d", env.V, CodecVersion)
+	}
+	pdec := json.NewDecoder(bytes.NewReader(env.Payload))
+	pdec.DisallowUnknownFields()
+	if err := pdec.Decode(payload); err != nil {
+		return fmt.Errorf("sim: payload: %w", err)
+	}
+	if pdec.More() {
+		return fmt.Errorf("sim: trailing data after payload")
+	}
+	return nil
+}
+
+// EncodePrepareKey renders key in the canonical versioned JSON encoding.
+// The encoding is deterministic: equal keys encode to equal bytes, so the
+// bytes are usable as a content address.
+func EncodePrepareKey(key PrepareKey) ([]byte, error) { return seal(key) }
+
+// DecodePrepareKey parses a canonical PrepareKey encoding. It rejects
+// version mismatches, unknown fields and trailing garbage.
+func DecodePrepareKey(data []byte) (PrepareKey, error) {
+	var key PrepareKey
+	err := open(data, &key)
+	return key, err
+}
+
+// EncodeSimKey renders key in the canonical versioned JSON encoding. Equal
+// keys encode to equal bytes; the persistent result store uses the bytes as
+// the content address of the job's outcome.
+func EncodeSimKey(key SimKey) ([]byte, error) { return seal(key) }
+
+// DecodeSimKey parses a canonical SimKey encoding. It rejects version
+// mismatches, unknown fields and trailing garbage.
+func DecodeSimKey(data []byte) (SimKey, error) {
+	var key SimKey
+	err := open(data, &key)
+	return key, err
+}
+
+// outcomePayload is the persisted form of an Outcome.
+type outcomePayload struct {
+	Result    *uarch.Result   `json:"result"`
+	Selection *core.Selection `json:"selection,omitempty"`
+}
+
+// EncodeOutcome renders a simulation outcome in the versioned JSON
+// encoding used by the persistent result store.
+func EncodeOutcome(out *Outcome) ([]byte, error) {
+	if out == nil || out.Result == nil {
+		return nil, fmt.Errorf("sim: cannot encode empty outcome")
+	}
+	return seal(outcomePayload{Result: out.Result, Selection: out.Selection})
+}
+
+// DecodeOutcome parses an encoded outcome. A decoded outcome always has a
+// non-nil Result; Selection is nil for baseline jobs.
+func DecodeOutcome(data []byte) (*Outcome, error) {
+	var p outcomePayload
+	if err := open(data, &p); err != nil {
+		return nil, err
+	}
+	if p.Result == nil {
+		return nil, fmt.Errorf("sim: outcome missing result")
+	}
+	return &Outcome{Result: p.Result, Selection: p.Selection}, nil
+}

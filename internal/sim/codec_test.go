@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"minigraph/internal/core"
+	"minigraph/internal/uarch"
+	"minigraph/internal/workload"
+)
+
+// sampleKeys covers the key axes: baseline vs extracted, both inputs,
+// policy and machine variations.
+func sampleKeys() []SimKey {
+	mg := uarch.MiniGraph(true)
+	mg.Collapse = true
+	keys := []SimKey{
+		Baseline(PrepareKey{Bench: "sha", Input: workload.InputTrain}, uarch.Baseline()).Key(),
+		Baseline(PrepareKey{Bench: "gzip", Input: workload.InputTest}, uarch.MiniGraph(false)).Key(),
+		SimJob{
+			Prepare: PrepareKey{Bench: "adpcm.enc", Input: workload.InputTrain},
+			Policy:  core.DefaultPolicy(),
+			Entries: 512,
+			Config:  mg,
+		}.Key(),
+		SimJob{
+			Prepare:  PrepareKey{Bench: "reed.dec", Input: workload.InputTrain},
+			Policy:   core.IntegerPolicy(),
+			Entries:  32,
+			Compress: true,
+			Config:   uarch.MiniGraph(false),
+		}.Key(),
+	}
+	return keys
+}
+
+// TestSimKeyCodecRoundTrip checks encode→decode identity and encode
+// determinism for representative keys.
+func TestSimKeyCodecRoundTrip(t *testing.T) {
+	for _, key := range sampleKeys() {
+		data, err := EncodeSimKey(key)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", key, err)
+		}
+		again, err := EncodeSimKey(key)
+		if err != nil || !bytes.Equal(data, again) {
+			t.Fatalf("encoding is not deterministic: %q vs %q (%v)", data, again, err)
+		}
+		got, err := DecodeSimKey(data)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got != key {
+			t.Fatalf("round trip changed key:\n%+v\n%+v", key, got)
+		}
+	}
+}
+
+// TestPrepareKeyCodecRoundTrip is the same property for preparation keys.
+func TestPrepareKeyCodecRoundTrip(t *testing.T) {
+	for _, key := range []PrepareKey{
+		{Bench: "sha", Input: workload.InputTrain},
+		{Bench: "jpeg.comp", Input: workload.InputTest},
+		{},
+	} {
+		data, err := EncodePrepareKey(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodePrepareKey(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != key {
+			t.Fatalf("round trip changed key: %+v vs %+v", key, got)
+		}
+	}
+}
+
+// TestCodecRejects pins the strictness guarantees the store relies on.
+func TestCodecRejects(t *testing.T) {
+	good, err := EncodeSimKey(sampleKeys()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":           nil,
+		"not json":        []byte("pipeline"),
+		"wrong version":   []byte(`{"v":999,"p":{}}`),
+		"unknown field":   []byte(`{"v":1,"p":{"Bogus":1}}`),
+		"trailing":        append(append([]byte{}, good...), '1'),
+		"truncated":       good[:len(good)/2],
+		"array envelope":  []byte(`[1,2]`),
+		"null payload ok": nil, // placeholder; null payload tested below
+	}
+	delete(cases, "null payload ok")
+	for name, data := range cases {
+		if _, err := DecodeSimKey(data); err == nil {
+			t.Errorf("%s: decode accepted %q", name, data)
+		}
+	}
+	if _, err := DecodeOutcome([]byte(`{"v":1,"p":{"result":null}}`)); err == nil {
+		t.Error("outcome decode accepted a null result")
+	}
+}
+
+// TestOutcomeCodecRoundTrip checks the persisted outcome form, including
+// the nil-selection (baseline) shape.
+func TestOutcomeCodecRoundTrip(t *testing.T) {
+	out := &Outcome{
+		Result: &uarch.Result{Cycles: 12345, Retired: 6789, Branches: 42, StallROB: 7},
+		Selection: &core.Selection{
+			CoveredInsts:   100,
+			TotalInsts:     400,
+			CandidateCount: 9,
+		},
+	}
+	data, err := EncodeOutcome(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeOutcome(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Result.Cycles != 12345 || got.Result.StallROB != 7 {
+		t.Errorf("result fields lost: %+v", got.Result)
+	}
+	if got.Selection == nil || got.Selection.Coverage() != 0.25 {
+		t.Errorf("selection lost: %+v", got.Selection)
+	}
+
+	base := &Outcome{Result: &uarch.Result{Cycles: 1}}
+	data, err = EncodeOutcome(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = DecodeOutcome(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Selection != nil {
+		t.Errorf("baseline outcome grew a selection: %+v", got.Selection)
+	}
+}
+
+// FuzzKeyCanonicalization drives DecodeSimKey with arbitrary bytes.
+// Properties: decoding never panics, and any accepted input canonicalizes
+// — re-encoding the decoded key succeeds, decodes back to the same key,
+// and re-encoding is byte-stable (so the store's content address for a
+// key is unique).
+func FuzzKeyCanonicalization(f *testing.F) {
+	for _, key := range sampleKeys() {
+		data, err := EncodeSimKey(key)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"v":1,"p":{}}`))
+	f.Add([]byte(`{"v":2,"p":{}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		key, err := DecodeSimKey(data)
+		if err != nil {
+			return // rejected inputs need only be rejected cleanly
+		}
+		enc, err := EncodeSimKey(key)
+		if err != nil {
+			t.Fatalf("decoded key fails to encode: %+v: %v", key, err)
+		}
+		again, err := DecodeSimKey(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding fails to decode: %v\n%s", err, enc)
+		}
+		if again != key {
+			t.Fatalf("canonicalization changed key:\n%+v\n%+v", key, again)
+		}
+		enc2, err := EncodeSimKey(again)
+		if err != nil || !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonical encoding is not a fixed point: %q vs %q (%v)", enc, enc2, err)
+		}
+	})
+}

@@ -12,6 +12,7 @@ import (
 	"minigraph/internal/emu"
 	"minigraph/internal/program"
 	"minigraph/internal/rewrite"
+	"minigraph/internal/store"
 	"minigraph/internal/uarch"
 	"minigraph/internal/workload"
 )
@@ -34,26 +35,41 @@ const ProfileLimit = 4_000_000
 type Engine struct {
 	workers int
 	sem     chan struct{}
+	store   *store.Store
 
 	mu    sync.Mutex
 	preps map[PrepareKey]*call[*Prepared]
 	sims  map[SimKey]*call[*Outcome]
 
-	prepRuns atomic.Int64
-	prepHits atomic.Int64
-	simRuns  atomic.Int64
-	simHits  atomic.Int64
+	prepRuns    atomic.Int64
+	prepHits    atomic.Int64
+	simRuns     atomic.Int64
+	simHits     atomic.Int64
+	storeHits   atomic.Int64
+	storeMisses atomic.Int64
+	storePuts   atomic.Int64
 }
 
 // Stats is a point-in-time snapshot of the engine's cache counters. Runs
-// count jobs actually executed; Hits count submissions served from the
-// cache (including waits on an in-flight duplicate).
+// count jobs computed in-process (cache misses that entered a compute
+// function); Hits count submissions served from the in-memory cache
+// (including waits on an in-flight duplicate). When a persistent store is
+// attached, StoreHits of those SimRuns were answered from disk without
+// touching the pipeline — SimRuns−StoreHits is the number of timing
+// simulations actually executed.
 type Stats struct {
 	PrepareRuns int64 `json:"prepare_runs"`
 	PrepareHits int64 `json:"prepare_hits"`
 	SimRuns     int64 `json:"sim_runs"`
 	SimHits     int64 `json:"sim_hits"`
+	StoreHits   int64 `json:"store_hits,omitempty"`
+	StoreMisses int64 `json:"store_misses,omitempty"`
+	StorePuts   int64 `json:"store_puts,omitempty"`
 }
+
+// PipelineSims is the number of timing simulations the engine actually
+// executed (in-process cache misses not answered by the persistent store).
+func (s Stats) PipelineSims() int64 { return s.SimRuns - s.StoreHits }
 
 // New builds an engine with the given worker-pool size (0 = GOMAXPROCS).
 func New(workers int) *Engine {
@@ -71,6 +87,18 @@ func New(workers int) *Engine {
 // Workers returns the pool size.
 func (e *Engine) Workers() int { return e.workers }
 
+// WithStore attaches a persistent result store: Simulate consults it
+// before computing and writes through after. Attach before submitting jobs
+// (the field is not synchronized); e is returned for chaining. A nil store
+// detaches.
+func (e *Engine) WithStore(s *store.Store) *Engine {
+	e.store = s
+	return e
+}
+
+// Store returns the attached persistent store (nil if none).
+func (e *Engine) Store() *store.Store { return e.store }
+
 // Stats snapshots the cache counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
@@ -78,6 +106,9 @@ func (e *Engine) Stats() Stats {
 		PrepareHits: e.prepHits.Load(),
 		SimRuns:     e.simRuns.Load(),
 		SimHits:     e.simHits.Load(),
+		StoreHits:   e.storeHits.Load(),
+		StoreMisses: e.storeMisses.Load(),
+		StorePuts:   e.storePuts.Load(),
 	}
 }
 
@@ -176,10 +207,31 @@ func (e *Engine) Prepare(ctx context.Context, key PrepareKey) (*Prepared, error)
 // The run uses the job's canonical configuration (display name cleared),
 // so a cached Outcome is identical no matter which of several
 // cosmetically-renamed submissions executed it.
+//
+// With a persistent store attached (WithStore), an in-memory miss first
+// consults the store under the job's canonical key encoding — a hit skips
+// preparation and the pipeline entirely — and a computed outcome is
+// written through for future processes. Store failures are never job
+// failures: a damaged entry is a miss and a failed write-through is
+// dropped.
 func (e *Engine) Simulate(ctx context.Context, job SimJob) (*Outcome, error) {
 	key := job.Key()
 	return singleflight(e, ctx, e.sims, key, &e.simRuns, &e.simHits,
 		func(ctx context.Context) (*Outcome, error) {
+			var keyBytes []byte
+			if e.store != nil {
+				kb, err := EncodeSimKey(key)
+				if err == nil {
+					keyBytes = kb
+					if data, ok := e.store.Get(keyBytes); ok {
+						if out, err := DecodeOutcome(data); err == nil {
+							e.storeHits.Add(1)
+							return out, nil
+						}
+					}
+					e.storeMisses.Add(1)
+				}
+			}
 			pr, err := e.Prepare(ctx, job.Prepare)
 			if err != nil {
 				return nil, err
@@ -202,7 +254,15 @@ func (e *Engine) Simulate(ctx context.Context, job SimJob) (*Outcome, error) {
 			if err != nil {
 				return nil, fmt.Errorf("%s @ %s: %w", pr.Bench.Name, job.Config.Name, err)
 			}
-			return &Outcome{Result: res, Selection: sel}, nil
+			out := &Outcome{Result: res, Selection: sel}
+			if keyBytes != nil {
+				if data, err := EncodeOutcome(out); err == nil {
+					if e.store.Put(keyBytes, data) == nil {
+						e.storePuts.Add(1)
+					}
+				}
+			}
+			return out, nil
 		})
 }
 

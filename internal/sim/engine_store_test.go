@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"minigraph/internal/core"
+	"minigraph/internal/store"
+	"minigraph/internal/uarch"
+	"minigraph/internal/workload"
+)
+
+// storeJobs is a small but representative job set: two benchmarks, each
+// with a baseline and an extracted arm, bounded by MaxRecords so the
+// whole warm-up is fast.
+func storeJobs() []SimJob {
+	var jobs []SimJob
+	for _, bench := range []string{"sha", "adpcm.enc"} {
+		pk := PrepareKey{Bench: bench, Input: workload.InputTrain}
+		base := uarch.Baseline()
+		base.MaxRecords = 3000
+		jobs = append(jobs, Baseline(pk, base))
+		mg := uarch.MiniGraph(true)
+		mg.MaxRecords = 3000
+		jobs = append(jobs, SimJob{
+			Prepare: pk,
+			Policy:  core.DefaultPolicy(),
+			Entries: 512,
+			Config:  mg,
+		})
+	}
+	return jobs
+}
+
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{MaxBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestEngineStoreColdProcess is the acceptance test for the persistence
+// layer: a second engine ("cold process") pointed at the warm store
+// directory answers every job from disk — zero preparations, zero
+// pipeline simulations — with outcomes byte-identical to the computed
+// ones.
+func TestEngineStoreColdProcess(t *testing.T) {
+	dir := t.TempDir()
+	jobs := storeJobs()
+	ctx := context.Background()
+
+	warm := New(2).WithStore(openStore(t, dir))
+	warmOuts, err := warm.Run(ctx, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := warm.Stats()
+	if ws.StoreHits != 0 || ws.StoreMisses != int64(len(jobs)) || ws.StorePuts != int64(len(jobs)) {
+		t.Fatalf("warm run store counters: %+v", ws)
+	}
+	if ws.PipelineSims() != int64(len(jobs)) {
+		t.Fatalf("warm run executed %d pipeline sims, want %d", ws.PipelineSims(), len(jobs))
+	}
+
+	// Cold process: fresh engine, fresh store handle, same directory.
+	cold := New(2).WithStore(openStore(t, dir))
+	coldOuts, err := cold.Run(ctx, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := cold.Stats()
+	if cs.StoreHits != int64(len(jobs)) || cs.StoreMisses != 0 {
+		t.Fatalf("cold run not 100%% store hits: %+v", cs)
+	}
+	if cs.PipelineSims() != 0 {
+		t.Fatalf("cold run executed %d pipeline simulations, want 0", cs.PipelineSims())
+	}
+	if cs.PrepareRuns != 0 {
+		t.Fatalf("cold run prepared %d benchmarks, want 0 (store hits skip preparation)", cs.PrepareRuns)
+	}
+	for i := range jobs {
+		a, err1 := EncodeOutcome(warmOuts[i])
+		b, err2 := EncodeOutcome(coldOuts[i])
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("job %d: store round-trip changed the outcome", i)
+		}
+	}
+}
+
+// TestEngineStoreCorruptionRecovers: a damaged entry is recomputed (and
+// rewritten), not an error.
+func TestEngineStoreCorruptionRecovers(t *testing.T) {
+	dir := t.TempDir()
+	jobs := storeJobs()[:2]
+	ctx := context.Background()
+
+	warm := New(2).WithStore(openStore(t, dir))
+	if _, err := warm.Run(ctx, jobs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate every stored entry.
+	var damaged int
+	err := filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		damaged++
+		return os.Truncate(p, info.Size()/2)
+	})
+	if err != nil || damaged != len(jobs) {
+		t.Fatalf("damaged %d files (%v), want %d", damaged, err, len(jobs))
+	}
+
+	cold := New(2).WithStore(openStore(t, dir))
+	if _, err := cold.Run(ctx, jobs); err != nil {
+		t.Fatalf("damaged store failed the run: %v", err)
+	}
+	cs := cold.Stats()
+	if cs.StoreHits != 0 || cs.PipelineSims() != int64(len(jobs)) || cs.StorePuts != int64(len(jobs)) {
+		t.Fatalf("corruption recovery counters: %+v", cs)
+	}
+
+	// And the rewritten entries serve the next process.
+	third := New(2).WithStore(openStore(t, dir))
+	if _, err := third.Run(ctx, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if ts := third.Stats(); ts.StoreHits != int64(len(jobs)) {
+		t.Fatalf("rewritten entries not served: %+v", ts)
+	}
+}
+
+// TestEngineStoreKeyCanonicalization: cosmetically different jobs (renamed
+// config) share one store entry, and the store key is the canonical
+// encoding of the job key.
+func TestEngineStoreKeyCanonicalization(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	job := storeJobs()[0]
+
+	warm := New(1).WithStore(openStore(t, dir))
+	if _, err := warm.Simulate(ctx, job); err != nil {
+		t.Fatal(err)
+	}
+
+	renamed := job
+	renamed.Config.Name = "same-machine-different-label"
+	cold := New(1).WithStore(openStore(t, dir))
+	if _, err := cold.Simulate(ctx, renamed); err != nil {
+		t.Fatal(err)
+	}
+	if cs := cold.Stats(); cs.StoreHits != 1 {
+		t.Fatalf("renamed config missed the store: %+v", cs)
+	}
+
+	// The entry on disk is addressed by the canonical key encoding.
+	st := openStore(t, dir)
+	keyBytes, err := EncodeSimKey(job.Key())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, ok := st.Get(keyBytes)
+	if !ok {
+		t.Fatal("canonical key not present in store")
+	}
+	if _, err := DecodeOutcome(data); err != nil {
+		t.Fatalf("stored payload does not decode: %v", err)
+	}
+}

@@ -1,0 +1,359 @@
+// Package store is a content-addressed, disk-backed result store. Values
+// are opaque byte payloads addressed by opaque byte keys (the simulation
+// layer uses the canonical versioned SimKey encoding); the store hashes the
+// key to place the entry on disk, so a directory can be shared by any
+// number of processes over any number of runs.
+//
+// Design points:
+//
+//   - Writes are atomic: an entry is staged in a temporary file in the
+//     same directory and renamed into place, so readers never observe a
+//     half-written entry and concurrent writers of the same key settle on
+//     one complete copy.
+//   - Reads are corruption-tolerant: an entry that fails to parse, fails
+//     its version check, or whose recorded key does not match the request
+//     (hash collision, truncation, stray file) is treated as a miss and
+//     deleted, never an error.
+//   - The store is LRU-bounded: when the configured byte budget is
+//     exceeded, least-recently-used entries are evicted. Recency survives
+//     process restarts via file modification times (a hit re-touches the
+//     entry).
+package store
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// formatVersion is the on-disk entry envelope version. It is independent
+// of the payload's own versioning (the simulation codec versions its
+// encodings separately).
+const formatVersion = 1
+
+// DefaultMaxBytes is the byte budget applied when Options.MaxBytes is zero
+// (1 GiB — roughly a million simulation outcomes).
+const DefaultMaxBytes int64 = 1 << 30
+
+// Options configure a store.
+type Options struct {
+	// MaxBytes bounds the total size of entry files; least-recently-used
+	// entries are evicted beyond it (0 = DefaultMaxBytes, negative =
+	// unbounded).
+	MaxBytes int64
+}
+
+// Stats is a point-in-time snapshot of the store's counters and footprint.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Puts      int64 `json:"puts"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+}
+
+// entry is the on-disk envelope. The key is recorded verbatim so a read
+// can verify it got the entry it asked for.
+type entry struct {
+	Version int    `json:"version"`
+	Key     []byte `json:"key"`
+	Value   []byte `json:"value"`
+}
+
+// indexed is the in-memory bookkeeping for one on-disk entry. elem is the
+// entry's node in the recency list, so touching and evicting are O(1).
+type indexed struct {
+	hash string
+	path string
+	size int64
+	elem *list.Element
+}
+
+// Store is a disk-backed key/value store. It is safe for concurrent use;
+// multiple processes may share a directory (eviction decisions are then
+// per-process approximations, which is acceptable for a cache).
+type Store struct {
+	dir string
+	max int64
+
+	mu    sync.Mutex
+	index map[string]*indexed // hex hash -> entry
+	lru   *list.List          // of *indexed; front = most recently used
+	bytes int64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	puts      atomic.Int64
+	evictions atomic.Int64
+}
+
+// Open opens (creating if needed) the store rooted at dir and indexes the
+// entries already present. Unparseable filenames are ignored; unparseable
+// entries are deleted lazily when read.
+func Open(dir string, opts Options) (*Store, error) {
+	max := opts.MaxBytes
+	if max == 0 {
+		max = DefaultMaxBytes
+	}
+	root := filepath.Join(dir, fmt.Sprintf("v%d", formatVersion))
+	if err := os.MkdirAll(root, 0o777); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: root, max: max, index: make(map[string]*indexed), lru: list.New()}
+
+	// Index existing entries oldest-first so the recency list reflects
+	// on-disk modification times. Staging files orphaned by a crashed
+	// writer are swept once they are old enough that no live Put can
+	// still own them.
+	type found struct {
+		hash string
+		path string
+		size int64
+		mod  time.Time
+	}
+	var entries []found
+	stale := time.Now().Add(-10 * time.Minute)
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return nil // unreadable subtrees are simply not indexed
+		}
+		name := info.Name()
+		if strings.Contains(name, ".tmp-") {
+			if info.ModTime().Before(stale) {
+				_ = os.Remove(path)
+			}
+			return nil
+		}
+		hash := name[:len(name)-len(filepath.Ext(name))]
+		if filepath.Ext(name) != ".json" || len(hash) != sha256.Size*2 {
+			return nil
+		}
+		if _, err := hex.DecodeString(hash); err != nil {
+			return nil
+		}
+		entries = append(entries, found{hash: hash, path: path, size: info.Size(), mod: info.ModTime()})
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: index %s: %w", root, err)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mod.Before(entries[j].mod) })
+	for _, f := range entries {
+		e := &indexed{hash: f.hash, path: f.path, size: f.size}
+		e.elem = s.lru.PushFront(e)
+		s.index[f.hash] = e
+		s.bytes += f.size
+	}
+	// A directory warmed under a larger (or unbounded) budget is trimmed
+	// to this store's bound immediately, not only on the next Put.
+	s.mu.Lock()
+	victims := s.evictLocked()
+	s.mu.Unlock()
+	for _, v := range victims {
+		_ = os.Remove(v)
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory (including the format-version
+// component).
+func (s *Store) Dir() string { return s.dir }
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	entries, bytes := len(s.index), s.bytes
+	s.mu.Unlock()
+	return Stats{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Puts:      s.puts.Load(),
+		Evictions: s.evictions.Load(),
+		Entries:   entries,
+		Bytes:     bytes,
+	}
+}
+
+// Len returns the number of indexed entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+func (s *Store) pathFor(hash string) string {
+	return filepath.Join(s.dir, hash[:2], hash+".json")
+}
+
+func hashKey(key []byte) string {
+	sum := sha256.Sum256(key)
+	return hex.EncodeToString(sum[:])
+}
+
+// Get returns the value stored under key, or (nil, false). Damaged or
+// mismatched entries are deleted and reported as misses.
+func (s *Store) Get(key []byte) ([]byte, bool) {
+	hash := hashKey(key)
+
+	s.mu.Lock()
+	e, ok := s.index[hash]
+	var path string
+	if ok {
+		path = e.path
+	} else {
+		// The file may have been written by another process after Open.
+		path = s.pathFor(hash)
+	}
+	s.mu.Unlock()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			// The file is gone (evicted by another process): forget it.
+			// Transient read failures keep the index entry — the bytes
+			// are still on disk and must stay budgeted.
+			s.drop(hash, false)
+		}
+		s.misses.Add(1)
+		return nil, false
+	}
+	val, ok := decodeEntry(data, key)
+	if !ok {
+		s.drop(hash, true)
+		s.misses.Add(1)
+		return nil, false
+	}
+
+	s.mu.Lock()
+	var victims []string
+	if e, ok := s.index[hash]; ok {
+		s.lru.MoveToFront(e.elem)
+	} else {
+		// Found on disk but not indexed (another process wrote it): adopt
+		// it, evicting if the adoption pushes past the byte budget.
+		e := &indexed{hash: hash, path: path, size: int64(len(data))}
+		e.elem = s.lru.PushFront(e)
+		s.index[hash] = e
+		s.bytes += int64(len(data))
+		victims = s.evictLocked()
+	}
+	s.mu.Unlock()
+	for _, v := range victims {
+		_ = os.Remove(v)
+	}
+	now := time.Now()
+	_ = os.Chtimes(path, now, now) // persist recency; best-effort
+
+	s.hits.Add(1)
+	return val, true
+}
+
+// decodeEntry parses an on-disk envelope and verifies it holds key.
+func decodeEntry(data []byte, key []byte) ([]byte, bool) {
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, false
+	}
+	if e.Version != formatVersion || string(e.Key) != string(key) || e.Value == nil {
+		return nil, false
+	}
+	return e.Value, true
+}
+
+// drop forgets (and optionally deletes) the entry for hash.
+func (s *Store) drop(hash string, remove bool) {
+	s.mu.Lock()
+	e, ok := s.index[hash]
+	if ok {
+		delete(s.index, hash)
+		s.lru.Remove(e.elem)
+		s.bytes -= e.size
+	}
+	s.mu.Unlock()
+	if remove {
+		path := s.pathFor(hash)
+		if ok {
+			path = e.path
+		}
+		_ = os.Remove(path)
+	}
+}
+
+// Put stores value under key, atomically replacing any previous entry, and
+// evicts least-recently-used entries if the byte budget is now exceeded.
+func (s *Store) Put(key, value []byte) error {
+	hash := hashKey(key)
+	data, err := json.Marshal(entry{Version: formatVersion, Key: key, Value: value})
+	if err != nil {
+		return fmt.Errorf("store: encode: %w", err)
+	}
+
+	path := s.pathFor(hash)
+	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+hash+".tmp-")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: publish: %w", err)
+	}
+
+	s.mu.Lock()
+	if old, ok := s.index[hash]; ok {
+		s.bytes -= old.size
+		s.lru.Remove(old.elem)
+	}
+	e := &indexed{hash: hash, path: path, size: int64(len(data))}
+	e.elem = s.lru.PushFront(e)
+	s.index[hash] = e
+	s.bytes += int64(len(data))
+	victims := s.evictLocked()
+	s.mu.Unlock()
+
+	for _, v := range victims {
+		_ = os.Remove(v)
+	}
+	s.puts.Add(1)
+	return nil
+}
+
+// evictLocked trims the recency list to the byte budget from the LRU end
+// — O(1) per victim — keeping at least the most recent entry (the one
+// just written), and returns the file paths to delete. Caller holds s.mu.
+func (s *Store) evictLocked() []string {
+	if s.max < 0 {
+		return nil
+	}
+	var victims []string
+	for s.bytes > s.max && s.lru.Len() > 1 {
+		oldest := s.lru.Back().Value.(*indexed)
+		s.lru.Remove(oldest.elem)
+		delete(s.index, oldest.hash)
+		s.bytes -= oldest.size
+		victims = append(victims, oldest.path)
+		s.evictions.Add(1)
+	}
+	return victims
+}

@@ -1,0 +1,317 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func open(t *testing.T, dir string, max int64) *Store {
+	t.Helper()
+	s, err := Open(dir, Options{MaxBytes: max})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := open(t, t.TempDir(), -1)
+	key, val := []byte("key-1"), []byte(`{"cycles":42}`)
+	if _, ok := s.Get(key); ok {
+		t.Fatal("hit on empty store")
+	}
+	if err := s.Put(key, val); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, val) {
+		t.Fatalf("got %q, %v; want %q", got, ok, val)
+	}
+	// Overwrite replaces.
+	if err := s.Put(key, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Get(key); !bytes.Equal(got, []byte("v2")) {
+		t.Fatalf("overwrite lost: %q", got)
+	}
+	st := s.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Puts != 2 || st.Entries != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestReopenSeesEntries(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, -1)
+	for i := 0; i < 10; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A second process opening the same directory sees every entry.
+	s2 := open(t, dir, -1)
+	if s2.Len() != 10 {
+		t.Fatalf("reopened store has %d entries, want 10", s2.Len())
+	}
+	for i := 0; i < 10; i++ {
+		got, ok := s2.Get([]byte(fmt.Sprintf("k%d", i)))
+		if !ok || string(got) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("k%d: got %q, %v", i, got, ok)
+		}
+	}
+	if st := s2.Stats(); st.Hits != 10 || st.Misses != 0 {
+		t.Errorf("reopened stats %+v", st)
+	}
+}
+
+// TestCrossProcessAdoption: an entry written by one Store handle after
+// another handle indexed the directory is still found by the second.
+func TestCrossProcessAdoption(t *testing.T) {
+	dir := t.TempDir()
+	a := open(t, dir, -1)
+	b := open(t, dir, -1)
+	if err := a.Put([]byte("late"), []byte("val")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := b.Get([]byte("late"))
+	if !ok || string(got) != "val" {
+		t.Fatalf("adoption failed: %q, %v", got, ok)
+	}
+	if b.Len() != 1 {
+		t.Errorf("adopted entry not indexed: %d entries", b.Len())
+	}
+}
+
+// TestCorruptEntriesAreMisses damages entries every way the loader guards
+// against: truncation, garbage, version skew, and key mismatch. Every
+// shape must read as a miss (and be deleted), never an error or a panic.
+func TestCorruptEntriesAreMisses(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, -1)
+	keys := [][]byte{[]byte("a"), []byte("b"), []byte("c"), []byte("d")}
+	var paths []string
+	for _, k := range keys {
+		if err := s.Put(k, []byte("value")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := filepath.Walk(s.Dir(), func(p string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			paths = append(paths, p)
+		}
+		return nil
+	})
+	if err != nil || len(paths) != 4 {
+		t.Fatalf("want 4 entry files, got %d (%v)", len(paths), err)
+	}
+
+	// Truncate one, garbage another, version-skew a third, key-swap the
+	// fourth.
+	full, _ := os.ReadFile(paths[0])
+	if err := os.WriteFile(paths[0], full[:len(full)/2], 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(paths[1], []byte("not json at all"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(paths[2], []byte(`{"version":999,"key":"YQ==","value":"eA=="}`), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(paths[3], []byte(`{"version":1,"key":"V1JPTkc=","value":"eA=="}`), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := open(t, dir, -1)
+	for _, k := range keys {
+		if _, ok := s2.Get(k); ok {
+			t.Errorf("damaged entry for %q served as a hit", k)
+		}
+	}
+	if st := s2.Stats(); st.Misses != 4 || st.Hits != 0 {
+		t.Errorf("stats %+v", st)
+	}
+	// The damaged files are gone, so the index converges to empty.
+	if n := s2.Len(); n != 0 {
+		t.Errorf("%d damaged entries still indexed", n)
+	}
+}
+
+// TestLRUEviction fills past the byte budget and checks (a) the bound
+// holds, (b) the victims are the least-recently-used entries, where a Get
+// counts as a use.
+func TestLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	val := bytes.Repeat([]byte("x"), 1024)
+	// Entry file ≈ envelope + base64(value): ~1.4KB. Budget of 8KB keeps
+	// roughly 5 entries.
+	s := open(t, dir, 8<<10)
+	for i := 0; i < 5; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("k%d", i)), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.Evictions != 0 {
+		t.Fatalf("premature evictions: %+v", st)
+	}
+	// Touch k0 so it is the most recently used, then overflow by three:
+	// the three untouched oldest entries (k1..k3) must be the victims.
+	if _, ok := s.Get([]byte("k0")); !ok {
+		t.Fatal("k0 missing before overflow")
+	}
+	for i := 5; i < 8; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("k%d", i)), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Bytes > 8<<10 {
+		t.Errorf("size bound violated: %d bytes indexed", st.Bytes)
+	}
+	if st.Evictions == 0 {
+		t.Error("no evictions recorded")
+	}
+	if _, ok := s.Get([]byte("k0")); !ok {
+		t.Error("recently-used k0 was evicted")
+	}
+	for _, dead := range []string{"k1", "k2", "k3"} {
+		if _, ok := s.Get([]byte(dead)); ok {
+			t.Errorf("LRU victim %s survived", dead)
+		}
+	}
+	if _, ok := s.Get([]byte("k7")); !ok {
+		t.Error("newest entry was evicted")
+	}
+	// On-disk footprint agrees with the index bound.
+	var onDisk int64
+	filepath.Walk(s.Dir(), func(p string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			onDisk += info.Size()
+		}
+		return nil
+	})
+	if onDisk > 8<<10 {
+		t.Errorf("on-disk bytes %d exceed the bound", onDisk)
+	}
+}
+
+// TestOpenTrimsOverBudgetDir: a directory warmed under a looser budget is
+// brought within this store's bound at Open, not lazily on the next Put.
+func TestOpenTrimsOverBudgetDir(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, -1)
+	val := bytes.Repeat([]byte("w"), 1024)
+	for i := 0; i < 8; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("k%d", i)), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2 := open(t, dir, 4<<10)
+	st := s2.Stats()
+	if st.Bytes > 4<<10 {
+		t.Errorf("open left %d bytes indexed over the 4KiB bound", st.Bytes)
+	}
+	if st.Evictions == 0 {
+		t.Error("open recorded no evictions for an over-budget directory")
+	}
+	var onDisk int64
+	filepath.Walk(s2.Dir(), func(p string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			onDisk += info.Size()
+		}
+		return nil
+	})
+	if onDisk > 4<<10 {
+		t.Errorf("on-disk bytes %d exceed the bound after open", onDisk)
+	}
+}
+
+// TestEvictionRecencyPersists: recency carries across Open via mtimes, so
+// a fresh handle evicts the entries the previous process used least
+// recently.
+func TestEvictionRecencyPersists(t *testing.T) {
+	dir := t.TempDir()
+	val := bytes.Repeat([]byte("y"), 1024)
+	s := open(t, dir, -1)
+	for i := 0; i < 4; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("k%d", i)), val); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct mtimes on filesystems with coarse timestamps.
+		time.Sleep(5 * time.Millisecond)
+	}
+	s.Get([]byte("k0")) // re-touch the oldest
+
+	s2 := open(t, dir, 4<<10) // ~2 entries fit
+	if err := s2.Put([]byte("new"), val); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get([]byte("k0")); !ok {
+		t.Error("re-touched k0 evicted despite being recent")
+	}
+	if _, ok := s2.Get([]byte("k1")); ok {
+		t.Error("stale k1 survived eviction")
+	}
+}
+
+// TestConcurrentAccess hammers one store from many goroutines (run under
+// -race in CI): concurrent Put/Get of overlapping keys with eviction
+// pressure must stay consistent — every hit returns the exact value
+// written for that key.
+func TestConcurrentAccess(t *testing.T) {
+	s := open(t, t.TempDir(), 64<<10)
+	const workers = 8
+	const keysN = 32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := []byte(fmt.Sprintf("key-%d", (w+i)%keysN))
+				want := []byte(fmt.Sprintf("value-%d", (w+i)%keysN))
+				switch i % 3 {
+				case 0:
+					if err := s.Put(k, want); err != nil {
+						t.Errorf("put: %v", err)
+						return
+					}
+				default:
+					if got, ok := s.Get(k); ok && !bytes.Equal(got, want) {
+						t.Errorf("key %s: got %q want %q", k, got, want)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Puts == 0 || st.Hits == 0 {
+		t.Errorf("degenerate run: %+v", st)
+	}
+}
+
+// TestUnboundedAndDefault covers the MaxBytes sentinel values.
+func TestUnboundedAndDefault(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.max != DefaultMaxBytes {
+		t.Errorf("zero MaxBytes: got %d, want default %d", s.max, DefaultMaxBytes)
+	}
+	u := open(t, t.TempDir(), -1)
+	for i := 0; i < 20; i++ {
+		if err := u.Put([]byte(fmt.Sprintf("k%d", i)), bytes.Repeat([]byte("z"), 2048)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := u.Stats(); st.Evictions != 0 || st.Entries != 20 {
+		t.Errorf("unbounded store evicted: %+v", st)
+	}
+}

@@ -111,6 +111,17 @@ func ByName(name string) (*Benchmark, bool) {
 // Suites lists the suite names in canonical order.
 func Suites() []string { return []string{SPECint, MediaBench, CommBench, MiBench} }
 
+// Names returns every registered benchmark name in All() order, for
+// "unknown benchmark" error messages and discovery.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, b := range all {
+		names[i] = b.Name
+	}
+	return names
+}
+
 // ---- assembly generation helpers ----
 
 // dataBuilder accumulates a .data section.

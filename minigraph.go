@@ -38,6 +38,7 @@ import (
 	"minigraph/internal/program"
 	"minigraph/internal/rewrite"
 	"minigraph/internal/sim"
+	"minigraph/internal/store"
 	"minigraph/internal/uarch"
 	"minigraph/internal/workload"
 )
@@ -82,6 +83,13 @@ type (
 	SimOutcome = sim.Outcome
 	// Report is a structured, JSON-serializable experiment result set.
 	Report = sim.Report
+
+	// Store is a content-addressed, disk-backed result store; attach one
+	// to an Engine with WithStore so simulation outcomes persist across
+	// processes.
+	Store = store.Store
+	// StoreStats are a Store's hit/miss/eviction counters and footprint.
+	StoreStats = store.Stats
 )
 
 // Input sets for PrepareKey and Benchmark.Build.
@@ -195,6 +203,15 @@ func SimulateContext(ctx context.Context, cfg SimConfig, p *Program, mgt *MGT) (
 // worker-pool size (0 = GOMAXPROCS). Share one engine across related
 // sweeps so common preparations and baseline simulations run exactly once.
 func NewEngine(workers int) *Engine { return sim.New(workers) }
+
+// OpenStore opens (creating if needed) a persistent result store rooted at
+// dir. maxBytes bounds the store's on-disk footprint with LRU eviction
+// (0 = a 1 GiB default, negative = unbounded). Attach the store to an
+// engine with Engine.WithStore; repeated runs across processes then skip
+// every previously computed simulation.
+func OpenStore(dir string, maxBytes int64) (*Store, error) {
+	return store.Open(dir, store.Options{MaxBytes: maxBytes})
+}
 
 // Speedup returns base.Cycles / other.Cycles.
 func Speedup(base, other *SimResult) float64 { return uarch.Speedup(base, other) }
