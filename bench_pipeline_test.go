@@ -1,0 +1,80 @@
+// Pipeline hot-path benchmarks: unlike bench_test.go, which times whole
+// experiment reproductions (extraction + many arms through the engine),
+// these isolate the cycle-accurate simulator itself — the per-cycle loop
+// the allocation-free refactor targets. Run with
+//
+//	go test -run xxx -bench BenchmarkPipeline -benchmem .
+//
+// and compare cycles/s (simulated cycles per wall-clock second) and
+// allocs/op across commits; cmd/mgprof runs the same matrix outside the
+// testing framework and records it in BENCH_pipeline.json.
+//
+// Golden-invariance rule: a perf refactor of the hot path must leave every
+// testdata/golden/*.json fixture byte-identical (TestGoldenReports with no
+// -update). Throughput may move; simulated results may not.
+package minigraph_test
+
+import (
+	"testing"
+
+	"minigraph"
+	"minigraph/internal/workload"
+)
+
+func benchPipelineRun(b *testing.B, cfg minigraph.SimConfig, prog *minigraph.Program, mgt *minigraph.MGT) {
+	b.Helper()
+	b.ReportAllocs()
+	var cycles, retired int64
+	for i := 0; i < b.N; i++ {
+		res, err := minigraph.Simulate(cfg, prog, mgt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Cycles
+		retired += res.Retired
+	}
+	sec := b.Elapsed().Seconds()
+	if sec > 0 {
+		b.ReportMetric(float64(cycles)/sec, "cycles/s")
+		b.ReportMetric(float64(retired)/sec/1e6, "Minst/s")
+	}
+}
+
+// BenchmarkPipelineBaseline times the baseline machine over the benchmark
+// subset (plain binaries, no mini-graph table).
+func BenchmarkPipelineBaseline(b *testing.B) {
+	for _, name := range workload.BenchSubset() {
+		wl, ok := workload.ByName(name)
+		if !ok {
+			b.Fatalf("unknown benchmark %q", name)
+		}
+		prog := wl.Build(workload.InputTrain)
+		b.Run(name, func(b *testing.B) {
+			benchPipelineRun(b, minigraph.BaselineConfig(), prog, nil)
+		})
+	}
+}
+
+// BenchmarkPipelineMiniGraph times the mini-graph machine over the subset,
+// with extraction and rewriting done once outside the measured region: the
+// handle sequencing, sliding-window and replay machinery all on the clock.
+func BenchmarkPipelineMiniGraph(b *testing.B) {
+	for _, name := range workload.BenchSubset() {
+		wl, ok := workload.ByName(name)
+		if !ok {
+			b.Fatalf("unknown benchmark %q", name)
+		}
+		prog := wl.Build(workload.InputTrain)
+		prof, err := minigraph.ProfileOf(prog, minigraph.ProfileLimit)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rw, err := minigraph.Extract(prog, prof, minigraph.DefaultPolicy(), 512, minigraph.DefaultExecParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			benchPipelineRun(b, minigraph.MiniGraphConfig(true), rw.Prog, rw.MGT)
+		})
+	}
+}

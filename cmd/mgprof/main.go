@@ -1,0 +1,252 @@
+// Command mgprof is the pipeline performance driver: the reproducible
+// instrument behind the repo's perf trajectory. It runs the cycle-accurate
+// simulator over the benchmark subset on the baseline and mini-graph
+// machines (preparation — build, profile, extract, rewrite — happens
+// outside the timed region), measures simulated-cycles-per-second and
+// allocations per run, and writes the results as BENCH_pipeline.json.
+// It can also capture pprof profiles of exactly that hot loop.
+//
+// Usage:
+//
+//	mgprof [-out BENCH_pipeline.json] [-iters N]
+//	       [-benches gzip,sha] [-machines baseline,minigraph]
+//	       [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// The JSON schema is documented in the README's Performance section; CI
+// runs mgprof once per push and uploads the artifact, so regressions in
+// simulator throughput or hot-path allocation are visible in history.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"time"
+
+	"minigraph"
+	"minigraph/internal/workload"
+)
+
+// Report is the BENCH_pipeline.json envelope.
+type Report struct {
+	Schema     string    `json:"schema"` // "minigraph-bench-pipeline/v1"
+	GoVersion  string    `json:"go_version"`
+	GOOS       string    `json:"goos"`
+	GOARCH     string    `json:"goarch"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	Runs       []RunStat `json:"runs"`
+	Totals     Totals    `json:"totals"`
+}
+
+// RunStat is one (benchmark, machine) measurement, averaged over the
+// iteration count.
+type RunStat struct {
+	Bench         string  `json:"bench"`
+	Machine       string  `json:"machine"`
+	Iterations    int     `json:"iterations"`
+	CyclesPerRun  int64   `json:"cycles_per_run"`
+	RetiredPerRun int64   `json:"retired_per_run"`
+	SecondsPerRun float64 `json:"seconds_per_run"`
+	CyclesPerSec  float64 `json:"cycles_per_sec"`
+	MInstPerSec   float64 `json:"minst_per_sec"`
+	AllocsPerRun  int64   `json:"allocs_per_run"`
+	BytesPerRun   int64   `json:"bytes_per_run"`
+}
+
+// Totals aggregates one full pass over every measured pair.
+type Totals struct {
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	MInstPerSec  float64 `json:"minst_per_sec"`
+	AllocsPerRun int64   `json:"allocs_per_run"`
+	Seconds      float64 `json:"seconds"`
+}
+
+// job is one prepared measurement target.
+type job struct {
+	bench   string
+	machine string
+	cfg     minigraph.SimConfig
+	prog    *minigraph.Program
+	mgt     *minigraph.MGT
+}
+
+func main() {
+	out := flag.String("out", "BENCH_pipeline.json", "output path for the JSON report")
+	iters := flag.Int("iters", 3, "timed simulations per (bench, machine) pair")
+	benches := flag.String("benches", strings.Join(workload.BenchSubset(), ","), "comma-separated benchmark names")
+	machines := flag.String("machines", "baseline,minigraph", "comma-separated machines (baseline, minigraph)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the timed loop")
+	memprofile := flag.String("memprofile", "", "write an allocation profile after the timed loop")
+	flag.Parse()
+
+	if err := run(*out, *iters, *benches, *machines, *cpuprofile, *memprofile); err != nil {
+		fmt.Fprintln(os.Stderr, "mgprof:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, iters int, benches, machines, cpuprofile, memprofile string) error {
+	if iters < 1 {
+		iters = 1
+	}
+	jobs, err := prepare(benches, machines)
+	if err != nil {
+		return err
+	}
+
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	rep := Report{
+		Schema:     "minigraph-bench-pipeline/v1",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, j := range jobs {
+		rs, err := measure(j, iters)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "mgprof: %-10s %-10s %12.0f cycles/s %8d allocs/run\n",
+			rs.Bench, rs.Machine, rs.CyclesPerSec, rs.AllocsPerRun)
+		rep.Runs = append(rep.Runs, rs)
+	}
+	var cycles, retired int64
+	for _, r := range rep.Runs {
+		cycles += r.CyclesPerRun
+		retired += r.RetiredPerRun
+		rep.Totals.AllocsPerRun += r.AllocsPerRun
+		rep.Totals.Seconds += r.SecondsPerRun
+	}
+	if rep.Totals.Seconds > 0 {
+		rep.Totals.CyclesPerSec = float64(cycles) / rep.Totals.Seconds
+		rep.Totals.MInstPerSec = float64(retired) / rep.Totals.Seconds / 1e6
+	}
+
+	if memprofile != "" {
+		f, err := os.Create(memprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o666); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "mgprof: wrote %s (total %.0f cycles/s, %d allocs/run)\n",
+		out, rep.Totals.CyclesPerSec, rep.Totals.AllocsPerRun)
+	return nil
+}
+
+// prepare builds every (bench, machine) pair up front so the measured
+// region contains nothing but pipeline simulation.
+func prepare(benches, machines string) ([]job, error) {
+	var jobs []job
+	for _, name := range strings.Split(benches, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		wl, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q (known: %s)", name, strings.Join(workload.Names(), " "))
+		}
+		prog := wl.Build(workload.InputTrain)
+		for _, m := range strings.Split(machines, ",") {
+			switch strings.TrimSpace(m) {
+			case "baseline":
+				jobs = append(jobs, job{bench: name, machine: "baseline", cfg: minigraph.BaselineConfig(), prog: prog})
+			case "minigraph":
+				prof, err := minigraph.ProfileOf(prog, minigraph.ProfileLimit)
+				if err != nil {
+					return nil, fmt.Errorf("%s: profile: %w", name, err)
+				}
+				rw, err := minigraph.Extract(prog, prof, minigraph.DefaultPolicy(), 512, minigraph.DefaultExecParams())
+				if err != nil {
+					return nil, fmt.Errorf("%s: extract: %w", name, err)
+				}
+				jobs = append(jobs, job{bench: name, machine: "minigraph", cfg: minigraph.MiniGraphConfig(true), prog: rw.Prog, mgt: rw.MGT})
+			case "":
+			default:
+				return nil, fmt.Errorf("unknown machine %q (want baseline or minigraph)", m)
+			}
+		}
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("nothing to measure")
+	}
+	return jobs, nil
+}
+
+// measure times iters simulations of j on one goroutine, reading allocator
+// deltas around the loop.
+func measure(j job, iters int) (RunStat, error) {
+	ctx := context.Background()
+	// Warm-up run outside the measurement (page faults, code warmup).
+	if _, err := minigraph.SimulateContext(ctx, j.cfg, j.prog, j.mgt); err != nil {
+		return RunStat{}, fmt.Errorf("%s@%s: %w", j.bench, j.machine, err)
+	}
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	var cycles, retired int64
+	for i := 0; i < iters; i++ {
+		res, err := minigraph.SimulateContext(ctx, j.cfg, j.prog, j.mgt)
+		if err != nil {
+			return RunStat{}, fmt.Errorf("%s@%s: %w", j.bench, j.machine, err)
+		}
+		cycles += res.Cycles
+		retired += res.Retired
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+
+	sec := elapsed.Seconds()
+	rs := RunStat{
+		Bench:         j.bench,
+		Machine:       j.machine,
+		Iterations:    iters,
+		CyclesPerRun:  cycles / int64(iters),
+		RetiredPerRun: retired / int64(iters),
+		SecondsPerRun: sec / float64(iters),
+		AllocsPerRun:  int64(m1.Mallocs-m0.Mallocs) / int64(iters),
+		BytesPerRun:   int64(m1.TotalAlloc-m0.TotalAlloc) / int64(iters),
+	}
+	if sec > 0 {
+		rs.CyclesPerSec = float64(cycles) / sec
+		rs.MInstPerSec = float64(retired) / sec / 1e6
+	}
+	return rs, nil
+}

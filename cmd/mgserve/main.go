@@ -58,6 +58,14 @@ func main() {
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: serve.New(serve.Options{Engine: eng, MaxSweepJobs: *maxSweep}),
+		// A service meant to face real traffic must bound how long a client
+		// may dribble a request (slowloris). Request bodies are small JSON
+		// job specs, so tight read bounds are safe; responses can take
+		// minutes of simulation, so WriteTimeout deliberately stays unset —
+		// in-flight compute is bounded by request cancellation instead.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -35,7 +35,15 @@ type ExecResult struct {
 // the template's M<j> operands (the bypass network).
 func (t *Template) Exec(e0, e1 uint64, mem MemAccess) ExecResult {
 	var res ExecResult
-	vals := make([]uint64, len(t.Insns))
+	// Interior values live in a stack buffer: Exec runs once per emulated
+	// handle, so a heap slice here dominates whole-simulation allocation.
+	// Templates beyond the buffer (policies overriding MaxSize upward)
+	// fall back to the heap.
+	var buf [16]uint64
+	vals := buf[:]
+	if len(t.Insns) > len(buf) {
+		vals = make([]uint64, len(t.Insns))
+	}
 	ext := [2]uint64{e0, e1}
 	read := func(ti *TemplateInsn, o Operand) uint64 {
 		switch o.Kind {

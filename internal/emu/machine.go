@@ -106,7 +106,8 @@ func (m *Machine) Step(rec *Record) error {
 		NextPC: m.PC + 1,
 		MGID:   -1,
 	}
-	for _, r := range in.Srcs() {
+	srcs, nsrcs := in.SrcRegs()
+	for _, r := range srcs[:nsrcs] {
 		rec.Srcs[rec.NSrcs] = r
 		rec.NSrcs++
 	}

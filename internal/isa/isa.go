@@ -140,8 +140,14 @@ type Inst struct {
 // Hardwired zero registers are included (they are real operands that read
 // zero); RNone slots are omitted.
 func (in *Inst) Srcs() []Reg {
-	var s [2]Reg
-	n := 0
+	s, n := in.SrcRegs()
+	return s[:n:n]
+}
+
+// SrcRegs is Srcs without the heap: the sources return by value, so the
+// per-instruction hot paths (the emulator's Step, the timing front end)
+// stay allocation-free.
+func (in *Inst) SrcRegs() (s [2]Reg, n int) {
 	add := func(r Reg) {
 		if r != RNone {
 			s[n] = r
@@ -172,7 +178,7 @@ func (in *Inst) Srcs() []Reg {
 		add(in.Ra)
 		add(in.Rb)
 	}
-	return s[:n]
+	return s, n
 }
 
 // Dest returns the architectural destination register, or RNone if the

@@ -107,10 +107,13 @@ type JobSpec struct {
 	// Compress selects the compressed text layout (§6.2).
 	Compress bool `json:"compress,omitempty"`
 
-	// Optional machine overrides (0 = preset value).
+	// Optional machine overrides (0 = preset value). MemLatency is the DRAM
+	// access latency in core cycles; chains built from it may exceed the
+	// pipeline's event-wheel page size, which the wheel handles exactly.
 	Width       int   `json:"width,omitempty"`
 	PhysRegs    int   `json:"phys_regs,omitempty"`
 	SchedCycles int   `json:"sched_cycles,omitempty"`
+	MemLatency  int   `json:"mem_latency,omitempty"`
 	MaxRecords  int64 `json:"max_records,omitempty"`
 }
 
@@ -168,10 +171,23 @@ func (js JobSpec) Resolve() (sim.SimJob, error) {
 		}
 		cfg.SchedCycles = js.SchedCycles
 	}
+	if js.MemLatency != 0 {
+		if js.MemLatency < 0 {
+			return job, fmt.Errorf("mem_latency must be non-negative")
+		}
+		cfg.MemLatency = js.MemLatency
+	}
 	if js.MaxRecords < 0 {
 		return job, fmt.Errorf("max_records must be non-negative")
 	}
 	cfg.MaxRecords = js.MaxRecords
+	// A wide machine squashes deeper than the preset's stream rewind
+	// window; grow it to keep Validate's constraint satisfied for any
+	// accepted override (Validate panics are programming errors, and a
+	// panic in an engine worker would take the whole service down).
+	if need := cfg.MaxSquashDepth(); cfg.StreamWindow < need {
+		cfg.StreamWindow = need
+	}
 
 	job = sim.SimJob{
 		Prepare:  sim.PrepareKey{Bench: js.Bench, Input: input},

@@ -112,6 +112,7 @@ func TestSimulateValidation(t *testing.T) {
 		{Bench: "sha", Entries: -4},               // negative MGT
 		{Bench: "sha", SchedCycles: 3},            // bad scheduler
 		{Bench: "sha", Baseline: true, Width: -1}, // bad width
+		{Bench: "sha", MemLatency: -5},            // negative memory latency
 	}
 	for i, js := range cases {
 		resp, out := postJSON(t, ts.URL+"/v1/simulate", js)
@@ -129,6 +130,37 @@ func TestSimulateValidation(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("typoed field accepted: %d", resp.StatusCode)
+	}
+}
+
+// TestMemLatencyOverride pins the mem_latency machine override: it is the
+// documented route to configurations whose memory latency chains exceed the
+// event wheel's page size (see the uarch overflow regression tests).
+func TestMemLatencyOverride(t *testing.T) {
+	js := JobSpec{Bench: "sha", Baseline: true, MemLatency: 3000}
+	job, err := js.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Config.MemLatency != 3000 {
+		t.Errorf("mem_latency override not applied: %d", job.Config.MemLatency)
+	}
+	if def, err := (JobSpec{Bench: "sha", Baseline: true}).Resolve(); err != nil || def.Config.MemLatency != 0 {
+		t.Errorf("default jobs must leave MemLatency at the preset zero (got %d, %v)", def.Config.MemLatency, err)
+	}
+}
+
+// TestWideWidthOverrideDoesNotPanic: any width Resolve accepts must produce
+// a config Validate accepts — a Validate panic would fire inside an engine
+// worker goroutine and kill the whole service.
+func TestWideWidthOverrideDoesNotPanic(t *testing.T) {
+	job, err := (JobSpec{Bench: "sha", Baseline: true, Width: 400}).Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.Config.Validate() // panics on failure
+	if need := job.Config.MaxSquashDepth(); job.Config.StreamWindow < need {
+		t.Errorf("stream window %d below squash depth %d", job.Config.StreamWindow, need)
 	}
 }
 

@@ -14,7 +14,12 @@ import (
 // core.Selection or the envelope below must bump it: persisted entries
 // written under an older version then read back as misses instead of
 // decoding into garbage.
-const CodecVersion = 1
+//
+// Version history:
+//
+//	1: initial encoding.
+//	2: uarch.Config grew MemLatency (configurable DRAM latency).
+const CodecVersion = 2
 
 // envelope is the versioned wrapper around every encoded value. Payload
 // stays raw so encode→decode→encode is byte-stable for any payload the

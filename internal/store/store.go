@@ -16,8 +16,12 @@
 //     deleted, never an error.
 //   - The store is LRU-bounded: when the configured byte budget is
 //     exceeded, least-recently-used entries are evicted. Recency survives
-//     process restarts via file modification times (a hit re-touches the
-//     entry).
+//     process restarts via file modification times plus a persisted
+//     monotonic sequence sidecar: coarse-mtime filesystems (1s or worse)
+//     tie whole bursts of writes, so ordering is (mtime, sequence, key) —
+//     the sequence disambiguates same-process bursts, and the key breaks
+//     any remaining tie so every process reconstructs the same eviction
+//     order. Sidecars are a few bytes and are not charged to the budget.
 package store
 
 import (
@@ -29,6 +33,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -95,6 +100,11 @@ type Store struct {
 	misses    atomic.Int64
 	puts      atomic.Int64
 	evictions atomic.Int64
+
+	// seq is the recency sequence: every Put and every Get hit takes the
+	// next value and persists it in the entry's sidecar. Open resumes it
+	// past the largest value found on disk.
+	seq atomic.Int64
 }
 
 // Open opens (creating if needed) the store rooted at dir and indexes the
@@ -120,8 +130,10 @@ func Open(dir string, opts Options) (*Store, error) {
 		path string
 		size int64
 		mod  time.Time
+		seq  int64
 	}
 	var entries []found
+	var sidecars []string
 	stale := time.Now().Add(-10 * time.Minute)
 	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
 		if err != nil || info.IsDir() {
@@ -134,6 +146,12 @@ func Open(dir string, opts Options) (*Store, error) {
 			}
 			return nil
 		}
+		if strings.HasSuffix(name, seqSuffix) {
+			if info.ModTime().Before(stale) {
+				sidecars = append(sidecars, path) // orphan-sweep candidate
+			}
+			return nil
+		}
 		hash := name[:len(name)-len(filepath.Ext(name))]
 		if filepath.Ext(name) != ".json" || len(hash) != sha256.Size*2 {
 			return nil
@@ -141,18 +159,45 @@ func Open(dir string, opts Options) (*Store, error) {
 		if _, err := hex.DecodeString(hash); err != nil {
 			return nil
 		}
-		entries = append(entries, found{hash: hash, path: path, size: info.Size(), mod: info.ModTime()})
+		entries = append(entries, found{hash: hash, path: path, size: info.Size(),
+			mod: info.ModTime(), seq: readSeq(path)})
 		return nil
 	})
 	if err != nil {
 		return nil, fmt.Errorf("store: index %s: %w", root, err)
 	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].mod.Before(entries[j].mod) })
+	// Recency order, least recent first. Modification time is the
+	// cross-process signal; the persisted sequence orders writes that a
+	// coarse-mtime filesystem has tied; the key settles whatever remains,
+	// so every process opening this directory reconstructs one order.
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if !a.mod.Equal(b.mod) {
+			return a.mod.Before(b.mod)
+		}
+		if a.seq != b.seq {
+			return a.seq < b.seq
+		}
+		return a.hash < b.hash
+	})
+	maxSeq := int64(0)
 	for _, f := range entries {
 		e := &indexed{hash: f.hash, path: f.path, size: f.size}
 		e.elem = s.lru.PushFront(e)
 		s.index[f.hash] = e
 		s.bytes += f.size
+		if f.seq > maxSeq {
+			maxSeq = f.seq
+		}
+	}
+	s.seq.Store(maxSeq)
+	// Sweep sidecars orphaned by a crashed eviction (entry gone, sidecar
+	// left behind). Only stale ones: a fresh sidecar may belong to a Put
+	// that is completing in another process right now.
+	for _, sc := range sidecars {
+		if _, err := os.Stat(strings.TrimSuffix(sc, seqSuffix)); os.IsNotExist(err) {
+			_ = os.Remove(sc)
+		}
 	}
 	// A directory warmed under a larger (or unbounded) budget is trimmed
 	// to this store's bound immediately, not only on the next Put.
@@ -160,7 +205,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	victims := s.evictLocked()
 	s.mu.Unlock()
 	for _, v := range victims {
-		_ = os.Remove(v)
+		removeEntry(v)
 	}
 	return s, nil
 }
@@ -198,6 +243,59 @@ func (s *Store) pathFor(hash string) string {
 func hashKey(key []byte) string {
 	sum := sha256.Sum256(key)
 	return hex.EncodeToString(sum[:])
+}
+
+// seqSuffix names the recency sidecar next to each entry file.
+const seqSuffix = ".seq"
+
+// readSeq parses the sidecar for the entry at path; damaged or missing
+// sidecars read as 0 (ordering then falls back to mtime and key).
+func readSeq(path string) int64 {
+	data, err := os.ReadFile(path + seqSuffix)
+	if err != nil {
+		return 0
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(string(data)), 10, 64)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// touch persists recency for the entry at path: mtime for cross-process
+// ordering, the next sequence for same-mtime disambiguation. Best-effort —
+// the in-memory LRU stays exact regardless.
+func (s *Store) touch(path string) {
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
+	seq := s.seq.Add(1)
+	// Stage-and-rename like the entry files: concurrent cross-process
+	// touches of one entry must settle on one intact sidecar, never a torn
+	// mix of two writes (a torn value would fabricate a recency neither
+	// process issued).
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-")
+	if err == nil {
+		_, werr := tmp.Write(strconv.AppendInt(nil, seq, 10))
+		if cerr := tmp.Close(); werr == nil && cerr == nil {
+			if os.Rename(tmp.Name(), path+seqSuffix) != nil {
+				_ = os.Remove(tmp.Name())
+			}
+		} else {
+			_ = os.Remove(tmp.Name())
+		}
+	}
+	// A concurrent eviction may have removed the entry (and its sidecar)
+	// between our lock release and the write above; don't leave an orphan
+	// sidecar behind for the lifetime of the process.
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		_ = os.Remove(path + seqSuffix)
+	}
+}
+
+// removeEntry deletes an evicted entry file together with its sidecar.
+func removeEntry(path string) {
+	_ = os.Remove(path)
+	_ = os.Remove(path + seqSuffix)
 }
 
 // Get returns the value stored under key, or (nil, false). Damaged or
@@ -249,10 +347,9 @@ func (s *Store) Get(key []byte) ([]byte, bool) {
 	}
 	s.mu.Unlock()
 	for _, v := range victims {
-		_ = os.Remove(v)
+		removeEntry(v)
 	}
-	now := time.Now()
-	_ = os.Chtimes(path, now, now) // persist recency; best-effort
+	s.touch(path)
 
 	s.hits.Add(1)
 	return val, true
@@ -285,7 +382,7 @@ func (s *Store) drop(hash string, remove bool) {
 		if ok {
 			path = e.path
 		}
-		_ = os.Remove(path)
+		removeEntry(path)
 	}
 }
 
@@ -333,8 +430,9 @@ func (s *Store) Put(key, value []byte) error {
 	s.mu.Unlock()
 
 	for _, v := range victims {
-		_ = os.Remove(v)
+		removeEntry(v)
 	}
+	s.touch(path)
 	s.puts.Add(1)
 	return nil
 }

@@ -101,7 +101,7 @@ func TestCorruptEntriesAreMisses(t *testing.T) {
 		}
 	}
 	err := filepath.Walk(s.Dir(), func(p string, info os.FileInfo, err error) error {
-		if err == nil && !info.IsDir() {
+		if err == nil && !info.IsDir() && filepath.Ext(p) == ".json" {
 			paths = append(paths, p)
 		}
 		return nil
@@ -313,5 +313,98 @@ func TestUnboundedAndDefault(t *testing.T) {
 	}
 	if st := u.Stats(); st.Evictions != 0 || st.Entries != 20 {
 		t.Errorf("unbounded store evicted: %+v", st)
+	}
+}
+
+// tieMtimes forces the identical modification time onto every entry file,
+// simulating a coarse-mtime filesystem where a burst of writes ties.
+func tieMtimes(t *testing.T, s *Store, keys [][]byte) {
+	t.Helper()
+	tie := time.Now().Add(-time.Hour).Truncate(time.Second)
+	for _, k := range keys {
+		if err := os.Chtimes(s.pathFor(hashKey(k)), tie, tie); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestEvictionOrderDeterministicUnderMtimeTies pins the persisted-sequence
+// recency: with every entry mtime tied (coarse filesystem), a reopening
+// process must still reconstruct the true LRU order from the sequence
+// sidecars, so cross-process eviction picks the genuinely oldest entries.
+func TestEvictionOrderDeterministicUnderMtimeTies(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, -1)
+	keys := [][]byte{[]byte("tie-a"), []byte("tie-b"), []byte("tie-c"), []byte("tie-d")}
+	val := bytes.Repeat([]byte("v"), 100)
+	for _, k := range keys {
+		if err := s.Put(k, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Promote tie-a to most recent, then tie every mtime.
+	if _, ok := s.Get(keys[0]); !ok {
+		t.Fatal("miss on just-written key")
+	}
+	tieMtimes(t, s, keys)
+	size := s.Stats().Bytes / int64(len(keys))
+
+	// Room for two entries: the reopened store must keep tie-d and tie-a
+	// (most recent by sequence) and evict tie-b, tie-c — mtime alone cannot
+	// tell them apart.
+	s2 := open(t, dir, 2*size)
+	if s2.Len() != 2 {
+		t.Fatalf("want 2 survivors, have %d", s2.Len())
+	}
+	for i, want := range []bool{true, false, false, true} {
+		if _, ok := s2.Get(keys[i]); ok != want {
+			t.Errorf("%s: survived=%v, want %v", keys[i], ok, want)
+		}
+	}
+}
+
+// TestEvictionTieBreakByKeyWithoutSidecars covers the fallback total order:
+// with no sidecars at all and every mtime tied, eviction order is still
+// deterministic (keys break the tie), so two processes sharing a directory
+// agree on the victims no matter what order the entries were written in.
+func TestEvictionTieBreakByKeyWithoutSidecars(t *testing.T) {
+	keys := [][]byte{[]byte("kb-0"), []byte("kb-1"), []byte("kb-2"), []byte("kb-3")}
+	val := bytes.Repeat([]byte("v"), 100)
+	survivors := func(order []int) string {
+		dir := t.TempDir()
+		s := open(t, dir, -1)
+		for _, i := range order {
+			if err := s.Put(keys[i], val); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Strip the sequence sidecars and tie every mtime: nothing but the
+		// key is left to order on.
+		if err := filepath.Walk(s.Dir(), func(path string, info os.FileInfo, err error) error {
+			if err == nil && !info.IsDir() && filepath.Ext(path) == seqSuffix {
+				return os.Remove(path)
+			}
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		tieMtimes(t, s, keys)
+		size := s.Stats().Bytes / int64(len(keys))
+		s2 := open(t, dir, 2*size)
+		out := ""
+		for i, k := range keys {
+			if _, ok := s2.Get(k); ok {
+				out += fmt.Sprintf("%d", i)
+			}
+		}
+		return out
+	}
+	a := survivors([]int{0, 1, 2, 3})
+	b := survivors([]int{3, 2, 1, 0})
+	if a != b {
+		t.Errorf("eviction order depends on write order under tied mtimes: %q vs %q", a, b)
+	}
+	if len(a) != 2 {
+		t.Errorf("want 2 survivors, got %q", a)
 	}
 }

@@ -13,6 +13,7 @@ package alupipe
 type Pipe struct {
 	depth   int
 	outBusy []bool // ring: output port reserved at cycle c
+	mask    int64  // len(outBusy)-1; the ring is a power of two
 	ring    int64
 
 	Accepted  int64 // operations entered
@@ -20,10 +21,15 @@ type Pipe struct {
 }
 
 // New builds a pipeline with the given stage count (the paper uses 4-stage
-// pipelines in place of two of the baseline's four ALUs).
+// pipelines in place of two of the baseline's four ALUs). The reservation
+// ring is sized to the next power of two so the per-cycle slot math is a
+// mask instead of a division.
 func New(depth int) *Pipe {
-	size := 4 * (depth + 2)
-	return &Pipe{depth: depth, outBusy: make([]bool, size)}
+	size := 1
+	for size < 4*(depth+2) {
+		size <<= 1
+	}
+	return &Pipe{depth: depth, outBusy: make([]bool, size), mask: int64(size - 1)}
 }
 
 // Depth returns the stage count.
@@ -38,12 +44,12 @@ func (p *Pipe) CanAccept(now int64, outLat int) bool {
 	if outLat < 1 || outLat > p.depth {
 		return false
 	}
-	return !p.outBusy[(now+int64(outLat))%int64(len(p.outBusy))]
+	return !p.outBusy[(now+int64(outLat))&p.mask]
 }
 
 // Accept reserves the output port for an operation entering at now.
 func (p *Pipe) Accept(now int64, outLat int) {
-	p.outBusy[(now+int64(outLat))%int64(len(p.outBusy))] = true
+	p.outBusy[(now+int64(outLat))&p.mask] = true
 	p.Accepted++
 	p.OutsTaken++
 }
@@ -51,13 +57,13 @@ func (p *Pipe) Accept(now int64, outLat int) {
 // Release clears a reservation (used when a mini-graph replays after an
 // interior-load miss before producing its output).
 func (p *Pipe) Release(at int64) {
-	p.outBusy[at%int64(len(p.outBusy))] = false
+	p.outBusy[at&p.mask] = false
 }
 
 // Tick advances the ring: the slot for the cycle that just passed is
 // recycled. Call once per simulated cycle with the new current cycle.
 func (p *Pipe) Tick(now int64) {
 	// Clear the slot that is now exactly one full ring behind.
-	p.outBusy[(now+int64(len(p.outBusy))-1)%int64(len(p.outBusy))] = false
+	p.outBusy[(now-1)&p.mask] = false
 	p.ring = now
 }

@@ -64,10 +64,12 @@ type line struct {
 
 // Cache is one level of the hierarchy. Misses recurse into the next level
 // (or the bus at the last level). The model is latency/occupancy based:
-// each access returns the cycle at which its data is available.
+// each access returns the cycle at which its data is available. Lines live
+// in one flat set-major slab so an access touches a single contiguous run
+// of Assoc entries.
 type Cache struct {
 	cfg      Config
-	sets     [][]line
+	lines    []line // nsets × Assoc, set-major
 	setShift uint
 	setMask  uint64
 	next     *Cache
@@ -84,10 +86,7 @@ type Cache struct {
 func New(cfg Config, next *Cache, bus *Bus) *Cache {
 	nsets := cfg.Size / (cfg.LineSize * cfg.Assoc)
 	c := &Cache{cfg: cfg, next: next, bus: bus}
-	c.sets = make([][]line, nsets)
-	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Assoc)
-	}
+	c.lines = make([]line, nsets*cfg.Assoc)
 	for c.setShift = 0; 1<<c.setShift < cfg.LineSize; c.setShift++ {
 	}
 	c.setMask = uint64(nsets - 1)
@@ -109,7 +108,8 @@ func (c *Cache) Access(now int64, addr isa.Addr, write bool) (readyAt int64, hit
 	c.Accesses++
 	set := (uint64(addr) >> c.setShift) & c.setMask
 	tag := uint64(addr) >> c.setShift / (c.setMask + 1)
-	ways := c.sets[set]
+	base := int(set) * c.cfg.Assoc
+	ways := c.lines[base : base+c.cfg.Assoc]
 	c.lruClock++
 	for w := range ways {
 		if ways[w].valid && ways[w].tag == tag {

@@ -61,6 +61,12 @@ type Config struct {
 	// LoadLat is the load-to-use hit latency.
 	LoadLat int
 
+	// MemLatency is the DRAM access latency in core cycles behind the L2
+	// (0 = the paper's 100 cycles). Latency chains built from this value
+	// plus bus queueing can stretch thousands of cycles; the pipeline's
+	// event wheel handles arbitrarily distant wakeups exactly.
+	MemLatency int
+
 	// Collapse enables pair-wise collapsing ALU pipelines (§6.2).
 	Collapse bool
 
@@ -142,6 +148,20 @@ func MiniGraph(intMem bool) Config {
 	return c
 }
 
+// FrontendCapacity returns the fetch-to-rename pipe depth in uops.
+func (c *Config) FrontendCapacity() int {
+	return c.FrontendDepth*c.FetchWidth + c.FetchWidth
+}
+
+// MaxSquashDepth returns the deepest possible stream rewind: everything in
+// the ROB plus everything in the front end. StreamWindow must cover it;
+// every layer that sizes or validates against the squash depth (Validate,
+// the pipeline's front-end ring, the serve-layer override guard) must use
+// this one definition.
+func (c *Config) MaxSquashDepth() int {
+	return c.ROBSize + c.FrontendCapacity()
+}
+
 // Validate panics on impossible configurations; configs are produced by
 // code, so an invalid one is a programming error.
 func (c *Config) Validate() {
@@ -154,7 +174,9 @@ func (c *Config) Validate() {
 		panic("uarch: too few physical registers")
 	case c.IntALUs+c.APs == 0:
 		panic("uarch: no integer units")
-	case c.StreamWindow < c.ROBSize+c.FrontendDepth*c.FetchWidth+c.FetchWidth:
+	case c.MemLatency < 0:
+		panic("uarch: negative memory latency")
+	case c.StreamWindow < c.MaxSquashDepth():
 		panic("uarch: stream window smaller than maximum squash depth")
 	}
 }

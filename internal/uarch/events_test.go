@@ -1,0 +1,130 @@
+package uarch
+
+import (
+	"math/rand"
+	"testing"
+
+	"minigraph/internal/asm"
+)
+
+// TestScheduleBeyondOldHorizonFiresExactly is the regression test for the
+// event-wheel overflow bug: the previous fixed 1024-slot wheel CLAMPED any
+// event scheduled ≥ 1024 cycles out to cycle+1023, silently firing
+// long-latency completions early. Against that implementation this test
+// fails (the uop completes at cycle 1023); with the hierarchical wheel +
+// overflow bucket the event fires at exactly the scheduled cycle.
+func TestScheduleBeyondOldHorizonFiresExactly(t *testing.T) {
+	prog := asm.MustAssemble("x", "main: halt\n")
+	for _, dist := range []int64{1, 2, 1023, 1024, 1025, 3000, wheelSpan - 1, wheelSpan, wheelSpan + 5, 3 * wheelSpan} {
+		p := New(Baseline(), prog, nil)
+		u := p.newUop()
+		p.schedule(p.cycle+dist, evComplete, u)
+		var firedAt int64 = -1
+		for c := int64(0); c <= dist+10; c++ {
+			p.cycle++
+			p.processEvents()
+			if u.completed {
+				firedAt = p.cycle
+				break
+			}
+		}
+		if firedAt != dist {
+			t.Errorf("event scheduled %d cycles out fired at cycle %d, want exactly %d", dist, firedAt, dist)
+		}
+	}
+}
+
+// TestEventWheelRandomizedExactness hammers the wheel with events scheduled
+// from random cycles at random distances — spanning the near wheel, the far
+// wheel and the sorted overflow bucket — and checks every single one fires
+// at exactly its scheduled cycle, in scheduling order within a cycle.
+func TestEventWheelRandomizedExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var w eventWheel
+	const horizon = 600_000
+	want := make(map[int64]int) // fire cycle -> expected events
+	u := &uop{}
+
+	pending := 0
+	for now := int64(0); now <= horizon; now++ {
+		if now > 0 {
+			for _, e := range w.take(now) {
+				if e.at != now {
+					t.Fatalf("event for cycle %d fired at cycle %d", e.at, now)
+				}
+				want[now]--
+				pending--
+			}
+			if want[now] != 0 {
+				t.Fatalf("cycle %d: %d scheduled events did not fire", now, want[now])
+			}
+			delete(want, now)
+		}
+		if now < horizon-3*wheelSpan && rng.Intn(4) == 0 {
+			n := rng.Intn(3) + 1
+			for i := 0; i < n; i++ {
+				var dist int64
+				switch rng.Intn(4) {
+				case 0:
+					dist = 1 + rng.Int63n(nearSlots)
+				case 1:
+					dist = 1 + rng.Int63n(wheelSpan)
+				case 2:
+					dist = wheelSpan + rng.Int63n(wheelSpan)
+				default:
+					dist = 1 + rng.Int63n(3*wheelSpan)
+				}
+				w.add(now, event{at: now + dist, u: u, epoch: u.epoch})
+				want[now+dist]++
+				pending++
+			}
+		}
+	}
+	if pending != 0 {
+		t.Errorf("%d events never fired", pending)
+	}
+	if len(w.overflow) != 0 {
+		t.Errorf("%d events stranded in the overflow bucket", len(w.overflow))
+	}
+}
+
+// TestMemLatencyBeyondWheelCompletesCorrectly runs a real program whose
+// memory latency chain exceeds the old 1024-cycle horizon end to end: a
+// cold load miss with MemLatency 2500 must stretch the run by (close to)
+// the full latency, and raising the latency further must shift the cycle
+// count by exactly the difference. Such configurations are reachable from
+// the outside via the mgserve mem_latency machine override.
+func TestMemLatencyBeyondWheelCompletesCorrectly(t *testing.T) {
+	src := `
+        .data
+buf:    .space 64
+        .text
+main:   ldq  r1, buf(zero)
+        addq r1, 1, r2
+        stq  r2, buf(zero)
+        halt
+`
+	prog := asm.MustAssemble("coldmiss", src)
+	runWith := func(memLat int) int64 {
+		cfg := Baseline()
+		cfg.MemLatency = memLat
+		res, err := New(cfg, prog, nil).Run(t.Context())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles
+	}
+	base := runWith(2500)
+	if base < 2500 {
+		t.Errorf("cold-miss run with MemLatency 2500 finished in %d cycles — the dependent add issued before the data arrived", base)
+	}
+	// The run takes exactly two serialized memory-latency hits: the cold
+	// instruction-cache miss for the one-line program, then the cold data
+	// miss. A latency increase must therefore shift the cycle count by
+	// exactly twice the difference — any other shift means a long-latency
+	// event fired at the wrong cycle.
+	far := runWith(4500)
+	if diff := far - base; diff != 2*2000 {
+		t.Errorf("raising MemLatency by 2000 shifted the run by %d cycles, want exactly 4000 (base %d, far %d)", diff, base, far)
+	}
+}

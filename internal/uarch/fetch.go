@@ -3,7 +3,6 @@ package uarch
 import (
 	"minigraph/internal/emu"
 	"minigraph/internal/isa"
-	"minigraph/internal/uarch/rename"
 )
 
 // fetch models the front end: instruction-cache access, branch/target
@@ -18,9 +17,8 @@ func (p *Pipeline) fetch() {
 	if p.pendingBr != nil || p.cycle < p.fetchStall || p.cycle < p.icacheFill {
 		return
 	}
-	capacity := p.cfg.FrontendDepth*p.cfg.FetchWidth + p.cfg.FetchWidth
 	slots := p.cfg.FetchWidth
-	for slots > 0 && len(p.frontend) < capacity {
+	for slots > 0 && !p.frontend.full() {
 		var rec *emu.Record
 		if p.pendingRec != nil {
 			rec, p.pendingRec = p.pendingRec, nil
@@ -49,8 +47,8 @@ func (p *Pipeline) fetch() {
 			continue
 		}
 
-		u := &uop{rec: *rec, dest: rename.NoReg, prev: rename.NoReg,
-			fwdFrom: -1, waitSt: -1, resWrPortAt: -1, resAP: -1}
+		u := p.newUop()
+		u.rec = *rec
 		if rec.MGID >= 0 {
 			u.tmpl = p.mgt.Template(rec.MGID)
 			u.mg = p.mgt.Info(rec.MGID)
@@ -60,7 +58,7 @@ func (p *Pipeline) fetch() {
 		if rec.IsCtrl {
 			stop = p.predictControl(u)
 		}
-		p.frontend = append(p.frontend, feEntry{u: u, readyAt: p.cycle + int64(p.cfg.FrontendDepth)})
+		p.frontend.push(feEntry{u: u, readyAt: p.cycle + int64(p.cfg.FrontendDepth)})
 		if stop {
 			return
 		}
@@ -129,8 +127,8 @@ func (p *Pipeline) predictControl(u *uop) (stopFetch bool) {
 // LSQ entry, at most one physical register — this is where rename
 // bandwidth and register-file capacity amplification come from.
 func (p *Pipeline) dispatch() {
-	for n := 0; n < p.cfg.RenameWidth && len(p.frontend) > 0; n++ {
-		fe := p.frontend[0]
+	for n := 0; n < p.cfg.RenameWidth && p.frontend.len() > 0; n++ {
+		fe := p.frontend.front()
 		if fe.readyAt > p.cycle {
 			return
 		}
@@ -152,7 +150,7 @@ func (p *Pipeline) dispatch() {
 			p.stats.StallRegs++
 			return
 		}
-		p.frontend = p.frontend[1:]
+		p.frontend.popFront()
 
 		// Rename sources then destination (same-register reuse within one
 		// instruction reads the old mapping, as in hardware).

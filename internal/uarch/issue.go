@@ -12,23 +12,6 @@ import (
 // ports, and — for integer-memory handles — the FUBMP mass reservation and
 // the one-heterogeneous-handle-per-cycle rule (§4.3).
 func (p *Pipeline) issue() {
-	// Compact the scheduler. Singleton entries free at issue (held two extra
-	// cycles so the speculative-wake-up replay shadow can still reach them);
-	// loads hold their entries until the data is confirmed, and handles free
-	// theirs when the MGST sequencer reaches the terminal instruction
-	// (completion) — §4.1.
-	iq := p.iq[:0]
-	for _, u := range p.iq {
-		switch {
-		case !u.inIQ || u.squashed:
-		case u.issued && u.iqFreeAt > 0 && p.cycle >= u.iqFreeAt:
-			u.inIQ = false
-		default:
-			iq = append(iq, u)
-		}
-	}
-	p.iq = iq
-
 	slots := p.cfg.IssueWidth
 	readPorts := p.cfg.RFReadPorts
 	intMemBudget := p.cfg.IntMemIssuePerCycle
@@ -36,11 +19,25 @@ func (p *Pipeline) issue() {
 		p.apBusy[i] = false
 	}
 
+	// One pass does both jobs: compact the scheduler in place (write index
+	// trails read index over the same backing array) and select oldest-first
+	// among the survivors. Entry release policy — §4.1: singleton entries
+	// free at issue (held two extra cycles so the speculative-wake-up replay
+	// shadow can still reach them); loads hold their entries until the data
+	// is confirmed, and handles free theirs when the MGST sequencer reaches
+	// the terminal instruction (completion).
+	iq := p.iq[:0]
 	for _, u := range p.iq {
-		if slots == 0 {
-			break
+		switch {
+		case !u.inIQ || u.squashed:
+			continue
+		case u.issued && u.iqFreeAt > 0 && p.cycle >= u.iqFreeAt:
+			u.inIQ = false
+			continue
+		default:
+			iq = append(iq, u)
 		}
-		if u.issued || u.cycleBlocked(p) {
+		if slots == 0 || u.issued || u.cycleBlocked(p) {
 			continue
 		}
 		nports := 0
@@ -120,6 +117,7 @@ func (p *Pipeline) issue() {
 		}
 		p.schedule(p.cycle+int64(total), evComplete, u)
 	}
+	p.iq = iq
 }
 
 // cycleBlocked reports scheduling holds that are not operand readiness.

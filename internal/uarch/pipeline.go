@@ -24,6 +24,35 @@ type feEntry struct {
 	readyAt int64
 }
 
+// feRing is the fetch-to-rename pipe: a fixed-capacity ring of feEntry,
+// sized once at construction so the steady-state front end never allocates.
+type feRing struct {
+	buf  []feEntry
+	head int
+	n    int
+}
+
+func newFERing(capacity int) feRing { return feRing{buf: make([]feEntry, capacity)} }
+
+func (r *feRing) len() int   { return r.n }
+func (r *feRing) full() bool { return r.n == len(r.buf) }
+func (r *feRing) front() *feEntry {
+	return &r.buf[r.head]
+}
+
+func (r *feRing) push(e feEntry) {
+	r.buf[(r.head+r.n)%len(r.buf)] = e
+	r.n++
+}
+
+func (r *feRing) popFront() feEntry {
+	e := r.buf[r.head]
+	r.buf[r.head] = feEntry{}
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return e
+}
+
 // Pipeline is one simulated machine instance bound to one program run.
 type Pipeline struct {
 	cfg    Config
@@ -47,9 +76,18 @@ type Pipeline struct {
 	rob      *rob
 	iq       []*uop
 	lsq      *rob // reuse ring structure for the load/store queue
-	frontend []feEntry
+	frontend feRing
 
-	events     [][]event
+	// uopPool recycles uop structures: a uop returns to the pool once it is
+	// dead (retired or squashed) AND every event scheduled against it has
+	// drained from the wheel. Recycling bumps the epoch, so an event that
+	// somehow survived drains as a stale no-op rather than waking the
+	// reincarnated uop. uopAllocs counts pool misses (fresh allocations);
+	// in steady state it stays pinned near the machine's in-flight capacity.
+	uopPool   []*uop
+	uopAllocs int64
+
+	wheel      eventWheel
 	cycle      int64
 	fetchStall int64 // no fetch before this cycle
 	icacheFill int64
@@ -73,34 +111,30 @@ const (
 	evResolve
 )
 
-type event struct {
-	kind  evKind
-	u     *uop
-	epoch int
-}
-
-const eventHorizon = 1024
-
 // New builds a pipeline for prog. mgt may be nil for plain binaries.
 func New(cfg Config, prog *isa.Program, mgt *core.MGT) *Pipeline {
 	cfg.Validate()
 	m := emu.NewMachine(prog, mgt)
 	p := &Pipeline{
-		cfg:    cfg,
-		stream: emu.NewStream(m, cfg.StreamWindow, cfg.MaxRecords),
-		mgt:    mgt,
-		pred:   bpred.New(cfg.BPred),
-		ssets:  storesets.New(cfg.StoreSets),
-		bus:    cache.NewBus(),
-		ren:    rename.New(cfg.PhysRegs),
-		rob:    newROB(cfg.ROBSize),
-		lsq:    newROB(cfg.LSQSize),
-		events: make([][]event, eventHorizon),
+		cfg:      cfg,
+		stream:   emu.NewStream(m, cfg.StreamWindow, cfg.MaxRecords),
+		mgt:      mgt,
+		pred:     bpred.New(cfg.BPred),
+		ssets:    storesets.New(cfg.StoreSets),
+		bus:      cache.NewBus(),
+		ren:      rename.New(cfg.PhysRegs),
+		rob:      newROB(cfg.ROBSize),
+		lsq:      newROB(cfg.LSQSize),
+		iq:       make([]*uop, 0, cfg.IQSize),
+		frontend: newFERing(cfg.FrontendCapacity()),
+	}
+	if cfg.MemLatency > 0 {
+		p.bus.MemLat = cfg.MemLatency
 	}
 	p.l2 = cache.New(cfg.L2, nil, p.bus)
 	p.icache = cache.New(cfg.ICache, p.l2, nil)
 	p.dcache = cache.New(cfg.DCache, p.l2, nil)
-	p.window = sched.NewWindow(cfg.WindowHorizon, map[sched.Resource]int{
+	p.window = sched.NewWindow(cfg.WindowHorizon, sched.Capacities{
 		sched.ResALU:    cfg.IntALUs,
 		sched.ResAP:     cfg.APs,
 		sched.ResLoad:   cfg.LoadPorts,
@@ -166,43 +200,89 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 }
 
 func (p *Pipeline) done() bool {
-	return p.rob.empty() && len(p.frontend) == 0 && p.pendingRec == nil &&
+	return p.rob.empty() && p.frontend.len() == 0 && p.pendingRec == nil &&
 		p.pendingBr == nil && p.stream.Exhausted()
+}
+
+// ---------- uop pool ----------
+
+// newUop returns a blank uop, recycled when possible. Pool invariants are
+// enforced by panic: a pooled uop has no live references, so a violation is
+// simulator memory corruption and must not be survivable.
+func (p *Pipeline) newUop() *uop {
+	if n := len(p.uopPool); n > 0 {
+		u := p.uopPool[n-1]
+		p.uopPool = p.uopPool[:n-1]
+		if !u.pooled || u.pendingEv != 0 {
+			panic("uarch: uop pool handed out a live uop")
+		}
+		u.pooled = false
+		return u
+	}
+	p.uopAllocs++
+	u := &uop{}
+	u.reset(0)
+	u.pooled = false
+	return u
+}
+
+// kill marks u dead (retired or squashed) and recycles it if no scheduled
+// events still reference it; otherwise processEvents recycles it when the
+// last event drains.
+func (p *Pipeline) kill(u *uop) {
+	u.dead = true
+	if u.pendingEv == 0 {
+		p.recycle(u)
+	}
+}
+
+func (p *Pipeline) recycle(u *uop) {
+	// Bump the epoch across the reset so any event that escaped accounting
+	// can never match the reincarnated uop.
+	u.reset(u.epoch + 1)
+	u.pooled = true
+	p.uopPool = append(p.uopPool, u)
 }
 
 // ---------- events ----------
 
 func (p *Pipeline) schedule(at int64, kind evKind, u *uop) {
+	if u.pooled {
+		panic("uarch: scheduling an event on a pooled uop")
+	}
 	if at <= p.cycle {
 		at = p.cycle + 1
 	}
-	if at-p.cycle >= eventHorizon {
-		at = p.cycle + eventHorizon - 1
-	}
-	slot := at % eventHorizon
-	p.events[slot] = append(p.events[slot], event{kind: kind, u: u, epoch: u.epoch})
+	u.pendingEv++
+	p.wheel.add(p.cycle, event{at: at, kind: kind, u: u, epoch: u.epoch})
 }
 
 func (p *Pipeline) processEvents() {
-	slot := p.cycle % eventHorizon
-	evs := p.events[slot]
-	p.events[slot] = nil
+	evs := p.wheel.take(p.cycle)
+	if len(evs) == 0 {
+		return
+	}
 	// Miss discoveries first: they may replay uops whose completion events
-	// fire this very cycle.
+	// fire this very cycle. No event accounting here — the second pass
+	// consumes every event exactly once.
 	for _, e := range evs {
 		if e.kind == evMissDiscover && e.epoch == e.u.epoch && !e.u.squashed {
 			p.onMissDiscover(e.u)
 		}
 	}
 	for _, e := range evs {
-		if e.epoch != e.u.epoch || e.u.squashed {
-			continue
+		u := e.u
+		u.pendingEv--
+		if e.epoch == u.epoch && !u.squashed {
+			switch e.kind {
+			case evComplete:
+				p.onComplete(u)
+			case evResolve:
+				p.onResolve(u)
+			}
 		}
-		switch e.kind {
-		case evComplete:
-			p.onComplete(e.u)
-		case evResolve:
-			p.onResolve(e.u)
+		if u.dead && u.pendingEv == 0 {
+			p.recycle(u)
 		}
 	}
 }

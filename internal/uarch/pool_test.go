@@ -1,0 +1,185 @@
+package uarch
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"minigraph/internal/asm"
+	"minigraph/internal/core"
+	"minigraph/internal/emu"
+	"minigraph/internal/program"
+	"minigraph/internal/rewrite"
+)
+
+// genSquashHeavy builds a randomized kernel designed to exercise every uop
+// death path at once: slowly-formed store addresses racing same-address
+// loads (memory-ordering violations → full squashes), loads striding a
+// region far larger than L1D (miss replays, and mini-graph whole-handle
+// replays once rewritten), and data-dependent branches (mispredict stalls,
+// resolve events that can outlive their branch's retirement).
+func genSquashHeavy(rng *rand.Rand, iters int) string {
+	src := `
+        .data
+slot:   .space 128
+big:    .space 8
+        .text
+main:   li   r9, ` + fmt.Sprint(iters) + `
+        li   r1, 1
+        li   r7, 0
+        lda  r12, slot(zero)
+loop:
+`
+	ops := []func(k int) string{
+		func(k int) string { return fmt.Sprintf("        addq r1, %d, r1\n", k) },
+		func(int) string { return "        xor  r1, r9, r2\n" },
+		func(k int) string { return fmt.Sprintf("        addl r2, %d, r3\n", k) },
+		func(int) string { return "        srl  r1, 3, r4\n" },
+		func(int) string { return "        sll  r4, 1, r5\n" },
+	}
+	n := 3 + rng.Intn(6)
+	for i := 0; i < n; i++ {
+		src += ops[rng.Intn(len(ops))](1 + rng.Intn(7))
+	}
+	if rng.Intn(3) != 0 {
+		// Slow store address, then an immediate same-address load: the load
+		// speculates ahead and violates until store sets learn the pair.
+		// Each generated kernel gets its own store/load PC pair, so every
+		// seed re-learns from scratch.
+		src += `        mull r9, 1, r6
+        mull r6, 1, r6
+        mull r6, 1, r6
+        and  r6, 56, r6
+        addq r6, r12, r6
+        stq  r9, 0(r6)
+        ldq  r8, slot(zero)
+        addq r8, r8, r8
+`
+	}
+	if rng.Intn(2) == 0 {
+		// Pseudo-random stride over 2MB: L1D/L2 misses and load replays.
+		src += `        mull r7, 25173, r7
+        addq r7, 13849, r7
+        and  r7, 2097144, r7
+        ldq  r10, big(r7)
+        addq r10, 1, r10
+`
+	}
+	if rng.Intn(2) == 0 {
+		// Unpredictable branch off the LCG state.
+		src += `        srl  r7, 13, r11
+        and  r11, 1, r11
+        beq  r11, skip` + "\n" + `        addq r3, 1, r3
+skip:
+`
+	}
+	src += `        subl r9, 1, r9
+        bne  r9, loop
+        halt
+`
+	return src
+}
+
+// TestUopPoolRecyclingUnderSquashReplay is the fuzz-style pool audit: for a
+// batch of seeded random squash/replay-heavy kernels, on both the baseline
+// and the rewritten mini-graph machine, the pipeline must (a) retire exactly
+// the architectural instruction stream — any stale-epoch wakeup of a
+// recycled uop corrupts that immediately — and (b) actually recycle: fresh
+// uop allocations stay bounded near the machine's in-flight capacity
+// instead of scaling with the dynamic instruction count. The pool's own
+// invariants (never hand out a live uop, never schedule an event on a
+// pooled uop) are enforced by panics on the hot path itself.
+//
+// Run with -race: the pool is per-pipeline, so parallel simulations racing
+// on shared uops would be caught here.
+func TestUopPoolRecyclingUnderSquashReplay(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5, 6}
+	iters := 2500
+	if testing.Short() {
+		seeds = seeds[:3]
+		iters = 800
+	}
+	var violations, replays, mgReplays, mispredicts int64
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			src := genSquashHeavy(rng, iters)
+			prog := asm.MustAssemble(fmt.Sprintf("fuzz%d", seed), src)
+			ref, err := emu.RunToCompletion(prog, nil, 50_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Baseline machine on the plain binary.
+			base := New(Baseline(), prog, nil)
+			bres, err := base.Run(t.Context())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bres.Retired != ref.InstCount {
+				t.Errorf("baseline retired %d records, emulator executed %d", bres.Retired, ref.InstCount)
+			}
+			if max := inFlightBound(base.cfg); base.uopAllocs > max {
+				t.Errorf("baseline allocated %d uops for %d retires; pool should bound allocations near %d",
+					base.uopAllocs, bres.Retired, max)
+			}
+
+			// Mini-graph machine on the rewritten binary (whole-handle
+			// replays exercise the replay → re-issue → recycle path).
+			g := program.BuildCFG(prog, nil)
+			lv := program.ComputeLiveness(g)
+			prof, err := emu.ProfileProgram(prog, nil, 10_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sel := core.Extract(g, lv, prof, core.DefaultPolicy(), 512)
+			rw, err := rewrite.Rewrite(prog, sel, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mgt := core.NewMGT(rw.Templates, core.DefaultExecParams())
+			mg := New(MiniGraph(true), rw.Prog, mgt)
+			mres, err := mg.Run(t.Context())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mres.RetiredWork != ref.InstCount {
+				t.Errorf("mini-graph work %d != original %d", mres.RetiredWork, ref.InstCount)
+			}
+			if max := inFlightBound(mg.cfg); mg.uopAllocs > max {
+				t.Errorf("mini-graph machine allocated %d uops for %d retires; want ≤ %d",
+					mg.uopAllocs, mres.Retired, max)
+			}
+			for _, u := range base.uopPool {
+				if !u.pooled || u.pendingEv != 0 {
+					t.Fatalf("pooled uop with live state: pooled=%v pendingEv=%d", u.pooled, u.pendingEv)
+				}
+			}
+			violations += bres.Violations + mres.Violations
+			replays += bres.LoadMissReplays + mres.LoadMissReplays
+			mgReplays += mres.MGReplays
+			mispredicts += bres.Mispredicts + mres.Mispredicts
+		})
+	}
+	// The batch must actually have exercised the death paths, or the pool
+	// audit above proved nothing.
+	if violations == 0 {
+		t.Error("no memory-ordering violations across all seeds: squash path untested")
+	}
+	if replays == 0 {
+		t.Error("no load-miss replays across all seeds: replay path untested")
+	}
+	if mispredicts == 0 {
+		t.Error("no mispredicts across all seeds: resolve-event path untested")
+	}
+	t.Logf("exercised: %d violations, %d load replays, %d MG replays, %d mispredicts",
+		violations, replays, mgReplays, mispredicts)
+}
+
+// inFlightBound over-approximates how many uops can be alive at once: the
+// ROB, the front-end pipe, and dead uops lingering until a distant event
+// (bounded by the deepest miss chain in flight) drains.
+func inFlightBound(cfg Config) int64 {
+	return int64(2*cfg.MaxSquashDepth() + cfg.IQSize)
+}

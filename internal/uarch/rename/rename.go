@@ -44,7 +44,9 @@ func New(numPhys int) *Table {
 		panic(fmt.Sprintf("rename: need more than %d physical registers, got %d", isa.NumRegs, numPhys))
 	}
 	total := numPhys + isa.NumDiseRegs
-	t := &Table{numPhys: total}
+	// The free list can never exceed the physical register count, so one
+	// up-front allocation keeps Release/Rollback append-free forever.
+	t := &Table{numPhys: total, freeList: make([]int, 0, total)}
 	for i := 0; i < isa.TotalRegs; i++ {
 		t.mapTable[i] = i
 	}

@@ -50,6 +50,13 @@ func (p *Pipeline) retire() {
 		} else {
 			p.stats.RetiredWork++
 		}
+
+		// The uop is out of every queue; recycle it once its events drain.
+		// A mispredicted branch can retire before its resolve event fires
+		// (completion outruns resolution), so the event must stay live —
+		// kill defers recycling until the wheel drains, and the resolve
+		// still restarts fetch.
+		p.kill(u)
 	}
 }
 
@@ -148,16 +155,18 @@ func (p *Pipeline) squash(seq int64) {
 		if p.pendingBr == u {
 			p.pendingBr = nil
 		}
+		p.kill(u)
 	}
 	// The front end is younger than anything in the ROB: drop it entirely.
-	for _, fe := range p.frontend {
+	for p.frontend.len() > 0 {
+		fe := p.frontend.popFront()
 		fe.u.squashed = true
 		fe.u.epoch++
 		if p.pendingBr == fe.u {
 			p.pendingBr = nil
 		}
+		p.kill(fe.u)
 	}
-	p.frontend = p.frontend[:0]
 	p.pendingRec = nil
 	p.haveFetchLine = false
 	p.stream.Rewind(seq)

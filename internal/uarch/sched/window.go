@@ -65,20 +65,30 @@ func FromFU(fu core.FU) Resource {
 	return ResALU
 }
 
+// Capacities is the per-resource unit count, indexed by Resource. A plain
+// array (rather than a map) keeps window construction and accounting
+// allocation-free and branch-cheap on the per-cycle path.
+type Capacities [numResources]int
+
 // Window is the two-dimensional reservation bitmap: counts[resource][cycle]
-// versus per-resource capacity. Cycles are a ring over the window horizon.
+// versus per-resource capacity. Cycles are a ring over the window horizon;
+// the counts live in one flat slab (resource-major) for cache locality.
 type Window struct {
 	horizon int
-	cap     [numResources]int
-	counts  [numResources][]int
+	mask    int64 // horizon-1 when horizon is a power of two, else 0
+	cap     Capacities
+	counts  []int // numResources × horizon, counts[r*horizon+slot]
 }
 
 // NewWindow builds a window covering horizon future cycles.
-func NewWindow(horizon int, capacity map[Resource]int) *Window {
-	w := &Window{horizon: horizon}
-	for r := Resource(0); r < numResources; r++ {
-		w.cap[r] = capacity[r]
-		w.counts[r] = make([]int, horizon)
+func NewWindow(horizon int, capacity Capacities) *Window {
+	w := &Window{
+		horizon: horizon,
+		cap:     capacity,
+		counts:  make([]int, int(numResources)*horizon),
+	}
+	if horizon&(horizon-1) == 0 {
+		w.mask = int64(horizon - 1)
 	}
 	return w
 }
@@ -89,23 +99,30 @@ func (w *Window) Horizon() int { return w.horizon }
 // Capacity returns the capacity of r.
 func (w *Window) Capacity(r Resource) int { return w.cap[r] }
 
-func (w *Window) slot(cycle int64) int { return int(cycle % int64(w.horizon)) }
+func (w *Window) slot(cycle int64) int {
+	if w.mask != 0 {
+		return int(cycle & w.mask)
+	}
+	return int(cycle % int64(w.horizon))
+}
+
+func (w *Window) idx(r Resource, cycle int64) int { return int(r)*w.horizon + w.slot(cycle) }
 
 // Available reports whether one unit of r is free at cycle.
 func (w *Window) Available(r Resource, cycle int64) bool {
-	return w.counts[r][w.slot(cycle)] < w.cap[r]
+	return w.counts[w.idx(r, cycle)] < w.cap[r]
 }
 
 // Reserve takes one unit of r at cycle.
 func (w *Window) Reserve(r Resource, cycle int64) {
-	w.counts[r][w.slot(cycle)]++
+	w.counts[w.idx(r, cycle)]++
 }
 
 // Cancel returns one unit of r at cycle (replay/squash recovery).
 func (w *Window) Cancel(r Resource, cycle int64) {
-	s := w.slot(cycle)
-	if w.counts[r][s] > 0 {
-		w.counts[r][s]--
+	i := w.idx(r, cycle)
+	if w.counts[i] > 0 {
+		w.counts[i]--
 	}
 }
 
@@ -113,8 +130,8 @@ func (w *Window) Cancel(r Resource, cycle int64) {
 // slot is reused for cycle now+horizon-1.
 func (w *Window) Tick(now int64) {
 	s := w.slot(now + int64(w.horizon) - 1)
-	for r := Resource(0); r < numResources; r++ {
-		w.counts[r][s] = 0
+	for i := s; i < len(w.counts); i += w.horizon {
+		w.counts[i] = 0
 	}
 }
 
@@ -163,7 +180,7 @@ func (w *Window) CancelFUBmp(issuedAt int64, ei *core.ExecInfo) {
 func (w *Window) String() string {
 	s := ""
 	for r := Resource(0); r < numResources; r++ {
-		s += fmt.Sprintf("%s(cap %d): %v\n", r, w.cap[r], w.counts[r])
+		s += fmt.Sprintf("%s(cap %d): %v\n", r, w.cap[r], w.counts[int(r)*w.horizon:int(r+1)*w.horizon])
 	}
 	return s
 }

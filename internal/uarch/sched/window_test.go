@@ -8,8 +8,8 @@ import (
 	"minigraph/internal/uarch/sched"
 )
 
-func capacities() map[sched.Resource]int {
-	return map[sched.Resource]int{
+func capacities() sched.Capacities {
+	return sched.Capacities{
 		sched.ResALU: 2, sched.ResAP: 2, sched.ResLoad: 2,
 		sched.ResStore: 1, sched.ResFP: 2, sched.ResWrPort: 4,
 	}

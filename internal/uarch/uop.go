@@ -4,6 +4,7 @@ import (
 	"minigraph/internal/core"
 	"minigraph/internal/emu"
 	"minigraph/internal/isa"
+	"minigraph/internal/uarch/rename"
 	"minigraph/internal/uarch/sched"
 )
 
@@ -32,7 +33,14 @@ type uop struct {
 	squashed  bool
 	issueAt   int64
 	minIssue  int64 // earliest re-issue after a mini-graph replay
-	epoch     int   // invalidates in-flight events on replay/squash
+	epoch     int   // invalidates in-flight events on replay/squash/recycle
+
+	// Pool lifecycle. dead marks a retired or squashed uop awaiting its
+	// scheduled events to drain; pooled marks a uop on the free list;
+	// pendingEv counts events in the wheel that reference this uop.
+	dead      bool
+	pooled    bool
+	pendingEv int32
 
 	// Reservations taken at issue (for cancellation on replay).
 	resWrPortAt int64 // -1 if none
@@ -59,6 +67,20 @@ type uop struct {
 	histSnap    uint64
 	resolveAt   int64
 	btbMissOnly bool // direct taken branch missing in BTB (small bubble)
+}
+
+// reset returns u to its dispatch-ready blank state with the given epoch.
+// Everything else zeroes; the sentinel fields take their "none" values.
+func (u *uop) reset(epoch int) {
+	*u = uop{
+		epoch:       epoch,
+		dest:        rename.NoReg,
+		prev:        rename.NoReg,
+		fwdFrom:     -1,
+		waitSt:      -1,
+		resWrPortAt: -1,
+		resAP:       -1,
+	}
 }
 
 func (u *uop) isLoad() bool  { return u.rec.IsLoad }
