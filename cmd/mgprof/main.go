@@ -4,17 +4,23 @@
 // machines (preparation — build, profile, extract, rewrite — happens
 // outside the timed region), measures simulated-cycles-per-second and
 // allocations per run, and writes the results as BENCH_pipeline.json.
-// It can also capture pprof profiles of exactly that hot loop.
+// It also measures the capture-once/replay-many configuration sweep: one
+// functional-emulation capture per benchmark, then every machine arm
+// replayed from the shared trace, against the same sweep run with live
+// per-arm emulation. It can also capture pprof profiles of exactly those
+// hot loops.
 //
 // Usage:
 //
 //	mgprof [-out BENCH_pipeline.json] [-iters N]
 //	       [-benches gzip,sha] [-machines baseline,minigraph]
+//	       [-sweep-lats 0,110,...] [-no-sweep]
 //	       [-cpuprofile cpu.out] [-memprofile mem.out]
 //
-// The JSON schema is documented in the README's Performance section; CI
-// runs mgprof once per push and uploads the artifact, so regressions in
-// simulator throughput or hot-path allocation are visible in history.
+// The JSON schema (v2 — v1 fields unchanged, sweep block added) is
+// documented in the README's Performance section; CI runs mgprof once per
+// push and uploads the artifact, so regressions in simulator throughput,
+// hot-path allocation, or the capture/replay split are visible in history.
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -32,15 +39,17 @@ import (
 	"minigraph/internal/workload"
 )
 
-// Report is the BENCH_pipeline.json envelope.
+// Report is the BENCH_pipeline.json envelope (schema v2: every v1 field
+// kept as-is, plus the capture/replay sweep measurement).
 type Report struct {
-	Schema     string    `json:"schema"` // "minigraph-bench-pipeline/v1"
-	GoVersion  string    `json:"go_version"`
-	GOOS       string    `json:"goos"`
-	GOARCH     string    `json:"goarch"`
-	GOMAXPROCS int       `json:"gomaxprocs"`
-	Runs       []RunStat `json:"runs"`
-	Totals     Totals    `json:"totals"`
+	Schema     string     `json:"schema"` // "minigraph-bench-pipeline/v2"
+	GoVersion  string     `json:"go_version"`
+	GOOS       string     `json:"goos"`
+	GOARCH     string     `json:"goarch"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	Runs       []RunStat  `json:"runs"`
+	Totals     Totals     `json:"totals"`
+	Sweep      *SweepStat `json:"sweep,omitempty"` // v2
 }
 
 // RunStat is one (benchmark, machine) measurement, averaged over the
@@ -66,6 +75,30 @@ type Totals struct {
 	Seconds      float64 `json:"seconds"`
 }
 
+// SweepStat is the multi-arm configuration sweep: every benchmark's
+// mini-graph binary timed under each DRAM latency, once via trace replay
+// (capture each binary's dynamic stream once, replay it per arm) and once
+// via live per-arm emulation. The split shows where capture-once/
+// replay-many wins: CaptureSeconds is paid once per benchmark, live
+// emulation once per arm.
+type SweepStat struct {
+	Benches      []string `json:"benches"`
+	MemLatencies []int    `json:"mem_latencies"`
+	Arms         int      `json:"arms"`
+
+	CaptureSeconds     float64 `json:"capture_seconds"`
+	ReplaySeconds      float64 `json:"replay_seconds"` // arm replays, excl. capture
+	ReplayArmsPerSec   float64 `json:"replay_arms_per_sec"`
+	ReplayAllocsPerArm int64   `json:"replay_allocs_per_arm"`
+
+	LiveSeconds      float64 `json:"live_seconds"`
+	LiveArmsPerSec   float64 `json:"live_arms_per_sec"`
+	LiveAllocsPerArm int64   `json:"live_allocs_per_arm"`
+
+	// Speedup is replay arms/sec (capture included) over live arms/sec.
+	Speedup float64 `json:"speedup"`
+}
+
 // job is one prepared measurement target.
 type job struct {
 	bench   string
@@ -80,21 +113,27 @@ func main() {
 	iters := flag.Int("iters", 3, "timed simulations per (bench, machine) pair")
 	benches := flag.String("benches", strings.Join(workload.BenchSubset(), ","), "comma-separated benchmark names")
 	machines := flag.String("machines", "baseline,minigraph", "comma-separated machines (baseline, minigraph)")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the timed loop")
-	memprofile := flag.String("memprofile", "", "write an allocation profile after the timed loop")
+	sweepLats := flag.String("sweep-lats", "0,110,120,130,140,150,160,170", "comma-separated DRAM latencies for the sweep")
+	noSweep := flag.Bool("no-sweep", false, "skip the capture/replay sweep measurement")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the timed loops")
+	memprofile := flag.String("memprofile", "", "write an allocation profile after the timed loops")
 	flag.Parse()
 
-	if err := run(*out, *iters, *benches, *machines, *cpuprofile, *memprofile); err != nil {
+	if err := run(*out, *iters, *benches, *machines, *sweepLats, *noSweep, *cpuprofile, *memprofile); err != nil {
 		fmt.Fprintln(os.Stderr, "mgprof:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, iters int, benches, machines, cpuprofile, memprofile string) error {
+func run(out string, iters int, benches, machines, sweepLats string, noSweep bool, cpuprofile, memprofile string) error {
 	if iters < 1 {
 		iters = 1
 	}
 	jobs, err := prepare(benches, machines)
+	if err != nil {
+		return err
+	}
+	lats, err := parseLats(sweepLats)
 	if err != nil {
 		return err
 	}
@@ -112,7 +151,7 @@ func run(out string, iters int, benches, machines, cpuprofile, memprofile string
 	}
 
 	rep := Report{
-		Schema:     "minigraph-bench-pipeline/v1",
+		Schema:     "minigraph-bench-pipeline/v2",
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
@@ -137,6 +176,16 @@ func run(out string, iters int, benches, machines, cpuprofile, memprofile string
 	if rep.Totals.Seconds > 0 {
 		rep.Totals.CyclesPerSec = float64(cycles) / rep.Totals.Seconds
 		rep.Totals.MInstPerSec = float64(retired) / rep.Totals.Seconds / 1e6
+	}
+
+	if !noSweep {
+		sw, err := measureSweep(benches, lats)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "mgprof: sweep %d arms: replay %.2f arms/s (capture %.3fs + replay %.3fs), live %.2f arms/s, speedup %.2fx\n",
+			sw.Arms, sw.ReplayArmsPerSec, sw.CaptureSeconds, sw.ReplaySeconds, sw.LiveArmsPerSec, sw.Speedup)
+		rep.Sweep = sw
 	}
 
 	if memprofile != "" {
@@ -168,6 +217,25 @@ func run(out string, iters int, benches, machines, cpuprofile, memprofile string
 	return nil
 }
 
+func parseLats(s string) ([]int, error) {
+	var lats []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad sweep latency %q", f)
+		}
+		lats = append(lats, v)
+	}
+	if len(lats) == 0 {
+		return nil, fmt.Errorf("sweep needs at least one latency")
+	}
+	return lats, nil
+}
+
 // prepare builds every (bench, machine) pair up front so the measured
 // region contains nothing but pipeline simulation.
 func prepare(benches, machines string) ([]job, error) {
@@ -187,13 +255,9 @@ func prepare(benches, machines string) ([]job, error) {
 			case "baseline":
 				jobs = append(jobs, job{bench: name, machine: "baseline", cfg: minigraph.BaselineConfig(), prog: prog})
 			case "minigraph":
-				prof, err := minigraph.ProfileOf(prog, minigraph.ProfileLimit)
+				rw, err := rewritten(name, prog)
 				if err != nil {
-					return nil, fmt.Errorf("%s: profile: %w", name, err)
-				}
-				rw, err := minigraph.Extract(prog, prof, minigraph.DefaultPolicy(), 512, minigraph.DefaultExecParams())
-				if err != nil {
-					return nil, fmt.Errorf("%s: extract: %w", name, err)
+					return nil, err
 				}
 				jobs = append(jobs, job{bench: name, machine: "minigraph", cfg: minigraph.MiniGraphConfig(true), prog: rw.Prog, mgt: rw.MGT})
 			case "":
@@ -206,6 +270,18 @@ func prepare(benches, machines string) ([]job, error) {
 		return nil, fmt.Errorf("nothing to measure")
 	}
 	return jobs, nil
+}
+
+func rewritten(name string, prog *minigraph.Program) (*minigraph.Rewritten, error) {
+	prof, err := minigraph.ProfileOf(prog, minigraph.ProfileLimit)
+	if err != nil {
+		return nil, fmt.Errorf("%s: profile: %w", name, err)
+	}
+	rw, err := minigraph.Extract(prog, prof, minigraph.DefaultPolicy(), 512, minigraph.DefaultExecParams())
+	if err != nil {
+		return nil, fmt.Errorf("%s: extract: %w", name, err)
+	}
+	return rw, nil
 }
 
 // measure times iters simulations of j on one goroutine, reading allocator
@@ -249,4 +325,106 @@ func measure(j job, iters int) (RunStat, error) {
 		rs.MInstPerSec = float64(retired) / sec / 1e6
 	}
 	return rs, nil
+}
+
+// measureSweep times the configuration sweep in both modes. Preparation
+// (build, profile, extract, rewrite) happens outside every timed region;
+// what the clock sees is exactly what differs between the modes: one
+// capture + N trace replays, versus N live emulation-driven simulations.
+func measureSweep(benches string, lats []int) (*SweepStat, error) {
+	ctx := context.Background()
+	type target struct {
+		name string
+		prog *minigraph.Program
+		mgt  *minigraph.MGT
+	}
+	var targets []target
+	var names []string
+	for _, name := range strings.Split(benches, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		wl, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q", name)
+		}
+		rw, err := rewritten(name, wl.Build(workload.InputTrain))
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, target{name: name, prog: rw.Prog, mgt: rw.MGT})
+		names = append(names, name)
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("sweep has no benchmarks")
+	}
+	configs := make([]minigraph.SimConfig, len(lats))
+	for i, ml := range lats {
+		configs[i] = minigraph.MiniGraphConfig(true)
+		configs[i].MemLatency = ml
+	}
+	sw := &SweepStat{Benches: names, MemLatencies: lats, Arms: len(targets) * len(configs)}
+
+	// Warm-up: one capture+replay and one live arm per benchmark.
+	for _, tg := range targets {
+		tr, err := minigraph.CaptureTrace(ctx, tg.prog, tg.mgt, 0)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := minigraph.SimulateTrace(ctx, configs[0], tr, tg.prog, tg.mgt); err != nil {
+			return nil, err
+		}
+		if _, err := minigraph.SimulateContext(ctx, configs[0], tg.prog, tg.mgt); err != nil {
+			return nil, err
+		}
+	}
+
+	// Replay mode: capture once per benchmark, replay every arm.
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for _, tg := range targets {
+		t0 := time.Now()
+		tr, err := minigraph.CaptureTrace(ctx, tg.prog, tg.mgt, 0)
+		if err != nil {
+			return nil, fmt.Errorf("%s: capture: %w", tg.name, err)
+		}
+		sw.CaptureSeconds += time.Since(t0).Seconds()
+		t0 = time.Now()
+		for _, cfg := range configs {
+			if _, err := minigraph.SimulateTrace(ctx, cfg, tr, tg.prog, tg.mgt); err != nil {
+				return nil, fmt.Errorf("%s: replay: %w", tg.name, err)
+			}
+		}
+		sw.ReplaySeconds += time.Since(t0).Seconds()
+	}
+	runtime.ReadMemStats(&m1)
+	sw.ReplayAllocsPerArm = int64(m1.Mallocs-m0.Mallocs) / int64(sw.Arms)
+
+	// Live mode: every arm pays for its own emulation.
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	for _, tg := range targets {
+		for _, cfg := range configs {
+			if _, err := minigraph.SimulateContext(ctx, cfg, tg.prog, tg.mgt); err != nil {
+				return nil, fmt.Errorf("%s: live: %w", tg.name, err)
+			}
+		}
+	}
+	sw.LiveSeconds = time.Since(t0).Seconds()
+	runtime.ReadMemStats(&m1)
+	sw.LiveAllocsPerArm = int64(m1.Mallocs-m0.Mallocs) / int64(sw.Arms)
+
+	if tot := sw.CaptureSeconds + sw.ReplaySeconds; tot > 0 {
+		sw.ReplayArmsPerSec = float64(sw.Arms) / tot
+	}
+	if sw.LiveSeconds > 0 {
+		sw.LiveArmsPerSec = float64(sw.Arms) / sw.LiveSeconds
+	}
+	if sw.LiveArmsPerSec > 0 {
+		sw.Speedup = sw.ReplayArmsPerSec / sw.LiveArmsPerSec
+	}
+	return sw, nil
 }

@@ -54,6 +54,18 @@ func (s *Stream) Next() (rec *Record, ok bool) {
 	return r, true
 }
 
+// NextInto writes the record at the cursor into dst and advances. false
+// means the stream is exhausted (program halted, limit reached, or an
+// architectural fault occurred — check Err).
+func (s *Stream) NextInto(dst *Record) bool {
+	r, ok := s.Next()
+	if !ok {
+		return false
+	}
+	*dst = *r
+	return true
+}
+
 // Cursor returns the sequence number of the next record Next will serve.
 func (s *Stream) Cursor() int64 { return s.cursor }
 

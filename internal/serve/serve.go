@@ -181,13 +181,10 @@ func (js JobSpec) Resolve() (sim.SimJob, error) {
 		return job, fmt.Errorf("max_records must be non-negative")
 	}
 	cfg.MaxRecords = js.MaxRecords
-	// A wide machine squashes deeper than the preset's stream rewind
-	// window; grow it to keep Validate's constraint satisfied for any
-	// accepted override (Validate panics are programming errors, and a
-	// panic in an engine worker would take the whole service down).
-	if need := cfg.MaxSquashDepth(); cfg.StreamWindow < need {
-		cfg.StreamWindow = need
-	}
+	// No stream-window fixup is needed for any accepted override: the live
+	// stream derives its rewind window from the machine's own squash depth
+	// (Config.EffectiveStreamWindow), and replay sources retain the whole
+	// trace.
 
 	job = sim.SimJob{
 		Prepare:  sim.PrepareKey{Bench: js.Bench, Input: input},

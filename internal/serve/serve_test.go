@@ -159,8 +159,10 @@ func TestWideWidthOverrideDoesNotPanic(t *testing.T) {
 		t.Fatal(err)
 	}
 	job.Config.Validate() // panics on failure
-	if need := job.Config.MaxSquashDepth(); job.Config.StreamWindow < need {
-		t.Errorf("stream window %d below squash depth %d", job.Config.StreamWindow, need)
+	// The live stream's rewind window derives from the machine itself, so
+	// an accepted override can never undersize it.
+	if need := job.Config.MaxSquashDepth(); job.Config.EffectiveStreamWindow() < need {
+		t.Errorf("effective stream window %d below squash depth %d", job.Config.EffectiveStreamWindow(), need)
 	}
 }
 
@@ -329,10 +331,65 @@ func TestStatszReportsStore(t *testing.T) {
 	if stats.Engine.SimRuns != 1 || stats.PipelineSims != 1 {
 		t.Errorf("engine stats %+v", stats)
 	}
-	if stats.Store == nil || stats.Store.Puts != 1 {
+	// Two puts: the simulation outcome and the captured trace blob.
+	if stats.Store == nil || stats.Store.Puts != 2 {
 		t.Errorf("store stats %+v", stats.Store)
 	}
 	if stats.Workers != 2 || len(stats.Experiments) == 0 {
 		t.Errorf("stats %+v", stats)
+	}
+}
+
+// TestStatszTraceCounters: a configuration sweep over one binary captures
+// its trace once, and a second sweep with fresh machine overrides replays
+// it with zero new captures — all visible through /statsz.
+func TestStatszTraceCounters(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	sweep := func(lats ...int) SweepRequest {
+		req := SweepRequest{Name: "latsweep"}
+		for _, ml := range lats {
+			req.Jobs = append(req.Jobs, JobSpec{
+				Arm: fmt.Sprintf("mem%d", ml), Bench: "sha",
+				MemLatency: ml, MaxRecords: 3000,
+			})
+		}
+		return req
+	}
+	statsz := func() statsResponse {
+		resp, err := http.Get(ts.URL + "/statsz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st statsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	if resp, _ := postJSON(t, ts.URL+"/v1/sweep", sweep(120, 140, 160)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first sweep status %d", resp.StatusCode)
+	}
+	st := statsz()
+	if st.Engine.TraceCaptures != 1 {
+		t.Fatalf("first sweep captured %d traces, want 1: %+v", st.Engine.TraceCaptures, st.Engine)
+	}
+	if st.Engine.TraceReplayHits != 2 {
+		t.Fatalf("first sweep replay hits %d, want 2: %+v", st.Engine.TraceReplayHits, st.Engine)
+	}
+
+	if resp, _ := postJSON(t, ts.URL+"/v1/sweep", sweep(200, 240)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("second sweep status %d", resp.StatusCode)
+	}
+	st2 := statsz()
+	if st2.Engine.TraceCaptures != 1 {
+		t.Fatalf("second sweep performed %d new captures, want 0", st2.Engine.TraceCaptures-1)
+	}
+	if st2.Engine.TraceReplayHits != 4 {
+		t.Fatalf("second sweep replay hits %d, want 4", st2.Engine.TraceReplayHits)
+	}
+	if st2.Engine.TraceBytes == 0 {
+		t.Fatal("trace bytes counter not populated")
 	}
 }

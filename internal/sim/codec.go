@@ -19,7 +19,11 @@ import (
 //
 //	1: initial encoding.
 //	2: uarch.Config grew MemLatency (configurable DRAM latency).
-const CodecVersion = 2
+//	3: SimKey canonicalizes Config.StreamWindow to 0 (the live stream now
+//	   derives its window from the machine, so the override is not part of
+//	   a simulation's identity), and TraceKey joined the key family for
+//	   persisted dynamic-trace blobs.
+const CodecVersion = 3
 
 // envelope is the versioned wrapper around every encoded value. Payload
 // stays raw so encode→decode→encode is byte-stable for any payload the
@@ -85,6 +89,35 @@ func DecodeSimKey(data []byte) (SimKey, error) {
 	var key SimKey
 	err := open(data, &key)
 	return key, err
+}
+
+// traceKeyPayload wraps a TraceKey with an explicit kind marker so a trace
+// blob's content address can never collide with a SimKey's, even if the
+// two structs ever converge shapewise.
+type traceKeyPayload struct {
+	Kind string   `json:"kind"`
+	Key  TraceKey `json:"key"`
+}
+
+// EncodeTraceKey renders key in the canonical versioned JSON encoding.
+// Equal keys encode to equal bytes; the persistent store uses the bytes as
+// the content address of the captured trace blob. The blob itself uses the
+// trace package's binary codec, which carries its own version.
+func EncodeTraceKey(key TraceKey) ([]byte, error) {
+	return seal(traceKeyPayload{Kind: "trace", Key: key})
+}
+
+// DecodeTraceKey parses a canonical TraceKey encoding. It rejects version
+// mismatches, unknown fields, wrong kinds and trailing garbage.
+func DecodeTraceKey(data []byte) (TraceKey, error) {
+	var p traceKeyPayload
+	if err := open(data, &p); err != nil {
+		return TraceKey{}, err
+	}
+	if p.Kind != "trace" {
+		return TraceKey{}, fmt.Errorf("sim: key kind %q, want \"trace\"", p.Kind)
+	}
+	return p.Key, nil
 }
 
 // outcomePayload is the persisted form of an Outcome.

@@ -10,9 +10,11 @@ import (
 
 	"minigraph/internal/core"
 	"minigraph/internal/emu"
+	"minigraph/internal/isa"
 	"minigraph/internal/program"
 	"minigraph/internal/rewrite"
 	"minigraph/internal/store"
+	"minigraph/internal/trace"
 	"minigraph/internal/uarch"
 	"minigraph/internal/workload"
 )
@@ -29,17 +31,39 @@ const ProfileLimit = 4_000_000
 // cached result. Actual compute runs on a worker pool of bounded size;
 // waiting on a duplicate never occupies a worker slot.
 //
+// Simulations are trace-driven: the functional emulation of a program is
+// captured once per TraceKey (preparation + extraction axes + record
+// limit) into an immutable structure-of-arrays trace, and every machine
+// configuration swept over that binary replays the shared trace through
+// its own zero-allocation cursor — concurrently, with no locking. With a
+// persistent store attached, trace blobs round-trip through disk so cold
+// processes replay without ever emulating.
+//
 // An Engine is safe for concurrent use and is meant to be shared across
 // experiments so cross-figure common work (benchmark preparations, the
-// shared baseline simulation) runs exactly once per process.
+// shared baseline simulation, captured traces) runs exactly once per
+// process.
 type Engine struct {
 	workers int
 	sem     chan struct{}
 	store   *store.Store
+	live    bool // force live emulation sources (golden-invariance testing)
 
-	mu    sync.Mutex
-	preps map[PrepareKey]*call[*Prepared]
-	sims  map[SimKey]*call[*Outcome]
+	mu     sync.Mutex
+	preps  map[PrepareKey]*call[*Prepared]
+	sims   map[SimKey]*call[*Outcome]
+	traces map[TraceKey]*call[*capturedTrace]
+
+	// Captured traces are the one memoization whose values are large (a
+	// full-run capture is tens of MB), so unlike outcomes they are LRU-
+	// bounded: traceSizes/traceOrder track completed entries and evict the
+	// least recently touched beyond traceMaxBytes. Evicting only drops the
+	// map reference — in-flight replays hold the immutable trace directly,
+	// and a re-request recaptures (or reloads from the store).
+	traceMaxBytes int64
+	traceResident int64
+	traceSizes    map[TraceKey]int64
+	traceOrder    []TraceKey // least recently touched first
 
 	prepRuns    atomic.Int64
 	prepHits    atomic.Int64
@@ -48,6 +72,25 @@ type Engine struct {
 	storeHits   atomic.Int64
 	storeMisses atomic.Int64
 	storePuts   atomic.Int64
+
+	traceRuns      atomic.Int64
+	traceCaptures  atomic.Int64
+	traceHits      atomic.Int64
+	traceStoreHits atomic.Int64
+	traceBytes     atomic.Int64
+}
+
+// capturedTrace is one memoized capture: the rewritten binary (or the
+// prepared original for baseline jobs), the selection and templates that
+// produced it, and the recorded dynamic stream. Everything here is
+// immutable after capture and shared by every replaying arm; per-arm state
+// (the MGT with its config-specific schedules, the replay cursor) is built
+// fresh per simulation.
+type capturedTrace struct {
+	prog      *isa.Program
+	templates []*core.Template
+	sel       *core.Selection
+	trace     *trace.Trace
 }
 
 // Stats is a point-in-time snapshot of the engine's cache counters. Runs
@@ -65,6 +108,19 @@ type Stats struct {
 	StoreHits   int64 `json:"store_hits,omitempty"`
 	StoreMisses int64 `json:"store_misses,omitempty"`
 	StorePuts   int64 `json:"store_puts,omitempty"`
+
+	// Trace-cache counters. TraceCaptures counts functional emulations
+	// actually executed in-process; TraceReplayHits counts simulations that
+	// replayed a trace another arm had already produced (in-memory hit);
+	// TraceStoreHits counts traces loaded from the persistent store instead
+	// of emulating. TraceBytes is the cumulative size of captured/loaded
+	// trace data. In a multi-arm sweep over one binary, TraceCaptures stays
+	// at one while TraceReplayHits grows with the arm count — per-prepare
+	// emulation happens exactly once per process.
+	TraceCaptures   int64 `json:"trace_captures"`
+	TraceReplayHits int64 `json:"trace_replay_hits"`
+	TraceStoreHits  int64 `json:"trace_store_hits,omitempty"`
+	TraceBytes      int64 `json:"trace_bytes,omitempty"`
 }
 
 // PipelineSims is the number of timing simulations the engine actually
@@ -77,10 +133,61 @@ func New(workers int) *Engine {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	return &Engine{
-		workers: workers,
-		sem:     make(chan struct{}, workers),
-		preps:   make(map[PrepareKey]*call[*Prepared]),
-		sims:    make(map[SimKey]*call[*Outcome]),
+		workers:       workers,
+		sem:           make(chan struct{}, workers),
+		preps:         make(map[PrepareKey]*call[*Prepared]),
+		sims:          make(map[SimKey]*call[*Outcome]),
+		traces:        make(map[TraceKey]*call[*capturedTrace]),
+		traceMaxBytes: DefaultTraceCacheBytes,
+		traceSizes:    make(map[TraceKey]int64),
+	}
+}
+
+// DefaultTraceCacheBytes bounds the in-memory captured-trace cache
+// (~10 benchSubset-sized full-run traces). A long-lived service sweeping
+// many distinct binaries re-captures (or store-loads) cold traces instead
+// of growing without bound.
+const DefaultTraceCacheBytes int64 = 256 << 20
+
+// WithTraceCacheBytes overrides the in-memory trace cache budget
+// (<= 0 restores the default). Set before submitting jobs; e is returned
+// for chaining.
+func (e *Engine) WithTraceCacheBytes(n int64) *Engine {
+	if n <= 0 {
+		n = DefaultTraceCacheBytes
+	}
+	e.traceMaxBytes = n
+	return e
+}
+
+// touchTrace marks key's trace as recently used and evicts the least
+// recently touched completed traces beyond the byte budget. The entry
+// just touched is never evicted, so a working set larger than the budget
+// degrades to capture-per-sweep rather than thrashing mid-sweep arms.
+func (e *Engine) touchTrace(key TraceKey, size int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.traces[key]; !ok {
+		return // evicted or canceled while we were completing
+	}
+	if _, tracked := e.traceSizes[key]; tracked {
+		for i, k := range e.traceOrder {
+			if k == key {
+				e.traceOrder = append(append(e.traceOrder[:i:i], e.traceOrder[i+1:]...), key)
+				break
+			}
+		}
+	} else {
+		e.traceSizes[key] = size
+		e.traceResident += size
+		e.traceOrder = append(e.traceOrder, key)
+	}
+	for e.traceResident > e.traceMaxBytes && len(e.traceOrder) > 1 {
+		victim := e.traceOrder[0]
+		e.traceOrder = e.traceOrder[1:]
+		e.traceResident -= e.traceSizes[victim]
+		delete(e.traceSizes, victim)
+		delete(e.traces, victim)
 	}
 }
 
@@ -99,16 +206,31 @@ func (e *Engine) WithStore(s *store.Store) *Engine {
 // Store returns the attached persistent store (nil if none).
 func (e *Engine) Store() *store.Store { return e.store }
 
+// WithLiveStream switches the engine to live, step-by-step functional
+// emulation inside every simulation instead of capture-once/replay-many.
+// The two modes must produce byte-identical reports — this knob exists so
+// the golden-invariance tests can prove it, and as an escape hatch while
+// diagnosing a suspected trace bug. Set before submitting jobs (the field
+// is not synchronized); e is returned for chaining.
+func (e *Engine) WithLiveStream(live bool) *Engine {
+	e.live = live
+	return e
+}
+
 // Stats snapshots the cache counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		PrepareRuns: e.prepRuns.Load(),
-		PrepareHits: e.prepHits.Load(),
-		SimRuns:     e.simRuns.Load(),
-		SimHits:     e.simHits.Load(),
-		StoreHits:   e.storeHits.Load(),
-		StoreMisses: e.storeMisses.Load(),
-		StorePuts:   e.storePuts.Load(),
+		PrepareRuns:     e.prepRuns.Load(),
+		PrepareHits:     e.prepHits.Load(),
+		SimRuns:         e.simRuns.Load(),
+		SimHits:         e.simHits.Load(),
+		StoreHits:       e.storeHits.Load(),
+		StoreMisses:     e.storeMisses.Load(),
+		StorePuts:       e.storePuts.Load(),
+		TraceCaptures:   e.traceCaptures.Load(),
+		TraceReplayHits: e.traceHits.Load(),
+		TraceStoreHits:  e.traceStoreHits.Load(),
+		TraceBytes:      e.traceBytes.Load(),
 	}
 }
 
@@ -203,10 +325,95 @@ func (e *Engine) Prepare(ctx context.Context, key PrepareKey) (*Prepared, error)
 		})
 }
 
+// buildProgram materialises the simulated binary for one trace identity:
+// the prepared original for baseline jobs, else extraction + rewrite under
+// the key's axes. The returned templates and selection are immutable and
+// safe to share across concurrently simulating arms.
+func buildProgram(pr *Prepared, key TraceKey) (*isa.Program, []*core.Template, *core.Selection, error) {
+	if key.Baseline {
+		return pr.Prog, nil, nil, nil
+	}
+	sel := core.Extract(pr.CFG, pr.Live, pr.Prof, key.Policy, key.Entries)
+	res, err := rewrite.Rewrite(pr.Prog, sel, key.Compress)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("%s: rewrite: %w", pr.Bench.Name, err)
+	}
+	return res.Prog, res.Templates, sel, nil
+}
+
+// captureTrace returns the memoized capture for key's trace identity,
+// emulating at most once per process no matter how many arms ask. With a
+// store attached the capture round-trips through disk: a cold process
+// loads the persisted blob and never emulates. Like Prepare, the compute
+// takes its own worker slot and callers must not hold one.
+func (e *Engine) captureTrace(ctx context.Context, key SimKey, pr *Prepared) (*capturedTrace, error) {
+	tk := key.traceKey()
+	ct, err := e.captureTraceLocked(ctx, tk, key, pr)
+	if err == nil {
+		e.touchTrace(tk, ct.trace.SizeBytes())
+	}
+	return ct, err
+}
+
+func (e *Engine) captureTraceLocked(ctx context.Context, tk TraceKey, key SimKey, pr *Prepared) (*capturedTrace, error) {
+	return singleflight(e, ctx, e.traces, tk, &e.traceRuns, &e.traceHits,
+		func(ctx context.Context) (*capturedTrace, error) {
+			if err := e.acquire(ctx); err != nil {
+				return nil, err
+			}
+			defer e.release()
+			prog, templates, sel, err := buildProgram(pr, tk)
+			if err != nil {
+				return nil, err
+			}
+			ct := &capturedTrace{prog: prog, templates: templates, sel: sel}
+			var keyBytes []byte
+			if e.store != nil {
+				if kb, err := EncodeTraceKey(tk); err == nil {
+					keyBytes = kb
+					if data, ok := e.store.Get(keyBytes); ok {
+						if tr, err := trace.Decode(data); err == nil {
+							e.traceStoreHits.Add(1)
+							e.traceBytes.Add(tr.SizeBytes())
+							ct.trace = tr
+							return ct, nil
+						}
+					}
+				}
+			}
+			var mgt *core.MGT
+			if !tk.Baseline {
+				mgt = core.NewMGT(templates, ExecParams(key.Config))
+			}
+			// The profile's dynamic-instruction count sizes the trace arrays
+			// in one allocation (nop-fill rewriting preserves record counts).
+			tr, err := trace.CaptureSized(ctx, prog, mgt, tk.Limit, pr.Prof.DynInsts)
+			if err != nil {
+				return nil, err
+			}
+			e.traceCaptures.Add(1)
+			e.traceBytes.Add(tr.SizeBytes())
+			ct.trace = tr
+			if keyBytes != nil {
+				if e.store.Put(keyBytes, trace.Encode(tr)) == nil {
+					e.storePuts.Add(1)
+				}
+			}
+			return ct, nil
+		})
+}
+
 // Simulate runs (or returns the cached result of) one timing simulation.
 // The run uses the job's canonical configuration (display name cleared),
 // so a cached Outcome is identical no matter which of several
 // cosmetically-renamed submissions executed it.
+//
+// The simulation replays the memoized captured trace for the job's binary
+// (see captureTrace); only the first arm over a given rewrite pays for
+// functional emulation, and its replaying siblings read the shared
+// immutable trace through private cursors. WithLiveStream(true) restores
+// step-by-step live emulation — by the golden-invariance rule the results
+// are byte-identical either way.
 //
 // With a persistent store attached (WithStore), an in-memory miss first
 // consults the store under the job's canonical key encoding — a hit skips
@@ -236,23 +443,21 @@ func (e *Engine) Simulate(ctx context.Context, job SimJob) (*Outcome, error) {
 			if err != nil {
 				return nil, err
 			}
-			if err := e.acquire(ctx); err != nil {
-				return nil, err
-			}
-			defer e.release()
-			prog, mgt := pr.Prog, (*core.MGT)(nil)
+
+			var res *uarch.Result
 			var sel *core.Selection
-			if !job.Baseline {
-				sel = core.Extract(pr.CFG, pr.Live, pr.Prof, job.Policy, job.Entries)
-				res, err := rewrite.Rewrite(pr.Prog, sel, job.Compress)
-				if err != nil {
-					return nil, fmt.Errorf("%s: rewrite: %w", pr.Bench.Name, err)
+			if e.live {
+				res, sel, err = e.simulateLive(ctx, key, job.Config.Name, pr)
+			} else {
+				var ct *capturedTrace
+				ct, err = e.captureTrace(ctx, key, pr)
+				if err == nil {
+					res, err = e.replay(ctx, key, job.Config.Name, ct)
+					sel = ct.sel
 				}
-				prog, mgt = res.Prog, core.NewMGT(res.Templates, ExecParams(key.Config))
 			}
-			res, err := uarch.New(key.Config, prog, mgt).Run(ctx)
 			if err != nil {
-				return nil, fmt.Errorf("%s @ %s: %w", pr.Bench.Name, job.Config.Name, err)
+				return nil, err
 			}
 			out := &Outcome{Result: res, Selection: sel}
 			if keyBytes != nil {
@@ -264,6 +469,48 @@ func (e *Engine) Simulate(ctx context.Context, job SimJob) (*Outcome, error) {
 			}
 			return out, nil
 		})
+}
+
+// replay runs one timing simulation over a shared captured trace through a
+// private zero-allocation cursor. cfgName is the job's display name (the
+// canonical key clears it), used only in error messages.
+func (e *Engine) replay(ctx context.Context, key SimKey, cfgName string, ct *capturedTrace) (*uarch.Result, error) {
+	if err := e.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer e.release()
+	var mgt *core.MGT
+	if !key.Baseline {
+		mgt = core.NewMGT(ct.templates, ExecParams(key.Config))
+	}
+	rd := trace.NewReader(ct.trace, ct.prog, key.Config.MaxRecords)
+	res, err := uarch.NewWithSource(key.Config, mgt, rd).Run(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("%s @ %s: %w", key.Prepare.Bench, cfgName, err)
+	}
+	return res, nil
+}
+
+// simulateLive runs one timing simulation with live, step-by-step
+// functional emulation (the pre-trace execution-driven mode).
+func (e *Engine) simulateLive(ctx context.Context, key SimKey, cfgName string, pr *Prepared) (*uarch.Result, *core.Selection, error) {
+	if err := e.acquire(ctx); err != nil {
+		return nil, nil, err
+	}
+	defer e.release()
+	prog, templates, sel, err := buildProgram(pr, key.traceKey())
+	if err != nil {
+		return nil, nil, err
+	}
+	var mgt *core.MGT
+	if !key.Baseline {
+		mgt = core.NewMGT(templates, ExecParams(key.Config))
+	}
+	res, err := uarch.New(key.Config, prog, mgt).Run(ctx)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s @ %s: %w", key.Prepare.Bench, cfgName, err)
+	}
+	return res, sel, nil
 }
 
 // Run submits every job, waits for all of them, and returns the outcomes

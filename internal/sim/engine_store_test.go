@@ -60,11 +60,16 @@ func TestEngineStoreColdProcess(t *testing.T) {
 		t.Fatal(err)
 	}
 	ws := warm.Stats()
-	if ws.StoreHits != 0 || ws.StoreMisses != int64(len(jobs)) || ws.StorePuts != int64(len(jobs)) {
+	// Each job writes through its outcome and its captured trace blob (the
+	// four jobs are four distinct trace identities here).
+	if ws.StoreHits != 0 || ws.StoreMisses != int64(len(jobs)) || ws.StorePuts != 2*int64(len(jobs)) {
 		t.Fatalf("warm run store counters: %+v", ws)
 	}
 	if ws.PipelineSims() != int64(len(jobs)) {
 		t.Fatalf("warm run executed %d pipeline sims, want %d", ws.PipelineSims(), len(jobs))
+	}
+	if ws.TraceCaptures != int64(len(jobs)) || ws.TraceStoreHits != 0 {
+		t.Fatalf("warm run trace counters: %+v", ws)
 	}
 
 	// Cold process: fresh engine, fresh store handle, same directory.
@@ -82,6 +87,9 @@ func TestEngineStoreColdProcess(t *testing.T) {
 	}
 	if cs.PrepareRuns != 0 {
 		t.Fatalf("cold run prepared %d benchmarks, want 0 (store hits skip preparation)", cs.PrepareRuns)
+	}
+	if cs.TraceCaptures != 0 {
+		t.Fatalf("cold run captured %d traces, want 0 (outcome hits skip capture)", cs.TraceCaptures)
 	}
 	for i := range jobs {
 		a, err1 := EncodeOutcome(warmOuts[i])
@@ -107,7 +115,8 @@ func TestEngineStoreCorruptionRecovers(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Truncate every stored entry (recency sidecars are not entries).
+	// Truncate every stored entry (recency sidecars are not entries). Each
+	// job persisted an outcome and a trace blob.
 	var damaged int
 	err := filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
 		if err != nil || info.IsDir() || filepath.Ext(p) != ".json" {
@@ -116,8 +125,8 @@ func TestEngineStoreCorruptionRecovers(t *testing.T) {
 		damaged++
 		return os.Truncate(p, info.Size()/2)
 	})
-	if err != nil || damaged != len(jobs) {
-		t.Fatalf("damaged %d files (%v), want %d", damaged, err, len(jobs))
+	if err != nil || damaged != 2*len(jobs) {
+		t.Fatalf("damaged %d files (%v), want %d", damaged, err, 2*len(jobs))
 	}
 
 	cold := New(2).WithStore(openStore(t, dir))
@@ -125,8 +134,11 @@ func TestEngineStoreCorruptionRecovers(t *testing.T) {
 		t.Fatalf("damaged store failed the run: %v", err)
 	}
 	cs := cold.Stats()
-	if cs.StoreHits != 0 || cs.PipelineSims() != int64(len(jobs)) || cs.StorePuts != int64(len(jobs)) {
+	if cs.StoreHits != 0 || cs.PipelineSims() != int64(len(jobs)) || cs.StorePuts != 2*int64(len(jobs)) {
 		t.Fatalf("corruption recovery counters: %+v", cs)
+	}
+	if cs.TraceCaptures != int64(len(jobs)) || cs.TraceStoreHits != 0 {
+		t.Fatalf("corruption recovery trace counters: %+v (damaged trace blobs must re-capture)", cs)
 	}
 
 	// And the rewritten entries serve the next process.

@@ -66,6 +66,8 @@ type SimJob struct {
 // produce identical results map to the same key:
 //
 //   - Config.Name is presentation-only and is cleared;
+//   - Config.StreamWindow is a delivery-buffer override that cannot affect
+//     timing and is cleared;
 //   - baseline jobs zero the extraction axes (Policy, Entries, Compress),
 //     which do not affect an unrewritten binary.
 type SimKey struct {
@@ -81,10 +83,39 @@ type SimKey struct {
 func (j SimJob) Key() SimKey {
 	k := SimKey{Prepare: j.Prepare, Baseline: j.Baseline, Config: j.Config}
 	k.Config.Name = ""
+	k.Config.StreamWindow = 0
 	if !j.Baseline {
 		k.Policy, k.Entries, k.Compress = j.Policy, j.Entries, j.Compress
 	}
 	return k
+}
+
+// TraceKey identifies one captured dynamic trace: the rewritten binary's
+// identity (preparation plus extraction axes) and the record limit. The
+// machine configuration is deliberately absent — the record stream is a
+// pure function of the program and its mini-graph templates, so every arm
+// of a configuration sweep over one rewrite shares one capture. That
+// independence is what makes capture-once/replay-many sound, and the
+// golden-invariance tests enforce it.
+type TraceKey struct {
+	Prepare  PrepareKey
+	Baseline bool
+	Policy   core.Policy
+	Entries  int
+	Compress bool
+	Limit    int64
+}
+
+// traceKey derives the capture identity of a simulation.
+func (k SimKey) traceKey() TraceKey {
+	return TraceKey{
+		Prepare:  k.Prepare,
+		Baseline: k.Baseline,
+		Policy:   k.Policy,
+		Entries:  k.Entries,
+		Compress: k.Compress,
+		Limit:    k.Config.MaxRecords,
+	}
 }
 
 // Baseline returns the job that simulates b's unrewritten binary on cfg.

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// CodecVersion is the on-the-wire version of the binary trace encoding.
+// Any change to the record layout must bump it: persisted traces written
+// under an older version then read back as decode errors (cache misses)
+// instead of replaying garbage.
+const CodecVersion = 1
+
+// magic tags a trace blob ("MGTR", little-endian).
+const magic uint32 = 0x5254474d
+
+// header layout: magic(4) version(2) flags(2: bit0 = halted) errLen(4)
+// n(8) crc(4), then errMsg bytes, then n packed records (see recordBytes).
+// crc is the IEEE CRC-32 of errMsg followed by the record bytes: replaying
+// a value-corrupted blob would silently time the wrong program (or panic
+// on an out-of-range PC), so content integrity is part of the format and
+// any damage — header or payload — reads as a cache miss. The in-memory
+// and on-the-wire record layouts are identical, so encode and decode are
+// a header plus one copy.
+const headerBytes = 4 + 2 + 2 + 4 + 8 + 4
+
+func (t *Trace) checksum() uint32 {
+	crc := crc32.ChecksumIEEE([]byte(t.errMsg))
+	return crc32.Update(crc, crc32.IEEETable, t.recs)
+}
+
+// Encode renders t in the versioned binary encoding. The encoding is
+// canonical: equal traces encode to equal bytes.
+func Encode(t *Trace) []byte {
+	buf := make([]byte, 0, headerBytes+len(t.errMsg)+len(t.recs))
+	var h [headerBytes]byte
+	binary.LittleEndian.PutUint32(h[0:], magic)
+	binary.LittleEndian.PutUint16(h[4:], CodecVersion)
+	var fl uint16
+	if t.halted {
+		fl = 1
+	}
+	binary.LittleEndian.PutUint16(h[6:], fl)
+	binary.LittleEndian.PutUint32(h[8:], uint32(len(t.errMsg)))
+	binary.LittleEndian.PutUint64(h[12:], uint64(t.Len()))
+	binary.LittleEndian.PutUint32(h[20:], t.checksum())
+	buf = append(buf, h[:]...)
+	buf = append(buf, t.errMsg...)
+	buf = append(buf, t.recs...)
+	return buf
+}
+
+// Decode parses a binary trace encoding. It rejects bad magic, version
+// mismatches, truncated data, trailing garbage, and payload corruption
+// (CRC mismatch) — a persisted blob that fails any check reads as a cache
+// miss, never as a wrong replay.
+func Decode(data []byte) (*Trace, error) {
+	if len(data) < headerBytes {
+		return nil, fmt.Errorf("trace: short header (%d bytes)", len(data))
+	}
+	if m := binary.LittleEndian.Uint32(data[0:]); m != magic {
+		return nil, fmt.Errorf("trace: bad magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != CodecVersion {
+		return nil, fmt.Errorf("trace: codec version %d, want %d", v, CodecVersion)
+	}
+	fl := binary.LittleEndian.Uint16(data[6:])
+	if fl > 1 {
+		return nil, fmt.Errorf("trace: unknown header flags %#x", fl)
+	}
+	errLen := int64(binary.LittleEndian.Uint32(data[8:]))
+	n := binary.LittleEndian.Uint64(data[12:])
+	// The records must fit in what was handed to us; checking against the
+	// input length first keeps the size arithmetic below overflow-free.
+	if n > uint64(len(data))/recordBytes || errLen > int64(len(data)) {
+		return nil, fmt.Errorf("trace: implausible record count %d for %d bytes", n, len(data))
+	}
+	want := headerBytes + errLen + int64(n)*recordBytes
+	if int64(len(data)) != want {
+		return nil, fmt.Errorf("trace: %d bytes, want %d for %d records", len(data), want, n)
+	}
+	t := &Trace{halted: fl&1 != 0}
+	off := int64(headerBytes)
+	t.errMsg = string(data[off : off+errLen])
+	off += errLen
+	t.recs = append([]byte(nil), data[off:]...)
+	if crc := binary.LittleEndian.Uint32(data[20:]); crc != t.checksum() {
+		return nil, fmt.Errorf("trace: payload checksum mismatch")
+	}
+	return t, nil
+}

@@ -1,0 +1,309 @@
+// Package trace captures a program's dynamic instruction stream once and
+// replays it any number of times. The timing simulator in internal/uarch is
+// execution-driven but timing-independent of *how* records are delivered:
+// internal/emu can generate them live, step by step, or a Reader can replay
+// them from an immutable Trace captured earlier. A Trace is a compact
+// packed-record encoding of the full record stream — one functional
+// emulation serves every machine configuration swept over the same binary,
+// which is where multi-arm experiment sweeps spend most of their time.
+//
+// Invariant (the golden rule for any TraceSource implementation): replaying
+// a trace through the pipeline must produce byte-identical results to the
+// live stream. The record sequence is a pure function of the program and
+// its mini-graph table, so a capture under one machine configuration is
+// valid for every configuration that shares the rewritten binary.
+//
+// Readers are cheap cursors over shared immutable bytes: concurrent
+// simulations replay one Trace with no locking and no per-record
+// allocation, and Rewind (squash recovery) is a cursor move with unbounded
+// depth — there is no retention window to undersize.
+package trace
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"minigraph/internal/core"
+	"minigraph/internal/emu"
+	"minigraph/internal/isa"
+)
+
+// Flag bits packed per record. The low two bits hold the source-register
+// count (0..2).
+const (
+	flagNSrcsMask uint16 = 0x3
+	flagLoad      uint16 = 1 << 2
+	flagStore     uint16 = 1 << 3
+	flagCtrl      uint16 = 1 << 4
+	flagCond      uint16 = 1 << 5
+	flagCall      uint16 = 1 << 6
+	flagRet       uint16 = 1 << 7
+	flagIndirect  uint16 = 1 << 8
+	flagTaken     uint16 = 1 << 9
+)
+
+// recordBytes is the packed per-record storage: one little-endian row
+//
+//	pc u32 | nextPC u32 | mgid i32 | ea u64 | flags u16 |
+//	op u8 | src0 u8 | src1 u8 | dest u8 | memSize u8
+//
+// Rows are packed back to back, so capture writes and replay reads touch
+// one short contiguous span per record instead of ten parallel arrays.
+// Derived Record fields (Seq = index, FallPC = PC+1, Inst = prog.At(PC))
+// are reconstructed at replay rather than stored.
+const recordBytes = 4 + 4 + 4 + 8 + 2 + 5
+
+// Trace is an immutable dynamic instruction stream in packed-record form.
+// A Trace is safe for concurrent Readers once built.
+type Trace struct {
+	recs []byte // n × recordBytes
+
+	// errMsg records the architectural fault that truncated the capture
+	// ("" = the program halted or the capture limit was reached). A Reader
+	// surfaces it exactly as the live stream would: only when the caller's
+	// limit would have forced generation past the fault.
+	errMsg string
+	// halted reports whether the emulated machine reached OpHalt.
+	halted bool
+}
+
+// Len returns the number of records in the trace.
+func (t *Trace) Len() int64 { return int64(len(t.recs) / recordBytes) }
+
+// Halted reports whether the captured program ran to architectural halt.
+func (t *Trace) Halted() bool { return t.halted }
+
+// Err returns the architectural fault that truncated the capture, if any.
+func (t *Trace) Err() error {
+	if t.errMsg == "" {
+		return nil
+	}
+	return errors.New(t.errMsg)
+}
+
+// SizeBytes returns the in-memory footprint of the record bytes.
+func (t *Trace) SizeBytes() int64 {
+	return int64(len(t.recs) + len(t.errMsg))
+}
+
+func (t *Trace) grow(n int) {
+	t.recs = append(make([]byte, 0, n*recordBytes), t.recs...)
+}
+
+// append packs one record. Seq and FallPC are derived at replay and not
+// stored; Srcs beyond NSrcs are zero by construction.
+func (t *Trace) append(rec *emu.Record) {
+	f := uint16(rec.NSrcs) & flagNSrcsMask
+	if rec.IsLoad {
+		f |= flagLoad
+	}
+	if rec.IsStore {
+		f |= flagStore
+	}
+	if rec.IsCtrl {
+		f |= flagCtrl
+	}
+	if rec.CondBranch {
+		f |= flagCond
+	}
+	if rec.IsCall {
+		f |= flagCall
+	}
+	if rec.IsRet {
+		f |= flagRet
+	}
+	if rec.Indirect {
+		f |= flagIndirect
+	}
+	if rec.Taken {
+		f |= flagTaken
+	}
+	var row [recordBytes]byte
+	binary.LittleEndian.PutUint32(row[0:], uint32(int32(rec.PC)))
+	binary.LittleEndian.PutUint32(row[4:], uint32(int32(rec.NextPC)))
+	binary.LittleEndian.PutUint32(row[8:], uint32(int32(rec.MGID)))
+	binary.LittleEndian.PutUint64(row[12:], uint64(rec.EA))
+	binary.LittleEndian.PutUint16(row[20:], f)
+	row[22] = uint8(rec.Op)
+	row[23] = uint8(rec.Srcs[0])
+	row[24] = uint8(rec.Srcs[1])
+	row[25] = uint8(rec.Dest)
+	row[26] = uint8(rec.MemSize)
+	t.recs = append(t.recs, row[:]...)
+}
+
+// fill reconstructs record i into dst. Every field is written, so dst may
+// be reused across calls without clearing. Inst is resolved through prog —
+// the same lookup the live emulator performs — so a Trace can be bound to
+// any structurally identical copy of the program it was captured from.
+func (t *Trace) fill(dst *emu.Record, i int64, prog *isa.Program) {
+	row := t.recs[i*recordBytes : i*recordBytes+recordBytes : i*recordBytes+recordBytes]
+	pc := isa.PC(int32(binary.LittleEndian.Uint32(row[0:])))
+	f := binary.LittleEndian.Uint16(row[20:])
+	dst.Seq = i
+	dst.PC = pc
+	dst.Op = isa.Opcode(row[22])
+	dst.Inst = prog.At(pc)
+	dst.Srcs[0] = isa.Reg(row[23])
+	dst.Srcs[1] = isa.Reg(row[24])
+	dst.NSrcs = int(f & flagNSrcsMask)
+	dst.Dest = isa.Reg(row[25])
+	dst.EA = isa.Addr(binary.LittleEndian.Uint64(row[12:]))
+	dst.MemSize = int(row[26])
+	dst.IsLoad = f&flagLoad != 0
+	dst.IsStore = f&flagStore != 0
+	dst.IsCtrl = f&flagCtrl != 0
+	dst.CondBranch = f&flagCond != 0
+	dst.IsCall = f&flagCall != 0
+	dst.IsRet = f&flagRet != 0
+	dst.Indirect = f&flagIndirect != 0
+	dst.Taken = f&flagTaken != 0
+	dst.NextPC = isa.PC(int32(binary.LittleEndian.Uint32(row[4:])))
+	dst.FallPC = pc + 1
+	dst.MGID = int(int32(binary.LittleEndian.Uint32(row[8:])))
+}
+
+// captureCheckInterval is how many records elapse between context checks
+// during capture.
+const captureCheckInterval = 1 << 14
+
+// Capture runs prog functionally to completion (halt, architectural fault,
+// or limit dynamic records; limit <= 0 means no limit) and returns the
+// recorded stream. The limit cut-off matches emu.Stream exactly: the
+// emulator is never stepped once limit records exist, so a program that
+// would fault at record limit captures cleanly. An architectural fault does
+// not fail the capture — it truncates the trace and is surfaced by Readers
+// exactly as the live stream surfaces it. The only error Capture itself
+// returns is ctx cancellation.
+func Capture(ctx context.Context, prog *isa.Program, mgt *core.MGT, limit int64) (*Trace, error) {
+	return CaptureSized(ctx, prog, mgt, limit, 0)
+}
+
+// CaptureSized is Capture with a record-count hint (e.g. a profile's
+// dynamic instruction count): an accurate hint sizes the buffer once and
+// skips every regrowth copy. The hint only affects allocation, never
+// content.
+func CaptureSized(ctx context.Context, prog *isa.Program, mgt *core.MGT, limit, hint int64) (*Trace, error) {
+	if limit <= 0 {
+		limit = math.MaxInt64
+	}
+	if hint <= 0 {
+		hint = 1 << 12
+	}
+	if limit < hint {
+		hint = limit
+	}
+	m := emu.NewMachine(prog, mgt)
+	t := &Trace{}
+	t.grow(int(hint))
+	var rec emu.Record
+	for !m.Halted && t.Len() < limit {
+		if t.Len()%captureCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			// Geometric growth between checks keeps the append fast path
+			// bounds-check-only; an accurate hint makes this a no-op.
+			if free := int64(cap(t.recs)/recordBytes) - t.Len(); free < captureCheckInterval {
+				n := 2 * (cap(t.recs) / recordBytes)
+				if int64(n) > limit && limit < math.MaxInt64 {
+					n = int(limit)
+				}
+				if n < cap(t.recs)/recordBytes+captureCheckInterval {
+					n = cap(t.recs)/recordBytes + captureCheckInterval
+				}
+				t.grow(n)
+			}
+		}
+		if err := m.Step(&rec); err != nil {
+			t.errMsg = err.Error()
+			return t, nil
+		}
+		t.append(&rec)
+	}
+	t.halted = m.Halted
+	return t, nil
+}
+
+// Reader is a cursor over a Trace implementing the pipeline's TraceSource
+// contract with the exact semantics of the live emu.Stream: NextInto
+// serves records in order, Rewind re-serves from an earlier sequence
+// number (any depth — the trace is fully retained), and Err reports the
+// architectural fault the stream would have hit. A Reader is
+// single-goroutine; open one Reader per concurrent simulation over the
+// shared Trace.
+type Reader struct {
+	t       *Trace
+	prog    *isa.Program
+	serve   int64 // records available to this reader (limit-clamped)
+	cursor  int64
+	err     error
+	scratch emu.Record
+}
+
+// NewReader opens a cursor over t bound to prog (the program t was
+// captured from, or a structurally identical copy). limit bounds served
+// records like Config.MaxRecords bounds the live stream (<= 0: no limit).
+func NewReader(t *Trace, prog *isa.Program, limit int64) *Reader {
+	req := limit
+	if req <= 0 {
+		req = math.MaxInt64
+	}
+	serve := t.Len()
+	if req < serve {
+		serve = req
+	}
+	r := &Reader{t: t, prog: prog, serve: serve}
+	if t.errMsg != "" && req > t.Len() {
+		// The live stream only hits the fault when asked to generate past
+		// it; a caller whose limit stops at or before the truncation point
+		// never observes the error.
+		r.err = t.Err()
+	}
+	return r
+}
+
+// Next returns the record at the cursor, advancing it. ok=false means the
+// stream is exhausted (halt, limit, or fault — check Err). The returned
+// pointer is the reader's scratch record and is valid until the next call.
+func (r *Reader) Next() (*emu.Record, bool) {
+	if !r.NextInto(&r.scratch) {
+		return nil, false
+	}
+	return &r.scratch, true
+}
+
+// NextInto writes the record at the cursor into dst and advances — the
+// pipeline's zero-copy delivery path (the record materialises directly in
+// the consumer's storage, no scratch staging).
+func (r *Reader) NextInto(dst *emu.Record) bool {
+	if r.cursor >= r.serve {
+		return false
+	}
+	r.t.fill(dst, r.cursor, r.prog)
+	r.cursor++
+	return true
+}
+
+// Cursor returns the sequence number of the next record Next will serve.
+func (r *Reader) Cursor() int64 { return r.cursor }
+
+// Err returns the architectural fault that truncated the stream, if this
+// reader's limit would have run into it.
+func (r *Reader) Err() error { return r.err }
+
+// Exhausted reports whether every available record has been served.
+func (r *Reader) Exhausted() bool { return r.cursor >= r.serve }
+
+// Rewind moves the cursor back to sequence seq. Unlike the live stream's
+// bounded retention window, a trace rewind reaches any depth; rewinding
+// forward is a simulator bug and panics, matching emu.Stream.
+func (r *Reader) Rewind(seq int64) {
+	if seq > r.cursor || seq < 0 {
+		panic(fmt.Sprintf("trace: rewind out of range (seq=%d cursor=%d)", seq, r.cursor))
+	}
+	r.cursor = seq
+}

@@ -1,0 +1,324 @@
+package trace_test
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"minigraph"
+	"minigraph/internal/asm"
+	"minigraph/internal/core"
+	"minigraph/internal/emu"
+	"minigraph/internal/isa"
+	"minigraph/internal/trace"
+	"minigraph/internal/uarch"
+	"minigraph/internal/workload"
+)
+
+// rewritten builds the mini-graph variant of a workload benchmark the same
+// way the engine does, so the trace covers handle records too. The
+// templates come back alongside the table because an MGT memoizes
+// schedules lazily and is therefore per-pipeline state: concurrent
+// simulations each build their own from the shared immutable templates.
+func rewritten(t testing.TB, bench string) (*isa.Program, *core.MGT, []*core.Template) {
+	t.Helper()
+	wl, ok := workload.ByName(bench)
+	if !ok {
+		t.Fatalf("unknown benchmark %q", bench)
+	}
+	prog := wl.Build(workload.InputTrain)
+	prof, err := minigraph.ProfileOf(prog, minigraph.ProfileLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := minigraph.Extract(prog, prof, minigraph.DefaultPolicy(), 512, minigraph.DefaultExecParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rw.Prog, rw.MGT, rw.Selection.Templates
+}
+
+// TestReaderMatchesStream drives the live stream and a trace reader in
+// lockstep — including rewinds deeper than any live window would need —
+// and demands identical records.
+func TestReaderMatchesStream(t *testing.T) {
+	prog, mgt, _ := rewritten(t, "sha")
+	const limit = 20_000
+	tr, err := trace.Capture(context.Background(), prog, mgt, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != limit {
+		t.Fatalf("trace length %d, want %d", tr.Len(), limit)
+	}
+
+	s := emu.NewStream(emu.NewMachine(prog, mgt), 4096, limit)
+	r := trace.NewReader(tr, prog, limit)
+	step := 0
+	for {
+		sr, sok := s.Next()
+		rr, rok := r.Next()
+		if sok != rok {
+			t.Fatalf("step %d: stream ok=%v reader ok=%v", step, sok, rok)
+		}
+		if !sok {
+			break
+		}
+		if !reflect.DeepEqual(*sr, *rr) {
+			t.Fatalf("step %d: record mismatch\nstream: %+v\nreplay: %+v", step, *sr, *rr)
+		}
+		step++
+		// Periodic rewinds exercise the squash path; every 4096 records jump
+		// back a stride the live window can still cover so both sides can
+		// replay it.
+		if step%4096 == 0 {
+			seq := sr.Seq - 100
+			s.Rewind(seq)
+			r.Rewind(seq)
+		}
+	}
+	if (s.Err() == nil) != (r.Err() == nil) {
+		t.Fatalf("err mismatch: stream %v reader %v", s.Err(), r.Err())
+	}
+	if !s.Exhausted() || !r.Exhausted() {
+		t.Fatal("both sources should be exhausted")
+	}
+}
+
+// TestReaderDeepRewind: a replay cursor rewinds to record zero no matter
+// how far it has advanced — there is no retention window to fall out of.
+func TestReaderDeepRewind(t *testing.T) {
+	prog, mgt, _ := rewritten(t, "sha")
+	tr, err := trace.Capture(context.Background(), prog, mgt, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := trace.NewReader(tr, prog, 0)
+	var first emu.Record
+	for i := 0; i < 10_000; i++ {
+		rec, ok := r.Next()
+		if !ok {
+			t.Fatalf("exhausted at %d", i)
+		}
+		if i == 0 {
+			first = *rec
+		}
+	}
+	r.Rewind(0)
+	rec, ok := r.Next()
+	if !ok || !reflect.DeepEqual(*rec, first) {
+		t.Fatalf("deep rewind did not re-serve record 0 (ok=%v)", ok)
+	}
+}
+
+// TestPipelineReplayIdentical is the golden-invariance rule at the unit
+// level: one benchmark simulated via the live stream and via trace replay
+// must produce identical statistics on multiple machine configurations
+// sharing the one capture.
+func TestPipelineReplayIdentical(t *testing.T) {
+	prog, mgt, templates := rewritten(t, "adpcm.enc")
+	tr, err := trace.Capture(context.Background(), prog, mgt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Halted() {
+		t.Fatal("benchmark did not halt during capture")
+	}
+	// Three arms sharing the one capture: the paper machine, a DRAM-latency
+	// variant, and a collapsing-AP variant (whose MGT schedules differ —
+	// only the *functional* stream is shared, so each arm builds its own
+	// table under its own exec parameters).
+	configs := []uarch.Config{uarch.MiniGraph(true), uarch.MiniGraph(true), uarch.MiniGraph(true)}
+	configs[1].MemLatency = 140
+	configs[2].Collapse = true
+	for _, cfg := range configs {
+		params := core.ExecParams{LoadLat: cfg.LoadLat, Collapse: cfg.Collapse, UseAP: cfg.APs > 0}
+		live, err := uarch.New(cfg, prog, core.NewMGT(templates, params)).Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd := trace.NewReader(tr, prog, cfg.MaxRecords)
+		replay, err := uarch.NewWithSource(cfg, core.NewMGT(templates, params), rd).Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(live, replay) {
+			t.Errorf("%s: live and replay results diverge (Collapse=%v MemLatency=%d)", cfg.Name, cfg.Collapse, cfg.MemLatency)
+		}
+	}
+}
+
+// TestConcurrentReaders replays one shared trace through 8 concurrent
+// pipelines (each with a private cursor) under the race detector and
+// checks every result is identical to a sequential run.
+func TestConcurrentReaders(t *testing.T) {
+	prog, mgt, templates := rewritten(t, "sha")
+	const limit = 60_000
+	tr, err := trace.Capture(context.Background(), prog, mgt, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := uarch.MiniGraph(true)
+	cfg.MaxRecords = limit
+	want, err := uarch.NewWithSource(cfg, mgt, trace.NewReader(tr, prog, limit)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const readers = 8
+	results := make([]*uarch.Result, readers)
+	errs := make([]error, readers)
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			own := core.NewMGT(templates, core.DefaultExecParams())
+			results[i], errs[i] = uarch.NewWithSource(cfg, own, trace.NewReader(tr, prog, limit)).Run(context.Background())
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < readers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("reader %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(results[i], want) {
+			t.Errorf("reader %d diverged from the sequential result", i)
+		}
+	}
+}
+
+// TestCaptureLimitSemantics pins the cut-off contract shared with
+// emu.Stream: the emulator is never stepped once limit records exist.
+func TestCaptureLimitSemantics(t *testing.T) {
+	prog, mgt, _ := rewritten(t, "sha")
+	tr, err := trace.Capture(context.Background(), prog, mgt, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 500 || tr.Halted() || tr.Err() != nil {
+		t.Fatalf("limit capture: len=%d halted=%v err=%v", tr.Len(), tr.Halted(), tr.Err())
+	}
+	// A reader bounded at or below the trace length never observes a
+	// fault, even on a truncated trace.
+	r := trace.NewReader(tr, prog, 500)
+	if r.Err() != nil {
+		t.Fatalf("reader err %v, want nil", r.Err())
+	}
+}
+
+// faultSrc jumps to a PC far outside the program: the live stream and a
+// captured trace must surface the identical architectural fault.
+const faultSrc = `
+        .text
+main:   li    r9, 12345
+        jmp   (r9)
+        halt
+`
+
+func TestCaptureFaultParity(t *testing.T) {
+	prog := asm.MustAssemble("fault", faultSrc)
+
+	s := emu.NewStream(emu.NewMachine(prog, nil), 16, 0)
+	var streamRecs int
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+		streamRecs++
+	}
+	if s.Err() == nil {
+		t.Fatal("live stream did not fault")
+	}
+
+	tr, err := trace.Capture(context.Background(), prog, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != int64(streamRecs) {
+		t.Fatalf("trace len %d, stream served %d", tr.Len(), streamRecs)
+	}
+	r := trace.NewReader(tr, prog, 0)
+	var replayRecs int
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+		replayRecs++
+	}
+	if replayRecs != streamRecs {
+		t.Fatalf("replay served %d records, stream %d", replayRecs, streamRecs)
+	}
+	if r.Err() == nil || r.Err().Error() != s.Err().Error() {
+		t.Fatalf("fault mismatch: stream %q replay %q", s.Err(), r.Err())
+	}
+
+	// A reader bounded before the fault never sees it, exactly like a live
+	// stream bounded before the fault.
+	bounded := trace.NewReader(tr, prog, tr.Len())
+	if bounded.Err() != nil {
+		t.Fatalf("bounded reader err %v, want nil", bounded.Err())
+	}
+}
+
+// TestCodecRoundTrip: encode→decode→encode is byte-stable and the decoded
+// trace replays identically.
+func TestCodecRoundTrip(t *testing.T) {
+	prog, mgt, _ := rewritten(t, "adpcm.enc")
+	tr, err := trace.Capture(context.Background(), prog, mgt, 30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := trace.Encode(tr)
+	back, err := trace.Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(trace.Encode(back), blob) {
+		t.Fatal("encode→decode→encode not byte-stable")
+	}
+	if back.Len() != tr.Len() || back.Halted() != tr.Halted() {
+		t.Fatalf("metadata changed: len %d→%d halted %v→%v", tr.Len(), back.Len(), tr.Halted(), back.Halted())
+	}
+	cfg := uarch.MiniGraph(true)
+	cfg.MaxRecords = 30_000
+	a, err := uarch.NewWithSource(cfg, mgt, trace.NewReader(tr, prog, cfg.MaxRecords)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := uarch.NewWithSource(cfg, mgt, trace.NewReader(back, prog, cfg.MaxRecords)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("decoded trace replays differently")
+	}
+}
+
+// TestDecodeRejectsDamage: every kind of blob damage reads as an error,
+// never as a silently wrong trace.
+func TestDecodeRejectsDamage(t *testing.T) {
+	prog, mgt, _ := rewritten(t, "sha")
+	tr, err := trace.Capture(context.Background(), prog, mgt, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := trace.Encode(tr)
+	flipped := append([]byte{}, blob...)
+	flipped[len(flipped)-5] ^= 0x40 // a record byte, not the header
+	cases := map[string][]byte{
+		"empty":       {},
+		"magic":       append([]byte{'X'}, blob[1:]...),
+		"version":     append(append([]byte{}, blob[:4]...), append([]byte{0xff, 0xff}, blob[6:]...)...),
+		"truncated":   blob[:len(blob)/2],
+		"trailing":    append(append([]byte{}, blob...), 0),
+		"payload-bit": flipped,
+	}
+	for name, data := range cases {
+		if _, err := trace.Decode(data); err == nil {
+			t.Errorf("%s: decode accepted damaged blob", name)
+		}
+	}
+}

@@ -3,13 +3,15 @@
 // (§6) extended with mini-graph support (§4): MGHT-driven scheduling, MGST
 // sequencers, ALU pipelines and a sliding-window scheduler.
 //
-// The model is execution-driven: internal/emu generates the architecturally
-// correct dynamic instruction stream (with resolved addresses and branch
-// outcomes), and this package times it. Branch predictors are modelled and
-// trained; a misprediction stalls fetch until the branch resolves and then
-// refills the front end (the standard stall-on-mispredict approximation).
-// Memory-ordering violations and mini-graph replays rewind the stream
-// cursor and flush younger state.
+// The model is execution-driven: the architecturally correct dynamic
+// instruction stream (with resolved addresses and branch outcomes) arrives
+// through a TraceSource — internal/emu generating records live, or
+// internal/trace replaying a captured stream; timing is byte-identical
+// either way. Branch predictors are modelled and trained; a misprediction
+// stalls fetch until the branch resolves and then refills the front end
+// (the standard stall-on-mispredict approximation). Memory-ordering
+// violations and mini-graph replays rewind the stream cursor and flush
+// younger state.
 package uarch
 
 import (
@@ -89,8 +91,12 @@ type Config struct {
 
 	// MaxRecords bounds the run (0 = run to halt).
 	MaxRecords int64
-	// StreamWindow is the rewind-buffer depth; it must exceed
-	// ROBSize + FrontendDepth×FetchWidth.
+	// StreamWindow overrides the live stream's rewind-buffer depth. Leave
+	// it 0: the window is derived from the machine itself (MaxSquashDepth),
+	// so an undersized window — a rewind panic waiting to happen — cannot
+	// be configured into existence. A non-zero override (for tests) must
+	// still cover MaxSquashDepth; Validate enforces that. Replay sources
+	// retain the whole trace and ignore it entirely.
 	StreamWindow int
 }
 
@@ -128,7 +134,6 @@ func Baseline() Config {
 		DCache:        cache.L1DConfig(),
 		L2:            cache.L2Config(),
 		WindowHorizon: 32,
-		StreamWindow:  4096,
 	}
 }
 
@@ -154,12 +159,23 @@ func (c *Config) FrontendCapacity() int {
 }
 
 // MaxSquashDepth returns the deepest possible stream rewind: everything in
-// the ROB plus everything in the front end. StreamWindow must cover it;
-// every layer that sizes or validates against the squash depth (Validate,
-// the pipeline's front-end ring, the serve-layer override guard) must use
-// this one definition.
+// the ROB plus everything in the front end. The live stream's retention
+// window is derived from it; every layer that sizes or validates against
+// the squash depth must use this one definition.
 func (c *Config) MaxSquashDepth() int {
 	return c.ROBSize + c.FrontendCapacity()
+}
+
+// EffectiveStreamWindow returns the live stream's rewind-buffer depth: the
+// machine's own maximum squash depth, unless a (test) override asks for
+// more. Deriving the window from the config removes a whole failure class
+// — the caller-supplied guess that undersizes the buffer and panics on a
+// deep squash.
+func (c *Config) EffectiveStreamWindow() int {
+	if c.StreamWindow > 0 {
+		return c.StreamWindow
+	}
+	return c.MaxSquashDepth()
 }
 
 // Validate panics on impossible configurations; configs are produced by
@@ -176,7 +192,7 @@ func (c *Config) Validate() {
 		panic("uarch: no integer units")
 	case c.MemLatency < 0:
 		panic("uarch: negative memory latency")
-	case c.StreamWindow < c.MaxSquashDepth():
-		panic("uarch: stream window smaller than maximum squash depth")
+	case c.StreamWindow != 0 && c.StreamWindow < c.MaxSquashDepth():
+		panic("uarch: stream window override smaller than maximum squash depth")
 	}
 }

@@ -1,7 +1,6 @@
 package uarch
 
 import (
-	"minigraph/internal/emu"
 	"minigraph/internal/isa"
 )
 
@@ -19,43 +18,45 @@ func (p *Pipeline) fetch() {
 	}
 	slots := p.cfg.FetchWidth
 	for slots > 0 && !p.frontend.full() {
-		var rec *emu.Record
-		if p.pendingRec != nil {
-			rec, p.pendingRec = p.pendingRec, nil
+		// Records are delivered straight into a uop's record slot — no
+		// staging copy. A uop whose record turns out to be a nop (dropped
+		// before rename) goes straight back to the pool untouched.
+		var u *uop
+		if p.pendingU != nil {
+			u, p.pendingU = p.pendingU, nil
 		} else {
-			r, ok := p.stream.Next()
-			if !ok {
+			u = p.newUop()
+			if !p.src.NextInto(&u.rec) {
+				p.returnFresh(u)
 				return
 			}
-			rec = r
 		}
 		// Instruction cache: one probe per line transition.
-		line := isa.Addr(rec.PC.ByteAddr()) &^ isa.Addr(p.cfg.ICache.LineSize-1)
+		line := isa.Addr(u.rec.PC.ByteAddr()) &^ isa.Addr(p.cfg.ICache.LineSize-1)
 		if !p.haveFetchLine || line != p.lastFetchLine {
-			ready, hit := p.icache.Access(p.cycle, rec.PC.ByteAddr(), false)
+			ready, hit := p.icache.Access(p.cycle, u.rec.PC.ByteAddr(), false)
 			p.lastFetchLine, p.haveFetchLine = line, true
 			if !hit {
 				p.icacheFill = ready
-				p.pendingRec = rec
+				p.pendingU = u
 				return
 			}
 		}
 		slots--
 		p.stats.FetchedRecords++
-		if rec.Op == isa.OpNop {
+		if u.rec.Op == isa.OpNop {
 			p.stats.FetchedNops++
+			p.returnFresh(u)
 			continue
 		}
 
-		u := p.newUop()
-		u.rec = *rec
-		if rec.MGID >= 0 {
-			u.tmpl = p.mgt.Template(rec.MGID)
-			u.mg = p.mgt.Info(rec.MGID)
+		if u.rec.MGID >= 0 {
+			u.tmpl = p.mgt.Template(u.rec.MGID)
+			u.mg = p.mgt.Info(u.rec.MGID)
 		}
 
 		stop := false
-		if rec.IsCtrl {
+		if u.rec.IsCtrl {
 			stop = p.predictControl(u)
 		}
 		p.frontend.push(feEntry{u: u, readyAt: p.cycle + int64(p.cfg.FrontendDepth)})
@@ -138,7 +139,7 @@ func (p *Pipeline) dispatch() {
 			return
 		}
 		needIQ := u.rec.Op != isa.OpHalt
-		if needIQ && len(p.iq) >= p.cfg.IQSize {
+		if needIQ && p.iqLen() >= p.cfg.IQSize {
 			p.stats.StallIQ++
 			return
 		}
@@ -165,12 +166,17 @@ func (p *Pipeline) dispatch() {
 			}
 			u.dest, u.prev = phys, undo.Prev
 			p.readyAt[phys] = notReady
+			// A fresh register life starts with no wake-up subscribers;
+			// whatever the previous life left (squash paths skip the
+			// issue-time clear) is stale by epoch.
+			p.clearWaiters(phys)
 		}
 
 		p.rob.push(u)
 		if needIQ {
 			u.inIQ = true
-			p.iq = append(p.iq, u)
+			p.refreshWake(u)
+			p.candPush(u)
 		} else {
 			u.completed = true // halt: no execution
 		}

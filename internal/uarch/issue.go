@@ -19,25 +19,29 @@ func (p *Pipeline) issue() {
 		p.apBusy[i] = false
 	}
 
-	// One pass does both jobs: compact the scheduler in place (write index
-	// trails read index over the same backing array) and select oldest-first
-	// among the survivors. Entry release policy — §4.1: singleton entries
-	// free at issue (held two extra cycles so the speculative-wake-up replay
-	// shadow can still reach them); loads hold their entries until the data
-	// is confirmed, and handles free theirs when the MGST sequencer reaches
-	// the terminal instruction (completion).
-	iq := p.iq[:0]
-	for _, u := range p.iq {
-		switch {
-		case !u.inIQ || u.squashed:
-			continue
-		case u.issued && u.iqFreeAt > 0 && p.cycle >= u.iqFreeAt:
-			u.inIQ = false
-			continue
-		default:
-			iq = append(iq, u)
-		}
-		if slots == 0 || u.issued || u.cycleBlocked(p) {
+	// Singleton scheduler slots whose two-cycle post-issue hold (§4.1)
+	// expires now are released before the select pass, exactly when the
+	// fused compaction used to drop them.
+	p.drainIQFrees()
+
+	// Select oldest-first over the candidate array — not-yet-issued entries
+	// in program order. Issued entries live in the held set and cost the
+	// scan nothing; an entry that issues here migrates over. Entry release
+	// policy — §4.1: singleton entries free at issue (held two extra cycles
+	// so the speculative-wake-up replay shadow can still reach them); loads
+	// hold their entries until the data is confirmed, and handles free
+	// theirs when the MGST sequencer reaches the terminal instruction
+	// (completion).
+	cand := p.iqCand
+	w := 0
+	for r := 0; r < len(cand); r++ {
+		u := cand[r]
+		// wakeAt is a sound lower bound on the cycle every source is ready
+		// (see refreshWake): sleeping entries cost one comparison, and the
+		// authoritative per-source check below still gates actual issue.
+		if slots == 0 || u.wakeAt > p.cycle || u.cycleBlocked(p) {
+			cand[w] = u
+			w++
 			continue
 		}
 		nports := 0
@@ -50,24 +54,25 @@ func (p *Pipeline) issue() {
 				nports++
 			}
 		}
-		if nports < 0 {
-			continue // a source is not ready
-		}
-		if nports > readPorts {
-			continue // out of register read ports this cycle
-		}
-		if u.isMem() && !p.memIssueAllowed(u) {
+		if nports < 0 || nports > readPorts || // source not ready / out of read ports
+			(u.isMem() && !p.memIssueAllowed(u)) {
+			cand[w] = u
+			w++
 			continue
 		}
 
 		outLat := u.outLat(&p.cfg)
 		needWr := u.dest != rename.NoReg
 		if needWr && !p.window.Available(sched.ResWrPort, p.cycle+int64(outLat)) {
+			cand[w] = u
+			w++
 			continue
 		}
 
 		// Functional-unit acquisition.
 		if !p.acquireFU(u, intMemBudget) {
+			cand[w] = u
+			w++
 			continue
 		}
 		if u.isMG() && !u.mg.Integer {
@@ -75,13 +80,17 @@ func (p *Pipeline) issue() {
 			p.stats.IntMemIssued++
 		}
 
-		// Commit the issue.
+		// Commit the issue: the entry leaves the candidates for the held
+		// set.
 		slots--
 		readPorts -= nports
 		u.issued = true
 		u.issueAt = p.cycle
+		p.heldAdd(u)
 		if !u.isMG() && !u.isLoad() {
 			u.iqFreeAt = p.cycle + 2
+			slot := &p.iqFreeRing[u.iqFreeAt&3]
+			*slot = append(*slot, uopRef{u: u, epoch: u.epoch})
 		}
 		p.stats.Issued++
 		if needWr {
@@ -97,6 +106,7 @@ func (p *Pipeline) issue() {
 				eff = p.cfg.SchedCycles
 			}
 			p.readyAt[u.dest] = p.cycle + int64(eff)
+			p.wakeConsumers(u.dest)
 		}
 		if u.isMem() {
 			p.execMem(u)
@@ -117,7 +127,10 @@ func (p *Pipeline) issue() {
 		}
 		p.schedule(p.cycle+int64(total), evComplete, u)
 	}
-	p.iq = iq
+	for i := w; i < len(cand); i++ {
+		cand[i] = nil
+	}
+	p.iqCand = cand[:w]
 }
 
 // cycleBlocked reports scheduling holds that are not operand readiness.

@@ -25,39 +25,68 @@ type feEntry struct {
 }
 
 // feRing is the fetch-to-rename pipe: a fixed-capacity ring of feEntry,
-// sized once at construction so the steady-state front end never allocates.
+// sized once at construction so the steady-state front end never
+// allocates. The buffer is rounded up to a power of two so slot math is a
+// mask; the *logical* capacity (what full() enforces, and therefore what
+// timing observes) stays exact.
 type feRing struct {
 	buf  []feEntry
+	mask int
+	cap  int
 	head int
 	n    int
 }
 
-func newFERing(capacity int) feRing { return feRing{buf: make([]feEntry, capacity)} }
+func newFERing(capacity int) feRing {
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	return feRing{buf: make([]feEntry, size), mask: size - 1, cap: capacity}
+}
 
 func (r *feRing) len() int   { return r.n }
-func (r *feRing) full() bool { return r.n == len(r.buf) }
+func (r *feRing) full() bool { return r.n == r.cap }
 func (r *feRing) front() *feEntry {
 	return &r.buf[r.head]
 }
 
 func (r *feRing) push(e feEntry) {
-	r.buf[(r.head+r.n)%len(r.buf)] = e
+	r.buf[(r.head+r.n)&r.mask] = e
 	r.n++
 }
 
 func (r *feRing) popFront() feEntry {
 	e := r.buf[r.head]
 	r.buf[r.head] = feEntry{}
-	r.head = (r.head + 1) % len(r.buf)
+	r.head = (r.head + 1) & r.mask
 	r.n--
 	return e
 }
 
+// TraceSource delivers the architecturally correct dynamic instruction
+// stream to the pipeline. Two implementations exist: the live emu.Stream,
+// which steps the functional emulator lazily, and trace.Reader, which
+// replays an immutable captured trace. The contract mirrors emu.Stream:
+// NextInto writes the record at the cursor into dst and advances (false =
+// exhausted), Rewind re-serves from an earlier sequence number after a
+// squash, Exhausted reports end of stream, and Err reports the
+// architectural fault that truncated it. The into-style delivery lets
+// fetch write each record straight into its uop with no intermediate
+// staging copy. Timing must be byte-identical across implementations —
+// the golden fixtures enforce this.
+type TraceSource interface {
+	NextInto(dst *emu.Record) bool
+	Rewind(seq int64)
+	Exhausted() bool
+	Err() error
+}
+
 // Pipeline is one simulated machine instance bound to one program run.
 type Pipeline struct {
-	cfg    Config
-	stream *emu.Stream
-	mgt    *core.MGT
+	cfg Config
+	src TraceSource
+	mgt *core.MGT
 
 	pred   *bpred.Predictor
 	ssets  *storesets.Predictor
@@ -73,8 +102,35 @@ type Pipeline struct {
 
 	readyAt []int64 // per physical register
 
-	rob      *rob
-	iq       []*uop
+	rob *rob
+	// The scheduler is split by issue state so the per-cycle select loop
+	// touches only entries that could actually issue. iqCand holds
+	// not-yet-issued entries in program order (the select scan order);
+	// iqHeld holds issued entries still occupying a scheduler slot
+	// (unordered, O(1) removal via uop.heldIdx). IQ occupancy — what
+	// dispatch stalls against — is the sum of both. iqFreeRing schedules
+	// the two-cycle post-issue hold of singleton entries (§4.1): slot
+	// cycle&3 lists the entries whose hold expires that cycle, epoch-tagged
+	// so a recycled uop can never be freed by its previous life's entry.
+	iqCand     []*uop
+	iqHeld     []*uop
+	iqFreeRing [4][]uopRef
+	// pregWaiters[preg] lists the candidates whose wakeAt was computed
+	// while preg was notReady (producer not yet issued). A physical
+	// register's ready time only ever *decreases* at the producer's issue
+	// (notReady → cycle+eff; finite values are monotonically increasing
+	// across replays), so recomputing exactly those subscribers there keeps
+	// every candidate's wakeAt a sound lower bound on its true ready cycle
+	// — the select scan can skip sleeping entries on one comparison.
+	pregWaiters [][]uopRef
+	// replayedHeld flags that a replay returned issued entries to the
+	// not-issued state this cycle; processEvents then migrates them from
+	// iqHeld back into iqCand (in program order) before the select pass.
+	// replayScratch is the migration buffer, reused so the (frequent, on
+	// cache-miss-heavy runs) replay path stays allocation-free.
+	replayedHeld  bool
+	replayScratch []*uop
+
 	lsq      *rob // reuse ring structure for the load/store queue
 	frontend feRing
 
@@ -91,8 +147,8 @@ type Pipeline struct {
 	cycle      int64
 	fetchStall int64 // no fetch before this cycle
 	icacheFill int64
-	pendingRec *emu.Record // fetched but stalled on an icache miss
-	pendingBr  *uop        // unresolved (full) mispredicted branch
+	pendingU   *uop // fetched but stalled on an icache miss
+	pendingBr  *uop // unresolved (full) mispredicted branch
 
 	violPending bool
 	violSeq     int64
@@ -103,6 +159,15 @@ type Pipeline struct {
 	stats Result
 }
 
+// uopRef is an epoch-tagged uop reference: a scheduled singleton
+// scheduler-slot release, or a wake-up subscription. The tag makes stale
+// references (the uop was squashed, replayed, or recycled into a new life)
+// cheap to recognise and skip.
+type uopRef struct {
+	u     *uop
+	epoch int
+}
+
 type evKind uint8
 
 const (
@@ -111,13 +176,23 @@ const (
 	evResolve
 )
 
-// New builds a pipeline for prog. mgt may be nil for plain binaries.
+// New builds a pipeline for prog with a live emulation source. mgt may be
+// nil for plain binaries.
 func New(cfg Config, prog *isa.Program, mgt *core.MGT) *Pipeline {
 	cfg.Validate()
 	m := emu.NewMachine(prog, mgt)
+	return NewWithSource(cfg, mgt, emu.NewStream(m, cfg.EffectiveStreamWindow(), cfg.MaxRecords))
+}
+
+// NewWithSource builds a pipeline fed by an explicit record source — a
+// live emu.Stream or a trace replay cursor. The source must respect
+// cfg.MaxRecords itself (both emu.NewStream and trace.NewReader take the
+// limit at construction).
+func NewWithSource(cfg Config, mgt *core.MGT, src TraceSource) *Pipeline {
+	cfg.Validate()
 	p := &Pipeline{
 		cfg:      cfg,
-		stream:   emu.NewStream(m, cfg.StreamWindow, cfg.MaxRecords),
+		src:      src,
 		mgt:      mgt,
 		pred:     bpred.New(cfg.BPred),
 		ssets:    storesets.New(cfg.StoreSets),
@@ -125,8 +200,12 @@ func New(cfg Config, prog *isa.Program, mgt *core.MGT) *Pipeline {
 		ren:      rename.New(cfg.PhysRegs),
 		rob:      newROB(cfg.ROBSize),
 		lsq:      newROB(cfg.LSQSize),
-		iq:       make([]*uop, 0, cfg.IQSize),
+		iqCand:   make([]*uop, 0, cfg.IQSize),
+		iqHeld:   make([]*uop, 0, cfg.IQSize),
 		frontend: newFERing(cfg.FrontendCapacity()),
+	}
+	for i := range p.iqFreeRing {
+		p.iqFreeRing[i] = make([]uopRef, 0, cfg.IssueWidth)
 	}
 	if cfg.MemLatency > 0 {
 		p.bus.MemLat = cfg.MemLatency
@@ -147,6 +226,7 @@ func New(cfg Config, prog *isa.Program, mgt *core.MGT) *Pipeline {
 	}
 	p.apBusy = make([]bool, cfg.APs)
 	p.readyAt = make([]int64, p.ren.NumPhys())
+	p.pregWaiters = make([][]uopRef, p.ren.NumPhys())
 	p.stats.Config = cfg.Name
 	return p
 }
@@ -184,7 +264,7 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 			p.violPending = false
 		}
 	}
-	if err := p.stream.Err(); err != nil {
+	if err := p.src.Err(); err != nil {
 		return nil, err
 	}
 	p.stats.Cycles = p.cycle
@@ -200,8 +280,8 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 }
 
 func (p *Pipeline) done() bool {
-	return p.rob.empty() && p.frontend.len() == 0 && p.pendingRec == nil &&
-		p.pendingBr == nil && p.stream.Exhausted()
+	return p.rob.empty() && p.frontend.len() == 0 && p.pendingU == nil &&
+		p.pendingBr == nil && p.src.Exhausted()
 }
 
 // ---------- uop pool ----------
@@ -236,12 +316,158 @@ func (p *Pipeline) kill(u *uop) {
 	}
 }
 
+// returnFresh returns to the pool a uop that never left fetch: only its
+// record slot was written (which reset never clears anyway), so the
+// dispatch-ready blank state from newUop is still intact and the full
+// reset can be skipped.
+func (p *Pipeline) returnFresh(u *uop) {
+	u.pooled = true
+	p.uopPool = append(p.uopPool, u)
+}
+
 func (p *Pipeline) recycle(u *uop) {
 	// Bump the epoch across the reset so any event that escaped accounting
 	// can never match the reincarnated uop.
 	u.reset(u.epoch + 1)
 	u.pooled = true
 	p.uopPool = append(p.uopPool, u)
+}
+
+// ---------- scheduler membership ----------
+
+// iqLen is the scheduler occupancy dispatch stalls against.
+func (p *Pipeline) iqLen() int { return len(p.iqCand) + len(p.iqHeld) }
+
+// heldAdd moves an entry that just issued into the held set.
+func (p *Pipeline) heldAdd(u *uop) {
+	u.heldIdx = int32(len(p.iqHeld))
+	p.iqHeld = append(p.iqHeld, u)
+}
+
+// heldRemove releases u's scheduler slot (O(1) swap-remove).
+func (p *Pipeline) heldRemove(u *uop) {
+	n := len(p.iqHeld) - 1
+	last := p.iqHeld[n]
+	p.iqHeld[u.heldIdx] = last
+	last.heldIdx = u.heldIdx
+	p.iqHeld[n] = nil
+	p.iqHeld = p.iqHeld[:n]
+}
+
+// candPush appends a freshly dispatched entry; dispatch runs in program
+// order, so the candidate array stays sorted by sequence number.
+func (p *Pipeline) candPush(u *uop) {
+	p.iqCand = append(p.iqCand, u)
+}
+
+// candInsert returns a replayed entry to the candidate array at its
+// program-order position. Replays are rare, so the O(n) shift is noise.
+func (p *Pipeline) candInsert(u *uop) {
+	i := len(p.iqCand)
+	for i > 0 && p.iqCand[i-1].rec.Seq > u.rec.Seq {
+		i--
+	}
+	p.iqCand = append(p.iqCand, nil)
+	copy(p.iqCand[i+1:], p.iqCand[i:])
+	p.iqCand[i] = u
+}
+
+// collectReplayed migrates entries a replay returned to the not-issued
+// state from the held set back into the candidate array, restoring the
+// eager invariants (candidates: in program order, never issued; held:
+// always issued) before the select pass runs.
+func (p *Pipeline) collectReplayed() {
+	w := 0
+	moved := p.replayScratch[:0]
+	for _, c := range p.iqHeld {
+		if c.issued {
+			c.heldIdx = int32(w)
+			p.iqHeld[w] = c
+			w++
+			continue
+		}
+		moved = append(moved, c)
+	}
+	for i := w; i < len(p.iqHeld); i++ {
+		p.iqHeld[i] = nil
+	}
+	p.iqHeld = p.iqHeld[:w]
+	for _, c := range moved {
+		p.refreshWake(c)
+		p.candInsert(c)
+	}
+	for i := range moved {
+		moved[i] = nil
+	}
+	p.replayScratch = moved[:0]
+}
+
+// drainIQFrees releases the singleton scheduler slots whose two-cycle
+// post-issue hold expires this cycle. Stale entries — the uop replayed,
+// completed early, squashed, or was recycled into a new life — are
+// recognised by the epoch tag and the live iqFreeAt and skipped.
+func (p *Pipeline) drainIQFrees() {
+	ring := p.iqFreeRing[p.cycle&3]
+	for _, f := range ring {
+		u := f.u
+		if u.epoch == f.epoch && u.inIQ && u.issued && u.iqFreeAt > 0 && p.cycle >= u.iqFreeAt {
+			p.heldRemove(u)
+			u.inIQ = false
+		}
+	}
+	for i := range ring {
+		ring[i] = uopRef{}
+	}
+	p.iqFreeRing[p.cycle&3] = ring[:0]
+}
+
+// refreshWake recomputes c's wake-up bound — the latest currently known
+// ready time over its sources — and subscribes c to every source whose
+// producer has not issued yet (readyAt == notReady), the only state a
+// ready time can later decrease from. Sources with finite future ready
+// times need no subscription: those only move later (replay re-issues
+// happen strictly after the original issue), so the cached bound stays
+// sound.
+func (p *Pipeline) refreshWake(c *uop) {
+	var wake int64
+	for i := 0; i < c.nsrcs; i++ {
+		s := c.srcs[i]
+		if s == rename.NoReg {
+			continue
+		}
+		v := p.readyAt[s]
+		if v > wake {
+			wake = v
+		}
+		if v == notReady {
+			p.pregWaiters[s] = append(p.pregWaiters[s], uopRef{u: c, epoch: c.epoch})
+		}
+	}
+	c.wakeAt = wake
+}
+
+// clearWaiters empties preg's subscription list.
+func (p *Pipeline) clearWaiters(preg int) {
+	refs := p.pregWaiters[preg]
+	for i := range refs {
+		refs[i] = uopRef{}
+	}
+	p.pregWaiters[preg] = refs[:0]
+}
+
+// wakeConsumers refreshes every candidate subscribed to preg after its
+// ready time dropped from notReady to a concrete cycle at producer issue.
+// The list is consumed whole: survivors still blocked on other not-issued
+// sources re-subscribed to those inside refreshWake.
+func (p *Pipeline) wakeConsumers(preg int) {
+	refs := p.pregWaiters[preg]
+	for i := range refs {
+		if c := refs[i].u; c.epoch == refs[i].epoch {
+			p.refreshWake(c)
+		}
+		refs[i] = uopRef{}
+	}
+	p.pregWaiters[preg] = refs[:0]
 }
 
 // ---------- events ----------
@@ -270,6 +496,10 @@ func (p *Pipeline) processEvents() {
 			p.onMissDiscover(e.u)
 		}
 	}
+	if p.replayedHeld {
+		p.collectReplayed()
+		p.replayedHeld = false
+	}
 	for _, e := range evs {
 		u := e.u
 		u.pendingEv--
@@ -294,7 +524,10 @@ func (p *Pipeline) onComplete(u *uop) {
 		return
 	}
 	u.completed = true
-	u.inIQ = false
+	if u.inIQ {
+		p.heldRemove(u) // completion always finds an issued entry
+		u.inIQ = false
+	}
 }
 
 func (p *Pipeline) onResolve(u *uop) {

@@ -62,12 +62,15 @@ func (p *Pipeline) retire() {
 
 // replay returns an issued uop to the not-issued state (mini-graph
 // interior-load miss, §4.3) and transitively replays issued consumers of
-// its output.
+// its output. The entry stays in the held set until processEvents runs
+// collectReplayed — structural migration mid-cascade would corrupt the
+// replayConsumers scan.
 func (p *Pipeline) replay(u *uop) {
 	if !u.issued {
 		return
 	}
 	u.issued = false
+	p.replayedHeld = true
 	u.epoch++ // cancel in-flight completion / miss / resolve events
 	u.replayed++
 	p.cancelReservations(u)
@@ -84,9 +87,10 @@ func (p *Pipeline) replay(u *uop) {
 // replayConsumers replays every issued, not-completed scheduler entry that
 // consumes physical register preg. Consumers can only have issued inside a
 // speculative-wake-up shadow, so the set is small; entries remain in the
-// scheduler until completion precisely so they stay replayable.
+// scheduler until completion precisely so they stay replayable — which is
+// why only the held (issued) set needs scanning.
 func (p *Pipeline) replayConsumers(preg int) {
-	for _, c := range p.iq {
+	for _, c := range p.iqHeld {
 		if !c.issued || c.completed || c.squashed {
 			continue
 		}
@@ -135,7 +139,22 @@ func (p *Pipeline) squash(seq int64) {
 		u := p.rob.popBack()
 		u.squashed = true
 		u.epoch++
-		u.inIQ = false
+		if u.inIQ {
+			if u.issued {
+				p.heldRemove(u)
+			} else {
+				// Candidates are in program order and the ROB walks
+				// youngest-first, so a squashed candidate is always the
+				// array's tail.
+				n := len(p.iqCand) - 1
+				if n < 0 || p.iqCand[n] != u {
+					panic("uarch: IQ/ROB squash order diverged")
+				}
+				p.iqCand[n] = nil
+				p.iqCand = p.iqCand[:n]
+			}
+			u.inIQ = false
+		}
 		if u.issued {
 			p.cancelReservations(u)
 		}
@@ -167,8 +186,13 @@ func (p *Pipeline) squash(seq int64) {
 		}
 		p.kill(fe.u)
 	}
-	p.pendingRec = nil
+	if p.pendingU != nil {
+		// The stalled fetch never entered the machine; its record replays
+		// after the rewind below.
+		p.returnFresh(p.pendingU)
+		p.pendingU = nil
+	}
 	p.haveFetchLine = false
-	p.stream.Rewind(seq)
+	p.src.Rewind(seq)
 	p.fetchStall = p.cycle + 1
 }

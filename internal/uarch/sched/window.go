@@ -70,14 +70,16 @@ func FromFU(fu core.FU) Resource {
 // allocation-free and branch-cheap on the per-cycle path.
 type Capacities [numResources]int
 
-// Window is the two-dimensional reservation bitmap: counts[resource][cycle]
+// Window is the two-dimensional reservation bitmap: counts[cycle][resource]
 // versus per-resource capacity. Cycles are a ring over the window horizon;
-// the counts live in one flat slab (resource-major) for cache locality.
+// the counts live in one flat slab, slot-major, so the several same-cycle
+// probes the select loop makes land on one cache line and Tick's clear of
+// an expired slot is one contiguous run.
 type Window struct {
 	horizon int
 	mask    int64 // horizon-1 when horizon is a power of two, else 0
 	cap     Capacities
-	counts  []int // numResources × horizon, counts[r*horizon+slot]
+	counts  []int // horizon × numResources, counts[slot*numResources+r]
 }
 
 // NewWindow builds a window covering horizon future cycles.
@@ -106,7 +108,9 @@ func (w *Window) slot(cycle int64) int {
 	return int(cycle % int64(w.horizon))
 }
 
-func (w *Window) idx(r Resource, cycle int64) int { return int(r)*w.horizon + w.slot(cycle) }
+func (w *Window) idx(r Resource, cycle int64) int {
+	return w.slot(cycle)*int(numResources) + int(r)
+}
 
 // Available reports whether one unit of r is free at cycle.
 func (w *Window) Available(r Resource, cycle int64) bool {
@@ -129,9 +133,10 @@ func (w *Window) Cancel(r Resource, cycle int64) {
 // Tick clears the slot belonging to the cycle that just completed; the ring
 // slot is reused for cycle now+horizon-1.
 func (w *Window) Tick(now int64) {
-	s := w.slot(now + int64(w.horizon) - 1)
-	for i := s; i < len(w.counts); i += w.horizon {
-		w.counts[i] = 0
+	s := w.slot(now+int64(w.horizon)-1) * int(numResources)
+	row := w.counts[s : s+int(numResources)]
+	for i := range row {
+		row[i] = 0
 	}
 }
 
@@ -180,7 +185,11 @@ func (w *Window) CancelFUBmp(issuedAt int64, ei *core.ExecInfo) {
 func (w *Window) String() string {
 	s := ""
 	for r := Resource(0); r < numResources; r++ {
-		s += fmt.Sprintf("%s(cap %d): %v\n", r, w.cap[r], w.counts[int(r)*w.horizon:int(r+1)*w.horizon])
+		row := make([]int, w.horizon)
+		for c := 0; c < w.horizon; c++ {
+			row[c] = w.counts[c*int(numResources)+int(r)]
+		}
+		s += fmt.Sprintf("%s(cap %d): %v\n", r, w.cap[r], row)
 	}
 	return s
 }

@@ -13,27 +13,33 @@ import (
 // entry, at most one LSQ entry and at most one physical register — which is
 // precisely the capacity amplification the paper measures.
 type uop struct {
-	rec emu.Record // copied from the stream (the ring slot may be reused)
-
-	// Renamed operands.
-	srcs  [2]int // physical registers (rename.NoReg = always-ready/zero)
-	nsrcs int
-	dest  int // physical register or rename.NoReg
-	prev  int // previously mapped physical register (freed at retire)
+	// Scheduler-scan state leads the struct: issue() walks every scheduler
+	// entry every cycle touching exactly these fields, so keeping them in
+	// the first cache line keeps the select loop from dragging the whole
+	// ~300-byte uop through the cache per entry.
+	inIQ      bool
+	issued    bool
+	squashed  bool
+	completed bool
+	nsrcs     int
+	srcs      [2]int // physical registers (rename.NoReg = always-ready/zero)
+	dest      int    // physical register or rename.NoReg
+	iqFreeAt  int64  // scheduler-entry release for issue-freed singletons
+	minIssue  int64  // earliest re-issue after a mini-graph replay
+	wakeAt    int64  // sound lower bound on the sources-ready cycle
+	heldIdx   int32  // index in the held set (valid while issued && inIQ)
 
 	// Mini-graph metadata (nil for singletons).
 	mg   *core.ExecInfo
 	tmpl *core.Template
 
+	rec emu.Record // copied from the source (a live slot may be reused)
+
+	prev int // previously mapped physical register (freed at retire)
+
 	// Scheduling state.
-	inIQ      bool
-	issued    bool
-	iqFreeAt  int64 // scheduler-entry release for issue-freed singletons
-	completed bool
-	squashed  bool
-	issueAt   int64
-	minIssue  int64 // earliest re-issue after a mini-graph replay
-	epoch     int   // invalidates in-flight events on replay/squash/recycle
+	issueAt int64
+	epoch   int // invalidates in-flight events on replay/squash/recycle
 
 	// Pool lifecycle. dead marks a retired or squashed uop awaiting its
 	// scheduled events to drain; pooled marks a uop on the free list;
@@ -69,18 +75,27 @@ type uop struct {
 	btbMissOnly bool // direct taken branch missing in BTB (small bubble)
 }
 
-// reset returns u to its dispatch-ready blank state with the given epoch.
-// Everything else zeroes; the sentinel fields take their "none" values.
+// reset returns u to its dispatch-ready blank state with the given epoch:
+// every field zeroes except the sentinels, which take their "none" values.
+// The record is deliberately NOT cleared — fetch overwrites it in full
+// before anything reads it, and the uop recycles once per retired record,
+// so skipping the ~100-byte clear is a measurable share of the hot loop.
+// A field added to the struct must be cleared here too.
 func (u *uop) reset(epoch int) {
-	*u = uop{
-		epoch:       epoch,
-		dest:        rename.NoReg,
-		prev:        rename.NoReg,
-		fwdFrom:     -1,
-		waitSt:      -1,
-		resWrPortAt: -1,
-		resAP:       -1,
-	}
+	u.inIQ, u.issued, u.squashed, u.completed = false, false, false, false
+	u.nsrcs, u.srcs[0], u.srcs[1] = 0, 0, 0
+	u.dest, u.prev = rename.NoReg, rename.NoReg
+	u.iqFreeAt, u.minIssue, u.wakeAt, u.heldIdx = 0, 0, 0, 0
+	u.mg, u.tmpl = nil, nil
+	u.issueAt, u.epoch = 0, epoch
+	u.dead, u.pooled, u.pendingEv = false, false, 0
+	u.resWrPortAt, u.resAP, u.resAPOutAt = -1, -1, 0
+	u.resFU, u.resFUAt, u.hasResFU, u.resFUBmp = 0, 0, false, false
+	u.inLSQ, u.execMem = false, false
+	u.fwdFrom, u.waitSt = -1, -1
+	u.dataAt, u.missAt, u.replayed = 0, 0, 0
+	u.predTaken, u.predTarget, u.mispredict = false, 0, false
+	u.histSnap, u.resolveAt, u.btbMissOnly = 0, 0, false
 }
 
 func (u *uop) isLoad() bool  { return u.rec.IsLoad }
@@ -129,21 +144,31 @@ func covers(a isa.Addr, an int, b isa.Addr, bn int) bool {
 	return a <= b && b+isa.Addr(bn) <= a+isa.Addr(an)
 }
 
-// rob is a ring buffer of in-flight uops in program order.
+// rob is a ring buffer of in-flight uops in program order. The buffer is
+// rounded up to a power of two so slot math is a mask; full() enforces the
+// exact logical capacity, so timing never observes the rounding.
 type rob struct {
 	buf  []*uop
+	mask int
+	cap  int
 	head int
 	n    int
 }
 
-func newROB(size int) *rob { return &rob{buf: make([]*uop, size)} }
+func newROB(size int) *rob {
+	bufSize := 1
+	for bufSize < size {
+		bufSize <<= 1
+	}
+	return &rob{buf: make([]*uop, bufSize), mask: bufSize - 1, cap: size}
+}
 
-func (r *rob) full() bool  { return r.n == len(r.buf) }
+func (r *rob) full() bool  { return r.n == r.cap }
 func (r *rob) empty() bool { return r.n == 0 }
 func (r *rob) len() int    { return r.n }
 
 func (r *rob) push(u *uop) {
-	r.buf[(r.head+r.n)%len(r.buf)] = u
+	r.buf[(r.head+r.n)&r.mask] = u
 	r.n++
 }
 
@@ -154,14 +179,14 @@ func (r *rob) front() *uop {
 func (r *rob) popFront() *uop {
 	u := r.buf[r.head]
 	r.buf[r.head] = nil
-	r.head = (r.head + 1) % len(r.buf)
+	r.head = (r.head + 1) & r.mask
 	r.n--
 	return u
 }
 
 // popBack removes the youngest entry (squash walk).
 func (r *rob) popBack() *uop {
-	i := (r.head + r.n - 1) % len(r.buf)
+	i := (r.head + r.n - 1) & r.mask
 	u := r.buf[i]
 	r.buf[i] = nil
 	r.n--
@@ -172,8 +197,8 @@ func (r *rob) back() *uop {
 	if r.n == 0 {
 		return nil
 	}
-	return r.buf[(r.head+r.n-1)%len(r.buf)]
+	return r.buf[(r.head+r.n-1)&r.mask]
 }
 
 // at returns the i-th oldest entry.
-func (r *rob) at(i int) *uop { return r.buf[(r.head+i)%len(r.buf)] }
+func (r *rob) at(i int) *uop { return r.buf[(r.head+i)&r.mask] }

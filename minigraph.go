@@ -39,6 +39,7 @@ import (
 	"minigraph/internal/rewrite"
 	"minigraph/internal/sim"
 	"minigraph/internal/store"
+	"minigraph/internal/trace"
 	"minigraph/internal/uarch"
 	"minigraph/internal/workload"
 )
@@ -90,6 +91,11 @@ type (
 	Store = store.Store
 	// StoreStats are a Store's hit/miss/eviction counters and footprint.
 	StoreStats = store.Stats
+
+	// Trace is an immutable captured dynamic-instruction stream: one
+	// functional emulation, replayable by any number of concurrent timing
+	// simulations (see CaptureTrace / SimulateTrace).
+	Trace = trace.Trace
 )
 
 // Input sets for PrepareKey and Benchmark.Build.
@@ -197,6 +203,24 @@ func Simulate(cfg SimConfig, p *Program, mgt *MGT) (*SimResult, error) {
 // promptly with ctx's error once ctx is done.
 func SimulateContext(ctx context.Context, cfg SimConfig, p *Program, mgt *MGT) (*SimResult, error) {
 	return uarch.New(cfg, p, mgt).Run(ctx)
+}
+
+// CaptureTrace runs p functionally once (to halt, fault, or limit dynamic
+// records; limit <= 0 means to completion) and records the dynamic
+// instruction stream. Replaying the trace with SimulateTrace produces
+// results byte-identical to Simulate while skipping the emulation — the
+// economical way to sweep many machine configurations over one binary.
+func CaptureTrace(ctx context.Context, p *Program, mgt *MGT, limit int64) (*Trace, error) {
+	return trace.Capture(ctx, p, mgt, limit)
+}
+
+// SimulateTrace runs the timing model over a captured trace instead of
+// live emulation. The trace must have been captured from p (or a
+// structurally identical program) with a record limit covering
+// cfg.MaxRecords. Any number of SimulateTrace calls may share one trace
+// concurrently; each opens a private cursor.
+func SimulateTrace(ctx context.Context, cfg SimConfig, tr *Trace, p *Program, mgt *MGT) (*SimResult, error) {
+	return uarch.NewWithSource(cfg, mgt, trace.NewReader(tr, p, cfg.MaxRecords)).Run(ctx)
 }
 
 // NewEngine builds a memoizing simulation job engine with the given
