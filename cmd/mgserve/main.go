@@ -8,14 +8,29 @@
 //
 //	mgserve [-addr :8347] [-cache-dir DIR] [-cache-max-bytes N]
 //	        [-parallel N] [-max-sweep-jobs N]
+//	        [-workers URL,URL,...] [-fanout N]
+//	        [-job-queue N] [-job-runners N]
+//
+// With -workers the process runs as a coordinator: sweep arms shard
+// across the listed worker mgserve processes by trace-key affinity
+// (rendezvous hashing), so every arm lands on the worker that already
+// holds its captured trace; worker failures re-route automatically and
+// the merged report is byte-identical to single-process execution.
 //
 // Endpoints (see internal/serve and the README for request shapes):
 //
-//	POST /v1/simulate            one job
-//	POST /v1/sweep               a batch of arms, coalesced
-//	GET  /v1/experiments/{name}  full figure reproduction (Report JSON)
-//	GET  /healthz                liveness
-//	GET  /statsz                 engine + store counters
+//	POST   /v1/simulate            one job
+//	POST   /v1/sweep               a batch of arms, coalesced
+//	POST   /v1/outcome             one job, canonical outcome encoding
+//	GET    /v1/experiments/{name}  full figure reproduction (Report JSON)
+//	POST   /v1/jobs                submit an async sweep job
+//	GET    /v1/jobs[/{id}[/report]] poll async jobs
+//	DELETE /v1/jobs/{id}           cancel an async job
+//	GET    /healthz                liveness
+//	GET    /statsz                 engine + store + job counters
+//
+// Async job state persists in -cache-dir: jobs interrupted by a restart
+// are requeued, finished ones stay observable with their reports.
 package main
 
 import (
@@ -26,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -40,6 +56,11 @@ func main() {
 	cacheMax := flag.Int64("cache-max-bytes", 0, "store size bound in bytes (0 = 1GiB default, negative = unbounded)")
 	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = NumCPU)")
 	maxSweep := flag.Int("max-sweep-jobs", serve.DefaultMaxSweepJobs, "max arms per sweep request")
+	workers := flag.String("workers", "", "comma-separated worker base URLs; enables coordinator mode")
+	fanout := flag.Int("fanout", 0, "coordinator: max in-flight worker calls (0 = 4 x workers)")
+	workerTimeout := flag.Duration("worker-timeout", 0, "coordinator: per-worker-call timeout (0 = 15m); a hung worker counts as failed")
+	jobQueue := flag.Int("job-queue", serve.DefaultJobQueue, "max queued async jobs")
+	jobRunners := flag.Int("job-runners", serve.DefaultJobRunners, "async jobs executed concurrently")
 	flag.Parse()
 
 	eng := sim.New(*parallel)
@@ -55,9 +76,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mgserve: store %s (%d entries)\n", st.Dir(), st.Len())
 	}
 
+	var workerURLs []string
+	for _, u := range strings.Split(*workers, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			workerURLs = append(workerURLs, u)
+		}
+	}
+
+	handler := serve.New(serve.Options{
+		Engine:            eng,
+		MaxSweepJobs:      *maxSweep,
+		Workers:           workerURLs,
+		FanoutConcurrency: *fanout,
+		WorkerCallTimeout: *workerTimeout,
+		JobQueue:          *jobQueue,
+		JobRunners:        *jobRunners,
+	})
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: serve.New(serve.Options{Engine: eng, MaxSweepJobs: *maxSweep}),
+		Handler: handler,
 		// A service meant to face real traffic must bound how long a client
 		// may dribble a request (slowloris). Request bodies are small JSON
 		// job specs, so tight read bounds are safe; responses can take
@@ -71,6 +108,9 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if len(workerURLs) > 0 {
+		fmt.Fprintf(os.Stderr, "mgserve: coordinating %d workers: %s\n", len(workerURLs), strings.Join(workerURLs, " "))
+	}
 	fmt.Fprintf(os.Stderr, "mgserve: listening on %s (%d workers)\n", *addr, eng.Workers())
 	listenErr := make(chan error, 1)
 	go func() { listenErr <- srv.ListenAndServe() }()
@@ -80,10 +120,12 @@ func main() {
 		os.Exit(1)
 	case <-ctx.Done():
 		// Drain in-flight requests before exiting (Shutdown blocks until
-		// handlers finish or the grace period lapses).
+		// handlers finish or the grace period lapses), then stop the async
+		// job runners — interrupted jobs persist as requeueable.
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(shutdownCtx)
+		handler.Close()
 		if err := <-listenErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintln(os.Stderr, err)
 		}

@@ -1,0 +1,251 @@
+// Coordinator mode: mgserve as a horizontally scalable tier.
+//
+// The paper's experiments are embarrassingly parallel configuration sweeps
+// over a shared record stream, and the expensive part — capturing that
+// stream — is a memoizable artifact keyed by sim.TraceKey. The win in
+// scaling out is therefore not raw fan-out but *placement*: every arm that
+// shares a trace identity should land on the worker that already holds the
+// capture (in its in-memory trace cache or its persistent store), so the
+// tier as a whole still emulates each binary exactly once.
+//
+// The coordinator implements that placement with rendezvous (highest-
+// random-weight) hashing: each arm's TraceKey encoding is hashed against
+// every worker URL, and the arm routes to the highest-scoring live worker.
+// Rendezvous hashing gives per-key affinity with minimal disruption — when
+// a worker dies, only its keys move (to their second choice), and they
+// move back when it returns.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"minigraph/internal/sim"
+)
+
+// DefaultWorkerCallTimeout bounds one worker call (dial + simulate +
+// response). Simulations can legitimately take minutes, so the default is
+// generous; its job is to catch a worker that accepted the connection and
+// then hung, which would otherwise never error and never re-route.
+const DefaultWorkerCallTimeout = 15 * time.Minute
+
+// ErrWorkersUnavailable marks an arm failure caused by no worker
+// answering at all (every ranked worker refused the connection, timed
+// out, or died mid-call) — a property of the tier's current state, not of
+// the arm. The job manager retries jobs that fail with it, so a sweep
+// submitted during a tier restart or rolling deploy is requeued instead
+// of failing terminally.
+var ErrWorkersUnavailable = errors.New("no worker available")
+
+// Coordinator fans simulation arms out across a tier of worker mgserve
+// processes, sharding by trace-key affinity, with bounded concurrency and
+// failure re-routing. It is safe for concurrent use.
+type Coordinator struct {
+	urls        []string
+	workers     []*Client
+	sem         chan struct{}
+	callTimeout time.Duration
+}
+
+// NewCoordinator builds a coordinator over the given worker base URLs.
+// concurrency bounds in-flight worker calls across all requests
+// (0 = 4 × workers); callTimeout bounds one worker call
+// (0 = DefaultWorkerCallTimeout) — a timed-out worker counts as failed
+// and its arm re-routes.
+func NewCoordinator(urls []string, concurrency int, callTimeout time.Duration) *Coordinator {
+	if len(urls) == 0 {
+		panic("serve: NewCoordinator needs at least one worker")
+	}
+	if concurrency <= 0 {
+		concurrency = 4 * len(urls)
+	}
+	if callTimeout <= 0 {
+		callTimeout = DefaultWorkerCallTimeout
+	}
+	c := &Coordinator{
+		urls:        append([]string(nil), urls...),
+		sem:         make(chan struct{}, concurrency),
+		callTimeout: callTimeout,
+	}
+	// One shared transport: bounded dial time (an unreachable worker
+	// fails fast), keep-alives so per-arm calls reuse connections.
+	hc := &http.Client{Transport: &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   10 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		MaxIdleConnsPerHost: concurrency,
+		IdleConnTimeout:     90 * time.Second,
+	}}
+	for _, u := range c.urls {
+		cl := NewClient(u)
+		cl.HTTP = hc
+		c.workers = append(c.workers, cl)
+	}
+	return c
+}
+
+// WorkerURLs returns the worker base URLs (a copy).
+func (c *Coordinator) WorkerURLs() []string {
+	return append([]string(nil), c.urls...)
+}
+
+// Run executes every arm on the worker tier and returns outcomes
+// index-aligned with jobs, with the same error-joining semantics as
+// sim.Engine.Run. Each arm routes to the workers in rendezvous order of
+// its trace key; a worker that fails a call is marked down for the rest of
+// this Run and the arm re-routes to its next choice. onDone (optional)
+// fires per completed arm from that arm's goroutine.
+//
+// Because workers answer with full canonical outcomes (/v1/outcome), a
+// report assembled from Run's results is byte-identical to single-process
+// execution — no matter how the arms were sharded, or how many workers
+// died along the way, as long as at least one can still answer.
+func (c *Coordinator) Run(ctx context.Context, specs []JobSpec, jobs []sim.SimJob, onDone func(int, *sim.Outcome)) ([]*sim.Outcome, error) {
+	if len(specs) != len(jobs) {
+		return nil, fmt.Errorf("serve: %d specs for %d jobs", len(specs), len(jobs))
+	}
+	outs := make([]*sim.Outcome, len(jobs))
+	errs := make([]error, len(jobs))
+	down := &downSet{m: make(map[int]bool)}
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			select {
+			case c.sem <- struct{}{}:
+				defer func() { <-c.sem }()
+			case <-gctx.Done():
+				errs[i] = gctx.Err()
+				return
+			}
+			outs[i], errs[i] = c.runArm(gctx, specs[i], jobs[i], down)
+			if errs[i] != nil {
+				cancel()
+			} else if onDone != nil {
+				onDone(i, outs[i])
+			}
+		}(i)
+	}
+	wg.Wait()
+	return outs, sim.JoinErrors(ctx, errs)
+}
+
+// runArm executes one arm, trying workers in rendezvous order of the
+// arm's trace key. Only failures to *answer* — transport errors, call
+// timeouts — mark the worker down (for this Run) and re-route. Any HTTP
+// status, 4xx or 5xx, is an answer: the worker is alive and the error is
+// the arm's own (bad spec, deterministic simulation failure), so the arm
+// fails immediately instead of re-running its capture on every worker and
+// poisoning the downSet for its siblings.
+func (c *Coordinator) runArm(ctx context.Context, spec JobSpec, job sim.SimJob, down *downSet) (*sim.Outcome, error) {
+	tkb, err := sim.EncodeTraceKey(job.Key().TraceKey())
+	if err != nil {
+		return nil, fmt.Errorf("serve: arm %q: trace key: %w", spec.label(), err)
+	}
+	var lastErr error
+	for _, wi := range rankByRendezvous(c.urls, tkb) {
+		if down.is(wi) {
+			continue
+		}
+		actx, cancel := context.WithTimeout(ctx, c.callTimeout)
+		out, err := c.workers[wi].Outcome(actx, spec)
+		cancel()
+		if err == nil {
+			return out, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		var se *StatusError
+		if errors.As(err, &se) {
+			return nil, fmt.Errorf("serve: arm %q: worker %s: %w", spec.label(), c.urls[wi], err)
+		}
+		down.set(wi)
+		lastErr = fmt.Errorf("worker %s: %v", c.urls[wi], err)
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("all %d workers already down", len(c.urls))
+	}
+	return nil, fmt.Errorf("serve: arm %q: %w: %v", spec.label(), ErrWorkersUnavailable, lastErr)
+}
+
+// downSet tracks workers observed failing during one Run. Marking is
+// monotonic within the Run; a fresh Run starts trusting every worker
+// again, so a recovered worker rejoins on the next request.
+type downSet struct {
+	mu sync.Mutex
+	m  map[int]bool
+}
+
+func (d *downSet) is(i int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.m[i]
+}
+
+func (d *downSet) set(i int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.m[i] = true
+}
+
+// rankByRendezvous orders worker indices by descending rendezvous score
+// for key: score(i) = mix64(h(urls[i]) ⊕ h(key)). The top-ranked worker
+// is the key's home; the rest are its failover order. The ordering is a
+// pure function of (urls, key), so every coordinator instance over the
+// same worker list routes identically — and a key's home only changes
+// when its own worker leaves the list.
+//
+// Raw FNV is too correlated across strings that differ in one character
+// for direct use as a rendezvous score (one worker ends up winning nearly
+// every key), so the combined hash runs through a SplitMix64 finalizer to
+// decorrelate the per-worker scores.
+func rankByRendezvous(urls []string, key []byte) []int {
+	hk := fnv.New64a()
+	_, _ = hk.Write(key)
+	keyHash := hk.Sum64()
+	type scored struct {
+		i     int
+		score uint64
+	}
+	rank := make([]scored, len(urls))
+	for i, u := range urls {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(u))
+		rank[i] = scored{i: i, score: mix64(h.Sum64() ^ keyHash)}
+	}
+	sort.Slice(rank, func(a, b int) bool {
+		if rank[a].score != rank[b].score {
+			return rank[a].score > rank[b].score
+		}
+		return urls[rank[a].i] < urls[rank[b].i]
+	})
+	order := make([]int, len(rank))
+	for i, s := range rank {
+		order[i] = s.i
+	}
+	return order
+}
+
+// mix64 is the SplitMix64 finalizer: a cheap bijective avalanche so every
+// input bit flips ~half the output bits.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

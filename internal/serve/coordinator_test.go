@@ -1,0 +1,369 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"minigraph/internal/sim"
+	"minigraph/internal/workload"
+)
+
+// TestRendezvousRanking pins the sharding function: deterministic, a full
+// permutation, and minimally disruptive — removing one worker reroutes
+// only the keys that lived on it.
+func TestRendezvousRanking(t *testing.T) {
+	urls := []string{"http://w1", "http://w2", "http://w3"}
+	keys := make([][]byte, 64)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("trace-key-%d", i))
+	}
+
+	spread := make(map[int]int)
+	for _, k := range keys {
+		a := rankByRendezvous(urls, k)
+		b := rankByRendezvous(urls, k)
+		if len(a) != len(urls) {
+			t.Fatalf("rank %v is not a permutation", a)
+		}
+		seen := map[int]bool{}
+		for _, i := range a {
+			seen[i] = true
+		}
+		if len(seen) != len(urls) {
+			t.Fatalf("rank %v repeats workers", a)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("ranking not deterministic: %v vs %v", a, b)
+			}
+		}
+		spread[a[0]]++
+	}
+	// fnv spreads 64 keys across 3 workers; no worker should be starved.
+	for i := range urls {
+		if spread[i] == 0 {
+			t.Errorf("worker %d owns no keys: %v", i, spread)
+		}
+	}
+
+	// Drop w2: keys homed on w1/w3 must keep their home (their relative
+	// scores are unchanged); only w2's keys move.
+	sub := []string{urls[0], urls[2]}
+	for _, k := range keys {
+		full := rankByRendezvous(urls, k)
+		if full[0] == 1 {
+			continue // was homed on the removed worker
+		}
+		reduced := rankByRendezvous(sub, k)
+		wantHome := 0
+		if full[0] == 2 {
+			wantHome = 1
+		}
+		if reduced[0] != wantHome {
+			t.Fatalf("key rehomed although its worker survived: full %v, reduced %v", full, reduced)
+		}
+	}
+}
+
+// trackingWorker fronts a worker Server, recording which trace identities
+// its /v1/outcome endpoint served and optionally going dark (aborting
+// every connection) after a fixed number of outcome calls — a
+// deterministic mid-sweep kill.
+type trackingWorker struct {
+	t         *testing.T
+	srv       *Server
+	killAfter int64 // 0 = immortal
+	served    atomic.Int64
+
+	mu     sync.Mutex
+	traces map[string]int // trace-key encoding -> outcome calls
+}
+
+func newTrackingWorker(t *testing.T, killAfter int64) (*trackingWorker, *httptest.Server) {
+	t.Helper()
+	srv := New(Options{Engine: sim.New(2)})
+	w := &trackingWorker{t: t, srv: srv, killAfter: killAfter, traces: make(map[string]int)}
+	ts := httptest.NewServer(w)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return w, ts
+}
+
+func (w *trackingWorker) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/v1/outcome" {
+		n := w.served.Add(1)
+		if w.killAfter > 0 && n > w.killAfter {
+			panic(http.ErrAbortHandler) // killed: every further call dies
+		}
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			w.t.Error(err)
+		}
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		var js JobSpec
+		if json.Unmarshal(body, &js) == nil {
+			if job, err := js.Resolve(); err == nil {
+				if tk, err := sim.EncodeTraceKey(job.Key().TraceKey()); err == nil {
+					w.mu.Lock()
+					w.traces[string(tk)]++
+					w.mu.Unlock()
+				}
+			}
+		}
+	}
+	w.srv.ServeHTTP(rw, r)
+}
+
+func (w *trackingWorker) traceSet() map[string]bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	set := make(map[string]bool, len(w.traces))
+	for k := range w.traces {
+		set[k] = true
+	}
+	return set
+}
+
+// benchSubsetSweep32 is the acceptance sweep: 32 arms (8 machine/policy
+// variants × the 4-bench subset), record-bounded so the test stays quick.
+func benchSubsetSweep32() SweepRequest {
+	req := SweepRequest{Name: "equiv32", Title: "32-arm benchSubset equivalence"}
+	for _, b := range workload.BenchSubset() {
+		for i, spec := range []JobSpec{
+			{Baseline: true, Machine: "baseline"},
+			{Baseline: true, Machine: "baseline", MemLatency: 300},
+			{},
+			{MemLatency: 300},
+			{Machine: "minigraph-int"},
+			{Collapse: true},
+			{MaxSize: 3},
+			{Entries: 128},
+		} {
+			spec.Bench = b
+			spec.MaxRecords = 3000
+			spec.Arm = fmt.Sprintf("%s/v%d", b, i)
+			req.Jobs = append(req.Jobs, spec)
+		}
+	}
+	return req
+}
+
+func newCoordinator(t *testing.T, workerURLs ...string) *Client {
+	t.Helper()
+	srv := New(Options{Engine: sim.New(2), Workers: workerURLs})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return NewClient(ts.URL)
+}
+
+// TestCoordinatorEquivalence is the tentpole acceptance test: the same
+// 32-arm benchSubset sweep run (a) in one process, (b) sharded across two
+// workers, and (c) with one worker killed mid-sweep yields byte-identical
+// Report JSON in all three — and in (b) the shards respect trace-key
+// affinity (no trace identity is computed on both workers).
+func TestCoordinatorEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-engine sweep; skipped in -short")
+	}
+	ctx := context.Background()
+	req := benchSubsetSweep32()
+	if len(req.Jobs) != 32 {
+		t.Fatalf("sweep has %d arms, want 32", len(req.Jobs))
+	}
+
+	// (a) single process (default sweep bounds: the helper server caps at
+	// 16 arms, this sweep has 32).
+	srv := New(Options{Engine: sim.New(2)})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	single := NewClient(ts.URL)
+	want, err := single.SweepJSON(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// (b) coordinator over two live workers.
+	w1, ts1 := newTrackingWorker(t, 0)
+	w2, ts2 := newTrackingWorker(t, 0)
+	coord := newCoordinator(t, ts1.URL, ts2.URL)
+	got, err := coord.SweepJSON(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("sharded sweep differs from single-process:\nsharded:\n%s\nsingle:\n%s", got, want)
+	}
+	set1, set2 := w1.traceSet(), w2.traceSet()
+	if len(set1) == 0 || len(set2) == 0 {
+		t.Errorf("degenerate sharding: worker trace sets %d/%d", len(set1), len(set2))
+	}
+	for k := range set1 {
+		if set2[k] {
+			t.Errorf("trace identity served by both workers — affinity broken")
+			break
+		}
+	}
+
+	// Coordinator-routed /v1/simulate matches the single-process result.
+	jr, err := coord.Simulate(ctx, req.Jobs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	jrSingle, err := single.Simulate(ctx, req.Jobs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jr.Result == nil || jr.Result.Cycles != jrSingle.Result.Cycles || jr.IPC != jrSingle.IPC {
+		t.Errorf("coordinator simulate diverged: %+v vs %+v", jr, jrSingle)
+	}
+
+	// An async job through the coordinator produces the same bytes.
+	st, err := coord.SubmitJob(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := coord.WaitJob(ctx, st.ID, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != JobDone {
+		t.Fatalf("async job %+v", fin)
+	}
+	rep, err := coord.JobReportJSON(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rep, want) {
+		t.Fatalf("async coordinator report differs from single-process:\n%s", rep)
+	}
+
+	// (c) one worker dies mid-sweep: its arms re-route and the merged
+	// report is still byte-identical.
+	k1, kts1 := newTrackingWorker(t, 0)
+	k2, kts2 := newTrackingWorker(t, 4) // dies after 4 outcome calls
+	killCoord := newCoordinator(t, kts1.URL, kts2.URL)
+	got, err = killCoord.SweepJSON(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("kill-mid-sweep report differs from single-process:\nsharded:\n%s", got)
+	}
+	if k2.served.Load() <= 4 {
+		t.Logf("note: killed worker saw only %d calls", k2.served.Load())
+	}
+	if k1.served.Load() < 32-4 {
+		t.Errorf("surviving worker served %d outcome calls; re-routing did not absorb the dead worker's arms", k1.served.Load())
+	}
+}
+
+// TestCoordinatorAllWorkersDown: with every worker unreachable the sweep
+// fails with an error naming the workers — it must not hang or fall back
+// to silently dropping arms.
+func TestCoordinatorAllWorkersDown(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // nothing listens here any more
+	coord := newCoordinator(t, dead.URL)
+	_, err := coord.Sweep(context.Background(), SweepRequest{Jobs: []JobSpec{fastSpec("x", true)}})
+	if err == nil {
+		t.Fatal("sweep over dead workers succeeded")
+	}
+	var se *StatusError
+	if errors.As(err, &se) && se.Status != http.StatusInternalServerError {
+		t.Errorf("status %d, want 500", se.Status)
+	}
+}
+
+// TestCoordinatorHungWorkerTimesOut: a worker that accepts the connection
+// and never answers must not wedge the sweep — the per-call timeout marks
+// it failed and the arm re-routes to a live worker.
+func TestCoordinatorHungWorkerTimesOut(t *testing.T) {
+	release := make(chan struct{})
+	hung := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release // hold every request open until the test ends
+		panic(http.ErrAbortHandler)
+	}))
+	t.Cleanup(func() {
+		close(release)
+		hung.Close()
+	})
+	_, live := newTrackingWorker(t, 0)
+
+	srv := New(Options{
+		Engine:            sim.New(2),
+		Workers:           []string{hung.URL, live.URL},
+		WorkerCallTimeout: 300 * time.Millisecond,
+	})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+
+	req := SweepRequest{Name: "hang", Jobs: []JobSpec{
+		fastSpec("a", true), fastSpec("b", false),
+	}}
+	start := time.Now()
+	rep, err := NewClient(ts.URL).Sweep(context.Background(), req)
+	if err != nil {
+		t.Fatalf("sweep failed despite a live worker: %v", err)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("empty report")
+	}
+	if d := time.Since(start); d > 30*time.Second {
+		t.Errorf("sweep took %s; hung worker was not timed out", d)
+	}
+}
+
+// TestCoordinatorComputeErrorDoesNotReroute: an HTTP error status is an
+// answer — the worker is alive and the failure is the arm's own, so the
+// arm fails once instead of re-running its capture on every worker.
+func TestCoordinatorComputeErrorDoesNotReroute(t *testing.T) {
+	var calls atomic.Int64
+	broken := func() *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/outcome" {
+				calls.Add(1)
+				httpError(w, http.StatusInternalServerError, fmt.Errorf("boom"))
+				return
+			}
+			http.NotFound(w, r)
+		}))
+	}
+	b1, b2 := broken(), broken()
+	t.Cleanup(b1.Close)
+	t.Cleanup(b2.Close)
+
+	coord := newCoordinator(t, b1.URL, b2.URL)
+	_, err := coord.Sweep(context.Background(), SweepRequest{Jobs: []JobSpec{fastSpec("x", true)}})
+	if err == nil {
+		t.Fatal("sweep succeeded against broken workers")
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || !strings.Contains(se.Msg, "boom") {
+		t.Fatalf("worker error not propagated: %v", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("arm tried %d workers after a compute error, want exactly 1 (no re-route)", n)
+	}
+}

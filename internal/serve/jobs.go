@@ -1,0 +1,753 @@
+// Async job API: sweeps as first-class, durable, cancelable jobs.
+//
+// POST /v1/jobs accepts the same SweepRequest as /v1/sweep but returns a
+// job id immediately; the sweep runs on a bounded in-process queue, with
+// per-job context cancellation threaded into the engine (or coordinator).
+// GET /v1/jobs/{id} polls status and per-arm progress; once done,
+// GET /v1/jobs/{id}/report serves the raw Report JSON byte-identical to
+// the synchronous endpoint. DELETE /v1/jobs/{id} cancels.
+//
+// When the engine carries a persistent store, job state rides in it under
+// a versioned codec entry: every transition (queued → running → terminal)
+// writes through, and a restarted server re-adopts the stored jobs —
+// finished ones stay observable with their reports, interrupted ones are
+// requeued and re-run. A submitted job therefore survives restarts as
+// long as its record survives in the store. The store is an LRU cache
+// with a byte budget: every job transition refreshes the recency of the
+// job's record and of the id index, so live jobs ride at the MRU end,
+// but an operator who sizes -cache-max-bytes far below the working set
+// can still lose cold job history to eviction — size the budget so job
+// records (small) and the sweep artifacts (large) both fit. (Re-running
+// a requeued job is safe and cheap: results are pure functions of their
+// keys, and the store answers previously computed arms without touching
+// the pipeline.)
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"minigraph/internal/sim"
+	"minigraph/internal/store"
+)
+
+const (
+	// DefaultJobQueue bounds jobs waiting to run; submissions beyond it
+	// are refused with 503 so back-pressure reaches the client instead of
+	// growing an unbounded in-process backlog.
+	DefaultJobQueue = 64
+	// DefaultJobRunners is the number of jobs executed concurrently. Each
+	// job already parallelizes internally (engine worker pool, coordinator
+	// fan-out), so a small number keeps the machine busy without convoying.
+	DefaultJobRunners = 2
+)
+
+// maxTrackedJobs bounds the in-memory (and indexed) job history; beyond
+// it the oldest finished jobs are forgotten, and their persisted records
+// deleted. maxJobRetries bounds how often a job whose arms found no
+// worker answering (tier restart, rolling deploy) is automatically
+// requeued, jobRetryDelay paces those retries. Variables so tests can
+// exercise the machinery cheaply.
+var (
+	maxTrackedJobs = 256
+	maxJobRetries  = 5
+	jobRetryDelay  = 2 * time.Second
+)
+
+// JobState is the lifecycle state of an async job.
+type JobState string
+
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// JobStatus is the wire form of one async job (POST /v1/jobs and
+// GET /v1/jobs/{id} responses).
+type JobStatus struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	// Total is the job's arm count; Completed counts finished arms while
+	// running (progress) and equals Total once done.
+	Total     int    `json:"total"`
+	Completed int    `json:"completed"`
+	Error     string `json:"error,omitempty"`
+	// Requeues counts how many times the job was re-adopted after a
+	// server restart interrupted it; Retries counts automatic requeues
+	// after every worker failed to answer (tier restart).
+	Requeues     int   `json:"requeues,omitempty"`
+	Retries      int   `json:"retries,omitempty"`
+	CreatedUnix  int64 `json:"created_unix"`
+	FinishedUnix int64 `json:"finished_unix,omitempty"`
+	// Report is the finished sweep's report (GET /v1/jobs/{id} only; the
+	// list endpoint omits it). For byte-exact bytes use
+	// GET /v1/jobs/{id}/report.
+	Report *sim.Report `json:"report,omitempty"`
+}
+
+// JobsStats summarizes the job manager for /statsz.
+type JobsStats struct {
+	Queued   int `json:"queued"`
+	Running  int `json:"running"`
+	Done     int `json:"done"`
+	Failed   int `json:"failed"`
+	Canceled int `json:"canceled"`
+}
+
+// job is the manager's in-memory record. All fields are guarded by the
+// manager's mutex.
+type job struct {
+	id  string
+	req SweepRequest
+	// resolved is the submit-time resolution of req (nil for jobs
+	// re-adopted from the store, which re-resolve at execution).
+	resolved  []sim.SimJob
+	state     JobState
+	total     int
+	completed int
+	errMsg    string
+	report    *sim.Report
+	requeues  int
+	retries   int
+	created   int64
+	finished  int64
+	cancel    context.CancelFunc // non-nil while running
+	userAbort bool               // DELETE requested (vs process shutdown)
+}
+
+// JobManager owns the async job lifecycle: a bounded pending queue, a
+// fixed pool of job runners, per-job cancellation, and write-through
+// persistence of job state.
+type JobManager struct {
+	srv      *Server
+	st       *store.Store // nil = in-memory only
+	baseCtx  context.Context
+	stop     context.CancelFunc
+	queueCap int
+	wg       sync.WaitGroup
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signals pending work / shutdown to runners
+	pending []string   // ids awaiting a runner, oldest first
+	jobs    map[string]*job
+	order   []string // submission order, oldest first
+	idxGen  int64    // bumps on every state snapshot that includes the index
+
+	// idxMu serializes persisted-index writes outside m.mu; idxWritten is
+	// the generation of the newest index flushed, so a stale snapshot
+	// (flushed late by a slower goroutine) never overwrites a newer one.
+	idxMu      sync.Mutex
+	idxWritten int64
+}
+
+// errJobQueueFull reports a refused submission.
+var errJobQueueFull = fmt.Errorf("job queue full; retry later")
+
+// newJobManager builds the manager, re-adopts persisted jobs from the
+// engine's store, and starts the runner pool.
+func newJobManager(s *Server, queueCap, runners int) *JobManager {
+	if queueCap <= 0 {
+		queueCap = DefaultJobQueue
+	}
+	if runners <= 0 {
+		runners = DefaultJobRunners
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &JobManager{
+		srv:      s,
+		st:       s.eng.Store(),
+		baseCtx:  ctx,
+		stop:     cancel,
+		queueCap: queueCap,
+		jobs:     make(map[string]*job),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	// A recovered backlog may exceed the submission bound; it drains
+	// normally, applying 503 back-pressure to new submissions meanwhile.
+	m.pending = m.recover()
+	for i := 0; i < runners; i++ {
+		m.wg.Add(1)
+		go m.runLoop()
+	}
+	return m
+}
+
+// close stops the runners. A job aborted mid-run by shutdown is persisted
+// back as queued (not canceled), so a restart re-adopts it.
+func (m *JobManager) close() {
+	m.stop()
+	m.mu.Lock()
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.wg.Wait()
+}
+
+// recover re-adopts persisted jobs: terminal jobs become observable
+// history, interrupted (queued/running) jobs are reset to queued and
+// returned for requeueing, oldest first.
+func (m *JobManager) recover() []string {
+	if m.st == nil {
+		return nil
+	}
+	var requeue []string
+	ids := loadJobIndex(m.st)
+	for _, id := range ids {
+		j, ok := loadJobRecord(m.st, id)
+		if !ok {
+			continue // evicted or damaged: drop from the index on next write
+		}
+		if !j.state.Terminal() {
+			j.state = JobQueued
+			j.completed = 0
+			j.requeues++
+			requeue = append(requeue, id)
+		}
+		m.jobs[id] = j
+		m.order = append(m.order, id)
+	}
+	// Runners have not started yet, so flushing synchronously here is
+	// uncontended.
+	m.mu.Lock()
+	var flushes []func()
+	for _, id := range requeue {
+		flushes = append(flushes, m.persistLocked(m.jobs[id]))
+	}
+	if len(flushes) == 0 && len(m.order) != len(ids) {
+		flushes = append(flushes, m.persistIndexLocked()) // dropped ids changed the index
+	}
+	m.mu.Unlock()
+	for _, flush := range flushes {
+		flush()
+	}
+	return requeue
+}
+
+// submit registers and enqueues a new job. resolved is the submit-time
+// resolution of req (the caller already validated it), reused at
+// execution so the sweep is not resolved twice.
+func (m *JobManager) submit(req SweepRequest, resolved []sim.SimJob) (JobStatus, error) {
+	j := &job{
+		id:       newJobID(),
+		req:      req,
+		resolved: resolved,
+		state:    JobQueued,
+		total:    len(resolved),
+		created:  time.Now().Unix(),
+	}
+	m.mu.Lock()
+	if len(m.pending) >= m.queueCap {
+		m.mu.Unlock()
+		return JobStatus{}, errJobQueueFull
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.pending = append(m.pending, j.id)
+	pruned := m.pruneLocked()
+	flush := m.persistLocked(j)
+	st := statusOf(j, false)
+	m.cond.Signal()
+	m.mu.Unlock()
+
+	for _, id := range pruned {
+		if m.st != nil {
+			m.st.Delete(jobKey(id))
+		}
+	}
+	flush()
+	return st, nil
+}
+
+// runLoop is one job runner: it pops queued jobs and executes them with a
+// per-job cancelable context descending from the manager's lifetime.
+func (m *JobManager) runLoop() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for len(m.pending) == 0 && m.baseCtx.Err() == nil {
+			m.cond.Wait()
+		}
+		if m.baseCtx.Err() != nil {
+			m.mu.Unlock()
+			return
+		}
+		id := m.pending[0]
+		m.pending = m.pending[1:]
+		j := m.jobs[id]
+		if j == nil || j.state != JobQueued {
+			m.mu.Unlock() // pruned, or raced with a cancel
+			continue
+		}
+		jctx, cancel := context.WithCancel(m.baseCtx)
+		j.state = JobRunning
+		j.cancel = cancel
+		flush := m.persistLocked(j)
+		req, resolved := j.req, j.resolved
+		m.mu.Unlock()
+		flush()
+
+		rep, err := m.execute(jctx, req, resolved, j)
+		cancel()
+
+		m.mu.Lock()
+		j.cancel = nil
+		switch {
+		case err == nil:
+			j.state, j.report, j.completed = JobDone, rep, j.total
+			j.finished = time.Now().Unix()
+		case j.userAbort:
+			j.state, j.errMsg = JobCanceled, "canceled"
+			j.finished = time.Now().Unix()
+		case m.baseCtx.Err() != nil:
+			// Shutdown, not cancellation: persist as requeueable so a
+			// restarted server picks the job back up.
+			j.state, j.completed, j.errMsg = JobQueued, 0, ""
+		case errors.Is(err, ErrWorkersUnavailable) && j.retries < maxJobRetries:
+			// No worker answered — a tier restart or rolling deploy, not a
+			// property of the job. Requeue with a delay instead of failing
+			// terminally while the workers boot.
+			j.state, j.completed, j.errMsg = JobQueued, 0, ""
+			j.retries++
+			m.requeueAfterLocked(id, jobRetryDelay)
+		default:
+			j.state, j.errMsg = JobFailed, err.Error()
+			j.finished = time.Now().Unix()
+		}
+		flush = m.persistLocked(j)
+		m.mu.Unlock()
+		flush()
+	}
+}
+
+// requeueAfterLocked schedules id back onto the pending queue after
+// delay, unless the job is canceled or the manager shuts down first.
+// Caller holds m.mu.
+func (m *JobManager) requeueAfterLocked(id string, delay time.Duration) {
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		select {
+		case <-time.After(delay):
+		case <-m.baseCtx.Done():
+			return // persisted as queued; a restart re-adopts it
+		}
+		m.mu.Lock()
+		if j := m.jobs[id]; j != nil && j.state == JobQueued {
+			m.pending = append(m.pending, id)
+			m.cond.Signal()
+		}
+		m.mu.Unlock()
+	}()
+}
+
+// execute runs the job's sweep and assembles its report. resolved is the
+// submit-time resolution (nil for store-recovered jobs, which re-resolve
+// here). Progress is published arm-by-arm through the manager's mutex.
+func (m *JobManager) execute(ctx context.Context, req SweepRequest, resolved []sim.SimJob, j *job) (*sim.Report, error) {
+	if resolved == nil {
+		var err error
+		if resolved, err = m.srv.resolveSweep(req); err != nil {
+			return nil, err
+		}
+	}
+	outs, err := m.srv.runSweep(ctx, req.Jobs, resolved, func(int, *sim.Outcome) {
+		m.mu.Lock()
+		j.completed++
+		m.mu.Unlock()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return SweepReport(req, outs), nil
+}
+
+// cancelJob requests cancellation. A queued job cancels immediately; a
+// running one is signaled and finalizes from its runner; a terminal one is
+// returned unchanged (cancel is idempotent).
+func (m *JobManager) cancelJob(id string) (JobStatus, bool) {
+	flush := func() {}
+	m.mu.Lock()
+	j := m.jobs[id]
+	if j == nil {
+		m.mu.Unlock()
+		return JobStatus{}, false
+	}
+	if !j.state.Terminal() {
+		j.userAbort = true
+		if j.state == JobQueued {
+			j.state, j.errMsg = JobCanceled, "canceled before start"
+			j.finished = time.Now().Unix()
+			// Free the queue slot immediately: a canceled job must not
+			// hold 503 back-pressure until a runner happens to skip it.
+			for i, id := range m.pending {
+				if id == j.id {
+					m.pending = append(m.pending[:i:i], m.pending[i+1:]...)
+					break
+				}
+			}
+			flush = m.persistLocked(j)
+		} else if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	st := statusOf(j, false)
+	m.mu.Unlock()
+	flush()
+	return st, true
+}
+
+// status returns one job's wire status; withReport embeds the finished
+// report.
+func (m *JobManager) status(id string, withReport bool) (JobStatus, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j := m.jobs[id]
+	if j == nil {
+		return JobStatus{}, false
+	}
+	return statusOf(j, withReport), true
+}
+
+// report returns a finished job's report.
+func (m *JobManager) report(id string) (*sim.Report, JobState, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j := m.jobs[id]
+	if j == nil {
+		return nil, "", false
+	}
+	return j.report, j.state, true
+}
+
+// list returns every tracked job's status (no reports), oldest first.
+func (m *JobManager) list() []JobStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sts := make([]JobStatus, 0, len(m.order))
+	for _, id := range m.order {
+		if j := m.jobs[id]; j != nil {
+			sts = append(sts, statusOf(j, false))
+		}
+	}
+	return sts
+}
+
+// stats counts jobs by state.
+func (m *JobManager) stats() JobsStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var s JobsStats
+	for _, j := range m.jobs {
+		switch j.state {
+		case JobQueued:
+			s.Queued++
+		case JobRunning:
+			s.Running++
+		case JobDone:
+			s.Done++
+		case JobFailed:
+			s.Failed++
+		case JobCanceled:
+			s.Canceled++
+		}
+	}
+	return s
+}
+
+// pruneLocked forgets the oldest finished jobs beyond maxTrackedJobs and
+// returns their ids so the caller can delete the persisted records (after
+// releasing m.mu) — pruned reports must not pile up in the store with no
+// reachable reference. Live (queued/running) jobs are never pruned.
+// Caller holds m.mu.
+func (m *JobManager) pruneLocked() []string {
+	var pruned []string
+	for len(m.order) > maxTrackedJobs {
+		found := false
+		for i, id := range m.order {
+			if j := m.jobs[id]; j == nil || j.state.Terminal() {
+				delete(m.jobs, id)
+				m.order = append(m.order[:i:i], m.order[i+1:]...)
+				pruned = append(pruned, id)
+				found = true
+				break
+			}
+		}
+		if !found {
+			break // everything live: keep tracking all of it
+		}
+	}
+	return pruned
+}
+
+func statusOf(j *job, withReport bool) JobStatus {
+	st := JobStatus{
+		ID:           j.id,
+		State:        j.state,
+		Total:        j.total,
+		Completed:    j.completed,
+		Error:        j.errMsg,
+		Requeues:     j.requeues,
+		Retries:      j.retries,
+		CreatedUnix:  j.created,
+		FinishedUnix: j.finished,
+	}
+	if withReport {
+		st.Report = j.report
+	}
+	return st
+}
+
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("serve: job id entropy: %v", err))
+	}
+	return "j-" + hex.EncodeToString(b[:])
+}
+
+// --- persistence -----------------------------------------------------------
+
+// jobCodecVersion versions the persisted job key and record encodings.
+// Bump it on any shape change: stale entries then read as misses (jobs
+// from an older server are forgotten, never decoded into garbage).
+const jobCodecVersion = 1
+
+// jobKeyPayload is the store key for one job (or, with no ID, the index).
+type jobKeyPayload struct {
+	V    int    `json:"v"`
+	Kind string `json:"kind"`
+	ID   string `json:"id,omitempty"`
+}
+
+func jobKey(id string) []byte {
+	b, err := json.Marshal(jobKeyPayload{V: jobCodecVersion, Kind: "job", ID: id})
+	if err != nil {
+		panic(err) // struct of strings: cannot fail
+	}
+	return b
+}
+
+func jobIndexKey() []byte {
+	b, err := json.Marshal(jobKeyPayload{V: jobCodecVersion, Kind: "job-index"})
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// jobRecord is the persisted form of one job.
+type jobRecord struct {
+	V            int          `json:"v"`
+	ID           string       `json:"id"`
+	State        JobState     `json:"state"`
+	Total        int          `json:"total"`
+	Completed    int          `json:"completed"`
+	Error        string       `json:"error,omitempty"`
+	Requeues     int          `json:"requeues,omitempty"`
+	Retries      int          `json:"retries,omitempty"`
+	CreatedUnix  int64        `json:"created_unix"`
+	FinishedUnix int64        `json:"finished_unix,omitempty"`
+	Request      SweepRequest `json:"request"`
+	Report       *sim.Report  `json:"report,omitempty"`
+}
+
+// jobIndexRecord is the persisted list of tracked job ids. One well-known
+// entry, rewritten on every submission/prune, so recovery never has to
+// enumerate the (content-addressed) store.
+type jobIndexRecord struct {
+	V   int      `json:"v"`
+	IDs []string `json:"ids"`
+}
+
+// persistLocked snapshots the job's current state (and the id index)
+// under m.mu and returns a flush function that writes both through the
+// store. Callers run the flush after releasing m.mu — store writes are
+// disk I/O, and holding the manager mutex across them would stall every
+// poll, submit, and progress callback. Store failures are never job
+// failures — an unpersistable job simply won't survive a restart.
+func (m *JobManager) persistLocked(j *job) func() {
+	if m.st == nil {
+		return func() {}
+	}
+	rec := jobRecord{
+		V:            jobCodecVersion,
+		ID:           j.id,
+		State:        j.state,
+		Total:        j.total,
+		Completed:    j.completed,
+		Error:        j.errMsg,
+		Requeues:     j.requeues,
+		Retries:      j.retries,
+		CreatedUnix:  j.created,
+		FinishedUnix: j.finished,
+		Request:      j.req,
+		Report:       j.report, // immutable once set; safe to share
+	}
+	flushIndex := m.persistIndexLocked()
+	return func() {
+		if data, err := json.Marshal(rec); err == nil {
+			if m.st.Put(jobKey(rec.ID), data) != nil && rec.Report != nil {
+				// A giant report can exceed the store budget and get the
+				// whole record refused (and the stale previous state
+				// dropped), which would requeue a finished job on every
+				// restart. Fall back to a slim record: the terminal state
+				// survives, the report does not.
+				rec.Report = nil
+				if data, err := json.Marshal(rec); err == nil {
+					_ = m.st.Put(jobKey(rec.ID), data)
+				}
+			}
+		}
+		flushIndex()
+	}
+}
+
+// persistIndexLocked snapshots the id index under m.mu and returns a
+// flush that writes it through the store. Rewriting the index on every
+// transition keeps it (and with it, job recoverability) at the MRU end of
+// the store's LRU, so ordinary trace/outcome traffic does not age it out
+// while jobs are active. A generation counter makes late flushes of stale
+// snapshots no-ops.
+func (m *JobManager) persistIndexLocked() func() {
+	if m.st == nil {
+		return func() {}
+	}
+	m.idxGen++
+	gen := m.idxGen
+	rec := jobIndexRecord{V: jobCodecVersion, IDs: append([]string(nil), m.order...)}
+	return func() {
+		m.idxMu.Lock()
+		defer m.idxMu.Unlock()
+		if gen <= m.idxWritten {
+			return // a newer snapshot already flushed
+		}
+		m.idxWritten = gen
+		if data, err := json.Marshal(rec); err == nil {
+			_ = m.st.Put(jobIndexKey(), data)
+		}
+	}
+}
+
+// loadJobIndex reads the persisted id index (empty on any damage).
+func loadJobIndex(st *store.Store) []string {
+	data, ok := st.Get(jobIndexKey())
+	if !ok {
+		return nil
+	}
+	var rec jobIndexRecord
+	if err := json.Unmarshal(data, &rec); err != nil || rec.V != jobCodecVersion {
+		return nil
+	}
+	return rec.IDs
+}
+
+// loadJobRecord reads one persisted job (false on any damage or version
+// mismatch).
+func loadJobRecord(st *store.Store, id string) (*job, bool) {
+	data, ok := st.Get(jobKey(id))
+	if !ok {
+		return nil, false
+	}
+	var rec jobRecord
+	if err := json.Unmarshal(data, &rec); err != nil || rec.V != jobCodecVersion || rec.ID != id {
+		return nil, false
+	}
+	switch rec.State {
+	case JobQueued, JobRunning, JobDone, JobFailed, JobCanceled:
+	default:
+		return nil, false
+	}
+	return &job{
+		id:        rec.ID,
+		req:       rec.Request,
+		state:     rec.State,
+		total:     rec.Total,
+		completed: rec.Completed,
+		errMsg:    rec.Error,
+		report:    rec.Report,
+		requeues:  rec.Requeues,
+		retries:   rec.Retries,
+		created:   rec.CreatedUnix,
+		finished:  rec.FinishedUnix,
+	}, true
+}
+
+// --- HTTP handlers ---------------------------------------------------------
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decodeBody(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Validate up front: a job that cannot resolve must fail at submit
+	// time with a 400, not sit in the queue only to die asynchronously.
+	// The resolution is kept and reused when the job runs.
+	resolved, err := s.resolveSweep(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := s.jobs.submit(req, resolved)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSONStatus(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.jobs.list())
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.jobs.status(r.PathValue("id"), true)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, st)
+}
+
+func (s *Server) handleJobReport(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rep, state, ok := s.jobs.report(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	if rep == nil {
+		if state == JobDone {
+			// Done but report-less: the report outgrew the store budget and
+			// only the slim record survived a restart.
+			httpError(w, http.StatusGone, fmt.Errorf("job %s finished but its report was not persisted (it exceeded the store budget); resubmit the sweep", id))
+			return
+		}
+		httpError(w, http.StatusConflict, fmt.Errorf("job %s is %s; a report exists only once it is done", id, state))
+		return
+	}
+	writeReport(w, rep)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.jobs.cancelJob(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, st)
+}

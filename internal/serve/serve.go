@@ -1,8 +1,7 @@
-// Package serve implements the mgserve HTTP API: a thin, stateless
-// serving layer over the shared memoizing simulation engine and the
-// persistent result store.
+// Package serve implements the mgserve HTTP API: the serving layer over
+// the shared memoizing simulation engine and the persistent result store.
 //
-// Endpoints:
+// Synchronous endpoints:
 //
 //	POST /v1/simulate            one simulation job, JSON JobSpec in,
 //	                             JobResult out
@@ -10,17 +9,37 @@
 //	                             concurrent arms coalesce through the
 //	                             engine's single-flight cache; the
 //	                             response is the structured sim.Report
+//	POST /v1/outcome             one JobSpec in, the canonical encoded
+//	                             sim.Outcome out (the worker-to-worker
+//	                             form the coordinator fans out with)
 //	GET  /v1/experiments/{name}  full figure reproduction as Report JSON
 //	GET  /healthz                liveness
-//	GET  /statsz                 engine + store hit counters
+//	GET  /statsz                 engine + store + job counters
+//
+// Asynchronous job endpoints (see JobManager):
+//
+//	POST   /v1/jobs              submit a sweep, returns a job id at once
+//	GET    /v1/jobs              list known jobs (without reports)
+//	GET    /v1/jobs/{id}         status, per-arm progress, embedded report
+//	GET    /v1/jobs/{id}/report  the finished sweep's raw Report JSON,
+//	                             byte-identical to POST /v1/sweep
+//	DELETE /v1/jobs/{id}         cancel a queued or running job
 //
 // All simulation work funnels through one sim.Engine, so identical jobs —
 // across requests, across endpoints, and across concurrent callers — run
 // at most once per process, and at most once ever when a store is
-// attached.
+// attached. With Options.Workers set the server instead runs as a
+// coordinator: sweep arms are sharded across worker mgserve processes by
+// rendezvous hashing on each arm's TraceKey, so every arm lands on the
+// worker that already holds its captured trace (see Coordinator).
+//
+// Every error response carries Content-Type application/json and a
+// structured {"error": ...} body — including mux-level 404/405s.
 package serve
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -43,10 +62,32 @@ const DefaultMaxSweepJobs = 1024
 type Options struct {
 	// Engine is the shared simulation engine (required). Attach a
 	// persistent store to it with WithStore before serving; /statsz
-	// reports whatever store the engine carries.
+	// reports whatever store the engine carries, and async job state
+	// persists through the same store.
 	Engine *sim.Engine
 	// MaxSweepJobs bounds the arms in one sweep request (0 = default).
 	MaxSweepJobs int
+
+	// Workers are base URLs of worker mgserve processes. When non-empty
+	// the server runs in coordinator mode: /v1/simulate, /v1/sweep and
+	// async jobs shard their arms across the workers by trace-key
+	// affinity instead of running on the local engine. /v1/experiments
+	// still runs locally.
+	Workers []string
+	// FanoutConcurrency bounds the coordinator's in-flight worker calls
+	// (0 = 4 × workers).
+	FanoutConcurrency int
+	// WorkerCallTimeout bounds one coordinator→worker call
+	// (0 = DefaultWorkerCallTimeout). A worker that hangs past it counts
+	// as failed and its arms re-route.
+	WorkerCallTimeout time.Duration
+
+	// JobQueue bounds queued async jobs (0 = DefaultJobQueue); further
+	// submissions are refused with 503. JobRunners is the number of jobs
+	// executed concurrently (0 = DefaultJobRunners); each running job
+	// still parallelizes internally through the engine or coordinator.
+	JobQueue   int
+	JobRunners int
 }
 
 // Server is the mgserve HTTP handler.
@@ -55,9 +96,12 @@ type Server struct {
 	maxSweep int
 	started  time.Time
 	mux      *http.ServeMux
+	coord    *Coordinator // nil in single-process mode
+	jobs     *JobManager
 }
 
-// New builds the handler.
+// New builds the handler. Close it when done to stop the async job
+// runners.
 func New(o Options) *Server {
 	if o.Engine == nil {
 		panic("serve: Options.Engine is required")
@@ -72,15 +116,74 @@ func New(o Options) *Server {
 		started:  time.Now(),
 		mux:      http.NewServeMux(),
 	}
+	if len(o.Workers) > 0 {
+		s.coord = NewCoordinator(o.Workers, o.FanoutConcurrency, o.WorkerCallTimeout)
+	}
+	s.jobs = newJobManager(s, o.JobQueue, o.JobRunners)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/outcome", s.handleOutcome)
 	s.mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleJobReport)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /statsz", s.handleStats)
 	return s
 }
 
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// Close stops the async job runners. Running jobs are aborted and left in
+// a requeueable persisted state (not marked canceled), so a restarted
+// server picks them back up.
+func (s *Server) Close() { s.jobs.close() }
+
+// ServeHTTP serves the API. Every handler response passes through a
+// json-error rewriter, so even the mux's own plain-text 404/405 paths
+// reach the client as structured {"error": ...} JSON.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	jw := &jsonErrorWriter{rw: w}
+	s.mux.ServeHTTP(jw, r)
+	jw.finish()
+}
+
+// runSweep executes resolved jobs either on the local engine or, in
+// coordinator mode, sharded across the worker tier. onDone (optional)
+// fires as each arm completes, from that arm's goroutine. specs and jobs
+// are index-aligned.
+func (s *Server) runSweep(ctx context.Context, specs []JobSpec, jobs []sim.SimJob, onDone func(int, *sim.Outcome)) ([]*sim.Outcome, error) {
+	if s.coord != nil {
+		return s.coord.Run(ctx, specs, jobs, onDone)
+	}
+	return s.eng.RunEach(ctx, jobs, onDone)
+}
+
+// resolveSweep validates a sweep request: bounds, per-arm resolution, and
+// arm-name uniqueness (duplicate labels would make the per-arm report rows
+// ambiguous, so they are rejected outright naming the offender).
+func (s *Server) resolveSweep(req SweepRequest) ([]sim.SimJob, error) {
+	if len(req.Jobs) == 0 {
+		return nil, fmt.Errorf("sweep needs at least one job")
+	}
+	if len(req.Jobs) > s.maxSweep {
+		return nil, fmt.Errorf("sweep of %d jobs exceeds the %d-job limit", len(req.Jobs), s.maxSweep)
+	}
+	jobs := make([]sim.SimJob, len(req.Jobs))
+	seen := make(map[string]int, len(req.Jobs))
+	for i, js := range req.Jobs {
+		job, err := js.Resolve()
+		if err != nil {
+			return nil, fmt.Errorf("jobs[%d]: %w", i, err)
+		}
+		if prev, dup := seen[js.label()]; dup {
+			return nil, fmt.Errorf("jobs[%d]: duplicate arm %q (also jobs[%d]); arm names must be unique within a sweep", i, js.label(), prev)
+		}
+		seen[js.label()] = i
+		jobs[i] = job
+	}
+	return jobs, nil
+}
 
 // JobSpec is the wire form of one simulation job. Machine configurations
 // are requested by preset name plus a few overrides rather than by the
@@ -299,12 +402,42 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	outs, err := s.runSweep(r.Context(), []JobSpec{js}, []sim.SimJob{job}, nil)
+	if err != nil {
+		httpAbortOrError(w, r, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, jobResult(js, outs[0]))
+}
+
+// handleOutcome is the worker-facing form of /v1/simulate: it returns the
+// full canonical sim.Outcome encoding (result + selection), which is what
+// the coordinator needs to rebuild a merged Report byte-identical to
+// single-process execution. Always served by the local engine — a
+// coordinator is not a worker.
+func (s *Server) handleOutcome(w http.ResponseWriter, r *http.Request) {
+	var js JobSpec
+	if err := decodeBody(r, &js); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := js.Resolve()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
 	out, err := s.eng.Simulate(r.Context(), job)
+	if err != nil {
+		httpAbortOrError(w, r, http.StatusInternalServerError, err)
+		return
+	}
+	data, err := sim.EncodeOutcome(out)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, jobResult(js, out))
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(data)
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -313,26 +446,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	if len(req.Jobs) == 0 {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("sweep needs at least one job"))
-		return
-	}
-	if len(req.Jobs) > s.maxSweep {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("sweep of %d jobs exceeds the %d-job limit", len(req.Jobs), s.maxSweep))
-		return
-	}
-	jobs := make([]sim.SimJob, len(req.Jobs))
-	for i, js := range req.Jobs {
-		job, err := js.Resolve()
-		if err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("jobs[%d]: %w", i, err))
-			return
-		}
-		jobs[i] = job
-	}
-	outs, err := s.eng.Run(r.Context(), jobs)
+	jobs, err := s.resolveSweep(req)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	outs, err := s.runSweep(r.Context(), req.Jobs, jobs, nil)
+	if err != nil {
+		httpAbortOrError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	writeReport(w, SweepReport(req, outs))
@@ -376,10 +497,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 // statsResponse is the /statsz body.
 type statsResponse struct {
+	Mode          string       `json:"mode"` // "single" or "coordinator"
 	Engine        sim.Stats    `json:"engine"`
 	PipelineSims  int64        `json:"pipeline_sims"`
 	Store         *store.Stats `json:"store,omitempty"`
 	Workers       int          `json:"workers"`
+	WorkerURLs    []string     `json:"worker_urls,omitempty"`
+	Jobs          JobsStats    `json:"jobs"`
 	UptimeSeconds float64      `json:"uptime_seconds"`
 	Experiments   []string     `json:"experiments"`
 }
@@ -387,11 +511,17 @@ type statsResponse struct {
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.eng.Stats()
 	resp := statsResponse{
+		Mode:          "single",
 		Engine:        st,
 		PipelineSims:  st.PipelineSims(),
 		Workers:       s.eng.Workers(),
+		Jobs:          s.jobs.stats(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Experiments:   experiments.IDs(),
+	}
+	if s.coord != nil {
+		resp.Mode = "coordinator"
+		resp.WorkerURLs = s.coord.WorkerURLs()
 	}
 	if st := s.eng.Store(); st != nil {
 		ss := st.Stats()
@@ -413,7 +543,14 @@ func decodeBody(r *http.Request, v any) error {
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
+	writeJSONStatus(w, http.StatusOK, v)
+}
+
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	if status != http.StatusOK {
+		w.WriteHeader(status)
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
@@ -436,4 +573,67 @@ func httpError(w http.ResponseWriter, status int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// httpAbortOrError reports a compute failure — unless the request's own
+// context is done, in which case the client has disconnected and the
+// handler returns without writing anything: the aborted work must not leave
+// a partial (or pointless) JSON body behind on a connection nobody reads.
+func httpAbortOrError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	if r.Context().Err() != nil {
+		return
+	}
+	httpError(w, status, err)
+}
+
+// jsonErrorWriter rewrites plain-text error responses (the mux's built-in
+// 404/405s, any stray http.Error) into the API's structured JSON error
+// shape. Success responses and errors already written as JSON pass through
+// untouched. Error bodies are buffered (they are one short line), so the
+// rewrite never emits a half-converted response.
+type jsonErrorWriter struct {
+	rw          http.ResponseWriter
+	wroteHeader bool
+	intercept   bool
+	status      int
+	buf         bytes.Buffer
+}
+
+func (j *jsonErrorWriter) Header() http.Header { return j.rw.Header() }
+
+func (j *jsonErrorWriter) WriteHeader(code int) {
+	if j.wroteHeader {
+		return
+	}
+	j.wroteHeader = true
+	if code >= 400 && !strings.HasPrefix(j.rw.Header().Get("Content-Type"), "application/json") {
+		j.intercept = true
+		j.status = code
+		return // headers flush in finish, after the body is rewritten
+	}
+	j.rw.WriteHeader(code)
+}
+
+func (j *jsonErrorWriter) Write(p []byte) (int, error) {
+	if !j.wroteHeader {
+		j.WriteHeader(http.StatusOK)
+	}
+	if j.intercept {
+		j.buf.Write(p)
+		return len(p), nil
+	}
+	return j.rw.Write(p)
+}
+
+func (j *jsonErrorWriter) finish() {
+	if !j.intercept {
+		return
+	}
+	msg := strings.TrimSpace(j.buf.String())
+	if msg == "" {
+		msg = http.StatusText(j.status)
+	}
+	j.rw.Header().Set("Content-Type", "application/json")
+	j.rw.WriteHeader(j.status)
+	_ = json.NewEncoder(j.rw).Encode(map[string]string{"error": msg})
 }

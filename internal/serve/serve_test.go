@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"minigraph/internal/sim"
 	"minigraph/internal/store"
@@ -22,8 +23,12 @@ func newTestServer(t *testing.T, st *store.Store) (*httptest.Server, *sim.Engine
 	if st != nil {
 		eng.WithStore(st)
 	}
-	ts := httptest.NewServer(New(Options{Engine: eng, MaxSweepJobs: 16}))
-	t.Cleanup(ts.Close)
+	srv := New(Options{Engine: eng, MaxSweepJobs: 16})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
 	return ts, eng
 }
 
@@ -392,4 +397,219 @@ func TestStatszTraceCounters(t *testing.T) {
 	if st2.Engine.TraceBytes == 0 {
 		t.Fatal("trace bytes counter not populated")
 	}
+}
+
+// TestSweepDuplicateArms: duplicate arm names within one sweep would
+// produce ambiguous per-arm report rows, so they are rejected with a 400
+// naming the offending arm — both explicit labels and the synthetic
+// bench@machine defaults.
+func TestSweepDuplicateArms(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	resp, out := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{Jobs: []JobSpec{
+		fastSpec("twin", true),
+		fastSpec("solo", false),
+		fastSpec("twin", true),
+	}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("duplicate arms accepted: %d %s", resp.StatusCode, out)
+	}
+	var e map[string]string
+	if err := json.Unmarshal(out, &e); err != nil {
+		t.Fatalf("error body %s", out)
+	}
+	for _, want := range []string{`"twin"`, "jobs[2]", "jobs[0]"} {
+		if !strings.Contains(e["error"], want) {
+			t.Errorf("error %q does not name %s", e["error"], want)
+		}
+	}
+
+	// Two unlabeled jobs over the same bench+machine collide on the
+	// synthetic label too.
+	resp, out = postJSON(t, ts.URL+"/v1/sweep", SweepRequest{Jobs: []JobSpec{
+		{Bench: "sha", MaxRecords: 3000},
+		{Bench: "sha", MaxRecords: 6000},
+	}})
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(out), "sha@minigraph") {
+		t.Errorf("synthetic-label duplicate: %d %s", resp.StatusCode, out)
+	}
+
+	// Distinct labels over identical underlying jobs stay legal (they
+	// coalesce in the engine; the rows are unambiguous).
+	resp, out = postJSON(t, ts.URL+"/v1/sweep", SweepRequest{Jobs: []JobSpec{
+		fastSpec("a", true), fastSpec("b", true),
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("renamed duplicates rejected: %d %s", resp.StatusCode, out)
+	}
+}
+
+// TestErrorResponsesAlwaysJSON: every error path — including the mux's
+// built-in 404/405 plain-text responses — must reach the client as
+// Content-Type application/json with a structured {"error": ...} body.
+func TestErrorResponsesAlwaysJSON(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	cases := []struct {
+		method, path string
+		body         string
+		want         int
+	}{
+		{"GET", "/no/such/path", "", http.StatusNotFound},
+		{"GET", "/v1/simulate", "", http.StatusMethodNotAllowed}, // handler is POST
+		{"PUT", "/v1/jobs", "", http.StatusMethodNotAllowed},
+		{"POST", "/v1/sweep", "{not json", http.StatusBadRequest},
+		{"GET", "/v1/jobs/j-missing", "", http.StatusNotFound},
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, ts.URL+c.path, strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s %s: status %d, want %d (%s)", c.method, c.path, resp.StatusCode, c.want, body)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Errorf("%s %s: Content-Type %q", c.method, c.path, ct)
+		}
+		var e map[string]string
+		if err := json.Unmarshal(body, &e); err != nil || e["error"] == "" {
+			t.Errorf("%s %s: body %q is not a structured error", c.method, c.path, body)
+		}
+	}
+
+	// Success paths are untouched by the rewriter.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: %d", resp.StatusCode)
+	}
+}
+
+// slowSweep is a sweep long enough to cancel mid-flight: full-run gzip
+// arms with distinct memory latencies, serialized on a 1-worker engine.
+func slowSweep(arms int) SweepRequest {
+	req := SweepRequest{Name: "slow"}
+	for i := 0; i < arms; i++ {
+		req.Jobs = append(req.Jobs, JobSpec{
+			Arm: fmt.Sprintf("gzip/mem%d", i), Bench: "gzip",
+			Baseline: true, Machine: "baseline", MemLatency: 100 + 10*i,
+		})
+	}
+	return req
+}
+
+// TestSweepClientDisconnect: when the client goes away mid-sweep, the
+// request context must abort in-flight pipeline runs promptly, the engine
+// must stop issuing the remaining arms, and the handler must return
+// without writing any partial JSON body.
+func TestSweepClientDisconnect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-run sweep; skipped in -short")
+	}
+	eng := sim.New(1) // serialize arms so cancellation lands mid-sweep
+	srv := New(Options{Engine: eng})
+	defer srv.Close()
+
+	const arms = 16
+	req := slowSweep(arms)
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	hr := httptest.NewRequest(http.MethodPost, "/v1/sweep", bytes.NewReader(data)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.ServeHTTP(rec, hr)
+	}()
+
+	// Let the sweep get going (capture + first arms), then disconnect.
+	time.Sleep(250 * time.Millisecond)
+	cancel()
+	canceledAt := time.Now()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("handler still running 15s after client disconnect")
+	}
+	if d := time.Since(canceledAt); d > 5*time.Second {
+		t.Errorf("handler took %s to notice the disconnect", d)
+	}
+	if rec.Body.Len() != 0 {
+		t.Errorf("handler wrote %d bytes after disconnect: %.120q", rec.Body.Len(), rec.Body.String())
+	}
+
+	// The canceled arms were evicted from the engine's cache, so running
+	// the identical sweep again re-executes exactly the arms that never
+	// completed. Most of the sweep must still have been pending at cancel
+	// time — the engine stopped issuing arms instead of finishing the
+	// batch behind the dead connection.
+	before := eng.Stats().SimRuns
+	jobs := make([]sim.SimJob, len(req.Jobs))
+	for i, js := range req.Jobs {
+		if jobs[i], err = js.Resolve(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := eng.Run(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	rerun := eng.Stats().SimRuns - before
+	if rerun < arms/2 {
+		t.Errorf("only %d of %d arms were still pending at cancel; engine kept issuing work for a dead client", rerun, arms)
+	}
+}
+
+// TestStatszRaceClean hammers /statsz while sweeps and async jobs run;
+// the race detector (CI runs this package under -race) must stay quiet.
+func TestStatszRaceClean(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	var wg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			req := SweepRequest{Name: "race", Jobs: []JobSpec{
+				fastSpec(fmt.Sprintf("c%d/base", c), true),
+				fastSpec(fmt.Sprintf("c%d/mg", c), false),
+			}}
+			if resp, out := postJSON(t, ts.URL+"/v1/sweep", req); resp.StatusCode != http.StatusOK {
+				t.Errorf("sweep: %d %s", resp.StatusCode, out)
+			}
+		}(c)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if resp, out := postJSON(t, ts.URL+"/v1/jobs", SweepRequest{Jobs: []JobSpec{fastSpec("job/base", true)}}); resp.StatusCode != http.StatusAccepted {
+			t.Errorf("job submit: %d %s", resp.StatusCode, out)
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		resp, err := http.Get(ts.URL + "/statsz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st statsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if st.Mode != "single" || st.Workers != 2 {
+			t.Fatalf("statsz %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	wg.Wait()
 }

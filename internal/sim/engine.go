@@ -347,7 +347,7 @@ func buildProgram(pr *Prepared, key TraceKey) (*isa.Program, []*core.Template, *
 // loads the persisted blob and never emulates. Like Prepare, the compute
 // takes its own worker slot and callers must not hold one.
 func (e *Engine) captureTrace(ctx context.Context, key SimKey, pr *Prepared) (*capturedTrace, error) {
-	tk := key.traceKey()
+	tk := key.TraceKey()
 	ct, err := e.captureTraceLocked(ctx, tk, key, pr)
 	if err == nil {
 		e.touchTrace(tk, ct.trace.SizeBytes())
@@ -498,7 +498,7 @@ func (e *Engine) simulateLive(ctx context.Context, key SimKey, cfgName string, p
 		return nil, nil, err
 	}
 	defer e.release()
-	prog, templates, sel, err := buildProgram(pr, key.traceKey())
+	prog, templates, sel, err := buildProgram(pr, key.TraceKey())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -544,7 +544,7 @@ func (e *Engine) RunEach(ctx context.Context, jobs []SimJob, onDone func(i int, 
 		}(i, job)
 	}
 	wg.Wait()
-	return outs, joinErrors(ctx, errs)
+	return outs, JoinErrors(ctx, errs)
 }
 
 // Each runs fn(0..n-1) with the engine's concurrency bound and the same
@@ -575,13 +575,15 @@ func (e *Engine) Each(ctx context.Context, n int, fn func(ctx context.Context, i
 		}(i)
 	}
 	wg.Wait()
-	return joinErrors(ctx, errs)
+	return JoinErrors(ctx, errs)
 }
 
-// joinErrors joins every failure, dropping cancellations that were induced
-// by a sibling's failure. If the parent ctx itself was canceled (or every
-// error is a cancellation), the cancellation is reported as-is.
-func joinErrors(ctx context.Context, errs []error) error {
+// JoinErrors joins every failure from a fan-out, dropping cancellations
+// that were induced by a sibling's failure. If the parent ctx itself was
+// canceled (or every error is a cancellation), the cancellation is
+// reported as-is. Exported so sibling fan-out layers (the serving tier's
+// coordinator) report sweep failures with the same semantics as Run.
+func JoinErrors(ctx context.Context, errs []error) error {
 	var hard []error
 	var canceled error
 	for _, err := range errs {

@@ -188,3 +188,52 @@ func TestEngineStoreKeyCanonicalization(t *testing.T) {
 		t.Fatalf("stored payload does not decode: %v", err)
 	}
 }
+
+// TestOversizedTraceBlobRefusedByStore: with a store budget smaller than
+// a captured trace blob, the blob's write-through is refused (counted in
+// RejectedPuts) while the much smaller outcome entries still persist —
+// the giant blob must not evict the whole store. A cold engine then
+// answers from the persisted outcomes without recapturing.
+func TestOversizedTraceBlobRefusedByStore(t *testing.T) {
+	dir := t.TempDir()
+	// 3000 records encode to ~80KB; 24KB holds outcomes but never a blob.
+	st, err := store.Open(dir, store.Options{MaxBytes: 24 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	pk := PrepareKey{Bench: "sha", Input: workload.InputTrain}
+	base := uarch.Baseline()
+	base.MaxRecords = 3000
+	job := Baseline(pk, base)
+
+	warm := New(2).WithStore(st)
+	out, err := warm.Simulate(ctx, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := st.Stats()
+	if ss.RejectedPuts == 0 {
+		t.Fatalf("trace blob slipped under the %d-byte budget: %+v", 24<<10, ss)
+	}
+	if ss.Evictions != 0 {
+		t.Errorf("oversized blob evicted store entries: %+v", ss)
+	}
+	if ss.Entries == 0 {
+		t.Error("outcome entry was not persisted")
+	}
+
+	// Cold process: outcome answered from disk, no pipeline run.
+	cold := New(2).WithStore(openStore(t, dir))
+	out2, err := cold.Simulate(ctx, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := cold.Stats()
+	if es.StoreHits != 1 || es.PipelineSims() != 0 {
+		t.Errorf("cold engine stats %+v", es)
+	}
+	if out.Result.Cycles != out2.Result.Cycles {
+		t.Errorf("cold outcome diverged: %d vs %d cycles", out.Result.Cycles, out2.Result.Cycles)
+	}
+}

@@ -106,8 +106,13 @@ type TraceKey struct {
 	Limit    int64
 }
 
-// traceKey derives the capture identity of a simulation.
-func (k SimKey) traceKey() TraceKey {
+// TraceKey derives the capture identity of a simulation. Because the
+// machine configuration is absent, every arm of a configuration sweep over
+// one binary shares one TraceKey — the serving tier's coordinator mode
+// exploits exactly this, sharding arms across workers by TraceKey so
+// capture memoization and stored trace blobs hit on the worker that
+// already holds the trace.
+func (k SimKey) TraceKey() TraceKey {
 	return TraceKey{
 		Prepare:  k.Prepare,
 		Baseline: k.Baseline,

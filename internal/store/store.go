@@ -59,12 +59,16 @@ type Options struct {
 
 // Stats is a point-in-time snapshot of the store's counters and footprint.
 type Stats struct {
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	Puts      int64 `json:"puts"`
-	Evictions int64 `json:"evictions"`
-	Entries   int   `json:"entries"`
-	Bytes     int64 `json:"bytes"`
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Puts   int64 `json:"puts"`
+	// RejectedPuts counts puts refused because a single entry exceeded the
+	// byte budget; the entry is never written and later reads of its key
+	// miss, but the rest of the store stays intact.
+	RejectedPuts int64 `json:"rejected_puts"`
+	Evictions    int64 `json:"evictions"`
+	Entries      int   `json:"entries"`
+	Bytes        int64 `json:"bytes"`
 }
 
 // entry is the on-disk envelope. The key is recorded verbatim so a read
@@ -99,6 +103,7 @@ type Store struct {
 	hits      atomic.Int64
 	misses    atomic.Int64
 	puts      atomic.Int64
+	rejected  atomic.Int64
 	evictions atomic.Int64
 
 	// seq is the recency sequence: every Put and every Get hit takes the
@@ -220,12 +225,13 @@ func (s *Store) Stats() Stats {
 	entries, bytes := len(s.index), s.bytes
 	s.mu.Unlock()
 	return Stats{
-		Hits:      s.hits.Load(),
-		Misses:    s.misses.Load(),
-		Puts:      s.puts.Load(),
-		Evictions: s.evictions.Load(),
-		Entries:   entries,
-		Bytes:     bytes,
+		Hits:         s.hits.Load(),
+		Misses:       s.misses.Load(),
+		Puts:         s.puts.Load(),
+		RejectedPuts: s.rejected.Load(),
+		Evictions:    s.evictions.Load(),
+		Entries:      entries,
+		Bytes:        bytes,
 	}
 }
 
@@ -386,13 +392,30 @@ func (s *Store) drop(hash string, remove bool) {
 	}
 }
 
+// Delete removes the entry stored under key (a no-op if absent).
+func (s *Store) Delete(key []byte) {
+	s.drop(hashKey(key), true)
+}
+
 // Put stores value under key, atomically replacing any previous entry, and
 // evicts least-recently-used entries if the byte budget is now exceeded.
+// An entry that on its own exceeds the byte budget is refused outright
+// (counted in Stats.RejectedPuts): admitting it would evict every other
+// entry only to leave a store that still cannot hold the working set.
 func (s *Store) Put(key, value []byte) error {
 	hash := hashKey(key)
 	data, err := json.Marshal(entry{Version: formatVersion, Key: key, Value: value})
 	if err != nil {
 		return fmt.Errorf("store: encode: %w", err)
+	}
+	if s.max >= 0 && int64(len(data)) > s.max {
+		s.rejected.Add(1)
+		// Keep the documented semantics — after a refused put, reads of
+		// the key miss. Leaving an older value visible would hand callers
+		// that mutate a key in place (the async-job records) a stale state
+		// forever.
+		s.drop(hash, true)
+		return fmt.Errorf("store: %d-byte entry exceeds the %d-byte budget", len(data), s.max)
 	}
 
 	path := s.pathFor(hash)

@@ -408,3 +408,77 @@ func TestEvictionTieBreakByKeyWithoutSidecars(t *testing.T) {
 		t.Errorf("want 2 survivors, got %q", a)
 	}
 }
+
+// TestOversizedPutRefused: an entry that on its own exceeds the byte
+// budget must be refused outright — never admitted by evicting everything
+// else (which would thrash the store into holding exactly one giant,
+// rarely-reusable blob). The paper's trace blobs are the realistic
+// offender: a full-run capture is tens of MB, far beyond a small
+// -cache-max-bytes.
+func TestOversizedPutRefused(t *testing.T) {
+	s := open(t, t.TempDir(), 8<<10)
+	small := bytes.Repeat([]byte("v"), 256)
+	for i := 0; i < 8; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("k%d", i)), small); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.Stats()
+	if before.Entries != 8 || before.Evictions != 0 {
+		t.Fatalf("setup stats %+v", before)
+	}
+
+	// A synthetic trace-blob-sized value: bigger than the whole budget.
+	// The key already holds a small value — after the refusal it must
+	// read as a miss, not keep serving the stale small value (a caller
+	// mutating a key in place would otherwise see frozen state forever).
+	if err := s.Put([]byte("trace-blob"), small); err != nil {
+		t.Fatal(err)
+	}
+	blob := bytes.Repeat([]byte("t"), 64<<10)
+	if err := s.Put([]byte("trace-blob"), blob); err == nil {
+		t.Fatal("oversized put accepted")
+	}
+	if _, ok := s.Get([]byte("trace-blob")); ok {
+		t.Fatal("key readable after refused overwrite")
+	}
+	st := s.Stats()
+	if st.RejectedPuts != 1 {
+		t.Errorf("rejected puts %d, want 1", st.RejectedPuts)
+	}
+	if st.Entries != 8 || st.Evictions != 0 {
+		t.Errorf("oversized put disturbed the store: %+v", st)
+	}
+	for i := 0; i < 8; i++ {
+		if _, ok := s.Get([]byte(fmt.Sprintf("k%d", i))); !ok {
+			t.Errorf("k%d lost after refused put", i)
+		}
+	}
+
+	// Unbounded stores accept anything.
+	u := open(t, t.TempDir(), -1)
+	if err := u.Put([]byte("trace-blob"), blob); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, -1)
+	if err := s.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	s.Delete([]byte("k"))
+	if _, ok := s.Get([]byte("k")); ok {
+		t.Fatal("deleted key readable")
+	}
+	s.Delete([]byte("never-existed")) // no-op, no panic
+	// The file is gone, so a fresh process misses too.
+	s2 := open(t, dir, -1)
+	if _, ok := s2.Get([]byte("k")); ok {
+		t.Fatal("deleted key visible to a fresh open")
+	}
+	if st := s.Stats(); st.Entries != 0 {
+		t.Errorf("stats %+v", st)
+	}
+}

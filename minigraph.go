@@ -37,6 +37,7 @@ import (
 	"minigraph/internal/isa"
 	"minigraph/internal/program"
 	"minigraph/internal/rewrite"
+	"minigraph/internal/serve"
 	"minigraph/internal/sim"
 	"minigraph/internal/store"
 	"minigraph/internal/trace"
@@ -96,6 +97,19 @@ type (
 	// functional emulation, replayable by any number of concurrent timing
 	// simulations (see CaptureTrace / SimulateTrace).
 	Trace = trace.Trace
+
+	// ServeClient is an HTTP client for an mgserve instance: synchronous
+	// simulate/sweep calls plus the async job API (submit a sweep, poll
+	// its progress, fetch the finished report, cancel). Build one with
+	// NewServeClient.
+	ServeClient = serve.Client
+	// ServeJobSpec is the wire form of one simulation job for mgserve.
+	ServeJobSpec = serve.JobSpec
+	// ServeSweepRequest is a named batch of mgserve arms.
+	ServeSweepRequest = serve.SweepRequest
+	// ServeJobStatus is an async mgserve job's status: lifecycle state,
+	// per-arm progress, and (once done) the sweep report.
+	ServeJobStatus = serve.JobStatus
 )
 
 // Input sets for PrepareKey and Benchmark.Build.
@@ -236,6 +250,15 @@ func NewEngine(workers int) *Engine { return sim.New(workers) }
 func OpenStore(dir string, maxBytes int64) (*Store, error) {
 	return store.Open(dir, store.Options{MaxBytes: maxBytes})
 }
+
+// NewServeClient builds an HTTP client for the mgserve instance at base
+// (e.g. "http://localhost:8347"). Typical async flow:
+//
+//	c := minigraph.NewServeClient("http://localhost:8347")
+//	st, _ := c.SubmitJob(ctx, minigraph.ServeSweepRequest{Jobs: arms})
+//	st, _ = c.WaitJob(ctx, st.ID, 0)
+//	data, _ := c.JobReportJSON(ctx, st.ID) // byte-identical to /v1/sweep
+func NewServeClient(base string) *ServeClient { return serve.NewClient(base) }
 
 // Speedup returns base.Cycles / other.Cycles.
 func Speedup(base, other *SimResult) float64 { return uarch.Speedup(base, other) }
