@@ -88,14 +88,14 @@ func sweepArms() []minigraph.SimJob {
 // both modes and memoized since PR 1, so — like extraction in
 // BenchmarkPipelineMiniGraph — it is warmed outside the measured region;
 // the clock sees extraction, capture/emulation, and timing simulation.
-func benchSweep(b *testing.B, live bool) {
+func benchSweep(b *testing.B, live, gang bool) {
 	b.Helper()
 	b.ReportAllocs()
 	jobs := sweepArms()
 	var captures, replays int64
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		eng := minigraph.NewEngine(0).WithLiveStream(live)
+		eng := minigraph.NewEngine(0).WithLiveStream(live).WithGangReplay(gang)
 		for _, name := range workload.BenchSubset() {
 			pk := minigraph.PrepareKey{Bench: name, Input: minigraph.InputTrain}
 			if _, err := eng.Prepare(context.Background(), pk); err != nil {
@@ -121,15 +121,22 @@ func benchSweep(b *testing.B, live bool) {
 }
 
 // BenchmarkSweep times the multi-arm configuration sweep through the
-// trace-replay engine (one functional emulation per benchmark, N timed
-// replays).
-func BenchmarkSweep(b *testing.B) { benchSweep(b, false) }
+// trace-replay engine with gang replay disabled (one functional emulation
+// per benchmark, N independent timed replays) — the solo baseline gang
+// execution is measured against.
+func BenchmarkSweep(b *testing.B) { benchSweep(b, false, false) }
+
+// BenchmarkSweepGang is the same sweep with gang replay (the engine
+// default): each benchmark's eight arms interleave over one shared-decode
+// trace traversal. Reports are byte-identical to BenchmarkSweep's
+// (TestGangMatchesSequential); only throughput may differ.
+func BenchmarkSweepGang(b *testing.B) { benchSweep(b, false, true) }
 
 // BenchmarkSweepLiveStream is the same sweep with live step-by-step
 // emulation inside every arm — the pre-trace behavior, kept measurable so
 // the replay speedup stays an observable number rather than a changelog
 // claim.
-func BenchmarkSweepLiveStream(b *testing.B) { benchSweep(b, true) }
+func BenchmarkSweepLiveStream(b *testing.B) { benchSweep(b, true, false) }
 
 // BenchmarkPipelineMiniGraph times the mini-graph machine over the subset,
 // with extraction and rewriting done once outside the measured region: the

@@ -7,9 +7,16 @@
 // Usage:
 //
 //	mgserve [-addr :8347] [-cache-dir DIR] [-cache-max-bytes N]
-//	        [-parallel N] [-max-sweep-jobs N]
+//	        [-parallel N] [-max-sweep-jobs N] [-gang=false]
 //	        [-workers URL,URL,...] [-fanout N]
 //	        [-job-queue N] [-job-runners N]
+//
+// Sweep arms sharing a captured trace execute as gangs by default — their
+// pipelines interleave over one shared-decode traversal, with reports
+// byte-identical to independent execution; -gang=false restores the
+// independent per-arm path (visible in /statsz gang counters either way).
+// In coordinator mode ganging happens on the workers, which see arms one
+// at a time — cross-arm ganging currently applies to single-process sweeps.
 //
 // With -workers the process runs as a coordinator: sweep arms shard
 // across the listed worker mgserve processes by trace-key affinity
@@ -55,6 +62,7 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persistent result store directory (empty = in-memory only)")
 	cacheMax := flag.Int64("cache-max-bytes", 0, "store size bound in bytes (0 = 1GiB default, negative = unbounded)")
 	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = NumCPU)")
+	gang := flag.Bool("gang", true, "gang-replay sweep arms sharing a captured trace")
 	maxSweep := flag.Int("max-sweep-jobs", serve.DefaultMaxSweepJobs, "max arms per sweep request")
 	workers := flag.String("workers", "", "comma-separated worker base URLs; enables coordinator mode")
 	fanout := flag.Int("fanout", 0, "coordinator: max in-flight worker calls (0 = 4 x workers)")
@@ -63,7 +71,7 @@ func main() {
 	jobRunners := flag.Int("job-runners", serve.DefaultJobRunners, "async jobs executed concurrently")
 	flag.Parse()
 
-	eng := sim.New(*parallel)
+	eng := sim.New(*parallel).WithGangReplay(*gang)
 	var st *store.Store
 	if *cacheDir != "" {
 		var err error

@@ -267,6 +267,14 @@ func TestJobPersistsAcrossRestart(t *testing.T) {
 	}
 
 	slow := slowSweep(16)
+	// Distinct record limits give every arm its own TraceKey: the arms
+	// cannot gang, so they complete one at a time on the 1-worker engine
+	// and the poll below can observe the job mid-flight. (Ganged arms
+	// advance in lockstep and all complete together at the end, leaving no
+	// partial-progress window to interrupt.)
+	for i := range slow.Jobs {
+		slow.Jobs[i].MaxRecords = int64(4_000_000 + i)
+	}
 	st2, err := c2.SubmitJob(ctx, slow)
 	if err != nil {
 		t.Fatal(err)

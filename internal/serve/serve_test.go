@@ -397,6 +397,15 @@ func TestStatszTraceCounters(t *testing.T) {
 	if st2.Engine.TraceBytes == 0 {
 		t.Fatal("trace bytes counter not populated")
 	}
+	// Both sweeps' arms share one TraceKey, so each ran as one gang — the
+	// operator-facing proof that sweeps actually gang.
+	if st2.Engine.GangsFormed != 2 || st2.Engine.GangArms != 5 {
+		t.Fatalf("gang counters formed=%d arms=%d, want 2/5: %+v",
+			st2.Engine.GangsFormed, st2.Engine.GangArms, st2.Engine)
+	}
+	if st2.Engine.GangSharedRecords == 0 {
+		t.Fatal("gang shared-decode counter not populated")
+	}
 }
 
 // TestSweepDuplicateArms: duplicate arm names within one sweep would

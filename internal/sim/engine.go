@@ -48,6 +48,7 @@ type Engine struct {
 	sem     chan struct{}
 	store   *store.Store
 	live    bool // force live emulation sources (golden-invariance testing)
+	gangOff bool // disable gang replay in RunEach (solo-path benchmarking)
 
 	mu     sync.Mutex
 	preps  map[PrepareKey]*call[*Prepared]
@@ -78,6 +79,11 @@ type Engine struct {
 	traceHits      atomic.Int64
 	traceStoreHits atomic.Int64
 	traceBytes     atomic.Int64
+
+	gangsFormed atomic.Int64
+	gangArmsRun atomic.Int64
+	gangShared  atomic.Int64
+	gangSolo    atomic.Int64
 }
 
 // capturedTrace is one memoized capture: the rewritten binary (or the
@@ -121,6 +127,16 @@ type Stats struct {
 	TraceReplayHits int64 `json:"trace_replay_hits"`
 	TraceStoreHits  int64 `json:"trace_store_hits,omitempty"`
 	TraceBytes      int64 `json:"trace_bytes,omitempty"`
+
+	// Gang-replay counters (see internal/sim/gang.go). GangsFormed counts
+	// gangs actually run; GangArms the arms those gangs carried (mean gang
+	// size = GangArms/GangsFormed); GangSharedRecords the per-record decodes
+	// arms skipped by reading the shared ring; GangFallbackSolo the sweep
+	// trace-groups that were singletons and took the independent path.
+	GangsFormed       int64 `json:"gangs_formed"`
+	GangArms          int64 `json:"gang_arms"`
+	GangSharedRecords int64 `json:"gang_shared_records"`
+	GangFallbackSolo  int64 `json:"gang_fallback_solo"`
 }
 
 // PipelineSims is the number of timing simulations the engine actually
@@ -206,6 +222,18 @@ func (e *Engine) WithStore(s *store.Store) *Engine {
 // Store returns the attached persistent store (nil if none).
 func (e *Engine) Store() *store.Store { return e.store }
 
+// WithGangReplay enables or disables gang replay in Run/RunEach (enabled
+// by default): sweep jobs sharing a TraceKey interleave their pipelines
+// over one shared-decode trace traversal instead of walking private
+// cursors end-to-end (see internal/sim/gang.go). Reports are byte-identical
+// either way — disabling exists for solo-path benchmarking and as a
+// diagnostic escape hatch. Set before submitting jobs (the field is not
+// synchronized); e is returned for chaining.
+func (e *Engine) WithGangReplay(on bool) *Engine {
+	e.gangOff = !on
+	return e
+}
+
 // WithLiveStream switches the engine to live, step-by-step functional
 // emulation inside every simulation instead of capture-once/replay-many.
 // The two modes must produce byte-identical reports — this knob exists so
@@ -220,17 +248,21 @@ func (e *Engine) WithLiveStream(live bool) *Engine {
 // Stats snapshots the cache counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		PrepareRuns:     e.prepRuns.Load(),
-		PrepareHits:     e.prepHits.Load(),
-		SimRuns:         e.simRuns.Load(),
-		SimHits:         e.simHits.Load(),
-		StoreHits:       e.storeHits.Load(),
-		StoreMisses:     e.storeMisses.Load(),
-		StorePuts:       e.storePuts.Load(),
-		TraceCaptures:   e.traceCaptures.Load(),
-		TraceReplayHits: e.traceHits.Load(),
-		TraceStoreHits:  e.traceStoreHits.Load(),
-		TraceBytes:      e.traceBytes.Load(),
+		PrepareRuns:       e.prepRuns.Load(),
+		PrepareHits:       e.prepHits.Load(),
+		SimRuns:           e.simRuns.Load(),
+		SimHits:           e.simHits.Load(),
+		StoreHits:         e.storeHits.Load(),
+		StoreMisses:       e.storeMisses.Load(),
+		StorePuts:         e.storePuts.Load(),
+		TraceCaptures:     e.traceCaptures.Load(),
+		TraceReplayHits:   e.traceHits.Load(),
+		TraceStoreHits:    e.traceStoreHits.Load(),
+		TraceBytes:        e.traceBytes.Load(),
+		GangsFormed:       e.gangsFormed.Load(),
+		GangArms:          e.gangArmsRun.Load(),
+		GangSharedRecords: e.gangShared.Load(),
+		GangFallbackSolo:  e.gangSolo.Load(),
 	}
 }
 
@@ -525,16 +557,44 @@ func (e *Engine) Run(ctx context.Context, jobs []SimJob) ([]*Outcome, error) {
 // RunEach is Run with a completion hook: onDone(i, out) fires as each job
 // finishes successfully, from that job's goroutine (it must be safe for
 // concurrent use). Use it to stream progress during long sweeps.
+//
+// Jobs sharing a TraceKey are (unless WithGangReplay(false)) executed as
+// gangs: their pipelines interleave over one shared-decode traversal of
+// the common trace, producing outcomes byte-identical to independent
+// execution while paying the record-decode cost once per gang (see
+// internal/sim/gang.go). Singleton groups, duplicates, and already-cached
+// keys take the plain Simulate path.
 func (e *Engine) RunEach(ctx context.Context, jobs []SimJob, onDone func(i int, out *Outcome)) ([]*Outcome, error) {
 	outs := make([]*Outcome, len(jobs))
 	errs := make([]error, len(jobs))
 	gctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	plan := e.planGangs(jobs)
 	var wg sync.WaitGroup
+	if plan != nil {
+		for _, g := range plan.gangs {
+			wg.Add(1)
+			go func(g *gang) {
+				defer wg.Done()
+				e.runGang(gctx, g)
+			}(g)
+		}
+	}
 	for i, job := range jobs {
 		wg.Add(1)
 		go func(i int, job SimJob) {
 			defer wg.Done()
+			if plan != nil {
+				if c, ok := plan.byIndex[i]; ok {
+					outs[i], errs[i] = e.waitGangCall(gctx, c, job)
+					if errs[i] != nil {
+						cancel()
+					} else if onDone != nil {
+						onDone(i, outs[i])
+					}
+					return
+				}
+			}
 			outs[i], errs[i] = e.Simulate(gctx, job)
 			if errs[i] != nil {
 				cancel()

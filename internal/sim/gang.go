@@ -1,0 +1,341 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"minigraph/internal/core"
+	"minigraph/internal/trace"
+	"minigraph/internal/uarch"
+)
+
+// Gang replay: every arm of a configuration sweep over one binary consumes
+// the byte-identical record stream (the config-free TraceKey guarantees
+// it), so instead of walking a private trace.Reader cursor end-to-end per
+// arm, RunEach groups a sweep's new jobs by TraceKey and runs each group as
+// a *gang* — one goroutine interleaving all of the group's pipelines over a
+// shared-decode trace.GangReader. Each packed record is decoded once at the
+// gang's frontier; trailing arms are served by a struct copy from the
+// decoded ring. The scheduler steps pipelines round-robin in fixed cycle
+// quanta and paces leaders so the gang's cursors stay inside the shared
+// window; an arm stalled on a long-latency event simply lags (still served
+// from the ring) while fast arms proceed.
+//
+// Gang execution is transparent: arms are registered in the engine's
+// single-flight table exactly like Simulate leaders, so concurrent
+// Simulate callers and overlapping sweeps share the in-flight results, and
+// per-arm store read-before/write-through and error wrapping are identical
+// to the solo path. Pipelines are self-contained state machines, so
+// interleaving them in cycle chunks cannot change any result — gang
+// reports are byte-identical to sequential per-arm execution (enforced by
+// TestGangMatchesSequential). Singleton groups fall back to the plain
+// Simulate path.
+const (
+	// gangQuantum is the round-robin step size in cycles. Large enough that
+	// a pipeline's working state stays hot for a useful burst, small enough
+	// that the gang's trace cursors stay bunched inside the shared window.
+	gangQuantum = 256
+
+	// gangLead bounds how far (in trace records) an arm's cursor may run
+	// ahead of the gang's slowest non-exhausted cursor before the scheduler
+	// skips its turn. The lead plus one quantum's fetch overshoot plus the
+	// deepest squash rewind stays well inside trace.DefaultGangWindow, so
+	// in steady state every serve is a ring copy.
+	gangLead = 2048
+)
+
+// gangMember is one arm of a gang: a job index from the sweep, its
+// canonical key, and the single-flight call the gang will fulfill.
+type gangMember struct {
+	idx      int
+	key      SimKey
+	cfgName  string // display name, for error messages only
+	c        *call[*Outcome]
+	keyBytes []byte // store key, nil when no store is attached
+}
+
+// gang is one group of arms sharing a TraceKey, run by one goroutine.
+type gang struct {
+	pk   PrepareKey
+	arms []*gangMember
+}
+
+// gangPlan is the outcome of planning one sweep: the gangs to run, and a
+// per-job-index map to the registered call a waiter should block on.
+// Indexes absent from byIndex (duplicates, already-cached keys, singleton
+// groups) go through the plain Simulate path.
+type gangPlan struct {
+	byIndex map[int]*call[*Outcome]
+	gangs   []*gang
+}
+
+// planGangs groups a sweep's jobs by TraceKey and registers single-flight
+// entries for every gang arm — synchronously, under the engine lock, so a
+// concurrent Simulate for the same key becomes a waiter rather than a
+// duplicate runner. Keys already in flight (or cached) and duplicate keys
+// within the sweep are left to Simulate; groups with fewer than two new
+// keys fall back to the solo path and are counted as such.
+//
+// When the worker pool is larger than the number of multi-arm groups, each
+// group is partitioned into up to workers/groups gangs (each at least two
+// arms) so gang execution still saturates the pool; with one worker each
+// group forms a single maximal-sharing gang.
+func (e *Engine) planGangs(jobs []SimJob) *gangPlan {
+	if e.gangOff || e.live || len(jobs) < 2 {
+		return nil
+	}
+	type group struct {
+		pk   PrepareKey
+		arms []*gangMember
+	}
+	var order []TraceKey
+	groups := make(map[TraceKey]*group)
+	seen := make(map[SimKey]bool)
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, job := range jobs {
+		key := job.Key()
+		if seen[key] {
+			continue // in-sweep duplicate: waits via Simulate
+		}
+		if _, inflight := e.sims[key]; inflight {
+			continue // already cached or in flight: hits via Simulate
+		}
+		seen[key] = true
+		tk := key.TraceKey()
+		g, ok := groups[tk]
+		if !ok {
+			g = &group{pk: key.Prepare}
+			groups[tk] = g
+			order = append(order, tk)
+		}
+		g.arms = append(g.arms, &gangMember{idx: i, key: key, cfgName: job.Config.Name})
+	}
+
+	multi := 0
+	for _, tk := range order {
+		if len(groups[tk].arms) >= 2 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		for range order {
+			e.gangSolo.Add(1)
+		}
+		return nil
+	}
+	plan := &gangPlan{byIndex: make(map[int]*call[*Outcome])}
+	for _, tk := range order {
+		g := groups[tk]
+		if len(g.arms) < 2 {
+			e.gangSolo.Add(1)
+			continue
+		}
+		for _, m := range g.arms {
+			m.c = &call[*Outcome]{done: make(chan struct{})}
+			e.sims[m.key] = m.c
+			plan.byIndex[m.idx] = m.c
+		}
+		pieces := e.workers / multi
+		if pieces < 1 {
+			pieces = 1
+		}
+		if max := len(g.arms) / 2; pieces > max {
+			pieces = max
+		}
+		for _, arms := range splitArms(g.arms, pieces) {
+			plan.gangs = append(plan.gangs, &gang{pk: g.pk, arms: arms})
+		}
+	}
+	return plan
+}
+
+// splitArms partitions arms into n contiguous near-equal chunks.
+func splitArms(arms []*gangMember, n int) [][]*gangMember {
+	if n <= 1 {
+		return [][]*gangMember{arms}
+	}
+	out := make([][]*gangMember, 0, n)
+	base, rem := len(arms)/n, len(arms)%n
+	for i, off := 0, 0; i < n; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		out = append(out, arms[off:off+size])
+		off += size
+	}
+	return out
+}
+
+// fulfill completes one registered gang call with the same semantics as
+// singleflight: a context-error result is evicted so a still-live waiter
+// can take over, and the done channel is closed exactly once.
+func (e *Engine) fulfill(m *gangMember, out *Outcome, err error) {
+	m.c.val, m.c.err = out, err
+	if isCtxErr(err) {
+		e.mu.Lock()
+		if e.sims[m.key] == m.c {
+			delete(e.sims, m.key)
+		}
+		e.mu.Unlock()
+	}
+	close(m.c.done)
+}
+
+// waitGangCall blocks a sweep index on its gang arm's call. If the gang was
+// canceled by a context that is not this waiter's (the call evicted, err a
+// context error), the waiter takes over through the plain Simulate path —
+// the same takeover rule singleflight applies.
+func (e *Engine) waitGangCall(ctx context.Context, c *call[*Outcome], job SimJob) (*Outcome, error) {
+	select {
+	case <-c.done:
+		if isCtxErr(c.err) && ctx.Err() == nil {
+			return e.Simulate(ctx, job)
+		}
+		return c.val, c.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// gangArm is one member's live simulation state during the interleave.
+type gangArm struct {
+	m         *gangMember
+	p         *uarch.Pipeline
+	cur       *trace.GangCursor
+	fulfilled bool
+}
+
+// runGang executes one gang: per-arm store pre-check, one shared capture,
+// then all remaining arms interleaved on this goroutine over a shared-
+// decode GangReader, holding a single worker slot. Every arm's call is
+// fulfilled exactly once — with its outcome, its wrapped hard error, or
+// the gang's context error (evicted for takeover).
+func (e *Engine) runGang(ctx context.Context, g *gang) {
+	e.gangsFormed.Add(1)
+	e.gangArmsRun.Add(int64(len(g.arms)))
+	e.simRuns.Add(int64(len(g.arms)))
+
+	pending := g.arms
+	failAll := func(err error) {
+		for _, m := range pending {
+			e.fulfill(m, nil, err)
+		}
+	}
+
+	// Store read-before, arm by arm: a disk hit never touches a pipeline,
+	// exactly as in Simulate.
+	if e.store != nil {
+		kept := pending[:0:0]
+		for _, m := range pending {
+			if kb, err := EncodeSimKey(m.key); err == nil {
+				m.keyBytes = kb
+				if data, ok := e.store.Get(kb); ok {
+					if out, err := DecodeOutcome(data); err == nil {
+						e.storeHits.Add(1)
+						e.fulfill(m, out, nil)
+						continue
+					}
+				}
+				e.storeMisses.Add(1)
+			}
+			kept = append(kept, m)
+		}
+		pending = kept
+		if len(pending) == 0 {
+			return
+		}
+	}
+
+	pr, err := e.Prepare(ctx, g.pk)
+	if err != nil {
+		failAll(err)
+		return
+	}
+	ct, err := e.captureTrace(ctx, pending[0].key, pr)
+	if err != nil {
+		failAll(err)
+		return
+	}
+	// One arm paid for (or found) the capture; every other arm replays an
+	// existing trace, exactly as if it had asked captureTrace itself — keep
+	// the operator-visible replay-hit counter meaning what it always meant.
+	e.traceHits.Add(int64(len(pending) - 1))
+	if err := e.acquire(ctx); err != nil {
+		failAll(err)
+		return
+	}
+	defer e.release()
+
+	gr := trace.NewGangReader(ct.trace, ct.prog, trace.DefaultGangWindow)
+	arms := make([]*gangArm, 0, len(pending))
+	for _, m := range pending {
+		var mgt *core.MGT
+		if !m.key.Baseline {
+			mgt = core.NewMGT(ct.templates, ExecParams(m.key.Config))
+		}
+		cur := gr.Cursor(m.key.Config.MaxRecords)
+		arms = append(arms, &gangArm{m: m, cur: cur, p: uarch.NewWithSource(m.key.Config, mgt, cur)})
+	}
+
+	active := arms
+	for len(active) > 0 {
+		// Pace against the slowest cursor still consuming records; arms
+		// that have exhausted the stream are only draining and neither
+		// bound nor obey the lead.
+		minCur := int64(-1)
+		for _, a := range active {
+			if !a.cur.Exhausted() && (minCur < 0 || a.cur.Cursor() < minCur) {
+				minCur = a.cur.Cursor()
+			}
+		}
+		next := active[:0]
+		for _, a := range active {
+			if minCur >= 0 && !a.cur.Exhausted() && a.cur.Cursor() > minCur+gangLead {
+				next = append(next, a) // too far ahead: skip this turn
+				continue
+			}
+			done, err := a.p.RunCycles(ctx, gangQuantum)
+			switch {
+			case err != nil && isCtxErr(err):
+				for _, r := range arms {
+					if !r.fulfilled {
+						e.fulfill(r.m, nil, err)
+					}
+				}
+				return
+			case err != nil:
+				e.fulfill(a.m, nil, fmt.Errorf("%s @ %s: %w", a.m.key.Prepare.Bench, a.m.cfgName, err))
+				a.fulfilled = true
+			case done:
+				e.finishArm(a, ct)
+				a.fulfilled = true
+			default:
+				next = append(next, a)
+			}
+		}
+		active = next
+	}
+	e.gangShared.Add(gr.SharedServes())
+}
+
+// finishArm finalizes one arm's statistics, writes the outcome through the
+// store, and fulfills its call — the tail of Simulate's solo path.
+func (e *Engine) finishArm(a *gangArm, ct *capturedTrace) {
+	res, err := a.p.Finish()
+	if err != nil {
+		e.fulfill(a.m, nil, fmt.Errorf("%s @ %s: %w", a.m.key.Prepare.Bench, a.m.cfgName, err))
+		return
+	}
+	out := &Outcome{Result: res, Selection: ct.sel}
+	if a.m.keyBytes != nil {
+		if data, err := EncodeOutcome(out); err == nil {
+			if e.store.Put(a.m.keyBytes, data) == nil {
+				e.storePuts.Add(1)
+			}
+		}
+	}
+	e.fulfill(a.m, out, nil)
+}

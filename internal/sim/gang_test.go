@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"minigraph/internal/core"
+	"minigraph/internal/uarch"
+	"minigraph/internal/workload"
+)
+
+// gangSweepJobs is a multi-bench, multi-config sweep: every bench
+// contributes one TraceKey group whose arms differ in machine config only
+// (memory latency and collapsing), the configuration-sweep shape gang
+// replay exists for. maxRecords keeps the arms fast.
+func gangSweepJobs(maxRecords int64, benches ...string) []SimJob {
+	var jobs []SimJob
+	for _, bench := range benches {
+		for _, ml := range []int{0, 140, 160} {
+			cfg := uarch.MiniGraph(true)
+			cfg.MemLatency = ml
+			cfg.MaxRecords = maxRecords
+			jobs = append(jobs, SimJob{
+				Prepare: PrepareKey{Bench: bench, Input: workload.InputTrain},
+				Policy:  core.DefaultPolicy(),
+				Entries: 512,
+				Config:  cfg,
+			})
+		}
+		collapse := uarch.MiniGraph(true)
+		collapse.Collapse = true
+		collapse.MaxRecords = maxRecords
+		jobs = append(jobs, SimJob{
+			Prepare: PrepareKey{Bench: bench, Input: workload.InputTrain},
+			Policy:  core.DefaultPolicy(),
+			Entries: 512,
+			Config:  collapse,
+		})
+	}
+	return jobs
+}
+
+// TestGangMatchesSequential is the gang acceptance test: a multi-bench,
+// multi-config sweep executed as gangs must produce outcomes byte-identical
+// (canonical EncodeOutcome bytes) to the same sweep executed arm-by-arm
+// with gang replay disabled — while a duplicate submission on one arm's
+// key is canceled mid-sweep, which must perturb nothing.
+func TestGangMatchesSequential(t *testing.T) {
+	jobs := gangSweepJobs(60_000, "sha", "adpcm.enc")
+
+	solo := New(1).WithGangReplay(false)
+	wantOuts, err := solo.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]byte, len(jobs))
+	for i, out := range wantOuts {
+		if want[i], err = EncodeOutcome(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := solo.Stats(); st.GangsFormed != 0 || st.GangArms != 0 {
+		t.Fatalf("WithGangReplay(false) engine formed gangs: %+v", st)
+	}
+
+	gang := New(1)
+	// Mid-sweep per-arm cancellation: a concurrent duplicate Simulate on
+	// one arm's key joins the in-flight gang call as a waiter and is then
+	// canceled while the gang runs. Its cancellation must neither fail the
+	// gang nor change any arm's bytes.
+	dupCtx, cancelDup := context.WithCancel(context.Background())
+	dupErr := make(chan error, 1)
+	var dupOnce sync.Once
+	gotOuts, err := gang.RunEach(context.Background(), jobs, func(i int, out *Outcome) {
+		dupOnce.Do(func() {
+			go func() {
+				_, err := gang.Simulate(dupCtx, jobs[len(jobs)-1])
+				dupErr <- err
+			}()
+			time.Sleep(5 * time.Millisecond)
+			cancelDup()
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if derr := <-dupErr; derr != nil && !errors.Is(derr, context.Canceled) {
+		t.Fatalf("canceled duplicate got a non-cancellation error: %v", derr)
+	}
+
+	for i, out := range gotOuts {
+		got, err := EncodeOutcome(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want[i]) {
+			t.Errorf("arm %d (%s @ mem%d): gang outcome differs from sequential",
+				i, jobs[i].Prepare.Bench, jobs[i].Config.MemLatency)
+		}
+	}
+
+	st := gang.Stats()
+	if st.GangsFormed != 2 {
+		t.Errorf("gangs formed %d, want 2 (one per bench)", st.GangsFormed)
+	}
+	if st.GangArms != int64(len(jobs)) {
+		t.Errorf("gang arms %d, want %d", st.GangArms, len(jobs))
+	}
+	if st.GangSharedRecords == 0 {
+		t.Error("gang sweep never served a record from the shared ring")
+	}
+	if st.SimRuns != int64(len(jobs)) {
+		t.Errorf("sim runs %d, want %d", st.SimRuns, len(jobs))
+	}
+	if st.TraceCaptures != 2 || st.TraceReplayHits != int64(len(jobs))-2 {
+		t.Errorf("captures=%d replayHits=%d, want 2/%d", st.TraceCaptures, st.TraceReplayHits, len(jobs)-2)
+	}
+}
+
+// TestGangMaxSizeSharedTrace runs a maximum-size gang — every arm of one
+// TraceKey group, one worker, so the planner forms a single gang over one
+// shared trace — and checks every arm against an independently computed
+// solo outcome. CI's race job runs this under -race: the single-goroutine
+// gang interleave and the shared-decode ring must be data-race-free
+// against the engine's concurrent waiters.
+func TestGangMaxSizeSharedTrace(t *testing.T) {
+	var jobs []SimJob
+	for _, ml := range []int{0, 110, 120, 130, 140, 150, 160, 170} {
+		cfg := uarch.MiniGraph(true)
+		cfg.MemLatency = ml
+		cfg.MaxRecords = 60_000
+		jobs = append(jobs, SimJob{
+			Prepare: PrepareKey{Bench: testBench, Input: workload.InputTrain},
+			Policy:  core.DefaultPolicy(),
+			Entries: 512,
+			Config:  cfg,
+		})
+	}
+	e := New(1)
+	outs, err := e.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.GangsFormed != 1 || st.GangArms != int64(len(jobs)) {
+		t.Fatalf("one max-size gang expected: formed=%d arms=%d", st.GangsFormed, st.GangArms)
+	}
+	if st.GangFallbackSolo != 0 {
+		t.Errorf("fallback-to-solo %d, want 0", st.GangFallbackSolo)
+	}
+
+	solo := New(1).WithGangReplay(false)
+	for i, job := range jobs {
+		ref, err := solo.Simulate(context.Background(), job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := EncodeOutcome(outs[i])
+		b, _ := EncodeOutcome(ref)
+		if !bytes.Equal(a, b) {
+			t.Errorf("arm %d (mem%d): gang outcome differs from solo", i, job.Config.MemLatency)
+		}
+	}
+}
+
+// TestGangSingletonFallback: a sweep whose trace groups are all singletons
+// must take the independent Simulate path and count the fallbacks.
+func TestGangSingletonFallback(t *testing.T) {
+	jobs := []SimJob{baselineTestJob(), mgTestJob(4), mgTestJob(2)}
+	e := New(2)
+	outs, err := e.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, out := range outs {
+		if out == nil || out.Result == nil {
+			t.Fatalf("arm %d: no result", i)
+		}
+	}
+	st := e.Stats()
+	if st.GangsFormed != 0 || st.GangArms != 0 {
+		t.Errorf("singleton sweep formed gangs: %+v", st)
+	}
+	if st.GangFallbackSolo != int64(len(jobs)) {
+		t.Errorf("fallback-to-solo %d, want %d", st.GangFallbackSolo, len(jobs))
+	}
+}
+
+// TestGangSplitArms pins the worker-partitioning rule: contiguous,
+// near-equal chunks covering every arm exactly once.
+func TestGangSplitArms(t *testing.T) {
+	arms := make([]*gangMember, 7)
+	for i := range arms {
+		arms[i] = &gangMember{idx: i}
+	}
+	chunks := splitArms(arms, 3)
+	if len(chunks) != 3 {
+		t.Fatalf("chunks %d, want 3", len(chunks))
+	}
+	next := 0
+	for _, c := range chunks {
+		if len(c) < 2 {
+			t.Errorf("chunk of %d arms; want >= 2", len(c))
+		}
+		for _, m := range c {
+			if m.idx != next {
+				t.Fatalf("non-contiguous partition: got idx %d, want %d", m.idx, next)
+			}
+			next++
+		}
+	}
+	if next != len(arms) {
+		t.Fatalf("partition covered %d arms, want %d", next, len(arms))
+	}
+}

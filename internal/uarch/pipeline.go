@@ -231,23 +231,45 @@ func NewWithSource(cfg Config, mgt *core.MGT, src TraceSource) *Pipeline {
 	return p
 }
 
+// hardCycleLimit aborts a simulation that stopped making forward progress:
+// no real run approaches it, so exceeding it is a livelock bug, not a long
+// program.
+const hardCycleLimit = int64(10_000_000_000)
+
 // Run simulates to completion (program halt, MaxRecords, or ctx
 // cancellation) and returns the statistics. Cancellation is checked every
 // few thousand cycles so a long simulation aborts promptly without taxing
 // the per-cycle hot loop.
 func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
-	hardLimit := int64(10_000_000_000)
 	for {
+		done, err := p.RunCycles(ctx, 1<<20)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return p.Finish()
+		}
+	}
+}
+
+// RunCycles advances the simulation by at most n cycles, returning
+// done=true once the run is complete (program halt, MaxRecords, or stream
+// fault). It is the resumable form of Run: a gang scheduler interleaves
+// many pipelines by granting each a cycle quantum in turn, and the chunk
+// boundaries are invisible to the simulated machine — state advances
+// exactly as one uninterrupted Run would. Call Finish after done.
+func (p *Pipeline) RunCycles(ctx context.Context, n int64) (bool, error) {
+	for ; n > 0; n-- {
 		if p.done() {
-			break
+			return true, nil
 		}
 		p.cycle++
-		if p.cycle > hardLimit {
-			return nil, fmt.Errorf("uarch: exceeded %d cycles (livelock?)", hardLimit)
+		if p.cycle > hardCycleLimit {
+			return false, fmt.Errorf("uarch: exceeded %d cycles (livelock?)", hardCycleLimit)
 		}
 		if p.cycle&0xfff == 0 {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return false, err
 			}
 		}
 		p.window.Tick(p.cycle)
@@ -264,6 +286,13 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 			p.violPending = false
 		}
 	}
+	return p.done(), nil
+}
+
+// Finish surfaces the stream's architectural fault (if the run hit one)
+// and seals the statistics. Call it exactly once, after RunCycles reports
+// done; Run does so itself.
+func (p *Pipeline) Finish() (*Result, error) {
 	if err := p.src.Err(); err != nil {
 		return nil, err
 	}
