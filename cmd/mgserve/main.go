@@ -8,8 +8,10 @@
 //
 //	mgserve [-addr :8347] [-cache-dir DIR] [-cache-max-bytes N]
 //	        [-parallel N] [-max-sweep-jobs N] [-gang=false]
-//	        [-workers URL,URL,...] [-fanout N]
-//	        [-job-queue N] [-job-runners N]
+//	        [-workers URL,URL,...] [-coordinator] [-member-ttl D] [-fanout N]
+//	        [-register URL -advertise URL [-heartbeat D]]
+//	        [-rate-limit N] [-rate-burst N] [-max-inflight-sweeps N]
+//	        [-max-body-bytes N] [-job-queue N] [-job-runners N]
 //
 // Sweep arms sharing a captured trace execute as gangs by default — their
 // pipelines interleave over one shared-decode traversal, with reports
@@ -18,23 +20,36 @@
 // In coordinator mode ganging happens on the workers, which see arms one
 // at a time — cross-arm ganging currently applies to single-process sweeps.
 //
-// With -workers the process runs as a coordinator: sweep arms shard
-// across the listed worker mgserve processes by trace-key affinity
-// (rendezvous hashing), so every arm lands on the worker that already
-// holds its captured trace; worker failures re-route automatically and
-// the merged report is byte-identical to single-process execution.
+// With -workers (static members) or -coordinator (dynamic membership) the
+// process runs as a coordinator: sweep arms shard across the worker
+// mgserve processes by trace-key affinity (rendezvous hashing), so every
+// arm lands on the worker that already holds its captured trace; worker
+// failures re-route automatically and the merged report is byte-identical
+// to single-process execution. Under -coordinator, workers join the tier
+// by registering (and drop out when their heartbeat TTL lapses); a worker
+// started with -register COORD -advertise SELF does that itself. Arms
+// re-routed by membership changes fetch their captured trace blobs from
+// the key's previous owner (GET /v1/blobs/{traceKey}) instead of
+// re-emulating.
+//
+// -rate-limit/-rate-burst and -max-inflight-sweeps bound traffic ahead of
+// the compute endpoints (429 and 503 with Retry-After); -max-body-bytes
+// caps request bodies (413).
 //
 // Endpoints (see internal/serve and the README for request shapes):
 //
 //	POST   /v1/simulate            one job
 //	POST   /v1/sweep               a batch of arms, coalesced
 //	POST   /v1/outcome             one job, canonical outcome encoding
+//	POST   /v1/workers/register    join the tier / heartbeat
+//	GET    /v1/workers             the member table
+//	GET    /v1/blobs/{traceKey}    captured trace blob (peer transfer)
 //	GET    /v1/experiments/{name}  full figure reproduction (Report JSON)
 //	POST   /v1/jobs                submit an async sweep job
 //	GET    /v1/jobs[/{id}[/report]] poll async jobs
 //	DELETE /v1/jobs/{id}           cancel an async job
 //	GET    /healthz                liveness
-//	GET    /statsz                 engine + store + job counters
+//	GET    /statsz                 engine + store + members + job counters
 //
 // Async job state persists in -cache-dir: jobs interrupted by a restart
 // are requeued, finished ones stay observable with their reports.
@@ -65,11 +80,26 @@ func main() {
 	gang := flag.Bool("gang", true, "gang-replay sweep arms sharing a captured trace")
 	maxSweep := flag.Int("max-sweep-jobs", serve.DefaultMaxSweepJobs, "max arms per sweep request")
 	workers := flag.String("workers", "", "comma-separated worker base URLs; enables coordinator mode")
+	coordinator := flag.Bool("coordinator", false, "coordinator mode with dynamic worker registration (workers join via POST /v1/workers/register)")
+	memberTTL := flag.Duration("member-ttl", 0, "coordinator: registered worker heartbeat TTL (0 = 15s)")
 	fanout := flag.Int("fanout", 0, "coordinator: max in-flight worker calls (0 = 4 x workers)")
 	workerTimeout := flag.Duration("worker-timeout", 0, "coordinator: per-worker-call timeout (0 = 15m); a hung worker counts as failed")
+	register := flag.String("register", "", "coordinator base URL to register this worker with (requires -advertise)")
+	advertise := flag.String("advertise", "", "this worker's own base URL, as the coordinator should reach it")
+	heartbeat := flag.Duration("heartbeat", 0, "registration heartbeat interval (0 = a third of the coordinator's TTL)")
+	rateLimit := flag.Float64("rate-limit", 0, "per-client requests/second admitted to /v1/sweep and /v1/jobs (0 = unlimited)")
+	rateBurst := flag.Float64("rate-burst", 0, "rate-limit bucket capacity (0 = 2 x rate)")
+	maxInflight := flag.Int("max-inflight-sweeps", 0, "max concurrently executing synchronous sweeps before shedding 503 (0 = 16, negative = unbounded)")
+	maxBody := flag.Int64("max-body-bytes", 0, "max request body bytes before 413 (0 = 8MiB, negative = uncapped)")
 	jobQueue := flag.Int("job-queue", serve.DefaultJobQueue, "max queued async jobs")
 	jobRunners := flag.Int("job-runners", serve.DefaultJobRunners, "async jobs executed concurrently")
 	flag.Parse()
+
+	usageExit := func(msg string) {
+		fmt.Fprintf(os.Stderr, "mgserve: %s\n", msg)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	eng := sim.New(*parallel).WithGangReplay(*gang)
 	var st *store.Store
@@ -90,16 +120,31 @@ func main() {
 			workerURLs = append(workerURLs, u)
 		}
 	}
+	if *workers != "" && len(workerURLs) == 0 {
+		usageExit("-workers was set but contains no worker URLs")
+	}
+	if (*register == "") != (*advertise == "") {
+		usageExit("-register and -advertise must be set together (the coordinator needs a URL to reach this worker back on)")
+	}
 
-	handler := serve.New(serve.Options{
+	handler, err := serve.New(serve.Options{
 		Engine:            eng,
 		MaxSweepJobs:      *maxSweep,
+		MaxBodyBytes:      *maxBody,
 		Workers:           workerURLs,
+		Coordinator:       *coordinator,
+		MemberTTL:         *memberTTL,
 		FanoutConcurrency: *fanout,
 		WorkerCallTimeout: *workerTimeout,
+		RateLimit:         *rateLimit,
+		RateBurst:         *rateBurst,
+		MaxInflightSweeps: *maxInflight,
 		JobQueue:          *jobQueue,
 		JobRunners:        *jobRunners,
 	})
+	if err != nil {
+		usageExit(err.Error())
+	}
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: handler,
@@ -118,6 +163,19 @@ func main() {
 
 	if len(workerURLs) > 0 {
 		fmt.Fprintf(os.Stderr, "mgserve: coordinating %d workers: %s\n", len(workerURLs), strings.Join(workerURLs, " "))
+	} else if *coordinator {
+		fmt.Fprintln(os.Stderr, "mgserve: coordinating (dynamic membership; workers join via /v1/workers/register)")
+	}
+	if *register != "" {
+		// Register with the coordinator and keep heartbeating until
+		// shutdown. The loop retries through coordinator restarts, so the
+		// worker re-joins a rebooted tier on its own.
+		go serve.NewClient(*register).RegisterLoop(ctx, *advertise, *heartbeat, func(err error) {
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mgserve: register with %s: %v\n", *register, err)
+			}
+		})
+		fmt.Fprintf(os.Stderr, "mgserve: registering with %s as %s\n", *register, *advertise)
 	}
 	fmt.Fprintf(os.Stderr, "mgserve: listening on %s (%d workers)\n", *addr, eng.Workers())
 	listenErr := make(chan error, 1)

@@ -1,0 +1,171 @@
+// Admission control: per-client token buckets and queue-depth shedding.
+//
+// A tier meant for "heavy traffic from millions of users" must degrade a
+// burst into explicit back-pressure, never into an unbounded backlog.
+// Two independent mechanisms sit in front of the compute endpoints
+// (/v1/sweep and /v1/jobs):
+//
+//   - Rate limiting: each client (remote IP) holds a token bucket
+//     refilled at Options.RateLimit requests/second with RateBurst
+//     capacity. An empty bucket answers 429 with a Retry-After header
+//     naming when the next token lands.
+//   - Load shedding: synchronous sweeps count against an in-flight bound
+//     (Options.MaxInflightSweeps) and async submissions against the job
+//     queue bound; beyond either the request answers 503 + Retry-After
+//     instead of queueing work the process may not survive.
+//
+// Both failure modes are structured JSON like every other error, so a
+// well-behaved client backs off and a misbehaving one costs one refused
+// request, not memory.
+package serve
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// DefaultMaxInflightSweeps bounds concurrently executing synchronous
+	// /v1/sweep requests (each already fans out internally); beyond it
+	// sweeps shed with 503. Negative Options.MaxInflightSweeps disables
+	// the bound.
+	DefaultMaxInflightSweeps = 16
+	// maxTrackedClients bounds the rate limiter's per-client bucket
+	// table. When full the table resets — momentarily generous to
+	// everyone, but bounded, which is the property that matters.
+	maxTrackedClients = 4096
+)
+
+// AdmissionStats summarizes the admission layer for /statsz.
+type AdmissionStats struct {
+	// RatePerSec and Burst echo the configuration (0 = rate limiting off).
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	Burst      float64 `json:"burst,omitempty"`
+	// Limited429 counts requests refused by the per-client rate limit,
+	// Shed503 synchronous sweeps refused by the in-flight bound (job-queue
+	// 503s are visible separately as queued jobs never admitted).
+	Limited429     int64 `json:"limited_429"`
+	Shed503        int64 `json:"shed_503"`
+	InflightSweeps int64 `json:"inflight_sweeps"`
+	ClientsTracked int   `json:"clients_tracked"`
+}
+
+// bucket is one client's token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// admission implements the rate-limit + shedding policy. Safe for
+// concurrent use; the zero MaxInflight means DefaultMaxInflightSweeps.
+type admission struct {
+	rate        float64 // tokens/second per client; <= 0 disables
+	burst       float64
+	maxInflight int64 // <= 0 means unbounded
+	now         func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+
+	inflight atomic.Int64
+	limited  atomic.Int64
+	shed     atomic.Int64
+}
+
+func newAdmission(rate, burst float64, maxInflight int) *admission {
+	if burst <= 0 {
+		burst = math.Max(1, 2*rate)
+	}
+	mi := int64(maxInflight)
+	if maxInflight == 0 {
+		mi = DefaultMaxInflightSweeps
+	}
+	return &admission{
+		rate:        rate,
+		burst:       burst,
+		maxInflight: mi,
+		now:         time.Now,
+		buckets:     make(map[string]*bucket),
+	}
+}
+
+// admit spends one token for client. ok=false means the client is over
+// its rate; retryAfter is the time until its next token.
+func (a *admission) admit(client string) (retryAfter time.Duration, ok bool) {
+	if a.rate <= 0 {
+		return 0, true
+	}
+	now := a.now()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b := a.buckets[client]
+	if b == nil {
+		if len(a.buckets) >= maxTrackedClients {
+			a.buckets = make(map[string]*bucket)
+		}
+		b = &bucket{tokens: a.burst, last: now}
+		a.buckets[client] = b
+	}
+	b.tokens = math.Min(a.burst, b.tokens+now.Sub(b.last).Seconds()*a.rate)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	a.limited.Add(1)
+	return time.Duration((1 - b.tokens) / a.rate * float64(time.Second)), false
+}
+
+// beginSweep reserves an in-flight sweep slot (release with endSweep);
+// false means the server is at capacity and the sweep must shed.
+func (a *admission) beginSweep() bool {
+	if a.inflight.Add(1) > a.maxInflight && a.maxInflight > 0 {
+		a.inflight.Add(-1)
+		a.shed.Add(1)
+		return false
+	}
+	return true
+}
+
+func (a *admission) endSweep() { a.inflight.Add(-1) }
+
+func (a *admission) stats() AdmissionStats {
+	a.mu.Lock()
+	clients := len(a.buckets)
+	a.mu.Unlock()
+	st := AdmissionStats{
+		Limited429:     a.limited.Load(),
+		Shed503:        a.shed.Load(),
+		InflightSweeps: a.inflight.Load(),
+		ClientsTracked: clients,
+	}
+	if a.rate > 0 {
+		st.RatePerSec, st.Burst = a.rate, a.burst
+	}
+	return st
+}
+
+// clientKey identifies the requesting client for rate limiting: the
+// remote IP, ignoring the ephemeral port.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// retryAfterSeconds renders d as a Retry-After header value (whole
+// seconds, minimum 1 — zero would invite an immediate identical retry).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}

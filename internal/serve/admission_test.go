@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAdmissionBucket drives the token bucket through a synthetic clock:
+// bursts drain it, refill is proportional to elapsed time, clients are
+// independent, and the retry hint names the time until the next token.
+func TestAdmissionBucket(t *testing.T) {
+	base := time.Now()
+	offset := time.Duration(0)
+	a := newAdmission(2, 2, 0) // 2 rps, burst 2
+	a.now = func() time.Time { return base.Add(offset) }
+
+	for i := 0; i < 2; i++ {
+		if retry, ok := a.admit("c1"); !ok {
+			t.Fatalf("burst request %d refused (retry %s)", i, retry)
+		}
+	}
+	retry, ok := a.admit("c1")
+	if ok {
+		t.Fatal("drained bucket admitted a request")
+	}
+	if retry <= 0 || retry > 500*time.Millisecond {
+		t.Errorf("retry hint %s, want (0, 500ms] at 2 rps", retry)
+	}
+	if _, ok := a.admit("c2"); !ok {
+		t.Error("another client was throttled by c1's bucket")
+	}
+
+	offset = 500 * time.Millisecond // one token refilled
+	if _, ok := a.admit("c1"); !ok {
+		t.Error("refilled bucket still refusing")
+	}
+	if _, ok := a.admit("c1"); ok {
+		t.Error("bucket refilled beyond elapsed time")
+	}
+	if st := a.stats(); st.Limited429 != 2 || st.ClientsTracked != 2 || st.RatePerSec != 2 {
+		t.Errorf("stats %+v", st)
+	}
+
+	// Rate 0 disables limiting entirely.
+	off := newAdmission(0, 0, 0)
+	for i := 0; i < 100; i++ {
+		if _, ok := off.admit("x"); !ok {
+			t.Fatal("disabled limiter refused a request")
+		}
+	}
+}
+
+func TestAdmissionInflightShedding(t *testing.T) {
+	a := newAdmission(0, 0, 2)
+	if !a.beginSweep() || !a.beginSweep() {
+		t.Fatal("sweeps under the bound were shed")
+	}
+	if a.beginSweep() {
+		t.Fatal("third sweep admitted over a bound of 2")
+	}
+	a.endSweep()
+	if !a.beginSweep() {
+		t.Fatal("freed slot not reusable")
+	}
+	if st := a.stats(); st.Shed503 != 1 || st.InflightSweeps != 2 {
+		t.Errorf("stats %+v", st)
+	}
+
+	unbounded := newAdmission(0, 0, -1)
+	for i := 0; i < 100; i++ {
+		if !unbounded.beginSweep() {
+			t.Fatal("unbounded admission shed a sweep")
+		}
+	}
+}
+
+// TestSweepRateLimit429: a client over its budget gets a structured JSON
+// 429 with a Retry-After header, on both /v1/sweep and /v1/jobs.
+func TestSweepRateLimit429(t *testing.T) {
+	srv := mustNew(t, Options{Engine: newTestEngine(), RateLimit: 0.01, RateBurst: 1})
+	ts := newHTTPServer(t, srv)
+
+	req := SweepRequest{Jobs: []JobSpec{fastSpec("a", true)}}
+	resp, body := postJSON(t, ts.URL+"/v1/sweep", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request: %d: %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/jobs", req)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request: %d, want 429: %s", resp.StatusCode, body)
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		t.Errorf("Retry-After %q", resp.Header.Get("Retry-After"))
+	}
+	var e map[string]string
+	mustDecode(t, body, &e)
+	if e["error"] == "" {
+		t.Errorf("unstructured 429 body: %s", body)
+	}
+}
+
+// TestSweepShedding503: synchronous sweeps beyond the in-flight bound are
+// refused with 503 + Retry-After instead of queueing unbounded work.
+func TestSweepShedding503(t *testing.T) {
+	srv := mustNew(t, Options{Engine: newTestEngine(), MaxInflightSweeps: 1})
+	ts := newHTTPServer(t, srv)
+
+	srv.adm.inflight.Store(1) // a sweep is (synthetically) in flight
+	defer srv.adm.inflight.Store(0)
+	resp, body := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{Jobs: []JobSpec{fastSpec("a", true)}})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+	var e map[string]string
+	mustDecode(t, body, &e)
+	if !strings.Contains(e["error"], "capacity") {
+		t.Errorf("shed error %q", e["error"])
+	}
+	if st := srv.adm.stats(); st.Shed503 != 1 {
+		t.Errorf("admission stats %+v", st)
+	}
+}
+
+// TestRequestBodyCap413 is the oversized-body regression test: every
+// JSON POST endpoint refuses a body over the cap with a structured 413,
+// while a normal request still fits.
+func TestRequestBodyCap413(t *testing.T) {
+	srv := mustNew(t, Options{Engine: newTestEngine(), MaxBodyBytes: 2048})
+	ts := newHTTPServer(t, srv)
+
+	// Each oversized body is shape-valid for its endpoint, so the only
+	// thing it can be refused for is its size.
+	bigSweep := SweepRequest{Name: "big"}
+	for i := 0; i < 64; i++ {
+		bigSweep.Jobs = append(bigSweep.Jobs, JobSpec{Arm: fmt.Sprintf("arm-%04d-%s", i, strings.Repeat("x", 64)), Bench: "sha"})
+	}
+	bigJob := JobSpec{Arm: strings.Repeat("x", 4096), Bench: "sha"}
+	for path, body := range map[string]any{
+		"/v1/simulate": bigJob,
+		"/v1/outcome":  bigJob,
+		"/v1/sweep":    bigSweep,
+		"/v1/jobs":     bigSweep,
+	} {
+		resp, body := postJSON(t, ts.URL+path, body)
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s: status %d, want 413: %.120s", path, resp.StatusCode, body)
+			continue
+		}
+		var e map[string]string
+		mustDecode(t, body, &e)
+		if !strings.Contains(e["error"], "2048") {
+			t.Errorf("%s: 413 body does not name the limit: %q", path, e["error"])
+		}
+	}
+
+	// A request inside the cap still works.
+	resp, body := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{Jobs: []JobSpec{fastSpec("ok", true)}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-cap sweep: %d: %s", resp.StatusCode, body)
+	}
+	if !bytes.Contains(body, []byte("cycles")) {
+		t.Errorf("sweep response lacks rows: %.120s", body)
+	}
+}

@@ -1,0 +1,160 @@
+// Peer trace-blob transfer: captured traces move instead of re-emulating.
+//
+// The expensive artifact behind every arm is the captured dynamic trace
+// (PR 4), already portable as a CRC-framed binary blob through the store
+// codec. When membership changes re-route an arm to a worker that lacks
+// the capture, re-emulating would waste exactly the work the trace layer
+// exists to avoid — so the coordinator names the key's previous
+// rendezvous owners in an X-Minigraph-Blob-Peers header on the
+// /v1/outcome call, and the worker's engine fetches the blob from the
+// first peer that has it (GET /v1/blobs/{traceKey}) before falling back
+// to a fresh capture. Damage anywhere — truncation, bit flips, a
+// half-dead peer — is caught by the frame CRC and degrades to
+// re-capture, never to a wrong replay.
+package serve
+
+import (
+	"context"
+	"encoding/base64"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"minigraph/internal/sim"
+)
+
+// blobPeersHeader carries the ranked peer worker URLs an outcome call may
+// fetch its trace blob from (comma-separated, set by the coordinator);
+// blobBudgetHeader carries the per-peer fetch time budget in whole
+// milliseconds. HTTP does not propagate the caller's deadline, so the
+// coordinator ships the budget explicitly — a worker must never spend
+// more of the arm's call timeout on one peer than the coordinator can
+// afford before the capture fallback no longer fits.
+const (
+	blobPeersHeader  = "X-Minigraph-Blob-Peers"
+	blobBudgetHeader = "X-Minigraph-Blob-Budget"
+)
+
+// maxBlobPeers caps how many previous owners the coordinator names (and a
+// worker will try) per arm.
+const maxBlobPeers = 3
+
+// blobFetchTimeout bounds one peer blob download when the caller named no
+// budget. Blobs are tens of MB on a local network; a peer that cannot
+// deliver within this is treated as missing and the worker re-captures.
+const blobFetchTimeout = 2 * time.Minute
+
+// blobSources is what an outcome call may fetch its trace blob from.
+type blobSources struct {
+	peers []string
+	// perPeer bounds one peer attempt (0 = blobFetchTimeout).
+	perPeer time.Duration
+}
+
+// blobPeersCtxKey carries the blob sources through the engine's context
+// into the trace fetcher.
+type blobPeersCtxKey struct{}
+
+func withBlobPeers(ctx context.Context, src blobSources) context.Context {
+	if len(src.peers) == 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, blobPeersCtxKey{}, src)
+}
+
+func blobPeers(ctx context.Context) blobSources {
+	src, _ := ctx.Value(blobPeersCtxKey{}).(blobSources)
+	return src
+}
+
+func parseBlobPeers(r *http.Request) blobSources {
+	h := r.Header.Get(blobPeersHeader)
+	if h == "" {
+		return blobSources{}
+	}
+	var src blobSources
+	for _, p := range strings.Split(h, ",") {
+		if p, err := normalizeWorkerURL(p); err == nil {
+			src.peers = append(src.peers, p)
+		}
+		if len(src.peers) == maxBlobPeers {
+			break
+		}
+	}
+	if ms, err := strconv.Atoi(r.Header.Get(blobBudgetHeader)); err == nil && ms > 0 {
+		src.perPeer = time.Duration(ms) * time.Millisecond
+	}
+	return src
+}
+
+// blobPath renders the URL path a trace blob is served under: the
+// canonical TraceKey encoding, base64url so the JSON key survives as one
+// path segment.
+func blobPath(traceKey []byte) string {
+	return "/v1/blobs/" + base64.RawURLEncoding.EncodeToString(traceKey)
+}
+
+// fetchTraceBlob is the sim.Engine trace-fetcher hook: when the request
+// context names peer workers, try each in rendezvous order and return the
+// first blob delivered. (nil, nil) when no peer is named or none answers —
+// the engine then captures locally. The engine CRC-checks whatever comes
+// back, so this layer only moves bytes.
+//
+// Each peer attempt is bounded by the caller-supplied per-peer budget
+// (blobFetchTimeout when none): fetching a blob is an optimization over
+// re-capturing, and a hung peer must not eat the arm's whole call budget
+// — the capture fallback still has to fit before the coordinator times
+// the worker out and marks it down.
+func (s *Server) fetchTraceBlob(ctx context.Context, key sim.TraceKey) ([]byte, error) {
+	src := blobPeers(ctx)
+	if len(src.peers) == 0 {
+		return nil, nil
+	}
+	kb, err := sim.EncodeTraceKey(key)
+	if err != nil {
+		return nil, nil
+	}
+	per := src.perPeer
+	if per <= 0 || per > blobFetchTimeout {
+		per = blobFetchTimeout
+	}
+	for _, peer := range src.peers {
+		fctx, cancel := context.WithTimeout(ctx, per)
+		data, err := NewClient(peer).TraceBlob(fctx, kb)
+		cancel()
+		if err == nil && len(data) > 0 {
+			return data, nil
+		}
+		if ctx.Err() != nil {
+			return nil, nil
+		}
+	}
+	return nil, nil
+}
+
+// handleBlob serves GET /v1/blobs/{traceKey}: the encoded trace blob
+// (store-codec bytes, CRC-framed) for the base64url canonical TraceKey in
+// the path. 404 when this worker holds no valid copy — the asking peer
+// falls back to its next source or to capturing.
+func (s *Server) handleBlob(w http.ResponseWriter, r *http.Request) {
+	raw, err := base64.RawURLEncoding.DecodeString(r.PathValue("traceKey"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad trace key encoding: %w", err))
+		return
+	}
+	key, err := sim.DecodeTraceKey(raw)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad trace key: %w", err))
+		return
+	}
+	data, ok := s.eng.TraceBlob(key)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("trace blob not resident on this worker"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(len(data)))
+	_, _ = w.Write(data)
+}

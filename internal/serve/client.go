@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -56,6 +57,11 @@ func (c *Client) httpClient() *http.Client {
 // doRaw performs one API call and returns the raw response body. Non-2xx
 // responses decode into a *StatusError.
 func (c *Client) doRaw(ctx context.Context, method, path string, body any) ([]byte, error) {
+	return c.doRawHeaders(ctx, method, path, body, nil)
+}
+
+// doRawHeaders is doRaw plus extra request headers.
+func (c *Client) doRawHeaders(ctx context.Context, method, path string, body any, hdr http.Header) ([]byte, error) {
 	var rd io.Reader
 	if body != nil {
 		data, err := json.Marshal(body)
@@ -67,6 +73,11 @@ func (c *Client) doRaw(ctx context.Context, method, path string, body any) ([]by
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
+	}
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -132,6 +143,69 @@ func (c *Client) Outcome(ctx context.Context, js JobSpec) (*sim.Outcome, error) 
 		return nil, err
 	}
 	return sim.DecodeOutcome(data)
+}
+
+// OutcomeFrom is Outcome plus a ranked list of peer workers the serving
+// engine may fetch the job's captured trace blob from, each attempt
+// bounded by perPeer (0 = the server's default; see blobs.go). An empty
+// peers list is plain Outcome.
+func (c *Client) OutcomeFrom(ctx context.Context, js JobSpec, peers []string, perPeer time.Duration) (*sim.Outcome, error) {
+	var hdr http.Header
+	if len(peers) > 0 {
+		hdr = http.Header{blobPeersHeader: []string{strings.Join(peers, ",")}}
+		if perPeer > 0 {
+			hdr.Set(blobBudgetHeader, strconv.FormatInt(perPeer.Milliseconds(), 10))
+		}
+	}
+	data, err := c.doRawHeaders(ctx, http.MethodPost, "/v1/outcome", js, hdr)
+	if err != nil {
+		return nil, err
+	}
+	return sim.DecodeOutcome(data)
+}
+
+// TraceBlob fetches the encoded trace blob for a canonical TraceKey
+// encoding (sim.EncodeTraceKey bytes) from this worker's blob endpoint.
+// The bytes are CRC-framed; callers decode (and thereby verify) them
+// before use.
+func (c *Client) TraceBlob(ctx context.Context, traceKey []byte) ([]byte, error) {
+	return c.doRaw(ctx, http.MethodGet, blobPath(traceKey), nil)
+}
+
+// RegisterWorker registers (or heartbeats) selfURL with the coordinator
+// this client points at, returning the membership TTL to beat within.
+func (c *Client) RegisterWorker(ctx context.Context, selfURL string) (time.Duration, error) {
+	var resp RegisterResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/workers/register", RegisterRequest{URL: selfURL}, &resp); err != nil {
+		return 0, err
+	}
+	return time.Duration(resp.TTLSeconds * float64(time.Second)), nil
+}
+
+// RegisterLoop registers selfURL and keeps heartbeating at interval
+// (0 = TTL/3 as returned by the coordinator, floor 1s) until ctx is done.
+// Registration failures are retried at the same cadence — a coordinator
+// restart must not silently drop this worker from the tier. onBeat
+// (optional) observes each attempt's error (nil on success).
+func (c *Client) RegisterLoop(ctx context.Context, selfURL string, interval time.Duration, onBeat func(error)) {
+	for {
+		ttl, err := c.RegisterWorker(ctx, selfURL)
+		if onBeat != nil {
+			onBeat(err)
+		}
+		wait := interval
+		if wait <= 0 {
+			wait = ttl / 3
+			if wait < time.Second {
+				wait = time.Second
+			}
+		}
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return
+		}
+	}
 }
 
 // SweepJSON runs a sweep synchronously and returns the raw Report JSON —

@@ -1,4 +1,4 @@
-// Coordinator mode: mgserve as a horizontally scalable tier.
+// Coordinator mode: mgserve as a horizontally scalable, elastic tier.
 //
 // The paper's experiments are embarrassingly parallel configuration sweeps
 // over a shared record stream, and the expensive part — capturing that
@@ -10,10 +10,17 @@
 //
 // The coordinator implements that placement with rendezvous (highest-
 // random-weight) hashing: each arm's TraceKey encoding is hashed against
-// every worker URL, and the arm routes to the highest-scoring live worker.
+// every live worker URL, and the arm routes to the highest-scoring one.
 // Rendezvous hashing gives per-key affinity with minimal disruption — when
 // a worker dies, only its keys move (to their second choice), and they
 // move back when it returns.
+//
+// Membership is dynamic (see membership.go): the routing view is sampled
+// per arm, so workers that register mid-sweep start taking keys and
+// workers whose heartbeat TTL lapses stop. When a key moves, the new
+// owner fetches the captured trace blob from the key's previous owners
+// (see blobs.go) instead of re-emulating, so elasticity costs a blob
+// copy, not a capture.
 package serve
 
 import (
@@ -37,46 +44,87 @@ import (
 const DefaultWorkerCallTimeout = 15 * time.Minute
 
 // ErrWorkersUnavailable marks an arm failure caused by no worker
-// answering at all (every ranked worker refused the connection, timed
-// out, or died mid-call) — a property of the tier's current state, not of
-// the arm. The job manager retries jobs that fail with it, so a sweep
+// answering at all (every ranked live worker refused the connection,
+// timed out, or died mid-call — or the member table is empty) — a
+// property of the tier's current state, not of the arm. The job manager
+// retries jobs that fail with it under exponential backoff, so a sweep
 // submitted during a tier restart or rolling deploy is requeued instead
 // of failing terminally.
 var ErrWorkersUnavailable = errors.New("no worker available")
 
-// Coordinator fans simulation arms out across a tier of worker mgserve
-// processes, sharding by trace-key affinity, with bounded concurrency and
-// failure re-routing. It is safe for concurrent use.
-type Coordinator struct {
-	urls        []string
-	workers     []*Client
-	sem         chan struct{}
-	callTimeout time.Duration
+// CoordinatorOptions configure a coordinator.
+type CoordinatorOptions struct {
+	// Workers are statically configured worker base URLs. Static members
+	// are pinned live (they never expire); per-sweep failure marking still
+	// re-routes around one that is down.
+	Workers []string
+	// AllowDynamic admits workers that register over HTTP; without it the
+	// member table is fixed to Workers, which then must be non-empty.
+	AllowDynamic bool
+	// MemberTTL is how long a dynamic member stays routable after its last
+	// heartbeat (0 = DefaultMemberTTL).
+	MemberTTL time.Duration
+	// FanoutConcurrency bounds in-flight worker calls across all requests
+	// (0 = max(8, 4 × static workers)).
+	FanoutConcurrency int
+	// WorkerCallTimeout bounds one worker call (0 = DefaultWorkerCallTimeout).
+	WorkerCallTimeout time.Duration
 }
 
-// NewCoordinator builds a coordinator over the given worker base URLs.
-// concurrency bounds in-flight worker calls across all requests
-// (0 = 4 × workers); callTimeout bounds one worker call
-// (0 = DefaultWorkerCallTimeout) — a timed-out worker counts as failed
-// and its arm re-routes.
-func NewCoordinator(urls []string, concurrency int, callTimeout time.Duration) *Coordinator {
-	if len(urls) == 0 {
-		panic("serve: NewCoordinator needs at least one worker")
+// Coordinator fans simulation arms out across a tier of worker mgserve
+// processes, sharding by trace-key affinity over a live member view, with
+// bounded concurrency, failure re-routing, and peer blob transfer. It is
+// safe for concurrent use.
+type Coordinator struct {
+	members     *memberSet
+	dynamic     bool
+	static      []string
+	sem         chan struct{}
+	callTimeout time.Duration
+	hc          *http.Client
+
+	cmu     sync.Mutex
+	clients map[string]*Client
+}
+
+// NewCoordinator builds a coordinator. It returns an error — never
+// panics — when the configuration cannot route anything: no static
+// workers and dynamic registration disabled (a bad flag must not take
+// down a server binary).
+func NewCoordinator(o CoordinatorOptions) (*Coordinator, error) {
+	static := make([]string, 0, len(o.Workers))
+	for _, u := range o.Workers {
+		n, err := normalizeWorkerURL(u)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		static = append(static, n)
 	}
+	if len(static) == 0 && !o.AllowDynamic {
+		return nil, fmt.Errorf("serve: coordinator needs at least one worker URL (or dynamic registration enabled)")
+	}
+	concurrency := o.FanoutConcurrency
 	if concurrency <= 0 {
-		concurrency = 4 * len(urls)
+		concurrency = 4 * len(static)
+		if concurrency < 8 {
+			concurrency = 8
+		}
 	}
+	callTimeout := o.WorkerCallTimeout
 	if callTimeout <= 0 {
 		callTimeout = DefaultWorkerCallTimeout
 	}
 	c := &Coordinator{
-		urls:        append([]string(nil), urls...),
+		members:     newMemberSet(static, o.MemberTTL),
+		dynamic:     o.AllowDynamic,
+		static:      static,
 		sem:         make(chan struct{}, concurrency),
 		callTimeout: callTimeout,
+		clients:     make(map[string]*Client),
 	}
 	// One shared transport: bounded dial time (an unreachable worker
 	// fails fast), keep-alives so per-arm calls reuse connections.
-	hc := &http.Client{Transport: &http.Transport{
+	c.hc = &http.Client{Transport: &http.Transport{
 		Proxy: http.ProxyFromEnvironment,
 		DialContext: (&net.Dialer{
 			Timeout:   10 * time.Second,
@@ -85,37 +133,68 @@ func NewCoordinator(urls []string, concurrency int, callTimeout time.Duration) *
 		MaxIdleConnsPerHost: concurrency,
 		IdleConnTimeout:     90 * time.Second,
 	}}
-	for _, u := range c.urls {
-		cl := NewClient(u)
-		cl.HTTP = hc
-		c.workers = append(c.workers, cl)
-	}
-	return c
+	return c, nil
 }
 
-// WorkerURLs returns the worker base URLs (a copy).
+// WorkerURLs returns the statically configured worker base URLs (a copy).
+// The full member table — static and registered — is Members().
 func (c *Coordinator) WorkerURLs() []string {
-	return append([]string(nil), c.urls...)
+	return append([]string(nil), c.static...)
+}
+
+// Members snapshots the member table with last-heartbeat ages.
+func (c *Coordinator) Members() []MemberStatus { return c.members.view() }
+
+// Register records a worker heartbeat and returns the membership TTL the
+// worker should beat well within. An error means dynamic registration is
+// disabled.
+func (c *Coordinator) Register(url string) (time.Duration, error) {
+	n, err := normalizeWorkerURL(url)
+	if err != nil {
+		return 0, err
+	}
+	if !c.dynamic {
+		return 0, fmt.Errorf("dynamic worker registration is disabled on this coordinator")
+	}
+	ttl, _ := c.members.register(n)
+	return ttl, nil
+}
+
+// client returns the (cached) Client for a worker URL, sharing the
+// coordinator's transport.
+func (c *Coordinator) client(url string) *Client {
+	c.cmu.Lock()
+	defer c.cmu.Unlock()
+	if cl, ok := c.clients[url]; ok {
+		return cl
+	}
+	cl := NewClient(url)
+	cl.HTTP = c.hc
+	c.clients[url] = cl
+	return cl
 }
 
 // Run executes every arm on the worker tier and returns outcomes
 // index-aligned with jobs, with the same error-joining semantics as
-// sim.Engine.Run. Each arm routes to the workers in rendezvous order of
-// its trace key; a worker that fails a call is marked down for the rest of
-// this Run and the arm re-routes to its next choice. onDone (optional)
-// fires per completed arm from that arm's goroutine.
+// sim.Engine.Run. Each arm routes to the live members in rendezvous order
+// of its trace key — the member view is sampled per arm, so joins and
+// leaves mid-sweep re-route only the not-yet-dispatched arms whose home
+// changed. A worker that fails a call is marked down for the rest of this
+// Run and the arm re-routes to its next choice. onDone (optional) fires
+// per completed arm from that arm's goroutine.
 //
 // Because workers answer with full canonical outcomes (/v1/outcome), a
 // report assembled from Run's results is byte-identical to single-process
-// execution — no matter how the arms were sharded, or how many workers
-// died along the way, as long as at least one can still answer.
+// execution — no matter how the arms were sharded, how membership changed,
+// or how many workers died along the way, as long as at least one can
+// still answer.
 func (c *Coordinator) Run(ctx context.Context, specs []JobSpec, jobs []sim.SimJob, onDone func(int, *sim.Outcome)) ([]*sim.Outcome, error) {
 	if len(specs) != len(jobs) {
 		return nil, fmt.Errorf("serve: %d specs for %d jobs", len(specs), len(jobs))
 	}
 	outs := make([]*sim.Outcome, len(jobs))
 	errs := make([]error, len(jobs))
-	down := &downSet{m: make(map[int]bool)}
+	down := &downSet{m: make(map[string]bool)}
 	gctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var wg sync.WaitGroup
@@ -142,25 +221,37 @@ func (c *Coordinator) Run(ctx context.Context, specs []JobSpec, jobs []sim.SimJo
 	return outs, sim.JoinErrors(ctx, errs)
 }
 
-// runArm executes one arm, trying workers in rendezvous order of the
-// arm's trace key. Only failures to *answer* — transport errors, call
-// timeouts — mark the worker down (for this Run) and re-route. Any HTTP
-// status, 4xx or 5xx, is an answer: the worker is alive and the error is
-// the arm's own (bad spec, deterministic simulation failure), so the arm
-// fails immediately instead of re-running its capture on every worker and
-// poisoning the downSet for its siblings.
+// runArm executes one arm, trying live members in rendezvous order of the
+// arm's trace key; the member view is re-sampled after every failure, so
+// a worker that registers while the arm is retrying becomes a candidate.
+// Only failures to *answer* — transport errors, call timeouts — mark the
+// worker down (for this Run) and re-route. Any HTTP status, 4xx or 5xx,
+// is an answer: the worker is alive and the error is the arm's own (bad
+// spec, deterministic simulation failure), so the arm fails immediately
+// instead of re-running its capture on every worker and poisoning the
+// downSet for its siblings.
+//
+// Each call names the key's other ranked owners in the blob-peers header:
+// if the target lacks the capture (the key just moved to it), it fetches
+// the blob from the previous owner instead of re-emulating.
 func (c *Coordinator) runArm(ctx context.Context, spec JobSpec, job sim.SimJob, down *downSet) (*sim.Outcome, error) {
 	tkb, err := sim.EncodeTraceKey(job.Key().TraceKey())
 	if err != nil {
 		return nil, fmt.Errorf("serve: arm %q: trace key: %w", spec.label(), err)
 	}
 	var lastErr error
-	for _, wi := range rankByRendezvous(c.urls, tkb) {
-		if down.is(wi) {
-			continue
+	tried := 0
+	for ctx.Err() == nil {
+		target := c.pickWorker(tkb, down)
+		if target == "" {
+			break
 		}
+		tried++
 		actx, cancel := context.WithTimeout(ctx, c.callTimeout)
-		out, err := c.workers[wi].Outcome(actx, spec)
+		// A fifth of the call budget per peer blob attempt: even with every
+		// named peer hung, the worker still has most of the timeout left to
+		// capture the trace itself.
+		out, err := c.client(target).OutcomeFrom(actx, spec, c.peersFor(tkb, target, down), c.callTimeout/5)
 		cancel()
 		if err == nil {
 			return out, nil
@@ -170,15 +261,54 @@ func (c *Coordinator) runArm(ctx context.Context, spec JobSpec, job sim.SimJob, 
 		}
 		var se *StatusError
 		if errors.As(err, &se) {
-			return nil, fmt.Errorf("serve: arm %q: worker %s: %w", spec.label(), c.urls[wi], err)
+			return nil, fmt.Errorf("serve: arm %q: worker %s: %w", spec.label(), target, err)
 		}
-		down.set(wi)
-		lastErr = fmt.Errorf("worker %s: %v", c.urls[wi], err)
+		down.set(target)
+		lastErr = fmt.Errorf("worker %s: %v", target, err)
+	}
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
 	}
 	if lastErr == nil {
-		lastErr = fmt.Errorf("all %d workers already down", len(c.urls))
+		lastErr = fmt.Errorf("no live members (%d known, %d tried)", len(c.members.known()), tried)
 	}
 	return nil, fmt.Errorf("serve: arm %q: %w: %v", spec.label(), ErrWorkersUnavailable, lastErr)
+}
+
+// pickWorker returns the highest-ranked live member for key that is not
+// marked down ("" when none remains).
+func (c *Coordinator) pickWorker(key []byte, down *downSet) string {
+	live := c.members.live()
+	for _, i := range rankByRendezvous(live, key) {
+		if !down.is(live[i]) {
+			return live[i]
+		}
+	}
+	return ""
+}
+
+// peersFor names the workers (live or recently expired) most likely to
+// already hold key's trace blob: the rendezvous ranking over every known
+// member except the target itself and any worker this Run already saw
+// fail (a peer that refuses calls would only burn the arm's deadline).
+// When a key just moved to a newly joined target, the first peer is
+// exactly the key's previous owner; when the target is the failover
+// choice, the first peer is the old home — possibly expired but still
+// answering /v1/blobs, in which case the blob moves instead of being
+// re-captured.
+func (c *Coordinator) peersFor(key []byte, target string, down *downSet) []string {
+	known := c.members.known()
+	peers := make([]string, 0, maxBlobPeers)
+	for _, i := range rankByRendezvous(known, key) {
+		if known[i] == target || down.is(known[i]) {
+			continue
+		}
+		peers = append(peers, known[i])
+		if len(peers) == maxBlobPeers {
+			break
+		}
+	}
+	return peers
 }
 
 // downSet tracks workers observed failing during one Run. Marking is
@@ -186,27 +316,27 @@ func (c *Coordinator) runArm(ctx context.Context, spec JobSpec, job sim.SimJob, 
 // again, so a recovered worker rejoins on the next request.
 type downSet struct {
 	mu sync.Mutex
-	m  map[int]bool
+	m  map[string]bool
 }
 
-func (d *downSet) is(i int) bool {
+func (d *downSet) is(url string) bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.m[i]
+	return d.m[url]
 }
 
-func (d *downSet) set(i int) {
+func (d *downSet) set(url string) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.m[i] = true
+	d.m[url] = true
 }
 
 // rankByRendezvous orders worker indices by descending rendezvous score
 // for key: score(i) = mix64(h(urls[i]) ⊕ h(key)). The top-ranked worker
 // is the key's home; the rest are its failover order. The ordering is a
 // pure function of (urls, key), so every coordinator instance over the
-// same worker list routes identically — and a key's home only changes
-// when its own worker leaves the list.
+// same member view routes identically — and a key's home only changes
+// when its own worker leaves the view.
 //
 // Raw FNV is too correlated across strings that differ in one character
 // for direct use as a rendezvous score (one worker ends up winning nearly

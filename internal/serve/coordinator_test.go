@@ -79,11 +79,16 @@ func TestRendezvousRanking(t *testing.T) {
 // trackingWorker fronts a worker Server, recording which trace identities
 // its /v1/outcome endpoint served and optionally going dark (aborting
 // every connection) after a fixed number of outcome calls — a
-// deterministic mid-sweep kill.
+// deterministic mid-sweep kill. gate() arms a one-shot barrier instead:
+// the holdAt-th outcome call parks (closing held) until release closes,
+// giving tests a deterministic "mid-sweep" moment to mutate membership in.
 type trackingWorker struct {
 	t         *testing.T
 	srv       *Server
 	killAfter int64 // 0 = immortal
+	holdAt    int64 // 0 = never parks
+	held      chan struct{}
+	release   chan struct{}
 	served    atomic.Int64
 
 	mu     sync.Mutex
@@ -92,7 +97,7 @@ type trackingWorker struct {
 
 func newTrackingWorker(t *testing.T, killAfter int64) (*trackingWorker, *httptest.Server) {
 	t.Helper()
-	srv := New(Options{Engine: sim.New(2)})
+	srv := mustNew(t, Options{Engine: sim.New(2)})
 	w := &trackingWorker{t: t, srv: srv, killAfter: killAfter, traces: make(map[string]int)}
 	ts := httptest.NewServer(w)
 	t.Cleanup(func() {
@@ -102,11 +107,23 @@ func newTrackingWorker(t *testing.T, killAfter int64) (*trackingWorker, *httptes
 	return w, ts
 }
 
+// gate arms the mid-sweep barrier: the holdAt-th outcome call signals
+// held and parks until release is closed.
+func (w *trackingWorker) gate(holdAt int64) {
+	w.holdAt = holdAt
+	w.held = make(chan struct{})
+	w.release = make(chan struct{})
+}
+
 func (w *trackingWorker) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
 	if r.URL.Path == "/v1/outcome" {
 		n := w.served.Add(1)
 		if w.killAfter > 0 && n > w.killAfter {
 			panic(http.ErrAbortHandler) // killed: every further call dies
+		}
+		if w.holdAt > 0 && n == w.holdAt {
+			close(w.held)
+			<-w.release
 		}
 		body, err := io.ReadAll(r.Body)
 		if err != nil {
@@ -163,7 +180,7 @@ func benchSubsetSweep32() SweepRequest {
 
 func newCoordinator(t *testing.T, workerURLs ...string) *Client {
 	t.Helper()
-	srv := New(Options{Engine: sim.New(2), Workers: workerURLs})
+	srv := mustNew(t, Options{Engine: sim.New(2), Workers: workerURLs})
 	ts := httptest.NewServer(srv)
 	t.Cleanup(func() {
 		ts.Close()
@@ -189,7 +206,7 @@ func TestCoordinatorEquivalence(t *testing.T) {
 
 	// (a) single process (default sweep bounds: the helper server caps at
 	// 16 arms, this sweep has 32).
-	srv := New(Options{Engine: sim.New(2)})
+	srv := mustNew(t, Options{Engine: sim.New(2)})
 	ts := httptest.NewServer(srv)
 	t.Cleanup(func() {
 		ts.Close()
@@ -274,6 +291,132 @@ func TestCoordinatorEquivalence(t *testing.T) {
 	if k1.served.Load() < 32-4 {
 		t.Errorf("surviving worker served %d outcome calls; re-routing did not absorb the dead worker's arms", k1.served.Load())
 	}
+
+	// (d) elastic membership: the tier starts with one registered worker, a
+	// second registers mid-sweep, the first's heartbeat TTL lapses
+	// mid-sweep, and every re-routed arm fetches its captured trace blob
+	// from the previous owner — byte-identical report, zero re-captures.
+	distinct := make(map[string]bool)
+	for _, js := range req.Jobs {
+		job, err := js.Resolve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tk, err := sim.EncodeTraceKey(job.Key().TraceKey())
+		if err != nil {
+			t.Fatal(err)
+		}
+		distinct[string(tk)] = true
+	}
+
+	e1, ets1 := newTrackingWorker(t, 0)
+	e1.gate(5) // park the 5th arm: the join happens here
+	e2, ets2 := newTrackingWorker(t, 0)
+	e2.gate(1) // park w2's first arm: the expiry happens here
+
+	// FanoutConcurrency 1 serializes arms, so membership mutations at the
+	// gates land between arms, never during a concurrent capture.
+	csrv := mustNew(t, Options{
+		Engine:            sim.New(2),
+		Coordinator:       true,
+		MemberTTL:         time.Minute,
+		FanoutConcurrency: 1,
+	})
+	cts := httptest.NewServer(csrv)
+	t.Cleanup(func() {
+		cts.Close()
+		csrv.Close()
+	})
+	cl := NewClient(cts.URL)
+	if ttl, err := cl.RegisterWorker(ctx, ets1.URL); err != nil || ttl <= 0 {
+		t.Fatalf("register w1: ttl %s, %v", ttl, err)
+	}
+
+	type sweepRes struct {
+		data []byte
+		err  error
+	}
+	doneCh := make(chan sweepRes, 1)
+	go func() {
+		data, err := cl.SweepJSON(ctx, req)
+		doneCh <- sweepRes{data, err}
+	}()
+
+	waitOr := func(c <-chan struct{}, what string) {
+		select {
+		case <-c:
+		case res := <-doneCh:
+			t.Fatalf("sweep finished (%v) before %s", res.err, what)
+		case <-time.After(2 * time.Minute):
+			t.Fatalf("timed out waiting for %s", what)
+		}
+	}
+	waitOr(e1.held, "the first worker to reach its gate")
+	if _, err := cl.RegisterWorker(ctx, ets2.URL); err != nil {
+		t.Fatalf("register w2 mid-sweep: %v", err)
+	}
+	close(e1.release)
+
+	waitOr(e2.held, "the joined worker's first arm")
+	csrv.coord.members.expireForTest(ets1.URL) // w1's heartbeat TTL lapses
+	close(e2.release)
+
+	res := <-doneCh
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if !bytes.Equal(res.data, want) {
+		t.Fatalf("elastic-membership sweep differs from single-process:\n%s", res.data)
+	}
+	if n := e2.served.Load(); n == 0 {
+		t.Fatal("joined worker served nothing; membership change did not re-route")
+	}
+	st1, st2 := e1.srv.eng.Stats(), e2.srv.eng.Stats()
+	if got := st1.TraceCaptures + st2.TraceCaptures; got != int64(len(distinct)) {
+		t.Errorf("tier captured %d traces for %d identities — re-routed arms re-captured instead of fetching blobs (w1 %d, w2 %d)",
+			got, len(distinct), st1.TraceCaptures, st2.TraceCaptures)
+	}
+	if st2.TracePeerHits == 0 {
+		t.Error("joined worker never fetched a peer blob")
+	}
+	if st1.TracePeerRejects+st2.TracePeerRejects != 0 {
+		t.Errorf("peer blob transfers were rejected: w1 %d, w2 %d", st1.TracePeerRejects, st2.TracePeerRejects)
+	}
+
+	// The member table reflects the churn: w1 expired (but retained), w2
+	// live — through the public endpoint.
+	var members []MemberStatus
+	mresp, mbody := getBody(t, cts.URL+"/v1/workers")
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/workers: %d: %s", mresp.StatusCode, mbody)
+	}
+	if err := json.Unmarshal(mbody, &members); err != nil {
+		t.Fatal(err)
+	}
+	byURL := make(map[string]MemberStatus, len(members))
+	for _, m := range members {
+		byURL[m.URL] = m
+	}
+	if m, ok := byURL[ets1.URL]; !ok || m.Live {
+		t.Errorf("expired worker in member table: %+v (present %v)", m, ok)
+	}
+	if m, ok := byURL[ets2.URL]; !ok || !m.Live || m.Heartbeats == 0 {
+		t.Errorf("joined worker in member table: %+v (present %v)", m, ok)
+	}
+}
+
+func getBody(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
 }
 
 // TestCoordinatorAllWorkersDown: with every worker unreachable the sweep
@@ -308,7 +451,7 @@ func TestCoordinatorHungWorkerTimesOut(t *testing.T) {
 	})
 	_, live := newTrackingWorker(t, 0)
 
-	srv := New(Options{
+	srv := mustNew(t, Options{
 		Engine:            sim.New(2),
 		Workers:           []string{hung.URL, live.URL},
 		WorkerCallTimeout: 300 * time.Millisecond,

@@ -25,11 +25,12 @@ package serve
 
 import (
 	"context"
-	"crypto/rand"
+	crand "crypto/rand"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"sync"
 	"time"
@@ -53,13 +54,37 @@ const (
 // it the oldest finished jobs are forgotten, and their persisted records
 // deleted. maxJobRetries bounds how often a job whose arms found no
 // worker answering (tier restart, rolling deploy) is automatically
-// requeued, jobRetryDelay paces those retries. Variables so tests can
-// exercise the machinery cheaply.
+// requeued; jobRetryBase/jobRetryMaxDelay shape the exponential backoff
+// pacing those retries. Variables so tests can exercise the machinery
+// cheaply.
 var (
-	maxTrackedJobs = 256
-	maxJobRetries  = 5
-	jobRetryDelay  = 2 * time.Second
+	maxTrackedJobs   = 256
+	maxJobRetries    = 5
+	jobRetryBase     = 500 * time.Millisecond
+	jobRetryMaxDelay = 30 * time.Second
 )
+
+// jobRetryBackoff is the deterministic delay before retry n (1-based):
+// base, 2×base, 4×base, ... capped at jobRetryMaxDelay. The call site
+// adds up to +50% random jitter so a fleet of requeued jobs does not
+// hammer a rebooting worker tier in lockstep; since 1.5×d < 2×d the
+// jittered sequence still grows monotonically.
+func jobRetryBackoff(retry int) time.Duration {
+	if retry < 1 {
+		retry = 1
+	}
+	d := jobRetryBase
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if d >= jobRetryMaxDelay {
+			return jobRetryMaxDelay
+		}
+	}
+	if d > jobRetryMaxDelay {
+		d = jobRetryMaxDelay
+	}
+	return d
+}
 
 // JobState is the lifecycle state of an async job.
 type JobState string
@@ -124,10 +149,13 @@ type job struct {
 	report    *sim.Report
 	requeues  int
 	retries   int
-	created   int64
-	finished  int64
-	cancel    context.CancelFunc // non-nil while running
-	userAbort bool               // DELETE requested (vs process shutdown)
+	// retryDelays records the jittered backoff chosen before each retry
+	// (diagnostics; asserted monotonically growing by tests).
+	retryDelays []time.Duration
+	created     int64
+	finished    int64
+	cancel      context.CancelFunc // non-nil while running
+	userAbort   bool               // DELETE requested (vs process shutdown)
 }
 
 // JobManager owns the async job lifecycle: a bounded pending queue, a
@@ -318,11 +346,15 @@ func (m *JobManager) runLoop() {
 			j.state, j.completed, j.errMsg = JobQueued, 0, ""
 		case errors.Is(err, ErrWorkersUnavailable) && j.retries < maxJobRetries:
 			// No worker answered — a tier restart or rolling deploy, not a
-			// property of the job. Requeue with a delay instead of failing
-			// terminally while the workers boot.
+			// property of the job. Requeue under capped exponential backoff
+			// (plus jitter) instead of failing terminally while the workers
+			// boot.
 			j.state, j.completed, j.errMsg = JobQueued, 0, ""
 			j.retries++
-			m.requeueAfterLocked(id, jobRetryDelay)
+			delay := jobRetryBackoff(j.retries)
+			delay += time.Duration(rand.Int64N(int64(delay)/2 + 1))
+			j.retryDelays = append(j.retryDelays, delay)
+			m.requeueAfterLocked(id, delay)
 		default:
 			j.state, j.errMsg = JobFailed, err.Error()
 			j.finished = time.Now().Unix()
@@ -513,7 +545,7 @@ func statusOf(j *job, withReport bool) JobStatus {
 
 func newJobID() string {
 	var b [8]byte
-	if _, err := rand.Read(b[:]); err != nil {
+	if _, err := crand.Read(b[:]); err != nil {
 		panic(fmt.Sprintf("serve: job id entropy: %v", err))
 	}
 	return "j-" + hex.EncodeToString(b[:])
@@ -689,9 +721,14 @@ func loadJobRecord(st *store.Store, id string) (*job, bool) {
 // --- HTTP handlers ---------------------------------------------------------
 
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	if retry, ok := s.adm.admit(clientKey(r)); !ok {
+		w.Header().Set("Retry-After", retryAfterSeconds(retry))
+		httpError(w, http.StatusTooManyRequests, fmt.Errorf("rate limit exceeded; retry after %s seconds", retryAfterSeconds(retry)))
+		return
+	}
 	var req SweepRequest
-	if err := decodeBody(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+	if err := s.decodeBody(w, r, &req); err != nil {
+		httpBodyError(w, err)
 		return
 	}
 	// Validate up front: a job that cannot resolve must fail at submit
@@ -704,6 +741,9 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	st, err := s.jobs.submit(req, resolved)
 	if err != nil {
+		// The queue is the back-pressure boundary: tell the client when to
+		// come back instead of letting it hammer a full queue.
+		w.Header().Set("Retry-After", retryAfterSeconds(jobRetryBase))
 		httpError(w, http.StatusServiceUnavailable, err)
 		return
 	}

@@ -31,7 +31,7 @@ func newJobServer(t *testing.T, dir string, engineWorkers int, o Options) (*Clie
 		eng.WithStore(st)
 	}
 	o.Engine = eng
-	srv := New(o)
+	srv := mustNew(t, o)
 	ts := httptest.NewServer(srv)
 	stopped := false
 	stop := func() {
@@ -430,11 +430,11 @@ func (f *flippableWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // answering is requeued with a delay instead of failing terminally, and
 // completes once the tier comes back.
 func TestJobRetriesWhileWorkersDown(t *testing.T) {
-	oldDelay := jobRetryDelay
-	jobRetryDelay = 30 * time.Millisecond
-	defer func() { jobRetryDelay = oldDelay }()
+	oldBase, oldMax := jobRetryBase, jobRetryMaxDelay
+	jobRetryBase, jobRetryMaxDelay = 10*time.Millisecond, 100*time.Millisecond
+	defer func() { jobRetryBase, jobRetryMaxDelay = oldBase, oldMax }()
 
-	wsrv := New(Options{Engine: sim.New(2)})
+	wsrv := mustNew(t, Options{Engine: sim.New(2)})
 	fw := &flippableWorker{srv: wsrv}
 	wts := httptest.NewServer(fw)
 	t.Cleanup(func() {
@@ -442,7 +442,7 @@ func TestJobRetriesWhileWorkersDown(t *testing.T) {
 		wsrv.Close()
 	})
 
-	csrv := New(Options{Engine: sim.New(2), Workers: []string{wts.URL}})
+	csrv := mustNew(t, Options{Engine: sim.New(2), Workers: []string{wts.URL}})
 	cts := httptest.NewServer(csrv)
 	t.Cleanup(func() {
 		cts.Close()
@@ -480,5 +480,66 @@ func TestJobRetriesWhileWorkersDown(t *testing.T) {
 	}
 	if fin.State != JobDone || fin.Retries < 1 {
 		t.Fatalf("final status %+v", fin)
+	}
+}
+
+// TestJobRetryBackoffGrowth pins the retry pacing: deterministic doubling
+// from jobRetryBase capped at jobRetryMaxDelay, and — end to end — the
+// jittered per-job delays recorded against a dead tier strictly grow.
+func TestJobRetryBackoffGrowth(t *testing.T) {
+	for retry, want := range map[int]time.Duration{
+		1:  500 * time.Millisecond,
+		2:  time.Second,
+		3:  2 * time.Second,
+		6:  16 * time.Second,
+		7:  30 * time.Second, // 32s capped
+		50: 30 * time.Second,
+	} {
+		if got := jobRetryBackoff(retry); got != want {
+			t.Errorf("jobRetryBackoff(%d) = %s, want %s", retry, got, want)
+		}
+	}
+
+	oldBase, oldMax, oldRetries := jobRetryBase, jobRetryMaxDelay, maxJobRetries
+	jobRetryBase, jobRetryMaxDelay, maxJobRetries = 10*time.Millisecond, 10*time.Second, 3
+	defer func() { jobRetryBase, jobRetryMaxDelay, maxJobRetries = oldBase, oldMax, oldRetries }()
+
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // nothing listens here any more
+	csrv := mustNew(t, Options{Engine: sim.New(2), Workers: []string{dead.URL}})
+	cts := httptest.NewServer(csrv)
+	t.Cleanup(func() {
+		cts.Close()
+		csrv.Close()
+	})
+	c := NewClient(cts.URL)
+	ctx := context.Background()
+
+	st, err := c.SubmitJob(ctx, fastSweep("backoff"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := c.WaitJob(ctx, st.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != JobFailed || fin.Retries != 3 {
+		t.Fatalf("job against a dead tier: %+v", fin)
+	}
+
+	csrv.jobs.mu.Lock()
+	delays := append([]time.Duration(nil), csrv.jobs.jobs[st.ID].retryDelays...)
+	csrv.jobs.mu.Unlock()
+	if len(delays) != 3 {
+		t.Fatalf("recorded %d retry delays, want 3: %v", len(delays), delays)
+	}
+	for i, d := range delays {
+		base := jobRetryBackoff(i + 1)
+		if d < base || d > base+base/2 {
+			t.Errorf("retry %d delay %s outside [%s, %s]", i+1, d, base, base+base/2)
+		}
+		if i > 0 && d <= delays[i-1] {
+			t.Errorf("retry delays not growing: %v", delays)
+		}
 	}
 }

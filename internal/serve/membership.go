@@ -1,0 +1,185 @@
+// Dynamic worker membership: registration, heartbeats, TTL expiry.
+//
+// PR 5's coordinator took a static -workers list, so the tier could not
+// grow, shrink, or survive a rolling deploy without a restart. Here the
+// member table is live: workers POST /v1/workers/register and re-POST as
+// a heartbeat; a dynamic member whose last heartbeat is older than the
+// TTL drops out of the routing view, and rendezvous hashing guarantees
+// that a join or leave re-routes only the keys whose top-ranked worker
+// changed. Statically configured workers (the -workers flag) are pinned
+// live — they never expire — so the PR 5 topology keeps working verbatim.
+//
+// Expired dynamic members are retained (marked dead) for a grace period:
+// a worker that merely stopped heartbeating often still answers
+// /v1/blobs, so it stays in the peer list that re-routed arms fetch
+// their trace blobs from.
+package serve
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+const (
+	// DefaultMemberTTL is how long a dynamic member stays in the routing
+	// view after its last heartbeat. Workers heartbeat at TTL/3.
+	DefaultMemberTTL = 15 * time.Second
+	// memberRetention keeps expired dynamic members visible (as dead) in
+	// the member table and usable as blob-fetch peers before they are
+	// forgotten entirely.
+	memberRetention = 10 * time.Minute
+)
+
+// MemberStatus is the wire form of one worker-tier member (the /statsz
+// member table and the GET /v1/workers response).
+type MemberStatus struct {
+	URL    string `json:"url"`
+	Static bool   `json:"static,omitempty"`
+	// Live reports whether the member is in the routing view: static
+	// members always, dynamic members while their heartbeat is fresh.
+	Live bool `json:"live"`
+	// LastHeartbeatAgeSeconds is the age of the newest heartbeat (for a
+	// static member that never registered, the age of the coordinator's
+	// own start).
+	LastHeartbeatAgeSeconds float64 `json:"last_heartbeat_age_seconds"`
+	Heartbeats              int64   `json:"heartbeats,omitempty"`
+}
+
+// member is one tracked worker.
+type member struct {
+	url        string
+	static     bool
+	registered time.Time
+	lastBeat   time.Time
+	beats      int64
+}
+
+// memberSet is the coordinator's member table. Safe for concurrent use.
+type memberSet struct {
+	ttl time.Duration
+	now func() time.Time // test hook
+
+	mu      sync.Mutex
+	members map[string]*member
+}
+
+func newMemberSet(static []string, ttl time.Duration) *memberSet {
+	if ttl <= 0 {
+		ttl = DefaultMemberTTL
+	}
+	s := &memberSet{
+		ttl:     ttl,
+		now:     time.Now,
+		members: make(map[string]*member),
+	}
+	start := s.now()
+	for _, u := range static {
+		s.members[u] = &member{url: u, static: true, registered: start, lastBeat: start}
+	}
+	return s
+}
+
+// normalizeWorkerURL validates and canonicalizes a worker base URL.
+func normalizeWorkerURL(raw string) (string, error) {
+	raw = strings.TrimRight(strings.TrimSpace(raw), "/")
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", fmt.Errorf("bad worker url %q: %w", raw, err)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return "", fmt.Errorf("worker url %q must be absolute http(s)", raw)
+	}
+	return raw, nil
+}
+
+// register records a heartbeat for url, creating the member on first
+// contact, and returns (ttl, whether the member is new to the table).
+// Registering a static member simply refreshes its heartbeat age.
+func (s *memberSet) register(url string) (time.Duration, bool) {
+	now := s.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.members[url]
+	if !ok {
+		m = &member{url: url, registered: now}
+		s.members[url] = m
+	}
+	m.lastBeat = now
+	m.beats++
+	return s.ttl, !ok
+}
+
+// liveLocked reports whether m is in the routing view at time now.
+func (s *memberSet) liveLocked(m *member, now time.Time) bool {
+	return m.static || now.Sub(m.lastBeat) <= s.ttl
+}
+
+// live returns the routing view: every member a new arm may be placed
+// on, sorted for determinism. Expired dynamic members past the retention
+// window are dropped from the table here.
+func (s *memberSet) live() []string {
+	now := s.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var urls []string
+	for u, m := range s.members {
+		if !m.static && now.Sub(m.lastBeat) > memberRetention {
+			delete(s.members, u)
+			continue
+		}
+		if s.liveLocked(m, now) {
+			urls = append(urls, u)
+		}
+	}
+	sort.Strings(urls)
+	return urls
+}
+
+// known returns every retained member, live or dead — the candidate pool
+// for peer blob fetches (a worker that stopped heartbeating often still
+// answers /v1/blobs).
+func (s *memberSet) known() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	urls := make([]string, 0, len(s.members))
+	for u := range s.members {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	return urls
+}
+
+// view snapshots the member table for /statsz and GET /v1/workers.
+func (s *memberSet) view() []MemberStatus {
+	now := s.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sts := make([]MemberStatus, 0, len(s.members))
+	for _, m := range s.members {
+		sts = append(sts, MemberStatus{
+			URL:                     m.url,
+			Static:                  m.static,
+			Live:                    s.liveLocked(m, now),
+			LastHeartbeatAgeSeconds: now.Sub(m.lastBeat).Seconds(),
+			Heartbeats:              m.beats,
+		})
+	}
+	sort.Slice(sts, func(i, j int) bool { return sts[i].URL < sts[j].URL })
+	return sts
+}
+
+// expireForTest rewinds url's heartbeat past the TTL so the member drops
+// out of the routing view — the deterministic stand-in for "the worker
+// stopped heartbeating and the TTL lapsed" in tests.
+func (s *memberSet) expireForTest(url string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m := s.members[url]; m != nil {
+		m.static = false
+		m.lastBeat = s.now().Add(-2 * s.ttl)
+	}
+}

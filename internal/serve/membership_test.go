@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"minigraph/internal/sim"
+)
+
+func newTestEngine() *sim.Engine { return sim.New(2) }
+
+func newHTTPServer(t *testing.T, srv *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return ts
+}
+
+func mustDecode(t *testing.T, data []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(data, v); err != nil {
+		t.Fatalf("decode %s: %v", data, err)
+	}
+}
+
+// TestMemberSetLifecycle drives the member table through a synthetic
+// clock: registration, heartbeat refresh, TTL expiry (out of the routing
+// view but retained as a blob peer), and retention-window forgetting.
+func TestMemberSetLifecycle(t *testing.T) {
+	base := time.Now()
+	offset := time.Duration(0)
+	ms := newMemberSet([]string{"http://static:1"}, 10*time.Second)
+	ms.now = func() time.Time { return base.Add(offset) }
+
+	if live := ms.live(); len(live) != 1 || live[0] != "http://static:1" {
+		t.Fatalf("static member missing from routing view: %v", live)
+	}
+
+	ttl, isNew := ms.register("http://dyn:2")
+	if ttl != 10*time.Second || !isNew {
+		t.Fatalf("first registration: ttl %s, new %v", ttl, isNew)
+	}
+	if _, isNew = ms.register("http://dyn:2"); isNew {
+		t.Fatal("re-registration reported as new")
+	}
+	if live := ms.live(); len(live) != 2 {
+		t.Fatalf("routing view after join: %v", live)
+	}
+
+	// Heartbeats inside the TTL keep the member live.
+	offset = 8 * time.Second
+	ms.register("http://dyn:2")
+	offset = 16 * time.Second
+	if live := ms.live(); len(live) != 2 {
+		t.Fatalf("heartbeat did not refresh the TTL: %v", live)
+	}
+
+	// TTL lapses: out of the routing view, still a known blob peer.
+	offset = 30 * time.Second
+	if live := ms.live(); len(live) != 1 || live[0] != "http://static:1" {
+		t.Fatalf("expired member still routable: %v", live)
+	}
+	if known := ms.known(); len(known) != 2 {
+		t.Fatalf("expired member dropped from the peer pool too early: %v", known)
+	}
+	var dyn *MemberStatus
+	for _, m := range ms.view() {
+		if m.URL == "http://dyn:2" {
+			m := m
+			dyn = &m
+		}
+	}
+	if dyn == nil || dyn.Live || dyn.Heartbeats != 3 || dyn.LastHeartbeatAgeSeconds != 22 {
+		t.Fatalf("expired member status: %+v", dyn)
+	}
+
+	// Past the retention window the member is forgotten entirely; the
+	// static member never expires.
+	offset = 30*time.Second + memberRetention + time.Second
+	if live := ms.live(); len(live) != 1 {
+		t.Fatalf("static member expired: %v", live)
+	}
+	if known := ms.known(); len(known) != 1 {
+		t.Fatalf("member not forgotten after retention: %v", known)
+	}
+}
+
+func TestNormalizeWorkerURL(t *testing.T) {
+	for raw, want := range map[string]string{
+		"http://w1:8347":    "http://w1:8347",
+		" http://w1:8347/ ": "http://w1:8347",
+		"https://w/x/":      "https://w/x",
+	} {
+		got, err := normalizeWorkerURL(raw)
+		if err != nil || got != want {
+			t.Errorf("normalize(%q) = %q, %v; want %q", raw, got, err, want)
+		}
+	}
+	for _, raw := range []string{"", "w1:8347", "ftp://w1", "http://", "://x"} {
+		if got, err := normalizeWorkerURL(raw); err == nil {
+			t.Errorf("normalize(%q) accepted as %q", raw, got)
+		}
+	}
+}
+
+// TestNewCoordinatorRequiresWorkers pins the satellite bugfix: a
+// coordinator with no way to ever route returns an error (it used to
+// panic), while dynamic registration makes an empty tier legal.
+func TestNewCoordinatorRequiresWorkers(t *testing.T) {
+	if _, err := NewCoordinator(CoordinatorOptions{}); err == nil {
+		t.Error("NewCoordinator with no workers and no dynamic registration succeeded")
+	}
+	if _, err := NewCoordinator(CoordinatorOptions{Workers: []string{"not a url"}}); err == nil {
+		t.Error("NewCoordinator accepted a malformed worker URL")
+	}
+	if _, err := NewCoordinator(CoordinatorOptions{AllowDynamic: true}); err != nil {
+		t.Errorf("dynamic-only coordinator refused: %v", err)
+	}
+	if _, err := New(Options{}); err == nil {
+		t.Error("New without an engine succeeded")
+	}
+}
+
+// TestRegisterEndpoint covers the HTTP membership surface: registration
+// against a dynamic coordinator succeeds and echoes the TTL; servers that
+// are not coordinators (or have dynamic registration disabled) answer 409.
+func TestRegisterEndpoint(t *testing.T) {
+	eng := newTestEngine()
+	srv := mustNew(t, Options{Engine: eng, Coordinator: true, MemberTTL: 42 * time.Second})
+	ts := newHTTPServer(t, srv)
+
+	resp, body := postJSON(t, ts.URL+"/v1/workers/register", RegisterRequest{URL: "http://worker-a:1"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: %d: %s", resp.StatusCode, body)
+	}
+	var rr RegisterResponse
+	mustDecode(t, body, &rr)
+	if rr.TTLSeconds != 42 || rr.URL != "http://worker-a:1" {
+		t.Errorf("register response %+v", rr)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/workers/register", RegisterRequest{URL: "worker-a:1"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("relative URL registered: %d: %s", resp.StatusCode, body)
+	}
+
+	// A plain worker is not a coordinator.
+	worker := mustNew(t, Options{Engine: newTestEngine()})
+	wts := newHTTPServer(t, worker)
+	resp, body = postJSON(t, wts.URL+"/v1/workers/register", RegisterRequest{URL: "http://worker-a:1"})
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("non-coordinator register: %d: %s", resp.StatusCode, body)
+	}
+	if resp, body := getBody(t, wts.URL+"/v1/workers"); resp.StatusCode != http.StatusConflict {
+		t.Errorf("non-coordinator member table: %d: %s", resp.StatusCode, body)
+	}
+
+	// Static-only coordinators keep their fixed topology.
+	static := mustNew(t, Options{Engine: newTestEngine(), Workers: []string{"http://w1:1"}})
+	sts := newHTTPServer(t, static)
+	resp, body = postJSON(t, sts.URL+"/v1/workers/register", RegisterRequest{URL: "http://worker-a:1"})
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("static coordinator accepted a registration: %d: %s", resp.StatusCode, body)
+	}
+}

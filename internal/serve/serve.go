@@ -58,6 +58,11 @@ import (
 // DefaultMaxSweepJobs bounds the arms accepted by one sweep request.
 const DefaultMaxSweepJobs = 1024
 
+// DefaultMaxBodyBytes caps one request body. Sweep requests are a few KB
+// per arm; 8 MiB leaves ample headroom while keeping a garbage POST from
+// buffering unbounded bytes.
+const DefaultMaxBodyBytes = 8 << 20
+
 // Options configure a server.
 type Options struct {
 	// Engine is the shared simulation engine (required). Attach a
@@ -67,6 +72,9 @@ type Options struct {
 	Engine *sim.Engine
 	// MaxSweepJobs bounds the arms in one sweep request (0 = default).
 	MaxSweepJobs int
+	// MaxBodyBytes caps one request body; beyond it the request is
+	// refused with 413 (0 = DefaultMaxBodyBytes, negative = uncapped).
+	MaxBodyBytes int64
 
 	// Workers are base URLs of worker mgserve processes. When non-empty
 	// the server runs in coordinator mode: /v1/simulate, /v1/sweep and
@@ -74,6 +82,13 @@ type Options struct {
 	// affinity instead of running on the local engine. /v1/experiments
 	// still runs locally.
 	Workers []string
+	// Coordinator forces coordinator mode even with no static workers —
+	// the tier then starts empty and workers join by registering. When
+	// false, the server accepts registrations only if Workers is set.
+	Coordinator bool
+	// MemberTTL is how long a registered worker stays routable after its
+	// last heartbeat (0 = DefaultMemberTTL). Static Workers never expire.
+	MemberTTL time.Duration
 	// FanoutConcurrency bounds the coordinator's in-flight worker calls
 	// (0 = 4 × workers).
 	FanoutConcurrency int
@@ -81,6 +96,16 @@ type Options struct {
 	// (0 = DefaultWorkerCallTimeout). A worker that hangs past it counts
 	// as failed and its arms re-route.
 	WorkerCallTimeout time.Duration
+
+	// RateLimit admits this many requests/second per client (remote IP)
+	// to /v1/sweep and /v1/jobs, with RateBurst bucket capacity
+	// (0 = 2 × RateLimit). RateLimit 0 disables rate limiting.
+	RateLimit float64
+	RateBurst float64
+	// MaxInflightSweeps bounds concurrently executing synchronous sweeps;
+	// beyond it requests shed with 503 + Retry-After
+	// (0 = DefaultMaxInflightSweeps, negative = unbounded).
+	MaxInflightSweeps int
 
 	// JobQueue bounds queued async jobs (0 = DefaultJobQueue); further
 	// submissions are refused with 503. JobRunners is the number of jobs
@@ -94,35 +119,60 @@ type Options struct {
 type Server struct {
 	eng      *sim.Engine
 	maxSweep int
+	maxBody  int64
 	started  time.Time
 	mux      *http.ServeMux
 	coord    *Coordinator // nil in single-process mode
+	adm      *admission
 	jobs     *JobManager
 }
 
 // New builds the handler. Close it when done to stop the async job
-// runners.
-func New(o Options) *Server {
+// runners. An error means the options cannot produce a working server
+// (no engine, or a coordinator configuration that can never route).
+func New(o Options) (*Server, error) {
 	if o.Engine == nil {
-		panic("serve: Options.Engine is required")
+		return nil, fmt.Errorf("serve: Options.Engine is required")
 	}
 	maxSweep := o.MaxSweepJobs
 	if maxSweep <= 0 {
 		maxSweep = DefaultMaxSweepJobs
 	}
+	maxBody := o.MaxBodyBytes
+	if maxBody == 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
 	s := &Server{
 		eng:      o.Engine,
 		maxSweep: maxSweep,
+		maxBody:  maxBody,
 		started:  time.Now(),
 		mux:      http.NewServeMux(),
+		adm:      newAdmission(o.RateLimit, o.RateBurst, o.MaxInflightSweeps),
 	}
-	if len(o.Workers) > 0 {
-		s.coord = NewCoordinator(o.Workers, o.FanoutConcurrency, o.WorkerCallTimeout)
+	if len(o.Workers) > 0 || o.Coordinator {
+		coord, err := NewCoordinator(CoordinatorOptions{
+			Workers:           o.Workers,
+			AllowDynamic:      o.Coordinator,
+			MemberTTL:         o.MemberTTL,
+			FanoutConcurrency: o.FanoutConcurrency,
+			WorkerCallTimeout: o.WorkerCallTimeout,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.coord = coord
 	}
+	// Workers fetch trace blobs from the peers the coordinator names on
+	// each /v1/outcome call instead of re-capturing (see blobs.go).
+	o.Engine.WithTraceFetcher(s.fetchTraceBlob)
 	s.jobs = newJobManager(s, o.JobQueue, o.JobRunners)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/outcome", s.handleOutcome)
+	s.mux.HandleFunc("GET /v1/blobs/{traceKey}", s.handleBlob)
+	s.mux.HandleFunc("POST /v1/workers/register", s.handleRegister)
+	s.mux.HandleFunc("GET /v1/workers", s.handleWorkers)
 	s.mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
@@ -131,7 +181,7 @@ func New(o Options) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /statsz", s.handleStats)
-	return s
+	return s, nil
 }
 
 // Close stops the async job runners. Running jobs are aborted and left in
@@ -401,8 +451,8 @@ func SweepReport(req SweepRequest, outs []*sim.Outcome) *sim.Report {
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var js JobSpec
-	if err := decodeBody(r, &js); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+	if err := s.decodeBody(w, r, &js); err != nil {
+		httpBodyError(w, err)
 		return
 	}
 	job, err := js.Resolve()
@@ -423,10 +473,15 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 // the coordinator needs to rebuild a merged Report byte-identical to
 // single-process execution. Always served by the local engine — a
 // coordinator is not a worker.
+//
+// When the coordinator names blob peers for the arm (the
+// X-Minigraph-Blob-Peers header), they ride the context into the engine's
+// trace fetcher: a worker that lacks the capture pulls the blob from the
+// key's previous owner instead of re-emulating.
 func (s *Server) handleOutcome(w http.ResponseWriter, r *http.Request) {
 	var js JobSpec
-	if err := decodeBody(r, &js); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+	if err := s.decodeBody(w, r, &js); err != nil {
+		httpBodyError(w, err)
 		return
 	}
 	job, err := js.Resolve()
@@ -434,7 +489,7 @@ func (s *Server) handleOutcome(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	out, err := s.eng.Simulate(r.Context(), job)
+	out, err := s.eng.Simulate(withBlobPeers(r.Context(), parseBlobPeers(r)), job)
 	if err != nil {
 		httpAbortOrError(w, r, http.StatusInternalServerError, err)
 		return
@@ -449,9 +504,20 @@ func (s *Server) handleOutcome(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if retry, ok := s.adm.admit(clientKey(r)); !ok {
+		w.Header().Set("Retry-After", retryAfterSeconds(retry))
+		httpError(w, http.StatusTooManyRequests, fmt.Errorf("rate limit exceeded; retry after %s seconds", retryAfterSeconds(retry)))
+		return
+	}
+	if !s.adm.beginSweep() {
+		w.Header().Set("Retry-After", retryAfterSeconds(time.Second))
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("server at capacity (%d sweeps in flight); retry later or submit via /v1/jobs", s.adm.maxInflight))
+		return
+	}
+	defer s.adm.endSweep()
 	var req SweepRequest
-	if err := decodeBody(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+	if err := s.decodeBody(w, r, &req); err != nil {
+		httpBodyError(w, err)
 		return
 	}
 	jobs, err := s.resolveSweep(req)
@@ -503,17 +569,71 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, map[string]any{"status": "ok"})
 }
 
+// RegisterRequest is the POST /v1/workers/register body: the worker's own
+// advertised base URL. Re-POSTing is the heartbeat.
+type RegisterRequest struct {
+	URL string `json:"url"`
+}
+
+// RegisterResponse tells the registering worker the membership TTL; it
+// should heartbeat well within it (mgserve -register beats at TTL/3).
+type RegisterResponse struct {
+	URL        string  `json:"url"`
+	TTLSeconds float64 `json:"ttl_seconds"`
+}
+
+// handleRegister admits a worker into (or refreshes it in) the
+// coordinator's member table. 409 when this server is not a coordinator
+// or dynamic registration is disabled — registration against the wrong
+// process is a deployment bug worth a distinct status.
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		httpBodyError(w, err)
+		return
+	}
+	if s.coord == nil {
+		httpError(w, http.StatusConflict, fmt.Errorf("this server is not a coordinator"))
+		return
+	}
+	url, err := normalizeWorkerURL(req.URL)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	ttl, err := s.coord.Register(url)
+	if err != nil {
+		httpError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, RegisterResponse{URL: url, TTLSeconds: ttl.Seconds()})
+}
+
+// handleWorkers serves the member table (the same view /statsz embeds).
+func (s *Server) handleWorkers(w http.ResponseWriter, _ *http.Request) {
+	if s.coord == nil {
+		httpError(w, http.StatusConflict, fmt.Errorf("this server is not a coordinator"))
+		return
+	}
+	writeJSON(w, s.coord.Members())
+}
+
 // statsResponse is the /statsz body.
 type statsResponse struct {
-	Mode          string       `json:"mode"` // "single" or "coordinator"
-	Engine        sim.Stats    `json:"engine"`
-	PipelineSims  int64        `json:"pipeline_sims"`
-	Store         *store.Stats `json:"store,omitempty"`
-	Workers       int          `json:"workers"`
-	WorkerURLs    []string     `json:"worker_urls,omitempty"`
-	Jobs          JobsStats    `json:"jobs"`
-	UptimeSeconds float64      `json:"uptime_seconds"`
-	Experiments   []string     `json:"experiments"`
+	Mode         string       `json:"mode"` // "single" or "coordinator"
+	Engine       sim.Stats    `json:"engine"`
+	PipelineSims int64        `json:"pipeline_sims"`
+	Store        *store.Stats `json:"store,omitempty"`
+	Workers      int          `json:"workers"`
+	WorkerURLs   []string     `json:"worker_urls,omitempty"`
+	// Members is the coordinator's live member table — static and
+	// registered workers with last-heartbeat ages.
+	Members   []MemberStatus `json:"members,omitempty"`
+	Admission AdmissionStats `json:"admission"`
+	Jobs      JobsStats      `json:"jobs"`
+
+	UptimeSeconds float64  `json:"uptime_seconds"`
+	Experiments   []string `json:"experiments"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -523,6 +643,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Engine:        st,
 		PipelineSims:  st.PipelineSims(),
 		Workers:       s.eng.Workers(),
+		Admission:     s.adm.stats(),
 		Jobs:          s.jobs.stats(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Experiments:   experiments.IDs(),
@@ -530,6 +651,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if s.coord != nil {
 		resp.Mode = "coordinator"
 		resp.WorkerURLs = s.coord.WorkerURLs()
+		resp.Members = s.coord.Members()
 	}
 	if st := s.eng.Store(); st != nil {
 		ss := st.Stats()
@@ -538,10 +660,22 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, resp)
 }
 
-func decodeBody(r *http.Request, v any) error {
-	dec := json.NewDecoder(r.Body)
+// decodeBody strictly decodes a JSON request body, capped at
+// Options.MaxBodyBytes: a body past the cap surfaces as
+// *http.MaxBytesError (rendered as 413 by httpBodyError), and
+// MaxBytesReader also closes the connection so the client stops sending.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	body := r.Body
+	if s.maxBody > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	}
+	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return fmt.Errorf("request body exceeds the %d-byte limit: %w", mbe.Limit, err)
+		}
 		return fmt.Errorf("bad request body: %w", err)
 	}
 	if dec.More() {
@@ -575,6 +709,17 @@ func writeReport(w http.ResponseWriter, rep *sim.Report) {
 	w.Header().Set("Content-Type", "application/json")
 	_, _ = w.Write(data)
 	_, _ = w.Write([]byte("\n"))
+}
+
+// httpBodyError reports a decodeBody failure: 413 when the body tripped
+// the size cap, 400 otherwise.
+func httpBodyError(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		httpError(w, http.StatusRequestEntityTooLarge, err)
+		return
+	}
+	httpError(w, http.StatusBadRequest, err)
 }
 
 func httpError(w http.ResponseWriter, status int, err error) {

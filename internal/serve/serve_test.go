@@ -17,13 +17,23 @@ import (
 	"minigraph/internal/store"
 )
 
+// mustNew builds a server out of options every test expects to be valid.
+func mustNew(t *testing.T, o Options) *Server {
+	t.Helper()
+	srv, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
 func newTestServer(t *testing.T, st *store.Store) (*httptest.Server, *sim.Engine) {
 	t.Helper()
 	eng := sim.New(2)
 	if st != nil {
 		eng.WithStore(st)
 	}
-	srv := New(Options{Engine: eng, MaxSweepJobs: 16})
+	srv := mustNew(t, Options{Engine: eng, MaxSweepJobs: 16})
 	ts := httptest.NewServer(srv)
 	t.Cleanup(func() {
 		ts.Close()
@@ -524,7 +534,7 @@ func TestSweepClientDisconnect(t *testing.T) {
 		t.Skip("full-run sweep; skipped in -short")
 	}
 	eng := sim.New(1) // serialize arms so cancellation lands mid-sweep
-	srv := New(Options{Engine: eng})
+	srv := mustNew(t, Options{Engine: eng})
 	defer srv.Close()
 
 	const arms = 16

@@ -50,6 +50,12 @@ type Engine struct {
 	live    bool // force live emulation sources (golden-invariance testing)
 	gangOff bool // disable gang replay in RunEach (solo-path benchmarking)
 
+	// traceFetch, when set, is consulted for a trace blob that is neither
+	// in memory nor in the store before falling back to capturing (see
+	// WithTraceFetcher). The serving tier uses it to move blobs between
+	// workers when membership changes re-route an arm.
+	traceFetch func(ctx context.Context, key TraceKey) ([]byte, error)
+
 	mu     sync.Mutex
 	preps  map[PrepareKey]*call[*Prepared]
 	sims   map[SimKey]*call[*Outcome]
@@ -74,11 +80,13 @@ type Engine struct {
 	storeMisses atomic.Int64
 	storePuts   atomic.Int64
 
-	traceRuns      atomic.Int64
-	traceCaptures  atomic.Int64
-	traceHits      atomic.Int64
-	traceStoreHits atomic.Int64
-	traceBytes     atomic.Int64
+	traceRuns        atomic.Int64
+	traceCaptures    atomic.Int64
+	traceHits        atomic.Int64
+	traceStoreHits   atomic.Int64
+	traceBytes       atomic.Int64
+	tracePeerHits    atomic.Int64
+	tracePeerRejects atomic.Int64
 
 	gangsFormed atomic.Int64
 	gangArmsRun atomic.Int64
@@ -127,6 +135,13 @@ type Stats struct {
 	TraceReplayHits int64 `json:"trace_replay_hits"`
 	TraceStoreHits  int64 `json:"trace_store_hits,omitempty"`
 	TraceBytes      int64 `json:"trace_bytes,omitempty"`
+
+	// Peer-transfer counters (see WithTraceFetcher). TracePeerHits counts
+	// traces adopted from a peer instead of being captured or re-captured;
+	// TracePeerRejects counts fetch attempts that failed or returned a
+	// damaged blob (CRC mismatch) and fell back to capturing.
+	TracePeerHits    int64 `json:"trace_peer_hits,omitempty"`
+	TracePeerRejects int64 `json:"trace_peer_rejects,omitempty"`
 
 	// Gang-replay counters (see internal/sim/gang.go). GangsFormed counts
 	// gangs actually run; GangArms the arms those gangs carried (mean gang
@@ -222,6 +237,52 @@ func (e *Engine) WithStore(s *store.Store) *Engine {
 // Store returns the attached persistent store (nil if none).
 func (e *Engine) Store() *store.Store { return e.store }
 
+// WithTraceFetcher installs a hook consulted when a simulation needs a
+// trace that is neither memoized in memory nor present in the store: f
+// returns the encoded blob (the trace package's CRC-framed binary codec)
+// or an error. A (nil, nil) return means "no source available" and is not
+// counted. The blob is CRC-checked on arrival — any damage counts as a
+// reject and the engine falls back to capturing, never to a wrong replay —
+// and an adopted blob is written through to the store. The serving tier
+// uses this to fetch blobs from peer workers when membership changes
+// re-route an arm. Set before submitting jobs (the field is not
+// synchronized); e is returned for chaining.
+func (e *Engine) WithTraceFetcher(f func(ctx context.Context, key TraceKey) ([]byte, error)) *Engine {
+	e.traceFetch = f
+	return e
+}
+
+// TraceBlob returns the encoded blob (trace binary codec) for key from
+// the in-memory trace cache or the attached store. ok is false when the
+// trace is not resident — a capture in flight does not count, so a peer
+// asking mid-capture simply falls back to its own sources.
+func (e *Engine) TraceBlob(key TraceKey) ([]byte, bool) {
+	e.mu.Lock()
+	c, ok := e.traces[key]
+	e.mu.Unlock()
+	if ok {
+		select {
+		case <-c.done:
+			if c.err == nil && c.val != nil && c.val.trace != nil {
+				return trace.Encode(c.val.trace), true
+			}
+		default: // still capturing; try the store
+		}
+	}
+	if e.store != nil {
+		if kb, err := EncodeTraceKey(key); err == nil {
+			if data, ok := e.store.Get(kb); ok {
+				// Validate before serving: a damaged entry must read as a
+				// miss here just as it would on replay.
+				if _, err := trace.Decode(data); err == nil {
+					return data, true
+				}
+			}
+		}
+	}
+	return nil, false
+}
+
 // WithGangReplay enables or disables gang replay in Run/RunEach (enabled
 // by default): sweep jobs sharing a TraceKey interleave their pipelines
 // over one shared-decode trace traversal instead of walking private
@@ -259,6 +320,8 @@ func (e *Engine) Stats() Stats {
 		TraceReplayHits:   e.traceHits.Load(),
 		TraceStoreHits:    e.traceStoreHits.Load(),
 		TraceBytes:        e.traceBytes.Load(),
+		TracePeerHits:     e.tracePeerHits.Load(),
+		TracePeerRejects:  e.tracePeerRejects.Load(),
 		GangsFormed:       e.gangsFormed.Load(),
 		GangArms:          e.gangArmsRun.Load(),
 		GangSharedRecords: e.gangShared.Load(),
@@ -411,6 +474,28 @@ func (e *Engine) captureTraceLocked(ctx context.Context, tk TraceKey, key SimKey
 							return ct, nil
 						}
 					}
+				}
+			}
+			// Neither memory nor store has the capture; before emulating,
+			// try to adopt the blob from a peer. The frame is CRC-checked,
+			// so a damaged transfer degrades to a re-capture, never to a
+			// wrong replay.
+			if e.traceFetch != nil {
+				if data, err := e.traceFetch(ctx, tk); err != nil {
+					e.tracePeerRejects.Add(1)
+				} else if data != nil {
+					if tr, err := trace.Decode(data); err == nil {
+						e.tracePeerHits.Add(1)
+						e.traceBytes.Add(tr.SizeBytes())
+						ct.trace = tr
+						if keyBytes != nil {
+							if e.store.Put(keyBytes, data) == nil {
+								e.storePuts.Add(1)
+							}
+						}
+						return ct, nil
+					}
+					e.tracePeerRejects.Add(1)
 				}
 			}
 			var mgt *core.MGT

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestTraceFetcherAdoptsPeerBlob: an engine whose trace fetcher serves
+// another engine's encoded blob replays it without ever capturing, a
+// damaged blob is rejected by the CRC frame and falls back to capture,
+// and a fetcher with no source is a silent no-op — in every case the
+// outcome bytes are identical.
+func TestTraceFetcherAdoptsPeerBlob(t *testing.T) {
+	ctx := context.Background()
+	job := baselineTestJob()
+	job.Config.MaxRecords = 3000
+
+	src := New(2)
+	ref, err := src.Simulate(ctx, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := EncodeOutcome(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk := job.Key().TraceKey()
+	blob, ok := src.TraceBlob(tk)
+	if !ok || len(blob) == 0 {
+		t.Fatalf("source engine cannot serve its own trace blob (ok=%v, %d bytes)", ok, len(blob))
+	}
+	if _, ok := src.TraceBlob(TraceKey{}); ok {
+		t.Fatal("blob served for a trace that was never captured")
+	}
+
+	var fetched atomic.Int64
+	peer := New(2).WithTraceFetcher(func(_ context.Context, key TraceKey) ([]byte, error) {
+		fetched.Add(1)
+		if key != tk {
+			return nil, fmt.Errorf("asked for unexpected key %+v", key)
+		}
+		return blob, nil
+	})
+	got, err := peer.Simulate(ctx, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBytes, err := EncodeOutcome(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotBytes, want) {
+		t.Fatal("outcome replayed from a fetched blob differs from the source engine's")
+	}
+	if n := fetched.Load(); n != 1 {
+		t.Errorf("fetcher called %d times, want 1", n)
+	}
+	st := peer.Stats()
+	if st.TraceCaptures != 0 || st.TracePeerHits != 1 || st.TracePeerRejects != 0 {
+		t.Errorf("adopting engine captured anyway: %+v", st)
+	}
+
+	// A damaged blob must fail the CRC check and degrade to a re-capture,
+	// never to a wrong replay.
+	bad := append([]byte(nil), blob...)
+	bad[len(bad)-1] ^= 0xff
+	damaged := New(2).WithTraceFetcher(func(context.Context, TraceKey) ([]byte, error) {
+		return bad, nil
+	})
+	got, err = damaged.Simulate(ctx, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotBytes, err = EncodeOutcome(got); err != nil || !bytes.Equal(gotBytes, want) {
+		t.Fatalf("outcome after damaged-blob fallback differs (%v)", err)
+	}
+	st = damaged.Stats()
+	if st.TracePeerRejects != 1 || st.TracePeerHits != 0 || st.TraceCaptures != 1 {
+		t.Errorf("damaged blob not rejected into a re-capture: %+v", st)
+	}
+
+	// (nil, nil) means "no source": not a hit, not a reject, plain capture.
+	none := New(2).WithTraceFetcher(func(context.Context, TraceKey) ([]byte, error) {
+		return nil, nil
+	})
+	if _, err := none.Simulate(ctx, job); err != nil {
+		t.Fatal(err)
+	}
+	st = none.Stats()
+	if st.TracePeerHits != 0 || st.TracePeerRejects != 0 || st.TraceCaptures != 1 {
+		t.Errorf("sourceless fetcher perturbed counters: %+v", st)
+	}
+}

@@ -76,3 +76,52 @@ if [ "$worker_runs" -lt 4 ]; then
   exit 1
 fi
 echo "service smoke OK ($worker_runs worker simulations)"
+
+# --- Dynamic membership pass ----------------------------------------
+# A dynamic coordinator starts with an empty tier; workers join by
+# registering, the tier survives a worker death mid-lifetime, and the
+# re-run sweep report is byte-identical to the one before the churn.
+dcoord=http://127.0.0.1:18460
+"$work/mgserve" -addr 127.0.0.1:18460 -cache-dir "$work/dcoord" \
+  -coordinator -member-ttl 3s &
+wait_healthy "$dcoord"
+
+"$work/mgserve" -addr 127.0.0.1:18461 -cache-dir "$work/w3" \
+  -register "$dcoord" -advertise http://127.0.0.1:18461 &
+w3=$!
+wait_healthy http://127.0.0.1:18461
+
+wait_members() { # wait until the coordinator sees $1 live members
+  for _ in $(seq 1 100); do
+    live=$(curl -fsS "$dcoord/v1/workers" | grep -c '"live": *true' || true)
+    [ "$live" -ge "$1" ] && return 0
+    sleep 0.2
+  done
+  echo "tier never reached $1 live members:" >&2
+  curl -fsS "$dcoord/v1/workers" >&2 || true
+  exit 1
+}
+wait_members 1
+
+dynreq='{"name":"dyn","jobs":[
+  {"arm":"sha/base","bench":"sha","baseline":true,"machine":"baseline","max_records":3000},
+  {"arm":"sha/mg","bench":"sha","max_records":3000}]}'
+r1=$(curl -fsS -X POST "$dcoord/v1/sweep" -d "$dynreq")
+echo "$r1" | grep -q '"metric": "ipc"' || { echo "dynamic sweep missing ipc rows" >&2; exit 1; }
+
+# A second worker joins, then the first one dies: routing must follow
+# the tier without the client seeing any of it.
+"$work/mgserve" -addr 127.0.0.1:18462 -cache-dir "$work/w4" \
+  -register "$dcoord" -advertise http://127.0.0.1:18462 &
+wait_healthy http://127.0.0.1:18462
+wait_members 2
+kill "$w3" 2>/dev/null
+wait "$w3" 2>/dev/null || true
+
+r2=$(curl -fsS -X POST "$dcoord/v1/sweep" -d "$dynreq")
+if [ "$r1" != "$r2" ]; then
+  echo "dynamic-tier report changed across membership churn" >&2
+  diff <(echo "$r1") <(echo "$r2") >&2 || true
+  exit 1
+fi
+echo "dynamic membership OK (report byte-identical across join + worker death)"
