@@ -9,8 +9,9 @@
 //
 // Usage:
 //
-//	mgbench -exp config|fig5|fig5dom|robust|fig6|fig7|policy|icache|fig8reg|fig8bw|ablate|all
-//	        [-benchmarks a,b,c] [-parallel N] [-cache-dir DIR] [-json] [-v]
+//	mgbench -exp config|fig5|fig5dom|robust|fig6|fig7|policy|icache|fig8reg|fig8bw|ablate|frontend|all
+//	        [-benchmarks a,b,c] [-predictor hybrid|tage] [-prefetcher none|delta]
+//	        [-parallel N] [-cache-dir DIR] [-json] [-v]
 //
 // With -json the artifacts are emitted as a JSON array of structured
 // reports (machine-readable rows) instead of text tables.
@@ -34,6 +35,8 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment id ("+strings.Join(experiments.IDs(), " ")+" all)")
 	benches := flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
+	predictor := flag.String("predictor", "", "branch predictor for every machine (hybrid tage; empty = presets)")
+	prefetcher := flag.String("prefetcher", "", "data prefetcher for every machine (none delta; empty = presets)")
 	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = NumCPU)")
 	cacheDir := flag.String("cache-dir", "", "persistent result store directory (empty = none)")
 	cacheMax := flag.Int64("cache-max-bytes", 0, "store size bound in bytes (0 = 1GiB default, negative = unbounded)")
@@ -58,6 +61,8 @@ func main() {
 	if *benches != "" {
 		o.Benchmarks = strings.Split(*benches, ",")
 	}
+	o.Predictor = *predictor
+	o.Prefetcher = *prefetcher
 	if *verbose {
 		o.Log = os.Stderr
 	}

@@ -14,6 +14,7 @@
 //
 //	mgprof [-out BENCH_pipeline.json] [-iters N]
 //	       [-benches gzip,sha] [-machines baseline,minigraph]
+//	       [-predictor hybrid|tage] [-prefetcher none|delta]
 //	       [-sweep-lats 0,110,...] [-no-sweep] [-gang=false]
 //	       [-cpuprofile cpu.out] [-memprofile mem.out]
 //
@@ -138,17 +139,40 @@ type job struct {
 	mgt     *minigraph.MGT
 }
 
+// frontend holds the -predictor/-prefetcher overrides, applied to every
+// machine configuration mgprof builds (measured pairs and sweep arms), so
+// front-end throughput cost shows up in the same report as everything else.
+var frontend struct{ predictor, prefetcher string }
+
+// frontendConfig applies the front-end flags to one machine configuration.
+// The flag values are validated in main, so this cannot fail mid-run.
+func frontendConfig(cfg minigraph.SimConfig) minigraph.SimConfig {
+	cfg, err := minigraph.FrontendConfig(cfg, frontend.predictor, frontend.prefetcher)
+	if err != nil {
+		panic(err) // unreachable: main validated the flags
+	}
+	return cfg
+}
+
 func main() {
 	out := flag.String("out", "BENCH_pipeline.json", "output path for the JSON report")
 	iters := flag.Int("iters", 3, "timed simulations per (bench, machine) pair")
 	benches := flag.String("benches", strings.Join(workload.BenchSubset(), ","), "comma-separated benchmark names")
 	machines := flag.String("machines", "baseline,minigraph", "comma-separated machines (baseline, minigraph)")
+	predictor := flag.String("predictor", "", "branch predictor for every machine (hybrid tage; empty = presets)")
+	prefetcher := flag.String("prefetcher", "", "data prefetcher for every machine (none delta; empty = presets)")
 	sweepLats := flag.String("sweep-lats", "0,110,120,130,140,150,160,170", "comma-separated DRAM latencies for the sweep")
 	noSweep := flag.Bool("no-sweep", false, "skip the sweep measurements (capture/replay and gang)")
 	gang := flag.Bool("gang", true, "measure the gang sweep (engine gang replay vs independent arms)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the timed loops")
 	memprofile := flag.String("memprofile", "", "write an allocation profile after the timed loops")
 	flag.Parse()
+
+	if _, err := minigraph.FrontendConfig(minigraph.BaselineConfig(), *predictor, *prefetcher); err != nil {
+		fmt.Fprintln(os.Stderr, "mgprof:", err)
+		os.Exit(2)
+	}
+	frontend.predictor, frontend.prefetcher = *predictor, *prefetcher
 
 	if err := run(*out, *iters, *benches, *machines, *sweepLats, *noSweep, *gang, *cpuprofile, *memprofile); err != nil {
 		fmt.Fprintln(os.Stderr, "mgprof:", err)
@@ -296,13 +320,13 @@ func prepare(benches, machines string) ([]job, error) {
 		for _, m := range strings.Split(machines, ",") {
 			switch strings.TrimSpace(m) {
 			case "baseline":
-				jobs = append(jobs, job{bench: name, machine: "baseline", cfg: minigraph.BaselineConfig(), prog: prog})
+				jobs = append(jobs, job{bench: name, machine: "baseline", cfg: frontendConfig(minigraph.BaselineConfig()), prog: prog})
 			case "minigraph":
 				rw, err := rewritten(name, prog)
 				if err != nil {
 					return nil, err
 				}
-				jobs = append(jobs, job{bench: name, machine: "minigraph", cfg: minigraph.MiniGraphConfig(true), prog: rw.Prog, mgt: rw.MGT})
+				jobs = append(jobs, job{bench: name, machine: "minigraph", cfg: frontendConfig(minigraph.MiniGraphConfig(true)), prog: rw.Prog, mgt: rw.MGT})
 			case "":
 			default:
 				return nil, fmt.Errorf("unknown machine %q (want baseline or minigraph)", m)
@@ -404,7 +428,7 @@ func measureSweep(benches string, lats []int) (*SweepStat, error) {
 	}
 	configs := make([]minigraph.SimConfig, len(lats))
 	for i, ml := range lats {
-		configs[i] = minigraph.MiniGraphConfig(true)
+		configs[i] = frontendConfig(minigraph.MiniGraphConfig(true))
 		configs[i].MemLatency = ml
 	}
 	sw := &SweepStat{Benches: names, MemLatencies: lats, Arms: len(targets) * len(configs)}
@@ -491,7 +515,7 @@ func measureGang(benches string, lats []int) (*GangStat, error) {
 	var jobs []minigraph.SimJob
 	for _, name := range names {
 		for _, ml := range lats {
-			cfg := minigraph.MiniGraphConfig(true)
+			cfg := frontendConfig(minigraph.MiniGraphConfig(true))
 			cfg.MemLatency = ml
 			jobs = append(jobs, minigraph.SimJob{
 				Prepare: minigraph.PrepareKey{Bench: name, Input: minigraph.InputTrain},

@@ -1,0 +1,117 @@
+// Front-end regression tests: the pluggable predictor/prefetcher axes must
+// (a) leave the default machines bit-identical to their pre-axis behavior,
+// (b) actually improve what they claim to improve — TAGE's mispredict rate
+// beats the hybrid's across the benchmark subset, and an enabled delta
+// prefetcher issues and lands useful prefetches on real workloads.
+package minigraph_test
+
+import (
+	"context"
+	"testing"
+
+	"minigraph/internal/sim"
+	"minigraph/internal/uarch"
+	"minigraph/internal/uarch/bpred"
+	"minigraph/internal/uarch/prefetch"
+	"minigraph/internal/workload"
+)
+
+// TestHybridDefaultsLockstep proves the predictor interface refactor is
+// invisible for the default front end: a machine spelling out the hybrid
+// kind and a disabled prefetcher produces a Result identical field-for-field
+// to the implicit default machine. (The golden fixtures extend this to all
+// eleven experiments byte-for-byte.)
+func TestHybridDefaultsLockstep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing simulations in -short mode")
+	}
+	eng := sim.New(0)
+	pk := sim.PrepareKey{Bench: "sha", Input: workload.InputTrain}
+	explicit := uarch.Baseline()
+	explicit.BPred = bpred.DefaultConfig()
+	explicit.Prefetcher = prefetch.Config{Kind: prefetch.KindNone}
+	ja, jb := sim.Baseline(pk, uarch.Baseline()), sim.Baseline(pk, explicit)
+	if ja.Key() != jb.Key() {
+		t.Fatalf("explicit default front end changed the sim key:\n%+v\n%+v", ja.Key(), jb.Key())
+	}
+	outs, err := eng.RunEach(context.Background(), []sim.SimJob{ja, jb}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *outs[0].Result != *outs[1].Result {
+		t.Errorf("explicit hybrid/none defaults diverged from the implicit default:\n%+v\n%+v",
+			outs[0].Result, outs[1].Result)
+	}
+}
+
+// TestTageBeatsHybridOnSubset is the predictor acceptance bar: aggregated
+// over the benchmark subset, the TAGE machine's conditional-mispredict rate
+// must come in under the hybrid's.
+func TestTageBeatsHybridOnSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing simulations in -short mode")
+	}
+	eng := sim.New(0)
+	tageCfg := uarch.Baseline()
+	tageCfg.BPred = bpred.TageConfig()
+	var jobs []sim.SimJob
+	for _, name := range workload.BenchSubset() {
+		pk := sim.PrepareKey{Bench: name, Input: workload.InputTrain}
+		jobs = append(jobs, sim.Baseline(pk, uarch.Baseline()), sim.Baseline(pk, tageCfg))
+	}
+	outs, err := eng.RunEach(context.Background(), jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen, miss [2]int64 // [0] hybrid, [1] tage
+	for i, out := range outs {
+		seen[i%2] += out.Result.CondBranches
+		miss[i%2] += out.Result.CondMispredicts
+	}
+	if seen[0] == 0 || seen[1] == 0 {
+		t.Fatal("no conditional branches measured")
+	}
+	hr := float64(miss[0]) / float64(seen[0])
+	tr := float64(miss[1]) / float64(seen[1])
+	t.Logf("cond mispredict rate: hybrid %.4f (%d/%d), tage %.4f (%d/%d)", hr, miss[0], seen[0], tr, miss[1], seen[1])
+	if tr >= hr {
+		t.Errorf("TAGE mispredict rate %.4f is not below hybrid %.4f on the benchmark subset", tr, hr)
+	}
+}
+
+// TestDeltaPrefetcherLiveCounters runs a real workload with the delta
+// prefetcher enabled and checks the plumbing end to end: prefetches are
+// issued into the cache hierarchy, some land usefully, the counters survive
+// into the Result, and the machine still executes to the same retirement.
+func TestDeltaPrefetcherLiveCounters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing simulations in -short mode")
+	}
+	eng := sim.New(0)
+	pk := sim.PrepareKey{Bench: "gzip", Input: workload.InputTrain}
+	pf := uarch.Baseline()
+	pf.Prefetcher = prefetch.DefaultDelta()
+	outs, err := eng.RunEach(context.Background(), []sim.SimJob{
+		sim.Baseline(pk, uarch.Baseline()),
+		sim.Baseline(pk, pf),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, with := outs[0].Result, outs[1].Result
+	if plain.PrefetchIssued != 0 || plain.PrefetchUseful != 0 || plain.PrefetchLate != 0 {
+		t.Errorf("disabled prefetcher counted traffic: %+v", plain)
+	}
+	if with.PrefetchIssued == 0 {
+		t.Error("delta prefetcher issued nothing on gzip")
+	}
+	if with.PrefetchUseful == 0 {
+		t.Error("no prefetch was ever hit by a demand access")
+	}
+	if with.PrefetchUseful > with.PrefetchIssued {
+		t.Errorf("useful %d > issued %d", with.PrefetchUseful, with.PrefetchIssued)
+	}
+	if with.Retired != plain.Retired {
+		t.Errorf("prefetching changed retirement: %d vs %d instructions", with.Retired, plain.Retired)
+	}
+}

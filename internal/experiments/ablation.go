@@ -48,10 +48,10 @@ func Ablations(o Options) (*Artifact, error) {
 	jobs := make([]sim.SimJob, 0, stride*len(benches))
 	labels := make([]string, 0, cap(jobs))
 	for _, b := range benches {
-		jobs = append(jobs, baselineJob(b))
+		jobs = append(jobs, o.baselineJob(b))
 		labels = append(labels, "ablate: "+b.Name+" baseline")
 		for _, a := range ablationArms {
-			cfg := machineFor(a.intMem, false)
+			cfg := o.machineFor(a.intMem, false)
 			if a.mutate != nil {
 				a.mutate(&cfg)
 			}

@@ -21,6 +21,8 @@
 //	fig8bw  — pipeline-bandwidth reduction and 2-cycle scheduler (Figure 8
 //	          bottom)
 //	ablate  — design-choice sensitivity knobs
+//	frontend — IPC amplification under front-end variation (hybrid/TAGE
+//	          predictor × no-prefetch/delta prefetcher)
 package experiments
 
 import (
@@ -36,6 +38,8 @@ import (
 	"minigraph/internal/sim"
 	"minigraph/internal/stats"
 	"minigraph/internal/uarch"
+	"minigraph/internal/uarch/bpred"
+	"minigraph/internal/uarch/prefetch"
 	"minigraph/internal/workload"
 )
 
@@ -60,6 +64,13 @@ type Options struct {
 	// once across every experiment that shares it. When nil each experiment
 	// call builds a private engine.
 	Engine *sim.Engine
+
+	// Predictor and Prefetcher override the front end of every machine the
+	// experiments build ("" keeps the presets' defaults: hybrid predictor,
+	// no prefetcher). The frontend experiment ignores them — it sweeps both
+	// axes itself.
+	Predictor  string
+	Prefetcher string
 }
 
 // DefaultOptions match the paper's main configuration.
@@ -136,11 +147,44 @@ func (a *Artifact) String() string {
 
 // IDs lists the experiment identifiers in canonical (paper) order.
 func IDs() []string {
-	return []string{"config", "fig5", "fig5dom", "robust", "fig6", "fig7", "policy", "icache", "fig8reg", "fig8bw", "ablate"}
+	return []string{"config", "fig5", "fig5dom", "robust", "fig6", "fig7", "policy", "icache", "fig8reg", "fig8bw", "ablate", "frontend"}
+}
+
+// checkFrontend rejects unknown front-end override names before any
+// experiment builds a machine from them (uarch.Config.Validate would
+// otherwise panic inside an engine worker).
+func (o *Options) checkFrontend() error {
+	switch o.Predictor {
+	case "", bpred.KindHybrid, bpred.KindTAGE:
+	default:
+		return fmt.Errorf("experiments: unknown predictor %q (known: %s)", o.Predictor, strings.Join(bpred.Kinds(), " "))
+	}
+	switch o.Prefetcher {
+	case "", prefetch.KindNone, prefetch.KindDelta:
+	default:
+		return fmt.Errorf("experiments: unknown prefetcher %q (known: %s)", o.Prefetcher, strings.Join(prefetch.Kinds(), " "))
+	}
+	return nil
+}
+
+// applyFrontend rewrites one machine configuration with the Options-level
+// front-end overrides. Empty overrides return cfg unchanged, so default
+// runs stay byte-identical to their golden fixtures.
+func (o *Options) applyFrontend(cfg uarch.Config) uarch.Config {
+	if o.Predictor == bpred.KindTAGE {
+		cfg.BPred = bpred.TageConfig()
+	}
+	if o.Prefetcher == prefetch.KindDelta {
+		cfg.Prefetcher = prefetch.DefaultDelta()
+	}
+	return cfg
 }
 
 // Run regenerates one experiment by id.
 func Run(id string, o Options) (*Artifact, error) {
+	if err := o.checkFrontend(); err != nil {
+		return nil, err
+	}
 	switch id {
 	case "config":
 		t := ConfigTable()
@@ -172,6 +216,8 @@ func Run(id string, o Options) (*Artifact, error) {
 		return Fig8Bandwidth(o)
 	case "ablate":
 		return Ablations(o)
+	case "frontend":
+		return Frontend(o)
 	}
 	return nil, fmt.Errorf("unknown experiment %q", id)
 }
@@ -205,9 +251,11 @@ func mgJob(b *workload.Benchmark, pol core.Policy, entries int, cfg uarch.Config
 	}
 }
 
-// baselineJob is the shared 6-wide baseline simulation for b.
-func baselineJob(b *workload.Benchmark) sim.SimJob {
-	return sim.Baseline(prepKey(b, workload.InputTrain), uarch.Baseline())
+// baselineJob is the shared 6-wide baseline simulation for b, under the
+// options' front-end overrides (default runs share one baseline key across
+// every experiment).
+func (o *Options) baselineJob(b *workload.Benchmark) sim.SimJob {
+	return sim.Baseline(prepKey(b, workload.InputTrain), o.applyFrontend(uarch.Baseline()))
 }
 
 // policyFor builds the extraction policy for an experiment arm.
@@ -218,12 +266,13 @@ func policyFor(intMem bool, maxSize int) core.Policy {
 	return pol
 }
 
-// machineFor builds the timing configuration for an experiment arm.
-func machineFor(intMem, collapse bool) uarch.Config {
+// machineFor builds the timing configuration for an experiment arm, under
+// the options' front-end overrides.
+func (o *Options) machineFor(intMem, collapse bool) uarch.Config {
 	cfg := uarch.MiniGraph(intMem)
 	cfg.Collapse = collapse
 	if collapse {
 		cfg.Name += "+collapse"
 	}
-	return cfg
+	return o.applyFrontend(cfg)
 }

@@ -30,7 +30,7 @@ func Fig8Regs(o Options) (*Artifact, error) {
 	jobs := make([]sim.SimJob, 0, stride*len(benches))
 	labels := make([]string, 0, cap(jobs))
 	for _, b := range benches {
-		jobs = append(jobs, baselineJob(b))
+		jobs = append(jobs, o.baselineJob(b))
 		labels = append(labels, "fig8reg: "+b.Name+" reference")
 		for _, regs := range regSweep {
 			cfg := uarch.Baseline()
@@ -39,7 +39,7 @@ func Fig8Regs(o Options) (*Artifact, error) {
 			jobs = append(jobs, sim.Baseline(prepKey(b, workload.InputTrain), cfg))
 			labels = append(labels, fmt.Sprintf("fig8reg: %s base/%d", b.Name, regs))
 			for _, intMem := range []bool{false, true} {
-				mcfg := machineFor(intMem, false)
+				mcfg := o.machineFor(intMem, false)
 				mcfg.PhysRegs = regs
 				jobs = append(jobs, mgJob(b, policyFor(intMem, o.MaxSize), o.MGTEntries, mcfg, false))
 				kind := "int"
@@ -156,7 +156,7 @@ func Fig8Bandwidth(o Options) (*Artifact, error) {
 	jobs := make([]sim.SimJob, 0, stride*len(benches))
 	labels := make([]string, 0, cap(jobs))
 	for _, b := range benches {
-		jobs = append(jobs, baselineJob(b))
+		jobs = append(jobs, o.baselineJob(b))
 		labels = append(labels, "fig8bw: "+b.Name+" reference")
 		for _, kind := range kinds {
 			jobs = append(jobs, sim.Baseline(prepKey(b, workload.InputTrain), fig8bwBase(kind)))

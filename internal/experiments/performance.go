@@ -48,10 +48,10 @@ func Fig6(o Options) (*Artifact, []PerfRow, error) {
 	jobs := make([]sim.SimJob, 0, stride*len(benches))
 	labels := make([]string, 0, cap(jobs))
 	for _, b := range benches {
-		jobs = append(jobs, baselineJob(b))
+		jobs = append(jobs, o.baselineJob(b))
 		labels = append(labels, "fig6: "+b.Name+" baseline")
 		for _, a := range fig6Arms {
-			cfg := machineFor(a.intMem, a.collapse)
+			cfg := o.machineFor(a.intMem, a.collapse)
 			jobs = append(jobs, mgJob(b, policyFor(a.intMem, o.MaxSize), o.MGTEntries, cfg, false))
 			labels = append(labels, "fig6: "+b.Name+" "+a.name)
 		}
@@ -143,14 +143,14 @@ func Fig7(o Options) (*Artifact, map[string][]float64, error) {
 	jobs := make([]sim.SimJob, 0, stride*len(benches))
 	labels := make([]string, 0, cap(jobs))
 	for _, b := range benches {
-		jobs = append(jobs, baselineJob(b))
+		jobs = append(jobs, o.baselineJob(b))
 		labels = append(labels, "fig7: "+b.Name+" baseline")
 		for _, arm := range fig7Arms {
 			pol := policyFor(arm.intMem, o.MaxSize)
 			if arm.mut != nil {
 				arm.mut(&pol)
 			}
-			jobs = append(jobs, mgJob(b, pol, o.MGTEntries, machineFor(arm.intMem, false), false))
+			jobs = append(jobs, mgJob(b, pol, o.MGTEntries, o.machineFor(arm.intMem, false), false))
 			labels = append(labels, "fig7: "+b.Name+" "+arm.name)
 		}
 	}
@@ -243,9 +243,9 @@ func ICache(o Options) (*Artifact, error) {
 	jobs := make([]sim.SimJob, 0, stride*len(benches))
 	labels := make([]string, 0, cap(jobs))
 	for _, b := range benches {
-		jobs = append(jobs, baselineJob(b))
+		jobs = append(jobs, o.baselineJob(b))
 		labels = append(labels, "icache: "+b.Name+" baseline")
-		cfg := machineFor(true, false)
+		cfg := o.machineFor(true, false)
 		for _, compress := range []bool{false, true} {
 			jobs = append(jobs, mgJob(b, policyFor(true, o.MaxSize), o.MGTEntries, cfg, compress))
 			if compress {

@@ -52,6 +52,8 @@ import (
 	"minigraph/internal/sim"
 	"minigraph/internal/store"
 	"minigraph/internal/uarch"
+	"minigraph/internal/uarch/bpred"
+	"minigraph/internal/uarch/prefetch"
 	"minigraph/internal/workload"
 )
 
@@ -276,6 +278,16 @@ type JobSpec struct {
 	SchedCycles int   `json:"sched_cycles,omitempty"`
 	MemLatency  int   `json:"mem_latency,omitempty"`
 	MaxRecords  int64 `json:"max_records,omitempty"`
+
+	// Front-end overrides. Predictor selects the branch predictor kind
+	// ("hybrid" default, "tage"); Prefetcher the data prefetcher ("none"
+	// default, "delta"). The prefetch sizing fields override the selected
+	// prefetcher's defaults (0 = default) and are rejected without one.
+	Predictor        string `json:"predictor,omitempty"`
+	Prefetcher       string `json:"prefetcher,omitempty"`
+	PrefetchEntries  int    `json:"prefetch_entries,omitempty"`
+	PrefetchDegree   int    `json:"prefetch_degree,omitempty"`
+	PrefetchDistance int    `json:"prefetch_distance,omitempty"`
 }
 
 // Resolve validates the spec and builds the engine job.
@@ -342,6 +354,37 @@ func (js JobSpec) Resolve() (sim.SimJob, error) {
 		return job, fmt.Errorf("max_records must be non-negative")
 	}
 	cfg.MaxRecords = js.MaxRecords
+	switch js.Predictor {
+	case "", bpred.KindHybrid:
+		// The presets already carry the hybrid predictor.
+	case bpred.KindTAGE:
+		cfg.BPred = bpred.TageConfig()
+	default:
+		return job, fmt.Errorf("unknown predictor %q (known: %s)", js.Predictor, strings.Join(bpred.Kinds(), " "))
+	}
+	switch js.Prefetcher {
+	case "", prefetch.KindNone:
+		if js.PrefetchEntries != 0 || js.PrefetchDegree != 0 || js.PrefetchDistance != 0 {
+			return job, fmt.Errorf("prefetch sizing overrides require prefetcher %q", prefetch.KindDelta)
+		}
+	case prefetch.KindDelta:
+		pf := prefetch.DefaultDelta()
+		if js.PrefetchEntries != 0 {
+			pf.Entries = js.PrefetchEntries
+		}
+		if js.PrefetchDegree != 0 {
+			pf.Degree = js.PrefetchDegree
+		}
+		if js.PrefetchDistance != 0 {
+			pf.Distance = js.PrefetchDistance
+		}
+		if err := pf.Validate(); err != nil {
+			return job, err
+		}
+		cfg.Prefetcher = pf
+	default:
+		return job, fmt.Errorf("unknown prefetcher %q (known: %s)", js.Prefetcher, strings.Join(prefetch.Kinds(), " "))
+	}
 	// No stream-window fixup is needed for any accepted override: the live
 	// stream derives its rewind window from the machine's own squash depth
 	// (Config.EffectiveStreamWindow), and replay sources retain the whole
@@ -422,10 +465,11 @@ type SweepRequest struct {
 	Jobs  []JobSpec `json:"jobs"`
 }
 
-// SweepReport assembles the canonical sweep Report: per arm, the cycles
-// and IPC of the simulation plus extraction coverage when the job
-// extracted. This is the exact structure /v1/sweep responds with, exported
-// so in-process callers can produce byte-identical output.
+// SweepReport assembles the canonical sweep Report: per arm, the cycles,
+// IPC and conditional-mispredict rate of the simulation, the prefetch
+// counters when the arm's machine prefetched, plus extraction coverage
+// when the job extracted. This is the exact structure /v1/sweep responds
+// with, exported so in-process callers can produce byte-identical output.
 func SweepReport(req SweepRequest, outs []*sim.Outcome) *sim.Report {
 	name := req.Name
 	if name == "" {
@@ -441,7 +485,15 @@ func SweepReport(req SweepRequest, outs []*sim.Outcome) *sim.Report {
 		rep.Add(
 			sim.Row{Bench: js.Bench, Arm: js.label(), Metric: "cycles", Value: float64(out.Result.Cycles)},
 			sim.Row{Bench: js.Bench, Arm: js.label(), Metric: "ipc", Value: out.Result.IPC()},
+			sim.Row{Bench: js.Bench, Arm: js.label(), Metric: "cond_mispredict_rate", Value: out.Result.CondMispredictRate()},
 		)
+		if out.Result.PrefetchIssued > 0 {
+			rep.Add(
+				sim.Row{Bench: js.Bench, Arm: js.label(), Metric: "prefetch_issued", Value: float64(out.Result.PrefetchIssued)},
+				sim.Row{Bench: js.Bench, Arm: js.label(), Metric: "prefetch_useful", Value: float64(out.Result.PrefetchUseful)},
+				sim.Row{Bench: js.Bench, Arm: js.label(), Metric: "prefetch_late", Value: float64(out.Result.PrefetchLate)},
+			)
+		}
 		if out.Selection != nil {
 			rep.Add(sim.Row{Bench: js.Bench, Arm: js.label(), Metric: "coverage", Value: out.Selection.Coverage()})
 		}

@@ -148,6 +148,56 @@ func TestSimulateValidation(t *testing.T) {
 	}
 }
 
+// TestFrontendOverrideValidation pins the front-end override contract:
+// unknown predictor/prefetcher kinds come back as structured JSON 400s
+// that list the valid kinds, and orphaned or impossible sizing is caught
+// at resolve time.
+func TestFrontendOverrideValidation(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	cases := []struct {
+		js   JobSpec
+		want string // substring the error must carry
+	}{
+		{JobSpec{Bench: "sha", Predictor: "perceptron"}, "hybrid tage"},
+		{JobSpec{Bench: "sha", Prefetcher: "markov"}, "none delta"},
+		{JobSpec{Bench: "sha", PrefetchDegree: 4}, "require prefetcher"},
+		{JobSpec{Bench: "sha", Prefetcher: "delta", PrefetchDegree: 99}, "degree"},
+		{JobSpec{Bench: "sha", Prefetcher: "delta", PrefetchEntries: 100}, "power of two"},
+	}
+	for i, c := range cases {
+		resp, out := postJSON(t, ts.URL+"/v1/simulate", c.js)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("case %d: status %d, body %s", i, resp.StatusCode, out)
+			continue
+		}
+		var e map[string]string
+		if err := json.Unmarshal(out, &e); err != nil || !strings.Contains(e["error"], c.want) {
+			t.Errorf("case %d: error body %s lacks %q", i, out, c.want)
+		}
+	}
+
+	// Valid overrides resolve to the matching machine configs and share the
+	// cache key with the spelled-out equivalents.
+	job, err := (JobSpec{Bench: "sha", Baseline: true, Predictor: "tage", Prefetcher: "delta", PrefetchDegree: 4}).Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Config.BPred.Kind != "tage" || job.Config.Prefetcher.Kind != "delta" || job.Config.Prefetcher.Degree != 4 {
+		t.Errorf("overrides not applied: %+v %+v", job.Config.BPred, job.Config.Prefetcher)
+	}
+	plain, err := (JobSpec{Bench: "sha", Baseline: true, Predictor: "hybrid", Prefetcher: "none"}).Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := (JobSpec{Bench: "sha", Baseline: true}).Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Key() != def.Key() {
+		t.Errorf("explicit default kinds changed the cache key:\n%+v\n%+v", plain.Key(), def.Key())
+	}
+}
+
 // TestMemLatencyOverride pins the mem_latency machine override: it is the
 // documented route to configurations whose memory latency chains exceed the
 // event wheel's page size (see the uarch overflow regression tests).

@@ -23,7 +23,11 @@ import (
 //	   derives its window from the machine, so the override is not part of
 //	   a simulation's identity), and TraceKey joined the key family for
 //	   persisted dynamic-trace blobs.
-const CodecVersion = 3
+//	4: pluggable front end — bpred.Config grew Kind + TAGE sizing,
+//	   uarch.Config grew Prefetcher, uarch.Result grew BTB/RAS and
+//	   prefetch counters, and SimKey canonicalizes both front-end axes
+//	   per kind (explicit kind, defaults filled, inactive sizing zeroed).
+const CodecVersion = 4
 
 // envelope is the versioned wrapper around every encoded value. Payload
 // stays raw so encode→decode→encode is byte-stable for any payload the

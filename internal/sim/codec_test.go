@@ -6,15 +6,30 @@ import (
 
 	"minigraph/internal/core"
 	"minigraph/internal/uarch"
+	"minigraph/internal/uarch/bpred"
+	"minigraph/internal/uarch/prefetch"
 	"minigraph/internal/workload"
 )
 
 // sampleKeys covers the key axes: baseline vs extracted, both inputs,
-// policy and machine variations.
+// policy, machine, and front-end (predictor/prefetcher) variations.
 func sampleKeys() []SimKey {
 	mg := uarch.MiniGraph(true)
 	mg.Collapse = true
+	tage := uarch.Baseline()
+	tage.BPred = bpred.TageConfig()
+	tage.Prefetcher = prefetch.DefaultDelta()
+	mgpf := uarch.MiniGraph(false)
+	mgpf.BPred.Kind = bpred.KindTAGE // sparse: canonicalization fills sizing
+	mgpf.Prefetcher = prefetch.Config{Kind: prefetch.KindDelta, Degree: 4}
 	keys := []SimKey{
+		Baseline(PrepareKey{Bench: "sha", Input: workload.InputTrain}, tage).Key(),
+		SimJob{
+			Prepare: PrepareKey{Bench: "gzip", Input: workload.InputTrain},
+			Policy:  core.DefaultPolicy(),
+			Entries: 128,
+			Config:  mgpf,
+		}.Key(),
 		Baseline(PrepareKey{Bench: "sha", Input: workload.InputTrain}, uarch.Baseline()).Key(),
 		Baseline(PrepareKey{Bench: "gzip", Input: workload.InputTest}, uarch.MiniGraph(false)).Key(),
 		SimJob{
@@ -87,6 +102,7 @@ func TestCodecRejects(t *testing.T) {
 		"empty":           nil,
 		"not json":        []byte("pipeline"),
 		"wrong version":   []byte(`{"v":999,"p":{}}`),
+		"previous (v3)":   []byte(`{"v":3,"p":{}}`),
 		"unknown field":   []byte(`{"v":1,"p":{"Bogus":1}}`),
 		"trailing":        append(append([]byte{}, good...), '1'),
 		"truncated":       good[:len(good)/2],
@@ -159,8 +175,12 @@ func FuzzKeyCanonicalization(f *testing.F) {
 	}
 	f.Add([]byte(`{"v":1,"p":{}}`))
 	f.Add([]byte(`{"v":2,"p":{}}`))
+	f.Add([]byte(`{"v":3,"p":{}}`))
 	f.Add([]byte(`{}`))
 	f.Add([]byte(``))
+	// Front-end axis seeds: kinds that canonicalization must normalize.
+	f.Add([]byte(`{"v":4,"p":{"Config":{"BPred":{"Kind":"tage"}}}}`))
+	f.Add([]byte(`{"v":4,"p":{"Config":{"Prefetcher":{"Kind":"delta","Degree":3}}}}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		key, err := DecodeSimKey(data)
 		if err != nil {

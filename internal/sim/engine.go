@@ -92,6 +92,15 @@ type Engine struct {
 	gangArmsRun atomic.Int64
 	gangShared  atomic.Int64
 	gangSolo    atomic.Int64
+
+	// Front-end counters summed over pipeline simulations executed
+	// in-process (store and cache hits do not re-count).
+	feCondBranches atomic.Int64
+	feCondMispreds atomic.Int64
+	feMispredicts  atomic.Int64
+	fePrefIssued   atomic.Int64
+	fePrefUseful   atomic.Int64
+	fePrefLate     atomic.Int64
 }
 
 // capturedTrace is one memoized capture: the rewritten binary (or the
@@ -152,6 +161,17 @@ type Stats struct {
 	GangArms          int64 `json:"gang_arms"`
 	GangSharedRecords int64 `json:"gang_shared_records"`
 	GangFallbackSolo  int64 `json:"gang_fallback_solo"`
+
+	// Front-end counters, summed over the uarch.Results of pipeline
+	// simulations executed in-process (store hits and memoized results do
+	// not re-count). Prefetch counters stay zero until a job enables a
+	// prefetcher.
+	CondBranches    int64 `json:"cond_branches"`
+	CondMispredicts int64 `json:"cond_mispredicts"`
+	Mispredicts     int64 `json:"branch_mispredicts"`
+	PrefetchIssued  int64 `json:"prefetch_issued"`
+	PrefetchUseful  int64 `json:"prefetch_useful"`
+	PrefetchLate    int64 `json:"prefetch_late"`
 }
 
 // PipelineSims is the number of timing simulations the engine actually
@@ -326,7 +346,25 @@ func (e *Engine) Stats() Stats {
 		GangArms:          e.gangArmsRun.Load(),
 		GangSharedRecords: e.gangShared.Load(),
 		GangFallbackSolo:  e.gangSolo.Load(),
+		CondBranches:      e.feCondBranches.Load(),
+		CondMispredicts:   e.feCondMispreds.Load(),
+		Mispredicts:       e.feMispredicts.Load(),
+		PrefetchIssued:    e.fePrefIssued.Load(),
+		PrefetchUseful:    e.fePrefUseful.Load(),
+		PrefetchLate:      e.fePrefLate.Load(),
 	}
+}
+
+// noteFrontend folds one executed simulation's front-end counters into the
+// engine totals. Called at the three places an in-process pipeline run
+// produces a Result: trace replay, live emulation, and gang arms.
+func (e *Engine) noteFrontend(res *uarch.Result) {
+	e.feCondBranches.Add(res.CondBranches)
+	e.feCondMispreds.Add(res.CondMispredicts)
+	e.feMispredicts.Add(res.Mispredicts)
+	e.fePrefIssued.Add(res.PrefetchIssued)
+	e.fePrefUseful.Add(res.PrefetchUseful)
+	e.fePrefLate.Add(res.PrefetchLate)
 }
 
 // call is one single-flight computation.
@@ -605,6 +643,7 @@ func (e *Engine) replay(ctx context.Context, key SimKey, cfgName string, ct *cap
 	if err != nil {
 		return nil, fmt.Errorf("%s @ %s: %w", key.Prepare.Bench, cfgName, err)
 	}
+	e.noteFrontend(res)
 	return res, nil
 }
 
@@ -627,6 +666,7 @@ func (e *Engine) simulateLive(ctx context.Context, key SimKey, cfgName string, p
 	if err != nil {
 		return nil, nil, fmt.Errorf("%s @ %s: %w", key.Prepare.Bench, cfgName, err)
 	}
+	e.noteFrontend(res)
 	return res, sel, nil
 }
 

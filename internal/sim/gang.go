@@ -329,6 +329,7 @@ func (e *Engine) finishArm(a *gangArm, ct *capturedTrace) {
 		e.fulfill(a.m, nil, fmt.Errorf("%s @ %s: %w", a.m.key.Prepare.Bench, a.m.cfgName, err))
 		return
 	}
+	e.noteFrontend(res)
 	out := &Outcome{Result: res, Selection: ct.sel}
 	if a.m.keyBytes != nil {
 		if data, err := EncodeOutcome(out); err == nil {

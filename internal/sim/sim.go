@@ -69,7 +69,12 @@ type SimJob struct {
 //   - Config.StreamWindow is a delivery-buffer override that cannot affect
 //     timing and is cleared;
 //   - baseline jobs zero the extraction axes (Policy, Entries, Compress),
-//     which do not affect an unrewritten binary.
+//     which do not affect an unrewritten binary;
+//   - the front-end axes canonicalize per kind (bpred.Config.Canonical,
+//     prefetch.Config.Canonical): kinds are made explicit, zero sizing
+//     fields take the kind's defaults, and the inactive kind's sizing is
+//     zeroed — a sparse `{"kind":"tage"}` override and the spelled-out
+//     default TAGE machine share one cache line.
 type SimKey struct {
 	Prepare  PrepareKey
 	Baseline bool
@@ -84,6 +89,8 @@ func (j SimJob) Key() SimKey {
 	k := SimKey{Prepare: j.Prepare, Baseline: j.Baseline, Config: j.Config}
 	k.Config.Name = ""
 	k.Config.StreamWindow = 0
+	k.Config.BPred = k.Config.BPred.Canonical()
+	k.Config.Prefetcher = k.Config.Prefetcher.Canonical()
 	if !j.Baseline {
 		k.Policy, k.Entries, k.Compress = j.Policy, j.Entries, j.Compress
 	}

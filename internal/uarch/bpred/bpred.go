@@ -1,26 +1,59 @@
-// Package bpred implements the branch predictors of the simulated machine:
-// a hybrid (bimodal + gshare + selector) direction predictor with a 12Kb
-// total budget, a 2K-entry 4-way set-associative branch target buffer, and a
-// return-address stack — the configuration described in §6 of the paper.
+// Package bpred implements the branch predictors of the simulated machine.
+// The direction predictor is pluggable behind the Predictor interface: the
+// paper's hybrid (bimodal + gshare + selector, 12Kb total budget — §6) and a
+// TAGE-class predictor with tagged geometric-history tables. Every kind
+// shares the same target machinery: a 2K-entry 4-way set-associative branch
+// target buffer and a return-address stack.
 package bpred
 
-import "minigraph/internal/isa"
+import (
+	"fmt"
+
+	"minigraph/internal/isa"
+)
+
+// Direction-predictor kinds selectable via Config.Kind.
+const (
+	KindHybrid = "hybrid"
+	KindTAGE   = "tage"
+)
+
+// Kinds lists the valid direction-predictor kinds (error messages, CLI and
+// serving-tier validation).
+func Kinds() []string { return []string{KindHybrid, KindTAGE} }
 
 // Config sizes the predictor structures. Counts must be powers of two.
 type Config struct {
+	// Kind selects the direction predictor ("" = KindHybrid).
+	Kind string
+
+	// Hybrid sizing (Kind == "hybrid").
 	BimodalEntries int // 2-bit counters
 	GshareEntries  int // 2-bit counters
 	ChooserEntries int // 2-bit counters
 	HistoryBits    int
-	BTBEntries     int
-	BTBAssoc       int
-	RASEntries     int
+
+	// TAGE sizing (Kind == "tage"). Histories are geometric between
+	// TageMinHist and TageMaxHist (<= 64: snapshots stay one word);
+	// TageUsefulPeriod is the update count between useful-counter halvings.
+	TageTables       int
+	TageEntries      int // per tagged table
+	TageTagBits      int
+	TageMinHist      int
+	TageMaxHist      int
+	TageUsefulPeriod int64
+
+	// Target machinery, shared by every kind.
+	BTBEntries int
+	BTBAssoc   int
+	RASEntries int
 }
 
 // DefaultConfig is the paper's 12Kb hybrid predictor (3 × 2K × 2-bit =
 // 12Kbit) with a 2K-entry 4-way BTB.
 func DefaultConfig() Config {
 	return Config{
+		Kind:           KindHybrid,
 		BimodalEntries: 2048,
 		GshareEntries:  2048,
 		ChooserEntries: 2048,
@@ -31,29 +64,249 @@ func DefaultConfig() Config {
 	}
 }
 
-// Predictor is the combined direction + target predictor.
-type Predictor struct {
-	cfg     Config
-	bimodal []uint8
-	gshare  []uint8
-	chooser []uint8 // high = use gshare
-	history uint64
+// TageConfig is the default TAGE-class predictor: four 1K-entry tagged
+// tables with geometric histories 5..64, a base bimodal fallback, and the
+// hybrid's BTB/RAS.
+func TageConfig() Config {
+	return Config{
+		Kind:             KindTAGE,
+		TageTables:       4,
+		TageEntries:      1024,
+		TageTagBits:      9,
+		TageMinHist:      5,
+		TageMaxHist:      64,
+		TageUsefulPeriod: 256 << 10,
+		BTBEntries:       2048,
+		BTBAssoc:         4,
+		RASEntries:       32,
+	}
+}
 
+// withDefaults fills every zero field from the active kind's default
+// configuration, so a sparse override (for instance a JobSpec that only
+// names the kind) builds the same machine as the fully spelled-out default.
+func (c Config) withDefaults() Config {
+	if c.Kind == "" {
+		c.Kind = KindHybrid
+	}
+	def := DefaultConfig()
+	if c.Kind == KindTAGE {
+		def = TageConfig()
+	}
+	fill := func(dst *int, v int) {
+		if *dst == 0 {
+			*dst = v
+		}
+	}
+	fill(&c.BimodalEntries, def.BimodalEntries)
+	fill(&c.GshareEntries, def.GshareEntries)
+	fill(&c.ChooserEntries, def.ChooserEntries)
+	fill(&c.HistoryBits, def.HistoryBits)
+	fill(&c.TageTables, def.TageTables)
+	fill(&c.TageEntries, def.TageEntries)
+	fill(&c.TageTagBits, def.TageTagBits)
+	fill(&c.TageMinHist, def.TageMinHist)
+	fill(&c.TageMaxHist, def.TageMaxHist)
+	if c.TageUsefulPeriod == 0 {
+		c.TageUsefulPeriod = def.TageUsefulPeriod
+	}
+	fill(&c.BTBEntries, def.BTBEntries)
+	fill(&c.BTBAssoc, def.BTBAssoc)
+	fill(&c.RASEntries, def.RASEntries)
+	return c
+}
+
+// Canonical maps every configuration that builds the same predictor to one
+// representative: the kind is made explicit, zero fields take the kind's
+// defaults, and the inactive kind's sizing (which the built machine never
+// reads) is zeroed. sim.SimKey canonicalization relies on this so sparse
+// and spelled-out configurations share a cache line.
+func (c Config) Canonical() Config {
+	c = c.withDefaults()
+	switch c.Kind {
+	case KindHybrid:
+		c.TageTables, c.TageEntries, c.TageTagBits = 0, 0, 0
+		c.TageMinHist, c.TageMaxHist, c.TageUsefulPeriod = 0, 0, 0
+	case KindTAGE:
+		c.BimodalEntries, c.GshareEntries, c.ChooserEntries, c.HistoryBits = 0, 0, 0, 0
+	}
+	return c
+}
+
+// Validate reports an impossible configuration.
+func (c Config) Validate() error {
+	d := c.withDefaults()
+	switch d.Kind {
+	case KindHybrid, KindTAGE:
+	default:
+		return fmt.Errorf("bpred: unknown predictor kind %q (known: hybrid tage)", c.Kind)
+	}
+	if d.Kind == KindTAGE {
+		switch {
+		case d.TageTables < 1 || d.TageTables > 16:
+			return fmt.Errorf("bpred: tage tables %d out of range", d.TageTables)
+		case d.TageMinHist < 1 || d.TageMaxHist > 64 || d.TageMinHist > d.TageMaxHist:
+			return fmt.Errorf("bpred: tage history range %d..%d invalid (max 64)", d.TageMinHist, d.TageMaxHist)
+		}
+	}
+	return nil
+}
+
+// BranchInfo is the per-branch prediction state carried in the uop between
+// fetch (prediction) and resolve/retire (recovery and training). It lives
+// by value inside the uop, so the per-cycle path stays allocation-free.
+// Hist is the global-history snapshot every kind restores from; the
+// remaining fields are TAGE provider bookkeeping the hybrid never touches.
+type BranchInfo struct {
+	Taken bool   // predicted direction
+	Hist  uint64 // global history at prediction time
+
+	Provider  int8 // provider table index, -1 = base bimodal
+	ProvIdx   int32
+	ProvTaken bool // provider component's own prediction
+	AltTaken  bool // alternate prediction (next-longest match or base)
+	ProvWeak  bool // provider entry looked newly allocated at prediction
+}
+
+// Predictor is the direction + target predictor the pipeline calls through.
+// PredictDirection fills bi and speculatively updates the global history;
+// RecoverHistory repairs it after a resolved misprediction; UpdateDirection
+// trains the tables at retire against the history in effect at prediction.
+type Predictor interface {
+	PredictDirection(pc isa.PC, bi *BranchInfo) bool
+	RecoverHistory(bi *BranchInfo, actualTaken bool)
+	UpdateDirection(pc isa.PC, bi *BranchInfo, actualTaken bool)
+
+	PredictTarget(pc isa.PC) (isa.PC, bool)
+	UpdateTarget(pc, target isa.PC)
+	PushRAS(ret isa.PC)
+	PopRAS() (isa.PC, bool)
+
+	// DirStats returns conditional branches trained and correct predictions.
+	DirStats() (seen, hits int64)
+}
+
+// New builds the predictor selected by cfg.Kind (zero fields take the
+// kind's defaults). Unknown kinds panic — configs are produced by code and
+// validated at the serving/CLI boundary.
+func New(cfg Config) Predictor {
+	cfg = cfg.withDefaults()
+	switch cfg.Kind {
+	case KindHybrid:
+		return NewHybrid(cfg)
+	case KindTAGE:
+		return NewTAGE(cfg)
+	}
+	panic("bpred: unknown predictor kind " + cfg.Kind)
+}
+
+// targets is the target-prediction machinery shared by every direction
+// predictor kind: the set-associative BTB and the return-address stack.
+type targets struct {
+	assoc   int
 	btbTags [][]uint64
 	btbTgts [][]isa.PC
 	btbLRU  [][]uint8
 
 	ras    []isa.PC
 	rasTop int
-
-	// Stats.
-	CondSeen, CondHits     int64
-	TargetSeen, TargetHits int64
 }
 
-// New builds a predictor.
-func New(cfg Config) *Predictor {
-	p := &Predictor{cfg: cfg}
+func newTargets(cfg Config) targets {
+	t := targets{assoc: cfg.BTBAssoc}
+	sets := cfg.BTBEntries / cfg.BTBAssoc
+	t.btbTags = make([][]uint64, sets)
+	t.btbTgts = make([][]isa.PC, sets)
+	t.btbLRU = make([][]uint8, sets)
+	for i := range t.btbTags {
+		t.btbTags[i] = make([]uint64, cfg.BTBAssoc)
+		t.btbTgts[i] = make([]isa.PC, cfg.BTBAssoc)
+		t.btbLRU[i] = make([]uint8, cfg.BTBAssoc)
+		for j := range t.btbTags[i] {
+			t.btbTags[i][j] = ^uint64(0)
+		}
+	}
+	t.ras = make([]isa.PC, cfg.RASEntries)
+	return t
+}
+
+// PredictTarget looks up the BTB.
+func (t *targets) PredictTarget(pc isa.PC) (isa.PC, bool) {
+	set, tag := t.btbSetTag(pc)
+	for w := 0; w < t.assoc; w++ {
+		if t.btbTags[set][w] == tag {
+			t.touchLRU(set, w)
+			return t.btbTgts[set][w], true
+		}
+	}
+	return 0, false
+}
+
+// UpdateTarget installs/refreshes the target of a taken control transfer.
+func (t *targets) UpdateTarget(pc, target isa.PC) {
+	set, tag := t.btbSetTag(pc)
+	victim, oldest := 0, uint8(255)
+	for w := 0; w < t.assoc; w++ {
+		if t.btbTags[set][w] == tag {
+			t.btbTgts[set][w] = target
+			t.touchLRU(set, w)
+			return
+		}
+		if t.btbLRU[set][w] < oldest {
+			oldest, victim = t.btbLRU[set][w], w
+		}
+	}
+	t.btbTags[set][victim] = tag
+	t.btbTgts[set][victim] = target
+	t.touchLRU(set, victim)
+}
+
+func (t *targets) btbSetTag(pc isa.PC) (int, uint64) {
+	sets := uint64(len(t.btbTags))
+	return int(uint64(pc) & (sets - 1)), uint64(pc) / sets
+}
+
+func (t *targets) touchLRU(set, way int) {
+	for w := range t.btbLRU[set] {
+		if t.btbLRU[set][w] > 0 {
+			t.btbLRU[set][w]--
+		}
+	}
+	t.btbLRU[set][way] = 255
+}
+
+// PushRAS records a call's return address.
+func (t *targets) PushRAS(ret isa.PC) {
+	t.ras[t.rasTop%len(t.ras)] = ret
+	t.rasTop++
+}
+
+// PopRAS predicts a return target.
+func (t *targets) PopRAS() (isa.PC, bool) {
+	if t.rasTop == 0 {
+		return 0, false
+	}
+	t.rasTop--
+	return t.ras[t.rasTop%len(t.ras)], true
+}
+
+// Hybrid is the paper's direction predictor: bimodal + gshare with a
+// per-PC chooser.
+type Hybrid struct {
+	targets
+	cfg     Config
+	bimodal []uint8
+	gshare  []uint8
+	chooser []uint8 // high = use gshare
+	history uint64
+
+	condSeen, condHits int64
+}
+
+// NewHybrid builds the hybrid predictor.
+func NewHybrid(cfg Config) *Hybrid {
+	cfg = cfg.withDefaults()
+	p := &Hybrid{cfg: cfg, targets: newTargets(cfg)}
 	p.bimodal = make([]uint8, cfg.BimodalEntries)
 	p.gshare = make([]uint8, cfg.GshareEntries)
 	p.chooser = make([]uint8, cfg.ChooserEntries)
@@ -66,70 +319,55 @@ func New(cfg Config) *Predictor {
 	for i := range p.chooser {
 		p.chooser[i] = 1
 	}
-	sets := cfg.BTBEntries / cfg.BTBAssoc
-	p.btbTags = make([][]uint64, sets)
-	p.btbTgts = make([][]isa.PC, sets)
-	p.btbLRU = make([][]uint8, sets)
-	for i := range p.btbTags {
-		p.btbTags[i] = make([]uint64, cfg.BTBAssoc)
-		p.btbTgts[i] = make([]isa.PC, cfg.BTBAssoc)
-		p.btbLRU[i] = make([]uint8, cfg.BTBAssoc)
-		for j := range p.btbTags[i] {
-			p.btbTags[i][j] = ^uint64(0)
-		}
-	}
-	p.ras = make([]isa.PC, cfg.RASEntries)
 	return p
 }
 
-func (p *Predictor) bimodalIdx(pc isa.PC) int {
+func (p *Hybrid) bimodalIdx(pc isa.PC) int {
 	return int(uint64(pc) & uint64(p.cfg.BimodalEntries-1))
 }
 
-func (p *Predictor) gshareIdx(pc isa.PC) int {
-	h := p.history & ((1 << p.cfg.HistoryBits) - 1)
-	return int((uint64(pc) ^ h) & uint64(p.cfg.GshareEntries-1))
-}
-
-func (p *Predictor) chooserIdx(pc isa.PC) int {
+func (p *Hybrid) chooserIdx(pc isa.PC) int {
 	return int(uint64(pc) & uint64(p.cfg.ChooserEntries-1))
 }
 
-// PredictDirection predicts a conditional branch at pc. The returned
-// snapshot must be passed back to UpdateDirection so history-indexed state
-// trains against the history in effect at prediction time.
-func (p *Predictor) PredictDirection(pc isa.PC) (taken bool, snapshot uint64) {
-	snapshot = p.history
+// PredictDirection predicts a conditional branch at pc, recording the
+// history snapshot in bi so history-indexed state trains against the
+// history in effect at prediction time.
+func (p *Hybrid) PredictDirection(pc isa.PC, bi *BranchInfo) bool {
+	bi.Hist = p.history
+	var taken bool
 	useGshare := p.chooser[p.chooserIdx(pc)] >= 2
 	if useGshare {
-		taken = p.gshare[p.gshareIdx(pc)] >= 2
+		h := p.history & ((1 << p.cfg.HistoryBits) - 1)
+		taken = p.gshare[int((uint64(pc)^h)&uint64(p.cfg.GshareEntries-1))] >= 2
 	} else {
 		taken = p.bimodal[p.bimodalIdx(pc)] >= 2
 	}
+	bi.Taken = taken
 	// Speculative history update. Because the pipeline stalls fetch on a
 	// mispredict and restores via RecoverHistory, the history is repaired
 	// before any post-branch prediction is made.
 	p.history = p.history<<1 | b2u(taken)
-	return taken, snapshot
+	return taken
 }
 
 // RecoverHistory restores the global history after a misprediction: the
 // snapshot taken at prediction plus the actual outcome.
-func (p *Predictor) RecoverHistory(snapshot uint64, actualTaken bool) {
-	p.history = snapshot<<1 | b2u(actualTaken)
+func (p *Hybrid) RecoverHistory(bi *BranchInfo, actualTaken bool) {
+	p.history = bi.Hist<<1 | b2u(actualTaken)
 }
 
 // UpdateDirection trains the direction tables (called at retire).
-func (p *Predictor) UpdateDirection(pc isa.PC, snapshot uint64, taken, predicted bool) {
-	p.CondSeen++
-	if taken == predicted {
-		p.CondHits++
+func (p *Hybrid) UpdateDirection(pc isa.PC, bi *BranchInfo, taken bool) {
+	p.condSeen++
+	if taken == bi.Taken {
+		p.condHits++
 	}
-	bi := p.bimodalIdx(pc)
+	bidx := p.bimodalIdx(pc)
 	// Recompute the gshare index under the snapshot history.
-	h := snapshot & ((1 << p.cfg.HistoryBits) - 1)
+	h := bi.Hist & ((1 << p.cfg.HistoryBits) - 1)
 	gi := int((uint64(pc) ^ h) & uint64(p.cfg.GshareEntries-1))
-	bCorrect := (p.bimodal[bi] >= 2) == taken
+	bCorrect := (p.bimodal[bidx] >= 2) == taken
 	gCorrect := (p.gshare[gi] >= 2) == taken
 	ci := p.chooserIdx(pc)
 	if gCorrect && !bCorrect {
@@ -137,69 +375,12 @@ func (p *Predictor) UpdateDirection(pc isa.PC, snapshot uint64, taken, predicted
 	} else if bCorrect && !gCorrect {
 		p.chooser[ci] = sat(p.chooser[ci], false)
 	}
-	p.bimodal[bi] = sat(p.bimodal[bi], taken)
+	p.bimodal[bidx] = sat(p.bimodal[bidx], taken)
 	p.gshare[gi] = sat(p.gshare[gi], taken)
 }
 
-// PredictTarget looks up the BTB.
-func (p *Predictor) PredictTarget(pc isa.PC) (isa.PC, bool) {
-	set, tag := p.btbSetTag(pc)
-	for w := 0; w < p.cfg.BTBAssoc; w++ {
-		if p.btbTags[set][w] == tag {
-			p.touchLRU(set, w)
-			return p.btbTgts[set][w], true
-		}
-	}
-	return 0, false
-}
-
-// UpdateTarget installs/refreshes the target of a taken control transfer.
-func (p *Predictor) UpdateTarget(pc, target isa.PC) {
-	set, tag := p.btbSetTag(pc)
-	victim, oldest := 0, uint8(255)
-	for w := 0; w < p.cfg.BTBAssoc; w++ {
-		if p.btbTags[set][w] == tag {
-			p.btbTgts[set][w] = target
-			p.touchLRU(set, w)
-			return
-		}
-		if p.btbLRU[set][w] < oldest {
-			oldest, victim = p.btbLRU[set][w], w
-		}
-	}
-	p.btbTags[set][victim] = tag
-	p.btbTgts[set][victim] = target
-	p.touchLRU(set, victim)
-}
-
-func (p *Predictor) btbSetTag(pc isa.PC) (int, uint64) {
-	sets := uint64(len(p.btbTags))
-	return int(uint64(pc) & (sets - 1)), uint64(pc) / sets
-}
-
-func (p *Predictor) touchLRU(set, way int) {
-	for w := range p.btbLRU[set] {
-		if p.btbLRU[set][w] > 0 {
-			p.btbLRU[set][w]--
-		}
-	}
-	p.btbLRU[set][way] = 255
-}
-
-// PushRAS records a call's return address.
-func (p *Predictor) PushRAS(ret isa.PC) {
-	p.ras[p.rasTop%len(p.ras)] = ret
-	p.rasTop++
-}
-
-// PopRAS predicts a return target.
-func (p *Predictor) PopRAS() (isa.PC, bool) {
-	if p.rasTop == 0 {
-		return 0, false
-	}
-	p.rasTop--
-	return p.ras[p.rasTop%len(p.ras)], true
-}
+// DirStats returns conditional branches trained and correct predictions.
+func (p *Hybrid) DirStats() (seen, hits int64) { return p.condSeen, p.condHits }
 
 func sat(c uint8, up bool) uint8 {
 	if up {

@@ -7,11 +7,12 @@ import (
 	"minigraph/internal/uarch/bpred"
 )
 
-func train(p *bpred.Predictor, pc isa.PC, taken bool) bool {
-	pred, snap := p.PredictDirection(pc)
-	p.UpdateDirection(pc, snap, taken, pred)
+func train(p bpred.Predictor, pc isa.PC, taken bool) bool {
+	var bi bpred.BranchInfo
+	pred := p.PredictDirection(pc, &bi)
+	p.UpdateDirection(pc, &bi, taken)
 	if pred != taken {
-		p.RecoverHistory(snap, taken)
+		p.RecoverHistory(&bi, taken)
 	}
 	return pred
 }
@@ -120,13 +121,15 @@ func TestHistoryRecovery(t *testing.T) {
 	p := bpred.New(bpred.DefaultConfig())
 	// After a mispredict the history must reflect the actual outcome, so a
 	// deterministic re-run reproduces identical predictions.
-	_, snap := p.PredictDirection(7)
-	p.RecoverHistory(snap, true)
-	pred1, _ := p.PredictDirection(8)
+	var bi, bi2 bpred.BranchInfo
+	p.PredictDirection(7, &bi)
+	p.RecoverHistory(&bi, true)
+	pred1 := p.PredictDirection(8, &bi2)
 	q := bpred.New(bpred.DefaultConfig())
-	_, snap2 := q.PredictDirection(7)
-	q.RecoverHistory(snap2, true)
-	pred2, _ := q.PredictDirection(8)
+	var qi, qi2 bpred.BranchInfo
+	q.PredictDirection(7, &qi)
+	q.RecoverHistory(&qi, true)
+	pred2 := q.PredictDirection(8, &qi2)
 	if pred1 != pred2 {
 		t.Error("history recovery is not deterministic")
 	}

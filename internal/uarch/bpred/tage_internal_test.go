@@ -1,0 +1,50 @@
+package bpred
+
+import "testing"
+
+// TestTageUsefulAging pins the useful-counter aging mechanic: every
+// TageUsefulPeriod retired conditionals, all u counters halve, so entries
+// that stopped earning usefulness become allocation victims again.
+func TestTageUsefulAging(t *testing.T) {
+	cfg := TageConfig()
+	cfg.TageUsefulPeriod = 8
+	p := NewTAGE(cfg)
+	p.tables[2][5] = tageEntry{tag: 1, ctr: 3, u: 3}
+	p.tables[1][9] = tageEntry{tag: 2, ctr: -4, u: 1}
+	// Drive exactly one aging period of correctly predicted branches; the
+	// outcomes match the predictions, so nothing allocates or trains into
+	// the probed slots.
+	for i := 0; i < int(cfg.TageUsefulPeriod); i++ {
+		var bi BranchInfo
+		taken := p.PredictDirection(1000, &bi)
+		p.UpdateDirection(1000, &bi, taken)
+	}
+	if got := p.tables[2][5].u; got != 1 {
+		t.Errorf("u = %d after one aging period, want 3>>1 = 1", got)
+	}
+	if got := p.tables[1][9].u; got != 0 {
+		t.Errorf("u = %d after one aging period, want 1>>1 = 0", got)
+	}
+	if p.updates != 0 {
+		t.Errorf("update counter = %d after aging, want 0", p.updates)
+	}
+}
+
+// TestTageGeometricHistories pins the deterministic geometric history
+// series: strictly increasing, bounded by the configured min/max, and
+// identical across constructions (the libm-free pow must be bit-stable).
+func TestTageGeometricHistories(t *testing.T) {
+	a, b := NewTAGE(TageConfig()), NewTAGE(TageConfig())
+	for i := range a.histLen {
+		if a.histLen[i] != b.histLen[i] {
+			t.Fatalf("history lengths differ across constructions: %v vs %v", a.histLen, b.histLen)
+		}
+		if i > 0 && a.histLen[i] <= a.histLen[i-1] {
+			t.Fatalf("history lengths not strictly increasing: %v", a.histLen)
+		}
+	}
+	cfg := TageConfig()
+	if a.histLen[0] != cfg.TageMinHist || a.histLen[len(a.histLen)-1] != cfg.TageMaxHist {
+		t.Errorf("history endpoints %v, want %d..%d", a.histLen, cfg.TageMinHist, cfg.TageMaxHist)
+	}
+}

@@ -1,0 +1,128 @@
+package bpred_test
+
+import (
+	"testing"
+
+	"minigraph/internal/isa"
+	"minigraph/internal/uarch/bpred"
+)
+
+func TestTageLearnsBias(t *testing.T) {
+	p := bpred.New(bpred.TageConfig())
+	pc := isa.PC(100)
+	for i := 0; i < 50; i++ {
+		train(p, pc, true)
+	}
+	correct := 0
+	for i := 0; i < 100; i++ {
+		if train(p, pc, true) {
+			correct++
+		}
+	}
+	if correct < 99 {
+		t.Errorf("always-taken branch predicted correctly only %d/100", correct)
+	}
+}
+
+// TestTageAllocatesOnMispredict trains a history-correlated pattern the
+// bimodal base cannot learn (50% bias). High accuracy afterwards is only
+// reachable through allocation in the tagged tables.
+func TestTageAllocatesOnMispredict(t *testing.T) {
+	p := bpred.New(bpred.TageConfig())
+	pc := isa.PC(200)
+	for i := 0; i < 4000; i++ {
+		train(p, pc, i%2 == 0)
+	}
+	correct := 0
+	for i := 0; i < 200; i++ {
+		if train(p, pc, i%2 == 0) == (i%2 == 0) {
+			correct++
+		}
+	}
+	if correct < 190 {
+		t.Errorf("alternating pattern predicted %d/200; tagged tables not allocating", correct)
+	}
+}
+
+func TestTagePeriodicPattern(t *testing.T) {
+	p := bpred.New(bpred.TageConfig())
+	pc := isa.PC(300)
+	pat := func(i int) bool { return i%5 != 0 } // loop-exit style
+	for i := 0; i < 5000; i++ {
+		train(p, pc, pat(i))
+	}
+	correct := 0
+	for i := 0; i < 500; i++ {
+		if train(p, pc, pat(i)) == pat(i) {
+			correct++
+		}
+	}
+	if correct < 450 {
+		t.Errorf("period-5 pattern predicted %d/500", correct)
+	}
+}
+
+// TestTageRecoveryDeterminism drives two fresh predictors through the same
+// branch sequence — predictions, squash recoveries and retire updates — and
+// requires identical decisions and statistics. Simulation results are cache
+// keys, so any predictor nondeterminism would poison the result store.
+func TestTageRecoveryDeterminism(t *testing.T) {
+	run := func() (string, int64, int64) {
+		p := bpred.New(bpred.TageConfig())
+		// Deterministic pseudo-random outcome stream over several PCs.
+		rng := uint64(12345)
+		next := func() uint64 {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			return rng
+		}
+		var trace []byte
+		for i := 0; i < 3000; i++ {
+			pc := isa.PC(100 + (next() % 7 * 4))
+			taken := next()&3 != 0
+			var bi bpred.BranchInfo
+			pred := p.PredictDirection(pc, &bi)
+			if pred != taken {
+				// Mispredict path: speculative history rolls back.
+				p.RecoverHistory(&bi, taken)
+			}
+			p.UpdateDirection(pc, &bi, taken)
+			if pred {
+				trace = append(trace, '1')
+			} else {
+				trace = append(trace, '0')
+			}
+		}
+		seen, hits := p.DirStats()
+		return string(trace), seen, hits
+	}
+	t1, s1, h1 := run()
+	t2, s2, h2 := run()
+	if t1 != t2 || s1 != s2 || h1 != h2 {
+		t.Errorf("TAGE is not deterministic across identical runs: %d/%d vs %d/%d", h1, s1, h2, s2)
+	}
+}
+
+// TestTageConfigCanonical pins the canonicalization contract the sim keys
+// depend on: a sparse kind-only config and the spelled-out default build
+// the same machine and share one canonical form, and the inactive kind's
+// sizing is erased.
+func TestTageConfigCanonical(t *testing.T) {
+	sparse := bpred.Config{Kind: bpred.KindTAGE}
+	if sparse.Canonical() != bpred.TageConfig().Canonical() {
+		t.Errorf("sparse tage config canonicalizes differently:\n%+v\n%+v",
+			sparse.Canonical(), bpred.TageConfig().Canonical())
+	}
+	hybridish := bpred.DefaultConfig()
+	hybridish.TageTables = 9 // inactive-kind sizing must not split the key
+	if hybridish.Canonical() != bpred.DefaultConfig().Canonical() {
+		t.Errorf("inactive TAGE sizing survived hybrid canonicalization: %+v", hybridish.Canonical())
+	}
+	if def := (bpred.Config{}).Canonical(); def.Kind != bpred.KindHybrid {
+		t.Errorf("zero config canonicalized to kind %q, want hybrid", def.Kind)
+	}
+	if err := (bpred.Config{Kind: "nn"}).Validate(); err == nil {
+		t.Error("unknown predictor kind validated")
+	}
+}

@@ -59,7 +59,13 @@ type line struct {
 	tag   uint64
 	valid bool
 	dirty bool
-	lru   uint32
+	// pf marks a line installed by a prefetch that no demand access has
+	// touched yet; pfReady is the cycle its fill completes. The first
+	// demand hit consumes the flag (useful/late accounting) and, if the
+	// fill is still in flight, waits for it.
+	pf      bool
+	pfReady int64
+	lru     uint32
 }
 
 // Cache is one level of the hierarchy. Misses recurse into the next level
@@ -80,6 +86,15 @@ type Cache struct {
 	Accesses   int64
 	Misses     int64
 	Writebacks int64
+
+	// Prefetch stats (all zero unless Prefetch is called). PrefIssued
+	// counts fills actually started (probes that hit are dropped);
+	// PrefUseful counts prefetched lines a demand access touched before
+	// eviction; PrefLate counts the useful subset whose fill was still in
+	// flight at first touch.
+	PrefIssued int64
+	PrefUseful int64
+	PrefLate   int64
 }
 
 // New builds a cache backed by next (or by bus if next is nil).
@@ -117,7 +132,18 @@ func (c *Cache) Access(now int64, addr isa.Addr, write bool) (readyAt int64, hit
 			if write {
 				ways[w].dirty = true
 			}
-			return now + int64(c.cfg.Latency), true
+			ready := now + int64(c.cfg.Latency)
+			if ways[w].pf {
+				// First demand touch of a prefetched line: useful, and late
+				// if the fill has not landed yet (the access waits for it).
+				ways[w].pf = false
+				c.PrefUseful++
+				if ways[w].pfReady > ready {
+					c.PrefLate++
+					ready = ways[w].pfReady
+				}
+			}
+			return ready, true
 		}
 	}
 	// Miss: fill from below.
@@ -150,6 +176,53 @@ func (c *Cache) Access(now int64, addr isa.Addr, write bool) (readyAt int64, hit
 	}
 	ways[victim] = line{tag: tag, valid: true, dirty: write, lru: c.lruClock}
 	return fillReady, false
+}
+
+// Prefetch installs the line containing addr at cycle now, filling from
+// the next level (or the bus) exactly like a demand miss — prefetch
+// traffic queues on the same bus and evicts real victims, so it competes
+// for bandwidth rather than arriving for free. A probe that hits (the line
+// is already present, demand- or prefetch-installed) is dropped without
+// side effects. Returns whether a fill was started.
+func (c *Cache) Prefetch(now int64, addr isa.Addr) bool {
+	set := (uint64(addr) >> c.setShift) & c.setMask
+	tag := uint64(addr) >> c.setShift / (c.setMask + 1)
+	base := int(set) * c.cfg.Assoc
+	ways := c.lines[base : base+c.cfg.Assoc]
+	for w := range ways {
+		if ways[w].valid && ways[w].tag == tag {
+			return false
+		}
+	}
+	c.PrefIssued++
+	fillReady := now + int64(c.cfg.Latency)
+	if c.next != nil {
+		r, _ := c.next.Access(fillReady, addr, false)
+		fillReady = r
+	} else if c.bus != nil {
+		fillReady = c.bus.Access(fillReady, c.cfg.LineSize)
+	}
+	c.lruClock++
+	victim := 0
+	for w := range ways {
+		if !ways[w].valid {
+			victim = w
+			break
+		}
+		if ways[w].lru < ways[victim].lru {
+			victim = w
+		}
+	}
+	if ways[victim].valid && ways[victim].dirty {
+		c.Writebacks++
+		if c.next != nil {
+			c.next.Access(fillReady, c.reconstruct(set, ways[victim].tag), true)
+		} else if c.bus != nil {
+			c.bus.Access(fillReady, c.cfg.LineSize)
+		}
+	}
+	ways[victim] = line{tag: tag, valid: true, pf: true, pfReady: fillReady, lru: c.lruClock}
+	return true
 }
 
 func (c *Cache) reconstruct(set uint64, tag uint64) isa.Addr {

@@ -17,6 +17,7 @@ package uarch
 import (
 	"minigraph/internal/uarch/bpred"
 	"minigraph/internal/uarch/cache"
+	"minigraph/internal/uarch/prefetch"
 	"minigraph/internal/uarch/storesets"
 )
 
@@ -83,11 +84,15 @@ type Config struct {
 	// the maximum mini-graph execution latency.
 	WindowHorizon int
 
-	BPred     bpred.Config
-	StoreSets storesets.Config
-	ICache    cache.Config
-	DCache    cache.Config
-	L2        cache.Config
+	BPred bpred.Config
+	// Prefetcher configures the L1D prefetch engine (zero value = none).
+	// Prefetch fills go through the real L1D/L2/bus model, so enabling it
+	// changes bus contention, not just hit rates.
+	Prefetcher prefetch.Config
+	StoreSets  storesets.Config
+	ICache     cache.Config
+	DCache     cache.Config
+	L2         cache.Config
 
 	// MaxRecords bounds the run (0 = run to halt).
 	MaxRecords int64
@@ -194,5 +199,11 @@ func (c *Config) Validate() {
 		panic("uarch: negative memory latency")
 	case c.StreamWindow != 0 && c.StreamWindow < c.MaxSquashDepth():
 		panic("uarch: stream window override smaller than maximum squash depth")
+	}
+	if err := c.BPred.Validate(); err != nil {
+		panic("uarch: " + err.Error())
+	}
+	if err := c.Prefetcher.Validate(); err != nil {
+		panic("uarch: " + err.Error())
 	}
 }

@@ -78,7 +78,7 @@ func (p *Pipeline) predictControl(u *uop) (stopFetch bool) {
 	}
 
 	if rec.CondBranch {
-		u.predTaken, u.histSnap = p.pred.PredictDirection(rec.PC)
+		u.predTaken = p.pred.PredictDirection(rec.PC, &u.bi)
 	} else {
 		u.predTaken = true
 	}
@@ -86,11 +86,19 @@ func (p *Pipeline) predictControl(u *uop) (stopFetch bool) {
 	targetKnown := false
 	if u.predTaken {
 		if rec.IsRet {
+			p.stats.RASPops++
 			if t, ok := p.pred.PopRAS(); ok {
 				u.predTarget, targetKnown = t, true
+				if t == rec.NextPC {
+					p.stats.RASHits++
+				}
 			}
-		} else if t, ok := p.pred.PredictTarget(rec.PC); ok {
-			u.predTarget, targetKnown = t, true
+		} else {
+			p.stats.BTBLookups++
+			if t, ok := p.pred.PredictTarget(rec.PC); ok {
+				p.stats.BTBHits++
+				u.predTarget, targetKnown = t, true
+			}
 		}
 	}
 

@@ -278,7 +278,22 @@ func (p *Pipeline) execMem(u *uop) {
 		return
 	}
 
-	// Load: try store-to-load forwarding from the youngest older store.
+	p.execLoad(u, t)
+	// Train the prefetcher on every issued load and push its targets into
+	// the L1D after the demand access, so a prefetch can never evict the
+	// line the triggering load is about to touch.
+	if p.pf != nil {
+		n := p.pf.OnAccess(u.rec.PC, u.rec.EA, p.pfBuf[:])
+		for i := 0; i < n; i++ {
+			p.dcache.Prefetch(t, p.pfBuf[i])
+		}
+	}
+}
+
+// execLoad is the load half of execMem: store-to-load forwarding, then the
+// data-cache access with speculative-wake-up miss discovery.
+func (p *Pipeline) execLoad(u *uop, t int64) {
+	// Try store-to-load forwarding from the youngest older store.
 	var src *uop
 	for i := 0; i < p.lsq.len(); i++ {
 		e := p.lsq.at(i)

@@ -11,6 +11,7 @@ import (
 	"minigraph/internal/uarch/alupipe"
 	"minigraph/internal/uarch/bpred"
 	"minigraph/internal/uarch/cache"
+	"minigraph/internal/uarch/prefetch"
 	"minigraph/internal/uarch/rename"
 	"minigraph/internal/uarch/sched"
 	"minigraph/internal/uarch/storesets"
@@ -88,12 +89,18 @@ type Pipeline struct {
 	src TraceSource
 	mgt *core.MGT
 
-	pred   *bpred.Predictor
+	pred   bpred.Predictor
 	ssets  *storesets.Predictor
 	icache *cache.Cache
 	dcache *cache.Cache
 	l2     *cache.Cache
 	bus    *cache.Bus
+
+	// pf is the L1D prefetch engine (nil = disabled); pfBuf is the
+	// fixed-size target buffer OnAccess fills, so the per-load hook never
+	// allocates.
+	pf    *prefetch.Engine
+	pfBuf [prefetch.MaxDegree]isa.Addr
 
 	window *sched.Window
 	aps    []*alupipe.Pipe
@@ -195,6 +202,7 @@ func NewWithSource(cfg Config, mgt *core.MGT, src TraceSource) *Pipeline {
 		src:      src,
 		mgt:      mgt,
 		pred:     bpred.New(cfg.BPred),
+		pf:       prefetch.New(cfg.Prefetcher),
 		ssets:    storesets.New(cfg.StoreSets),
 		bus:      cache.NewBus(),
 		ren:      rename.New(cfg.PhysRegs),
@@ -303,8 +311,12 @@ func (p *Pipeline) Finish() (*Result, error) {
 	p.stats.L1DMisses = p.dcache.Misses
 	p.stats.L2Misses = p.l2.Misses
 	p.stats.Violations = p.ssets.Violations
-	p.stats.CondBranches = p.pred.CondSeen
-	p.stats.CondMispredicts = p.pred.CondSeen - p.pred.CondHits
+	seen, hits := p.pred.DirStats()
+	p.stats.CondBranches = seen
+	p.stats.CondMispredicts = seen - hits
+	p.stats.PrefetchIssued = p.dcache.PrefIssued
+	p.stats.PrefetchUseful = p.dcache.PrefUseful
+	p.stats.PrefetchLate = p.dcache.PrefLate
 	return &p.stats, nil
 }
 
@@ -564,7 +576,7 @@ func (p *Pipeline) onResolve(u *uop) {
 		p.pendingBr = nil
 		p.fetchStall = p.cycle + 1
 		if u.rec.CondBranch {
-			p.pred.RecoverHistory(u.histSnap, u.rec.Taken)
+			p.pred.RecoverHistory(&u.bi, u.rec.Taken)
 		}
 	}
 }

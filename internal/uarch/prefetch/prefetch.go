@@ -1,0 +1,179 @@
+// Package prefetch implements the data-prefetch engines of the simulated
+// machine. The delta (stride) engine keeps a PC-indexed table of the last
+// address and stride of each load; once a stride repeats with confidence it
+// emits prefetch candidates ahead of the demand stream. The engine only
+// computes target addresses — the pipeline issues them into the real
+// L1D/L2/bus hierarchy, so prefetch fills occupy actual bus bandwidth and
+// contend with demand misses.
+package prefetch
+
+import (
+	"fmt"
+
+	"minigraph/internal/isa"
+)
+
+// Prefetcher kinds selectable via Config.Kind.
+const (
+	KindNone  = "none"
+	KindDelta = "delta"
+)
+
+// Kinds lists the valid prefetcher kinds (error messages, CLI and
+// serving-tier validation).
+func Kinds() []string { return []string{KindNone, KindDelta} }
+
+// MaxDegree bounds prefetches per trigger; the pipeline's issue buffer is
+// sized to it.
+const MaxDegree = 8
+
+// Config selects and sizes a prefetch engine.
+type Config struct {
+	// Kind selects the engine ("" = KindNone: prefetching disabled).
+	Kind string
+	// Entries sizes the PC-indexed delta table (power of two).
+	Entries int
+	// Degree is the number of lines prefetched per confident trigger.
+	Degree int
+	// Distance is how many strides ahead of the triggering access the first
+	// prefetch lands.
+	Distance int
+}
+
+// DefaultDelta is the default delta/stride engine: a 256-entry PC table
+// prefetching two lines starting one stride ahead.
+func DefaultDelta() Config {
+	return Config{Kind: KindDelta, Entries: 256, Degree: 2, Distance: 1}
+}
+
+// withDefaults fills every zero field from the kind's defaults.
+func (c Config) withDefaults() Config {
+	if c.Kind == "" {
+		c.Kind = KindNone
+	}
+	if c.Kind == KindNone {
+		return Config{Kind: KindNone}
+	}
+	def := DefaultDelta()
+	if c.Entries == 0 {
+		c.Entries = def.Entries
+	}
+	if c.Degree == 0 {
+		c.Degree = def.Degree
+	}
+	if c.Distance == 0 {
+		c.Distance = def.Distance
+	}
+	return c
+}
+
+// Canonical maps every configuration that builds the same engine to one
+// representative: the kind is made explicit, disabled engines drop their
+// sizing, and zero fields take the kind's defaults. sim.SimKey
+// canonicalization relies on this.
+func (c Config) Canonical() Config { return c.withDefaults() }
+
+// Enabled reports whether the configuration builds an engine at all.
+func (c Config) Enabled() bool { return c.Kind != "" && c.Kind != KindNone }
+
+// Validate reports an impossible configuration.
+func (c Config) Validate() error {
+	d := c.withDefaults()
+	switch d.Kind {
+	case KindNone:
+		return nil
+	case KindDelta:
+	default:
+		return fmt.Errorf("prefetch: unknown prefetcher kind %q (known: none delta)", c.Kind)
+	}
+	switch {
+	case d.Entries < 1 || d.Entries&(d.Entries-1) != 0:
+		return fmt.Errorf("prefetch: entries %d not a power of two", d.Entries)
+	case d.Degree < 1 || d.Degree > MaxDegree:
+		return fmt.Errorf("prefetch: degree %d out of range 1..%d", d.Degree, MaxDegree)
+	case d.Distance < 1:
+		return fmt.Errorf("prefetch: distance %d must be positive", d.Distance)
+	}
+	return nil
+}
+
+// entry is one PC's stride-tracking state: a direct-mapped slot, so a
+// colliding PC simply evicts the incumbent and retrains from scratch.
+type entry struct {
+	pc    isa.PC // full PC as tag
+	valid bool
+	last  isa.Addr
+	delta int64
+	conf  uint8 // 2-bit: >= confThreshold emits prefetches
+}
+
+const confThreshold = 2
+
+// Engine is a delta/stride prefetch engine. It is not safe for concurrent
+// use; each pipeline owns one.
+type Engine struct {
+	cfg  Config
+	mask uint64
+	tab  []entry
+
+	// Trains counts table updates (observed loads).
+	Trains int64
+}
+
+// New builds the engine selected by cfg.Kind, or nil when prefetching is
+// disabled — the pipeline's nil check is the entire disabled-path cost.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	if !cfg.Enabled() {
+		return nil
+	}
+	return &Engine{cfg: cfg, mask: uint64(cfg.Entries - 1), tab: make([]entry, cfg.Entries)}
+}
+
+// Config returns the engine's (default-filled) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// OnAccess observes a demand load at pc touching addr, trains the delta
+// table, and writes up to Degree predicted target addresses into buf (which
+// must hold at least Degree entries). It returns the number written — zero
+// until the PC's stride has repeated to confidence. The hot path is
+// allocation-free.
+func (e *Engine) OnAccess(pc isa.PC, addr isa.Addr, buf []isa.Addr) int {
+	e.Trains++
+	s := &e.tab[uint64(pc)&e.mask]
+	if !s.valid || s.pc != pc {
+		// Direct-mapped eviction: the colliding PC takes the slot.
+		*s = entry{pc: pc, valid: true, last: addr}
+		return 0
+	}
+	delta := int64(addr) - int64(s.last)
+	s.last = addr
+	if delta == 0 {
+		return 0
+	}
+	if delta == s.delta {
+		if s.conf < 3 {
+			s.conf++
+		}
+	} else {
+		if s.conf > 0 {
+			s.conf--
+			return 0
+		}
+		s.delta = delta
+		return 0
+	}
+	if s.conf < confThreshold {
+		return 0
+	}
+	n := 0
+	for k := 0; k < e.cfg.Degree && n < len(buf); k++ {
+		t := int64(addr) + s.delta*int64(e.cfg.Distance+k)
+		if t < 0 {
+			break
+		}
+		buf[n] = isa.Addr(t)
+		n++
+	}
+	return n
+}

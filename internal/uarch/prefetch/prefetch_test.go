@@ -1,0 +1,156 @@
+package prefetch_test
+
+import (
+	"testing"
+
+	"minigraph/internal/isa"
+	"minigraph/internal/uarch/prefetch"
+)
+
+func newDelta(t *testing.T, cfg prefetch.Config) *prefetch.Engine {
+	t.Helper()
+	e := prefetch.New(cfg)
+	if e == nil {
+		t.Fatalf("New(%+v) returned nil for an enabled config", cfg)
+	}
+	return e
+}
+
+func TestDisabledEngineIsNil(t *testing.T) {
+	if prefetch.New(prefetch.Config{}) != nil {
+		t.Error("zero config built an engine")
+	}
+	if prefetch.New(prefetch.Config{Kind: prefetch.KindNone, Entries: 64}) != nil {
+		t.Error("kind none built an engine")
+	}
+}
+
+func TestDeltaStrideDetection(t *testing.T) {
+	e := newDelta(t, prefetch.Config{Kind: prefetch.KindDelta, Entries: 16, Degree: 2, Distance: 1})
+	var buf [prefetch.MaxDegree]isa.Addr
+	pc := isa.PC(40)
+	// First access trains last-addr; the next two establish the stride and
+	// raise confidence to threshold; the fourth emits.
+	addrs := []isa.Addr{1000, 1064, 1128, 1192}
+	var n int
+	for _, a := range addrs {
+		n = e.OnAccess(pc, a, buf[:])
+	}
+	if n != 2 {
+		t.Fatalf("confident stride emitted %d targets, want 2", n)
+	}
+	if buf[0] != 1192+64 || buf[1] != 1192+128 {
+		t.Errorf("targets = %d,%d; want %d,%d", buf[0], buf[1], 1192+64, 1192+128)
+	}
+}
+
+func TestDeltaDistanceOffsetsTargets(t *testing.T) {
+	e := newDelta(t, prefetch.Config{Kind: prefetch.KindDelta, Entries: 16, Degree: 1, Distance: 4})
+	var buf [prefetch.MaxDegree]isa.Addr
+	pc := isa.PC(44)
+	var n int
+	for _, a := range []isa.Addr{0, 8, 16, 24} {
+		n = e.OnAccess(pc, a, buf[:])
+	}
+	if n != 1 || buf[0] != 24+8*4 {
+		t.Errorf("distance-4 target = %v (n=%d), want %d", buf[0], n, 24+8*4)
+	}
+}
+
+// TestDeltaRetrainsOnNewStride: a stride change first burns confidence,
+// then adopts the new delta and works back up to emitting.
+func TestDeltaRetrainsOnNewStride(t *testing.T) {
+	e := newDelta(t, prefetch.Config{Kind: prefetch.KindDelta, Entries: 16, Degree: 1, Distance: 1})
+	var buf [prefetch.MaxDegree]isa.Addr
+	pc := isa.PC(48)
+	last := isa.Addr(4096)
+	for i := 0; i < 5; i++ {
+		last += 64
+		e.OnAccess(pc, last, buf[:])
+	}
+	// Stride switches to 16: confidence drains (3 accesses), the new delta
+	// is adopted (1 more), then climbs back to threshold — no emissions
+	// anywhere along the way.
+	emitted := 0
+	for i := 0; i < 5; i++ {
+		last += 16
+		emitted += e.OnAccess(pc, last, buf[:])
+	}
+	if emitted != 0 {
+		t.Errorf("emitted %d prefetches while retraining", emitted)
+	}
+	var n int
+	for i := 0; i < 2; i++ {
+		last += 16
+		n = e.OnAccess(pc, last, buf[:])
+	}
+	if n != 1 || buf[0] != last+16 {
+		t.Errorf("after retraining: n=%d target=%d, want 1 target at %d", n, buf[0], last+16)
+	}
+}
+
+// TestDeltaTableEviction: two PCs that collide in the direct-mapped table
+// evict each other, so neither reaches confidence while interleaved.
+func TestDeltaTableEviction(t *testing.T) {
+	cfg := prefetch.Config{Kind: prefetch.KindDelta, Entries: 16, Degree: 2, Distance: 1}
+	e := newDelta(t, cfg)
+	var buf [prefetch.MaxDegree]isa.Addr
+	pcA := isa.PC(52)
+	pcB := pcA + isa.PC(cfg.Entries) // same slot, different tag
+	a, b := isa.Addr(1<<20), isa.Addr(1<<21)
+	emitted := 0
+	for i := 0; i < 32; i++ {
+		emitted += e.OnAccess(pcA, a, buf[:])
+		emitted += e.OnAccess(pcB, b, buf[:])
+		a += 64
+		b += 64
+	}
+	if emitted != 0 {
+		t.Errorf("colliding PCs emitted %d prefetches; direct-mapped eviction broken", emitted)
+	}
+	// Alone again, the surviving PC retrains from scratch and emits.
+	var n int
+	for i := 0; i < 4; i++ {
+		n = e.OnAccess(pcA, a, buf[:])
+		a += 64
+	}
+	if n != 2 {
+		t.Errorf("post-eviction retrain emitted %d, want 2", n)
+	}
+}
+
+func TestDeltaSkipsNegativeTargets(t *testing.T) {
+	e := newDelta(t, prefetch.Config{Kind: prefetch.KindDelta, Entries: 16, Degree: 4, Distance: 1})
+	var buf [prefetch.MaxDegree]isa.Addr
+	pc := isa.PC(56)
+	var n int
+	for _, a := range []isa.Addr{400, 300, 200, 100} {
+		n = e.OnAccess(pc, a, buf[:])
+	}
+	// Targets 0, -100, ... : only the non-negative prefix may emit.
+	if n != 1 || buf[0] != 0 {
+		t.Errorf("descending stride emitted %d targets (first %d), want 1 at 0", n, buf[0])
+	}
+}
+
+func TestConfigCanonicalAndValidate(t *testing.T) {
+	if (prefetch.Config{Kind: prefetch.KindDelta}).Canonical() != prefetch.DefaultDelta().Canonical() {
+		t.Error("sparse delta config canonicalizes away from the default")
+	}
+	if got := (prefetch.Config{Entries: 64}).Canonical(); got != (prefetch.Config{Kind: prefetch.KindNone}) {
+		t.Errorf("disabled config kept sizing: %+v", got)
+	}
+	for _, bad := range []prefetch.Config{
+		{Kind: "markov"},
+		{Kind: prefetch.KindDelta, Entries: 100},
+		{Kind: prefetch.KindDelta, Degree: prefetch.MaxDegree + 1},
+		{Kind: prefetch.KindDelta, Distance: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("config %+v validated", bad)
+		}
+	}
+	if err := prefetch.DefaultDelta().Validate(); err != nil {
+		t.Errorf("default delta config rejected: %v", err)
+	}
+}

@@ -28,6 +28,10 @@ type Result struct {
 	BTBMissBubbles  int64
 	CondBranches    int64
 	CondMispredicts int64
+	BTBLookups      int64
+	BTBHits         int64
+	RASPops         int64
+	RASHits         int64
 
 	// Memory system.
 	Loads, Stores        int64
@@ -37,6 +41,14 @@ type Result struct {
 	Violations           int64
 	LoadMissReplays      int64
 	MGReplays            int64
+
+	// Prefetching (all zero with the prefetcher disabled). Issued counts
+	// fills started; Useful counts prefetched lines touched by a demand
+	// access before eviction; Late counts the useful subset still in
+	// flight at first touch.
+	PrefetchIssued int64
+	PrefetchUseful int64
+	PrefetchLate   int64
 
 	// Resource stalls (dispatch could not proceed because ...).
 	StallROB, StallIQ, StallLSQ, StallRegs int64
@@ -72,6 +84,14 @@ func (r *Result) MispredictRate() float64 {
 		return 0
 	}
 	return float64(r.Mispredicts) / float64(r.Branches)
+}
+
+// CondMispredictRate returns direction mispredicts per conditional branch.
+func (r *Result) CondMispredictRate() float64 {
+	if r.CondBranches == 0 {
+		return 0
+	}
+	return float64(r.CondMispredicts) / float64(r.CondBranches)
 }
 
 // String summarises the run.

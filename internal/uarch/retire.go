@@ -35,7 +35,7 @@ func (p *Pipeline) retire() {
 		if u.rec.IsCtrl {
 			p.stats.Branches++
 			if u.rec.CondBranch {
-				p.pred.UpdateDirection(u.rec.PC, u.histSnap, u.rec.Taken, u.predTaken)
+				p.pred.UpdateDirection(u.rec.PC, &u.bi, u.rec.Taken)
 			}
 			if u.rec.Taken {
 				p.pred.UpdateTarget(u.rec.PC, u.rec.NextPC)

@@ -4,6 +4,7 @@ import (
 	"minigraph/internal/core"
 	"minigraph/internal/emu"
 	"minigraph/internal/isa"
+	"minigraph/internal/uarch/bpred"
 	"minigraph/internal/uarch/rename"
 	"minigraph/internal/uarch/sched"
 )
@@ -66,11 +67,12 @@ type uop struct {
 	missAt   int64 // pending miss resolution (loads), 0 if hit
 	replayed int   // replay count (stats)
 
-	// Branch state.
+	// Branch state. bi carries the predictor's per-branch snapshot (history
+	// and provider bookkeeping) by value from prediction to resolve/retire.
 	predTaken   bool
 	predTarget  isa.PC
 	mispredict  bool // full mispredict: fetch stalled until resolution
-	histSnap    uint64
+	bi          bpred.BranchInfo
 	resolveAt   int64
 	btbMissOnly bool // direct taken branch missing in BTB (small bubble)
 }
@@ -95,7 +97,8 @@ func (u *uop) reset(epoch int) {
 	u.fwdFrom, u.waitSt = -1, -1
 	u.dataAt, u.missAt, u.replayed = 0, 0, 0
 	u.predTaken, u.predTarget, u.mispredict = false, 0, false
-	u.histSnap, u.resolveAt, u.btbMissOnly = 0, 0, false
+	u.bi = bpred.BranchInfo{}
+	u.resolveAt, u.btbMissOnly = 0, false
 }
 
 func (u *uop) isLoad() bool  { return u.rec.IsLoad }

@@ -30,6 +30,8 @@ package minigraph
 
 import (
 	"context"
+	"fmt"
+	"strings"
 
 	"minigraph/internal/asm"
 	"minigraph/internal/core"
@@ -42,6 +44,8 @@ import (
 	"minigraph/internal/store"
 	"minigraph/internal/trace"
 	"minigraph/internal/uarch"
+	"minigraph/internal/uarch/bpred"
+	"minigraph/internal/uarch/prefetch"
 	"minigraph/internal/workload"
 )
 
@@ -206,6 +210,32 @@ func BaselineConfig() SimConfig { return uarch.Baseline() }
 // MiniGraphConfig returns the mini-graph machine: two ALUs replaced by two
 // 4-stage ALU pipelines, plus (when intMem) a sliding-window scheduler.
 func MiniGraphConfig(intMem bool) SimConfig { return uarch.MiniGraph(intMem) }
+
+// FrontendConfig applies front-end overrides to a machine configuration by
+// kind name: predictor "hybrid" or "tage", prefetcher "none" or "delta"
+// (each at its default sizing; "" keeps cfg's current setting). Unknown
+// names are errors that list the valid kinds.
+func FrontendConfig(cfg SimConfig, predictor, prefetcher string) (SimConfig, error) {
+	switch predictor {
+	case "":
+	case bpred.KindHybrid:
+		cfg.BPred = bpred.DefaultConfig()
+	case bpred.KindTAGE:
+		cfg.BPred = bpred.TageConfig()
+	default:
+		return cfg, fmt.Errorf("minigraph: unknown predictor %q (known: %s)", predictor, strings.Join(bpred.Kinds(), " "))
+	}
+	switch prefetcher {
+	case "":
+	case prefetch.KindNone:
+		cfg.Prefetcher = prefetch.Config{Kind: prefetch.KindNone}
+	case prefetch.KindDelta:
+		cfg.Prefetcher = prefetch.DefaultDelta()
+	default:
+		return cfg, fmt.Errorf("minigraph: unknown prefetcher %q (known: %s)", prefetcher, strings.Join(prefetch.Kinds(), " "))
+	}
+	return cfg, nil
+}
 
 // Simulate runs the cycle-level timing model. mgt may be nil for plain
 // binaries.
