@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	mgserve [-addr :8347] [-cache-dir DIR] [-cache-max-bytes N]
+//	mgserve [-addr :8347] [-cache-dir DIR] [-cache-max-bytes N] [-scrub]
 //	        [-parallel N] [-max-sweep-jobs N] [-gang=false]
 //	        [-workers URL,URL,...] [-coordinator] [-member-ttl D] [-fanout N]
 //	        [-register URL -advertise URL [-heartbeat D]]
@@ -76,6 +76,7 @@ func main() {
 	addr := flag.String("addr", ":8347", "listen address")
 	cacheDir := flag.String("cache-dir", "", "persistent result store directory (empty = in-memory only)")
 	cacheMax := flag.Int64("cache-max-bytes", 0, "store size bound in bytes (0 = 1GiB default, negative = unbounded)")
+	scrub := flag.Bool("scrub", false, "verify every store entry's checksum at startup, deleting corrupt ones (requires -cache-dir); the report appears in /statsz")
 	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = NumCPU)")
 	gang := flag.Bool("gang", true, "gang-replay sweep arms sharing a captured trace")
 	maxSweep := flag.Int("max-sweep-jobs", serve.DefaultMaxSweepJobs, "max arms per sweep request")
@@ -113,6 +114,16 @@ func main() {
 		eng.WithStore(st)
 		fmt.Fprintf(os.Stderr, "mgserve: store %s (%d entries)\n", st.Dir(), st.Len())
 	}
+	var scrubReport *store.ScrubReport
+	if *scrub {
+		if st == nil {
+			usageExit("-scrub requires -cache-dir")
+		}
+		rep := st.Scrub()
+		scrubReport = &rep
+		fmt.Fprintf(os.Stderr, "mgserve: scrub: %d entries scanned, %d corrupt deleted (%d bytes reclaimed), %d errors\n",
+			rep.Scanned, rep.Corrupt, rep.BytesReclaimed, rep.Errors)
+	}
 
 	var workerURLs []string
 	for _, u := range strings.Split(*workers, ",") {
@@ -141,6 +152,7 @@ func main() {
 		MaxInflightSweeps: *maxInflight,
 		JobQueue:          *jobQueue,
 		JobRunners:        *jobRunners,
+		Scrub:             scrubReport,
 	})
 	if err != nil {
 		usageExit(err.Error())

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"minigraph/internal/isa"
+)
+
+// Cross-instance interference.
+//
+// buildInstance validates one candidate's code motion against the original
+// block: every member executes at the anchor, and the checks prove no
+// non-member dependence is inverted by that move. Those checks treat all
+// other instructions as staying put. When selection commits two graphs in
+// the same block, both move their members — and a dependence between a
+// member of one and a member of the other can invert even though each
+// motion alone is legal. The canonical shape: graph X anchors at an early
+// memory op and hoists a later reader of register r up to it, while graph Y
+// anchors at its last member and sinks the (earlier) writer of r down past
+// X's anchor. Each graph checked in isolation sees the other's member at
+// its original position and passes; composed, the read executes before the
+// write.
+//
+// crossOK re-checks exactly the pairs the per-candidate analysis cannot
+// see: member-vs-member dependences across two instances, with both members
+// at their post-collapse positions. Instances in different blocks never
+// interact (members move only within their block, so order relative to
+// everything outside the block is preserved).
+
+// crossOK reports whether instance c can be committed alongside the
+// already-committed same-block instances in accepted without inverting a
+// dependence between their members.
+func crossOK(p *isa.Program, c *Instance, accepted []*Instance) bool {
+	for _, o := range accepted {
+		if o.Block != c.Block {
+			continue
+		}
+		if !pairOK(p, c, o) {
+			return false
+		}
+	}
+	return true
+}
+
+// pairOK reports whether the collapses of x and y preserve the direction of
+// every member-vs-member dependence. Handles execute atomically, so after
+// collapsing, every member of x executes at x.Anchor and every member of y
+// at y.Anchor; a dependent pair keeps its order iff the anchors are ordered
+// the same way as the original instructions.
+func pairOK(p *isa.Program, x, y *Instance) bool {
+	xFirst := x.Anchor < y.Anchor // anchors are distinct members of disjoint sets
+	for _, a := range x.Members {
+		ia := p.At(a)
+		for _, b := range y.Members {
+			if !insnsDepend(ia, p.At(b)) {
+				continue
+			}
+			if (a < b) != xFirst {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// insnsDepend reports whether two instructions have a register (RAW, WAR,
+// WAW) or memory dependence. Register writes that the rewriter elides as
+// dead still count — the result is conservative rejection, never unsound
+// acceptance. Memory dependence is address-oblivious: a store conflicts
+// with any other memory op.
+func insnsDepend(ia, ib *isa.Inst) bool {
+	da, db := ia.Dest(), ib.Dest()
+	if !da.IsZero() {
+		if da == db {
+			return true
+		}
+		sb, n := ib.SrcRegs()
+		for i := 0; i < n; i++ {
+			if sb[i] == da {
+				return true
+			}
+		}
+	}
+	if !db.IsZero() {
+		sa, n := ia.SrcRegs()
+		for i := 0; i < n; i++ {
+			if sa[i] == db {
+				return true
+			}
+		}
+	}
+	ca, cb := ia.Op.Info().Class, ib.Op.Info().Class
+	aMem := ca == isa.ClassLoad || ca == isa.ClassStore
+	bMem := cb == isa.ClassLoad || cb == isa.ClassStore
+	return aMem && bMem && (ca == isa.ClassStore || cb == isa.ClassStore)
+}

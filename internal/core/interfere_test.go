@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"minigraph/internal/asm"
+	"minigraph/internal/isa"
+)
+
+// TestCrossInstanceInterference reproduces the composition bug found by the
+// differential oracle (progen seed 681): two mini-graphs, each individually
+// legal, whose opposite-direction collapses invert a register dependence.
+//
+//	pc0  lda  r1, 1000(zero)   ; Y member: writes r1
+//	pc1  lda  r4, 77(zero)
+//	pc2  ldq  r2, c(zero)      ; X anchor (memory op)
+//	pc3  addq r1, 7, r6        ; Y anchor (last member): reads r1
+//	pc4  subq r1, r2, r3       ; X member: reads r1
+//
+// X hoists the r1 read at pc4 up to pc2; Y sinks the r1 write at pc0 down
+// to pc3. Composed, the read executes before the write.
+func TestCrossInstanceInterference(t *testing.T) {
+	p, err := asm.Assemble("interfere", `
+        .data
+c: .word 12345
+        .text
+main:
+  lda r1, 1000(zero)
+  lda r4, 77(zero)
+  ldq r2, c(zero)
+  addq r1, 7, r6
+  subq r1, r2, r3
+  halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := &Instance{Block: 0, Members: []isa.PC{2, 4}, Anchor: 2}
+	y := &Instance{Block: 0, Members: []isa.PC{0, 3}, Anchor: 3}
+
+	if pairOK(p, x, y) {
+		t.Error("pairOK accepted an X/Y composition that inverts the r1 dependence")
+	}
+	if pairOK(p, y, x) {
+		t.Error("pairOK must be symmetric: Y/X composition also inverts the dependence")
+	}
+	if !crossOK(p, x, nil) {
+		t.Error("crossOK must accept an instance with nothing committed")
+	}
+	if !crossOK(p, x, []*Instance{{Block: 1, Members: []isa.PC{0, 3}, Anchor: 3}}) {
+		t.Error("crossOK must ignore instances in other blocks")
+	}
+	if crossOK(p, x, []*Instance{y}) {
+		t.Error("crossOK accepted the conflicting committed instance")
+	}
+
+	// Same shapes without the shared register: no dependence, both orders fine.
+	x2 := &Instance{Block: 0, Members: []isa.PC{2, 4}, Anchor: 2}
+	y2 := &Instance{Block: 0, Members: []isa.PC{1, 3}, Anchor: 3}
+	p2, err := asm.Assemble("nointerfere", `
+        .data
+c: .word 12345
+        .text
+main:
+  lda r1, 1000(zero)
+  lda r4, 77(zero)
+  ldq r2, c(zero)
+  addq r5, 7, r6
+  subq r7, r2, r3
+  halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pairOK(p2, x2, y2) {
+		t.Error("pairOK rejected independent graphs")
+	}
+}
+
+// TestInsnsDepend covers the dependence classifier driving the cross check.
+func TestInsnsDepend(t *testing.T) {
+	p, err := asm.Assemble("deps", `
+        .data
+buf: .space 64
+        .text
+main:
+  addq r1, r2, r3
+  subq r3, 1, r4
+  mulq r5, r6, r3
+  stq r1, buf(zero)
+  ldq r7, buf(zero)
+  ldq r8, buf+8(zero)
+  addq zero, zero, r9
+  halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(i int) *isa.Inst { return p.At(isa.PC(i)) }
+	cases := []struct {
+		a, b int
+		want bool
+		why  string
+	}{
+		{0, 1, true, "RAW on r3"},
+		{0, 2, true, "WAW on r3"},
+		{1, 2, true, "WAR on r3"},
+		{3, 4, true, "store vs load"},
+		{3, 3, true, "store vs store"},
+		{4, 5, false, "load vs load"},
+		{0, 6, false, "zero-register writes are not dependences"},
+		{1, 5, false, "disjoint registers"},
+	}
+	for _, c := range cases {
+		if got := insnsDepend(at(c.a), at(c.b)); got != c.want {
+			t.Errorf("insnsDepend(%v, %v) = %v, want %v (%s)", at(c.a), at(c.b), got, c.want, c.why)
+		}
+	}
+}

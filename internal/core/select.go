@@ -99,13 +99,17 @@ func Select(g *program.CFG, prof *program.Profile, cands []*Instance, mgtEntries
 	}
 
 	used := make(map[isa.PC]bool)
+	accepted := make(map[int][]*Instance) // block -> committed instances
 	free := func(c *Instance) bool {
 		for _, pc := range c.Members {
 			if used[pc] {
 				return false
 			}
 		}
-		return true
+		// Committing must not invert a dependence against a graph already
+		// collapsed in the same block (see interfere.go). Both conditions
+		// only tighten over time, so the lazy heap stays valid.
+		return crossOK(g.Prog, c, accepted[c.Block])
 	}
 	benefit := func(gr *group) int64 {
 		var b int64
@@ -154,6 +158,7 @@ func Select(g *program.CFG, prof *program.Profile, cands []*Instance, mgtEntries
 			for _, pc := range c.Members {
 				used[pc] = true
 			}
+			accepted[c.Block] = append(accepted[c.Block], c)
 			sel.Instances = append(sel.Instances, Selected{Instance: c, MGID: mgid})
 			sel.CoveredInsts += int64(c.Size()-1) * gr.freqs[i]
 		}
@@ -242,6 +247,7 @@ func SelectDomain(progs []DomainProgram, pol Policy, mgtEntries int) []*Selectio
 	for pi, dp := range progs {
 		sel := &Selection{TotalInsts: dp.Profile.DynInsts, CandidateCount: len(allCands[pi])}
 		used := make(map[isa.PC]bool)
+		accepted := make(map[int][]*Instance)
 		for mgid, r := range ranked {
 			gr := r.g
 			committed := false
@@ -253,12 +259,16 @@ func SelectDomain(progs []DomainProgram, pol Policy, mgtEntries int) []*Selectio
 						break
 					}
 				}
+				if ok && !crossOK(dp.CFG.Prog, c, accepted[c.Block]) {
+					ok = false
+				}
 				if !ok {
 					continue
 				}
 				for _, pc := range c.Members {
 					used[pc] = true
 				}
+				accepted[c.Block] = append(accepted[c.Block], c)
 				sel.Instances = append(sel.Instances, Selected{Instance: c, MGID: mgid})
 				sel.CoveredInsts += int64(c.Size()-1) * gr.fr[pi][i]
 				committed = true

@@ -1,0 +1,47 @@
+package emu
+
+import "minigraph/internal/isa"
+
+// FNV-1a parameters, shared with Memory.Checksum.
+const (
+	digestOffset uint64 = 14695981039346656037
+	digestPrime  uint64 = 1099511628211
+)
+
+// Digest is an order-sensitive FNV-1a fold over the architectural effects
+// of an instruction stream: every register write (dest register + value)
+// and every store (address + width + value), tagged and sequence-numbered.
+// The functional emulator folds each record as it executes; the pipeline
+// folds the same records at retire. Equal digests prove the pipeline
+// retired exactly the architecturally correct effect stream, exactly once,
+// in order — the paper's transparency claim, checkable per run.
+//
+// The zero Digest is not valid; start from NewDigest.
+type Digest uint64
+
+// NewDigest returns the empty-stream digest (the FNV offset basis).
+func NewDigest() Digest { return Digest(digestOffset) }
+
+// foldWord mixes one 64-bit word, low byte first.
+func (d Digest) foldWord(v uint64) Digest {
+	h := uint64(d)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= digestPrime
+		v >>= 8
+	}
+	return Digest(h)
+}
+
+// Fold accumulates rec's architectural effects. Records with neither a
+// register output nor a store (branches, nops, halt) leave the digest
+// unchanged, so timing-only differences can never perturb it.
+func (d Digest) Fold(rec *Record) Digest {
+	if rec.Dest != isa.RNone {
+		d = d.foldWord(1).foldWord(uint64(rec.Seq)).foldWord(uint64(rec.Dest)).foldWord(rec.DestVal)
+	}
+	if rec.IsStore {
+		d = d.foldWord(2).foldWord(uint64(rec.Seq)).foldWord(uint64(rec.EA)).foldWord(uint64(rec.MemSize)).foldWord(rec.StoreVal)
+	}
+	return d
+}

@@ -43,6 +43,13 @@ type Record struct {
 
 	// MGID is the mini-graph table index for handles, else -1.
 	MGID int
+
+	// Architectural result values for the differential oracle: the value
+	// left in Dest after the instruction executes (0 when Dest is RNone)
+	// and the value a store wrote to memory. A handle can have both: an
+	// interface output and an interior store.
+	DestVal  uint64
+	StoreVal uint64
 }
 
 // Machine is the architectural state of one running program.
@@ -57,6 +64,10 @@ type Machine struct {
 
 	InstCount int64 // dynamic records executed (handles count once)
 
+	// Digest accumulates the architectural effects (register writes,
+	// stores) of every executed record, in program order.
+	Digest Digest
+
 	// Profile, when non-nil, accumulates per-PC execution counts.
 	Profile *program.Profile
 }
@@ -64,7 +75,7 @@ type Machine struct {
 // NewMachine prepares a machine with the program's data image loaded and
 // the stack pointer initialised.
 func NewMachine(p *isa.Program, mgt *core.MGT) *Machine {
-	m := &Machine{Prog: p, MGT: mgt, Mem: NewMemory(), PC: p.Entry}
+	m := &Machine{Prog: p, MGT: mgt, Mem: NewMemory(), PC: p.Entry, Digest: NewDigest()}
 	m.Mem.LoadImage(p.Data)
 	m.Regs[isa.RSP] = uint64(StackBase)
 	return m
@@ -134,7 +145,8 @@ func (m *Machine) Step(rec *Record) error {
 			m.write(in.Ra, isa.LoadExtend(in.Op, m.Mem.Read(ea, size)))
 		} else {
 			rec.IsStore = true
-			m.Mem.Write(ea, size, m.read(in.Ra))
+			rec.StoreVal = m.read(in.Ra)
+			m.Mem.Write(ea, size, rec.StoreVal)
 		}
 	case isa.FmtBranch:
 		rec.IsCtrl = true
@@ -164,6 +176,9 @@ func (m *Machine) Step(rec *Record) error {
 			return err
 		}
 	}
+
+	rec.DestVal = m.read(rec.Dest)
+	m.Digest = m.Digest.Fold(rec)
 
 	if m.Profile != nil {
 		m.Profile.PCCount[m.PC]++
@@ -195,6 +210,7 @@ func (m *Machine) stepHandle(in *isa.Inst, rec *Record) error {
 	}
 	rec.EA, rec.MemSize = res.EA, res.MemSize
 	rec.IsLoad, rec.IsStore = res.IsLoad, res.IsStore
+	rec.StoreVal = res.StoreVal
 	if res.HasBranch {
 		rec.IsCtrl = true
 		rec.CondBranch = true // mini-graph terminal branches are conditional
@@ -237,6 +253,7 @@ type FinalState struct {
 	MemSum    uint64
 	InstCount int64
 	Halted    bool
+	Digest    Digest
 }
 
 // RunToCompletion executes and captures the final architectural state.
@@ -246,5 +263,5 @@ func RunToCompletion(p *isa.Program, mgt *core.MGT, limit int64) (*FinalState, e
 	if err != nil {
 		return nil, err
 	}
-	return &FinalState{Regs: m.Regs, MemSum: m.Mem.Checksum(), InstCount: m.InstCount, Halted: halted}, nil
+	return &FinalState{Regs: m.Regs, MemSum: m.Mem.Checksum(), InstCount: m.InstCount, Halted: halted, Digest: m.Digest}, nil
 }

@@ -1,0 +1,142 @@
+package progen
+
+import (
+	"testing"
+
+	"minigraph/internal/core"
+	"minigraph/internal/emu"
+	"minigraph/internal/program"
+	"minigraph/internal/rewrite"
+	"minigraph/internal/sim"
+	"minigraph/internal/workload"
+)
+
+// TestSourceDeterministic: the seed is the complete reproduction recipe, so
+// generation must be a pure function of it.
+func TestSourceDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		if Source(seed) != Source(seed) {
+			t.Fatalf("seed %d: generation is not deterministic", seed)
+		}
+	}
+	if Source(1) == Source(2) {
+		t.Fatal("distinct seeds produced identical programs")
+	}
+}
+
+// TestGeneratedProgramsTerminate: every generated program must assemble,
+// run without architectural faults, and halt in bounded records — the
+// termination-by-construction claim.
+func TestGeneratedProgramsTerminate(t *testing.T) {
+	n := int64(500)
+	if testing.Short() {
+		n = 100
+	}
+	for seed := int64(0); seed < n; seed++ {
+		p, err := Generate(seed)
+		if err != nil {
+			t.Fatalf("seed %d: assemble: %v\nsource:\n%s", seed, err, Source(seed))
+		}
+		st, err := emu.RunToCompletion(p, nil, 2_000_000)
+		if err != nil {
+			t.Fatalf("seed %d: fault: %v", seed, err)
+		}
+		if !st.Halted {
+			t.Fatalf("seed %d: did not halt within 2M records (%d executed)", seed, st.InstCount)
+		}
+		if st.InstCount < 30 {
+			t.Fatalf("seed %d: implausibly small program (%d records)", seed, st.InstCount)
+		}
+	}
+}
+
+// TestRewriteTransparency: extraction + rewriting (both nop-fill and
+// compressed) must preserve the final memory image and halt state of
+// generated programs — the paper's transparency claim checked at the
+// functional level, independent of any timing model.
+func TestRewriteTransparency(t *testing.T) {
+	n := int64(50)
+	if testing.Short() {
+		n = 15
+	}
+	for seed := int64(0); seed < n; seed++ {
+		p, err := Generate(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := emu.RunToCompletion(p, nil, 10_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := program.BuildCFG(p, nil)
+		lv := program.ComputeLiveness(g)
+		prof, err := emu.ProfileProgram(p, nil, sim.ProfileLimit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel := core.Extract(g, lv, prof, core.DefaultPolicy(), MGTEntries)
+		for _, compress := range []bool{false, true} {
+			res, err := rewrite.Rewrite(p, sel, compress)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mgt := core.NewMGT(res.Templates, core.DefaultExecParams())
+			got, err := emu.RunToCompletion(res.Prog, mgt, 10_000_000)
+			if err != nil {
+				t.Errorf("seed %d compress=%v: rewritten program faulted: %v", seed, compress, err)
+				continue
+			}
+			if got.Halted != ref.Halted || got.MemSum != ref.MemSum {
+				t.Errorf("seed %d compress=%v: transparency broken: memsum %#x vs %#x, halted %v vs %v",
+					seed, compress, got.MemSum, ref.MemSum, got.Halted, ref.Halted)
+			}
+		}
+	}
+}
+
+// TestRegisterSeedIdempotent: re-registering a seed reuses the entry, and
+// the registered benchmark builds the generated program.
+func TestRegisterSeedIdempotent(t *testing.T) {
+	name1, err := RegisterSeed(424242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name2, err := RegisterSeed(424242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name1 != name2 {
+		t.Fatalf("names differ: %q vs %q", name1, name2)
+	}
+	b, ok := workload.ByName(name1)
+	if !ok {
+		t.Fatalf("benchmark %q not in registry", name1)
+	}
+	if b.Suite != Suite {
+		t.Fatalf("suite %q, want %q", b.Suite, Suite)
+	}
+	if got := b.Build(workload.InputTrain); got.Len() == 0 {
+		t.Fatal("registered benchmark builds an empty program")
+	}
+}
+
+// TestGeneratedSuiteSortsLast: generated programs must not perturb the
+// paper's experiment enumerations, which iterate workload.All() in suite
+// order.
+func TestGeneratedSuiteSortsLast(t *testing.T) {
+	if _, err := RegisterSeed(55); err != nil {
+		t.Fatal(err)
+	}
+	all := workload.All()
+	seenProgen := false
+	for _, b := range all {
+		if b.Suite == Suite {
+			seenProgen = true
+		} else if seenProgen {
+			t.Fatalf("suite %q sorted after generated programs", b.Suite)
+		}
+	}
+	if !seenProgen {
+		t.Fatal("registered generated program missing from All()")
+	}
+}

@@ -154,6 +154,14 @@ func (s *Server) handleBlob(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, fmt.Errorf("trace blob not resident on this worker"))
 		return
 	}
+	if s.chaos != nil {
+		s.chaos.blobDelay()
+		if s.chaos.dropBlob() {
+			panic(http.ErrAbortHandler) // peer dies mid-transfer
+		}
+		// A corrupted blob must be caught by the frame CRC on arrival.
+		data = s.chaos.corruptBlob(data)
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", fmt.Sprint(len(data)))
 	_, _ = w.Write(data)

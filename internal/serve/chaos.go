@@ -1,0 +1,118 @@
+// Chaos injection for the serving tier: seeded, counted failures on the
+// peer blob-transfer path, so tests can prove the tier's recovery story
+// end to end. Every chaos class maps to a real production failure — a peer
+// that dies mid-transfer (drop), a network that flips bits (corrupt), a
+// congested link (delay) — and the invariant under all of them is the
+// same one the coordinator already guarantees for worker deaths: the
+// sweep report stays byte-identical, the fault only costs recomputation
+// (a blob re-fetched from the next peer, or a local re-capture).
+package serve
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ChaosConfig sets the per-operation probabilities of each serve-layer
+// fault class. All probabilities are in [0, 1]; zero disables that class.
+type ChaosConfig struct {
+	// BlobDrop aborts the connection serving GET /v1/blobs mid-response,
+	// as a peer dying during a transfer would. The fetching worker sees a
+	// transport error and falls back to its next source or to capturing.
+	BlobDrop float64
+	// BlobCorrupt flips one random bit in a served blob. The trace codec's
+	// frame CRC must catch it on arrival (counted in the engine's
+	// TracePeerRejects), degrading to re-capture, never to a wrong replay.
+	BlobCorrupt float64
+	// BlobDelayP is the probability of sleeping Delay before serving a
+	// blob (with Delay longer than the fetcher's per-peer budget, this is
+	// a hung peer).
+	BlobDelayP float64
+	// Delay is the injected latency (only meaningful with BlobDelayP > 0).
+	Delay time.Duration
+	// Seed makes the chaos sequence reproducible.
+	Seed int64
+}
+
+// ChaosCounters is a snapshot of how many faults of each class fired.
+type ChaosCounters struct {
+	BlobDrops    int64 `json:"blob_drops"`
+	BlobCorrupts int64 `json:"blob_corrupts"`
+	BlobDelays   int64 `json:"blob_delays"`
+}
+
+// Total sums all chaos classes.
+func (c ChaosCounters) Total() int64 { return c.BlobDrops + c.BlobCorrupts + c.BlobDelays }
+
+// Chaos injects seeded faults into a Server's blob-serving path (tests
+// only; attach via Options.Chaos). Safe for concurrent use.
+type Chaos struct {
+	cfg ChaosConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	drops    atomic.Int64
+	corrupts atomic.Int64
+	delays   atomic.Int64
+}
+
+// NewChaos builds an injector from cfg, seeded by cfg.Seed.
+func NewChaos(cfg ChaosConfig) *Chaos {
+	return &Chaos{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Counters snapshots the per-class fault counts.
+func (c *Chaos) Counters() ChaosCounters {
+	return ChaosCounters{
+		BlobDrops:    c.drops.Load(),
+		BlobCorrupts: c.corrupts.Load(),
+		BlobDelays:   c.delays.Load(),
+	}
+}
+
+func (c *Chaos) roll() float64 {
+	c.mu.Lock()
+	v := c.rng.Float64()
+	c.mu.Unlock()
+	return v
+}
+
+func (c *Chaos) intn(n int) int {
+	c.mu.Lock()
+	v := c.rng.Intn(n)
+	c.mu.Unlock()
+	return v
+}
+
+// blobDelay sleeps the configured latency with probability BlobDelayP.
+func (c *Chaos) blobDelay() {
+	if c.cfg.BlobDelayP > 0 && c.roll() < c.cfg.BlobDelayP {
+		c.delays.Add(1)
+		time.Sleep(c.cfg.Delay)
+	}
+}
+
+// dropBlob reports whether this blob response should die mid-transfer.
+func (c *Chaos) dropBlob() bool {
+	if c.cfg.BlobDrop > 0 && c.roll() < c.cfg.BlobDrop {
+		c.drops.Add(1)
+		return true
+	}
+	return false
+}
+
+// corruptBlob flips one bit of the served blob with probability
+// BlobCorrupt, returning a fresh slice when it fires.
+func (c *Chaos) corruptBlob(data []byte) []byte {
+	if c.cfg.BlobCorrupt > 0 && len(data) > 0 && c.roll() < c.cfg.BlobCorrupt {
+		c.corrupts.Add(1)
+		out := append([]byte(nil), data...)
+		bit := c.intn(len(out) * 8)
+		out[bit/8] ^= 1 << (bit % 8)
+		return out
+	}
+	return data
+}

@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"minigraph/internal/sim"
+)
+
+// chaosSweep is a small sweep with multiple arms per trace identity, so
+// re-routed arms have blobs worth fetching.
+func chaosSweep() SweepRequest {
+	req := SweepRequest{Name: "chaos", Title: "chaos sweep"}
+	for _, b := range []string{"sha", "adpcm.enc"} {
+		for i, spec := range []JobSpec{
+			{Baseline: true, Machine: "baseline"},
+			{},
+			{Entries: 128},
+		} {
+			spec.Bench = b
+			spec.MaxRecords = 3000
+			spec.Arm = fmt.Sprintf("%s/v%d", b, i)
+			req.Jobs = append(req.Jobs, spec)
+		}
+	}
+	return req
+}
+
+// chaosWorker builds a worker server with a chaos injector on its blob
+// path and returns it with its test listener.
+func chaosWorker(t *testing.T, chaos *Chaos) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := mustNew(t, Options{Engine: sim.New(2), Chaos: chaos})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+// runChaosTier runs chaosSweep over a dynamic two-worker tier where the
+// second worker joins only after the first has captured everything — so
+// every arm the join re-routes must fetch (or fail to fetch) its blob
+// from worker 1, whose blob path runs under the given chaos injector.
+// Returns the sweep report bytes and the two worker servers.
+func runChaosTier(t *testing.T, chaos *Chaos) ([]byte, *Server, *Server) {
+	t.Helper()
+	ctx := context.Background()
+	req := chaosSweep()
+
+	w1, ts1 := chaosWorker(t, chaos)
+	w2, ts2 := chaosWorker(t, nil)
+
+	csrv := mustNew(t, Options{
+		Engine:      sim.New(2),
+		Coordinator: true,
+		MemberTTL:   time.Minute,
+		// One arm in flight at a time, so the membership flip between the
+		// two sweeps below cleanly separates "capture" from "re-route".
+		FanoutConcurrency: 1,
+		// Short call timeout keeps the per-peer blob budget (a fifth of
+		// it) small, so a delayed peer is abandoned quickly.
+		WorkerCallTimeout: 30 * time.Second,
+	})
+	cts := httptest.NewServer(csrv)
+	t.Cleanup(func() {
+		cts.Close()
+		csrv.Close()
+	})
+	cl := NewClient(cts.URL)
+
+	// Warm pass: only w1 is registered, so it captures every trace.
+	if _, err := cl.RegisterWorker(ctx, ts1.URL); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := cl.SweepJSON(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip membership: w2 joins, w1 expires. Every arm now routes to w2,
+	// which holds nothing — each trace identity triggers a blob fetch
+	// from w1 (named as previous owner), through the chaos injector.
+	if _, err := cl.RegisterWorker(ctx, ts2.URL); err != nil {
+		t.Fatal(err)
+	}
+	csrv.coord.members.expireForTest(ts1.URL)
+
+	got, err := cl.SweepJSON(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, warm) {
+		t.Fatalf("re-routed sweep under chaos differs from warm sweep:\n%s\nvs\n%s", got, warm)
+	}
+	if n := w2.eng.Stats().PipelineSims(); n == 0 {
+		t.Fatal("joined worker ran nothing; membership flip did not re-route")
+	}
+	return warm, w1, w2
+}
+
+// TestChaosBlobDropsRecapture: every peer blob fetch dies mid-transfer.
+// The re-routed worker must fall back to capturing locally and the report
+// must not change.
+func TestChaosBlobDropsRecapture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-engine tier; skipped in -short")
+	}
+	chaos := NewChaos(ChaosConfig{BlobDrop: 1, Seed: 1})
+	_, _, w2 := runChaosTier(t, chaos)
+	if chaos.Counters().BlobDrops == 0 {
+		t.Fatal("no blob transfers were dropped; the chaos path was not exercised")
+	}
+	st := w2.eng.Stats()
+	if st.TracePeerHits != 0 {
+		t.Errorf("worker adopted %d blobs although every transfer was dropped", st.TracePeerHits)
+	}
+	if st.TraceCaptures == 0 {
+		t.Error("worker never fell back to capturing")
+	}
+}
+
+// TestChaosBlobCorruptionRejected: every served blob has one bit flipped.
+// The frame CRC must reject each transfer (TracePeerRejects) and the
+// worker re-captures; the report must not change.
+func TestChaosBlobCorruptionRejected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-engine tier; skipped in -short")
+	}
+	chaos := NewChaos(ChaosConfig{BlobCorrupt: 1, Seed: 2})
+	_, _, w2 := runChaosTier(t, chaos)
+	if chaos.Counters().BlobCorrupts == 0 {
+		t.Fatal("no blobs were corrupted; the chaos path was not exercised")
+	}
+	st := w2.eng.Stats()
+	if st.TracePeerRejects == 0 {
+		t.Error("corrupted blobs were not rejected by the frame CRC")
+	}
+	if st.TracePeerHits != 0 {
+		t.Errorf("worker adopted %d corrupted blobs", st.TracePeerHits)
+	}
+	if st.TraceCaptures == 0 {
+		t.Error("worker never fell back to capturing")
+	}
+}
+
+// TestChaosBlobDelayWithinBudget: delayed (but not hung) peers still
+// deliver; the report must not change and transfers still land.
+func TestChaosBlobDelayWithinBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-engine tier; skipped in -short")
+	}
+	chaos := NewChaos(ChaosConfig{BlobDelayP: 1, Delay: 50 * time.Millisecond, Seed: 3})
+	_, _, w2 := runChaosTier(t, chaos)
+	if chaos.Counters().BlobDelays == 0 {
+		t.Fatal("no blob transfers were delayed; the chaos path was not exercised")
+	}
+	st := w2.eng.Stats()
+	if st.TracePeerHits == 0 {
+		t.Error("delayed transfers should still deliver blobs within the budget")
+	}
+}
+
+// TestChaosCountersInStatsz: an attached chaos injector's counters are
+// visible through /statsz.
+func TestChaosCountersInStatsz(t *testing.T) {
+	chaos := NewChaos(ChaosConfig{BlobDrop: 1, Seed: 4})
+	chaos.dropBlob() // fire one fault directly
+	_, ts := chaosWorker(t, chaos)
+
+	resp, body := getBody(t, ts.URL+"/statsz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /statsz: %d: %s", resp.StatusCode, body)
+	}
+	var stats struct {
+		Chaos *ChaosCounters `json:"chaos"`
+	}
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Chaos == nil || stats.Chaos.BlobDrops != 1 {
+		t.Errorf("statsz chaos counters = %+v, want one blob drop", stats.Chaos)
+	}
+}

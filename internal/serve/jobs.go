@@ -694,6 +694,13 @@ func loadJobRecord(st *store.Store, id string) (*job, bool) {
 	if !ok {
 		return nil, false
 	}
+	return decodeJobRecord(data, id)
+}
+
+// decodeJobRecord parses one persisted job record, rejecting damaged,
+// version-mismatched, wrong-id and unknown-state payloads — a record that
+// fails any check reads as a forgotten job, never as garbage state.
+func decodeJobRecord(data []byte, id string) (*job, bool) {
 	var rec jobRecord
 	if err := json.Unmarshal(data, &rec); err != nil || rec.V != jobCodecVersion || rec.ID != id {
 		return nil, false
@@ -701,6 +708,9 @@ func loadJobRecord(st *store.Store, id string) (*job, bool) {
 	switch rec.State {
 	case JobQueued, JobRunning, JobDone, JobFailed, JobCanceled:
 	default:
+		return nil, false
+	}
+	if rec.Total < 0 || rec.Completed < 0 || rec.Completed > rec.Total {
 		return nil, false
 	}
 	return &job{

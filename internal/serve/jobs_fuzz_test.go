@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzJobRecordRecovery drives the persisted-job decoder with arbitrary
+// bytes: recovery after a restart reads whatever the store hands back, so
+// the decoder must never panic and must reject anything that is not a
+// well-formed current-version record for the requested id — damaged jobs
+// are forgotten, never resurrected with garbage state.
+func FuzzJobRecordRecovery(f *testing.F) {
+	good, err := json.Marshal(jobRecord{
+		V: jobCodecVersion, ID: "j-0011223344556677", State: JobDone,
+		Total: 4, Completed: 4, CreatedUnix: 1700000000,
+		Request: SweepRequest{Name: "s", Jobs: []JobSpec{{Bench: "sha", Baseline: true}}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good, "j-0011223344556677")
+	// Rejection seeds: wrong id, wrong version, unknown state, negative
+	// and inconsistent progress counts, junk.
+	f.Add(good, "j-ffffffffffffffff")
+	f.Add([]byte(`{"v":999,"id":"x","state":"done"}`), "x")
+	f.Add([]byte(`{"v":1,"id":"x","state":"exploded"}`), "x")
+	f.Add([]byte(`{"v":1,"id":"x","state":"done","total":-1}`), "x")
+	f.Add([]byte(`{"v":1,"id":"x","state":"done","total":1,"completed":5}`), "x")
+	f.Add([]byte(`not json`), "x")
+	f.Add([]byte(``), "")
+
+	f.Fuzz(func(t *testing.T, data []byte, id string) {
+		j, ok := decodeJobRecord(data, id)
+		if !ok {
+			return
+		}
+		if j.id != id {
+			t.Fatalf("accepted record for id %q when asked for %q", j.id, id)
+		}
+		switch j.state {
+		case JobQueued, JobRunning, JobDone, JobFailed, JobCanceled:
+		default:
+			t.Fatalf("accepted unknown state %q", j.state)
+		}
+		if j.total < 0 || j.completed < 0 || j.completed > j.total {
+			t.Fatalf("accepted inconsistent progress %d/%d", j.completed, j.total)
+		}
+	})
+}

@@ -115,6 +115,13 @@ type Options struct {
 	// still parallelizes internally through the engine or coordinator.
 	JobQueue   int
 	JobRunners int
+
+	// Chaos, when non-nil, injects seeded faults into the blob-serving
+	// path (tests only; see Chaos). Counters appear in /statsz.
+	Chaos *Chaos
+	// Scrub, when non-nil, is the report of a store scrub pass run at
+	// startup (mgserve -scrub); /statsz exposes it.
+	Scrub *store.ScrubReport
 }
 
 // Server is the mgserve HTTP handler.
@@ -127,6 +134,8 @@ type Server struct {
 	coord    *Coordinator // nil in single-process mode
 	adm      *admission
 	jobs     *JobManager
+	chaos    *Chaos             // nil outside chaos tests
+	scrub    *store.ScrubReport // nil unless a startup scrub ran
 }
 
 // New builds the handler. Close it when done to stop the async job
@@ -151,6 +160,8 @@ func New(o Options) (*Server, error) {
 		started:  time.Now(),
 		mux:      http.NewServeMux(),
 		adm:      newAdmission(o.RateLimit, o.RateBurst, o.MaxInflightSweeps),
+		chaos:    o.Chaos,
+		scrub:    o.Scrub,
 	}
 	if len(o.Workers) > 0 || o.Coordinator {
 		coord, err := NewCoordinator(CoordinatorOptions{
@@ -683,6 +694,11 @@ type statsResponse struct {
 	Members   []MemberStatus `json:"members,omitempty"`
 	Admission AdmissionStats `json:"admission"`
 	Jobs      JobsStats      `json:"jobs"`
+	// Chaos counts injected serve-layer faults (present only when a chaos
+	// injector is attached); Scrub is the startup scrub pass's report
+	// (present only when one ran).
+	Chaos *ChaosCounters     `json:"chaos,omitempty"`
+	Scrub *store.ScrubReport `json:"scrub,omitempty"`
 
 	UptimeSeconds float64  `json:"uptime_seconds"`
 	Experiments   []string `json:"experiments"`
@@ -709,6 +725,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		ss := st.Stats()
 		resp.Store = &ss
 	}
+	if s.chaos != nil {
+		cc := s.chaos.Counters()
+		resp.Chaos = &cc
+	}
+	resp.Scrub = s.scrub
 	writeJSON(w, resp)
 }
 

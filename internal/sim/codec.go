@@ -27,7 +27,10 @@ import (
 //	   uarch.Config grew Prefetcher, uarch.Result grew BTB/RAS and
 //	   prefetch counters, and SimKey canonicalizes both front-end axes
 //	   per kind (explicit kind, defaults filled, inactive sizing zeroed).
-const CodecVersion = 4
+//	5: differential oracle — uarch.Result grew RetiredDigest, and the
+//	   trace blob codec moved to v2 (rows carry destVal/storeVal), so
+//	   both outcomes and trace blobs persisted under v4 re-read as misses.
+const CodecVersion = 5
 
 // envelope is the versioned wrapper around every encoded value. Payload
 // stays raw so encode→decode→encode is byte-stable for any payload the

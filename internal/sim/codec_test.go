@@ -203,3 +203,54 @@ func FuzzKeyCanonicalization(f *testing.F) {
 		}
 	})
 }
+
+// FuzzOutcomeCodec drives DecodeOutcome with arbitrary bytes. Decoding
+// must never panic, every accepted payload must carry a non-nil Result,
+// and re-encoding an accepted outcome must be byte-stable — the store's
+// byte-equality invariant for outcomes depends on it.
+func FuzzOutcomeCodec(f *testing.F) {
+	full := &Outcome{
+		Result: &uarch.Result{Cycles: 12345, Retired: 6789, RetiredDigest: 0xdeadbeef},
+		Selection: &core.Selection{
+			CoveredInsts:   100,
+			TotalInsts:     400,
+			CandidateCount: 9,
+		},
+	}
+	for _, out := range []*Outcome{full, {Result: &uarch.Result{Cycles: 1}}} {
+		data, err := EncodeOutcome(out)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	// Crashers the strict decoder must reject, kept as seeds so the
+	// rejection paths stay covered: null result, version lies, truncation
+	// and trailing garbage.
+	f.Add([]byte(`{"v":5,"p":{"result":null}}`))
+	f.Add([]byte(`{"v":999,"p":{"result":{}}}`))
+	f.Add([]byte(`{"v":5,"p":{"result":{}}}{"v":5}`))
+	f.Add([]byte(`{"v":5,"p":{"resu`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := DecodeOutcome(data)
+		if err != nil {
+			return
+		}
+		if out.Result == nil {
+			t.Fatal("accepted outcome with nil result")
+		}
+		enc, err := EncodeOutcome(out)
+		if err != nil {
+			t.Fatalf("decoded outcome fails to encode: %v", err)
+		}
+		again, err := DecodeOutcome(enc)
+		if err != nil {
+			t.Fatalf("re-encoded outcome fails to decode: %v", err)
+		}
+		enc2, err := EncodeOutcome(again)
+		if err != nil || !bytes.Equal(enc, enc2) {
+			t.Fatalf("outcome encoding is not a fixed point (%v)", err)
+		}
+	})
+}

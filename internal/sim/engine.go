@@ -577,6 +577,12 @@ func (e *Engine) captureTraceLocked(ctx context.Context, tk TraceKey, key SimKey
 // failures: a damaged entry is a miss and a failed write-through is
 // dropped.
 func (e *Engine) Simulate(ctx context.Context, job SimJob) (*Outcome, error) {
+	// Refuse an impossible machine up front with a structured error. Job
+	// specs arrive over HTTP; a degenerate config must fail its own job,
+	// not panic a worker mid-sweep.
+	if err := job.Config.Check(); err != nil {
+		return nil, fmt.Errorf("sim: job %q: %w", job.Config.Name, err)
+	}
 	key := job.Key()
 	return singleflight(e, ctx, e.sims, key, &e.simRuns, &e.simHits,
 		func(ctx context.Context) (*Outcome, error) {

@@ -225,3 +225,28 @@ func TestEachCollectsErrors(t *testing.T) {
 		t.Fatalf("got %v, want failure-a", err)
 	}
 }
+
+// TestSimulateRefusesImpossibleConfig: a job carrying a degenerate machine
+// fails its own simulation with a structured error — job specs arrive over
+// HTTP, so this must never panic a worker. Gang planning must likewise
+// skip the bad job (Run exercises that path).
+func TestSimulateRefusesImpossibleConfig(t *testing.T) {
+	eng := New(1)
+	bad := baselineTestJob()
+	bad.Config.FetchWidth = 0
+	if _, err := eng.Simulate(context.Background(), bad); err == nil {
+		t.Fatal("zero-width config simulated clean")
+	} else if !strings.Contains(err.Error(), "width") {
+		t.Fatalf("error %q does not name the bad axis", err)
+	}
+
+	// In a sweep the bad arm fails alone with the same structured error.
+	good := baselineTestJob()
+	bad2 := good
+	bad2.Config.ROBSize = -1
+	if _, err := eng.Run(context.Background(), []SimJob{good, bad2}); err == nil {
+		t.Fatal("sweep with an impossible arm succeeded")
+	} else if !strings.Contains(err.Error(), "window capacity") {
+		t.Fatalf("sweep error %q does not name the bad axis", err)
+	}
+}

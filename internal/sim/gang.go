@@ -95,6 +95,9 @@ func (e *Engine) planGangs(jobs []SimJob) *gangPlan {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for i, job := range jobs {
+		if job.Config.Check() != nil {
+			continue // impossible machine: Simulate refuses it cleanly
+		}
 		key := job.Key()
 		if seen[key] {
 			continue // in-sweep duplicate: waits via Simulate

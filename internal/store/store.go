@@ -43,7 +43,15 @@ import (
 // formatVersion is the on-disk entry envelope version. It is independent
 // of the payload's own versioning (the simulation codec versions its
 // encodings separately).
-const formatVersion = 1
+//
+// Version history:
+//
+//	1: {version, key, value}.
+//	2: entries carry a sha256 checksum of the value, so silent media
+//	   corruption inside the payload is detected on read instead of being
+//	   handed to the caller (the JSON structure alone only catches damage
+//	   that breaks parsing or the recorded key).
+const formatVersion = 2
 
 // DefaultMaxBytes is the byte budget applied when Options.MaxBytes is zero
 // (1 GiB — roughly a million simulation outcomes).
@@ -55,6 +63,9 @@ type Options struct {
 	// entries are evicted beyond it (0 = DefaultMaxBytes, negative =
 	// unbounded).
 	MaxBytes int64
+	// Faults, when non-nil, injects disk faults into Put and Get (tests
+	// only; see FaultInjector). nil costs one pointer check per operation.
+	Faults *FaultInjector
 }
 
 // Stats is a point-in-time snapshot of the store's counters and footprint.
@@ -72,11 +83,18 @@ type Stats struct {
 }
 
 // entry is the on-disk envelope. The key is recorded verbatim so a read
-// can verify it got the entry it asked for.
+// can verify it got the entry it asked for; Sum is the hex sha256 of Value
+// so payload corruption that leaves the JSON parseable is still caught.
 type entry struct {
 	Version int    `json:"version"`
 	Key     []byte `json:"key"`
 	Value   []byte `json:"value"`
+	Sum     string `json:"sum"`
+}
+
+func valueSum(value []byte) string {
+	sum := sha256.Sum256(value)
+	return hex.EncodeToString(sum[:])
 }
 
 // indexed is the in-memory bookkeeping for one on-disk entry. elem is the
@@ -92,8 +110,9 @@ type indexed struct {
 // multiple processes may share a directory (eviction decisions are then
 // per-process approximations, which is acceptable for a cache).
 type Store struct {
-	dir string
-	max int64
+	dir    string
+	max    int64
+	faults *FaultInjector // nil outside fault-injection tests
 
 	mu    sync.Mutex
 	index map[string]*indexed // hex hash -> entry
@@ -124,7 +143,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(root, 0o777); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{dir: root, max: max, index: make(map[string]*indexed), lru: list.New()}
+	s := &Store{dir: root, max: max, faults: opts.Faults, index: make(map[string]*indexed), lru: list.New()}
 
 	// Index existing entries oldest-first so the recency list reflects
 	// on-disk modification times. Staging files orphaned by a crashed
@@ -308,6 +327,15 @@ func removeEntry(path string) {
 // mismatched entries are deleted and reported as misses.
 func (s *Store) Get(key []byte) ([]byte, bool) {
 	hash := hashKey(key)
+	if s.faults != nil {
+		s.faults.delay()
+		if s.faults.failRead() {
+			// Transient read failure: the entry stays on disk and indexed
+			// (same semantics as a real transient ReadFile error below).
+			s.misses.Add(1)
+			return nil, false
+		}
+	}
 
 	s.mu.Lock()
 	e, ok := s.index[hash]
@@ -361,13 +389,17 @@ func (s *Store) Get(key []byte) ([]byte, bool) {
 	return val, true
 }
 
-// decodeEntry parses an on-disk envelope and verifies it holds key.
+// decodeEntry parses an on-disk envelope and verifies it holds key with an
+// intact payload.
 func decodeEntry(data []byte, key []byte) ([]byte, bool) {
 	var e entry
 	if err := json.Unmarshal(data, &e); err != nil {
 		return nil, false
 	}
 	if e.Version != formatVersion || string(e.Key) != string(key) || e.Value == nil {
+		return nil, false
+	}
+	if e.Sum != valueSum(e.Value) {
 		return nil, false
 	}
 	return e.Value, true
@@ -404,9 +436,18 @@ func (s *Store) Delete(key []byte) {
 // entry only to leave a store that still cannot hold the working set.
 func (s *Store) Put(key, value []byte) error {
 	hash := hashKey(key)
-	data, err := json.Marshal(entry{Version: formatVersion, Key: key, Value: value})
+	data, err := json.Marshal(entry{Version: formatVersion, Key: key, Value: value, Sum: valueSum(value)})
 	if err != nil {
 		return fmt.Errorf("store: encode: %w", err)
+	}
+	if s.faults != nil {
+		s.faults.delay()
+		if s.faults.failWrite() {
+			return fmt.Errorf("store: write %s: %w", hash[:8], errInjectedWrite)
+		}
+		// Corrupt the bytes about to hit disk — the envelope checksum (or,
+		// for a truncation, the JSON parse) must catch this on the next Get.
+		data = s.faults.corrupt(data)
 	}
 	if s.max >= 0 && int64(len(data)) > s.max {
 		s.rejected.Add(1)

@@ -10,7 +10,13 @@ import (
 // Any change to the record layout must bump it: persisted traces written
 // under an older version then read back as decode errors (cache misses)
 // instead of replaying garbage.
-const CodecVersion = 1
+//
+// Version history:
+//
+//	1: initial 27-byte packed rows.
+//	2: rows grew destVal/storeVal u64 pairs (43 bytes) so replay folds the
+//	   same retired-state digest as the live stream.
+const CodecVersion = 2
 
 // magic tags a trace blob ("MGTR", little-endian).
 const magic uint32 = 0x5254474d

@@ -48,13 +48,16 @@ const (
 // recordBytes is the packed per-record storage: one little-endian row
 //
 //	pc u32 | nextPC u32 | mgid i32 | ea u64 | flags u16 |
-//	op u8 | src0 u8 | src1 u8 | dest u8 | memSize u8
+//	op u8 | src0 u8 | src1 u8 | dest u8 | memSize u8 |
+//	destVal u64 | storeVal u64
 //
 // Rows are packed back to back, so capture writes and replay reads touch
 // one short contiguous span per record instead of ten parallel arrays.
 // Derived Record fields (Seq = index, FallPC = PC+1, Inst = prog.At(PC))
-// are reconstructed at replay rather than stored.
-const recordBytes = 4 + 4 + 4 + 8 + 2 + 5
+// are reconstructed at replay rather than stored. The architectural value
+// fields ride along so replayed runs fold the same retired-state digest as
+// live ones (codec v2).
+const recordBytes = 4 + 4 + 4 + 8 + 2 + 5 + 8 + 8
 
 // Trace is an immutable dynamic instruction stream in packed-record form.
 // A Trace is safe for concurrent Readers once built.
@@ -132,6 +135,8 @@ func (t *Trace) append(rec *emu.Record) {
 	row[24] = uint8(rec.Srcs[1])
 	row[25] = uint8(rec.Dest)
 	row[26] = uint8(rec.MemSize)
+	binary.LittleEndian.PutUint64(row[27:], rec.DestVal)
+	binary.LittleEndian.PutUint64(row[35:], rec.StoreVal)
 	t.recs = append(t.recs, row[:]...)
 }
 
@@ -164,6 +169,8 @@ func (t *Trace) fill(dst *emu.Record, i int64, prog *isa.Program) {
 	dst.NextPC = isa.PC(int32(binary.LittleEndian.Uint32(row[4:])))
 	dst.FallPC = pc + 1
 	dst.MGID = int(int32(binary.LittleEndian.Uint32(row[8:])))
+	dst.DestVal = binary.LittleEndian.Uint64(row[27:])
+	dst.StoreVal = binary.LittleEndian.Uint64(row[35:])
 }
 
 // captureCheckInterval is how many records elapse between context checks

@@ -15,6 +15,8 @@
 package uarch
 
 import (
+	"fmt"
+
 	"minigraph/internal/uarch/bpred"
 	"minigraph/internal/uarch/cache"
 	"minigraph/internal/uarch/prefetch"
@@ -183,27 +185,43 @@ func (c *Config) EffectiveStreamWindow() int {
 	return c.MaxSquashDepth()
 }
 
-// Validate panics on impossible configurations; configs are produced by
-// code, so an invalid one is a programming error.
-func (c *Config) Validate() {
+// Check reports an impossible configuration as a structured error, so
+// layers fed configs from outside the process (the HTTP job spec, the
+// differential harness) can refuse one cleanly instead of panicking a
+// worker mid-sweep. nil means the config can build a pipeline.
+func (c *Config) Check() error {
 	switch {
 	case c.FetchWidth <= 0 || c.RenameWidth <= 0 || c.IssueWidth <= 0 || c.CommitWidth <= 0:
-		panic("uarch: non-positive width")
+		return fmt.Errorf("uarch: non-positive width (fetch %d, rename %d, issue %d, commit %d)",
+			c.FetchWidth, c.RenameWidth, c.IssueWidth, c.CommitWidth)
 	case c.ROBSize <= 0 || c.IQSize <= 0 || c.LSQSize <= 0:
-		panic("uarch: non-positive window capacity")
+		return fmt.Errorf("uarch: non-positive window capacity (ROB %d, IQ %d, LSQ %d)",
+			c.ROBSize, c.IQSize, c.LSQSize)
 	case c.PhysRegs < 65:
-		panic("uarch: too few physical registers")
+		return fmt.Errorf("uarch: %d physical registers cannot rename 64 architectural ones", c.PhysRegs)
 	case c.IntALUs+c.APs == 0:
-		panic("uarch: no integer units")
+		return fmt.Errorf("uarch: no integer units")
 	case c.MemLatency < 0:
-		panic("uarch: negative memory latency")
+		return fmt.Errorf("uarch: negative memory latency %d", c.MemLatency)
 	case c.StreamWindow != 0 && c.StreamWindow < c.MaxSquashDepth():
-		panic("uarch: stream window override smaller than maximum squash depth")
+		return fmt.Errorf("uarch: stream window override %d smaller than maximum squash depth %d",
+			c.StreamWindow, c.MaxSquashDepth())
 	}
 	if err := c.BPred.Validate(); err != nil {
-		panic("uarch: " + err.Error())
+		return fmt.Errorf("uarch: %w", err)
 	}
 	if err := c.Prefetcher.Validate(); err != nil {
-		panic("uarch: " + err.Error())
+		return fmt.Errorf("uarch: %w", err)
+	}
+	return nil
+}
+
+// Validate panics on impossible configurations; it guards the pipeline
+// constructors, whose configs are produced by code — an invalid one there
+// is a programming error. Layers accepting configs from outside the
+// process should call Check instead.
+func (c *Config) Validate() {
+	if err := c.Check(); err != nil {
+		panic(err.Error())
 	}
 }

@@ -1,0 +1,126 @@
+package uarch_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"minigraph/internal/asm"
+	"minigraph/internal/uarch"
+	"minigraph/internal/uarch/prefetch"
+)
+
+// TestDegenerateEmptyProgram: a program with no instructions must end in a
+// structured error (the emulator runs off the end of the text), never a
+// panic or a hang.
+func TestDegenerateEmptyProgram(t *testing.T) {
+	p, err := asm.Assemble("empty", "main:\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := uarch.New(uarch.Baseline(), p, nil)
+	if _, err := pipe.Run(context.Background()); err == nil {
+		t.Fatal("empty program ran clean; want a structured source error")
+	} else {
+		t.Logf("empty program: %v", err)
+	}
+}
+
+// TestDegenerateSingleInstruction: a halt-only program retires exactly one
+// instruction on every machine shape.
+func TestDegenerateSingleInstruction(t *testing.T) {
+	p := asm.MustAssemble("halt", "main: halt\n")
+	for _, cfg := range []uarch.Config{uarch.Baseline(), uarch.MiniGraph(true)} {
+		res := run(t, cfg, p, nil)
+		if res.Retired != 1 {
+			t.Errorf("%s: retired %d instructions, want 1", cfg.Name, res.Retired)
+		}
+		if res.Cycles == 0 {
+			t.Errorf("%s: zero cycles", cfg.Name)
+		}
+	}
+}
+
+// TestDegenerateWidthOneMachine: a scalar (width-1, minimal-window) config
+// is legal and still retires a real program correctly — narrow structural
+// limits must serialize, not wedge or corrupt.
+func TestDegenerateWidthOneMachine(t *testing.T) {
+	cfg := uarch.Baseline()
+	cfg.Name = "scalar"
+	cfg.FetchWidth, cfg.RenameWidth, cfg.IssueWidth, cfg.CommitWidth = 1, 1, 1, 1
+	cfg.ROBSize, cfg.IQSize, cfg.LSQSize = 4, 2, 2
+	cfg.IntALUs, cfg.APs = 1, 0
+	cfg.FPUnits, cfg.LoadPorts, cfg.StorePorts = 1, 1, 1
+	if err := cfg.Check(); err != nil {
+		t.Fatalf("width-1 machine rejected: %v", err)
+	}
+
+	p := asm.MustAssemble("sum", sumSrc)
+	res := run(t, cfg, p, nil)
+	wide := run(t, uarch.Baseline(), p, nil)
+	if res.Retired != wide.Retired {
+		t.Errorf("scalar machine retired %d, wide %d — width must not change architecture", res.Retired, wide.Retired)
+	}
+	if res.RetiredDigest != wide.RetiredDigest {
+		t.Errorf("scalar machine digest %#x, wide %#x", res.RetiredDigest, wide.RetiredDigest)
+	}
+	if res.Cycles <= wide.Cycles {
+		t.Errorf("scalar machine took %d cycles, wide %d — serialization should cost time", res.Cycles, wide.Cycles)
+	}
+}
+
+// TestDegenerateConfigCheck covers Config.Check's rejection classes as
+// structured errors, and the zero-entry prefetcher both ways: zero sizing
+// canonicalizes to defaults and runs clean, while sizing that cannot build
+// a table is a structured error.
+func TestDegenerateConfigCheck(t *testing.T) {
+	mutate := func(f func(*uarch.Config)) uarch.Config {
+		cfg := uarch.Baseline()
+		f(&cfg)
+		return cfg
+	}
+	cases := []struct {
+		name string
+		cfg  uarch.Config
+		want string
+	}{
+		{"zero width", mutate(func(c *uarch.Config) { c.FetchWidth = 0 }), "width"},
+		{"zero ROB", mutate(func(c *uarch.Config) { c.ROBSize = 0 }), "window capacity"},
+		{"too few physregs", mutate(func(c *uarch.Config) { c.PhysRegs = 64 }), "physical registers"},
+		{"no integer units", mutate(func(c *uarch.Config) { c.IntALUs, c.APs = 0, 0 }), "integer units"},
+		{"negative memory latency", mutate(func(c *uarch.Config) { c.MemLatency = -1 }), "memory latency"},
+		{"bad predictor kind", mutate(func(c *uarch.Config) { c.BPred.Kind = "oracle" }), "predictor"},
+		{"non-power-of-two prefetcher", mutate(func(c *uarch.Config) {
+			c.Prefetcher = prefetch.Config{Kind: prefetch.KindDelta, Entries: 3}
+		}), "power of two"},
+		{"negative-entry prefetcher", mutate(func(c *uarch.Config) {
+			c.Prefetcher = prefetch.Config{Kind: prefetch.KindDelta, Entries: -8}
+		}), "power of two"},
+	}
+	for _, c := range cases {
+		err := c.cfg.Check()
+		if err == nil {
+			t.Errorf("%s: Check accepted the config", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+
+	base := uarch.Baseline()
+	if err := base.Check(); err != nil {
+		t.Errorf("baseline config rejected: %v", err)
+	}
+	// Zero-valued prefetcher sizing canonicalizes to the kind's defaults:
+	// legal, and it runs.
+	zero := uarch.Baseline()
+	zero.Prefetcher = prefetch.Config{Kind: prefetch.KindDelta}
+	if err := zero.Check(); err != nil {
+		t.Fatalf("zero-sized delta prefetcher rejected: %v", err)
+	}
+	p := asm.MustAssemble("halt", "main: halt\n")
+	if res := run(t, zero, p, nil); res.Retired != 1 {
+		t.Errorf("zero-sized prefetcher config retired %d, want 1", res.Retired)
+	}
+}

@@ -163,6 +163,10 @@ type Pipeline struct {
 	lastFetchLine isa.Addr
 	haveFetchLine bool
 
+	// rdig folds every retired register write and store, in retirement
+	// order — the pipeline half of the differential oracle (emu.Digest).
+	rdig emu.Digest
+
 	stats Result
 }
 
@@ -201,6 +205,7 @@ func NewWithSource(cfg Config, mgt *core.MGT, src TraceSource) *Pipeline {
 		cfg:      cfg,
 		src:      src,
 		mgt:      mgt,
+		rdig:     emu.NewDigest(),
 		pred:     bpred.New(cfg.BPred),
 		pf:       prefetch.New(cfg.Prefetcher),
 		ssets:    storesets.New(cfg.StoreSets),
@@ -305,6 +310,7 @@ func (p *Pipeline) Finish() (*Result, error) {
 		return nil, err
 	}
 	p.stats.Cycles = p.cycle
+	p.stats.RetiredDigest = uint64(p.rdig)
 	p.stats.PregAllocs = p.ren.Allocs
 	p.stats.PregFrees = p.ren.Frees
 	p.stats.L1IMisses = p.icache.Misses

@@ -60,6 +60,11 @@ type Result struct {
 	Issued       int64
 	IssuedOnAP   int64
 	IntMemIssued int64
+
+	// RetiredDigest is the order-sensitive fold of every retired register
+	// write and store (emu.Digest). It must equal the functional emulator's
+	// digest for the same program — the differential oracle's invariant.
+	RetiredDigest uint64
 }
 
 // IPC returns retired records per cycle.

@@ -42,6 +42,11 @@ func (p *Pipeline) retire() {
 			}
 		}
 
+		// Fold the architectural effects at the commit point: only uops that
+		// reach here affect the digest, so a divergence means the pipeline
+		// retired the wrong values, the wrong order, or the wrong stream.
+		p.rdig = p.rdig.Fold(&u.rec)
+
 		p.stats.Retired++
 		if u.isMG() {
 			p.stats.RetiredHandles++

@@ -30,6 +30,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 
 	"minigraph/internal/asm"
 	"minigraph/internal/isa"
@@ -68,19 +69,53 @@ const (
 	MiBench    = "MiBench"
 )
 
-var registry []*Benchmark
+var (
+	registryMu sync.RWMutex
+	registry   []*Benchmark
+)
 
 func register(name, suite string, build func(in Input) *isa.Program) {
 	registry = append(registry, &Benchmark{Name: name, Suite: suite, Build: build})
 }
 
-// All returns every benchmark, ordered by suite then name.
+// Register adds a benchmark at runtime — the built-in kernels register at
+// package init, but generated workloads (internal/progen's seeded random
+// programs) arrive while the process is already simulating, so this entry
+// point is synchronized. Registering a name that already exists is an
+// error: a name is a cache identity (sim.PrepareKey embeds it), so two
+// different programs must never share one.
+func Register(b *Benchmark) error {
+	if b == nil || b.Name == "" || b.Build == nil {
+		return fmt.Errorf("workload: invalid registration")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	for _, have := range registry {
+		if have.Name == b.Name {
+			return fmt.Errorf("workload: benchmark %q already registered", b.Name)
+		}
+	}
+	registry = append(registry, b)
+	return nil
+}
+
+// All returns every benchmark, ordered by suite then name. Suites outside
+// the canonical four (runtime-registered workloads) sort last, so the
+// paper's experiment enumerations are undisturbed by generated programs.
 func All() []*Benchmark {
+	registryMu.RLock()
 	out := append([]*Benchmark(nil), registry...)
+	registryMu.RUnlock()
 	order := map[string]int{SPECint: 0, MediaBench: 1, CommBench: 2, MiBench: 3}
+	rank := func(suite string) int {
+		if r, ok := order[suite]; ok {
+			return r
+		}
+		return len(order)
+	}
 	sort.SliceStable(out, func(i, j int) bool {
-		if order[out[i].Suite] != order[out[j].Suite] {
-			return order[out[i].Suite] < order[out[j].Suite]
+		if rank(out[i].Suite) != rank(out[j].Suite) {
+			return rank(out[i].Suite) < rank(out[j].Suite)
 		}
 		return out[i].Name < out[j].Name
 	})
@@ -100,6 +135,8 @@ func BySuite(suite string) []*Benchmark {
 
 // ByName finds a benchmark.
 func ByName(name string) (*Benchmark, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
 	for _, b := range registry {
 		if b.Name == name {
 			return b, true
