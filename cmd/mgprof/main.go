@@ -15,14 +15,15 @@
 //	mgprof [-out BENCH_pipeline.json] [-iters N]
 //	       [-benches gzip,sha] [-machines baseline,minigraph]
 //	       [-predictor hybrid|tage] [-prefetcher none|delta]
-//	       [-sweep-lats 0,110,...] [-no-sweep] [-gang=false]
+//	       [-sweep-lats 0,110,...] [-no-sweep] [-gang=false] [-chunked=false]
+//	       [-trace-chunk-records N] [-trace-chunk-window N]
 //	       [-cpuprofile cpu.out] [-memprofile mem.out]
 //
-// The JSON schema (v3 — v2 fields unchanged, gang block added) is
+// The JSON schema (v4 — v3 fields unchanged, chunked block added) is
 // documented in the README's Performance section; CI runs mgprof once per
 // push and uploads the artifact, so regressions in simulator throughput,
-// hot-path allocation, the capture/replay split, or gang sweep throughput
-// are visible in history.
+// hot-path allocation, the capture/replay split, gang sweep throughput,
+// or bounded-memory chunk streaming overhead are visible in history.
 package main
 
 import (
@@ -41,18 +42,19 @@ import (
 	"minigraph/internal/workload"
 )
 
-// Report is the BENCH_pipeline.json envelope (schema v3: every v2 field
-// kept as-is, plus the gang sweep measurement).
+// Report is the BENCH_pipeline.json envelope (schema v4: every v3 field
+// kept as-is, plus the chunked sweep measurement).
 type Report struct {
-	Schema     string     `json:"schema"` // "minigraph-bench-pipeline/v3"
-	GoVersion  string     `json:"go_version"`
-	GOOS       string     `json:"goos"`
-	GOARCH     string     `json:"goarch"`
-	GOMAXPROCS int        `json:"gomaxprocs"`
-	Runs       []RunStat  `json:"runs"`
-	Totals     Totals     `json:"totals"`
-	Sweep      *SweepStat `json:"sweep,omitempty"` // v2
-	Gang       *GangStat  `json:"gang,omitempty"`  // v3
+	Schema     string       `json:"schema"` // "minigraph-bench-pipeline/v4"
+	GoVersion  string       `json:"go_version"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Runs       []RunStat    `json:"runs"`
+	Totals     Totals       `json:"totals"`
+	Sweep      *SweepStat   `json:"sweep,omitempty"`   // v2
+	Gang       *GangStat    `json:"gang,omitempty"`    // v3
+	Chunked    *ChunkedStat `json:"chunked,omitempty"` // v4
 }
 
 // RunStat is one (benchmark, machine) measurement, averaged over the
@@ -130,6 +132,35 @@ type GangStat struct {
 	SpeedupVsSoloReplay float64 `json:"speedup_vs_solo_replay,omitempty"`
 }
 
+// ChunkedStat compares the engine sweep with traces fully resident (the
+// pre-chunking monolithic behavior: every replay reads from one in-memory
+// buffer) against the same sweep streaming chunks through a bounded
+// per-cursor window faulted from the store. The streamed pass is the
+// larger-than-RAM configuration; its overhead over the resident pass is
+// the price of bounded memory, and PeakWindowBytes shows the bound held.
+type ChunkedStat struct {
+	Arms         int   `json:"arms"`
+	ChunkRecords int64 `json:"chunk_records"`
+	ChunkWindow  int   `json:"chunk_window"`
+
+	// ResidentSeconds/ResidentArmsPerSec: store-backed sweep, unbounded
+	// window — traces replay fully resident (monolithic-equivalent).
+	ResidentSeconds    float64 `json:"resident_seconds"`
+	ResidentArmsPerSec float64 `json:"resident_arms_per_sec"`
+
+	// StreamedSeconds/StreamedArmsPerSec: same sweep with at most
+	// ChunkWindow chunks resident per replay cursor, faulted from the
+	// store.
+	StreamedSeconds    float64 `json:"streamed_seconds"`
+	StreamedArmsPerSec float64 `json:"streamed_arms_per_sec"`
+	ChunkFaults        int64   `json:"chunk_faults"`
+	ChunkEvictions     int64   `json:"chunk_evictions"`
+	PeakWindowBytes    int64   `json:"peak_window_bytes"`
+
+	// Overhead is streamed seconds over resident seconds (1.0 = free).
+	Overhead float64 `json:"overhead"`
+}
+
 // job is one prepared measurement target.
 type job struct {
 	bench   string
@@ -164,6 +195,9 @@ func main() {
 	sweepLats := flag.String("sweep-lats", "0,110,120,130,140,150,160,170", "comma-separated DRAM latencies for the sweep")
 	noSweep := flag.Bool("no-sweep", false, "skip the sweep measurements (capture/replay and gang)")
 	gang := flag.Bool("gang", true, "measure the gang sweep (engine gang replay vs independent arms)")
+	chunked := flag.Bool("chunked", true, "measure the chunked sweep (bounded chunk window vs fully-resident traces)")
+	chunkRecords := flag.Int64("trace-chunk-records", 1<<12, "records per trace chunk for the chunked sweep, rounded up to a power of two")
+	chunkWindow := flag.Int("trace-chunk-window", 2, "resident chunks per replay cursor in the chunked sweep's streamed pass")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the timed loops")
 	memprofile := flag.String("memprofile", "", "write an allocation profile after the timed loops")
 	flag.Parse()
@@ -174,13 +208,21 @@ func main() {
 	}
 	frontend.predictor, frontend.prefetcher = *predictor, *prefetcher
 
-	if err := run(*out, *iters, *benches, *machines, *sweepLats, *noSweep, *gang, *cpuprofile, *memprofile); err != nil {
+	cw := chunkedSweep{measure: *chunked, records: *chunkRecords, window: *chunkWindow}
+	if err := run(*out, *iters, *benches, *machines, *sweepLats, *noSweep, *gang, cw, *cpuprofile, *memprofile); err != nil {
 		fmt.Fprintln(os.Stderr, "mgprof:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, iters int, benches, machines, sweepLats string, noSweep, gang bool, cpuprofile, memprofile string) error {
+// chunkedSweep carries the chunked-measurement flags.
+type chunkedSweep struct {
+	measure bool
+	records int64
+	window  int
+}
+
+func run(out string, iters int, benches, machines, sweepLats string, noSweep, gang bool, cw chunkedSweep, cpuprofile, memprofile string) error {
 	if iters < 1 {
 		iters = 1
 	}
@@ -206,7 +248,7 @@ func run(out string, iters int, benches, machines, sweepLats string, noSweep, ga
 	}
 
 	rep := Report{
-		Schema:     "minigraph-bench-pipeline/v3",
+		Schema:     "minigraph-bench-pipeline/v4",
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
@@ -253,6 +295,15 @@ func run(out string, iters int, benches, machines, sweepLats string, noSweep, ga
 		fmt.Fprintf(os.Stderr, "mgprof: gang sweep %d arms in %d gangs: %.2f arms/s vs solo %.2f arms/s (%.2fx), %d shared-decode records\n",
 			gs.Arms, gs.Gangs, gs.ArmsPerSec, gs.SoloArmsPerSec, gs.SpeedupVsSoloEngine, gs.SharedDecode)
 		rep.Gang = gs
+	}
+	if !noSweep && cw.measure {
+		cs, err := measureChunked(benches, lats, cw)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "mgprof: chunked sweep %d arms: streamed %.2f arms/s vs resident %.2f arms/s (%.2fx overhead), peak window %d bytes, %d faults\n",
+			cs.Arms, cs.StreamedArmsPerSec, cs.ResidentArmsPerSec, cs.Overhead, cs.PeakWindowBytes, cs.ChunkFaults)
+		rep.Chunked = cs
 	}
 
 	if memprofile != "" {
@@ -494,6 +545,92 @@ func measureSweep(benches string, lats []int) (*SweepStat, error) {
 		sw.Speedup = sw.ReplayArmsPerSec / sw.LiveArmsPerSec
 	}
 	return sw, nil
+}
+
+// measureChunked times the engine sweep twice against a persistent store
+// in a throwaway directory: once with the unbounded default window —
+// captures persist chunked but replay fully resident, the monolithic-
+// equivalent path — and once with a small bounded window, where capture
+// spills sealed chunks to the store as it goes and every replay cursor
+// faults chunks back on demand. Both passes run cold engines with
+// preparation warmed outside the clock; the ratio is the end-to-end cost
+// of bounding trace memory.
+func measureChunked(benches string, lats []int, cw chunkedSweep) (*ChunkedStat, error) {
+	ctx := context.Background()
+	var names []string
+	for _, name := range strings.Split(benches, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("chunked sweep has no benchmarks")
+	}
+	var jobs []minigraph.SimJob
+	for _, name := range names {
+		for _, ml := range lats {
+			cfg := frontendConfig(minigraph.MiniGraphConfig(true))
+			cfg.MemLatency = ml
+			jobs = append(jobs, minigraph.SimJob{
+				Prepare: minigraph.PrepareKey{Bench: name, Input: minigraph.InputTrain},
+				Policy:  minigraph.DefaultPolicy(),
+				Entries: 512,
+				Config:  cfg,
+			})
+		}
+	}
+	cs := &ChunkedStat{Arms: len(jobs), ChunkRecords: cw.records, ChunkWindow: cw.window}
+
+	sweep := func(window int) (float64, minigraph.EngineStats, error) {
+		dir, err := os.MkdirTemp("", "mgprof-chunked-")
+		if err != nil {
+			return 0, minigraph.EngineStats{}, err
+		}
+		defer os.RemoveAll(dir)
+		st, err := minigraph.OpenStore(dir, -1)
+		if err != nil {
+			return 0, minigraph.EngineStats{}, err
+		}
+		eng := minigraph.NewEngine(0).WithStore(st).
+			WithTraceChunkRecords(cw.records).
+			WithTraceChunkWindow(window)
+		for _, name := range names {
+			pk := minigraph.PrepareKey{Bench: name, Input: minigraph.InputTrain}
+			if _, err := eng.Prepare(ctx, pk); err != nil {
+				return 0, minigraph.EngineStats{}, err
+			}
+		}
+		t0 := time.Now()
+		if _, err := eng.Run(ctx, jobs); err != nil {
+			return 0, minigraph.EngineStats{}, err
+		}
+		return time.Since(t0).Seconds(), eng.Stats(), nil
+	}
+
+	sec, _, err := sweep(0)
+	if err != nil {
+		return nil, fmt.Errorf("resident sweep: %w", err)
+	}
+	cs.ResidentSeconds = sec
+	if sec > 0 {
+		cs.ResidentArmsPerSec = float64(cs.Arms) / sec
+	}
+
+	sec, st, err := sweep(cw.window)
+	if err != nil {
+		return nil, fmt.Errorf("streamed sweep: %w", err)
+	}
+	cs.StreamedSeconds = sec
+	cs.ChunkFaults = st.TraceChunkFaults
+	cs.ChunkEvictions = st.TraceChunkEvictions
+	cs.PeakWindowBytes = st.TraceChunkWindowPeakBytes
+	if sec > 0 {
+		cs.StreamedArmsPerSec = float64(cs.Arms) / sec
+	}
+	if cs.ResidentSeconds > 0 {
+		cs.Overhead = cs.StreamedSeconds / cs.ResidentSeconds
+	}
+	return cs, nil
 }
 
 // measureGang times the engine sweep twice on cold engines — once with

@@ -8,6 +8,7 @@
 //
 //	mgserve [-addr :8347] [-cache-dir DIR] [-cache-max-bytes N] [-scrub]
 //	        [-parallel N] [-max-sweep-jobs N] [-gang=false]
+//	        [-trace-chunk-records N] [-trace-chunk-window N] [-trace-compress]
 //	        [-workers URL,URL,...] [-coordinator] [-member-ttl D] [-fanout N]
 //	        [-register URL -advertise URL [-heartbeat D]]
 //	        [-rate-limit N] [-rate-burst N] [-max-inflight-sweeps N]
@@ -28,9 +29,15 @@
 // to single-process execution. Under -coordinator, workers join the tier
 // by registering (and drop out when their heartbeat TTL lapses); a worker
 // started with -register COORD -advertise SELF does that itself. Arms
-// re-routed by membership changes fetch their captured trace blobs from
-// the key's previous owner (GET /v1/blobs/{traceKey}) instead of
-// re-emulating.
+// re-routed by membership changes fetch their captured traces from the
+// key's previous owner instead of re-emulating, streamed chunk by chunk
+// (GET /v1/blobs/{traceKey}?manifest=1, then ?chunk=N) with per-chunk
+// damage rejection and resume across peers.
+//
+// Traces persist and move in fixed-size chunks (-trace-chunk-records per
+// chunk); -trace-chunk-window bounds how many chunks each replay cursor
+// keeps resident, letting traces larger than RAM replay from the store,
+// and -trace-compress flate-compresses chunks at rest and on the wire.
 //
 // -rate-limit/-rate-burst and -max-inflight-sweeps bound traffic ahead of
 // the compute endpoints (429 and 503 with Retry-After); -max-body-bytes
@@ -43,7 +50,7 @@
 //	POST   /v1/outcome             one job, canonical outcome encoding
 //	POST   /v1/workers/register    join the tier / heartbeat
 //	GET    /v1/workers             the member table
-//	GET    /v1/blobs/{traceKey}    captured trace blob (peer transfer)
+//	GET    /v1/blobs/{traceKey}    captured trace (peer transfer; ?manifest=1, ?chunk=N)
 //	GET    /v1/experiments/{name}  full figure reproduction (Report JSON)
 //	POST   /v1/jobs                submit an async sweep job
 //	GET    /v1/jobs[/{id}[/report]] poll async jobs
@@ -76,7 +83,7 @@ func main() {
 	addr := flag.String("addr", ":8347", "listen address")
 	cacheDir := flag.String("cache-dir", "", "persistent result store directory (empty = in-memory only)")
 	cacheMax := flag.Int64("cache-max-bytes", 0, "store size bound in bytes (0 = 1GiB default, negative = unbounded)")
-	scrub := flag.Bool("scrub", false, "verify every store entry's checksum at startup, deleting corrupt ones (requires -cache-dir); the report appears in /statsz")
+	scrub := flag.Bool("scrub", false, "verify every store entry's checksum at startup, deleting corrupt entries, orphan trace chunks, and manifests referencing missing chunks (requires -cache-dir); the report appears in /statsz")
 	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = NumCPU)")
 	gang := flag.Bool("gang", true, "gang-replay sweep arms sharing a captured trace")
 	maxSweep := flag.Int("max-sweep-jobs", serve.DefaultMaxSweepJobs, "max arms per sweep request")
@@ -94,6 +101,9 @@ func main() {
 	maxBody := flag.Int64("max-body-bytes", 0, "max request body bytes before 413 (0 = 8MiB, negative = uncapped)")
 	jobQueue := flag.Int("job-queue", serve.DefaultJobQueue, "max queued async jobs")
 	jobRunners := flag.Int("job-runners", serve.DefaultJobRunners, "async jobs executed concurrently")
+	chunkRecords := flag.Int64("trace-chunk-records", 0, "records per trace chunk, rounded up to a power of two (0 = 64Ki)")
+	chunkWindow := flag.Int("trace-chunk-window", 0, "max trace chunks resident per replay cursor (0 = unbounded; bounding requires -cache-dir)")
+	traceCompress := flag.Bool("trace-compress", false, "flate-compress trace chunks at rest and on the wire (CRCs stay over raw records)")
 	flag.Parse()
 
 	usageExit := func(msg string) {
@@ -102,7 +112,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	eng := sim.New(*parallel).WithGangReplay(*gang)
+	eng := sim.New(*parallel).WithGangReplay(*gang).
+		WithTraceChunkRecords(*chunkRecords).
+		WithTraceChunkWindow(*chunkWindow).
+		WithTraceCompression(*traceCompress)
 	var st *store.Store
 	if *cacheDir != "" {
 		var err error
@@ -119,10 +132,10 @@ func main() {
 		if st == nil {
 			usageExit("-scrub requires -cache-dir")
 		}
-		rep := st.Scrub()
+		rep := sim.ScrubStore(st)
 		scrubReport = &rep
-		fmt.Fprintf(os.Stderr, "mgserve: scrub: %d entries scanned, %d corrupt deleted (%d bytes reclaimed), %d errors\n",
-			rep.Scanned, rep.Corrupt, rep.BytesReclaimed, rep.Errors)
+		fmt.Fprintf(os.Stderr, "mgserve: scrub: %d entries scanned, %d corrupt deleted, %d orphan chunks deleted, %d manifests invalidated (%d bytes reclaimed), %d errors\n",
+			rep.Scanned, rep.Corrupt, rep.OrphanChunks, rep.ManifestsInvalidated, rep.BytesReclaimed, rep.Errors)
 	}
 
 	var workerURLs []string

@@ -1,28 +1,34 @@
 // Peer trace-blob transfer: captured traces move instead of re-emulating.
 //
 // The expensive artifact behind every arm is the captured dynamic trace
-// (PR 4), already portable as a CRC-framed binary blob through the store
-// codec. When membership changes re-route an arm to a worker that lacks
-// the capture, re-emulating would waste exactly the work the trace layer
-// exists to avoid — so the coordinator names the key's previous
-// rendezvous owners in an X-Minigraph-Blob-Peers header on the
-// /v1/outcome call, and the worker's engine fetches the blob from the
-// first peer that has it (GET /v1/blobs/{traceKey}) before falling back
-// to a fresh capture. Damage anywhere — truncation, bit flips, a
-// half-dead peer — is caught by the frame CRC and degrades to
-// re-capture, never to a wrong replay.
+// (PR 4), portable in chunked form through the trace codec. When
+// membership changes re-route an arm to a worker that lacks the capture,
+// re-emulating would waste exactly the work the trace layer exists to
+// avoid — so the coordinator names the key's previous rendezvous owners
+// in an X-Minigraph-Blob-Peers header on the /v1/outcome call, and the
+// worker's engine streams the trace from those peers before falling back
+// to a fresh capture: first the manifest (GET /v1/blobs/{traceKey}
+// ?manifest=1), then each chunk it names (?chunk=N), each request under
+// its own time budget. Transfer state survives peer failure — chunks
+// already fetched are kept and the next peer supplies only what is
+// missing — and damage is rejected per chunk: a bit-flipped or truncated
+// chunk frame fails its CRC against the manifest and only that chunk is
+// re-sourced, never the whole trace. If no peer set can complete the
+// manifest, the worker re-captures; wrong bytes can never replay.
 package serve
 
 import (
 	"context"
 	"encoding/base64"
 	"fmt"
+	"hash/crc32"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
 
 	"minigraph/internal/sim"
+	"minigraph/internal/trace"
 )
 
 // blobPeersHeader carries the ranked peer worker URLs an outcome call may
@@ -41,9 +47,10 @@ const (
 // worker will try) per arm.
 const maxBlobPeers = 3
 
-// blobFetchTimeout bounds one peer blob download when the caller named no
-// budget. Blobs are tens of MB on a local network; a peer that cannot
-// deliver within this is treated as missing and the worker re-captures.
+// blobFetchTimeout bounds one peer transfer request (manifest or chunk)
+// when the caller named no budget. Chunks are a few MB on a local
+// network; a peer that cannot deliver one within this is treated as
+// unusable and the transfer resumes from the next peer.
 const blobFetchTimeout = 2 * time.Minute
 
 // blobSources is what an outcome call may fetch its trace blob from.
@@ -96,17 +103,35 @@ func blobPath(traceKey []byte) string {
 	return "/v1/blobs/" + base64.RawURLEncoding.EncodeToString(traceKey)
 }
 
+// fetchedChunks is the resumable state of one chunked peer transfer: the
+// manifest (once any peer delivered it) and the verified raw chunk
+// payloads collected so far. It doubles as the ChunkSource the assembled
+// trace encodes from.
+type fetchedChunks [][]byte
+
+func (f fetchedChunks) FetchChunk(index int64) ([]byte, error) {
+	return f[index], nil
+}
+
 // fetchTraceBlob is the sim.Engine trace-fetcher hook: when the request
-// context names peer workers, try each in rendezvous order and return the
-// first blob delivered. (nil, nil) when no peer is named or none answers —
-// the engine then captures locally. The engine CRC-checks whatever comes
-// back, so this layer only moves bytes.
+// context names peer workers, stream the trace from them chunk by chunk
+// and return it assembled as the monolithic blob the engine adopts.
+// (nil, nil) when no peer is named or the chunk set cannot be completed —
+// the engine then captures locally.
 //
-// Each peer attempt is bounded by the caller-supplied per-peer budget
-// (blobFetchTimeout when none): fetching a blob is an optimization over
-// re-capturing, and a hung peer must not eat the arm's whole call budget
-// — the capture fallback still has to fit before the coordinator times
-// the worker out and marks it down.
+// The transfer walks peers in rendezvous order: the first to deliver a
+// decodable manifest fixes the chunk plan, then chunks are pulled from
+// the current peer until it errors (move on) or the set completes.
+// Chunks already fetched and verified are never re-fetched — a peer that
+// dies mid-transfer costs only its remaining chunks, which the next peer
+// resumes. A damaged chunk (frame CRC, index, or manifest-checksum
+// mismatch) is rejected individually and left for the next source.
+//
+// Every request — manifest or chunk — is bounded by the caller-supplied
+// per-request budget (blobFetchTimeout when none): fetching is an
+// optimization over re-capturing, and a hung peer must not eat the arm's
+// whole call budget — the capture fallback still has to fit before the
+// coordinator times the worker out and marks it down.
 func (s *Server) fetchTraceBlob(ctx context.Context, key sim.TraceKey) ([]byte, error) {
 	src := blobPeers(ctx)
 	if len(src.peers) == 0 {
@@ -120,24 +145,89 @@ func (s *Server) fetchTraceBlob(ctx context.Context, key sim.TraceKey) ([]byte, 
 	if per <= 0 || per > blobFetchTimeout {
 		per = blobFetchTimeout
 	}
-	for _, peer := range src.peers {
+	bounded := func(fetch func(context.Context) ([]byte, error)) ([]byte, error) {
 		fctx, cancel := context.WithTimeout(ctx, per)
-		data, err := NewClient(peer).TraceBlob(fctx, kb)
-		cancel()
-		if err == nil && len(data) > 0 {
-			return data, nil
-		}
+		defer cancel()
+		return fetch(fctx)
+	}
+
+	var m trace.Manifest
+	var haveManifest bool
+	var chunks fetchedChunks
+	damaged := false // saw bytes that failed verification (vs transport-only failure)
+	for _, peer := range src.peers {
 		if ctx.Err() != nil {
 			return nil, nil
 		}
+		cl := NewClient(peer)
+		if !haveManifest {
+			data, err := bounded(func(fctx context.Context) ([]byte, error) {
+				return cl.TraceManifest(fctx, kb)
+			})
+			if err != nil || len(data) == 0 {
+				continue
+			}
+			mm, err := trace.DecodeManifest(data)
+			if err != nil {
+				damaged = true
+				continue // damaged manifest: next peer
+			}
+			m = mm
+			haveManifest = true
+			chunks = make(fetchedChunks, len(m.Chunks))
+		}
+		complete := true
+		for i := range chunks {
+			if chunks[i] != nil {
+				continue // fetched earlier: resume, don't re-pull
+			}
+			data, err := bounded(func(fctx context.Context) ([]byte, error) {
+				return cl.TraceChunk(fctx, kb, int64(i))
+			})
+			if err != nil {
+				complete = false
+				break // peer unusable: resume remaining chunks from the next
+			}
+			idx, raw, err := trace.DecodeChunk(data)
+			if err != nil || idx != int64(i) ||
+				int64(len(raw)) != m.Chunks[i].Rows*trace.RecordBytes ||
+				crc32.ChecksumIEEE(raw) != m.Chunks[i].CRC {
+				damaged = true
+				complete = false
+				continue // this chunk is damaged; others may still be good
+			}
+			chunks[i] = raw
+		}
+		if haveManifest && complete {
+			tr, err := trace.FromManifest(m, chunks)
+			if err != nil {
+				return nil, fmt.Errorf("serve: assemble fetched trace: %w", err)
+			}
+			blob, err := trace.Encode(tr)
+			if err != nil {
+				return nil, fmt.Errorf("serve: encode fetched trace: %w", err)
+			}
+			return blob, nil
+		}
+	}
+	if damaged {
+		// Distinguish "a peer served bytes that failed verification" (the
+		// engine counts it as a peer reject) from "no peer had the trace".
+		return nil, fmt.Errorf("serve: peer trace transfer rejected: damaged manifest or chunk")
 	}
 	return nil, nil
 }
 
-// handleBlob serves GET /v1/blobs/{traceKey}: the encoded trace blob
-// (store-codec bytes, CRC-framed) for the base64url canonical TraceKey in
-// the path. 404 when this worker holds no valid copy — the asking peer
-// falls back to its next source or to capturing.
+// handleBlob serves GET /v1/blobs/{traceKey} for the base64url canonical
+// TraceKey in the path, in three forms: ?manifest=1 returns the trace's
+// chunk manifest (trace manifest codec), ?chunk=N returns chunk N's frame
+// (trace chunk codec), and the bare path returns the whole trace as one
+// monolithic blob — kept for tooling, but peers stream chunk by chunk.
+// 404 when this worker holds no valid copy of what was asked — per chunk,
+// so a peer missing (or holding a damaged copy of) one chunk still serves
+// the rest and the asker fills the hole elsewhere. Chaos injection
+// applies per request: with chunk streaming, a dropped connection or
+// corrupted payload costs the asker one chunk retry, not the transfer.
 func (s *Server) handleBlob(w http.ResponseWriter, r *http.Request) {
 	raw, err := base64.RawURLEncoding.DecodeString(r.PathValue("traceKey"))
 	if err != nil {
@@ -149,7 +239,22 @@ func (s *Server) handleBlob(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad trace key: %w", err))
 		return
 	}
-	data, ok := s.eng.TraceBlob(key)
+	var data []byte
+	var ok bool
+	q := r.URL.Query()
+	switch {
+	case q.Get("manifest") != "":
+		data, ok = s.eng.TraceManifest(key)
+	case q.Get("chunk") != "":
+		n, err := strconv.ParseInt(q.Get("chunk"), 10, 64)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad chunk index %q", q.Get("chunk")))
+			return
+		}
+		data, ok = s.eng.TraceChunk(key, n)
+	default:
+		data, ok = s.eng.TraceBlob(key)
+	}
 	if !ok {
 		httpError(w, http.StatusNotFound, fmt.Errorf("trace blob not resident on this worker"))
 		return
@@ -159,7 +264,7 @@ func (s *Server) handleBlob(w http.ResponseWriter, r *http.Request) {
 		if s.chaos.dropBlob() {
 			panic(http.ErrAbortHandler) // peer dies mid-transfer
 		}
-		// A corrupted blob must be caught by the frame CRC on arrival.
+		// A corrupted payload must be caught by the frame CRC on arrival.
 		data = s.chaos.corruptBlob(data)
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")

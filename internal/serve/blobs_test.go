@@ -1,0 +1,279 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"hash/crc32"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+
+	"minigraph/internal/sim"
+	"minigraph/internal/trace"
+)
+
+// blobTestJob is one quick job whose capture splits into several chunks
+// under the test geometry.
+func blobTestJob(t *testing.T) sim.SimJob {
+	t.Helper()
+	job, err := fastSpec("base", true).Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return job
+}
+
+// TestBlobChunkEndpoints exercises the three forms of GET /v1/blobs/{key}
+// against a worker whose resident trace spans several chunks: the manifest
+// decodes and covers the trace, each chunk frame decodes and matches the
+// manifest's CRC, reassembling every chunk reproduces the monolithic blob
+// byte for byte, and malformed or out-of-range chunk indices are rejected
+// with the right statuses.
+func TestBlobChunkEndpoints(t *testing.T) {
+	ctx := context.Background()
+	eng := sim.New(2).WithTraceChunkRecords(256)
+	srv := mustNew(t, Options{Engine: eng})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+
+	job := blobTestJob(t)
+	if _, err := eng.Simulate(ctx, job); err != nil {
+		t.Fatal(err)
+	}
+	tk := job.Key().TraceKey()
+	kb, err := sim.EncodeTraceKey(tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := ts.URL + blobPath(kb)
+
+	resp, body := getBody(t, base+"?manifest=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET ?manifest=1: %d: %s", resp.StatusCode, body)
+	}
+	m, err := trace.DecodeManifest(body)
+	if err != nil {
+		t.Fatalf("served manifest does not decode: %v", err)
+	}
+	if len(m.Chunks) < 4 {
+		t.Fatalf("trace split into %d chunks; the test geometry should give several", len(m.Chunks))
+	}
+
+	chunks := make(fetchedChunks, len(m.Chunks))
+	for i := range m.Chunks {
+		resp, body := getBody(t, base+"?chunk="+strconv.Itoa(i))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET ?chunk=%d: %d: %s", i, resp.StatusCode, body)
+		}
+		idx, raw, err := trace.DecodeChunk(body)
+		if err != nil {
+			t.Fatalf("chunk %d frame does not decode: %v", i, err)
+		}
+		if idx != int64(i) || crc32.ChecksumIEEE(raw) != m.Chunks[i].CRC {
+			t.Fatalf("chunk %d frame disagrees with the manifest", i)
+		}
+		chunks[i] = raw
+	}
+
+	resp, blob := getBody(t, base)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET bare blob: %d: %s", resp.StatusCode, blob)
+	}
+	tr, err := trace.FromManifest(m, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reassembled, err := trace.Encode(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reassembled, blob) {
+		t.Error("chunk-by-chunk reassembly differs from the monolithic blob")
+	}
+
+	for _, q := range []string{"?chunk=abc", "?chunk=-1"} {
+		if resp, _ := getBody(t, base+q); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s: %d, want 400", q, resp.StatusCode)
+		}
+	}
+	if resp, _ := getBody(t, base+"?chunk=999"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET ?chunk=999: %d, want 404", resp.StatusCode)
+	}
+}
+
+// blobPeer is a handcrafted peer worker serving one trace's manifest and
+// chunks with per-chunk behavior overrides, recording which chunks were
+// asked for.
+type blobPeer struct {
+	t        *testing.T
+	manifest []byte
+	chunk    func(i int64) []byte
+	// tamper rewrites the response for one chunk index; nil serves clean.
+	tamper map[int64]func(w http.ResponseWriter, frame []byte)
+
+	mu    sync.Mutex
+	asked []int64
+}
+
+func (p *blobPeer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	switch {
+	case q.Get("manifest") != "":
+		_, _ = w.Write(p.manifest)
+	case q.Get("chunk") != "":
+		i, err := strconv.ParseInt(q.Get("chunk"), 10, 64)
+		if err != nil {
+			p.t.Errorf("peer got bad chunk query %q", q.Get("chunk"))
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		p.mu.Lock()
+		p.asked = append(p.asked, i)
+		p.mu.Unlock()
+		frame := p.chunk(i)
+		if tamper := p.tamper[i]; tamper != nil {
+			tamper(w, frame)
+			return
+		}
+		_, _ = w.Write(frame)
+	default:
+		p.t.Errorf("peer got non-chunked blob request %s", r.URL)
+		w.WriteHeader(http.StatusNotFound)
+	}
+}
+
+func (p *blobPeer) askedChunks() []int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]int64(nil), p.asked...)
+}
+
+// TestBlobFetchResumesAcrossPeers drives fetchTraceBlob against two
+// handcrafted peers: the first serves a good manifest but corrupts one
+// chunk and dies (500) on a later one; the second serves everything. The
+// transfer must keep the chunks the first peer delivered intact — asking
+// the second peer only for what is missing — reject the damaged chunk by
+// CRC, and assemble a blob byte-identical to the source worker's.
+func TestBlobFetchResumesAcrossPeers(t *testing.T) {
+	ctx := context.Background()
+	src := sim.New(2).WithTraceChunkRecords(256)
+	job := blobTestJob(t)
+	if _, err := src.Simulate(ctx, job); err != nil {
+		t.Fatal(err)
+	}
+	tk := job.Key().TraceKey()
+	manifest, ok := src.TraceManifest(tk)
+	if !ok {
+		t.Fatal("source engine holds no manifest")
+	}
+	m, err := trace.DecodeManifest(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Chunks) < 4 {
+		t.Fatalf("trace split into %d chunks; the scenario needs several", len(m.Chunks))
+	}
+	wantBlob, ok := src.TraceBlob(tk)
+	if !ok {
+		t.Fatal("source engine holds no blob")
+	}
+	chunkFrame := func(i int64) []byte {
+		frame, ok := src.TraceChunk(tk, i)
+		if !ok {
+			t.Fatalf("source engine holds no chunk %d", i)
+		}
+		return frame
+	}
+
+	dieAt := int64(len(m.Chunks) - 1)
+	flaky := &blobPeer{t: t, manifest: manifest, chunk: chunkFrame, tamper: map[int64]func(http.ResponseWriter, []byte){
+		// Chunk 0 arrives bit-flipped: the frame CRC must reject exactly it.
+		0: func(w http.ResponseWriter, frame []byte) {
+			bad := append([]byte(nil), frame...)
+			bad[len(bad)-1] ^= 0x40
+			_, _ = w.Write(bad)
+		},
+		// The peer dies on the last chunk: a transport error, so the
+		// transfer moves to the next peer.
+		dieAt: func(w http.ResponseWriter, _ []byte) {
+			w.WriteHeader(http.StatusInternalServerError)
+		},
+	}}
+	good := &blobPeer{t: t, manifest: manifest, chunk: chunkFrame}
+	p1 := httptest.NewServer(flaky)
+	p2 := httptest.NewServer(good)
+	t.Cleanup(func() { p1.Close(); p2.Close() })
+
+	fetcher := mustNew(t, Options{Engine: sim.New(1)})
+	t.Cleanup(fetcher.Close)
+	fctx := withBlobPeers(ctx, blobSources{peers: []string{p1.URL, p2.URL}})
+	blob, err := fetcher.fetchTraceBlob(fctx, tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, wantBlob) {
+		t.Fatal("assembled blob differs from the source worker's")
+	}
+
+	// The first peer was asked for everything once; the second only for
+	// the holes — the damaged chunk 0 and everything from the death
+	// onward, never the chunks already fetched and verified.
+	if got := flaky.askedChunks(); int64(len(got)) != dieAt+1 {
+		t.Errorf("flaky peer was asked %v, want chunks 0..%d once each", got, dieAt)
+	}
+	var wantResume []int64
+	wantResume = append(wantResume, 0)
+	for i := dieAt; i < int64(len(m.Chunks)); i++ {
+		wantResume = append(wantResume, i)
+	}
+	gotResume := good.askedChunks()
+	if fmt.Sprint(gotResume) != fmt.Sprint(wantResume) {
+		t.Errorf("resume peer was asked %v, want exactly the holes %v", gotResume, wantResume)
+	}
+}
+
+// TestBlobFetchAllPeersDamaged: when every peer serves damaged bytes the
+// fetch must fail loudly (the engine counts a peer reject) instead of
+// silently reporting "no peer had it".
+func TestBlobFetchAllPeersDamaged(t *testing.T) {
+	ctx := context.Background()
+	src := sim.New(2).WithTraceChunkRecords(256)
+	job := blobTestJob(t)
+	if _, err := src.Simulate(ctx, job); err != nil {
+		t.Fatal(err)
+	}
+	tk := job.Key().TraceKey()
+	manifest, _ := src.TraceManifest(tk)
+	corruptAll := func(w http.ResponseWriter, frame []byte) {
+		bad := append([]byte(nil), frame...)
+		bad[len(bad)-1] ^= 0x40
+		_, _ = w.Write(bad)
+	}
+	peer := &blobPeer{t: t, manifest: manifest, tamper: map[int64]func(http.ResponseWriter, []byte){}, chunk: func(i int64) []byte {
+		frame, _ := src.TraceChunk(tk, i)
+		return frame
+	}}
+	m, err := trace.DecodeManifest(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Chunks {
+		peer.tamper[int64(i)] = corruptAll
+	}
+	p := httptest.NewServer(peer)
+	t.Cleanup(p.Close)
+
+	fetcher := mustNew(t, Options{Engine: sim.New(1)})
+	t.Cleanup(fetcher.Close)
+	fctx := withBlobPeers(ctx, blobSources{peers: []string{p.URL}})
+	blob, err := fetcher.fetchTraceBlob(fctx, tk)
+	if err == nil {
+		t.Fatalf("fetch over all-damaged chunks returned blob=%d bytes, err=nil; want a rejection", len(blob))
+	}
+}

@@ -172,6 +172,19 @@ func (c *Client) TraceBlob(ctx context.Context, traceKey []byte) ([]byte, error)
 	return c.doRaw(ctx, http.MethodGet, blobPath(traceKey), nil)
 }
 
+// TraceManifest fetches the chunk manifest (trace manifest codec) for a
+// canonical TraceKey encoding — the first step of a chunked transfer.
+func (c *Client) TraceManifest(ctx context.Context, traceKey []byte) ([]byte, error) {
+	return c.doRaw(ctx, http.MethodGet, blobPath(traceKey)+"?manifest=1", nil)
+}
+
+// TraceChunk fetches one chunk frame (trace chunk codec) of the trace
+// behind a canonical TraceKey encoding. Callers verify the frame against
+// the manifest before use.
+func (c *Client) TraceChunk(ctx context.Context, traceKey []byte, chunk int64) ([]byte, error) {
+	return c.doRaw(ctx, http.MethodGet, blobPath(traceKey)+"?chunk="+strconv.FormatInt(chunk, 10), nil)
+}
+
 // RegisterWorker registers (or heartbeats) selfURL with the coordinator
 // this client points at, returning the membership TTL to beat within.
 func (c *Client) RegisterWorker(ctx context.Context, selfURL string) (time.Duration, error) {

@@ -396,8 +396,9 @@ func TestStatszReportsStore(t *testing.T) {
 	if stats.Engine.SimRuns != 1 || stats.PipelineSims != 1 {
 		t.Errorf("engine stats %+v", stats)
 	}
-	// Two puts: the simulation outcome and the captured trace blob.
-	if stats.Store == nil || stats.Store.Puts != 2 {
+	// Three puts: the simulation outcome, the captured trace's single
+	// chunk entry, and the manifest naming it.
+	if stats.Store == nil || stats.Store.Puts != 3 {
 		t.Errorf("store stats %+v", stats.Store)
 	}
 	if stats.Workers != 2 || len(stats.Experiments) == 0 {

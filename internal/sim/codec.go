@@ -30,7 +30,11 @@ import (
 //	5: differential oracle — uarch.Result grew RetiredDigest, and the
 //	   trace blob codec moved to v2 (rows carry destVal/storeVal), so
 //	   both outcomes and trace blobs persisted under v4 re-read as misses.
-const CodecVersion = 5
+//	6: chunked trace substrate — the store entry under a TraceKey became
+//	   the trace *manifest* (trace codec v3) with per-chunk payloads in
+//	   their own "trace-chunk" entries, so v5 monolithic trace blobs
+//	   re-read as misses instead of being re-encoded on read.
+const CodecVersion = 6
 
 // envelope is the versioned wrapper around every encoded value. Payload
 // stays raw so encode→decode→encode is byte-stable for any payload the
@@ -125,6 +129,43 @@ func DecodeTraceKey(data []byte) (TraceKey, error) {
 		return TraceKey{}, fmt.Errorf("sim: key kind %q, want \"trace\"", p.Kind)
 	}
 	return p.Key, nil
+}
+
+// traceChunkKeyPayload addresses one chunk of a chunked trace: the parent
+// TraceKey plus the chunk index. Its own kind marker keeps chunk entries
+// from ever colliding with the manifest entry under the bare TraceKey.
+type traceChunkKeyPayload struct {
+	Kind  string   `json:"kind"`
+	Key   TraceKey `json:"key"`
+	Chunk int64    `json:"chunk"`
+}
+
+// EncodeTraceChunkKey renders the canonical content address of chunk
+// `chunk` of key's trace. The chunk payload stored under it uses the trace
+// package's chunk-frame binary codec; the manifest naming every chunk
+// lives under EncodeTraceKey(key).
+func EncodeTraceChunkKey(key TraceKey, chunk int64) ([]byte, error) {
+	if chunk < 0 {
+		return nil, fmt.Errorf("sim: negative chunk index %d", chunk)
+	}
+	return seal(traceChunkKeyPayload{Kind: "trace-chunk", Key: key, Chunk: chunk})
+}
+
+// DecodeTraceChunkKey parses a canonical trace-chunk key encoding. It
+// rejects version mismatches, unknown fields, wrong kinds, negative
+// indices and trailing garbage.
+func DecodeTraceChunkKey(data []byte) (TraceKey, int64, error) {
+	var p traceChunkKeyPayload
+	if err := open(data, &p); err != nil {
+		return TraceKey{}, 0, err
+	}
+	if p.Kind != "trace-chunk" {
+		return TraceKey{}, 0, fmt.Errorf("sim: key kind %q, want \"trace-chunk\"", p.Kind)
+	}
+	if p.Chunk < 0 {
+		return TraceKey{}, 0, fmt.Errorf("sim: negative chunk index %d", p.Chunk)
+	}
+	return p.Key, p.Chunk, nil
 }
 
 // outcomePayload is the persisted form of an Outcome.

@@ -56,6 +56,16 @@ type Engine struct {
 	// workers when membership changes re-route an arm.
 	traceFetch func(ctx context.Context, key TraceKey) ([]byte, error)
 
+	// Chunked-trace policy (see WithTraceChunkRecords and friends).
+	// chunkRecords overrides the capture chunk geometry (0: trace package
+	// default); chunkWindow bounds each replay reader's resident spilled
+	// chunks (0: unbounded — traces stay fully resident in memory, the
+	// pre-chunking behavior); traceCompress DEFLATE-compresses chunk
+	// payloads persisted to the store.
+	chunkRecords  int64
+	chunkWindow   int
+	traceCompress bool
+
 	mu     sync.Mutex
 	preps  map[PrepareKey]*call[*Prepared]
 	sims   map[SimKey]*call[*Outcome]
@@ -87,6 +97,11 @@ type Engine struct {
 	traceBytes       atomic.Int64
 	tracePeerHits    atomic.Int64
 	tracePeerRejects atomic.Int64
+
+	chunkFaults     atomic.Int64
+	chunkEvictions  atomic.Int64
+	chunkWindowPeak atomic.Int64 // max over any single reader window
+	chunkRecaptures atomic.Int64
 
 	gangsFormed atomic.Int64
 	gangArmsRun atomic.Int64
@@ -144,6 +159,20 @@ type Stats struct {
 	TraceReplayHits int64 `json:"trace_replay_hits"`
 	TraceStoreHits  int64 `json:"trace_store_hits,omitempty"`
 	TraceBytes      int64 `json:"trace_bytes,omitempty"`
+
+	// Chunk-residency counters. TraceChunkFaults counts spilled chunks
+	// faulted in through reader windows (and TraceChunkEvictions the
+	// window evictions that made room); TraceChunkWindowPeakBytes is the
+	// largest resident footprint any single reader window reached;
+	// TraceResidentBytes is the chunk payload currently held by the
+	// in-memory trace cache (what the LRU budget accounts);
+	// TraceChunkRecaptures counts replays that lost a chunk mid-flight
+	// (store eviction, vanished peer) and recovered by re-capturing.
+	TraceChunkFaults          int64 `json:"trace_chunk_faults,omitempty"`
+	TraceChunkEvictions       int64 `json:"trace_chunk_evictions,omitempty"`
+	TraceChunkWindowPeakBytes int64 `json:"trace_chunk_window_peak_bytes,omitempty"`
+	TraceResidentBytes        int64 `json:"trace_resident_bytes,omitempty"`
+	TraceChunkRecaptures      int64 `json:"trace_chunk_recaptures,omitempty"`
 
 	// Peer-transfer counters (see WithTraceFetcher). TracePeerHits counts
 	// traces adopted from a peer instead of being captured or re-captured;
@@ -211,6 +240,60 @@ func (e *Engine) WithTraceCacheBytes(n int64) *Engine {
 	return e
 }
 
+// WithTraceChunkRecords overrides the records-per-chunk geometry of
+// captures (rounded up to a power of two; <= 0 restores the trace
+// package default of ~64Ki rows). Geometry is storage layout only — it
+// can never change a replayed record — and exists mainly so tests can
+// cross many chunk boundaries cheaply. Set before submitting jobs; e is
+// returned for chaining.
+func (e *Engine) WithTraceChunkRecords(n int64) *Engine {
+	if n < 0 {
+		n = 0
+	}
+	e.chunkRecords = n
+	return e
+}
+
+// WithTraceChunkWindow bounds each replay reader's resident spilled
+// chunks to n (<= 0: unbounded, the fully resident pre-chunking
+// behavior). With a store attached and a bounded window, captures spill
+// sealed chunks straight to the store and replays fault them back in on
+// demand, so a sweep over a trace far larger than RAM runs in
+// n × chunk bytes per reader. Reports are byte-identical either way.
+// Set before submitting jobs; e is returned for chaining.
+func (e *Engine) WithTraceChunkWindow(n int) *Engine {
+	if n < 0 {
+		n = 0
+	}
+	e.chunkWindow = n
+	return e
+}
+
+// WithTraceCompression toggles DEFLATE compression of chunk payloads
+// persisted to the store (off by default). The chunk CRC is always of the
+// raw rows, so compressed and raw entries verify identically. Set before
+// submitting jobs; e is returned for chaining.
+func (e *Engine) WithTraceCompression(on bool) *Engine {
+	e.traceCompress = on
+	return e
+}
+
+// noteWindow folds one finished reader's chunk-window activity into the
+// engine counters.
+func (e *Engine) noteWindow(ws trace.WindowStats) {
+	if ws == (trace.WindowStats{}) {
+		return
+	}
+	e.chunkFaults.Add(ws.Faults)
+	e.chunkEvictions.Add(ws.Evictions)
+	for {
+		cur := e.chunkWindowPeak.Load()
+		if ws.PeakBytes <= cur || e.chunkWindowPeak.CompareAndSwap(cur, ws.PeakBytes) {
+			break
+		}
+	}
+}
+
 // touchTrace marks key's trace as recently used and evicts the least
 // recently touched completed traces beyond the byte budget. The entry
 // just touched is never evicted, so a working set larger than the budget
@@ -272,35 +355,164 @@ func (e *Engine) WithTraceFetcher(f func(ctx context.Context, key TraceKey) ([]b
 	return e
 }
 
-// TraceBlob returns the encoded blob (trace binary codec) for key from
-// the in-memory trace cache or the attached store. ok is false when the
-// trace is not resident — a capture in flight does not count, so a peer
-// asking mid-capture simply falls back to its own sources.
-func (e *Engine) TraceBlob(key TraceKey) ([]byte, bool) {
+// memoTrace returns the completed in-memory capture for key, if any. A
+// capture in flight does not count, so a peer asking mid-capture simply
+// falls back to its own sources.
+func (e *Engine) memoTrace(key TraceKey) (*trace.Trace, bool) {
 	e.mu.Lock()
 	c, ok := e.traces[key]
 	e.mu.Unlock()
-	if ok {
-		select {
-		case <-c.done:
-			if c.err == nil && c.val != nil && c.val.trace != nil {
-				return trace.Encode(c.val.trace), true
-			}
-		default: // still capturing; try the store
+	if !ok {
+		return nil, false
+	}
+	select {
+	case <-c.done:
+		if c.err == nil && c.val != nil && c.val.trace != nil {
+			return c.val.trace, true
+		}
+	default: // still capturing
+	}
+	return nil, false
+}
+
+// storedTrace opens key's trace from the attached store: manifest entry
+// under the trace key, chunk payloads faulted through chunk entries.
+// Nothing is verified beyond the manifest decode — callers stream chunks
+// through the returned trace (Encode, ChunkPayload, Materialize), each of
+// which CRC-checks what it touches.
+func (e *Engine) storedTrace(key TraceKey) (*trace.Trace, bool) {
+	if e.store == nil {
+		return nil, false
+	}
+	kb, err := EncodeTraceKey(key)
+	if err != nil {
+		return nil, false
+	}
+	data, ok := e.store.Get(kb)
+	if !ok {
+		return nil, false
+	}
+	m, err := trace.DecodeManifest(data)
+	if err != nil {
+		return nil, false
+	}
+	tr, err := trace.FromManifest(m, &storeChunkIO{e: e, tk: key})
+	if err != nil {
+		return nil, false
+	}
+	return tr, true
+}
+
+// TraceBlob returns the encoded monolithic blob (trace binary codec) for
+// key, assembled from the in-memory trace cache or the attached store's
+// manifest + chunk entries. ok is false when the trace is not resident or
+// any chunk is missing or damaged — a partial trace must read as a miss,
+// never ship as a wrong blob.
+func (e *Engine) TraceBlob(key TraceKey) ([]byte, bool) {
+	if tr, ok := e.memoTrace(key); ok {
+		if data, err := trace.Encode(tr); err == nil {
+			return data, true
 		}
 	}
-	if e.store != nil {
-		if kb, err := EncodeTraceKey(key); err == nil {
-			if data, ok := e.store.Get(kb); ok {
-				// Validate before serving: a damaged entry must read as a
-				// miss here just as it would on replay.
-				if _, err := trace.Decode(data); err == nil {
-					return data, true
-				}
-			}
+	if tr, ok := e.storedTrace(key); ok {
+		if data, err := trace.Encode(tr); err == nil {
+			return data, true
 		}
 	}
 	return nil, false
+}
+
+// TraceManifest returns the encoded chunk manifest (trace manifest codec)
+// for key from the in-memory trace cache or the attached store. Peers
+// fetch the manifest first, then stream the chunks it names.
+func (e *Engine) TraceManifest(key TraceKey) ([]byte, bool) {
+	if tr, ok := e.memoTrace(key); ok {
+		return trace.EncodeManifest(tr.Manifest()), true
+	}
+	if e.store == nil {
+		return nil, false
+	}
+	kb, err := EncodeTraceKey(key)
+	if err != nil {
+		return nil, false
+	}
+	data, ok := e.store.Get(kb)
+	if !ok {
+		return nil, false
+	}
+	// Validate before serving: a damaged entry must read as a miss here
+	// just as it would on replay.
+	if _, err := trace.DecodeManifest(data); err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// TraceChunk returns the encoded frame (trace chunk codec) of chunk
+// `index` of key's trace, from the in-memory trace cache or the attached
+// store. A missing or damaged chunk is a miss for that chunk only — the
+// peer protocol rejects and re-sources chunks individually.
+func (e *Engine) TraceChunk(key TraceKey, index int64) ([]byte, bool) {
+	if tr, ok := e.memoTrace(key); ok && index >= 0 && index < tr.NumChunks() {
+		if raw, err := tr.ChunkPayload(index); err == nil {
+			return trace.EncodeChunk(index, raw, e.traceCompress), true
+		}
+	}
+	if e.store == nil {
+		return nil, false
+	}
+	kb, err := EncodeTraceChunkKey(key, index)
+	if err != nil {
+		return nil, false
+	}
+	data, ok := e.store.Get(kb)
+	if !ok {
+		return nil, false
+	}
+	if idx, _, err := trace.DecodeChunk(data); err != nil || idx != index {
+		return nil, false
+	}
+	return data, true
+}
+
+// storeChunkIO moves one trace's chunks between a Trace and the engine's
+// store: it is the ChunkSink captures spill sealed chunks through and the
+// ChunkSource replays fault them back in from. Safe for concurrent use
+// (the store is; the struct is immutable).
+type storeChunkIO struct {
+	e  *Engine
+	tk TraceKey
+}
+
+func (s *storeChunkIO) SealChunk(index, rows int64, data []byte, crc uint32) error {
+	kb, err := EncodeTraceChunkKey(s.tk, index)
+	if err != nil {
+		return err
+	}
+	if err := s.e.store.Put(kb, trace.EncodeChunk(index, data, s.e.traceCompress)); err != nil {
+		return err
+	}
+	s.e.storePuts.Add(1)
+	return nil
+}
+
+func (s *storeChunkIO) FetchChunk(index int64) ([]byte, error) {
+	kb, err := EncodeTraceChunkKey(s.tk, index)
+	if err != nil {
+		return nil, err
+	}
+	data, ok := s.e.store.Get(kb)
+	if !ok {
+		return nil, fmt.Errorf("sim: trace chunk %d not in store", index)
+	}
+	idx, raw, err := trace.DecodeChunk(data)
+	if err != nil {
+		return nil, err
+	}
+	if idx != index {
+		return nil, fmt.Errorf("sim: trace chunk entry %d carries index %d", index, idx)
+	}
+	return raw, nil
 }
 
 // WithGangReplay enables or disables gang replay in Run/RunEach (enabled
@@ -328,20 +540,30 @@ func (e *Engine) WithLiveStream(live bool) *Engine {
 
 // Stats snapshots the cache counters.
 func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	resident := e.traceResident
+	e.mu.Unlock()
 	return Stats{
-		PrepareRuns:       e.prepRuns.Load(),
-		PrepareHits:       e.prepHits.Load(),
-		SimRuns:           e.simRuns.Load(),
-		SimHits:           e.simHits.Load(),
-		StoreHits:         e.storeHits.Load(),
-		StoreMisses:       e.storeMisses.Load(),
-		StorePuts:         e.storePuts.Load(),
-		TraceCaptures:     e.traceCaptures.Load(),
-		TraceReplayHits:   e.traceHits.Load(),
-		TraceStoreHits:    e.traceStoreHits.Load(),
-		TraceBytes:        e.traceBytes.Load(),
-		TracePeerHits:     e.tracePeerHits.Load(),
-		TracePeerRejects:  e.tracePeerRejects.Load(),
+		PrepareRuns:      e.prepRuns.Load(),
+		PrepareHits:      e.prepHits.Load(),
+		SimRuns:          e.simRuns.Load(),
+		SimHits:          e.simHits.Load(),
+		StoreHits:        e.storeHits.Load(),
+		StoreMisses:      e.storeMisses.Load(),
+		StorePuts:        e.storePuts.Load(),
+		TraceCaptures:    e.traceCaptures.Load(),
+		TraceReplayHits:  e.traceHits.Load(),
+		TraceStoreHits:   e.traceStoreHits.Load(),
+		TraceBytes:       e.traceBytes.Load(),
+		TracePeerHits:    e.tracePeerHits.Load(),
+		TracePeerRejects: e.tracePeerRejects.Load(),
+
+		TraceChunkFaults:          e.chunkFaults.Load(),
+		TraceChunkEvictions:       e.chunkEvictions.Load(),
+		TraceChunkWindowPeakBytes: e.chunkWindowPeak.Load(),
+		TraceResidentBytes:        resident,
+		TraceChunkRecaptures:      e.chunkRecaptures.Load(),
+
 		GangsFormed:       e.gangsFormed.Load(),
 		GangArms:          e.gangArmsRun.Load(),
 		GangSharedRecords: e.gangShared.Load(),
@@ -483,9 +705,62 @@ func (e *Engine) captureTrace(ctx context.Context, key SimKey, pr *Prepared) (*c
 	tk := key.TraceKey()
 	ct, err := e.captureTraceLocked(ctx, tk, key, pr)
 	if err == nil {
-		e.touchTrace(tk, ct.trace.SizeBytes())
+		// The LRU accounts what the trace actually holds resident — a
+		// spilled trace costs its manifest bookkeeping, not its logical
+		// size, so the budget admits many large spilled traces at once.
+		e.touchTrace(tk, ct.trace.ResidentBytes())
 	}
 	return ct, err
+}
+
+// evictTrace drops key's completed capture from the in-memory cache so
+// the next captureTrace recomputes (or reloads) it — the recovery path
+// after a replay lost a chunk mid-flight.
+func (e *Engine) evictTrace(key TraceKey) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if c, ok := e.traces[key]; ok {
+		select {
+		case <-c.done:
+		default:
+			return // in flight: its waiters own it
+		}
+		delete(e.traces, key)
+	}
+	if size, ok := e.traceSizes[key]; ok {
+		e.traceResident -= size
+		delete(e.traceSizes, key)
+		for i, k := range e.traceOrder {
+			if k == key {
+				e.traceOrder = append(e.traceOrder[:i:i], e.traceOrder[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// persistTrace writes tr's resident chunks and then its manifest to the
+// store — in that order, so a crash between the two leaves orphan chunks
+// (scrub fodder) rather than a manifest naming missing chunks. Chunks
+// already spilled are already durable and are skipped. Returns false if
+// any write failed, in which case the manifest is not written and the
+// store reads as a clean miss.
+func (e *Engine) persistTrace(tk TraceKey, keyBytes []byte, tr *trace.Trace) bool {
+	io := &storeChunkIO{e: e, tk: tk}
+	for ci := int64(0); ci < tr.NumChunks(); ci++ {
+		if !tr.ChunkResident(ci) {
+			continue
+		}
+		raw, err := tr.ChunkPayload(ci)
+		if err != nil || io.SealChunk(ci, int64(len(raw))/trace.RecordBytes, raw, tr.ChunkCRC(ci)) != nil {
+			return false
+		}
+	}
+	if e.store.Put(keyBytes, trace.EncodeManifest(tr.Manifest())) != nil {
+		return false
+	}
+	e.storePuts.Add(1)
+	return true
 }
 
 func (e *Engine) captureTraceLocked(ctx context.Context, tk TraceKey, key SimKey, pr *Prepared) (*capturedTrace, error) {
@@ -504,13 +779,32 @@ func (e *Engine) captureTraceLocked(ctx context.Context, tk TraceKey, key SimKey
 			if e.store != nil {
 				if kb, err := EncodeTraceKey(tk); err == nil {
 					keyBytes = kb
-					if data, ok := e.store.Get(keyBytes); ok {
-						if tr, err := trace.Decode(data); err == nil {
+					if tr, ok := e.storedTrace(tk); ok {
+						// Verify the whole trace against its manifest before
+						// adopting it. Unbounded window: materialize — verify
+						// and retain in one pass, the fully resident
+						// pre-chunking behavior. Bounded window: stream every
+						// chunk through once (constant memory), then leave
+						// the trace spilled for windowed replay.
+						var verr error
+						if e.chunkWindow <= 0 {
+							verr = tr.Materialize()
+						} else {
+							for ci := int64(0); ci < tr.NumChunks() && verr == nil; ci++ {
+								_, verr = tr.ChunkPayload(ci)
+							}
+						}
+						if verr == nil {
 							e.traceStoreHits.Add(1)
 							e.traceBytes.Add(tr.SizeBytes())
 							ct.trace = tr
 							return ct, nil
 						}
+						// Incomplete or damaged: drop the manifest so the
+						// trace reads as a clean miss everywhere (the chunks
+						// it named become scrub fodder) and fall through to
+						// re-sourcing it.
+						e.store.Delete(keyBytes)
 					}
 				}
 			}
@@ -526,9 +820,12 @@ func (e *Engine) captureTraceLocked(ctx context.Context, tk TraceKey, key SimKey
 						e.tracePeerHits.Add(1)
 						e.traceBytes.Add(tr.SizeBytes())
 						ct.trace = tr
-						if keyBytes != nil {
-							if e.store.Put(keyBytes, data) == nil {
-								e.storePuts.Add(1)
+						if keyBytes != nil && e.persistTrace(tk, keyBytes, tr) && e.chunkWindow > 0 {
+							// Durable in chunked form: swap the adopted blob
+							// for its spilled equivalent so residency stays
+							// bounded even right after a transfer.
+							if spilled, ok := e.storedTrace(tk); ok {
+								ct.trace = spilled
 							}
 						}
 						return ct, nil
@@ -540,19 +837,28 @@ func (e *Engine) captureTraceLocked(ctx context.Context, tk TraceKey, key SimKey
 			if !tk.Baseline {
 				mgt = core.NewMGT(templates, ExecParams(key.Config))
 			}
-			// The profile's dynamic-instruction count sizes the trace arrays
-			// in one allocation (nop-fill rewriting preserves record counts).
-			tr, err := trace.CaptureSized(ctx, prog, mgt, tk.Limit, pr.Prof.DynInsts)
+			// The profile's dynamic-instruction count sizes the chunk
+			// buffers in one allocation (nop-fill rewriting preserves record
+			// counts). With a store and a bounded window, sealed chunks
+			// spill to the store as capture proceeds — the capture itself
+			// never holds more than one open chunk — and the manifest lands
+			// after every chunk is durable.
+			opts := trace.CaptureOptions{ChunkRecords: e.chunkRecords, Hint: pr.Prof.DynInsts}
+			if keyBytes != nil && e.chunkWindow > 0 {
+				opts.Sink = &storeChunkIO{e: e, tk: tk}
+			}
+			tr, err := trace.CaptureWith(ctx, prog, mgt, tk.Limit, opts)
 			if err != nil {
 				return nil, err
 			}
 			e.traceCaptures.Add(1)
 			e.traceBytes.Add(tr.SizeBytes())
+			if tr.Spilled() {
+				tr.BindSource(&storeChunkIO{e: e, tk: tk})
+			}
 			ct.trace = tr
 			if keyBytes != nil {
-				if e.store.Put(keyBytes, trace.Encode(tr)) == nil {
-					e.storePuts.Add(1)
-				}
+				e.persistTrace(tk, keyBytes, tr)
 			}
 			return ct, nil
 		})
@@ -616,6 +922,27 @@ func (e *Engine) Simulate(ctx context.Context, job SimJob) (*Outcome, error) {
 					res, err = e.replay(ctx, key, job.Config.Name, ct)
 					sel = ct.sel
 				}
+				if errors.Is(err, trace.ErrChunkUnavailable) {
+					// A spilled chunk vanished mid-replay (store eviction
+					// under pressure, a peer gone away). The trace itself is
+					// reproducible — evict the stale handle and re-source
+					// it, which re-verifies the store or re-captures.
+					e.chunkRecaptures.Add(1)
+					e.evictTrace(key.TraceKey())
+					ct, err = e.captureTrace(ctx, key, pr)
+					if err == nil {
+						res, err = e.replay(ctx, key, job.Config.Name, ct)
+						sel = ct.sel
+					}
+				}
+				if errors.Is(err, trace.ErrChunkUnavailable) {
+					// Still losing chunks after re-sourcing: the store is
+					// failing reads, not just missing one entry. Recover
+					// without it — the job completes even if every store
+					// read fails from here on.
+					e.chunkRecaptures.Add(1)
+					res, sel, err = e.replayResident(ctx, key, job.Config.Name, pr)
+				}
 			}
 			if err != nil {
 				return nil, err
@@ -644,13 +971,56 @@ func (e *Engine) replay(ctx context.Context, key SimKey, cfgName string, ct *cap
 	if !key.Baseline {
 		mgt = core.NewMGT(ct.templates, ExecParams(key.Config))
 	}
-	rd := trace.NewReader(ct.trace, ct.prog, key.Config.MaxRecords)
+	rd := trace.NewReaderWindowed(ct.trace, ct.prog, key.Config.MaxRecords, e.chunkWindow)
 	res, err := uarch.NewWithSource(key.Config, mgt, rd).Run(ctx)
+	e.noteWindow(rd.WindowStats())
 	if err != nil {
+		// ErrChunkUnavailable stays unwrappable through the %w so Simulate
+		// can recover by re-capturing.
 		return nil, fmt.Errorf("%s @ %s: %w", key.Prepare.Bench, cfgName, err)
 	}
 	e.noteFrontend(res)
 	return res, nil
+}
+
+// replayResident is the last-resort recovery for replays that keep losing
+// spilled chunks: a store whose reads fail persistently, not one that
+// merely evicted an entry. It re-derives the trace fully resident — no
+// sink, no bound window, no store traffic at all — so this attempt depends
+// on nothing but the rewritten binary and always makes progress. The
+// resident trace is private to this call and released on return; the
+// residency bound yields to guaranteed completion for exactly this job.
+func (e *Engine) replayResident(ctx context.Context, key SimKey, cfgName string, pr *Prepared) (*uarch.Result, *core.Selection, error) {
+	if err := e.acquire(ctx); err != nil {
+		return nil, nil, err
+	}
+	defer e.release()
+	tk := key.TraceKey()
+	prog, templates, sel, err := buildProgram(pr, tk)
+	if err != nil {
+		return nil, nil, err
+	}
+	var cmgt *core.MGT
+	if !tk.Baseline {
+		cmgt = core.NewMGT(templates, ExecParams(key.Config))
+	}
+	tr, err := trace.CaptureWith(ctx, prog, cmgt, tk.Limit, trace.CaptureOptions{ChunkRecords: e.chunkRecords, Hint: pr.Prof.DynInsts})
+	if err != nil {
+		return nil, nil, err
+	}
+	e.traceCaptures.Add(1)
+	e.traceBytes.Add(tr.SizeBytes())
+	var mgt *core.MGT
+	if !key.Baseline {
+		mgt = core.NewMGT(templates, ExecParams(key.Config))
+	}
+	rd := trace.NewReader(tr, prog, key.Config.MaxRecords)
+	res, err := uarch.NewWithSource(key.Config, mgt, rd).Run(ctx)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s @ %s: %w", key.Prepare.Bench, cfgName, err)
+	}
+	e.noteFrontend(res)
+	return res, sel, nil
 }
 
 // simulateLive runs one timing simulation with live, step-by-step

@@ -1,0 +1,275 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"minigraph/internal/store"
+	"minigraph/internal/trace"
+)
+
+// Tiny chunk geometry for tests: 3000-record captures split into 12
+// chunks, of which at most 2 are resident per replay cursor — the trace
+// is ~6x larger than the residency cap, so replay must stream.
+const (
+	testChunkRecords = 256
+	testChunkWindow  = 2
+)
+
+func chunkedEngine(t *testing.T, dir string) *Engine {
+	t.Helper()
+	return New(2).WithStore(openStore(t, dir)).
+		WithTraceChunkRecords(testChunkRecords).
+		WithTraceChunkWindow(testChunkWindow)
+}
+
+// TestBoundedMemorySweep is the larger-than-RAM acceptance test: a sweep
+// whose traces exceed the resident chunk cap completes byte-identical to
+// the unbounded fully-resident run, and the peak resident window bytes
+// never exceed window x chunk bytes.
+func TestBoundedMemorySweep(t *testing.T) {
+	ctx := context.Background()
+	jobs := storeJobs()
+
+	// Unbounded reference: memo-only engine, traces fully resident.
+	refOuts, err := New(2).Run(ctx, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := chunkedEngine(t, t.TempDir())
+	outs, err := eng.Run(ctx, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		a, err1 := EncodeOutcome(refOuts[i])
+		b, err2 := EncodeOutcome(outs[i])
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("job %d: bounded-window outcome diverged from unbounded run", i)
+		}
+	}
+
+	st := eng.Stats()
+	if st.TraceChunkFaults == 0 {
+		t.Fatal("no chunk faults: replay never streamed, the bound was not exercised")
+	}
+	if st.TraceChunkEvictions == 0 {
+		t.Error("no chunk evictions although traces exceed the window")
+	}
+	capBytes := int64(testChunkWindow) * testChunkRecords * trace.RecordBytes
+	if st.TraceChunkWindowPeakBytes == 0 || st.TraceChunkWindowPeakBytes > capBytes {
+		t.Errorf("peak resident window bytes %d, want in (0, %d]", st.TraceChunkWindowPeakBytes, capBytes)
+	}
+}
+
+// warmChunked captures one job's trace in chunked form into dir and
+// returns the trace key plus its manifest as persisted.
+func warmChunked(t *testing.T, dir string, job SimJob) (TraceKey, trace.Manifest) {
+	t.Helper()
+	ctx := context.Background()
+	eng := chunkedEngine(t, dir)
+	if _, err := eng.Simulate(ctx, job); err != nil {
+		t.Fatal(err)
+	}
+	tk := job.Key().TraceKey()
+	kb, err := EncodeTraceKey(tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := openStore(t, dir)
+	data, ok := st.Get(kb)
+	if !ok {
+		t.Fatal("warm run persisted no manifest")
+	}
+	m, err := trace.DecodeManifest(data)
+	if err != nil {
+		t.Fatalf("persisted manifest does not decode: %v", err)
+	}
+	if len(m.Chunks) < 4 {
+		t.Fatalf("trace persisted in %d chunks; the crash scenarios need several", len(m.Chunks))
+	}
+	return tk, m
+}
+
+// TestChunkCrashConsistency plants both halves of a crash-torn chunked
+// trace — a manifest whose chunk is gone, and chunks whose manifest is
+// gone — and checks each reads as a clean miss: a scrub deletes exactly
+// the debris, and an engine (scrubbed or not) recomputes byte-identical
+// results rather than replaying partial state.
+func TestChunkCrashConsistency(t *testing.T) {
+	ctx := context.Background()
+	base := storeJobs()[1] // minigraph arm; its trace persists chunked
+	arm := base
+	arm.Config.MemLatency += 40 // same TraceKey, distinct outcome key
+
+	refOut, err := New(2).Simulate(ctx, arm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := EncodeOutcome(refOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		// tear removes part of the chunked trace and returns the orphan
+		// chunks and invalidated manifests a scrub must then report.
+		tear func(t *testing.T, st *store.Store, tk TraceKey, chunks int) (orphans, manifests int)
+	}{
+		{
+			name: "manifest-without-all-chunks",
+			tear: func(t *testing.T, st *store.Store, tk TraceKey, chunks int) (int, int) {
+				kb, err := EncodeTraceChunkKey(tk, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				st.Delete(kb)
+				// The manifest is invalidated; its surviving chunks become
+				// orphans in the same pass.
+				return chunks - 1, 1
+			},
+		},
+		{
+			name: "chunks-without-manifest",
+			tear: func(t *testing.T, st *store.Store, tk TraceKey, chunks int) (int, int) {
+				kb, err := EncodeTraceKey(tk)
+				if err != nil {
+					t.Fatal(err)
+				}
+				st.Delete(kb)
+				return chunks, 0
+			},
+		},
+	}
+	for _, tc := range cases {
+		for _, scrubbed := range []bool{true, false} {
+			name := tc.name + "/unscrubbed"
+			if scrubbed {
+				name = tc.name + "/scrubbed"
+			}
+			t.Run(name, func(t *testing.T) {
+				dir := t.TempDir()
+				tk, m := warmChunked(t, dir, base)
+
+				st := openStore(t, dir)
+				wantOrphans, wantManifests := tc.tear(t, st, tk, len(m.Chunks))
+				if scrubbed {
+					rep := ScrubStore(st)
+					if rep.OrphanChunks != wantOrphans || rep.ManifestsInvalidated != wantManifests {
+						t.Fatalf("scrub deleted %d orphan chunks and %d manifests, want %d and %d (%+v)",
+							rep.OrphanChunks, rep.ManifestsInvalidated, wantOrphans, wantManifests, rep)
+					}
+					// A second pass finds nothing left to clean.
+					if rep2 := ScrubStore(st); rep2.OrphanChunks+rep2.ManifestsInvalidated+rep2.Corrupt != 0 {
+						t.Fatalf("scrub is not idempotent: %+v", rep2)
+					}
+				}
+
+				cold := chunkedEngine(t, dir)
+				out, err := cold.Simulate(ctx, arm)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := EncodeOutcome(out)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Error("torn chunked trace changed the outcome")
+				}
+				cs := cold.Stats()
+				if cs.TraceStoreHits != 0 {
+					t.Errorf("torn trace was adopted from the store: %+v", cs)
+				}
+				if cs.TraceCaptures != 1 {
+					t.Errorf("expected exactly one re-capture, got %d", cs.TraceCaptures)
+				}
+			})
+		}
+	}
+}
+
+// TestChunkWriteFaultsReportInvariant is the chunk-level counterpart of
+// TestEngineStoreFaultsReportInvariant: with capture spilling every sealed
+// chunk through a fault-injecting store — so individual chunk writes are
+// torn, flipped, and truncated mid-stream — repeated bounded-window runs
+// stay byte-identical to the fault-free reference, and a chunk-aware scrub
+// leaves a store a clean engine reproduces the same bytes from.
+func TestChunkWriteFaultsReportInvariant(t *testing.T) {
+	ctx := context.Background()
+	jobs := storeJobs()
+
+	ref := New(2)
+	refOuts, err := ref.Run(ctx, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]byte, len(jobs))
+	for i, out := range refOuts {
+		if want[i], err = EncodeOutcome(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fi := store.NewFaultInjector(store.FaultConfig{
+		TornWrite: 0.3, BitFlip: 0.3, Truncate: 0.2,
+		WriteErr: 0.2, ReadErr: 0.2, Seed: 7,
+	})
+	dir := t.TempDir()
+	for run := 0; run < 3; run++ {
+		st, err := store.Open(dir, store.Options{MaxBytes: -1, Faults: fi})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := New(2).WithStore(st).
+			WithTraceChunkRecords(testChunkRecords).
+			WithTraceChunkWindow(testChunkWindow)
+		outs, err := eng.Run(ctx, jobs)
+		if err != nil {
+			t.Fatalf("run %d under chunk faults failed: %v", run, err)
+		}
+		for i, out := range outs {
+			got, err := EncodeOutcome(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want[i]) {
+				t.Errorf("run %d job %d: chunk-fault run diverged from reference", run, i)
+			}
+		}
+	}
+	if fi.Counters().Total() == 0 {
+		t.Fatal("fault mix injected nothing; chunk writes were never torn")
+	}
+
+	st, err := store.Open(dir, store.Options{MaxBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := ScrubStore(st)
+	if rep.Errors != 0 {
+		t.Errorf("scrub errors: %+v", rep)
+	}
+	clean := New(2).WithStore(st).
+		WithTraceChunkRecords(testChunkRecords).
+		WithTraceChunkWindow(testChunkWindow)
+	outs, err := clean.Run(ctx, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, out := range outs {
+		got, err := EncodeOutcome(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want[i]) {
+			t.Errorf("post-scrub job %d: report diverged", i)
+		}
+	}
+}

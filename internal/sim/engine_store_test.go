@@ -60,9 +60,11 @@ func TestEngineStoreColdProcess(t *testing.T) {
 		t.Fatal(err)
 	}
 	ws := warm.Stats()
-	// Each job writes through its outcome and its captured trace blob (the
-	// four jobs are four distinct trace identities here).
-	if ws.StoreHits != 0 || ws.StoreMisses != int64(len(jobs)) || ws.StorePuts != 2*int64(len(jobs)) {
+	// Each job writes through its outcome plus its captured trace in
+	// chunked form — one chunk entry (these captures fit in a single
+	// chunk) and the manifest naming it; the four jobs are four distinct
+	// trace identities here.
+	if ws.StoreHits != 0 || ws.StoreMisses != int64(len(jobs)) || ws.StorePuts != 3*int64(len(jobs)) {
 		t.Fatalf("warm run store counters: %+v", ws)
 	}
 	if ws.PipelineSims() != int64(len(jobs)) {
@@ -116,7 +118,7 @@ func TestEngineStoreCorruptionRecovers(t *testing.T) {
 	}
 
 	// Truncate every stored entry (recency sidecars are not entries). Each
-	// job persisted an outcome and a trace blob.
+	// job persisted an outcome, one trace chunk, and the trace manifest.
 	var damaged int
 	err := filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
 		if err != nil || info.IsDir() || filepath.Ext(p) != ".json" {
@@ -125,8 +127,8 @@ func TestEngineStoreCorruptionRecovers(t *testing.T) {
 		damaged++
 		return os.Truncate(p, info.Size()/2)
 	})
-	if err != nil || damaged != 2*len(jobs) {
-		t.Fatalf("damaged %d files (%v), want %d", damaged, err, 2*len(jobs))
+	if err != nil || damaged != 3*len(jobs) {
+		t.Fatalf("damaged %d files (%v), want %d", damaged, err, 3*len(jobs))
 	}
 
 	cold := New(2).WithStore(openStore(t, dir))
@@ -134,7 +136,7 @@ func TestEngineStoreCorruptionRecovers(t *testing.T) {
 		t.Fatalf("damaged store failed the run: %v", err)
 	}
 	cs := cold.Stats()
-	if cs.StoreHits != 0 || cs.PipelineSims() != int64(len(jobs)) || cs.StorePuts != 2*int64(len(jobs)) {
+	if cs.StoreHits != 0 || cs.PipelineSims() != int64(len(jobs)) || cs.StorePuts != 3*int64(len(jobs)) {
 		t.Fatalf("corruption recovery counters: %+v", cs)
 	}
 	if cs.TraceCaptures != int64(len(jobs)) || cs.TraceStoreHits != 0 {

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"minigraph/internal/core"
@@ -174,10 +175,13 @@ func splitArms(arms []*gangMember, n int) [][]*gangMember {
 
 // fulfill completes one registered gang call with the same semantics as
 // singleflight: a context-error result is evicted so a still-live waiter
-// can take over, and the done channel is closed exactly once.
+// can take over, and the done channel is closed exactly once. A chunk-
+// unavailable result (a spilled chunk vanished mid-interleave) is evicted
+// for the same reason: the waiter retries through Simulate, whose layered
+// recovery ends in a store-independent resident replay.
 func (e *Engine) fulfill(m *gangMember, out *Outcome, err error) {
 	m.c.val, m.c.err = out, err
-	if isCtxErr(err) {
+	if isCtxErr(err) || errors.Is(err, trace.ErrChunkUnavailable) {
 		e.mu.Lock()
 		if e.sims[m.key] == m.c {
 			delete(e.sims, m.key)
@@ -189,12 +193,16 @@ func (e *Engine) fulfill(m *gangMember, out *Outcome, err error) {
 
 // waitGangCall blocks a sweep index on its gang arm's call. If the gang was
 // canceled by a context that is not this waiter's (the call evicted, err a
-// context error), the waiter takes over through the plain Simulate path —
-// the same takeover rule singleflight applies.
+// context error), or an arm lost a spilled chunk mid-interleave, the waiter
+// takes over through the plain Simulate path — the same takeover rule
+// singleflight applies, and Simulate's own chunk recovery handles the rest.
+// The takeover must NOT run the replay inline here: the gang goroutine owns
+// a worker slot, while this waiter holds none, so Simulate is free to
+// acquire one.
 func (e *Engine) waitGangCall(ctx context.Context, c *call[*Outcome], job SimJob) (*Outcome, error) {
 	select {
 	case <-c.done:
-		if isCtxErr(c.err) && ctx.Err() == nil {
+		if (isCtxErr(c.err) || errors.Is(c.err, trace.ErrChunkUnavailable)) && ctx.Err() == nil {
 			return e.Simulate(ctx, job)
 		}
 		return c.val, c.err
@@ -272,7 +280,8 @@ func (e *Engine) runGang(ctx context.Context, g *gang) {
 	}
 	defer e.release()
 
-	gr := trace.NewGangReader(ct.trace, ct.prog, trace.DefaultGangWindow)
+	gr := trace.NewGangReaderWindowed(ct.trace, ct.prog, trace.DefaultGangWindow, e.chunkWindow)
+	defer func() { e.noteWindow(gr.WindowStats()) }()
 	arms := make([]*gangArm, 0, len(pending))
 	for _, m := range pending {
 		var mgt *core.MGT

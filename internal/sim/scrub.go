@@ -1,0 +1,44 @@
+package sim
+
+import (
+	"minigraph/internal/store"
+	"minigraph/internal/trace"
+)
+
+// ClassifyStoreEntry is the ScrubOptions.Classify implementation for
+// stores holding this package's entries. It recognizes the chunked-trace
+// families by their canonical key encodings: a "trace" key is the
+// manifest entry of a chunked trace (its value must decode as a trace
+// manifest — anything else condemns the entry), a "trace-chunk" key is
+// one chunk payload, and every other key (outcomes, job records, foreign
+// entries) takes no part in cross-entry checks. Group identity is the
+// canonical manifest key encoding, so a chunk and its manifest agree on
+// the group without either ever parsing the other.
+func ClassifyStoreEntry(key, value []byte) (store.EntryClass, bool) {
+	if tk, chunk, err := DecodeTraceChunkKey(key); err == nil {
+		group, err := EncodeTraceKey(tk)
+		if err != nil {
+			return store.EntryClass{}, false
+		}
+		return store.EntryClass{Kind: store.EntryChunk, Group: string(group), Chunk: chunk}, true
+	}
+	if _, err := DecodeTraceKey(key); err == nil {
+		m, err := trace.DecodeManifest(value)
+		if err != nil {
+			// The key says "trace manifest" but the value is not one —
+			// stale pre-chunking blob or damage either way; condemn it.
+			return store.EntryClass{}, false
+		}
+		return store.EntryClass{Kind: store.EntryManifest, Group: string(key), Chunks: int64(len(m.Chunks))}, true
+	}
+	return store.EntryClass{Kind: store.EntryOther}, true
+}
+
+// ScrubStore runs a chunk-aware scrub over s: the classic per-entry
+// verification plus deletion of orphan chunks and of manifests that
+// reference missing chunks (see store.ScrubWith and ClassifyStoreEntry).
+// This is what a serving process should run at startup — a crash-torn
+// chunked trace converges to a clean miss and is simply re-captured.
+func ScrubStore(s *store.Store) store.ScrubReport {
+	return s.ScrubWith(store.ScrubOptions{Classify: ClassifyStoreEntry})
+}

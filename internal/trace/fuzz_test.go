@@ -11,6 +11,17 @@ import (
 	"minigraph/internal/trace"
 )
 
+// mustEncode encodes a trace for use as a fuzz seed, failing the harness
+// on the (impossible for a resident trace) encode error.
+func mustEncode(tb testing.TB, tr *trace.Trace) []byte {
+	tb.Helper()
+	data, err := trace.Encode(tr)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
 // fuzzSeedSrc is a tiny program whose capture exercises every record shape
 // the codec carries: ALU ops, loads, stores, conditional branches, calls,
 // returns and halt.
@@ -43,13 +54,13 @@ func FuzzTraceCodec(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	f.Add(trace.Encode(tr))
+	f.Add(mustEncode(f, tr))
 	short, err := trace.Capture(context.Background(), prog, nil, 3)
 	if err != nil {
 		f.Fatal(err)
 	}
-	f.Add(trace.Encode(short))
-	f.Add(trace.Encode(&trace.Trace{}))
+	f.Add(mustEncode(f, short))
+	f.Add(mustEncode(f, &trace.Trace{}))
 	f.Add([]byte{})
 	f.Add([]byte("MGTR garbage"))
 
@@ -58,7 +69,10 @@ func FuzzTraceCodec(f *testing.F) {
 		if err != nil {
 			return
 		}
-		re := trace.Encode(tr)
+		re, err := trace.Encode(tr)
+		if err != nil {
+			t.Fatalf("accepted blob does not re-encode: %v", err)
+		}
 		if !bytes.Equal(re, data) {
 			t.Fatalf("accepted non-canonical blob: %d bytes in, %d bytes re-encoded", len(data), len(re))
 		}
@@ -121,6 +135,65 @@ func FuzzReaderRewind(f *testing.F) {
 		}
 		if rd.Exhausted() != cur.Exhausted() {
 			t.Fatalf("exhaustion mismatch: reader %v gang %v", rd.Exhausted(), cur.Exhausted())
+		}
+	})
+}
+
+// FuzzChunkCodec: DecodeManifest and DecodeChunk must never panic on
+// arbitrary bytes, an accepted manifest must be canonical (re-encodes to
+// the identical bytes), and an accepted chunk frame must round-trip its
+// payload bit-exactly through both the raw and the compressed encoding.
+// These are the frames that cross process and machine boundaries (store
+// entries, peer transfers), so they see truly hostile input.
+func FuzzChunkCodec(f *testing.F) {
+	prog := asm.MustAssemble("seed", fuzzSeedSrc)
+	tr, err := trace.CaptureWith(context.Background(), prog, nil, 0,
+		trace.CaptureOptions{ChunkRecords: 16})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(trace.EncodeManifest(tr.Manifest()))
+	for ci := int64(0); ci < tr.NumChunks(); ci++ {
+		raw, err := tr.ChunkPayload(ci)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(trace.EncodeChunk(ci, raw, ci%2 == 1))
+	}
+	short, err := trace.CaptureWith(context.Background(), prog, nil, 3,
+		trace.CaptureOptions{ChunkRecords: 16})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(trace.EncodeManifest(short.Manifest()))
+	f.Add([]byte{})
+	f.Add([]byte("MGTM garbage"))
+	f.Add([]byte("MGTC garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if m, err := trace.DecodeManifest(data); err == nil {
+			re := trace.EncodeManifest(m)
+			if !bytes.Equal(re, data) {
+				t.Fatalf("accepted non-canonical manifest: %d bytes in, %d re-encoded", len(data), len(re))
+			}
+			if _, err := trace.DecodeManifest(re); err != nil {
+				t.Fatalf("re-encoded manifest does not decode: %v", err)
+			}
+		}
+		if idx, raw, err := trace.DecodeChunk(data); err == nil {
+			if len(raw)%trace.RecordBytes != 0 {
+				t.Fatalf("accepted chunk of %d bytes: not whole rows", len(raw))
+			}
+			for _, compress := range []bool{false, true} {
+				re := trace.EncodeChunk(idx, raw, compress)
+				idx2, raw2, err := trace.DecodeChunk(re)
+				if err != nil {
+					t.Fatalf("re-encoded chunk (compress=%v) does not decode: %v", compress, err)
+				}
+				if idx2 != idx || !bytes.Equal(raw2, raw) {
+					t.Fatalf("chunk round trip (compress=%v) changed the payload", compress)
+				}
+			}
 		}
 	})
 }

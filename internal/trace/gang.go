@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -35,6 +36,7 @@ const DefaultGangWindow = 4096
 type GangReader struct {
 	t      *Trace
 	prog   *isa.Program
+	win    *chunkWindow
 	window int64
 	mask   int64
 	ring   []emu.Record
@@ -50,8 +52,19 @@ type GangReader struct {
 // NewGangReader builds a shared-decode reader over t bound to prog (the
 // program t was captured from, or a structurally identical copy). window
 // is the shared ring depth in records, rounded up to a power of two
-// (<= 0 selects DefaultGangWindow).
+// (<= 0 selects DefaultGangWindow). The chunk window is unbounded: every
+// chunk faulted in stays resident for the reader's lifetime.
 func NewGangReader(t *Trace, prog *isa.Program, window int) *GangReader {
+	return NewGangReaderWindowed(t, prog, window, 0)
+}
+
+// NewGangReaderWindowed is NewGangReader with a bounded resident-chunk
+// window shared by the whole gang: at most windowChunks spilled chunks
+// are held at once (<= 0: unbounded). The gang scheduler's pacing keeps
+// every cursor within a few thousand records of the frontier, so one
+// small chunk window serves the entire gang — replay memory is the ring
+// plus windowChunks × chunk bytes, no matter how large the trace is.
+func NewGangReaderWindowed(t *Trace, prog *isa.Program, window, windowChunks int) *GangReader {
 	if window <= 0 {
 		window = DefaultGangWindow
 	}
@@ -62,10 +75,26 @@ func NewGangReader(t *Trace, prog *isa.Program, window int) *GangReader {
 	return &GangReader{
 		t:      t,
 		prog:   prog,
+		win:    newChunkWindow(t, windowChunks),
 		window: size,
 		mask:   size - 1,
 		ring:   make([]emu.Record, size),
 	}
+}
+
+// WindowStats reports the gang's shared chunk-window activity (faults,
+// evictions, peak resident bytes).
+func (g *GangReader) WindowStats() WindowStats { return g.win.stats }
+
+// fill decodes the record at seq into dst, faulting in its chunk if
+// necessary.
+func (g *GangReader) fill(dst *emu.Record, seq int64) error {
+	data, err := g.win.rows(seq >> g.t.chunkShift)
+	if err != nil {
+		return err
+	}
+	fillRow(dst, data[(seq&(g.t.ChunkRecords()-1))*recordBytes:], seq, g.prog)
+	return nil
 }
 
 // Window returns the shared ring depth in records.
@@ -110,10 +139,11 @@ func (g *GangReader) Cursor(limit int64) *GangCursor {
 // window of the decode frontier. Rewind reaches any depth, exactly like a
 // solo Reader — depth beyond the window merely costs private decodes.
 type GangCursor struct {
-	g      *GangReader
-	serve  int64
-	cursor int64
-	err    error
+	g       *GangReader
+	serve   int64
+	cursor  int64
+	err     error
+	faultAt int64 // serve value before an I/O cutoff (for Rewind retry)
 }
 
 // NextInto writes the record at the cursor into dst and advances — the
@@ -133,15 +163,30 @@ func (c *GangCursor) NextInto(dst *emu.Record) bool {
 		g.sharedServes++
 	case i == g.frontier:
 		slot := &g.ring[i&g.mask]
-		g.t.fill(slot, i, g.prog)
+		if err := g.fill(slot, i); err != nil {
+			return c.cutoff(err)
+		}
 		g.frontier++
 		*dst = *slot
 	default:
-		g.t.fill(dst, i, g.prog)
+		if err := g.fill(dst, i); err != nil {
+			return c.cutoff(err)
+		}
 		g.soloFills++
 	}
 	c.cursor++
 	return true
+}
+
+// cutoff ends this cursor's stream at the cursor after a chunk-fetch
+// failure; the failure surfaces through Err, mirroring how the live
+// stream surfaces an architectural fault. Other cursors of the gang are
+// unaffected unless they need the same missing chunk.
+func (c *GangCursor) cutoff(err error) bool {
+	c.err = err
+	c.faultAt = c.serve
+	c.serve = c.cursor
+	return false
 }
 
 // Cursor returns the sequence number of the next record NextInto will
@@ -163,4 +208,9 @@ func (c *GangCursor) Rewind(seq int64) {
 		panic(fmt.Sprintf("trace: gang rewind out of range (seq=%d cursor=%d)", seq, c.cursor))
 	}
 	c.cursor = seq
+	// A rewind past an I/O cutoff retries the fetch: restore the serve
+	// bound so the cursor can make progress again if the source recovered.
+	if c.faultAt > c.serve && errors.Is(c.err, ErrChunkUnavailable) {
+		c.serve, c.faultAt, c.err = c.faultAt, 0, nil
+	}
 }

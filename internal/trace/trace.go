@@ -7,16 +7,25 @@
 // emulation serves every machine configuration swept over the same binary,
 // which is where multi-arm experiment sweeps spend most of their time.
 //
+// The record bytes are held as fixed-size chunks (DefaultChunkRecords rows
+// per chunk; see chunk.go), which are the unit of capture spill, CRC
+// framing, store persistence, peer transfer and reader residency — a trace
+// much larger than RAM captures and replays within a bounded chunk window.
+//
 // Invariant (the golden rule for any TraceSource implementation): replaying
 // a trace through the pipeline must produce byte-identical results to the
 // live stream. The record sequence is a pure function of the program and
 // its mini-graph table, so a capture under one machine configuration is
-// valid for every configuration that shares the rewritten binary.
+// valid for every configuration that shares the rewritten binary. Chunking
+// is storage layout, never semantics: chunk size and window bounds cannot
+// change a single replayed record.
 //
-// Readers are cheap cursors over shared immutable bytes: concurrent
+// Readers are cheap cursors over shared immutable chunks: concurrent
 // simulations replay one Trace with no locking and no per-record
 // allocation, and Rewind (squash recovery) is a cursor move with unbounded
-// depth — there is no retention window to undersize.
+// depth — there is no retention window to undersize. A bounded reader
+// window only bounds *residency*: rewinding behind it re-faults chunks
+// through the trace's ChunkSource, it never clamps.
 package trace
 
 import (
@@ -24,7 +33,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"math"
+	"math/bits"
 
 	"minigraph/internal/core"
 	"minigraph/internal/emu"
@@ -45,24 +56,46 @@ const (
 	flagTaken     uint16 = 1 << 9
 )
 
-// recordBytes is the packed per-record storage: one little-endian row
+// recordBytes is the packed per-record storage: one 43-byte little-endian
+// row
 //
 //	pc u32 | nextPC u32 | mgid i32 | ea u64 | flags u16 |
 //	op u8 | src0 u8 | src1 u8 | dest u8 | memSize u8 |
 //	destVal u64 | storeVal u64
 //
-// Rows are packed back to back, so capture writes and replay reads touch
-// one short contiguous span per record instead of ten parallel arrays.
-// Derived Record fields (Seq = index, FallPC = PC+1, Inst = prog.At(PC))
-// are reconstructed at replay rather than stored. The architectural value
-// fields ride along so replayed runs fold the same retired-state digest as
-// live ones (codec v2).
+// Rows are packed back to back within a chunk, so capture writes and
+// replay reads touch one short contiguous span per record instead of ten
+// parallel arrays. Derived Record fields (Seq = index, FallPC = PC+1,
+// Inst = prog.At(PC)) are reconstructed at replay rather than stored. The
+// architectural value fields ride along so replayed runs fold the same
+// retired-state digest as live ones (codec v2; rows were 27 bytes before
+// they grew the two u64 value fields).
 const recordBytes = 4 + 4 + 4 + 8 + 2 + 5 + 8 + 8
 
-// Trace is an immutable dynamic instruction stream in packed-record form.
-// A Trace is safe for concurrent Readers once built.
+// RecordBytes is the packed row size in bytes, exported so sizing logic
+// (cache budgets, window caps) outside the package can reason in bytes.
+const RecordBytes = recordBytes
+
+// Trace is an immutable dynamic instruction stream in packed-record form,
+// held as fixed-size chunks. A Trace is safe for concurrent Readers once
+// built; a chunk is either resident (its payload retained in memory) or
+// spilled (payload dropped after sealing through a ChunkSink), in which
+// case Readers fault it back in through the bound ChunkSource.
 type Trace struct {
-	recs []byte // n × recordBytes
+	chunkRecords int64 // rows per chunk (power of two)
+	chunkShift   uint  // log2(chunkRecords)
+	n            int64 // total rows
+
+	// chunks holds each sealed chunk's packed rows; a nil entry is a
+	// spilled chunk whose payload lives behind source. crcs is the
+	// manifest: the IEEE CRC-32 of each chunk's raw rows, computed at
+	// seal time and re-checked on every fault-in.
+	chunks [][]byte
+	crcs   []uint32
+	source ChunkSource
+
+	// cur is the open (unsealed) chunk during capture; nil once built.
+	cur []byte
 
 	// errMsg records the architectural fault that truncated the capture
 	// ("" = the program halted or the capture limit was reached). A Reader
@@ -74,7 +107,7 @@ type Trace struct {
 }
 
 // Len returns the number of records in the trace.
-func (t *Trace) Len() int64 { return int64(len(t.recs) / recordBytes) }
+func (t *Trace) Len() int64 { return t.n }
 
 // Halted reports whether the captured program ran to architectural halt.
 func (t *Trace) Halted() bool { return t.halted }
@@ -87,18 +120,160 @@ func (t *Trace) Err() error {
 	return errors.New(t.errMsg)
 }
 
-// SizeBytes returns the in-memory footprint of the record bytes.
+// ChunkRecords returns the rows-per-chunk geometry (a power of two).
+func (t *Trace) ChunkRecords() int64 {
+	if t.chunkRecords == 0 {
+		return DefaultChunkRecords
+	}
+	return t.chunkRecords
+}
+
+// NumChunks returns the number of sealed chunks.
+func (t *Trace) NumChunks() int64 { return int64(len(t.chunks)) }
+
+// chunkRows returns the row count of chunk ci (full except the last).
+func (t *Trace) chunkRows(ci int64) int64 {
+	if r := t.n - ci*t.ChunkRecords(); r < t.ChunkRecords() {
+		return r
+	}
+	return t.ChunkRecords()
+}
+
+// ChunkCRC returns the manifest checksum of chunk ci's raw rows.
+func (t *Trace) ChunkCRC(ci int64) uint32 { return t.crcs[ci] }
+
+// SizeBytes returns the logical size of the trace: the packed record
+// bytes it represents plus the fault message — independent of how many
+// chunks happen to be resident right now (see ResidentBytes for that).
 func (t *Trace) SizeBytes() int64 {
-	return int64(len(t.recs) + len(t.errMsg))
+	return t.n*recordBytes + int64(len(t.errMsg))
 }
 
-func (t *Trace) grow(n int) {
-	t.recs = append(make([]byte, 0, n*recordBytes), t.recs...)
+// ResidentBytes returns the chunk payload bytes currently held in memory
+// by the Trace itself (spilled chunks and reader windows excluded).
+func (t *Trace) ResidentBytes() int64 {
+	var b int64
+	for _, c := range t.chunks {
+		b += int64(len(c))
+	}
+	return b + int64(len(t.cur))
 }
 
-// append packs one record. Seq and FallPC are derived at replay and not
-// stored; Srcs beyond NSrcs are zero by construction.
-func (t *Trace) append(rec *emu.Record) {
+// Spilled reports whether any chunk's payload is non-resident (replay
+// then requires a bound ChunkSource).
+func (t *Trace) Spilled() bool {
+	for _, c := range t.chunks {
+		if c == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// ChunkResident reports whether chunk ci's payload is held in memory by
+// the Trace itself.
+func (t *Trace) ChunkResident(ci int64) bool { return t.chunks[ci] != nil }
+
+// Materialize faults every spilled chunk in through the bound source and
+// retains it, leaving the trace fully resident (and fully CRC-verified).
+// Replay then needs no source at all — the mode a cold store load uses
+// when no residency bound is in force.
+func (t *Trace) Materialize() error {
+	for ci := range t.chunks {
+		if t.chunks[ci] == nil {
+			data, err := t.ChunkPayload(int64(ci))
+			if err != nil {
+				return err
+			}
+			t.chunks[ci] = data
+		}
+	}
+	return nil
+}
+
+// BindSource attaches the ChunkSource spilled chunks are faulted in from.
+// Bind before opening Readers over a spilled trace; rebinding is legal
+// (e.g. after the backing store moved). The source must serve exactly the
+// bytes that were sealed — every fault-in is CRC-verified against the
+// manifest, so a wrong source degrades to ErrChunkUnavailable, never to
+// wrong records.
+func (t *Trace) BindSource(src ChunkSource) { t.source = src }
+
+// Manifest returns the trace's chunk manifest: geometry, termination
+// state, and per-chunk row counts and checksums.
+func (t *Trace) Manifest() Manifest {
+	m := Manifest{
+		ChunkRecords: t.ChunkRecords(),
+		Rows:         t.n,
+		Halted:       t.halted,
+		ErrMsg:       t.errMsg,
+		Chunks:       make([]ChunkInfo, len(t.chunks)),
+	}
+	for i := range t.chunks {
+		m.Chunks[i] = ChunkInfo{Rows: t.chunkRows(int64(i)), CRC: t.crcs[i]}
+	}
+	return m
+}
+
+// FromManifest builds a fully spilled Trace from its manifest and the
+// source its chunk payloads live behind: every chunk is non-resident
+// until a reader faults it in. This is how a cold process replays a
+// persisted chunked trace without ever holding more than a window of it.
+func FromManifest(m Manifest, src ChunkSource) (*Trace, error) {
+	cr := m.ChunkRecords
+	if cr < minChunkRecords || cr&(cr-1) != 0 {
+		return nil, fmt.Errorf("trace: manifest chunkRecords %d is not a valid power of two", cr)
+	}
+	if int64(len(m.Chunks)) != (m.Rows+cr-1)/cr {
+		return nil, fmt.Errorf("trace: manifest has %d chunks for %d rows", len(m.Chunks), m.Rows)
+	}
+	t := &Trace{
+		chunkRecords: cr,
+		chunkShift:   uint(bits.TrailingZeros64(uint64(cr))),
+		n:            m.Rows,
+		chunks:       make([][]byte, len(m.Chunks)),
+		crcs:         make([]uint32, len(m.Chunks)),
+		source:       src,
+		errMsg:       m.ErrMsg,
+		halted:       m.Halted,
+	}
+	for i, c := range m.Chunks {
+		if c.Rows != t.chunkRows(int64(i)) {
+			return nil, fmt.Errorf("trace: manifest chunk %d claims %d rows, geometry says %d", i, c.Rows, t.chunkRows(int64(i)))
+		}
+		t.crcs[i] = c.CRC
+	}
+	return t, nil
+}
+
+// ChunkPayload returns chunk ci's raw packed rows: the resident payload,
+// or one fetched (and CRC-verified) through the bound source. Unlike a
+// reader window, nothing is cached — this is the persistence/transfer
+// path, not the replay path.
+func (t *Trace) ChunkPayload(ci int64) ([]byte, error) {
+	if ci < 0 || ci >= t.NumChunks() {
+		return nil, fmt.Errorf("trace: chunk %d out of range (%d chunks)", ci, t.NumChunks())
+	}
+	if data := t.chunks[ci]; data != nil {
+		return data, nil
+	}
+	if t.source == nil {
+		return nil, fmt.Errorf("%w: chunk %d is not resident and the trace has no source", ErrChunkUnavailable, ci)
+	}
+	data, err := t.source.FetchChunk(ci)
+	if err != nil {
+		return nil, fmt.Errorf("%w: chunk %d: %v", ErrChunkUnavailable, ci, err)
+	}
+	if int64(len(data)) != t.chunkRows(ci)*recordBytes || crc32.ChecksumIEEE(data) != t.crcs[ci] {
+		return nil, fmt.Errorf("%w: chunk %d: source payload failed verification", ErrChunkUnavailable, ci)
+	}
+	return data, nil
+}
+
+// appendRecord packs one record into the open chunk. Seq and FallPC are
+// derived at replay and not stored; Srcs beyond NSrcs are zero by
+// construction.
+func (t *Trace) appendRecord(rec *emu.Record) {
 	f := uint16(rec.NSrcs) & flagNSrcsMask
 	if rec.IsLoad {
 		f |= flagLoad
@@ -137,18 +312,46 @@ func (t *Trace) append(rec *emu.Record) {
 	row[26] = uint8(rec.MemSize)
 	binary.LittleEndian.PutUint64(row[27:], rec.DestVal)
 	binary.LittleEndian.PutUint64(row[35:], rec.StoreVal)
-	t.recs = append(t.recs, row[:]...)
+	t.cur = append(t.cur, row[:]...)
+	t.n++
 }
 
-// fill reconstructs record i into dst. Every field is written, so dst may
-// be reused across calls without clearing. Inst is resolved through prog —
-// the same lookup the live emulator performs — so a Trace can be bound to
-// any structurally identical copy of the program it was captured from.
-func (t *Trace) fill(dst *emu.Record, i int64, prog *isa.Program) {
-	row := t.recs[i*recordBytes : i*recordBytes+recordBytes : i*recordBytes+recordBytes]
+// seal closes the open chunk: records its checksum in the manifest and
+// either spills it through sink (dropping the payload) or retains it. A
+// sink error keeps the chunk resident — spilling is an optimization, so
+// its failure can cost memory but never the capture.
+func (t *Trace) seal(sink ChunkSink) {
+	if len(t.cur) == 0 {
+		return
+	}
+	idx := int64(len(t.chunks))
+	crc := crc32.ChecksumIEEE(t.cur)
+	t.crcs = append(t.crcs, crc)
+	if sink != nil && sink.SealChunk(idx, int64(len(t.cur))/recordBytes, t.cur, crc) == nil {
+		t.chunks = append(t.chunks, nil)
+	} else {
+		t.chunks = append(t.chunks, t.cur)
+	}
+	t.cur = nil
+}
+
+// addChunk installs a pre-built sealed chunk (decode path).
+func (t *Trace) addChunk(raw []byte) {
+	t.chunks = append(t.chunks, raw)
+	t.crcs = append(t.crcs, crc32.ChecksumIEEE(raw))
+	t.n += int64(len(raw)) / recordBytes
+}
+
+// fillRow reconstructs the record at sequence seq from its packed row
+// into dst. Every field is written, so dst may be reused across calls
+// without clearing. Inst is resolved through prog — the same lookup the
+// live emulator performs — so a Trace can be bound to any structurally
+// identical copy of the program it was captured from.
+func fillRow(dst *emu.Record, row []byte, seq int64, prog *isa.Program) {
+	row = row[:recordBytes:recordBytes]
 	pc := isa.PC(int32(binary.LittleEndian.Uint32(row[0:])))
 	f := binary.LittleEndian.Uint16(row[20:])
-	dst.Seq = i
+	dst.Seq = seq
 	dst.PC = pc
 	dst.Op = isa.Opcode(row[22])
 	dst.Inst = prog.At(pc)
@@ -177,6 +380,24 @@ func (t *Trace) fill(dst *emu.Record, i int64, prog *isa.Program) {
 // during capture.
 const captureCheckInterval = 1 << 14
 
+// CaptureOptions tune CaptureWith beyond the defaults.
+type CaptureOptions struct {
+	// ChunkRecords is the rows-per-chunk geometry, rounded up to a power
+	// of two (0 = DefaultChunkRecords). Geometry is storage layout only —
+	// it can never change a replayed record.
+	ChunkRecords int64
+	// Hint is a record-count hint (e.g. a profile's dynamic instruction
+	// count): an accurate hint sizes the first chunk's buffer once. The
+	// hint only affects allocation, never content.
+	Hint int64
+	// Sink, when non-nil, receives each chunk as it seals; a successful
+	// SealChunk lets capture drop the chunk from memory, so capturing a
+	// trace larger than RAM holds at most one open chunk plus whatever
+	// the sink buffers. Replaying the returned trace then requires
+	// BindSource. Sink errors keep chunks resident (never fail capture).
+	Sink ChunkSink
+}
+
 // Capture runs prog functionally to completion (halt, architectural fault,
 // or limit dynamic records; limit <= 0 means no limit) and returns the
 // recorded stream. The limit cut-off matches emu.Stream exactly: the
@@ -186,75 +407,135 @@ const captureCheckInterval = 1 << 14
 // exactly as the live stream surfaces it. The only error Capture itself
 // returns is ctx cancellation.
 func Capture(ctx context.Context, prog *isa.Program, mgt *core.MGT, limit int64) (*Trace, error) {
-	return CaptureSized(ctx, prog, mgt, limit, 0)
+	return CaptureWith(ctx, prog, mgt, limit, CaptureOptions{})
 }
 
-// CaptureSized is Capture with a record-count hint (e.g. a profile's
-// dynamic instruction count): an accurate hint sizes the buffer once and
-// skips every regrowth copy. The hint only affects allocation, never
-// content.
+// CaptureSized is Capture with a record-count hint; see
+// CaptureOptions.Hint.
 func CaptureSized(ctx context.Context, prog *isa.Program, mgt *core.MGT, limit, hint int64) (*Trace, error) {
+	return CaptureWith(ctx, prog, mgt, limit, CaptureOptions{Hint: hint})
+}
+
+// CaptureWith is Capture with explicit chunk geometry and an optional
+// spill sink; see CaptureOptions.
+func CaptureWith(ctx context.Context, prog *isa.Program, mgt *core.MGT, limit int64, opts CaptureOptions) (*Trace, error) {
 	if limit <= 0 {
 		limit = math.MaxInt64
 	}
+	cr := normalizeChunkRecords(opts.ChunkRecords)
+	t := &Trace{
+		chunkRecords: cr,
+		chunkShift:   uint(bits.TrailingZeros64(uint64(cr))),
+	}
+	chunkBytes := cr * recordBytes
+
+	// Size the open chunk's buffer from the hint, capped at one chunk:
+	// an accurate hint for a small trace allocates once; a huge trace
+	// allocates chunk-sized buffers and recycles nothing bigger.
+	hint := opts.Hint
 	if hint <= 0 {
 		hint = 1 << 12
 	}
 	if limit < hint {
 		hint = limit
 	}
+	if hint > cr {
+		hint = cr
+	}
+	t.cur = make([]byte, 0, hint*recordBytes)
+
 	m := emu.NewMachine(prog, mgt)
-	t := &Trace{}
-	t.grow(int(hint))
 	var rec emu.Record
-	for !m.Halted && t.Len() < limit {
-		if t.Len()%captureCheckInterval == 0 {
+	for !m.Halted && t.n < limit {
+		if t.n%captureCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 			// Geometric growth between checks keeps the append fast path
 			// bounds-check-only; an accurate hint makes this a no-op.
-			if free := int64(cap(t.recs)/recordBytes) - t.Len(); free < captureCheckInterval {
-				n := 2 * (cap(t.recs) / recordBytes)
-				if int64(n) > limit && limit < math.MaxInt64 {
-					n = int(limit)
+			if free := (int64(cap(t.cur)) - int64(len(t.cur))) / recordBytes; free < captureCheckInterval {
+				want := 2 * int64(cap(t.cur)) / recordBytes
+				if min := int64(len(t.cur))/recordBytes + captureCheckInterval; want < min {
+					want = min
 				}
-				if n < cap(t.recs)/recordBytes+captureCheckInterval {
-					n = cap(t.recs)/recordBytes + captureCheckInterval
+				if want > cr {
+					want = cr
 				}
-				t.grow(n)
+				if rem := limit - t.n + int64(len(t.cur))/recordBytes; limit < math.MaxInt64 && want > rem {
+					want = rem
+				}
+				if want*recordBytes > int64(cap(t.cur)) {
+					grown := make([]byte, len(t.cur), want*recordBytes)
+					copy(grown, t.cur)
+					t.cur = grown
+				}
 			}
 		}
 		if err := m.Step(&rec); err != nil {
 			t.errMsg = err.Error()
+			t.seal(opts.Sink)
 			return t, nil
 		}
-		t.append(&rec)
+		t.appendRecord(&rec)
+		if int64(len(t.cur)) == chunkBytes {
+			t.seal(opts.Sink)
+			if t.n < limit && !m.Halted {
+				t.cur = make([]byte, 0, chunkBytes)
+			}
+		}
 	}
 	t.halted = m.Halted
+	t.seal(opts.Sink)
 	return t, nil
 }
 
 // Reader is a cursor over a Trace implementing the pipeline's TraceSource
 // contract with the exact semantics of the live emu.Stream: NextInto
 // serves records in order, Rewind re-serves from an earlier sequence
-// number (any depth — the trace is fully retained), and Err reports the
-// architectural fault the stream would have hit. A Reader is
-// single-goroutine; open one Reader per concurrent simulation over the
+// number (any depth — the trace is fully retained, resident or not), and
+// Err reports the architectural fault the stream would have hit. A Reader
+// is single-goroutine; open one Reader per concurrent simulation over the
 // shared Trace.
+//
+// Over a spilled trace the Reader holds a bounded window of resident
+// chunks (NewReaderWindowed) and faults evicted ones back in through the
+// trace's ChunkSource; a source failure surfaces through Err as
+// ErrChunkUnavailable after the stream cuts off, mirroring how the live
+// stream surfaces an architectural fault.
 type Reader struct {
 	t       *Trace
 	prog    *isa.Program
+	win     *chunkWindow
 	serve   int64 // records available to this reader (limit-clamped)
 	cursor  int64
 	err     error
+	faultAt int64 // serve value before an I/O cutoff (for Err precedence)
+
+	// rows/rowsBase/rowsEnd cache the chunk under the cursor so the
+	// per-record path is one bounds-checked slice, as it was when the
+	// trace was a single flat buffer.
+	rows     []byte
+	rowsBase int64
+	rowsEnd  int64
+
 	scratch emu.Record
 }
 
 // NewReader opens a cursor over t bound to prog (the program t was
 // captured from, or a structurally identical copy). limit bounds served
 // records like Config.MaxRecords bounds the live stream (<= 0: no limit).
+// The chunk window is unbounded: every chunk faulted in stays resident
+// for the reader's lifetime.
 func NewReader(t *Trace, prog *isa.Program, limit int64) *Reader {
+	return NewReaderWindowed(t, prog, limit, 0)
+}
+
+// NewReaderWindowed is NewReader with a bounded resident-chunk window:
+// at most windowChunks spilled chunks are held at once (<= 0: unbounded),
+// so replay memory is windowChunks × chunk bytes no matter how large the
+// trace is. Chunks the Trace itself retains are served directly and do
+// not count against the window.
+func NewReaderWindowed(t *Trace, prog *isa.Program, limit int64, windowChunks int) *Reader {
 	req := limit
 	if req <= 0 {
 		req = math.MaxInt64
@@ -263,7 +544,7 @@ func NewReader(t *Trace, prog *isa.Program, limit int64) *Reader {
 	if req < serve {
 		serve = req
 	}
-	r := &Reader{t: t, prog: prog, serve: serve}
+	r := &Reader{t: t, prog: prog, serve: serve, win: newChunkWindow(t, windowChunks)}
 	if t.errMsg != "" && req > t.Len() {
 		// The live stream only hits the fault when asked to generate past
 		// it; a caller whose limit stops at or before the truncation point
@@ -271,6 +552,28 @@ func NewReader(t *Trace, prog *isa.Program, limit int64) *Reader {
 		r.err = t.Err()
 	}
 	return r
+}
+
+// WindowStats reports the reader's chunk-window activity (faults,
+// evictions, peak resident bytes).
+func (r *Reader) WindowStats() WindowStats { return r.win.stats }
+
+// loadChunk points the row cache at the chunk containing seq, faulting it
+// in if necessary. On a source failure the stream cuts off at the cursor
+// and the failure surfaces through Err.
+func (r *Reader) loadChunk(seq int64) bool {
+	ci := seq >> r.t.chunkShift
+	data, err := r.win.rows(ci)
+	if err != nil {
+		r.err = err
+		r.faultAt = r.serve
+		r.serve = r.cursor
+		return false
+	}
+	r.rows = data
+	r.rowsBase = ci << r.t.chunkShift
+	r.rowsEnd = r.rowsBase + int64(len(data))/recordBytes
+	return true
 }
 
 // Next returns the record at the cursor, advancing it. ok=false means the
@@ -290,7 +593,12 @@ func (r *Reader) NextInto(dst *emu.Record) bool {
 	if r.cursor >= r.serve {
 		return false
 	}
-	r.t.fill(dst, r.cursor, r.prog)
+	if r.cursor < r.rowsBase || r.cursor >= r.rowsEnd {
+		if !r.loadChunk(r.cursor) {
+			return false
+		}
+	}
+	fillRow(dst, r.rows[(r.cursor-r.rowsBase)*recordBytes:], r.cursor, r.prog)
 	r.cursor++
 	return true
 }
@@ -298,19 +606,26 @@ func (r *Reader) NextInto(dst *emu.Record) bool {
 // Cursor returns the sequence number of the next record Next will serve.
 func (r *Reader) Cursor() int64 { return r.cursor }
 
-// Err returns the architectural fault that truncated the stream, if this
-// reader's limit would have run into it.
+// Err returns the architectural fault that truncated the stream (if this
+// reader's limit would have run into it) or the chunk-fetch failure that
+// cut the stream off early.
 func (r *Reader) Err() error { return r.err }
 
 // Exhausted reports whether every available record has been served.
 func (r *Reader) Exhausted() bool { return r.cursor >= r.serve }
 
 // Rewind moves the cursor back to sequence seq. Unlike the live stream's
-// bounded retention window, a trace rewind reaches any depth; rewinding
+// bounded retention window, a trace rewind reaches any depth — a bounded
+// chunk window re-faults evicted chunks rather than clamping; rewinding
 // forward is a simulator bug and panics, matching emu.Stream.
 func (r *Reader) Rewind(seq int64) {
 	if seq > r.cursor || seq < 0 {
 		panic(fmt.Sprintf("trace: rewind out of range (seq=%d cursor=%d)", seq, r.cursor))
 	}
 	r.cursor = seq
+	// A rewind past an I/O cutoff retries the fetch: restore the serve
+	// bound so the reader can make progress again if the source recovered.
+	if r.faultAt > r.serve && errors.Is(r.err, ErrChunkUnavailable) {
+		r.serve, r.faultAt, r.err = r.faultAt, 0, nil
+	}
 }

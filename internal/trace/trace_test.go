@@ -271,12 +271,19 @@ func TestCodecRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	blob := trace.Encode(tr)
+	blob, err := trace.Encode(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
 	back, err := trace.Decode(blob)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(trace.Encode(back), blob) {
+	re, err := trace.Encode(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re, blob) {
 		t.Fatal("encode→decode→encode not byte-stable")
 	}
 	if back.Len() != tr.Len() || back.Halted() != tr.Halted() {
@@ -305,7 +312,10 @@ func TestDecodeRejectsDamage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	blob := trace.Encode(tr)
+	blob, err := trace.Encode(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
 	flipped := append([]byte{}, blob...)
 	flipped[len(flipped)-5] ^= 0x40 // a record byte, not the header
 	cases := map[string][]byte{
